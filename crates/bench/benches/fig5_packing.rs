@@ -1,0 +1,36 @@
+//! Fig. 5 bench: packing cost and PM counts for QUEUE / RP / RB across the
+//! three workload patterns.
+//!
+//! Regenerate the figure's data with
+//! `cargo run -p bursty-experiments --release -- fig5`; this bench tracks
+//! the *cost* of producing each bar so packing-path regressions surface.
+
+use bursty_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_packing");
+    for pattern in WorkloadPattern::ALL {
+        let mut gen = FleetGenerator::new(1);
+        let vms = gen.vms(200, pattern);
+        let pms = gen.pms(200);
+        for scheme in [Scheme::Queue, Scheme::Rp, Scheme::Rb] {
+            let consolidator = Consolidator::new(scheme);
+            group.bench_with_input(
+                BenchmarkId::new(scheme.label(), pattern.label()),
+                &(&vms, &pms),
+                |b, (vms, pms)| {
+                    b.iter(|| {
+                        let placement = consolidator.place(vms, pms).unwrap();
+                        black_box(placement.pms_used())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing);
+criterion_main!(benches);

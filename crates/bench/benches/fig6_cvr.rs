@@ -1,0 +1,39 @@
+//! Fig. 6 bench: the no-migration runtime simulation that measures each
+//! placement's CVR. Tracks simulator step throughput for QUEUE and RB
+//! placements (the two the figure compares).
+
+use bursty_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_cvr_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_cvr_simulation");
+    const STEPS: usize = 2_000;
+    group.throughput(Throughput::Elements(STEPS as u64));
+    for scheme in [Scheme::Queue, Scheme::Rb] {
+        let mut gen = FleetGenerator::new(2);
+        let vms = gen.vms(150, WorkloadPattern::EqualSpike);
+        let pms = gen.pms(150);
+        let consolidator = Consolidator::new(scheme);
+        let placement = consolidator.place(&vms, &pms).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &placement,
+            |b, placement| {
+                b.iter(|| {
+                    let cfg = SimConfig {
+                        steps: STEPS,
+                        seed: 3,
+                        migrations_enabled: false,
+                        ..Default::default()
+                    };
+                    black_box(consolidator.simulate(&vms, &pms, placement, cfg).mean_cvr())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cvr_simulation);
+criterion_main!(benches);

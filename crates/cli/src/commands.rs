@@ -1,0 +1,312 @@
+//! The four subcommands.
+
+use crate::parse::Args;
+use crate::traces::{list_traces, read_trace};
+use crate::{err, CliError};
+use bursty_core::placement::rounding::{round_with_policy, RoundingPolicy};
+use bursty_core::prelude::*;
+use bursty_core::workload::analysis;
+use std::io::Write;
+use std::path::Path;
+
+const DEFAULT_P_ON: f64 = 0.01;
+const DEFAULT_P_OFF: f64 = 0.09;
+const DEFAULT_RHO: f64 = 0.01;
+
+fn probabilities(args: &Args) -> Result<(f64, f64, f64), CliError> {
+    let p_on = args.get_f64("p-on")?.unwrap_or(DEFAULT_P_ON);
+    let p_off = args.get_f64("p-off")?.unwrap_or(DEFAULT_P_OFF);
+    let rho = args.get_f64("rho")?.unwrap_or(DEFAULT_RHO);
+    if !(p_on > 0.0 && p_on <= 1.0 && p_off > 0.0 && p_off <= 1.0) {
+        return Err(err("probabilities must be in (0, 1]"));
+    }
+    if !(rho > 0.0 && rho < 1.0) {
+        return Err(err("--rho must be in (0, 1)"));
+    }
+    Ok((p_on, p_off, rho))
+}
+
+/// `bursty reserve --k K [--p-on P] [--p-off P] [--rho R]`
+pub fn reserve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(args)?;
+    let k = args.require_usize("k")?;
+    if k == 0 {
+        return Err(err("--k must be at least 1"));
+    }
+    let (p_on, p_off, rho) = probabilities(&args)?;
+    let chain = AggregateChain::new(k, p_on, p_off);
+    let blocks = chain
+        .blocks_needed(rho)
+        .map_err(|e| err(format!("stationary solve failed: {e}")))?;
+    let cvr = chain
+        .cvr_with_blocks(blocks)
+        .map_err(|e| err(format!("stationary solve failed: {e}")))?;
+    writeln!(
+        out,
+        "k = {k}, p_on = {p_on}, p_off = {p_off}, rho = {rho}: reserve {blocks} blocks \
+         (CVR {cvr:.5}, saving {} blocks vs peak provisioning)",
+        k - blocks
+    )?;
+    Ok(())
+}
+
+/// `bursty table --d D [--p-on P] [--p-off P] [--rho R]`
+pub fn table(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(args)?;
+    let d = args.require_usize("d")?;
+    if d == 0 {
+        return Err(err("--d must be at least 1"));
+    }
+    let (p_on, p_off, rho) = probabilities(&args)?;
+    let mapping = MappingTable::build(d, p_on, p_off, rho);
+    let mut t = Table::new(&["k", "mapping(k)", "saved vs peak"]);
+    for k in 1..=d {
+        t.row(&[
+            k.to_string(),
+            mapping.blocks_for(k).to_string(),
+            mapping.blocks_saved(k).to_string(),
+        ]);
+    }
+    write!(out, "{}", t.render())?;
+    Ok(())
+}
+
+/// `bursty fit <trace.csv>`
+pub fn fit(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(args)?;
+    let [path] = args.positional() else {
+        return Err(err("fit expects exactly one trace file"));
+    };
+    let demands = read_trace(Path::new(path))?;
+    let model = fit_trace(&demands).map_err(|e| err(format!("{path}: {e}")))?;
+    writeln!(
+        out,
+        "{path}: p_on = {:.4}, p_off = {:.4}, R_b = {:.2}, R_e = {:.2} \
+         ({} samples, {:.1}% ON, {} spikes seen)",
+        model.p_on,
+        model.p_off,
+        model.r_b,
+        model.r_e,
+        demands.len(),
+        model.on_fraction * 100.0,
+        model.on_entries,
+    )?;
+    if let Some(profile) = analysis::profile(&demands) {
+        writeln!(
+            out,
+            "burstiness: lag-1 autocorrelation {:.3}, IDC(16) {:.1}, \
+             peak/mean {:.2}, mean spike length {:.1}",
+            profile.acf1, profile.idc16, profile.peak_to_mean, profile.runs.mean_length
+        )?;
+    }
+    Ok(())
+}
+
+/// `bursty plan --traces DIR --capacity C [--pms N] [--rho R] [--out F]`
+pub fn plan(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(args)?;
+    let dir = args
+        .get_str("traces")
+        .ok_or_else(|| err("missing required flag --traces <dir>"))?;
+    let capacity = args.require_f64("capacity")?;
+    if capacity <= 0.0 {
+        return Err(err("--capacity must be positive"));
+    }
+    let rho = args.get_f64("rho")?.unwrap_or(DEFAULT_RHO);
+
+    // Fit every trace.
+    let files = list_traces(Path::new(dir))?;
+    let mut specs = Vec::new();
+    let mut names = Vec::new();
+    for (id, file) in files.iter().enumerate() {
+        let demands = read_trace(file)?;
+        let model = fit_trace(&demands)
+            .map_err(|e| err(format!("{}: {e}", file.display())))?;
+        specs.push(model.to_spec(id, demands.len()));
+        names.push(
+            file.file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| id.to_string()),
+        );
+    }
+
+    // Conservative rounding, then QueuingFFD.
+    let (p_on, p_off) = round_with_policy(&specs, RoundingPolicy::Conservative)
+        .expect("at least one trace");
+    let n_pms = args.get_usize("pms")?.unwrap_or(specs.len());
+    let pms: Vec<PmSpec> = (0..n_pms).map(|j| PmSpec::new(j, capacity)).collect();
+    let consolidator = Consolidator::new(Scheme::Queue)
+        .with_probabilities(p_on, p_off)
+        .with_rho(rho);
+    let placement = consolidator
+        .place(&specs, &pms)
+        .map_err(|e| err(format!("planning failed: {e} — add PMs or capacity")))?;
+
+    writeln!(
+        out,
+        "fitted {} traces; rounded (p_on, p_off) = ({p_on:.4}, {p_off:.4}); \
+         plan uses {} of {n_pms} PMs at capacity {capacity}",
+        specs.len(),
+        placement.pms_used(),
+    )?;
+    for (i, name) in names.iter().enumerate() {
+        writeln!(
+            out,
+            "  {name}  (R_b {:.1}, R_e {:.1})  ->  PM {}",
+            specs[i].r_b,
+            specs[i].r_e,
+            placement.assignment[i].expect("complete"),
+        )?;
+    }
+
+    if let Some(out_path) = args.get_str("out") {
+        let mut csv = bursty_core::metrics::csv::CsvWriter::new();
+        csv.record(&["vm", "r_b", "r_e", "pm"]);
+        for (i, name) in names.iter().enumerate() {
+            csv.record_display(&[
+                name.clone(),
+                format!("{:.3}", specs[i].r_b),
+                format!("{:.3}", specs[i].r_e),
+                placement.assignment[i].unwrap().to_string(),
+            ]);
+        }
+        std::fs::write(out_path, csv.as_str())
+            .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+        writeln!(out, "plan written to {out_path}")?;
+    }
+    Ok(())
+}
+
+/// `bursty simulate --traces DIR --capacity C [--pms N] [--steps S]
+/// [--rho R] [--availability PCT]`
+///
+/// Fits the traces, plans with QueuingFFD, then *verifies* the plan by
+/// simulating the fitted workloads and certifying the CVR bound
+/// statistically (Wilson interval with the burst-autocorrelation
+/// discount). `--availability` overrides `--rho` in SLO terms.
+pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use bursty_core::metrics::inference::{certify_bound, BoundVerdict};
+    use bursty_core::metrics::slo;
+
+    let args = Args::parse(args)?;
+    let dir = args
+        .get_str("traces")
+        .ok_or_else(|| err("missing required flag --traces <dir>"))?;
+    let capacity = args.require_f64("capacity")?;
+    let steps = args.get_usize("steps")?.unwrap_or(20_000);
+    let rho = match args.get_str("availability") {
+        Some(a) => slo::cvr_budget_from_availability(a).map_err(CliError)?,
+        None => args.get_f64("rho")?.unwrap_or(DEFAULT_RHO),
+    };
+    if !(rho > 0.0 && rho < 1.0) {
+        return Err(err("the CVR budget must be in (0, 1)"));
+    }
+
+    // Fit and plan (same path as `plan`).
+    let files = list_traces(Path::new(dir))?;
+    let mut specs = Vec::new();
+    for (id, file) in files.iter().enumerate() {
+        let demands = read_trace(file)?;
+        let model = fit_trace(&demands)
+            .map_err(|e| err(format!("{}: {e}", file.display())))?;
+        specs.push(model.to_spec(id, demands.len()));
+    }
+    let (p_on, p_off) = round_with_policy(&specs, RoundingPolicy::Conservative)
+        .expect("at least one trace");
+    let n_pms = args.get_usize("pms")?.unwrap_or(specs.len());
+    let pms: Vec<PmSpec> = (0..n_pms).map(|j| PmSpec::new(j, capacity)).collect();
+    let consolidator = Consolidator::new(Scheme::Queue)
+        .with_probabilities(p_on, p_off)
+        .with_rho(rho);
+    let placement = consolidator
+        .place(&specs, &pms)
+        .map_err(|e| err(format!("planning failed: {e} — add PMs or capacity")))?;
+
+    // Simulate the fitted workloads against the plan.
+    let cfg = SimConfig {
+        steps,
+        seed: 20130527, // the paper's conference date — fixed for reproducibility
+        migrations_enabled: false,
+        ..SimConfig::default()
+    };
+    let outcome = consolidator.simulate(&specs, &pms, &placement, cfg);
+
+    let r = OnOffChain::new(p_on, p_off).autocorrelation(1).clamp(0.0, 0.999);
+    let violations: u64 = outcome
+        .cvr_per_pm
+        .iter()
+        .map(|&(_, c)| (c * steps as f64).round() as u64)
+        .sum();
+    let trials = (outcome.cvr_per_pm.len() * steps) as u64;
+    let verdict = certify_bound(violations, trials.max(1), rho, 0.95, r);
+    let summary = slo::summarize(outcome.mean_cvr());
+
+    writeln!(
+        out,
+        "plan: {} VMs on {} PMs; simulated {steps} periods per PM",
+        specs.len(),
+        placement.pms_used(),
+    )?;
+    writeln!(
+        out,
+        "mean CVR {:.5} (budget {rho}) → availability {:.4} ({} nines), \
+         ~{:.0} violation-min/month",
+        summary.cvr,
+        summary.availability,
+        summary.nines,
+        summary.violation_mins_per_month,
+    )?;
+    let verdict_str = match verdict {
+        BoundVerdict::Holds => "HOLDS at 95% confidence",
+        BoundVerdict::Violated => "VIOLATED at 95% confidence",
+        BoundVerdict::Inconclusive => "INCONCLUSIVE — simulate longer (--steps)",
+    };
+    writeln!(out, "bound certification: {verdict_str}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cmd(
+        f: fn(&[String], &mut dyn Write) -> Result<(), CliError>,
+        args: &[&str],
+    ) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        f(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn reserve_prints_paper_value() {
+        let s = run_cmd(reserve, &["--k", "16"]).unwrap();
+        assert!(s.contains("reserve 5 blocks"), "{s}");
+        assert!(s.contains("saving 11"), "{s}");
+    }
+
+    #[test]
+    fn reserve_rejects_bad_args() {
+        assert!(run_cmd(reserve, &[]).is_err());
+        assert!(run_cmd(reserve, &["--k", "0"]).is_err());
+        assert!(run_cmd(reserve, &["--k", "4", "--rho", "1.5"]).is_err());
+        assert!(run_cmd(reserve, &["--k", "4", "--p-on", "0"]).is_err());
+    }
+
+    #[test]
+    fn table_has_d_rows() {
+        let s = run_cmd(table, &["--d", "6"]).unwrap();
+        let data_rows = s
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+            .count();
+        assert_eq!(data_rows, 6);
+    }
+
+    #[test]
+    fn fit_requires_one_positional() {
+        assert!(run_cmd(fit, &[]).is_err());
+        assert!(run_cmd(fit, &["a", "b"]).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Library backing the `bursty` command-line tool.
+//!
+//! The binary is a thin wrapper over these functions so that everything —
+//! argument handling, trace parsing, planning, output formatting — is unit
+//! and integration testable without spawning processes.
+//!
+//! ```text
+//! bursty reserve --k 16 [--p-on 0.01] [--p-off 0.09] [--rho 0.01]
+//! bursty table   --d 16 [--p-on ..] [--p-off ..] [--rho ..]
+//! bursty fit     <trace.csv>
+//! bursty plan    --traces <dir> --capacity <C> [--pms N] [--rho ..] [--out plan.csv]
+//! ```
+
+pub mod commands;
+pub mod parse;
+pub mod traces;
+
+use std::fmt;
+
+/// A user-facing CLI failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("I/O error: {e}"))
+    }
+}
+
+/// Convenience constructor.
+pub fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Entry point shared by the binary and tests: dispatches `args`
+/// (excluding the program name) and writes human output to `out`.
+///
+/// # Errors
+/// [`CliError`] with a message suitable for direct printing.
+pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(err(USAGE));
+    };
+    match cmd.as_str() {
+        "reserve" => commands::reserve(rest, out),
+        "table" => commands::table(rest, out),
+        "fit" => commands::fit(rest, out),
+        "plan" => commands::plan(rest, out),
+        "simulate" => commands::simulate(rest, out),
+        "--help" | "-h" | "help" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(err(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+/// The usage banner.
+pub const USAGE: &str = "\
+bursty — burstiness-aware consolidation toolkit (IPDPS'13 reproduction)
+
+USAGE:
+  bursty reserve --k <K> [--p-on P] [--p-off P] [--rho R]
+      blocks to reserve for K collocated VMs
+  bursty table --d <D> [--p-on P] [--p-off P] [--rho R]
+      the full mapping(k) table for k = 1..D
+  bursty fit <trace.csv>
+      fit the ON-OFF model to a demand trace (last CSV column)
+  bursty plan --traces <dir> --capacity <C> [--pms N] [--rho R] [--out plan.csv]
+      fit every *.csv in <dir>, round probabilities conservatively,
+      consolidate with QueuingFFD, optionally write the VM→PM plan
+  bursty simulate --traces <dir> --capacity <C> [--steps S] [--rho R | --availability PCT]
+      plan as above, then simulate the fitted fleet and certify the
+      CVR bound statistically (Wilson interval, correlation-discounted)";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn no_args_prints_usage_error() {
+        let e = run_to_string(&[]).unwrap_err();
+        assert!(e.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let e = run_to_string(&["frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run_to_string(&["--help"]).unwrap();
+        assert!(s.contains("bursty reserve"));
+    }
+
+    #[test]
+    fn reserve_happy_path() {
+        let s = run_to_string(&["reserve", "--k", "16"]).unwrap();
+        assert!(s.contains("blocks"), "{s}");
+        assert!(s.contains('5'), "paper parameters give 5 blocks at k=16: {s}");
+    }
+
+    #[test]
+    fn table_happy_path() {
+        let s = run_to_string(&["table", "--d", "4"]).unwrap();
+        // Four data rows.
+        assert_eq!(s.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 4);
+    }
+}

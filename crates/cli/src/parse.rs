@@ -1,0 +1,141 @@
+//! Minimal `--flag value` argument parsing.
+
+use crate::{err, CliError};
+use std::collections::HashMap;
+
+/// Parsed arguments: named `--flag value` options plus positional args.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    options: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses a flat argument list. Every token starting with `--` must be
+    /// followed by a value; everything else is positional.
+    ///
+    /// # Errors
+    /// [`CliError`] for a dangling flag or a duplicated one.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut out = Args::default();
+        let mut it = args.iter();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(format!("flag --{name} needs a value")))?;
+                if out
+                    .options
+                    .insert(name.to_string(), value.clone())
+                    .is_some()
+                {
+                    return Err(err(format!("flag --{name} given twice")));
+                }
+            } else {
+                out.positional.push(tok.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// A required numeric option.
+    ///
+    /// # Errors
+    /// Missing or unparsable value.
+    pub fn require_f64(&self, name: &str) -> Result<f64, CliError> {
+        self.get_f64(name)?
+            .ok_or_else(|| err(format!("missing required flag --{name}")))
+    }
+
+    /// A required integer option.
+    ///
+    /// # Errors
+    /// Missing or unparsable value.
+    pub fn require_usize(&self, name: &str) -> Result<usize, CliError> {
+        self.get_usize(name)?
+            .ok_or_else(|| err(format!("missing required flag --{name}")))
+    }
+
+    /// An optional numeric option.
+    ///
+    /// # Errors
+    /// Present but unparsable value.
+    pub fn get_f64(&self, name: &str) -> Result<Option<f64>, CliError> {
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|_| err(format!("--{name} expects a number, got `{v}`"))),
+        }
+    }
+
+    /// An optional integer option.
+    ///
+    /// # Errors
+    /// Present but unparsable value.
+    pub fn get_usize(&self, name: &str) -> Result<Option<usize>, CliError> {
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| err(format!("--{name} expects an integer, got `{v}`"))),
+        }
+    }
+
+    /// An optional string option.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(toks: &[&str]) -> Result<Args, CliError> {
+        let v: Vec<String> = toks.iter().map(|s| s.to_string()).collect();
+        Args::parse(&v)
+    }
+
+    #[test]
+    fn mixes_flags_and_positionals() {
+        let a = parse(&["file.csv", "--k", "16", "--rho", "0.05"]).unwrap();
+        assert_eq!(a.positional(), &["file.csv".to_string()]);
+        assert_eq!(a.require_usize("k").unwrap(), 16);
+        assert_eq!(a.require_f64("rho").unwrap(), 0.05);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse(&["--k"]).unwrap_err().to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn duplicate_flag_is_error() {
+        assert!(parse(&["--k", "1", "--k", "2"])
+            .unwrap_err()
+            .to_string()
+            .contains("twice"));
+    }
+
+    #[test]
+    fn bad_number_is_error() {
+        let a = parse(&["--rho", "lots"]).unwrap();
+        assert!(a.get_f64("rho").unwrap_err().to_string().contains("expects a number"));
+    }
+
+    #[test]
+    fn optional_absent_is_none() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.get_f64("rho").unwrap(), None);
+        assert!(a.require_f64("rho").is_err());
+        assert_eq!(a.get_str("out"), None);
+    }
+}

@@ -1,0 +1,137 @@
+//! Reading demand traces from CSV files.
+
+use crate::{err, CliError};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Parses one CSV trace: each data line's *last* field is the demand
+/// sample; a first line that fails to parse is treated as a header; blank
+/// lines and `#` comments are skipped.
+///
+/// # Errors
+/// [`CliError`] for unreadable files, non-numeric data lines, or traces
+/// with no samples.
+pub fn read_trace(path: &Path) -> Result<Vec<f64>, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?;
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let last = line.rsplit(',').next().unwrap_or(line).trim();
+        match last.parse::<f64>() {
+            Ok(v) => out.push(v),
+            Err(_) if out.is_empty() && lineno == 0 => continue, // header
+            Err(_) => {
+                return Err(err(format!(
+                    "{}:{}: `{last}` is not a number",
+                    path.display(),
+                    lineno + 1
+                )))
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(err(format!("{}: no demand samples found", path.display())));
+    }
+    Ok(out)
+}
+
+/// Lists the `.csv` files in a directory, sorted by name for deterministic
+/// VM ids.
+///
+/// # Errors
+/// [`CliError`] for unreadable directories or directories without CSVs.
+pub fn list_traces(dir: &Path) -> Result<Vec<PathBuf>, CliError> {
+    let entries = fs::read_dir(dir)
+        .map_err(|e| err(format!("cannot read directory {}: {e}", dir.display())))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x.eq_ignore_ascii_case("csv")))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(err(format!("no .csv traces in {}", dir.display())));
+    }
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bursty-cli-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write(path: &Path, content: &str) {
+        let mut f = fs::File::create(path).unwrap();
+        f.write_all(content.as_bytes()).unwrap();
+    }
+
+    #[test]
+    fn reads_last_column_and_skips_header() {
+        let dir = scratch("read");
+        let p = dir.join("a.csv");
+        write(&p, "t,demand\n0,10.5\n1,12\n# comment\n\n2,10.5\n");
+        assert_eq!(read_trace(&p).unwrap(), vec![10.5, 12.0, 10.5]);
+    }
+
+    #[test]
+    fn single_column_works() {
+        let dir = scratch("single");
+        let p = dir.join("a.csv");
+        write(&p, "1\n2\n3\n");
+        assert_eq!(read_trace(&p).unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn bad_data_line_reports_location() {
+        let dir = scratch("bad");
+        let p = dir.join("a.csv");
+        write(&p, "1\nnot-a-number\n");
+        let e = read_trace(&p).unwrap_err().to_string();
+        assert!(e.contains(":2:"), "{e}");
+    }
+
+    #[test]
+    fn empty_file_is_error() {
+        let dir = scratch("empty");
+        let p = dir.join("a.csv");
+        write(&p, "header-only\n");
+        assert!(read_trace(&p).unwrap_err().to_string().contains("no demand"));
+    }
+
+    #[test]
+    fn missing_file_is_error() {
+        let e = read_trace(Path::new("/nonexistent/x.csv")).unwrap_err();
+        assert!(e.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn lists_csvs_sorted() {
+        let dir = scratch("list");
+        write(&dir.join("b.csv"), "1\n");
+        write(&dir.join("a.csv"), "1\n");
+        write(&dir.join("ignore.txt"), "x");
+        let files = list_traces(&dir).unwrap();
+        let names: Vec<_> =
+            files.iter().map(|p| p.file_name().unwrap().to_str().unwrap()).collect();
+        assert_eq!(names, vec!["a.csv", "b.csv"]);
+    }
+
+    #[test]
+    fn empty_dir_is_error() {
+        let dir = scratch("nocsv");
+        assert!(list_traces(&dir).unwrap_err().to_string().contains("no .csv"));
+    }
+}

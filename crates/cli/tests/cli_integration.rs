@@ -1,0 +1,162 @@
+//! End-to-end CLI tests: synthesize trace files on disk, run the full
+//! fit → round → plan pipeline through the public `run` entry point, and
+//! check both the human output and the written plan CSV.
+
+use bursty_cli::run;
+use bursty_core::prelude::*;
+use bursty_core::workload::trace::DemandTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bursty-cli-e2e-{}-{name}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(args: &[String]) -> String {
+    let mut buf = Vec::new();
+    run(args, &mut buf).unwrap_or_else(|e| panic!("command failed: {e}\nargs: {args:?}"));
+    String::from_utf8(buf).unwrap()
+}
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn write_generated_traces(dir: &Path, count: usize) {
+    let mut rng = StdRng::seed_from_u64(1234);
+    for i in 0..count {
+        let vm = VmSpec::new(i, 0.01, 0.09, 10.0 + i as f64, 8.0 + (i % 3) as f64);
+        let demands = DemandTrace::sample(vm, 30_000, &mut rng).demands();
+        let mut csv = String::from("t,demand\n");
+        for (t, d) in demands.iter().enumerate() {
+            csv.push_str(&format!("{t},{d}\n"));
+        }
+        fs::write(dir.join(format!("vm{i:02}.csv")), csv).unwrap();
+    }
+}
+
+#[test]
+fn fit_command_recovers_model_from_file() {
+    let dir = scratch("fit");
+    write_generated_traces(&dir, 1);
+    let path = dir.join("vm00.csv");
+    let out = run_ok(&args(&["fit", path.to_str().unwrap()]));
+    assert!(out.contains("R_b = 10.00"), "{out}");
+    assert!(out.contains("R_e = 8.00"), "{out}");
+    assert!(out.contains("burstiness"), "{out}");
+}
+
+#[test]
+fn plan_pipeline_writes_a_consistent_plan() {
+    let dir = scratch("plan");
+    write_generated_traces(&dir, 8);
+    let plan_path = dir.join("plan.csv");
+    let out = run_ok(&args(&[
+        "plan",
+        "--traces",
+        dir.to_str().unwrap(),
+        "--capacity",
+        "90",
+        "--out",
+        plan_path.to_str().unwrap(),
+    ]));
+    assert!(out.contains("fitted 8 traces"), "{out}");
+    assert!(out.contains("plan written"), "{out}");
+
+    let plan = fs::read_to_string(&plan_path).unwrap();
+    let lines: Vec<&str> = plan.lines().collect();
+    assert_eq!(lines[0], "vm,r_b,r_e,pm");
+    assert_eq!(lines.len(), 9, "header + 8 VMs");
+    // Feasibility re-check: Σ R_b per PM plus the largest R_e times one
+    // block must fit in 90 (weaker necessary condition; the planner
+    // enforced the full Eq. 17).
+    let mut per_pm: std::collections::HashMap<u32, f64> = Default::default();
+    for l in &lines[1..] {
+        let cells: Vec<&str> = l.split(',').collect();
+        let r_b: f64 = cells[1].parse().unwrap();
+        let pm: u32 = cells[3].parse().unwrap();
+        *per_pm.entry(pm).or_default() += r_b;
+    }
+    for (&pm, &rb) in &per_pm {
+        assert!(rb <= 90.0, "PM {pm} overcommitted on base demand: {rb}");
+    }
+    // Uses fewer PMs than one-per-VM.
+    assert!(per_pm.len() < 8, "consolidation must share PMs, used {}", per_pm.len());
+}
+
+#[test]
+fn plan_fails_cleanly_when_capacity_too_small() {
+    let dir = scratch("tiny");
+    write_generated_traces(&dir, 2);
+    let a = args(&["plan", "--traces", dir.to_str().unwrap(), "--capacity", "5"]);
+    let mut buf = Vec::new();
+    let e = run(&a, &mut buf).unwrap_err();
+    assert!(e.to_string().contains("planning failed"), "{e}");
+}
+
+#[test]
+fn plan_rejects_missing_flags() {
+    let mut buf = Vec::new();
+    let e = run(&args(&["plan", "--capacity", "90"]), &mut buf).unwrap_err();
+    assert!(e.to_string().contains("--traces"), "{e}");
+    let e = run(&args(&["plan", "--traces", "/tmp"]), &mut buf).unwrap_err();
+    assert!(e.to_string().contains("--capacity"), "{e}");
+}
+
+#[test]
+fn reserve_and_table_agree() {
+    let reserve_out = run_ok(&args(&["reserve", "--k", "12"]));
+    let table_out = run_ok(&args(&["table", "--d", "12"]));
+    // The reserve answer for k=12 must appear as the last table row.
+    let last = table_out.lines().last().unwrap();
+    let blocks_from_table: usize =
+        last.split_whitespace().nth(1).unwrap().parse().unwrap();
+    assert!(
+        reserve_out.contains(&format!("reserve {blocks_from_table} blocks")),
+        "reserve: {reserve_out} table last row: {last}"
+    );
+}
+
+#[test]
+fn simulate_certifies_a_sound_plan() {
+    let dir = scratch("simulate");
+    write_generated_traces(&dir, 6);
+    let out = run_ok(&args(&[
+        "simulate",
+        "--traces",
+        dir.to_str().unwrap(),
+        "--capacity",
+        "90",
+        "--steps",
+        "30000",
+    ]));
+    assert!(out.contains("mean CVR"), "{out}");
+    assert!(out.contains("HOLDS"), "{out}");
+    assert!(out.contains("nines"), "{out}");
+}
+
+#[test]
+fn simulate_accepts_availability_budget() {
+    let dir = scratch("simulate-slo");
+    write_generated_traces(&dir, 4);
+    let out = run_ok(&args(&[
+        "simulate",
+        "--traces",
+        dir.to_str().unwrap(),
+        "--capacity",
+        "120",
+        "--steps",
+        "5000",
+        "--availability",
+        "99",
+    ]));
+    assert!(out.contains("budget 0.01"), "{out}");
+}

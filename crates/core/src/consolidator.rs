@@ -1,0 +1,231 @@
+//! The high-level consolidation API: pick a scheme, place, simulate.
+
+use bursty_placement::{
+    first_fit, BaseStrategy, PackError, PeakStrategy, Placement, QueueStrategy,
+    ReserveStrategy, Strategy,
+};
+use bursty_sim::{
+    ObservedPolicy, PeakPolicy, QueuePolicy, RuntimePolicy, SimConfig, SimOutcome,
+    Simulator,
+};
+use bursty_workload::patterns::defaults;
+use bursty_workload::{PmSpec, VmSpec};
+
+/// The four consolidation schemes the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheme {
+    /// The paper's burstiness-aware QueuingFFD (Algorithm 2) with Eq.-17
+    /// runtime admission.
+    Queue,
+    /// FFD by peak demand — provisioning for peak workload.
+    Rp,
+    /// FFD by normal demand — provisioning for normal workload.
+    Rb,
+    /// FFD by normal demand with a fixed per-PM reserve fraction `δ`.
+    RbEx(f64),
+}
+
+impl Scheme {
+    /// The paper's label for the scheme.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Queue => "QUEUE",
+            Scheme::Rp => "RP",
+            Scheme::Rb => "RB",
+            Scheme::RbEx(_) => "RB-EX",
+        }
+    }
+}
+
+/// Configuration + scheme bundle with the paper's defaults
+/// (`ρ = 0.01`, `d = 16`, `p_on = 0.01`, `p_off = 0.09`).
+///
+/// Switch probabilities are per-[`Consolidator`] because the mapping table
+/// (Algorithm 1) depends on them; heterogeneous fleets should be rounded
+/// first (see [`bursty_placement::online::round_probabilities`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Consolidator {
+    scheme: Scheme,
+    /// CVR bound `ρ`.
+    pub rho: f64,
+    /// Maximum VMs per PM (`d`) for the queue scheme.
+    pub d: usize,
+    /// Uniform OFF→ON probability.
+    pub p_on: f64,
+    /// Uniform ON→OFF probability.
+    pub p_off: f64,
+}
+
+impl Consolidator {
+    /// Creates a consolidator with the paper's default parameters.
+    pub fn new(scheme: Scheme) -> Self {
+        Self {
+            scheme,
+            rho: defaults::RHO,
+            d: defaults::MAX_VMS_PER_PM,
+            p_on: defaults::P_ON,
+            p_off: defaults::P_OFF,
+        }
+    }
+
+    /// Overrides the CVR bound.
+    pub fn with_rho(mut self, rho: f64) -> Self {
+        assert!(rho > 0.0 && rho < 1.0, "rho must be in (0,1)");
+        self.rho = rho;
+        self
+    }
+
+    /// Overrides the per-PM VM cap.
+    pub fn with_d(mut self, d: usize) -> Self {
+        assert!(d >= 1, "d must be at least 1");
+        self.d = d;
+        self
+    }
+
+    /// Overrides the uniform switch probabilities.
+    pub fn with_probabilities(mut self, p_on: f64, p_off: f64) -> Self {
+        self.p_on = p_on;
+        self.p_off = p_off;
+        self
+    }
+
+    /// The active scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Builds the packing strategy for the scheme.
+    pub fn strategy(&self) -> Box<dyn Strategy> {
+        match self.scheme {
+            Scheme::Queue => {
+                Box::new(QueueStrategy::build(self.d, self.p_on, self.p_off, self.rho))
+            }
+            Scheme::Rp => Box::new(PeakStrategy),
+            Scheme::Rb => Box::new(BaseStrategy),
+            Scheme::RbEx(delta) => Box::new(ReserveStrategy::new(delta)),
+        }
+    }
+
+    /// Builds the runtime (migration-target) admission policy matching the
+    /// scheme's knowledge model.
+    pub fn policy(&self) -> Box<dyn RuntimePolicy> {
+        match self.scheme {
+            Scheme::Queue => Box::new(QueuePolicy::new(QueueStrategy::build(
+                self.d, self.p_on, self.p_off, self.rho,
+            ))),
+            Scheme::Rp => Box::new(PeakPolicy),
+            Scheme::Rb => Box::new(ObservedPolicy::rb()),
+            Scheme::RbEx(delta) => Box::new(ObservedPolicy::rb_ex(delta)),
+        }
+    }
+
+    /// Consolidates `vms` onto `pms` (paper Algorithm 2 for
+    /// [`Scheme::Queue`], plain FFD otherwise).
+    ///
+    /// # Errors
+    /// [`PackError`] if some VM fits nowhere.
+    pub fn place(&self, vms: &[VmSpec], pms: &[PmSpec]) -> Result<Placement, PackError> {
+        first_fit(vms, pms, self.strategy().as_ref())
+    }
+
+    /// Simulates a placed cluster under this scheme's runtime policy.
+    pub fn simulate(
+        &self,
+        vms: &[VmSpec],
+        pms: &[PmSpec],
+        placement: &Placement,
+        config: SimConfig,
+    ) -> SimOutcome {
+        let policy = self.policy();
+        Simulator::new(vms, pms, policy.as_ref(), config).run(placement)
+    }
+
+    /// Place-then-simulate in one call.
+    ///
+    /// # Errors
+    /// Propagates packing failures.
+    pub fn evaluate(
+        &self,
+        vms: &[VmSpec],
+        pms: &[PmSpec],
+        config: SimConfig,
+    ) -> Result<(Placement, SimOutcome), PackError> {
+        let placement = self.place(vms, pms)?;
+        let outcome = self.simulate(vms, pms, &placement, config);
+        Ok((placement, outcome))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bursty_workload::{FleetGenerator, WorkloadPattern};
+
+    fn fleet(n: usize, seed: u64) -> (Vec<VmSpec>, Vec<PmSpec>) {
+        let mut g = FleetGenerator::new(seed);
+        let vms = g.vms(n, WorkloadPattern::EqualSpike);
+        let pms = g.pms(2 * n);
+        (vms, pms)
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = Consolidator::new(Scheme::Queue);
+        assert_eq!(c.rho, 0.01);
+        assert_eq!(c.d, 16);
+        assert_eq!(c.p_on, 0.01);
+        assert_eq!(c.p_off, 0.09);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Scheme::Queue.label(), "QUEUE");
+        assert_eq!(Scheme::Rp.label(), "RP");
+        assert_eq!(Scheme::Rb.label(), "RB");
+        assert_eq!(Scheme::RbEx(0.3).label(), "RB-EX");
+    }
+
+    #[test]
+    fn queue_beats_peak_on_paper_workload() {
+        let (vms, pms) = fleet(120, 1);
+        let queue = Consolidator::new(Scheme::Queue).place(&vms, &pms).unwrap();
+        let peak = Consolidator::new(Scheme::Rp).place(&vms, &pms).unwrap();
+        let base = Consolidator::new(Scheme::Rb).place(&vms, &pms).unwrap();
+        assert!(queue.pms_used() < peak.pms_used());
+        assert!(base.pms_used() <= queue.pms_used());
+    }
+
+    #[test]
+    fn evaluate_round_trip_honors_constraint() {
+        let (vms, pms) = fleet(60, 2);
+        let cfg = SimConfig { steps: 3000, seed: 3, migrations_enabled: false, ..Default::default() };
+        let (_, out) = Consolidator::new(Scheme::Queue).evaluate(&vms, &pms, cfg).unwrap();
+        assert!(out.mean_cvr() <= 0.02, "mean CVR {}", out.mean_cvr());
+    }
+
+    #[test]
+    fn builders_validate() {
+        let c = Consolidator::new(Scheme::Queue)
+            .with_rho(0.05)
+            .with_d(8)
+            .with_probabilities(0.02, 0.2);
+        assert_eq!(c.rho, 0.05);
+        assert_eq!(c.d, 8);
+        assert_eq!((c.p_on, c.p_off), (0.02, 0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn rho_builder_rejects_bad_value() {
+        let _ = Consolidator::new(Scheme::Queue).with_rho(0.0);
+    }
+
+    #[test]
+    fn policies_and_strategies_share_labels() {
+        for scheme in [Scheme::Queue, Scheme::Rp, Scheme::Rb, Scheme::RbEx(0.3)] {
+            let c = Consolidator::new(scheme);
+            assert_eq!(c.strategy().name(), scheme.label());
+            assert_eq!(c.policy().name(), scheme.label());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared experiment plumbing.
+
+use bursty_core::metrics::csv::CsvWriter;
+use std::fs;
+use std::path::PathBuf;
+
+/// Experiment context: where (if anywhere) to drop CSV files.
+pub struct Ctx {
+    csv_dir: Option<PathBuf>,
+}
+
+impl Ctx {
+    /// Creates a context; `csv_dir = None` disables CSV export.
+    pub fn new(csv_dir: Option<String>) -> Self {
+        let csv_dir = csv_dir.map(PathBuf::from);
+        if let Some(dir) = &csv_dir {
+            fs::create_dir_all(dir).expect("create csv dir");
+        }
+        Self { csv_dir }
+    }
+
+    /// Writes `csv` under `<csv_dir>/<name>.csv` when export is enabled.
+    pub fn write_csv(&self, name: &str, csv: &CsvWriter) {
+        if let Some(dir) = &self.csv_dir {
+            let path = dir.join(format!("{name}.csv"));
+            fs::write(&path, csv.as_str()).expect("write csv");
+            println!("  [csv] wrote {}", path.display());
+        }
+    }
+}
+
+/// Prints an experiment banner.
+pub fn banner(title: &str, detail: &str) {
+    println!("=== {title} ===");
+    println!("{detail}");
+    println!();
+}

@@ -1,0 +1,89 @@
+//! Defragmentation experiment (extension): churn fragments the cluster;
+//! periodic conservative re-consolidation recovers PMs at a measured
+//! migration cost.
+
+use crate::common::{banner, Ctx};
+use bursty_core::metrics::csv::CsvWriter;
+use bursty_core::metrics::Table;
+use bursty_core::placement::defrag::{apply_plan, plan_defrag};
+use bursty_core::placement::online::OnlineCluster;
+use bursty_core::prelude::*;
+use bursty_core::sim::migration_cost::{total_cost, MigrationParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn run(ctx: &Ctx) {
+    banner(
+        "Defragmentation (extension)",
+        "Fill an online cluster, churn 50% of VMs out at random, then plan\n\
+         a drain-only re-consolidation under Eq. 17 with growing move\n\
+         budgets. Cost side: the pre-copy model converts moves to seconds.",
+    );
+
+    // Build a churned, fragmented cluster.
+    let mut gen = FleetGenerator::new(777);
+    let pm_specs = gen.pms(200);
+    let mut cluster = OnlineCluster::new(pm_specs.clone(), 16, 0.01, 0.09, 0.01);
+    let fleet = gen.vms(160, WorkloadPattern::EqualSpike);
+    for vm in &fleet {
+        cluster.arrive(*vm).unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(778);
+    let mut survivors: Vec<VmSpec> = Vec::new();
+    for vm in &fleet {
+        if rng.gen_bool(0.5) {
+            cluster.depart(vm.id);
+        } else {
+            survivors.push(*vm);
+        }
+    }
+    let before = cluster.pms_used();
+    let assignment: Vec<usize> =
+        survivors.iter().map(|vm| cluster.host_of(vm.id).unwrap()).collect();
+    println!(
+        "after churn: {} VMs spread over {before} PMs (packed fresh, QueuingFFD \
+         would need {})\n",
+        survivors.len(),
+        Consolidator::new(Scheme::Queue)
+            .place(&survivors, &pm_specs)
+            .unwrap()
+            .pms_used()
+    );
+
+    let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+    let mut table = Table::new(&[
+        "move budget", "moves", "PMs freed", "PMs after", "moves/PM", "migration secs",
+    ]);
+    let mut csv = CsvWriter::new();
+    csv.record(&["budget", "moves", "freed", "pms_after", "moves_per_pm", "migration_secs"]);
+    for budget in [2usize, 5, 10, 20, 50, 1_000] {
+        let plan = plan_defrag(&survivors, &pm_specs, &assignment, &strategy, budget);
+        let next = apply_plan(&survivors, &assignment, &plan);
+        let after: std::collections::HashSet<usize> = next.iter().copied().collect();
+        let secs = total_cost(plan.moves.len(), MigrationParams::default()).total_secs;
+        table.row(&[
+            if budget == 1_000 { "∞".into() } else { budget.to_string() },
+            plan.moves.len().to_string(),
+            plan.freed_pms.len().to_string(),
+            after.len().to_string(),
+            format!("{:.1}", plan.moves_per_freed_pm()),
+            format!("{secs:.0}"),
+        ]);
+        csv.record_display(&[
+            budget.to_string(),
+            plan.moves.len().to_string(),
+            plan.freed_pms.len().to_string(),
+            after.len().to_string(),
+            format!("{:.2}", plan.moves_per_freed_pm()),
+            format!("{secs:.1}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: the first few moves free PMs cheapest (single-tenant\n\
+         stragglers); returns diminish as remaining PMs get denser. The\n\
+         drain-only discipline keeps every surviving PM inside Eq. 17, so\n\
+         the rho guarantee is never traded for the energy win."
+    );
+    ctx.write_csv("defrag_plan", &csv);
+}

@@ -1,0 +1,37 @@
+//! Fig. 1: a sample workload trace with burstiness, annotated with the two
+//! provisioning levels (peak and normal).
+
+use crate::common::{banner, Ctx};
+use bursty_core::metrics::csv::CsvWriter;
+use bursty_core::metrics::plot::ascii_series;
+use bursty_core::prelude::*;
+use bursty_core::workload::DemandTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn run(ctx: &Ctx) {
+    banner(
+        "Figure 1 — sample bursty workload trace",
+        "One VM, p_on = 0.01, p_off = 0.09, R_b = 10, R_e = 10, 600 steps.\n\
+         Provisioning for peak = R_p = 20; provisioning for normal = R_b = 10.",
+    );
+    let vm = VmSpec::new(0, 0.01, 0.09, 10.0, 10.0);
+    let mut rng = StdRng::seed_from_u64(2013);
+    let trace = DemandTrace::sample_from_off(vm, 600, &mut rng);
+    let demands = trace.demands();
+
+    println!("{}", ascii_series(&demands, 100, 8));
+    println!(
+        "spikes: {}   on-fraction: {:.3} (stationary: {:.3})",
+        trace.spike_count(),
+        trace.on_fraction(),
+        vm.chain().stationary_on(),
+    );
+
+    let mut csv = CsvWriter::new();
+    csv.record(&["t", "demand", "peak_level", "normal_level"]);
+    for (t, d) in demands.iter().enumerate() {
+        csv.record_display(&[t as f64, *d, vm.r_p(), vm.r_b]);
+    }
+    ctx.write_csv("fig1_trace", &csv);
+}

@@ -1,0 +1,81 @@
+//! Fig. 5: packing result — number of PMs used by QUEUE vs RP vs RB for
+//! the three workload patterns.
+//!
+//! Settings from the paper's caption: ρ = 0.01, d = 16, p_on = 0.01,
+//! p_off = 0.09, C_j ∈ [80, 100], R_b/R_e from the per-pattern ranges.
+
+use crate::common::{banner, Ctx};
+use bursty_core::metrics::csv::CsvWriter;
+use bursty_core::metrics::plot::ascii_bars;
+use bursty_core::metrics::Table;
+use bursty_core::placement::placement::consolidation_improvement;
+use bursty_core::prelude::*;
+
+const SIZES: [usize; 3] = [100, 200, 400];
+const REPS: u64 = 5;
+
+pub fn run(ctx: &Ctx) {
+    banner(
+        "Figure 5 — packing result (PMs used)",
+        "rho = 0.01, d = 16, p_on = 0.01, p_off = 0.09, C in [80,100];\n\
+         mean over 5 seeded fleets per (pattern, n).",
+    );
+
+    let mut table = Table::new(&[
+        "pattern", "n", "QUEUE", "RP", "RB", "QUEUE vs RP", "paper",
+    ]);
+    let mut csv = CsvWriter::new();
+    csv.record(&["pattern", "n", "queue", "rp", "rb", "improvement_vs_rp"]);
+
+    let paper_expect = |p: WorkloadPattern| match p {
+        WorkloadPattern::EqualSpike => "~30%",
+        WorkloadPattern::SmallSpike => "~18%",
+        WorkloadPattern::LargeSpike => "~45%",
+    };
+
+    let mut headline: Vec<(String, f64)> = Vec::new();
+    for pattern in WorkloadPattern::ALL {
+        for &n in &SIZES {
+            let (mut q, mut rp, mut rb) = (0.0, 0.0, 0.0);
+            for seed in 0..REPS {
+                let mut gen = FleetGenerator::new(1000 * seed + n as u64);
+                let vms = gen.vms(n, pattern);
+                let pms = gen.pms(n); // one PM per VM is always enough
+                q += Consolidator::new(Scheme::Queue).place(&vms, &pms).unwrap().pms_used()
+                    as f64;
+                rp += Consolidator::new(Scheme::Rp).place(&vms, &pms).unwrap().pms_used()
+                    as f64;
+                rb += Consolidator::new(Scheme::Rb).place(&vms, &pms).unwrap().pms_used()
+                    as f64;
+            }
+            let (q, rp, rb) = (q / REPS as f64, rp / REPS as f64, rb / REPS as f64);
+            let improvement = consolidation_improvement(q.round() as usize, rp.round() as usize);
+            table.row(&[
+                pattern.label().into(),
+                n.to_string(),
+                format!("{q:.1}"),
+                format!("{rp:.1}"),
+                format!("{rb:.1}"),
+                format!("{:.0}%", improvement * 100.0),
+                paper_expect(pattern).into(),
+            ]);
+            csv.record_display(&[
+                pattern.label().to_string(),
+                n.to_string(),
+                format!("{q:.2}"),
+                format!("{rp:.2}"),
+                format!("{rb:.2}"),
+                format!("{improvement:.4}"),
+            ]);
+            if n == 400 {
+                headline.push((format!("{} QUEUE", pattern.label()), q));
+                headline.push((format!("{} RP   ", pattern.label()), rp));
+                headline.push((format!("{} RB   ", pattern.label()), rb));
+            }
+        }
+    }
+    println!("{}", table.render());
+    println!("PMs used at n = 400 (bars):");
+    println!("{}", ascii_bars(&headline, 48));
+    ctx.write_csv("fig5_packing", &csv);
+}

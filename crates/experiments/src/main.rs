@@ -1,0 +1,101 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p bursty-experiments --release -- <experiment> [--csv-dir DIR]
+//!
+//! experiments: fig1 fig5 fig6 fig7 fig8 fig9 fig10 table1 all
+//! ```
+//!
+//! Each experiment prints the same rows/series the paper reports (plus an
+//! ASCII rendition of the figure's shape) and, with `--csv-dir`, writes the
+//! raw series as CSV for external plotting.
+
+mod churn;
+mod common;
+mod defrag;
+mod fig1;
+mod fig10;
+mod fig5;
+mod fig6;
+mod fig7;
+mod fig8;
+mod fig9;
+mod quality;
+mod report;
+mod robustness;
+mod sbp;
+mod sweep;
+mod table1;
+mod victim;
+
+use std::env;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv-dir" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--csv-dir needs a directory argument");
+                    return ExitCode::FAILURE;
+                }
+                csv_dir = Some(args[i + 1].clone());
+                i += 2;
+            }
+            name if which.is_none() => {
+                which = Some(name.to_string());
+                i += 1;
+            }
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let which = which.unwrap_or_else(|| "all".to_string());
+    let ctx = common::Ctx::new(csv_dir);
+    let run = |name: &str, ctx: &common::Ctx| match name {
+        "fig1" => fig1::run(ctx),
+        "fig5" => fig5::run(ctx),
+        "fig6" => fig6::run(ctx),
+        "fig7" => fig7::run(ctx),
+        "fig8" => fig8::run(ctx),
+        "fig9" => fig9::run(ctx),
+        "fig10" => fig10::run(ctx),
+        "table1" => table1::run(ctx),
+        "sweep" => sweep::run(ctx),
+        "sbp" => sbp::run(ctx),
+        "churn" => churn::run(ctx),
+        "quality" => quality::run(ctx),
+        "defrag" => defrag::run(ctx),
+        "robustness" => robustness::run(ctx),
+        "report" => report::run(ctx),
+        "victim" => victim::run(ctx),
+        other => {
+            eprintln!(
+                "unknown experiment `{other}`; expected one of \
+                 fig1 fig5 fig6 fig7 fig8 fig9 fig10 table1 \
+                 sweep sbp churn quality defrag robustness victim report all"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if which == "all" {
+        for name in [
+            "table1", "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "sweep", "sbp", "churn", "quality", "defrag", "robustness", "victim",
+        ] {
+            run(name, &ctx);
+            println!();
+        }
+    } else {
+        run(&which, &ctx);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,81 @@
+//! FFD quality (extension): QueuingFFD vs the exact branch-and-bound
+//! optimum on small instances, plus the theory-side block metrics.
+
+use crate::common::{banner, Ctx};
+use bursty_core::metrics::csv::CsvWriter;
+use bursty_core::metrics::Table;
+use bursty_core::placement::exact::{ffd_quality_ratio, optimal_packing, ExactResult};
+use bursty_core::prelude::*;
+
+pub fn run(ctx: &Ctx) {
+    banner(
+        "Packing quality & block metrics (extension)",
+        "Left: QueuingFFD vs branch-and-bound optimum on 20 random 14-VM\n\
+         instances. Right: loss-system metrics of the reservation at the\n\
+         paper's parameters.",
+    );
+
+    // --- FFD vs optimal -------------------------------------------------
+    let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+    let mut ratios = Vec::new();
+    let mut unsolved = 0;
+    for seed in 0..20u64 {
+        let mut gen = FleetGenerator::new(7_000 + seed);
+        let vms = gen.vms(14, WorkloadPattern::EqualSpike);
+        match ffd_quality_ratio(&vms, 90.0, &strategy, 3_000_000) {
+            Some(r) => ratios.push(r),
+            None => unsolved += 1,
+        }
+    }
+    let summary = Summary::of(&ratios);
+    println!(
+        "QueuingFFD / OPT over {} solved instances: mean {:.3}, worst {:.3} \
+         ({} hit the node budget)\n",
+        ratios.len(),
+        summary.mean,
+        summary.max,
+        unsolved
+    );
+
+    let mut csv = CsvWriter::new();
+    csv.record(&["metric", "value"]);
+    csv.record_display(&["ffd_quality_mean".to_string(), format!("{:.4}", summary.mean)]);
+    csv.record_display(&["ffd_quality_worst".to_string(), format!("{:.4}", summary.max)]);
+
+    // One worked example with the exact count shown.
+    let mut gen = FleetGenerator::new(7_100);
+    let vms = gen.vms(12, WorkloadPattern::EqualSpike);
+    let pms: Vec<PmSpec> = (0..12).map(|j| PmSpec::new(j, 90.0)).collect();
+    let ffd = first_fit(&vms, &pms, &strategy).unwrap().pms_used();
+    if let ExactResult::Optimal(opt) = optimal_packing(&vms, 90.0, &strategy, 3_000_000) {
+        println!("example instance: FFD {ffd} PMs, optimal {opt} PMs\n");
+        csv.record_display(&["example_ffd".to_string(), ffd.to_string()]);
+        csv.record_display(&["example_opt".to_string(), opt.to_string()]);
+    }
+
+    // --- Loss-system metrics --------------------------------------------
+    let mut table = Table::new(&[
+        "k", "blocks (rho=1%)", "offered load", "carried", "utilization", "blocking", "CVR",
+    ]);
+    for k in [4usize, 8, 16, 32] {
+        let chain = AggregateChain::new(k, 0.01, 0.09);
+        let blocks = chain.blocks_needed(0.01).unwrap();
+        let m = block_system_metrics(&chain, blocks).unwrap();
+        table.row(&[
+            k.to_string(),
+            blocks.to_string(),
+            format!("{:.2}", m.offered_load),
+            format!("{:.2}", m.carried_load),
+            format!("{:.2}", m.utilization),
+            format!("{:.4}", m.blocking_probability),
+            format!("{:.4}", m.cvr),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: reserved blocks run at 30-60% utilization — the price of\n\
+         the ρ guarantee — and the spike-blocking probability tracks the\n\
+         CVR's order of magnitude, tying the time view to the loss view."
+    );
+    ctx.write_csv("quality_metrics", &csv);
+}

@@ -1,0 +1,36 @@
+//! Table I: experiment settings on workload patterns.
+
+use crate::common::{banner, Ctx};
+use bursty_core::metrics::csv::CsvWriter;
+use bursty_core::metrics::Table;
+use bursty_core::prelude::*;
+
+pub fn run(ctx: &Ctx) {
+    banner(
+        "Table I — experiment settings on workload patterns",
+        "Size classes: small = 400 users, medium = 800, large = 1600.",
+    );
+    let mut table = Table::new(&[
+        "pattern", "R_b", "R_e", "normal capability", "peak capability",
+    ]);
+    let mut csv = CsvWriter::new();
+    csv.record(&["pattern", "r_b", "r_e", "normal_users", "peak_users"]);
+    for row in TABLE_I {
+        table.row(&[
+            row.pattern.label().into(),
+            row.r_b.to_string(),
+            row.r_e.to_string(),
+            row.normal_capability().to_string(),
+            row.peak_capability().to_string(),
+        ]);
+        csv.record_display(&[
+            row.pattern.label().to_string(),
+            row.r_b.to_string(),
+            row.r_e.to_string(),
+            row.normal_capability().to_string(),
+            row.peak_capability().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    ctx.write_csv("table1_settings", &csv);
+}

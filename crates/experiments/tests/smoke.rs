@@ -1,0 +1,67 @@
+//! Smoke tests for the experiments binary: every subcommand must run,
+//! exit zero, and print its banner. Fast experiments run for real; the
+//! heavier ones are covered by `tests/paper_shapes.rs` at the library
+//! level, so here we only exercise argument handling and the cheap paths.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let exe = env!("CARGO_BIN_EXE_experiments");
+    let out = Command::new(exe).args(args).output().expect("spawn experiments");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn table1_prints_all_rows() {
+    let (ok, stdout, _) = run(&["table1"]);
+    assert!(ok);
+    assert!(stdout.contains("Table I"));
+    // Seven data rows with the paper's capabilities.
+    assert!(stdout.contains("3200"));
+    assert!(stdout.contains("2400"));
+}
+
+#[test]
+fn fig1_prints_a_trace() {
+    let (ok, stdout, _) = run(&["fig1"]);
+    assert!(ok);
+    assert!(stdout.contains("Figure 1"));
+    assert!(stdout.contains("spikes:"));
+}
+
+#[test]
+fn fig7_reports_milliseconds() {
+    let (ok, stdout, _) = run(&["fig7"]);
+    assert!(ok);
+    assert!(stdout.contains("ms"));
+}
+
+#[test]
+fn unknown_experiment_fails_with_usage() {
+    let (ok, _, stderr) = run(&["fig99"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown experiment"));
+    assert!(stderr.contains("fig5"));
+}
+
+#[test]
+fn csv_dir_flag_requires_argument() {
+    let (ok, _, stderr) = run(&["fig1", "--csv-dir"]);
+    assert!(!ok);
+    assert!(stderr.contains("--csv-dir"));
+}
+
+#[test]
+fn csv_export_writes_files() {
+    let dir = std::env::temp_dir().join(format!("bursty-exp-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (ok, _, _) = run(&["fig1", "--csv-dir", dir.to_str().unwrap()]);
+    assert!(ok);
+    let csv = std::fs::read_to_string(dir.join("fig1_trace.csv")).unwrap();
+    assert!(csv.starts_with("t,demand,peak_level,normal_level"));
+    assert!(csv.lines().count() > 500);
+}

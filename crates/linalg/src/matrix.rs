@@ -1,0 +1,321 @@
+//! Row-major dense matrix with the handful of operations the stack needs.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `rows × cols` matrix of `f64`.
+///
+/// Sized for the paper's use case — stochastic matrices of order `d+1`
+/// where `d` is the per-PM VM cap (16 in the paper's experiments) — but
+/// correct for any size that fits in memory.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must match dimensions");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` iff the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Swaps rows `a` and `b` in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(b * self.cols);
+        head[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix × matrix product.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the innermost accesses contiguous for both
+        // `other` and `out`.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for j in 0..other.cols {
+                    out_row[j] += a * orow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Row-vector × matrix product: `out[j] = Σᵢ v[i] · self[i][j]`.
+    ///
+    /// This is the kernel of power iteration (`Π ← ΠP`).
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.rows()`.
+    pub fn vecmul_left(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "vector length must match row count");
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &m) in out.iter_mut().zip(self.row(i)) {
+                *o += vi * m;
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute entry (`∞`-norm of the entries).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
+    }
+
+    /// Checks whether the matrix is row-stochastic within `tol`:
+    /// all entries in `[-tol, 1 + tol]` and every row summing to `1 ± tol`.
+    pub fn is_row_stochastic(&self, tol: f64) -> bool {
+        (0..self.rows).all(|i| {
+            let row = self.row(i);
+            let sum: f64 = row.iter().sum();
+            (sum - 1.0).abs() <= tol && row.iter().all(|&x| x >= -tol && x <= 1.0 + tol)
+        })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_requested_shape_and_is_zero() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        let _ = Matrix::zeros(0, 3);
+    }
+
+    #[test]
+    fn identity_is_identity_under_matmul() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn from_fn_matches_closure() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 2)], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // 2x3 * 3x1
+        let a = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 1.0, 1.0]);
+        let b = Matrix::from_vec(3, 1, vec![3.0, 4.0, 5.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 1);
+        assert_eq!(c[(0, 0)], 13.0);
+        assert_eq!(c[(1, 0)], 9.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 17 + j * 3) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_swaps_entries() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t[(2, 0)], 3.0);
+        assert_eq!(t[(0, 1)], 4.0);
+    }
+
+    #[test]
+    fn vecmul_left_matches_matmul() {
+        let a = Matrix::from_fn(3, 3, |i, j| ((i + 1) * (j + 2)) as f64);
+        let v = [1.0, -2.0, 0.5];
+        let via_vec = a.vecmul_left(&v);
+        let vm = Matrix::from_vec(1, 3, v.to_vec()).matmul(&a);
+        for j in 0..3 {
+            assert!((via_vec[j] - vm[(0, j)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn swap_rows_swaps_and_is_noop_on_same_index() {
+        let mut a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        a.swap_rows(0, 2);
+        assert_eq!(a.row(0), &[5.0, 6.0]);
+        assert_eq!(a.row(2), &[1.0, 2.0]);
+        let before = a.clone();
+        a.swap_rows(1, 1);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn row_stochastic_check() {
+        let p = Matrix::from_vec(2, 2, vec![0.9, 0.1, 0.4, 0.6]);
+        assert!(p.is_row_stochastic(1e-12));
+        let bad = Matrix::from_vec(2, 2, vec![0.9, 0.2, 0.4, 0.6]);
+        assert!(!bad.is_row_stochastic(1e-12));
+        let neg = Matrix::from_vec(2, 2, vec![1.1, -0.1, 0.4, 0.6]);
+        assert!(!neg.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn max_abs_finds_extreme() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, -7.5, 3.0, 2.0]);
+        assert_eq!(a.max_abs(), 7.5);
+    }
+}

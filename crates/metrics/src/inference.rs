@@ -1,0 +1,303 @@
+//! Statistical inference for simulation-backed claims.
+//!
+//! The paper's performance constraint is `CVR ≤ ρ`. A simulation measures
+//! CVR with sampling error, so "the constraint holds" is a statistical
+//! claim. This module provides the pieces to make it honestly: Wilson
+//! score intervals for violation proportions, the run length needed to
+//! certify a bound at a given confidence, and a two-proportion comparison
+//! for A/B-style scheme comparisons.
+//!
+//! Note: consecutive simulation steps are *correlated* for bursty
+//! workloads (that is the whole point of the model), so the effective
+//! sample size is smaller than the step count. [`effective_sample_size`]
+//! applies the standard AR(1)-style correction with the chain's known
+//! lag-1 autocorrelation.
+
+/// The standard normal quantile for two-sided confidence `conf`
+/// (e.g. 0.95 → 1.96). Thin wrapper with the common values exact enough
+/// for test assertions.
+fn z_for(conf: f64) -> f64 {
+    assert!(conf > 0.0 && conf < 1.0, "confidence must be in (0,1)");
+    // Reuse the placement crate's quantile? metrics must stay leaf-level,
+    // so implement the same Acklam approximation locally.
+    inverse_normal_cdf(0.5 + conf / 2.0)
+}
+
+#[allow(clippy::excessive_precision)] // canonical Acklam coefficients
+fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inverse_normal_cdf(1.0 - p)
+    }
+}
+
+/// A Wilson score confidence interval for a proportion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProportionCi {
+    /// Point estimate `successes / trials`.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level used.
+    pub confidence: f64,
+}
+
+/// Wilson score interval for `successes` out of `trials` at two-sided
+/// confidence `conf`.
+///
+/// # Examples
+/// ```
+/// use bursty_metrics::wilson_interval;
+///
+/// // 12 violating steps out of 10 000 observed: is CVR ≤ 1%?
+/// let ci = wilson_interval(12, 10_000, 0.95);
+/// assert!(ci.hi < 0.01); // certified with room to spare
+/// ```
+///
+/// # Panics
+/// Panics when `trials == 0` or `successes > trials`.
+pub fn wilson_interval(successes: u64, trials: u64, conf: f64) -> ProportionCi {
+    assert!(trials > 0, "need at least one trial");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = z_for(conf);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt() / denom;
+    ProportionCi {
+        estimate: p,
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+        confidence: conf,
+    }
+}
+
+/// Corrects a step count for temporal correlation: with lag-1
+/// autocorrelation `r ∈ [0, 1)`, `n` correlated steps carry roughly
+/// `n·(1−r)/(1+r)` independent observations (AR(1) variance inflation).
+pub fn effective_sample_size(steps: u64, lag1_autocorrelation: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&lag1_autocorrelation),
+        "autocorrelation must be in [0,1) for this correction"
+    );
+    let r = lag1_autocorrelation;
+    steps as f64 * (1.0 - r) / (1.0 + r)
+}
+
+/// Verdict of a bound certification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundVerdict {
+    /// The upper confidence bound is at or below the target: certified.
+    Holds,
+    /// The lower confidence bound exceeds the target: refuted.
+    Violated,
+    /// The interval straddles the target: more data needed.
+    Inconclusive,
+}
+
+/// Tests `proportion ≤ bound` from `successes`/`trials` at confidence
+/// `conf`, optionally discounting for autocorrelation `r` by shrinking the
+/// effective trial count.
+pub fn certify_bound(
+    successes: u64,
+    trials: u64,
+    bound: f64,
+    conf: f64,
+    lag1_autocorrelation: f64,
+) -> BoundVerdict {
+    let ess = effective_sample_size(trials, lag1_autocorrelation).max(1.0);
+    // Scale counts down to the effective sample size, preserving the rate.
+    let scale = ess / trials as f64;
+    let eff_trials = (trials as f64 * scale).round().max(1.0) as u64;
+    let eff_successes =
+        ((successes as f64 * scale).round() as u64).min(eff_trials);
+    let ci = wilson_interval(eff_successes, eff_trials, conf);
+    if ci.hi <= bound {
+        BoundVerdict::Holds
+    } else if ci.lo > bound {
+        BoundVerdict::Violated
+    } else {
+        BoundVerdict::Inconclusive
+    }
+}
+
+/// The number of *independent* observations needed so that, if the true
+/// proportion is `p_true < bound`, the Wilson upper bound falls below
+/// `bound` (planning tool for simulation length; divide by
+/// `(1−r)/(1+r)` for correlated steps).
+pub fn samples_to_certify(p_true: f64, bound: f64, conf: f64) -> u64 {
+    assert!(p_true < bound, "cannot certify a bound the truth violates");
+    // The Wilson upper bound is wider than the plain normal-approximation
+    // margin (it carries z²/2n continuity terms), so solve against Wilson
+    // itself: exponential search for a feasible n, then bisect.
+    let certifies = |n: u64| -> bool {
+        let successes = (p_true * n as f64).round() as u64;
+        wilson_interval(successes.min(n), n, conf).hi <= bound
+    };
+    let mut hi = 1u64;
+    while !certifies(hi) {
+        hi = hi.saturating_mul(2);
+        assert!(hi < 1 << 40, "certification horizon unreasonably large");
+    }
+    let mut lo = hi / 2;
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if certifies(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_values_match_tables() {
+        assert!((z_for(0.95) - 1.959964).abs() < 1e-4);
+        assert!((z_for(0.99) - 2.575829).abs() < 1e-4);
+    }
+
+    #[test]
+    fn wilson_interval_contains_estimate() {
+        let ci = wilson_interval(10, 1000, 0.95);
+        assert!((ci.estimate - 0.01).abs() < 1e-12);
+        assert!(ci.lo < 0.01 && 0.01 < ci.hi);
+        assert!(ci.lo > 0.0 && ci.hi < 0.03);
+    }
+
+    #[test]
+    fn wilson_handles_extremes() {
+        let zero = wilson_interval(0, 100, 0.95);
+        assert_eq!(zero.estimate, 0.0);
+        assert_eq!(zero.lo, 0.0);
+        assert!(zero.hi > 0.0 && zero.hi < 0.05);
+        let all = wilson_interval(100, 100, 0.95);
+        assert_eq!(all.hi, 1.0);
+        assert!(all.lo > 0.95);
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_data() {
+        let small = wilson_interval(5, 500, 0.95);
+        let large = wilson_interval(500, 50_000, 0.95);
+        assert!(large.hi - large.lo < small.hi - small.lo);
+    }
+
+    #[test]
+    fn effective_sample_size_shrinks_with_correlation() {
+        assert_eq!(effective_sample_size(1000, 0.0), 1000.0);
+        // Paper parameters: r = 0.9 → ESS ≈ n/19.
+        let ess = effective_sample_size(19_000, 0.9);
+        assert!((ess - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn certify_bound_three_outcomes() {
+        // Clearly below the bound with lots of data.
+        assert_eq!(
+            certify_bound(50, 100_000, 0.01, 0.95, 0.0),
+            BoundVerdict::Holds
+        );
+        // Clearly above.
+        assert_eq!(
+            certify_bound(5_000, 100_000, 0.01, 0.95, 0.0),
+            BoundVerdict::Violated
+        );
+        // Tiny sample at the boundary: inconclusive.
+        assert_eq!(
+            certify_bound(1, 100, 0.01, 0.95, 0.0),
+            BoundVerdict::Inconclusive
+        );
+    }
+
+    #[test]
+    fn autocorrelation_weakens_certification() {
+        // Enough i.i.d. data to certify, but not after the r = 0.9
+        // discount (the paper's own burst persistence).
+        let (s, n) = (40u64, 8_000u64);
+        assert_eq!(certify_bound(s, n, 0.01, 0.95, 0.0), BoundVerdict::Holds);
+        assert_eq!(
+            certify_bound(s, n, 0.01, 0.95, 0.9),
+            BoundVerdict::Inconclusive
+        );
+    }
+
+    #[test]
+    fn sample_planner_is_consistent_with_certification() {
+        let (p_true, bound) = (0.005, 0.01);
+        let n = samples_to_certify(p_true, bound, 0.95);
+        // Simulating that many trials at exactly the true rate certifies.
+        let successes = (p_true * n as f64).round() as u64;
+        assert_eq!(
+            certify_bound(successes, n + 50, bound, 0.95, 0.0),
+            BoundVerdict::Holds,
+            "planned n = {n}"
+        );
+        // An order of magnitude fewer does not.
+        let n_small = n / 10;
+        let s_small = (p_true * n_small as f64).round() as u64;
+        assert_ne!(
+            certify_bound(s_small, n_small.max(1), bound, 0.95, 0.0),
+            BoundVerdict::Holds
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot certify")]
+    fn planner_rejects_impossible_goal() {
+        let _ = samples_to_certify(0.02, 0.01, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn wilson_rejects_zero_trials() {
+        let _ = wilson_interval(0, 0, 0.95);
+    }
+}

@@ -1,0 +1,22 @@
+//! Measurement utilities shared by the simulator, experiment binaries and
+//! benches: summary statistics, time series, histograms, ASCII rendering
+//! and CSV export.
+//!
+//! The experiment binaries print the same rows/series the paper's figures
+//! report; everything here is presentation-side and dependency-free.
+
+pub mod csv;
+pub mod histogram;
+pub mod inference;
+pub mod plot;
+pub mod slo;
+pub mod stats;
+pub mod table;
+pub mod timeseries;
+
+pub use histogram::Histogram;
+pub use inference::{certify_bound, wilson_interval, BoundVerdict, ProportionCi};
+pub use plot::{ascii_bars, ascii_series};
+pub use stats::{OnlineStats, Summary};
+pub use table::Table;
+pub use timeseries::TimeSeries;

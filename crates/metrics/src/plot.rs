@@ -1,0 +1,99 @@
+//! ASCII plotting so `experiments` can show each figure's *shape* in the
+//! terminal (the numeric series are printed alongside / exported as CSV).
+
+/// Renders a horizontal bar chart: one labelled bar per `(label, value)`.
+/// Bars are scaled so the maximum value spans `width` characters.
+pub fn ascii_bars(items: &[(String, f64)], width: usize) -> String {
+    assert!(width > 0, "width must be positive");
+    let max = items.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in items {
+        let n = if max > 0.0 {
+            ((v / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!("{label:<label_w$} | {} {v:.2}\n", "#".repeat(n)));
+    }
+    out
+}
+
+/// Renders a time series as a fixed-height ASCII chart (rows = value
+/// buckets, columns = samples, downsampled to at most `width` columns).
+pub fn ascii_series(values: &[f64], width: usize, height: usize) -> String {
+    assert!(width > 0 && height > 0, "plot dimensions must be positive");
+    if values.is_empty() {
+        return String::from("(empty series)\n");
+    }
+    // Downsample by averaging to at most `width` columns.
+    let chunk = values.len().div_ceil(width);
+    let cols: Vec<f64> = values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    let lo = cols.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = cols.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let mut rows = vec![vec![' '; cols.len()]; height];
+    for (x, &v) in cols.iter().enumerate() {
+        let level = (((v - lo) / span) * (height - 1) as f64).round() as usize;
+        for (h, row) in rows.iter_mut().enumerate() {
+            if height - 1 - h <= level {
+                row[x] = if height - 1 - h == level { '*' } else { '.' };
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("max {hi:.2}\n"));
+    for row in rows {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!("min {lo:.2}, {} samples\n", values.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let items = vec![("a".to_string(), 10.0), ("bb".to_string(), 5.0)];
+        let s = ascii_bars(&items, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].matches('#').count(), 10);
+        assert_eq!(lines[1].matches('#').count(), 5);
+    }
+
+    #[test]
+    fn bars_handle_all_zero() {
+        let items = vec![("z".to_string(), 0.0)];
+        let s = ascii_bars(&items, 10);
+        assert!(!s.contains('#'));
+    }
+
+    #[test]
+    fn series_has_requested_height() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).sin()).collect();
+        let s = ascii_series(&values, 40, 8);
+        // height rows + max line + min line.
+        assert_eq!(s.lines().count(), 10);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn series_handles_constant_values() {
+        let s = ascii_series(&[2.0; 10], 5, 3);
+        assert!(s.contains("max 2.00"));
+        assert!(s.contains("min 2.00"));
+    }
+
+    #[test]
+    fn series_handles_empty() {
+        assert_eq!(ascii_series(&[], 5, 3), "(empty series)\n");
+    }
+}

@@ -1,0 +1,277 @@
+//! Grouped consolidation for heterogeneous switch probabilities —
+//! the structural alternative to rounding (paper §IV-E).
+//!
+//! Rounding collapses a heterogeneous fleet to one `(p_on, p_off)` pair:
+//! simple, but either biased (mean) or wasteful (conservative). The
+//! alternative is to *partition* the fleet into groups of similar
+//! burstiness, give each group its own mapping table, and consolidate
+//! each group onto its own PMs. Within a group the residual heterogeneity
+//! is absorbed by conservative rounding, so the `ρ` guarantee survives;
+//! across groups no rounding slack is paid at all.
+//!
+//! The trade-off is packing fragmentation: each group rounds up to whole
+//! PMs. [`grouped_consolidation`] exposes the group count so callers can
+//! sweep it; `tests` show the crossover against single-group rounding.
+
+use crate::pack::{first_fit, PackError};
+use crate::placement::Placement;
+use crate::rounding::{round_with_policy, RoundingPolicy};
+use crate::strategy::QueueStrategy;
+use bursty_workload::{PmSpec, VmSpec};
+
+/// The result of a grouped consolidation.
+#[derive(Debug, Clone)]
+pub struct GroupedPlacement {
+    /// Per-VM host PM (aligned with the input VM slice).
+    pub assignment: Vec<Option<usize>>,
+    /// For each group: the member VM indices and the rounded
+    /// `(p_on, p_off)` its mapping table used.
+    pub groups: Vec<GroupInfo>,
+    /// Number of PMs available.
+    pub n_pms: usize,
+}
+
+/// One group's composition and parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupInfo {
+    /// Indices (into the VM slice) of the group's members.
+    pub members: Vec<usize>,
+    /// The conservative rounding used for the group's mapping table.
+    pub rounded: (f64, f64),
+}
+
+impl GroupedPlacement {
+    /// PMs used across all groups.
+    pub fn pms_used(&self) -> usize {
+        let mut used = vec![false; self.n_pms];
+        for a in self.assignment.iter().flatten() {
+            used[*a] = true;
+        }
+        used.iter().filter(|&&u| u).count()
+    }
+
+    /// As a plain [`Placement`] (group structure erased).
+    pub fn to_placement(&self) -> Placement {
+        Placement { assignment: self.assignment.clone(), n_pms: self.n_pms }
+    }
+}
+
+/// Consolidates a heterogeneous fleet by partitioning it into `groups`
+/// bands of the stationary ON-fraction `p_on/(p_on+p_off)` (the scalar
+/// that drives reservation size), then running QueuingFFD per group with
+/// that group's conservatively-rounded probabilities. Groups pack onto
+/// disjoint PM ranges carved from `pms` in order.
+///
+/// # Examples
+/// ```
+/// use bursty_placement::grouping::grouped_consolidation;
+/// use bursty_workload::{PmSpec, VmSpec};
+///
+/// // Half calm (2% ON), half hot (25% ON).
+/// let vms: Vec<VmSpec> = (0..40)
+///     .map(|i| {
+///         let (p_on, p_off) = if i % 2 == 0 { (0.002, 0.1) } else { (0.03, 0.09) };
+///         VmSpec::new(i, p_on, p_off, 10.0, 10.0)
+///     })
+///     .collect();
+/// let pms: Vec<PmSpec> = (0..120).map(|j| PmSpec::new(j, 100.0)).collect();
+/// let one = grouped_consolidation(&vms, &pms, 16, 0.01, 1).unwrap();
+/// let two = grouped_consolidation(&vms, &pms, 16, 0.01, 2).unwrap();
+/// assert!(two.pms_used() <= one.pms_used()); // banding recovers slack
+/// ```
+///
+/// # Errors
+/// [`PackError`] if any group's share of PMs cannot hold it — the caller
+/// should provide a generous pool (groups never share PMs).
+///
+/// # Panics
+/// Panics if `groups == 0` or the fleet is empty.
+pub fn grouped_consolidation(
+    vms: &[VmSpec],
+    pms: &[PmSpec],
+    d: usize,
+    rho: f64,
+    groups: usize,
+) -> Result<GroupedPlacement, PackError> {
+    assert!(groups >= 1, "need at least one group");
+    assert!(!vms.is_empty(), "fleet must be non-empty");
+
+    // Band by stationary ON fraction.
+    let on_frac = |v: &VmSpec| v.p_on / (v.p_on + v.p_off);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in vms {
+        lo = lo.min(on_frac(v));
+        hi = hi.max(on_frac(v));
+    }
+    let width = if hi > lo { (hi - lo) / groups as f64 } else { 1.0 };
+    let band = |v: &VmSpec| (((on_frac(v) - lo) / width) as usize).min(groups - 1);
+
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); groups];
+    for (i, v) in vms.iter().enumerate() {
+        members[band(v)].push(i);
+    }
+
+    let mut assignment = vec![None; vms.len()];
+    let mut group_infos = Vec::new();
+    let mut next_pm = 0usize;
+    for group in members.into_iter().filter(|g| !g.is_empty()) {
+        let group_vms: Vec<VmSpec> = group.iter().map(|&i| vms[i]).collect();
+        let (p_on, p_off) =
+            round_with_policy(&group_vms, RoundingPolicy::Conservative)
+                .expect("non-empty group");
+        let strategy = QueueStrategy::build(d, p_on, p_off, rho);
+        // The group gets the remaining PM range.
+        let pool = &pms[next_pm..];
+        let sub = first_fit(&group_vms, pool, &strategy)?;
+        let mut highest = 0usize;
+        for (local, &vm_idx) in group.iter().enumerate() {
+            let j = sub.assignment[local].expect("complete");
+            assignment[vm_idx] = Some(next_pm + j);
+            highest = highest.max(j);
+        }
+        group_infos.push(GroupInfo { members: group, rounded: (p_on, p_off) });
+        next_pm += highest + 1;
+    }
+    Ok(GroupedPlacement { assignment, groups: group_infos, n_pms: pms.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn heterogeneous_fleet(n: usize, seed: u64) -> Vec<VmSpec> {
+        // Two burstiness populations: calm (2% ON) and hot (25% ON).
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|id| {
+                if id % 2 == 0 {
+                    VmSpec::new(id, 0.002, 0.1, rng.gen_range(8.0..12.0), rng.gen_range(8.0..12.0))
+                } else {
+                    VmSpec::new(id, 0.03, 0.09, rng.gen_range(8.0..12.0), rng.gen_range(8.0..12.0))
+                }
+            })
+            .collect()
+    }
+
+    fn farm(m: usize) -> Vec<PmSpec> {
+        (0..m).map(|j| PmSpec::new(j, 100.0)).collect()
+    }
+
+    #[test]
+    fn single_group_equals_conservative_rounding() {
+        let vms = heterogeneous_fleet(40, 1);
+        let pms = farm(80);
+        let grouped = grouped_consolidation(&vms, &pms, 16, 0.01, 1).unwrap();
+        let (p_on, p_off) =
+            round_with_policy(&vms, RoundingPolicy::Conservative).unwrap();
+        let strategy = QueueStrategy::build(16, p_on, p_off, 0.01);
+        let flat = first_fit(&vms, &pms, &strategy).unwrap();
+        assert_eq!(grouped.pms_used(), flat.pms_used());
+        assert_eq!(grouped.groups.len(), 1);
+        assert_eq!(grouped.groups[0].rounded, (p_on, p_off));
+    }
+
+    #[test]
+    fn two_groups_beat_one_on_bimodal_fleet() {
+        // Conservative rounding of the whole fleet treats every calm VM
+        // as hot; splitting recovers the difference.
+        let vms = heterogeneous_fleet(60, 2);
+        let pms = farm(200);
+        let one = grouped_consolidation(&vms, &pms, 16, 0.01, 1).unwrap();
+        let two = grouped_consolidation(&vms, &pms, 16, 0.01, 2).unwrap();
+        assert!(
+            two.pms_used() < one.pms_used(),
+            "grouping must help: {} vs {}",
+            two.pms_used(),
+            one.pms_used()
+        );
+    }
+
+    #[test]
+    fn groups_never_share_pms() {
+        let vms = heterogeneous_fleet(50, 3);
+        let pms = farm(200);
+        let grouped = grouped_consolidation(&vms, &pms, 16, 0.01, 3).unwrap();
+        // Map each used PM to the set of groups placing on it.
+        let mut pm_group: std::collections::HashMap<usize, usize> = Default::default();
+        for (gi, info) in grouped.groups.iter().enumerate() {
+            for &vm_idx in &info.members {
+                let pm = grouped.assignment[vm_idx].unwrap();
+                let prev = pm_group.insert(pm, gi);
+                assert!(
+                    prev.is_none() || prev == Some(gi),
+                    "PM {pm} shared between groups {prev:?} and {gi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_group_honors_its_own_guarantee() {
+        // Per-group feasibility under that group's strategy.
+        use crate::load::PmLoad;
+        use crate::strategy::Strategy;
+        let vms = heterogeneous_fleet(60, 4);
+        let pms = farm(200);
+        let grouped = grouped_consolidation(&vms, &pms, 16, 0.01, 2).unwrap();
+        for info in &grouped.groups {
+            let strategy = QueueStrategy::build(16, info.rounded.0, info.rounded.1, 0.01);
+            // Rebuild per-PM loads of this group's members.
+            let mut by_pm: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+            for &vm_idx in &info.members {
+                by_pm
+                    .entry(grouped.assignment[vm_idx].unwrap())
+                    .or_default()
+                    .push(vm_idx);
+            }
+            for (&pm, hosted) in &by_pm {
+                let load = PmLoad::rebuild(hosted.iter().map(|&i| &vms[i]));
+                assert!(
+                    strategy.feasible(&load, pms[pm].capacity),
+                    "group PM {pm} violates Eq. 17"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conservative_rounding_covers_every_member_of_each_group() {
+        let vms = heterogeneous_fleet(30, 5);
+        let pms = farm(100);
+        let grouped = grouped_consolidation(&vms, &pms, 16, 0.01, 2).unwrap();
+        for info in &grouped.groups {
+            for &vm_idx in &info.members {
+                assert!(vms[vm_idx].p_on <= info.rounded.0 + 1e-12);
+                assert!(vms[vm_idx].p_off >= info.rounded.1 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn homogeneous_fleet_gains_nothing_from_groups() {
+        let vms: Vec<VmSpec> =
+            (0..30).map(|i| VmSpec::new(i, 0.01, 0.09, 10.0, 10.0)).collect();
+        let pms = farm(60);
+        let one = grouped_consolidation(&vms, &pms, 16, 0.01, 1).unwrap();
+        let four = grouped_consolidation(&vms, &pms, 16, 0.01, 4).unwrap();
+        // All VMs have the same ON fraction, so every grouping collapses
+        // to one populated band.
+        assert_eq!(four.groups.len(), 1);
+        assert_eq!(one.pms_used(), four.pms_used());
+    }
+
+    #[test]
+    fn insufficient_pool_errors() {
+        let vms = heterogeneous_fleet(40, 6);
+        let pms = farm(2);
+        assert!(grouped_consolidation(&vms, &pms, 16, 0.01, 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_fleet_panics() {
+        let _ = grouped_consolidation(&[], &farm(1), 16, 0.01, 1);
+    }
+}

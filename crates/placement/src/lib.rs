@@ -1,0 +1,43 @@
+//! VM consolidation algorithms: the paper's burstiness-aware QueuingFFD
+//! (Algorithms 1–2) and the baselines it is evaluated against.
+//!
+//! The pieces compose as follows:
+//!
+//! * [`mapcal::MappingTable`] — Algorithm 1 (*MapCal*): for every possible
+//!   co-location count `k ≤ d` it stores the minimum number of reserved
+//!   blocks `K` that keeps the PM's capacity-violation ratio under `ρ`.
+//! * [`strategy::Strategy`] — a packing/admission policy: an ordering of
+//!   VMs plus a set-feasibility predicate for a PM. Implementations:
+//!   [`QueueStrategy`] (Eq. 17), and the baselines [`PeakStrategy`] (FFD by
+//!   `R_p`), [`BaseStrategy`] (FFD by `R_b`) and [`ReserveStrategy`]
+//!   (RB-EX: FFD by `R_b` with a δ-fraction reserve).
+//! * [`pack::first_fit`] — the shared First-Fit driver; with a strategy's
+//!   decreasing order it becomes the paper's FFD family.
+//! * [`online::OnlineCluster`] — §IV-E's online arrivals/exits, including
+//!   heterogeneous-probability rounding.
+//! * [`multidim`] — §IV-E's per-dimension reservation with plain First Fit.
+//!
+//! Beyond the paper's main line: [`sbp`] implements the related-work
+//! stochastic-bin-packing baseline, [`rounding`] offers mean vs
+//! guaranteed-safe conservative probability rounding, and [`exact`] is a
+//! branch-and-bound optimum for validating FFD quality on small instances.
+
+pub mod clustering;
+pub mod defrag;
+pub mod exact;
+pub mod grouping;
+pub mod load;
+pub mod mapcal;
+pub mod multidim;
+pub mod online;
+pub mod pack;
+pub mod placement;
+pub mod rounding;
+pub mod sbp;
+pub mod strategy;
+
+pub use load::PmLoad;
+pub use mapcal::MappingTable;
+pub use pack::{best_fit, first_fit, PackError};
+pub use placement::Placement;
+pub use strategy::{BaseStrategy, PeakStrategy, QueueStrategy, ReserveStrategy, Strategy};

@@ -1,0 +1,210 @@
+//! Algorithm 1 (*MapCal*) and its `mapping(k)` table.
+
+use bursty_markov::AggregateChain;
+
+/// The `mapping(k)` table of Algorithm 2, lines 1–6: `mapping[k]` is the
+/// minimum number of blocks a PM hosting `k` VMs must reserve so that its
+/// capacity-violation ratio stays within `ρ` (computed by Algorithm 1 /
+/// [`AggregateChain::blocks_needed`]).
+///
+/// Building the table costs `O(d⁴)` — Algorithm 1 is `O(k³)` and is invoked
+/// for each `k ∈ [1, d]` — after which every lookup is `O(1)`. Tables are
+/// cheap enough to build per consolidation run (milliseconds at the paper's
+/// `d = 16`, see Fig. 7).
+///
+/// # Examples
+/// ```
+/// use bursty_placement::MappingTable;
+///
+/// let mapping = MappingTable::build(16, 0.01, 0.09, 0.01);
+/// assert_eq!(mapping.blocks_for(0), 0);
+/// assert_eq!(mapping.blocks_for(16), 5);
+/// // Reservation grows sublinearly in the co-location count:
+/// assert!(mapping.blocks_for(16) < 2 * mapping.blocks_for(8));
+/// assert_eq!(mapping.blocks_saved(16), 11);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingTable {
+    p_on: f64,
+    p_off: f64,
+    rho: f64,
+    /// `mapping[k]` for `k ∈ [0, d]`; `mapping[0] = 0` by convention
+    /// (Algorithm 2, line 1).
+    blocks: Vec<usize>,
+}
+
+impl MappingTable {
+    /// Builds the table for up to `d` VMs per PM with common switch
+    /// probabilities and CVR bound `rho`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`, probabilities are outside `(0, 1]`, or
+    /// `rho ∉ (0, 1)`.
+    pub fn build(d: usize, p_on: f64, p_off: f64, rho: f64) -> Self {
+        assert!(d >= 1, "d must be at least 1");
+        assert!(rho > 0.0 && rho < 1.0, "rho must be in (0,1), got {rho}");
+        let mut blocks = Vec::with_capacity(d + 1);
+        blocks.push(0);
+        for k in 1..=d {
+            let chain = AggregateChain::new(k, p_on, p_off);
+            let needed = chain
+                .blocks_needed(rho)
+                .expect("aggregate chain of valid parameters is ergodic");
+            blocks.push(needed);
+        }
+        Self { p_on, p_off, rho, blocks }
+    }
+
+    /// Maximum co-location count `d` the table covers.
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.blocks.len() - 1
+    }
+
+    /// The CVR bound the table was built for.
+    #[inline]
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The switch probabilities the table was built for.
+    #[inline]
+    pub fn probabilities(&self) -> (f64, f64) {
+        (self.p_on, self.p_off)
+    }
+
+    /// `mapping(k)`: blocks needed for `k` collocated VMs.
+    ///
+    /// # Panics
+    /// Panics if `k > d`.
+    #[inline]
+    pub fn blocks_for(&self, k: usize) -> usize {
+        assert!(k <= self.d(), "k = {k} exceeds table bound d = {}", self.d());
+        self.blocks[k]
+    }
+
+    /// The whole table `[mapping(0), …, mapping(d)]`.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.blocks
+    }
+
+    /// Blocks *saved* versus peak provisioning at co-location level `k`
+    /// (peak provisioning reserves one block per VM).
+    #[inline]
+    pub fn blocks_saved(&self, k: usize) -> usize {
+        k - self.blocks_for(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P_ON: f64 = 0.01;
+    const P_OFF: f64 = 0.09;
+    const RHO: f64 = 0.01;
+
+    #[test]
+    fn mapping_zero_is_zero() {
+        let t = MappingTable::build(4, P_ON, P_OFF, RHO);
+        assert_eq!(t.blocks_for(0), 0);
+    }
+
+    #[test]
+    fn table_is_monotone_and_bounded_by_k() {
+        let t = MappingTable::build(16, P_ON, P_OFF, RHO);
+        let mut prev = 0;
+        for k in 0..=16 {
+            let b = t.blocks_for(k);
+            assert!(b <= k, "mapping({k}) = {b} > {k}");
+            assert!(b >= prev, "mapping must be nondecreasing");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn paper_parameters_save_blocks_at_d16() {
+        // At 10% stationary ON probability and ρ = 1%, a 16-VM PM needs
+        // far fewer than 16 blocks — the consolidation gain of the paper.
+        let t = MappingTable::build(16, P_ON, P_OFF, RHO);
+        assert!(
+            t.blocks_for(16) <= 7,
+            "expected ≤ 7 blocks for k=16, got {}",
+            t.blocks_for(16)
+        );
+        assert!(t.blocks_saved(16) >= 9);
+    }
+
+    #[test]
+    fn single_vm_still_needs_its_block() {
+        // One VM ON 10% of the time: dropping its block gives CVR 0.1 > ρ.
+        let t = MappingTable::build(2, P_ON, P_OFF, RHO);
+        assert_eq!(t.blocks_for(1), 1);
+    }
+
+    #[test]
+    fn loose_rho_saves_more() {
+        let strict = MappingTable::build(12, P_ON, P_OFF, 0.001);
+        let loose = MappingTable::build(12, P_ON, P_OFF, 0.2);
+        for k in 0..=12 {
+            assert!(loose.blocks_for(k) <= strict.blocks_for(k));
+        }
+    }
+
+    #[test]
+    fn heavy_traffic_reserves_nearly_everything() {
+        let t = MappingTable::build(8, 0.09, 0.01, 0.01);
+        assert!(t.blocks_for(8) >= 7, "got {}", t.blocks_for(8));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let t = MappingTable::build(5, 0.02, 0.08, 0.05);
+        assert_eq!(t.d(), 5);
+        assert_eq!(t.rho(), 0.05);
+        assert_eq!(t.probabilities(), (0.02, 0.08));
+        assert_eq!(t.as_slice().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds table bound")]
+    fn lookup_beyond_d_panics() {
+        let t = MappingTable::build(3, P_ON, P_OFF, RHO);
+        let _ = t.blocks_for(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn rejects_bad_rho() {
+        let _ = MappingTable::build(3, P_ON, P_OFF, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn mapping_is_valid_for_random_parameters(
+            d in 1usize..12,
+            p_on in 0.005f64..0.5,
+            p_off in 0.005f64..0.5,
+            rho in 0.005f64..0.3,
+        ) {
+            let t = MappingTable::build(d, p_on, p_off, rho);
+            for k in 1..=d {
+                let blocks = t.blocks_for(k);
+                prop_assert!(blocks <= k);
+                // The certified CVR bound must actually hold.
+                let cvr = bursty_markov::AggregateChain::new(k, p_on, p_off)
+                    .cvr_with_blocks(blocks)
+                    .unwrap();
+                prop_assert!(cvr <= rho + 1e-9, "k={k} blocks={blocks} cvr={cvr}");
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Multi-dimensional consolidation (paper §IV-E).
+//!
+//! For uncorrelated resource dimensions the paper prescribes applying the
+//! queuing reservation *per dimension* and replacing the two-step
+//! cluster/sort scheme with plain First Fit, requiring the performance
+//! constraint on every dimension. For correlated dimensions, project to
+//! one dimension (see [`bursty_workload::multidim::MultiDimVmSpec::project`])
+//! and use the scalar pipeline.
+
+use crate::load::PmLoad;
+use crate::mapcal::MappingTable;
+use crate::pack::PackError;
+use bursty_workload::multidim::{MultiDimVmSpec, ResourceVec};
+
+/// A PM with a capacity per resource dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiDimPmSpec {
+    /// Caller-assigned id.
+    pub id: usize,
+    /// Capacity per dimension.
+    pub capacity: ResourceVec,
+}
+
+/// Per-PM, per-dimension load state for the multi-dimensional packer.
+#[derive(Debug, Clone)]
+struct DimLoads {
+    /// One scalar load per dimension; `count` is mirrored across them.
+    dims: Vec<PmLoad>,
+}
+
+impl DimLoads {
+    fn empty(dims: usize) -> Self {
+        Self { dims: vec![PmLoad::empty(); dims] }
+    }
+
+    fn count(&self) -> usize {
+        self.dims[0].count
+    }
+
+    fn add(&mut self, vm: &MultiDimVmSpec) {
+        for (d, load) in self.dims.iter_mut().enumerate() {
+            load.add(&vm.dimension(d));
+        }
+    }
+}
+
+/// The multi-dimensional packing result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiDimPlacement {
+    /// Per-VM host PM index (position-aligned with the input slice).
+    pub assignment: Vec<usize>,
+    /// Number of PMs available.
+    pub n_pms: usize,
+}
+
+impl MultiDimPlacement {
+    /// Number of PMs hosting at least one VM.
+    pub fn pms_used(&self) -> usize {
+        let mut used = vec![false; self.n_pms];
+        for &j in &self.assignment {
+            used[j] = true;
+        }
+        used.iter().filter(|&&u| u).count()
+    }
+}
+
+/// First-Fit packing with per-dimension queuing reservation: VM `v` fits on
+/// a PM iff for *every* dimension `d`
+/// `max R_e[d] · mapping(k+1) + Σ R_b[d] ≤ C[d]`, and `k + 1 ≤ d_max`.
+///
+/// All VMs must share the switch probabilities the `mapping` table was
+/// built for (round heterogeneous values first, as in the scalar case).
+///
+/// # Errors
+/// [`PackError`] at the first unplaceable VM.
+///
+/// # Panics
+/// Panics on dimension mismatches between VMs and PMs.
+pub fn first_fit_multidim(
+    vms: &[MultiDimVmSpec],
+    pms: &[MultiDimPmSpec],
+    mapping: &MappingTable,
+) -> Result<MultiDimPlacement, PackError> {
+    let dims = match vms.first() {
+        Some(v) => v.dims(),
+        None => {
+            return Ok(MultiDimPlacement { assignment: Vec::new(), n_pms: pms.len() })
+        }
+    };
+    for v in vms {
+        assert_eq!(v.dims(), dims, "all VMs must share dimensionality");
+    }
+    for p in pms {
+        assert_eq!(p.capacity.dims(), dims, "PM dimensionality mismatch");
+    }
+
+    let mut loads: Vec<DimLoads> = pms.iter().map(|_| DimLoads::empty(dims)).collect();
+    let mut assignment = Vec::with_capacity(vms.len());
+    for vm in vms {
+        let slot = (0..pms.len()).find(|&j| {
+            let load = &loads[j];
+            if load.count() + 1 > mapping.d() {
+                return false;
+            }
+            let blocks = mapping.blocks_for(load.count() + 1) as f64;
+            (0..dims).all(|d| {
+                let dl = load.dims[d].with(&vm.dimension(d));
+                dl.max_re * blocks + dl.sum_rb <= pms[j].capacity.get(d)
+            })
+        });
+        match slot {
+            Some(j) => {
+                loads[j].add(vm);
+                assignment.push(j);
+            }
+            None => return Err(PackError { vm_id: vm.id }),
+        }
+    }
+    Ok(MultiDimPlacement { assignment, n_pms: pms.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rv(xs: &[f64]) -> ResourceVec {
+        ResourceVec::new(xs.to_vec())
+    }
+
+    fn vm(id: usize, r_b: &[f64], r_e: &[f64]) -> MultiDimVmSpec {
+        MultiDimVmSpec::new(id, 0.01, 0.09, rv(r_b), rv(r_e))
+    }
+
+    fn pm(id: usize, caps: &[f64]) -> MultiDimPmSpec {
+        MultiDimPmSpec { id, capacity: rv(caps) }
+    }
+
+    fn mapping() -> MappingTable {
+        MappingTable::build(16, 0.01, 0.09, 0.01)
+    }
+
+    #[test]
+    fn packs_when_both_dimensions_fit() {
+        let vms = vec![vm(0, &[10.0, 5.0], &[5.0, 2.0]), vm(1, &[10.0, 5.0], &[5.0, 2.0])];
+        let pms = vec![pm(0, &[100.0, 50.0])];
+        let p = first_fit_multidim(&vms, &pms, &mapping()).unwrap();
+        assert_eq!(p.assignment, vec![0, 0]);
+        assert_eq!(p.pms_used(), 1);
+    }
+
+    #[test]
+    fn tight_dimension_forces_spill() {
+        // Dimension 1 is the bottleneck: each VM needs ~7 of 10 units.
+        let vms = vec![vm(0, &[1.0, 6.0], &[1.0, 1.0]), vm(1, &[1.0, 6.0], &[1.0, 1.0])];
+        let pms = vec![pm(0, &[100.0, 10.0]), pm(1, &[100.0, 10.0])];
+        let p = first_fit_multidim(&vms, &pms, &mapping()).unwrap();
+        assert_eq!(p.pms_used(), 2, "dimension-1 contention must split them");
+    }
+
+    #[test]
+    fn reservation_is_per_dimension() {
+        // One block is shared per dimension independently: the spike-heavy
+        // dimension reserves big blocks, the flat one almost none.
+        let vms: Vec<MultiDimVmSpec> =
+            (0..4).map(|i| vm(i, &[5.0, 5.0], &[20.0, 0.0])).collect();
+        let m = mapping();
+        // k=4 needs mapping(4) blocks of 20 in dim 0: 20·m(4)+20 ≤ C0.
+        let c0 = 20.0 * m.blocks_for(4) as f64 + 20.0;
+        let pms = vec![pm(0, &[c0, 20.0])];
+        let p = first_fit_multidim(&vms, &pms, &m).unwrap();
+        assert_eq!(p.pms_used(), 1);
+        // Shrinking dim 0 by any margin must fail.
+        let pms_tight = vec![pm(0, &[c0 - 0.5, 20.0])];
+        assert!(first_fit_multidim(&vms, &pms_tight, &m).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_ok() {
+        let p = first_fit_multidim(&[], &[pm(0, &[1.0])], &mapping()).unwrap();
+        assert_eq!(p.pms_used(), 0);
+    }
+
+    #[test]
+    fn d_cap_applies() {
+        let m = MappingTable::build(2, 0.01, 0.09, 0.01);
+        let vms: Vec<MultiDimVmSpec> = (0..3).map(|i| vm(i, &[0.1], &[0.1])).collect();
+        let pms = vec![pm(0, &[1000.0]), pm(1, &[1000.0])];
+        let p = first_fit_multidim(&vms, &pms, &m).unwrap();
+        assert_eq!(p.pms_used(), 2, "at most d = 2 VMs per PM");
+    }
+
+    #[test]
+    fn error_names_vm() {
+        let vms = vec![vm(9, &[50.0], &[1.0])];
+        let pms = vec![pm(0, &[10.0])];
+        assert_eq!(first_fit_multidim(&vms, &pms, &mapping()).unwrap_err().vm_id, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn mixed_dimensionality_panics() {
+        let vms = vec![vm(0, &[1.0], &[1.0]), vm(1, &[1.0, 1.0], &[1.0, 1.0])];
+        let pms = vec![pm(0, &[10.0])];
+        let _ = first_fit_multidim(&vms, &pms, &mapping());
+    }
+}

@@ -1,0 +1,371 @@
+//! Online consolidation (paper §IV-E): single arrivals, exits, batch
+//! arrivals, and rounding of heterogeneous switch probabilities.
+
+use crate::clustering::{cluster_order, default_buckets};
+use crate::load::PmLoad;
+use crate::pack::{first_fit_in_order, PackError};
+use crate::strategy::{QueueStrategy, Strategy};
+use bursty_workload::{PmSpec, VmSpec};
+use std::collections::HashMap;
+
+/// Rounds heterogeneous per-VM switch probabilities to the uniform values
+/// the queuing model needs — the paper's prescription when `p_on`/`p_off`
+/// vary among VMs. We use the arithmetic mean (and the paper notes the
+/// rounding must be refreshed periodically as VMs come and go — see
+/// [`OnlineCluster::recalibrate`]).
+pub fn round_probabilities(vms: &[VmSpec]) -> Option<(f64, f64)> {
+    if vms.is_empty() {
+        return None;
+    }
+    let n = vms.len() as f64;
+    let p_on = vms.iter().map(|v| v.p_on).sum::<f64>() / n;
+    let p_off = vms.iter().map(|v| v.p_off).sum::<f64>() / n;
+    Some((p_on, p_off))
+}
+
+/// A live consolidated cluster supporting the online operations of §IV-E:
+///
+/// * **arrival** — place one new VM on the first PM satisfying Eq. 17
+///   (the queue size updates implicitly because feasibility is evaluated
+///   against the new hosted set);
+/// * **departure** — remove a VM and recompute the PM's load;
+/// * **batch arrival** — cluster/sort the batch exactly as Algorithm 2
+///   does, then First Fit each member;
+/// * **recalibrate** — re-round `p_on`/`p_off` over the current population
+///   and rebuild the mapping table.
+#[derive(Debug)]
+pub struct OnlineCluster {
+    pms: Vec<PmSpec>,
+    strategy: QueueStrategy,
+    rho: f64,
+    d: usize,
+    /// Current VM population, keyed by VM id.
+    vms: HashMap<usize, VmSpec>,
+    /// Host PM index per VM id.
+    hosts: HashMap<usize, usize>,
+    /// Cached per-PM loads, kept consistent with `hosts`.
+    loads: Vec<PmLoad>,
+}
+
+impl OnlineCluster {
+    /// Creates an empty cluster over `pms` with the queue strategy built
+    /// from `(d, p_on, p_off, rho)`.
+    pub fn new(pms: Vec<PmSpec>, d: usize, p_on: f64, p_off: f64, rho: f64) -> Self {
+        let strategy = QueueStrategy::build(d, p_on, p_off, rho);
+        let loads = vec![PmLoad::empty(); pms.len()];
+        Self { pms, strategy, rho, d, vms: HashMap::new(), hosts: HashMap::new(), loads }
+    }
+
+    /// Number of VMs currently hosted.
+    pub fn n_vms(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Number of PMs currently in use.
+    pub fn pms_used(&self) -> usize {
+        self.loads.iter().filter(|l| !l.is_empty()).count()
+    }
+
+    /// The host of a VM, if present.
+    pub fn host_of(&self, vm_id: usize) -> Option<usize> {
+        self.hosts.get(&vm_id).copied()
+    }
+
+    /// The load of PM `j`.
+    pub fn load(&self, j: usize) -> &PmLoad {
+        &self.loads[j]
+    }
+
+    /// The active admission strategy.
+    pub fn strategy(&self) -> &QueueStrategy {
+        &self.strategy
+    }
+
+    /// Places a single newly-arrived VM on the first feasible PM (§IV-E:
+    /// "when a new VM arrives, we place it on the first PM that satisfies
+    /// the constraint in Equation (17)").
+    ///
+    /// # Errors
+    /// [`PackError`] if no PM admits the VM.
+    ///
+    /// # Panics
+    /// Panics if the VM id is already present.
+    pub fn arrive(&mut self, vm: VmSpec) -> Result<usize, PackError> {
+        assert!(
+            !self.vms.contains_key(&vm.id),
+            "VM id {} already in the cluster",
+            vm.id
+        );
+        let slot = self
+            .pms
+            .iter()
+            .enumerate()
+            .find(|(j, pm)| self.strategy.admits(&self.loads[*j], &vm, pm.capacity))
+            .map(|(j, _)| j);
+        match slot {
+            Some(j) => {
+                self.loads[j].add(&vm);
+                self.hosts.insert(vm.id, j);
+                self.vms.insert(vm.id, vm);
+                Ok(j)
+            }
+            None => Err(PackError { vm_id: vm.id }),
+        }
+    }
+
+    /// Removes a VM (§IV-E: "when a VM quits, we simply recalculate the
+    /// size of the queue on the PM"). Returns its former host.
+    pub fn depart(&mut self, vm_id: usize) -> Option<usize> {
+        let host = self.hosts.remove(&vm_id)?;
+        self.vms.remove(&vm_id);
+        self.loads[host] = PmLoad::rebuild(
+            self.hosts
+                .iter()
+                .filter(|&(_, &j)| j == host)
+                .map(|(id, _)| &self.vms[id]),
+        );
+        Some(host)
+    }
+
+    /// Places a batch of new VMs using the same cluster-and-sort scheme as
+    /// Algorithm 2 (§IV-E: "when a batch of new VMs arrives, we use the
+    /// same scheme as Algorithm 2 to place them").
+    ///
+    /// # Errors
+    /// [`PackError`] at the first unplaceable VM. VMs placed before the
+    /// failure stay placed (the online system cannot un-arrive them).
+    pub fn arrive_batch(&mut self, batch: Vec<VmSpec>) -> Result<Vec<(usize, usize)>, PackError> {
+        for vm in &batch {
+            assert!(
+                !self.vms.contains_key(&vm.id),
+                "VM id {} already in the cluster",
+                vm.id
+            );
+        }
+        let order = cluster_order(&batch, default_buckets(batch.len()));
+        let mut result = Vec::with_capacity(batch.len());
+        // Place one by one so partial progress is recorded before an error.
+        for &i in &order {
+            let placed = first_fit_in_order(
+                &batch,
+                &[i],
+                &self.pms,
+                &mut self.loads,
+                &self.strategy,
+            )?;
+            let (bi, j) = placed[0];
+            let vm = batch[bi];
+            self.hosts.insert(vm.id, j);
+            self.vms.insert(vm.id, vm);
+            result.push((vm.id, j));
+        }
+        Ok(result)
+    }
+
+    /// Re-rounds `p_on`/`p_off` over the current population and rebuilds
+    /// the mapping table (§IV-E: heterogeneous probabilities "require
+    /// periodical recalculation of the rounded values"). Returns the new
+    /// rounded pair, or `None` when the cluster is empty.
+    pub fn recalibrate(&mut self) -> Option<(f64, f64)> {
+        let population: Vec<VmSpec> = self.vms.values().copied().collect();
+        let (p_on, p_off) = round_probabilities(&population)?;
+        self.strategy = QueueStrategy::build(self.d, p_on, p_off, self.rho);
+        Some((p_on, p_off))
+    }
+
+    /// Verifies internal consistency: every cached load matches a rebuild
+    /// from the authoritative host map. Intended for tests and debug
+    /// assertions.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for j in 0..self.pms.len() {
+            let rebuilt = PmLoad::rebuild(
+                self.hosts
+                    .iter()
+                    .filter(|&(_, &h)| h == j)
+                    .map(|(id, _)| &self.vms[id]),
+            );
+            let cached = &self.loads[j];
+            if rebuilt.count != cached.count
+                || (rebuilt.sum_rb - cached.sum_rb).abs() > 1e-9
+                || (rebuilt.max_re - cached.max_re).abs() > 1e-9
+            {
+                return Err(format!("PM {j}: cached {cached:?} != rebuilt {rebuilt:?}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// PMs whose hosted set violates Eq. 17 under the *current* strategy.
+    ///
+    /// Always empty right after placements made with the current table.
+    /// After [`recalibrate`](Self::recalibrate) tightens the switch
+    /// probabilities, incumbents may become infeasible — the paper's
+    /// periodic recalculation implies exactly this drift; the operator
+    /// then migrates VMs off the listed PMs (or accepts a CVR above ρ on
+    /// them until natural churn fixes it).
+    pub fn infeasible_pms(&self) -> Vec<usize> {
+        self.pms
+            .iter()
+            .enumerate()
+            .filter(|(j, pm)| {
+                let load = &self.loads[*j];
+                !load.is_empty() && !self.strategy.feasible(load, pm.capacity)
+            })
+            .map(|(j, _)| j)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(id: usize, r_b: f64, r_e: f64) -> VmSpec {
+        VmSpec::new(id, 0.01, 0.09, r_b, r_e)
+    }
+
+    fn cluster(caps: &[f64]) -> OnlineCluster {
+        let pms = caps.iter().enumerate().map(|(j, &c)| PmSpec::new(j, c)).collect();
+        OnlineCluster::new(pms, 16, 0.01, 0.09, 0.01)
+    }
+
+    #[test]
+    fn arrivals_fill_first_feasible_pm() {
+        let mut c = cluster(&[100.0, 100.0]);
+        let j0 = c.arrive(vm(0, 10.0, 5.0)).unwrap();
+        let j1 = c.arrive(vm(1, 10.0, 5.0)).unwrap();
+        assert_eq!(j0, 0);
+        assert_eq!(j1, 0);
+        assert_eq!(c.pms_used(), 1);
+        c.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn departure_frees_capacity() {
+        let mut c = cluster(&[40.0]);
+        c.arrive(vm(0, 20.0, 5.0)).unwrap();
+        c.arrive(vm(1, 10.0, 5.0)).unwrap();
+        // A third large VM does not fit…
+        assert!(c.arrive(vm(2, 20.0, 5.0)).is_err());
+        // …until one departs.
+        assert_eq!(c.depart(0), Some(0));
+        c.arrive(vm(2, 20.0, 5.0)).unwrap();
+        assert_eq!(c.n_vms(), 2);
+        c.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn depart_unknown_vm_is_none() {
+        let mut c = cluster(&[10.0]);
+        assert_eq!(c.depart(99), None);
+    }
+
+    #[test]
+    fn departure_shrinks_max_re() {
+        let mut c = cluster(&[100.0]);
+        c.arrive(vm(0, 10.0, 20.0)).unwrap();
+        c.arrive(vm(1, 10.0, 2.0)).unwrap();
+        assert_eq!(c.load(0).max_re, 20.0);
+        c.depart(0);
+        assert_eq!(c.load(0).max_re, 2.0);
+        c.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn batch_arrival_places_all_and_orders_by_cluster() {
+        let mut c = cluster(&[100.0, 100.0, 100.0]);
+        let batch: Vec<VmSpec> = (0..12).map(|i| vm(i, 10.0, (i % 4 + 1) as f64 * 4.0)).collect();
+        let placed = c.arrive_batch(batch).unwrap();
+        assert_eq!(placed.len(), 12);
+        assert_eq!(c.n_vms(), 12);
+        c.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn batch_failure_keeps_partial_placements() {
+        let mut c = cluster(&[25.0]);
+        let batch = vec![vm(0, 10.0, 1.0), vm(1, 10.0, 1.0), vm(2, 10.0, 1.0)];
+        let err = c.arrive_batch(batch).unwrap_err();
+        // Two fit (2×10 + 1×1 block ≤ 25), the third does not.
+        assert_eq!(err.vm_id, 2);
+        assert_eq!(c.n_vms(), 2);
+        c.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn rounding_averages_probabilities() {
+        let vms = vec![
+            VmSpec::new(0, 0.01, 0.05, 1.0, 1.0),
+            VmSpec::new(1, 0.03, 0.15, 1.0, 1.0),
+        ];
+        let (p_on, p_off) = round_probabilities(&vms).unwrap();
+        assert!((p_on - 0.02).abs() < 1e-12);
+        assert!((p_off - 0.10).abs() < 1e-12);
+        assert_eq!(round_probabilities(&[]), None);
+    }
+
+    #[test]
+    fn recalibrate_rebuilds_strategy_from_population() {
+        let mut c = cluster(&[1000.0]);
+        c.arrive(VmSpec::new(0, 0.2, 0.2, 10.0, 5.0)).unwrap();
+        c.arrive(VmSpec::new(1, 0.4, 0.4, 10.0, 5.0)).unwrap();
+        let (p_on, p_off) = c.recalibrate().unwrap();
+        assert!((p_on - 0.3).abs() < 1e-12);
+        assert!((p_off - 0.3).abs() < 1e-12);
+        assert_eq!(c.strategy().mapping().probabilities(), (p_on, p_off));
+    }
+
+    #[test]
+    fn recalibrate_empty_cluster_is_none() {
+        let mut c = cluster(&[10.0]);
+        assert_eq!(c.recalibrate(), None);
+    }
+
+    #[test]
+    fn placements_are_feasible_until_recalibration_tightens() {
+        let mut c = cluster(&[40.0]);
+        // Two calm VMs fill the PM exactly under the calm table.
+        c.arrive(VmSpec::new(0, 0.01, 0.09, 14.0, 12.0)).unwrap();
+        c.arrive(VmSpec::new(1, 0.01, 0.09, 14.0, 11.0)).unwrap();
+        assert!(c.infeasible_pms().is_empty());
+        // A much burstier newcomer elsewhere drags the rounded p_on up;
+        // the rebuilt table demands more blocks and PM 0 is now over.
+        c.depart(1);
+        c.arrive(VmSpec::new(2, 0.9, 0.09, 14.0, 12.0)).unwrap();
+        c.recalibrate().unwrap();
+        let infeasible = c.infeasible_pms();
+        assert_eq!(infeasible, vec![0], "tightened table must flag PM 0");
+        // Consistency (load caching) is unaffected by recalibration.
+        c.check_consistency().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the cluster")]
+    fn duplicate_arrival_panics() {
+        let mut c = cluster(&[100.0]);
+        c.arrive(vm(0, 1.0, 1.0)).unwrap();
+        let _ = c.arrive(vm(0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn online_matches_offline_for_batch_from_empty() {
+        // Placing a whole fleet as one batch from an empty cluster must
+        // match Algorithm 2's offline result (same ordering, same Eq. 17).
+        use crate::pack::first_fit;
+        let vms: Vec<VmSpec> = (0..30)
+            .map(|i| vm(i, 2.0 + (i % 9) as f64 * 2.0, 2.0 + (i % 5) as f64 * 4.0))
+            .collect();
+        let caps: Vec<f64> = vec![90.0; 30];
+        let mut online = cluster(&caps);
+        online.arrive_batch(vms.clone()).unwrap();
+
+        let pms: Vec<PmSpec> = caps.iter().enumerate().map(|(j, &c)| PmSpec::new(j, c)).collect();
+        let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01)
+            .with_buckets(default_buckets(vms.len()));
+        let offline = first_fit(&vms, &pms, &strategy).unwrap();
+        assert_eq!(online.pms_used(), offline.pms_used());
+        for (i, v) in vms.iter().enumerate() {
+            assert_eq!(online.host_of(v.id), offline.assignment[i]);
+        }
+    }
+}

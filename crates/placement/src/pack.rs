@@ -1,0 +1,321 @@
+//! The shared First-Fit driver (Algorithm 2, lines 10–12).
+
+use crate::load::PmLoad;
+use crate::placement::Placement;
+use crate::strategy::Strategy;
+use bursty_workload::{PmSpec, VmSpec};
+use std::fmt;
+
+/// Packing failure: some VM fits on no PM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackError {
+    /// Id of the first VM that could not be placed.
+    pub vm_id: usize,
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VM {} fits on no available PM", self.vm_id)
+    }
+}
+
+impl std::error::Error for PackError {}
+
+/// Places `vms` onto `pms` with First Fit in the order chosen by
+/// `strategy` — with a decreasing order this is the paper's FFD family
+/// (QueuingFFD, RP, RB, RB-EX are all instances).
+///
+/// Cost: `O(n log n)` for the ordering plus `O(n · m)` for placement,
+/// matching the paper's complexity analysis of Algorithm 2.
+///
+/// # Examples
+/// ```
+/// use bursty_placement::{first_fit, PeakStrategy, QueueStrategy};
+/// use bursty_workload::{PmSpec, VmSpec};
+///
+/// let vms: Vec<VmSpec> =
+///     (0..20).map(|i| VmSpec::new(i, 0.01, 0.09, 10.0, 10.0)).collect();
+/// let pms: Vec<PmSpec> = (0..20).map(|j| PmSpec::new(j, 100.0)).collect();
+///
+/// let queue = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+/// let ours = first_fit(&vms, &pms, &queue).unwrap();   // 7 VMs per PM
+/// let peak = first_fit(&vms, &pms, &PeakStrategy).unwrap(); // 5 per PM
+/// assert_eq!(ours.pms_used(), 3);
+/// assert_eq!(peak.pms_used(), 4);
+/// ```
+///
+/// # Errors
+/// [`PackError`] naming the first unplaceable VM; already-placed VMs keep
+/// their assignment in the error path's partial state being discarded —
+/// the function returns only complete placements.
+pub fn first_fit(
+    vms: &[VmSpec],
+    pms: &[PmSpec],
+    strategy: &dyn Strategy,
+) -> Result<Placement, PackError> {
+    let mut placement = Placement::empty(vms.len(), pms.len());
+    let mut loads = vec![PmLoad::empty(); pms.len()];
+    for &i in &strategy.order(vms) {
+        let vm = &vms[i];
+        let slot = pms
+            .iter()
+            .enumerate()
+            .find(|(j, pm)| strategy.admits(&loads[*j], vm, pm.capacity))
+            .map(|(j, _)| j);
+        match slot {
+            Some(j) => {
+                loads[j].add(vm);
+                placement.assignment[i] = Some(j);
+            }
+            None => return Err(PackError { vm_id: vm.id }),
+        }
+    }
+    Ok(placement)
+}
+
+/// Best-Fit packing in the strategy's order: each VM goes to the feasible
+/// PM with the *least* remaining slack under the strategy's measure
+/// (`capacity − Σ R_b` — the base-demand headroom, which all four
+/// strategies consume monotonically). With a decreasing order this is
+/// Best-Fit-Decreasing, the classic alternative to FFD with the same
+/// asymptotic guarantee but often one PM fewer in practice.
+///
+/// # Errors
+/// [`PackError`] naming the first unplaceable VM.
+pub fn best_fit(
+    vms: &[VmSpec],
+    pms: &[PmSpec],
+    strategy: &dyn Strategy,
+) -> Result<Placement, PackError> {
+    let mut placement = Placement::empty(vms.len(), pms.len());
+    let mut loads = vec![PmLoad::empty(); pms.len()];
+    for &i in &strategy.order(vms) {
+        let vm = &vms[i];
+        let slot = pms
+            .iter()
+            .enumerate()
+            .filter(|(j, pm)| strategy.admits(&loads[*j], vm, pm.capacity))
+            .min_by(|(a, pa), (b, pb)| {
+                let slack_a = pa.capacity - loads[*a].sum_rb;
+                let slack_b = pb.capacity - loads[*b].sum_rb;
+                slack_a.total_cmp(&slack_b)
+            })
+            .map(|(j, _)| j);
+        match slot {
+            Some(j) => {
+                loads[j].add(vm);
+                placement.assignment[i] = Some(j);
+            }
+            None => return Err(PackError { vm_id: vm.id }),
+        }
+    }
+    Ok(placement)
+}
+
+/// First Fit over a *given* order (no re-sorting) — used by the online
+/// batch-arrival path where newcomers are ordered among themselves but the
+/// incumbent assignment is fixed.
+pub fn first_fit_in_order(
+    vms: &[VmSpec],
+    order: &[usize],
+    pms: &[PmSpec],
+    loads: &mut [PmLoad],
+    strategy: &dyn Strategy,
+) -> Result<Vec<(usize, usize)>, PackError> {
+    assert_eq!(pms.len(), loads.len(), "loads must match PMs");
+    let mut placed = Vec::with_capacity(order.len());
+    for &i in order {
+        let vm = &vms[i];
+        let slot = pms
+            .iter()
+            .enumerate()
+            .find(|(j, pm)| strategy.admits(&loads[*j], vm, pm.capacity))
+            .map(|(j, _)| j);
+        match slot {
+            Some(j) => {
+                loads[j].add(vm);
+                placed.push((i, j));
+            }
+            None => return Err(PackError { vm_id: vm.id }),
+        }
+    }
+    Ok(placed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{BaseStrategy, PeakStrategy, QueueStrategy};
+
+    fn vm(id: usize, r_b: f64, r_e: f64) -> VmSpec {
+        VmSpec::new(id, 0.01, 0.09, r_b, r_e)
+    }
+
+    fn pms(caps: &[f64]) -> Vec<PmSpec> {
+        caps.iter().enumerate().map(|(j, &c)| PmSpec::new(j, c)).collect()
+    }
+
+    #[test]
+    fn ffd_by_peak_packs_exactly() {
+        // Peaks 6, 6, 4, 4 onto capacity 10 → two PMs.
+        let vms = vec![vm(0, 5.0, 1.0), vm(1, 5.0, 1.0), vm(2, 3.0, 1.0), vm(3, 3.0, 1.0)];
+        let p = first_fit(&vms, &pms(&[10.0, 10.0, 10.0]), &PeakStrategy).unwrap();
+        assert!(p.is_complete());
+        assert_eq!(p.pms_used(), 2);
+        assert!(p.validate(&vms, &pms(&[10.0, 10.0, 10.0]), &PeakStrategy).is_ok());
+    }
+
+    #[test]
+    fn decreasing_order_beats_arrival_order_case() {
+        // Classic FFD win: sizes 5,5,3,3,2,2 on capacity 10.
+        let vms = vec![
+            vm(0, 2.0, 0.0),
+            vm(1, 5.0, 0.0),
+            vm(2, 3.0, 0.0),
+            vm(3, 5.0, 0.0),
+            vm(4, 2.0, 0.0),
+            vm(5, 3.0, 0.0),
+        ];
+        let p = first_fit(&vms, &pms(&[10.0, 10.0, 10.0]), &BaseStrategy).unwrap();
+        assert_eq!(p.pms_used(), 2);
+    }
+
+    #[test]
+    fn queue_packs_tighter_than_peak() {
+        let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let vms: Vec<VmSpec> = (0..64).map(|i| vm(i, 10.0, 10.0)).collect();
+        let farm = pms(&vec![100.0; 64]);
+        let queue_used = first_fit(&vms, &farm, &q).unwrap().pms_used();
+        let peak_used = first_fit(&vms, &farm, &PeakStrategy).unwrap().pms_used();
+        let base_used = first_fit(&vms, &farm, &BaseStrategy).unwrap().pms_used();
+        assert!(queue_used < peak_used, "queue {queue_used} vs peak {peak_used}");
+        assert!(queue_used >= base_used, "queue can never beat base packing");
+    }
+
+    #[test]
+    fn error_names_unplaceable_vm() {
+        let vms = vec![vm(42, 50.0, 0.0)];
+        let err = first_fit(&vms, &pms(&[10.0]), &BaseStrategy).unwrap_err();
+        assert_eq!(err.vm_id, 42);
+        assert!(err.to_string().contains("42"));
+    }
+
+    #[test]
+    fn empty_vm_list_is_trivially_placed() {
+        let p = first_fit(&[], &pms(&[10.0]), &BaseStrategy).unwrap();
+        assert!(p.is_complete());
+        assert_eq!(p.pms_used(), 0);
+    }
+
+    #[test]
+    fn no_pms_fails_immediately() {
+        let vms = vec![vm(0, 1.0, 0.0)];
+        assert!(first_fit(&vms, &[], &BaseStrategy).is_err());
+    }
+
+    #[test]
+    fn in_order_variant_continues_from_existing_loads() {
+        let vms = vec![vm(0, 6.0, 0.0), vm(1, 6.0, 0.0)];
+        let farm = pms(&[10.0, 20.0]);
+        let mut loads = vec![PmLoad::empty(); 2];
+        // Pre-load PM 0 with 7 units of base demand: 7 + 6 > 10, so both
+        // newcomers must go to PM 1.
+        loads[0].add(&vm(99, 7.0, 0.0));
+        let placed =
+            first_fit_in_order(&vms, &[0, 1], &farm, &mut loads, &BaseStrategy).unwrap();
+        assert_eq!(placed, vec![(0, 1), (1, 1)]);
+        assert_eq!(loads[1].sum_rb, 12.0);
+    }
+
+    #[test]
+    fn best_fit_fills_tight_bins_first() {
+        // Capacities 10 and 7; one VM of 6. First Fit takes PM 0;
+        // Best Fit takes PM 1 (least slack).
+        let vms = vec![vm(0, 6.0, 0.0)];
+        let farm = pms(&[10.0, 7.0]);
+        let ff = first_fit(&vms, &farm, &BaseStrategy).unwrap();
+        let bf = best_fit(&vms, &farm, &BaseStrategy).unwrap();
+        assert_eq!(ff.assignment[0], Some(0));
+        assert_eq!(bf.assignment[0], Some(1));
+    }
+
+    #[test]
+    fn best_fit_never_worse_on_uniform_capacity_cases() {
+        // On identical capacities BFD and FFD differ only in slot choice;
+        // both must produce valid, complete packings of comparable size.
+        let vms: Vec<VmSpec> = (0..40)
+            .map(|i| vm(i, 2.0 + (i % 9) as f64 * 2.0, 1.0 + (i % 4) as f64 * 3.0))
+            .collect();
+        let farm = pms(&vec![90.0; 40]);
+        let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let ff = first_fit(&vms, &farm, &q).unwrap();
+        let bf = best_fit(&vms, &farm, &q).unwrap();
+        assert!(bf.is_complete());
+        assert!(bf.validate(&vms, &farm, &q).is_ok());
+        // Heuristics may tie or differ by a PM either way; sanity-band it.
+        let (f, b) = (ff.pms_used() as i64, bf.pms_used() as i64);
+        assert!((f - b).abs() <= 2, "FFD {f} vs BFD {b}");
+    }
+
+    #[test]
+    fn best_fit_reports_unplaceable() {
+        let vms = vec![vm(7, 50.0, 0.0)];
+        let err = best_fit(&vms, &pms(&[10.0]), &BaseStrategy).unwrap_err();
+        assert_eq!(err.vm_id, 7);
+    }
+
+    #[test]
+    fn in_order_variant_reports_overflow() {
+        let vms = vec![vm(5, 30.0, 0.0)];
+        let farm = pms(&[10.0]);
+        let mut loads = vec![PmLoad::empty()];
+        let err = first_fit_in_order(&vms, &[0], &farm, &mut loads, &BaseStrategy)
+            .unwrap_err();
+        assert_eq!(err.vm_id, 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::strategy::{BaseStrategy, PeakStrategy, QueueStrategy};
+    use proptest::prelude::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+    use proptest::strategy::Strategy as PropStrategy;
+
+    fn fleet() -> impl PropStrategy<Value = Vec<VmSpec>> {
+        proptest::collection::vec((2.0f64..20.0, 2.0f64..20.0), 1..60).prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (rb, re))| VmSpec::new(i, 0.01, 0.09, rb, re))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn packed_placements_always_validate(vms in fleet()) {
+            let farm: Vec<PmSpec> =
+                (0..vms.len()).map(|j| PmSpec::new(j, 100.0)).collect();
+            let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+            for strategy in [&q as &dyn Strategy, &PeakStrategy, &BaseStrategy] {
+                let p = first_fit(&vms, &farm, strategy).unwrap();
+                prop_assert!(p.is_complete());
+                prop_assert_eq!(p.validate(&vms, &farm, strategy), Ok(()));
+            }
+        }
+
+        #[test]
+        fn pm_ordering_invariant_queue_between_base_and_peak(vms in fleet()) {
+            let farm: Vec<PmSpec> =
+                (0..vms.len()).map(|j| PmSpec::new(j, 100.0)).collect();
+            let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+            let queue = first_fit(&vms, &farm, &q).unwrap().pms_used();
+            let peak = first_fit(&vms, &farm, &PeakStrategy).unwrap().pms_used();
+            let base = first_fit(&vms, &farm, &BaseStrategy).unwrap().pms_used();
+            prop_assert!(base <= peak);
+            prop_assert!(queue <= peak, "queue {queue} must not exceed peak {peak}");
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Packing/admission strategies: QUEUE (the paper's Eq. 17) and the
+//! baselines RP, RB and RB-EX.
+
+use crate::clustering::{cluster_order, default_buckets};
+use crate::load::PmLoad;
+use crate::mapcal::MappingTable;
+use bursty_workload::VmSpec;
+
+/// A consolidation strategy: how to order VMs for First-Fit-Decreasing and
+/// when a *set* of VMs fits on a PM.
+///
+/// Set feasibility (rather than an incremental admit) is the primitive
+/// because every strategy in the paper — including Eq. 17 — depends only on
+/// the hosted set, not on insertion order; this keeps runtime admission
+/// checks (migration targeting) and initial packing trivially consistent.
+pub trait Strategy: Send + Sync {
+    /// Display name as used in the paper's figures (QUEUE, RP, RB, RB-EX).
+    fn name(&self) -> &'static str;
+
+    /// The order (as indices into `vms`) in which First Fit should place
+    /// the VMs.
+    fn order(&self, vms: &[VmSpec]) -> Vec<usize>;
+
+    /// Whether a PM with aggregate load `load` is feasible under capacity
+    /// `capacity`.
+    fn feasible(&self, load: &PmLoad, capacity: f64) -> bool;
+
+    /// Whether `vm` can be added to a PM currently carrying `load`.
+    fn admits(&self, load: &PmLoad, vm: &VmSpec, capacity: f64) -> bool {
+        self.feasible(&load.with(vm), capacity)
+    }
+}
+
+/// The paper's burstiness-aware strategy (Algorithm 2): cluster by spike
+/// size, sort, and admit per Eq. 17 —
+/// `max R_e · mapping(|T_j|+1) + Σ R_b ≤ C_j`, subject to at most `d` VMs
+/// per PM.
+#[derive(Debug, Clone)]
+pub struct QueueStrategy {
+    mapping: MappingTable,
+    buckets: Option<usize>,
+}
+
+impl QueueStrategy {
+    /// Creates the strategy from a prebuilt mapping table. `buckets`
+    /// controls the `R_e` clustering granularity (`None` = `⌈√n⌉`).
+    pub fn new(mapping: MappingTable) -> Self {
+        Self { mapping, buckets: None }
+    }
+
+    /// Overrides the clustering bucket count (ablation hook; `1` disables
+    /// spike-size clustering and yields plain FFD-by-`R_b` ordering).
+    pub fn with_buckets(mut self, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        self.buckets = Some(buckets);
+        self
+    }
+
+    /// Builds the strategy directly from the parameters of Algorithm 2.
+    pub fn build(d: usize, p_on: f64, p_off: f64, rho: f64) -> Self {
+        Self::new(MappingTable::build(d, p_on, p_off, rho))
+    }
+
+    /// The underlying mapping table.
+    pub fn mapping(&self) -> &MappingTable {
+        &self.mapping
+    }
+
+    /// The resources a PM with load `load` must dedicate under this
+    /// strategy: reserved blocks plus base demands (the left side of
+    /// Eq. 17).
+    pub fn required_capacity(&self, load: &PmLoad) -> f64 {
+        if load.count == 0 {
+            return 0.0;
+        }
+        load.max_re * self.mapping.blocks_for(load.count) as f64 + load.sum_rb
+    }
+}
+
+impl Strategy for QueueStrategy {
+    fn name(&self) -> &'static str {
+        "QUEUE"
+    }
+
+    fn order(&self, vms: &[VmSpec]) -> Vec<usize> {
+        let buckets = self.buckets.unwrap_or_else(|| default_buckets(vms.len()));
+        cluster_order(vms, buckets)
+    }
+
+    fn feasible(&self, load: &PmLoad, capacity: f64) -> bool {
+        load.count <= self.mapping.d() && self.required_capacity(load) <= capacity
+    }
+}
+
+/// FFD by peak demand (`R_p`) — the paper's "RP": provisioning for peak
+/// workload. Never violates capacity but wastes the spike headroom of
+/// every OFF VM.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeakStrategy;
+
+impl Strategy for PeakStrategy {
+    fn name(&self) -> &'static str {
+        "RP"
+    }
+
+    fn order(&self, vms: &[VmSpec]) -> Vec<usize> {
+        sorted_desc_by(vms, |v| v.r_p())
+    }
+
+    fn feasible(&self, load: &PmLoad, capacity: f64) -> bool {
+        load.sum_rp <= capacity
+    }
+}
+
+/// FFD by base demand (`R_b`) — the paper's "RB": provisioning for normal
+/// workload. Tightest packing, disastrous CVR under burstiness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaseStrategy;
+
+impl Strategy for BaseStrategy {
+    fn name(&self) -> &'static str {
+        "RB"
+    }
+
+    fn order(&self, vms: &[VmSpec]) -> Vec<usize> {
+        sorted_desc_by(vms, |v| v.r_b)
+    }
+
+    fn feasible(&self, load: &PmLoad, capacity: f64) -> bool {
+        load.sum_rb <= capacity
+    }
+}
+
+/// The paper's RB-EX baseline: FFD by `R_b`, but a fixed `δ` fraction of
+/// every PM's capacity is kept free for burstiness — the natural policy
+/// when nothing is known about the workload except that it bursts.
+#[derive(Debug, Clone, Copy)]
+pub struct ReserveStrategy {
+    delta: f64,
+}
+
+impl ReserveStrategy {
+    /// Creates the strategy with reserve fraction `delta ∈ [0, 1)`
+    /// (the paper evaluates `δ = 0.3`).
+    ///
+    /// # Panics
+    /// Panics for `delta` outside `[0, 1)`.
+    pub fn new(delta: f64) -> Self {
+        assert!((0.0..1.0).contains(&delta), "delta must be in [0,1), got {delta}");
+        Self { delta }
+    }
+
+    /// The reserve fraction.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+impl Default for ReserveStrategy {
+    fn default() -> Self {
+        Self::new(bursty_workload::patterns::defaults::DELTA)
+    }
+}
+
+impl Strategy for ReserveStrategy {
+    fn name(&self) -> &'static str {
+        "RB-EX"
+    }
+
+    fn order(&self, vms: &[VmSpec]) -> Vec<usize> {
+        sorted_desc_by(vms, |v| v.r_b)
+    }
+
+    fn feasible(&self, load: &PmLoad, capacity: f64) -> bool {
+        load.sum_rb <= (1.0 - self.delta) * capacity
+    }
+}
+
+fn sorted_desc_by(vms: &[VmSpec], key: impl Fn(&VmSpec) -> f64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..vms.len()).collect();
+    order.sort_by(|&a, &b| key(&vms[b]).total_cmp(&key(&vms[a])));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(id: usize, r_b: f64, r_e: f64) -> VmSpec {
+        VmSpec::new(id, 0.01, 0.09, r_b, r_e)
+    }
+
+    fn queue() -> QueueStrategy {
+        QueueStrategy::build(16, 0.01, 0.09, 0.01)
+    }
+
+    #[test]
+    fn queue_feasibility_is_eq_17() {
+        let q = queue();
+        let vms = [vm(0, 10.0, 5.0), vm(1, 8.0, 7.0)];
+        let load = PmLoad::rebuild(&vms);
+        let needed = 7.0 * q.mapping().blocks_for(2) as f64 + 18.0;
+        assert!((q.required_capacity(&load) - needed).abs() < 1e-12);
+        assert!(q.feasible(&load, needed));
+        assert!(!q.feasible(&load, needed - 0.01));
+    }
+
+    #[test]
+    fn queue_rejects_beyond_d() {
+        let q = QueueStrategy::build(2, 0.01, 0.09, 0.01);
+        let vms: Vec<VmSpec> = (0..3).map(|i| vm(i, 0.1, 0.1)).collect();
+        let load = PmLoad::rebuild(&vms);
+        assert!(!q.feasible(&load, 1e9), "d cap must bind");
+    }
+
+    #[test]
+    fn queue_empty_pm_is_feasible() {
+        assert!(queue().feasible(&PmLoad::empty(), 0.0));
+    }
+
+    #[test]
+    fn admits_matches_feasible_of_union() {
+        let q = queue();
+        let hosted = [vm(0, 30.0, 10.0)];
+        let load = PmLoad::rebuild(&hosted);
+        let newcomer = vm(1, 25.0, 12.0);
+        let combined = load.with(&newcomer);
+        for cap in [50.0, 80.0, 100.0, 120.0] {
+            assert_eq!(q.admits(&load, &newcomer, cap), q.feasible(&combined, cap));
+        }
+    }
+
+    #[test]
+    fn rp_orders_by_peak_and_packs_by_peak() {
+        let s = PeakStrategy;
+        let vms = [vm(0, 10.0, 1.0), vm(1, 5.0, 9.0), vm(2, 2.0, 2.0)];
+        // Peaks: 11, 14, 4.
+        assert_eq!(s.order(&vms), vec![1, 0, 2]);
+        let load = PmLoad::rebuild(&vms[..2]);
+        assert!(s.feasible(&load, 25.0));
+        assert!(!s.feasible(&load, 24.9));
+    }
+
+    #[test]
+    fn rb_orders_by_base_and_ignores_spikes() {
+        let s = BaseStrategy;
+        let vms = [vm(0, 3.0, 100.0), vm(1, 5.0, 0.5)];
+        assert_eq!(s.order(&vms), vec![1, 0]);
+        let load = PmLoad::rebuild(&vms);
+        assert!(s.feasible(&load, 8.0), "RB must ignore the huge spike");
+    }
+
+    #[test]
+    fn rbex_reserves_fraction() {
+        let s = ReserveStrategy::new(0.3);
+        let load = PmLoad::rebuild(&[vm(0, 70.0, 1.0)]);
+        assert!(s.feasible(&load, 100.0));
+        assert!(!s.feasible(&load, 99.0), "70 > 0.7 · 99");
+    }
+
+    #[test]
+    fn rbex_default_uses_paper_delta() {
+        assert_eq!(ReserveStrategy::default().delta(), 0.3);
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(queue().name(), "QUEUE");
+        assert_eq!(PeakStrategy.name(), "RP");
+        assert_eq!(BaseStrategy.name(), "RB");
+        assert_eq!(ReserveStrategy::default().name(), "RB-EX");
+    }
+
+    #[test]
+    fn queue_with_one_bucket_orders_by_rb() {
+        let q = queue().with_buckets(1);
+        let vms = [vm(0, 2.0, 20.0), vm(1, 8.0, 2.0)];
+        assert_eq!(q.order(&vms), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn rbex_rejects_delta_one() {
+        let _ = ReserveStrategy::new(1.0);
+    }
+
+    #[test]
+    fn queue_reservation_grows_sublinearly() {
+        // Key paper property: required capacity for k identical VMs grows
+        // slower than peak provisioning.
+        let q = queue();
+        let vms: Vec<VmSpec> = (0..10).map(|i| vm(i, 10.0, 10.0)).collect();
+        let load = PmLoad::rebuild(&vms);
+        let queue_need = q.required_capacity(&load);
+        let rp_need = load.sum_rp;
+        assert!(
+            queue_need < 0.75 * rp_need,
+            "queue {queue_need} vs peak {rp_need}"
+        );
+        // …but never below base provisioning.
+        assert!(queue_need >= load.sum_rb);
+    }
+}

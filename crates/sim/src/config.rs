@@ -1,0 +1,103 @@
+//! Simulation configuration.
+
+/// How the migration controller picks which VM to evict from an
+/// overloaded PM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VictimPolicy {
+    /// The ON VM with the largest current demand — sheds the most load
+    /// per migration (the default, used in all paper-figure experiments).
+    #[default]
+    LargestOnDemand,
+    /// The *smallest* ON VM whose departure still clears the current
+    /// overload — minimizes the demand in flight per migration (and, with
+    /// demand a proxy for memory, the pre-copy cost). Falls back to the
+    /// largest ON demand when no single VM suffices.
+    SmallestSufficient,
+    /// The VM with the smallest base demand — cheapest tenant to move
+    /// regardless of its instantaneous state.
+    SmallestBase,
+}
+
+/// Parameters of one simulation run. Defaults mirror the paper's §V-D
+/// setup: `σ = 30 s` update period, an evaluation period of `100 σ`,
+/// `ρ = 0.01`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Number of update periods to simulate.
+    pub steps: usize,
+    /// Wall-clock seconds per update period (`σ`). Only affects
+    /// energy/time reporting, not the dynamics.
+    pub sigma_secs: f64,
+    /// CVR threshold `ρ`: a PM whose running violation ratio exceeds this
+    /// triggers a live migration (when migration is enabled).
+    pub rho: f64,
+    /// RNG seed; identical configs and seeds reproduce bit-identical runs.
+    pub seed: u64,
+    /// Whether the live-migration controller is active (§V-D) or the
+    /// system relies on local resizing alone (§V-C).
+    pub migrations_enabled: bool,
+    /// Update periods during which a migrating VM is accounted on *both*
+    /// PMs (live-migration copy overhead). 0 = instantaneous moves.
+    pub dual_count_steps: usize,
+    /// Which VM an overloaded PM evicts.
+    pub victim_policy: VictimPolicy,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            steps: 100,
+            sigma_secs: 30.0,
+            rho: 0.01,
+            seed: 0,
+            migrations_enabled: true,
+            dual_count_steps: 0,
+            victim_policy: VictimPolicy::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates field ranges.
+    ///
+    /// # Panics
+    /// Panics on `steps == 0`, non-positive `sigma_secs`, or `rho ∉ (0,1)`.
+    pub fn validate(&self) {
+        assert!(self.steps > 0, "steps must be positive");
+        assert!(self.sigma_secs > 0.0, "sigma must be positive");
+        assert!(self.rho > 0.0 && self.rho < 1.0, "rho must be in (0,1)");
+    }
+
+    /// Total simulated wall-clock time in seconds.
+    pub fn horizon_secs(&self) -> f64 {
+        self.steps as f64 * self.sigma_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.steps, 100);
+        assert_eq!(c.sigma_secs, 30.0);
+        assert_eq!(c.rho, 0.01);
+        assert!(c.migrations_enabled);
+        assert_eq!(c.horizon_secs(), 3000.0);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "steps")]
+    fn zero_steps_invalid() {
+        SimConfig { steps: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn bad_rho_invalid() {
+        SimConfig { rho: 1.0, ..Default::default() }.validate();
+    }
+}

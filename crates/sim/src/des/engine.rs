@@ -1,0 +1,471 @@
+//! The discrete-event engine.
+//!
+//! Time is measured in update periods (σ). VM state switches land on
+//! integer boundaries (sojourns are geometric, sampled directly — exact
+//! for the ON-OFF chain); the controller samples the system at
+//! `t = k + 0.5`, so every sample observes the post-switch state of
+//! period `k`, exactly like the time-stepped engine's ordering.
+
+use crate::des::event::Event;
+use crate::des::queue::EventQueue;
+use crate::energy::PowerModel;
+use crate::events::MigrationEvent;
+use crate::policy::{PmRuntime, RuntimePolicy};
+use bursty_metrics::TimeSeries;
+use bursty_placement::{Placement, PmLoad};
+use bursty_workload::{PmSpec, VmSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// DES configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesConfig {
+    /// Number of update periods to simulate.
+    pub steps: usize,
+    /// Seconds per update period (reporting only).
+    pub sigma_secs: f64,
+    /// CVR threshold `ρ` for migration triggering.
+    pub rho: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether live migration is active.
+    pub migrations_enabled: bool,
+    /// Migration copy duration in periods; while copying, the VM's demand
+    /// is charged on *both* PMs. May be fractional.
+    pub migration_duration: f64,
+}
+
+impl Default for DesConfig {
+    fn default() -> Self {
+        Self {
+            steps: 100,
+            sigma_secs: 30.0,
+            rho: 0.01,
+            seed: 0,
+            migrations_enabled: true,
+            migration_duration: 0.0,
+        }
+    }
+}
+
+/// What a DES run produced (mirrors the stepped engine's outcome).
+#[derive(Debug, Clone)]
+pub struct DesOutcome {
+    /// `(pm, CVR)` per ever-active PM.
+    pub cvr_per_pm: Vec<(usize, f64)>,
+    /// Migrations in time order (`step` = the sampling period that
+    /// triggered them).
+    pub migrations: Vec<MigrationEvent>,
+    /// Migrations with no feasible target.
+    pub failed_migrations: usize,
+    /// PMs in use at each sample.
+    pub pms_used_series: TimeSeries,
+    /// PMs in use at the final sample.
+    pub final_pms_used: usize,
+    /// Total violating PM-samples.
+    pub total_violation_steps: usize,
+    /// Integrated energy, joules.
+    pub energy_joules: f64,
+}
+
+impl DesOutcome {
+    /// Mean CVR over ever-active PMs.
+    pub fn mean_cvr(&self) -> f64 {
+        if self.cvr_per_pm.is_empty() {
+            return 0.0;
+        }
+        self.cvr_per_pm.iter().map(|(_, c)| c).sum::<f64>() / self.cvr_per_pm.len() as f64
+    }
+}
+
+/// The discrete-event simulator.
+pub struct DesSimulator<'a> {
+    vms: &'a [VmSpec],
+    pms: &'a [PmSpec],
+    policy: &'a dyn RuntimePolicy,
+    power: PowerModel,
+    config: DesConfig,
+}
+
+impl<'a> DesSimulator<'a> {
+    /// Creates a DES over the given fleet/pool/policy.
+    pub fn new(
+        vms: &'a [VmSpec],
+        pms: &'a [PmSpec],
+        policy: &'a dyn RuntimePolicy,
+        config: DesConfig,
+    ) -> Self {
+        assert!(config.steps > 0, "steps must be positive");
+        assert!(config.rho > 0.0 && config.rho < 1.0, "rho must be in (0,1)");
+        assert!(config.migration_duration >= 0.0, "duration must be nonnegative");
+        Self { vms, pms, policy, power: PowerModel::default(), config }
+    }
+
+    /// Overrides the power model.
+    pub fn with_power_model(mut self, power: PowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Runs from `initial` (every VM starts OFF, as in the stepped engine).
+    ///
+    /// # Panics
+    /// Panics on an incomplete placement or count mismatches.
+    pub fn run(&self, initial: &Placement) -> DesOutcome {
+        assert_eq!(initial.n_vms(), self.vms.len(), "placement/VM count mismatch");
+        assert_eq!(initial.n_pms, self.pms.len(), "placement/PM count mismatch");
+        assert!(initial.is_complete(), "initial placement must place every VM");
+
+        let n = self.vms.len();
+        let m = self.pms.len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xDE5);
+
+        let mut on = vec![false; n];
+        let mut host: Vec<usize> = initial
+            .assignment
+            .iter()
+            .map(|a| a.expect("complete placement"))
+            .collect();
+        let mut hosted: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for (i, &j) in host.iter().enumerate() {
+            hosted[j].push(i);
+        }
+        let mut loads: Vec<PmLoad> = hosted
+            .iter()
+            .map(|vs| PmLoad::rebuild(vs.iter().map(|&i| &self.vms[i])))
+            .collect();
+        // Copy charges: (pm, demand) active during a migration.
+        let mut copies: Vec<(usize, f64)> = Vec::new();
+
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        // Initial switch schedule: geometric OFF-sojourns from t = 0.
+        for (i, vm) in self.vms.iter().enumerate() {
+            let dt = geometric(vm.p_on, &mut rng);
+            queue.schedule(dt, Event::StateSwitch { vm: i });
+        }
+        for k in 0..self.config.steps {
+            queue.schedule(k as f64 + 0.5, Event::Sample);
+        }
+        queue.schedule(self.config.steps as f64 + 0.25, Event::End);
+
+        let mut vio = vec![0usize; m];
+        let mut active = vec![0usize; m];
+        let mut migrations = Vec::new();
+        let mut failed_migrations = 0usize;
+        let mut pms_used_series = TimeSeries::new(0.0, self.config.sigma_secs);
+        let mut total_violation_steps = 0usize;
+        let mut energy = 0.0;
+        let mut sample_index = 0usize;
+
+        while let Some((time, event)) = queue.pop() {
+            match event {
+                Event::StateSwitch { vm } => {
+                    on[vm] = !on[vm];
+                    let p = if on[vm] { self.vms[vm].p_off } else { self.vms[vm].p_on };
+                    queue.schedule_in(geometric(p, &mut rng), Event::StateSwitch { vm });
+                }
+                Event::MigrationComplete { vm: _, from } => {
+                    // Release the first matching copy charge on `from`.
+                    if let Some(pos) = copies.iter().position(|&(pm, _)| pm == from) {
+                        copies.swap_remove(pos);
+                    }
+                }
+                Event::Sample => {
+                    let step = sample_index;
+                    sample_index += 1;
+                    // Observed demand per PM.
+                    let mut observed = vec![0.0f64; m];
+                    for (i, &j) in host.iter().enumerate() {
+                        observed[j] += self.vms[i].demand(on[i]);
+                    }
+                    for &(pm, demand) in &copies {
+                        observed[pm] += demand;
+                    }
+                    // Violations + migration control.
+                    for j in 0..m {
+                        if loads[j].is_empty() {
+                            continue;
+                        }
+                        active[j] += 1;
+                        if observed[j] > self.pms[j].capacity + 1e-9 {
+                            vio[j] += 1;
+                            total_violation_steps += 1;
+                            if self.config.migrations_enabled
+                                && vio[j] as f64 / active[j] as f64 > self.config.rho
+                            {
+                                let migrated = self.try_migrate(
+                                    j,
+                                    step,
+                                    time,
+                                    &mut host,
+                                    &mut hosted,
+                                    &mut loads,
+                                    &mut observed,
+                                    &on,
+                                    &mut copies,
+                                    &mut queue,
+                                    &mut migrations,
+                                );
+                                if !migrated {
+                                    failed_migrations += 1;
+                                }
+                            }
+                        }
+                    }
+                    let used = loads.iter().filter(|l| !l.is_empty()).count();
+                    pms_used_series.push(used as f64);
+                    for j in 0..m {
+                        if !loads[j].is_empty() {
+                            let util = observed[j] / self.pms[j].capacity;
+                            energy += self.power.energy(util, self.config.sigma_secs);
+                        }
+                    }
+                }
+                Event::End => break,
+            }
+        }
+
+        let cvr_per_pm = (0..m)
+            .filter(|&j| active[j] > 0)
+            .map(|j| (j, vio[j] as f64 / active[j] as f64))
+            .collect();
+        let final_pms_used = loads.iter().filter(|l| !l.is_empty()).count();
+        DesOutcome {
+            cvr_per_pm,
+            migrations,
+            failed_migrations,
+            pms_used_series,
+            final_pms_used,
+            total_violation_steps,
+            energy_joules: energy,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_migrate(
+        &self,
+        source: usize,
+        step: usize,
+        time: f64,
+        host: &mut [usize],
+        hosted: &mut [Vec<usize>],
+        loads: &mut [PmLoad],
+        observed: &mut [f64],
+        on: &[bool],
+        copies: &mut Vec<(usize, f64)>,
+        queue: &mut EventQueue<Event>,
+        migrations: &mut Vec<MigrationEvent>,
+    ) -> bool {
+        // Victim: largest-demand ON VM, falling back to largest demand.
+        let victim = hosted[source]
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let key = |i: usize| (on[i] as u8, self.vms[i].demand(on[i]));
+                let (ka, kb) = (key(a), key(b));
+                ka.0.cmp(&kb.0).then(ka.1.total_cmp(&kb.1))
+            });
+        let Some(victim) = victim else { return false };
+        let vm = &self.vms[victim];
+        let vm_demand = vm.demand(on[victim]);
+        let admit = |j: usize, loads: &[PmLoad], observed: &[f64]| {
+            let pm = PmRuntime { load: loads[j], observed: observed[j] };
+            self.policy.admits(vm, vm_demand, &pm, self.pms[j].capacity)
+        };
+        let target = (0..self.pms.len())
+            .find(|&j| j != source && !loads[j].is_empty() && admit(j, loads, observed))
+            .or_else(|| {
+                (0..self.pms.len())
+                    .find(|&j| j != source && loads[j].is_empty() && admit(j, loads, observed))
+            });
+        let Some(target) = target else { return false };
+
+        hosted[source].retain(|&i| i != victim);
+        hosted[target].push(victim);
+        host[victim] = target;
+        loads[source] = PmLoad::rebuild(hosted[source].iter().map(|&i| &self.vms[i]));
+        loads[target].add(vm);
+        observed[source] -= vm_demand;
+        observed[target] += vm_demand;
+        if self.config.migration_duration > 0.0 {
+            // Copy overhead stays on the source until the transfer ends.
+            copies.push((source, vm_demand));
+            observed[source] += vm_demand;
+            queue.schedule(
+                time + self.config.migration_duration,
+                Event::MigrationComplete { vm: victim, from: source },
+            );
+        }
+        migrations.push(MigrationEvent { step, vm_id: vm.id, from_pm: source, to_pm: target });
+        true
+    }
+}
+
+/// Samples a geometric sojourn on `{1, 2, …}` with success probability
+/// `p` — the exact distribution of the ON-OFF chain's state-holding time.
+fn geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> f64 {
+    debug_assert!(p > 0.0 && p <= 1.0);
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    (u.ln() / (1.0 - p).ln()).ceil().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::Simulator;
+    use crate::policy::{ObservedPolicy, QueuePolicy};
+    use bursty_placement::{first_fit, BaseStrategy, QueueStrategy};
+
+    fn vm(id: usize, r_b: f64, r_e: f64) -> VmSpec {
+        VmSpec::new(id, 0.01, 0.09, r_b, r_e)
+    }
+
+    fn farm(count: usize, cap: f64) -> Vec<PmSpec> {
+        (0..count).map(|j| PmSpec::new(j, cap)).collect()
+    }
+
+    #[test]
+    fn geometric_sampler_has_right_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = 0.09;
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| geometric(p, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / p).abs() < 0.1, "mean {mean}");
+        assert_eq!(geometric(1.0, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn des_and_stepped_agree_on_cvr_without_migration() {
+        // Same placement, long horizon, no migration: the two engines use
+        // different RNG mechanics, so agreement is statistical.
+        let vms: Vec<VmSpec> = (0..48).map(|i| vm(i, 10.0, 10.0)).collect();
+        let pms = farm(48, 100.0);
+        let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let placement = first_fit(&vms, &pms, &strategy).unwrap();
+        let policy = QueuePolicy::new(strategy);
+
+        let stepped = Simulator::new(
+            &vms,
+            &pms,
+            &policy,
+            SimConfig { steps: 40_000, seed: 1, migrations_enabled: false, ..Default::default() },
+        )
+        .run(&placement);
+        let des = DesSimulator::new(
+            &vms,
+            &pms,
+            &policy,
+            DesConfig { steps: 40_000, seed: 1, migrations_enabled: false, ..Default::default() },
+        )
+        .run(&placement);
+
+        assert!(
+            (stepped.mean_cvr() - des.mean_cvr()).abs() < 0.003,
+            "stepped {} vs DES {}",
+            stepped.mean_cvr(),
+            des.mean_cvr()
+        );
+    }
+
+    #[test]
+    fn des_reproduces_rb_vs_queue_migration_gap() {
+        let vms: Vec<VmSpec> = (0..64).map(|i| vm(i, 10.0, 10.0)).collect();
+        let pms = farm(200, 100.0);
+
+        let qs = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let q_placement = first_fit(&vms, &pms, &qs).unwrap();
+        let q_policy = QueuePolicy::new(qs);
+        let q = DesSimulator::new(&vms, &pms, &q_policy, DesConfig { seed: 2, ..Default::default() })
+            .run(&q_placement);
+
+        let b_placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
+        let b_policy = ObservedPolicy::rb();
+        let b = DesSimulator::new(&vms, &pms, &b_policy, DesConfig { seed: 2, ..Default::default() })
+            .run(&b_placement);
+
+        assert!(
+            b.migrations.len() > 5 * q.migrations.len().max(1),
+            "RB {} vs QUEUE {}",
+            b.migrations.len(),
+            q.migrations.len()
+        );
+        assert!(b.final_pms_used > b_placement.pms_used());
+    }
+
+    #[test]
+    fn migration_duration_charges_source() {
+        // With a long copy duration, violations cannot decrease.
+        let vms: Vec<VmSpec> = (0..40).map(|i| vm(i, 10.0, 10.0)).collect();
+        let pms = farm(120, 100.0);
+        let placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
+        let policy = ObservedPolicy::rb();
+        let fast = DesSimulator::new(
+            &vms,
+            &pms,
+            &policy,
+            DesConfig { seed: 3, migration_duration: 0.0, ..Default::default() },
+        )
+        .run(&placement);
+        let slow = DesSimulator::new(
+            &vms,
+            &pms,
+            &policy,
+            DesConfig { seed: 3, migration_duration: 3.0, ..Default::default() },
+        )
+        .run(&placement);
+        assert!(
+            slow.total_violation_steps >= fast.total_violation_steps,
+            "copy overhead cannot reduce violations: {} vs {}",
+            slow.total_violation_steps,
+            fast.total_violation_steps
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let vms: Vec<VmSpec> = (0..32).map(|i| vm(i, 10.0, 8.0)).collect();
+        let pms = farm(100, 90.0);
+        let placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
+        let policy = ObservedPolicy::rb();
+        let run = |seed| {
+            DesSimulator::new(&vms, &pms, &policy, DesConfig { seed, ..Default::default() })
+                .run(&placement)
+        };
+        let (a, b) = (run(7), run(7));
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.total_violation_steps, b.total_violation_steps);
+    }
+
+    #[test]
+    fn series_and_samples_line_up() {
+        let vms = vec![vm(0, 5.0, 5.0)];
+        let pms = farm(2, 50.0);
+        let placement = Placement { assignment: vec![Some(0)], n_pms: 2 };
+        let policy = ObservedPolicy::rb();
+        let out = DesSimulator::new(
+            &vms,
+            &pms,
+            &policy,
+            DesConfig { steps: 25, seed: 1, ..Default::default() },
+        )
+        .run(&placement);
+        assert_eq!(out.pms_used_series.len(), 25);
+        assert_eq!(out.final_pms_used, 1);
+        assert_eq!(out.cvr_per_pm.len(), 1);
+        assert_eq!(out.cvr_per_pm[0].1, 0.0, "one VM can never overflow 50");
+    }
+
+    #[test]
+    #[should_panic(expected = "place every VM")]
+    fn incomplete_placement_rejected() {
+        let vms = vec![vm(0, 5.0, 5.0)];
+        let pms = farm(1, 50.0);
+        let placement = Placement::empty(1, 1);
+        let policy = ObservedPolicy::rb();
+        let _ = DesSimulator::new(&vms, &pms, &policy, DesConfig::default()).run(&placement);
+    }
+}

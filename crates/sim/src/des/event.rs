@@ -1,0 +1,42 @@
+//! DES event types.
+
+/// An event in the discrete-event engine. Times are in update periods
+/// (σ units) but need not be integers — migration completions land at
+/// fractional times when the copy duration is fractional.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// VM `vm` toggles its ON/OFF state.
+    StateSwitch {
+        /// Index of the VM (position in the spec slice).
+        vm: usize,
+    },
+    /// Periodic metrics sample (violation check, PMs-used, energy).
+    Sample,
+    /// A live migration of `vm` from `from` finishes; the copy load on
+    /// the source ends.
+    MigrationComplete {
+        /// Index of the migrating VM.
+        vm: usize,
+        /// Source PM the copy charge is released from.
+        from: usize,
+    },
+    /// End of the simulation horizon.
+    End,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_comparable_payloads() {
+        let a = Event::StateSwitch { vm: 3 };
+        let b = Event::StateSwitch { vm: 3 };
+        assert_eq!(a, b);
+        assert_ne!(a, Event::Sample);
+        assert_ne!(
+            Event::MigrationComplete { vm: 1, from: 0 },
+            Event::MigrationComplete { vm: 1, from: 2 }
+        );
+    }
+}

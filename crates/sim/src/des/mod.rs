@@ -1,0 +1,20 @@
+//! A discrete-event simulation (DES) engine — an independent substrate
+//! implementation used to cross-validate the time-stepped engine and to
+//! model finer-grained effects (explicit migration durations).
+//!
+//! Where the time-stepped engine advances every VM each period, the DES
+//! schedules *events*: per-VM state switches at geometrically-sampled
+//! times (the ON-OFF chain's sojourns are geometric, so sampling the
+//! sojourn directly is exact), periodic metric samples at every σ
+//! boundary, and migration completions after a configurable copy
+//! duration. The two engines implement the same semantics by different
+//! mechanisms; `tests` (and `tests/paper_shapes.rs` upstream) check they
+//! agree statistically.
+
+pub mod engine;
+pub mod event;
+pub mod queue;
+
+pub use engine::{DesConfig, DesOutcome, DesSimulator};
+pub use event::Event;
+pub use queue::EventQueue;

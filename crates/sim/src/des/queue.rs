@@ -1,0 +1,164 @@
+//! The event queue: a time-ordered priority queue with FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the queue: time plus a monotone sequence number so that
+/// events scheduled earlier fire first among equal times (deterministic
+/// replay requires a total order).
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics when scheduling in the past or at a non-finite time.
+    pub fn schedule(&mut self, time: f64, payload: E) {
+        assert!(time.is_finite(), "event time must be finite");
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
+        self.heap.push(Entry { time, seq: self.seq, payload });
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` `delay` after now.
+    pub fn schedule_in(&mut self, delay: f64, payload: E) {
+        assert!(delay >= 0.0, "delay must be nonnegative");
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is drained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, 1);
+        q.schedule(5.0, 2);
+        q.schedule(5.0, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.schedule(2.5, ());
+        q.pop();
+        assert_eq!(q.now(), 2.5);
+        q.schedule_in(1.5, ());
+        assert_eq!(q.pop(), Some((4.0, ())));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(4.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+}

@@ -1,0 +1,52 @@
+//! Event records emitted by the simulator.
+
+/// One live-migration event (the raw data behind Figs. 9(a) and 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationEvent {
+    /// Update period at which the migration happened.
+    pub step: usize,
+    /// Id of the migrated VM.
+    pub vm_id: usize,
+    /// Source PM index.
+    pub from_pm: usize,
+    /// Target PM index.
+    pub to_pm: usize,
+}
+
+/// Bins migration events into per-step counts over `steps` periods —
+/// cumulated, this is the Fig.-10 curve.
+pub fn migrations_per_step(events: &[MigrationEvent], steps: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; steps];
+    for e in events {
+        if e.step < steps {
+            counts[e.step] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_by_step() {
+        let events = [
+            MigrationEvent { step: 0, vm_id: 1, from_pm: 0, to_pm: 1 },
+            MigrationEvent { step: 0, vm_id: 2, from_pm: 0, to_pm: 2 },
+            MigrationEvent { step: 3, vm_id: 1, from_pm: 1, to_pm: 0 },
+        ];
+        assert_eq!(migrations_per_step(&events, 5), vec![2, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn out_of_range_events_are_dropped() {
+        let events = [MigrationEvent { step: 9, vm_id: 0, from_pm: 0, to_pm: 1 }];
+        assert_eq!(migrations_per_step(&events, 5), vec![0; 5]);
+    }
+
+    #[test]
+    fn empty_events_empty_bins() {
+        assert_eq!(migrations_per_step(&[], 3), vec![0, 0, 0]);
+    }
+}

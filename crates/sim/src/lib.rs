@@ -1,0 +1,43 @@
+//! A deterministic, time-stepped data-center simulator — the substrate
+//! standing in for the paper's Xen Cloud Platform testbed.
+//!
+//! The simulator advances in update periods of `σ` (the paper uses 30 s):
+//! each step every VM's ON-OFF chain evolves, *local resizing* instantly
+//! matches each VM's allocation to its demand, capacity violations are
+//! tracked per PM, and (optionally) the *live-migration* controller moves a
+//! VM off any PM whose running capacity-violation ratio exceeds `ρ`.
+//!
+//! The controller's target selection is where burstiness-awareness enters:
+//!
+//! * [`policy::QueuePolicy`] admits by the paper's Eq. 17 (spec-based
+//!   reservation — it knows every VM's `R_e`);
+//! * [`policy::ObservedPolicy`] admits by *currently observed* demand, the
+//!   behaviour of a scheduler "unaware of workload burstiness" — this is
+//!   what produces the paper's *idle deception* and *cycle migration*
+//!   phenomena for RB/RB-EX;
+//! * [`policy::PeakPolicy`] admits by peak demand (never violates).
+//!
+//! [`runner`] fans replications out across threads and aggregates
+//! mean/min/max, matching the paper's 10-repetition methodology (Fig. 9).
+
+pub mod config;
+pub mod des;
+pub mod energy;
+pub mod engine;
+pub mod events;
+pub mod migration_cost;
+pub mod multidim;
+pub mod policy;
+pub mod runner;
+pub mod scenario;
+pub mod stabilization;
+
+pub use config::{SimConfig, VictimPolicy};
+pub use energy::PowerModel;
+pub use engine::{SimOutcome, Simulator};
+pub use events::MigrationEvent;
+pub use migration_cost::{precopy_cost, MigrationCost, MigrationParams};
+pub use policy::{ObservedPolicy, PeakPolicy, QueuePolicy, RuntimePolicy};
+pub use runner::{replicate, replicate_seeds};
+pub use scenario::{run_churn, ChurnConfig, ChurnOutcome};
+pub use stabilization::{detect_stabilization, Stabilization};

@@ -1,0 +1,208 @@
+//! Runtime admission policies for migration targeting.
+//!
+//! During a live migration the controller must choose a target PM. What the
+//! controller *knows* differs by consolidation scheme:
+//!
+//! * QUEUE knows every VM's spike size and reserves blocks (Eq. 17) — its
+//!   admission check is exact with respect to the performance constraint.
+//! * RB/RB-EX observe only *current* demands. A PM whose tenants are
+//!   momentarily OFF looks idle — the paper's *idle deception* — and
+//!   accepting a migrant on that evidence seeds the next overload, the
+//!   *cycle migration* feedback loop.
+
+use bursty_placement::{PmLoad, QueueStrategy, Strategy};
+use bursty_workload::VmSpec;
+
+/// A PM's state as visible to the runtime controller.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PmRuntime {
+    /// Spec-level aggregates of the hosted set (known to spec-aware
+    /// policies only).
+    pub load: PmLoad,
+    /// Sum of the hosted VMs' *current* demands (what a burstiness-unaware
+    /// monitor observes).
+    pub observed: f64,
+}
+
+/// An admission rule for placing VM `vm` (with current demand
+/// `vm_demand`) onto a PM in state `pm` with capacity `capacity`.
+pub trait RuntimePolicy: Send + Sync {
+    /// Label used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether the controller would accept the VM on this PM.
+    fn admits(&self, vm: &VmSpec, vm_demand: f64, pm: &PmRuntime, capacity: f64) -> bool;
+}
+
+/// Spec-aware admission by the paper's Eq. 17 — the QUEUE runtime.
+#[derive(Debug, Clone)]
+pub struct QueuePolicy {
+    strategy: QueueStrategy,
+}
+
+impl QueuePolicy {
+    /// Wraps a queue strategy (same mapping table as the initial packing).
+    pub fn new(strategy: QueueStrategy) -> Self {
+        Self { strategy }
+    }
+
+    /// The wrapped strategy.
+    pub fn strategy(&self) -> &QueueStrategy {
+        &self.strategy
+    }
+}
+
+impl RuntimePolicy for QueuePolicy {
+    fn name(&self) -> &'static str {
+        "QUEUE"
+    }
+
+    fn admits(&self, vm: &VmSpec, _vm_demand: f64, pm: &PmRuntime, capacity: f64) -> bool {
+        self.strategy.admits(&pm.load, vm, capacity)
+    }
+}
+
+/// Observed-demand admission with a headroom fraction — the behaviour of a
+/// burstiness-unaware controller. `headroom = 0` models RB;
+/// `headroom = δ` models RB-EX.
+#[derive(Debug, Clone, Copy)]
+pub struct ObservedPolicy {
+    headroom: f64,
+    name: &'static str,
+}
+
+impl ObservedPolicy {
+    /// RB: accept whenever current demands fit the full capacity.
+    pub fn rb() -> Self {
+        Self { headroom: 0.0, name: "RB" }
+    }
+
+    /// RB-EX: keep a `delta` fraction of capacity free at admission time.
+    ///
+    /// # Panics
+    /// Panics for `delta` outside `[0, 1)`.
+    pub fn rb_ex(delta: f64) -> Self {
+        assert!((0.0..1.0).contains(&delta), "delta must be in [0,1)");
+        Self { headroom: delta, name: "RB-EX" }
+    }
+
+    /// The headroom fraction.
+    pub fn headroom(&self) -> f64 {
+        self.headroom
+    }
+}
+
+impl RuntimePolicy for ObservedPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn admits(&self, _vm: &VmSpec, vm_demand: f64, pm: &PmRuntime, capacity: f64) -> bool {
+        pm.observed + vm_demand <= (1.0 - self.headroom) * capacity
+    }
+}
+
+/// Peak-demand admission (provisioning for peak at runtime): never admits
+/// a VM that could ever overload the PM. The runtime counterpart of RP.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeakPolicy;
+
+impl RuntimePolicy for PeakPolicy {
+    fn name(&self) -> &'static str {
+        "RP"
+    }
+
+    fn admits(&self, vm: &VmSpec, _vm_demand: f64, pm: &PmRuntime, capacity: f64) -> bool {
+        pm.load.sum_rp + vm.r_p() <= capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(id: usize, r_b: f64, r_e: f64) -> VmSpec {
+        VmSpec::new(id, 0.01, 0.09, r_b, r_e)
+    }
+
+    fn runtime(hosted: &[VmSpec], observed: f64) -> PmRuntime {
+        PmRuntime { load: PmLoad::rebuild(hosted), observed }
+    }
+
+    #[test]
+    fn queue_policy_matches_eq17() {
+        let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let policy = QueuePolicy::new(strategy.clone());
+        let hosted = [vm(0, 30.0, 10.0)];
+        let pm = runtime(&hosted, 30.0);
+        let newcomer = vm(1, 25.0, 12.0);
+        for cap in [60.0, 70.0, 100.0] {
+            assert_eq!(
+                policy.admits(&newcomer, 37.0, &pm, cap),
+                strategy.admits(&pm.load, &newcomer, cap),
+            );
+        }
+    }
+
+    #[test]
+    fn observed_policy_suffers_idle_deception() {
+        // Tenants hold Σ R_b = 90 on a 100-capacity PM but are all OFF with
+        // observed demand 90; their spikes (R_e = 10 each) make the true
+        // peak 180. The RB controller still admits a 10-unit migrant —
+        // the deception the paper describes.
+        let hosted: Vec<VmSpec> = (0..9).map(|i| vm(i, 10.0, 10.0)).collect();
+        let pm = runtime(&hosted, 90.0);
+        let migrant = vm(9, 10.0, 10.0);
+        assert!(ObservedPolicy::rb().admits(&migrant, 10.0, &pm, 100.0));
+        // The peak-aware policy refuses.
+        assert!(!PeakPolicy.admits(&migrant, 10.0, &pm, 100.0));
+        // And Eq. 17 refuses too (blocks for 10 VMs would not fit).
+        let q = QueuePolicy::new(QueueStrategy::build(16, 0.01, 0.09, 0.01));
+        assert!(!q.admits(&migrant, 10.0, &pm, 100.0));
+    }
+
+    #[test]
+    fn rb_ex_headroom_blocks_marginal_admissions() {
+        let hosted = [vm(0, 50.0, 5.0)];
+        let pm = runtime(&hosted, 50.0);
+        let migrant = vm(1, 25.0, 5.0);
+        // 50 + 25 = 75 ≤ 100 → RB admits; 75 > 0.7·100 → RB-EX refuses.
+        assert!(ObservedPolicy::rb().admits(&migrant, 25.0, &pm, 100.0));
+        assert!(!ObservedPolicy::rb_ex(0.3).admits(&migrant, 25.0, &pm, 100.0));
+    }
+
+    #[test]
+    fn observed_policy_sees_spikes_while_they_last() {
+        // Same tenants, but currently spiking: observed 180 > 100 — even RB
+        // refuses now. Deception is specifically about OFF tenants.
+        let hosted: Vec<VmSpec> = (0..9).map(|i| vm(i, 10.0, 10.0)).collect();
+        let pm = runtime(&hosted, 180.0);
+        assert!(!ObservedPolicy::rb().admits(&vm(9, 10.0, 10.0), 10.0, &pm, 100.0));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ObservedPolicy::rb().name(), "RB");
+        assert_eq!(ObservedPolicy::rb_ex(0.3).name(), "RB-EX");
+        assert_eq!(PeakPolicy.name(), "RP");
+        assert_eq!(
+            QueuePolicy::new(QueueStrategy::build(2, 0.1, 0.1, 0.1)).name(),
+            "QUEUE"
+        );
+    }
+
+    #[test]
+    fn empty_pm_admits_anything_that_fits() {
+        let pm = PmRuntime::default();
+        let migrant = vm(0, 10.0, 10.0);
+        assert!(ObservedPolicy::rb().admits(&migrant, 20.0, &pm, 25.0));
+        assert!(PeakPolicy.admits(&migrant, 20.0, &pm, 25.0));
+        assert!(!ObservedPolicy::rb().admits(&migrant, 30.0, &pm, 25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn rb_ex_rejects_bad_delta() {
+        let _ = ObservedPolicy::rb_ex(1.0);
+    }
+}

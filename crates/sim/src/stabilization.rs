@@ -1,0 +1,176 @@
+//! Stabilization detection (paper §V-D: "it is observed that the system
+//! have stabilized merely within 10 σ or so").
+//!
+//! Works on the per-step outputs of a run: the PMs-used series and the
+//! migration event list. A system is *stable from step t* when the
+//! PMs-used series stays within a small band afterwards and migrations
+//! have (essentially) ceased.
+
+use crate::events::MigrationEvent;
+
+/// The verdict of a stabilization scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stabilization {
+    /// First step from which the run is stable, if any.
+    pub step: Option<usize>,
+    /// Width of the PMs-used band over the stable suffix (0 when the
+    /// count froze entirely).
+    pub residual_band: f64,
+    /// Migrations occurring after the stabilization step.
+    pub residual_migrations: usize,
+}
+
+/// Scans a run for stabilization: the earliest step `t` such that over
+/// `[t, end]` the PMs-used series varies by at most `band` and at most
+/// `migration_budget` migrations occur.
+///
+/// Returns `step: None` when no suffix qualifies (e.g. RB's perpetual
+/// cycle migration with a tight budget).
+///
+/// # Panics
+/// Panics if `band < 0`.
+pub fn detect_stabilization(
+    pms_used: &[f64],
+    migrations: &[MigrationEvent],
+    band: f64,
+    migration_budget: usize,
+) -> Stabilization {
+    assert!(band >= 0.0, "band must be nonnegative");
+    let n = pms_used.len();
+    if n == 0 {
+        return Stabilization { step: None, residual_band: 0.0, residual_migrations: 0 };
+    }
+
+    // Suffix extrema, computed right-to-left once.
+    let mut suffix_min = vec![f64::INFINITY; n + 1];
+    let mut suffix_max = vec![f64::NEG_INFINITY; n + 1];
+    for t in (0..n).rev() {
+        suffix_min[t] = suffix_min[t + 1].min(pms_used[t]);
+        suffix_max[t] = suffix_max[t + 1].max(pms_used[t]);
+    }
+    // Migrations at or after each step.
+    let mut migs_after = vec![0usize; n + 1];
+    for t in (0..n).rev() {
+        let here = migrations.iter().filter(|e| e.step == t).count();
+        migs_after[t] = migs_after[t + 1] + here;
+    }
+
+    for t in 0..n {
+        let spread = suffix_max[t] - suffix_min[t];
+        if spread <= band && migs_after[t] <= migration_budget {
+            return Stabilization {
+                step: Some(t),
+                residual_band: spread,
+                residual_migrations: migs_after[t],
+            };
+        }
+    }
+    Stabilization {
+        step: None,
+        residual_band: suffix_max[0] - suffix_min[0],
+        residual_migrations: migs_after[0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(step: usize) -> MigrationEvent {
+        MigrationEvent { step, vm_id: 0, from_pm: 0, to_pm: 1 }
+    }
+
+    #[test]
+    fn flat_series_is_stable_from_zero() {
+        let s = detect_stabilization(&[5.0; 20], &[], 0.0, 0);
+        assert_eq!(s.step, Some(0));
+        assert_eq!(s.residual_band, 0.0);
+    }
+
+    #[test]
+    fn ramp_then_flat_detects_knee() {
+        let mut series = vec![3.0, 5.0, 7.0, 9.0];
+        series.extend(std::iter::repeat_n(10.0, 16));
+        let s = detect_stabilization(&series, &[], 0.0, 0);
+        assert_eq!(s.step, Some(4));
+    }
+
+    #[test]
+    fn band_tolerates_small_wiggle() {
+        let series = [3.0, 8.0, 10.0, 9.0, 10.0, 9.0, 10.0];
+        let strict = detect_stabilization(&series, &[], 0.0, 0);
+        assert_eq!(strict.step, Some(6));
+        let loose = detect_stabilization(&series, &[], 1.0, 0);
+        assert_eq!(loose.step, Some(2));
+        assert_eq!(loose.residual_band, 1.0);
+    }
+
+    #[test]
+    fn migrations_delay_stabilization() {
+        let series = [5.0; 10];
+        let migrations = [ev(2), ev(7)];
+        let s = detect_stabilization(&series, &migrations, 0.0, 0);
+        assert_eq!(s.step, Some(8));
+        let tolerant = detect_stabilization(&series, &migrations, 0.0, 1);
+        assert_eq!(tolerant.step, Some(3));
+    }
+
+    #[test]
+    fn perpetual_churn_never_stabilizes() {
+        let series: Vec<f64> = (0..20).map(|t| 5.0 + (t % 4) as f64).collect();
+        let migrations: Vec<MigrationEvent> = (0..20).map(ev).collect();
+        let s = detect_stabilization(&series, &migrations, 0.5, 0);
+        assert_eq!(s.step, None);
+        assert!(s.residual_migrations >= 20);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = detect_stabilization(&[], &[], 0.0, 0);
+        assert_eq!(s.step, None);
+    }
+
+    #[test]
+    fn integration_with_real_runs() {
+        // QUEUE stabilizes essentially immediately; RB only after its
+        // early churn — mirroring the paper's 10 σ remark.
+        use bursty_placement::{first_fit, BaseStrategy, QueueStrategy};
+        use bursty_workload::{FleetGenerator, WorkloadPattern};
+
+        let mut gen = FleetGenerator::new(7);
+        let vms = gen.vms_table_i(120, WorkloadPattern::EqualSpike);
+        let pms = gen.pms(360);
+        let cfg = crate::SimConfig { seed: 3, ..Default::default() };
+
+        let qs = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let q_placement = first_fit(&vms, &pms, &qs).unwrap();
+        let q_policy = crate::QueuePolicy::new(qs);
+        let q_out = crate::Simulator::new(&vms, &pms, &q_policy, cfg).run(&q_placement);
+        let q_stable = detect_stabilization(
+            &q_out.pms_used_series.values,
+            &q_out.migrations,
+            0.0,
+            0,
+        );
+
+        let b_placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
+        let b_policy = crate::ObservedPolicy::rb();
+        let b_out = crate::Simulator::new(&vms, &pms, &b_policy, cfg).run(&b_placement);
+        let b_stable = detect_stabilization(
+            &b_out.pms_used_series.values,
+            &b_out.migrations,
+            1.0,
+            2,
+        );
+
+        let q_step = q_stable.step.expect("QUEUE must stabilize");
+        assert!(q_step <= 10, "QUEUE stabilization step {q_step}");
+        // None = perpetual cycle migration, also a paper-consistent outcome.
+        if let Some(b_step) = b_stable.step {
+            assert!(
+                b_step >= q_step,
+                "RB ({b_step}) cannot stabilize before QUEUE ({q_step})"
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Production-style traces: diurnal base load plus ON-OFF bursts.
+//!
+//! The ON-OFF model captures bursts but real services also breathe daily.
+//! This generator superimposes the two — a sinusoidal day/night base level
+//! with ON-OFF spikes on top — producing traces that *violate* the
+//! two-level model's assumptions. The test suite uses them to probe how
+//! the fitting pipeline degrades under model mismatch (answer: the fitted
+//! `R_b` lands mid-swing and the fitted spike inflates to cover the
+//! diurnal crest, which is conservative — violations are over- not
+//! under-estimated when the planner consumes the fit).
+
+use crate::spec::VmSpec;
+use bursty_markov::{OnOffChain, VmState};
+use rand::Rng;
+
+/// Parameters of a diurnal + bursty trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalSpec {
+    /// Mean base demand (the sinusoid's midline).
+    pub base_mean: f64,
+    /// Peak-to-midline amplitude of the daily swing.
+    pub amplitude: f64,
+    /// Period of the swing in steps (e.g. 2880 × 30 s = one day).
+    pub period_steps: f64,
+    /// Spike size added while the ON-OFF chain is ON.
+    pub spike: f64,
+    /// The burst chain.
+    pub chain: OnOffChain,
+}
+
+impl DiurnalSpec {
+    /// Creates a validated spec.
+    ///
+    /// # Panics
+    /// Panics if the base can go non-positive (`amplitude ≥ base_mean`),
+    /// the period is non-positive, or the spike is negative.
+    pub fn new(
+        base_mean: f64,
+        amplitude: f64,
+        period_steps: f64,
+        spike: f64,
+        chain: OnOffChain,
+    ) -> Self {
+        assert!(base_mean > 0.0, "base must be positive");
+        assert!(
+            amplitude >= 0.0 && amplitude < base_mean,
+            "amplitude must be in [0, base_mean)"
+        );
+        assert!(period_steps > 0.0, "period must be positive");
+        assert!(spike >= 0.0, "spike must be nonnegative");
+        Self { base_mean, amplitude, period_steps, spike, chain }
+    }
+
+    /// The deterministic diurnal base level at step `t`.
+    pub fn base_at(&self, t: usize) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * t as f64 / self.period_steps;
+        self.base_mean + self.amplitude * phase.sin()
+    }
+
+    /// Samples a `len`-step demand trace starting OFF at phase 0.
+    pub fn sample<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> Vec<f64> {
+        let mut out = Vec::with_capacity(len);
+        let mut state = VmState::Off;
+        for t in 0..len {
+            let demand = self.base_at(t) + if state.is_on() { self.spike } else { 0.0 };
+            out.push(demand);
+            state = self.chain.step(state, rng);
+        }
+        out
+    }
+
+    /// The *worst-case* two-level envelope of this workload: base at the
+    /// crest, spike on top — what a conservative planner should assume.
+    pub fn envelope(&self, id: usize) -> VmSpec {
+        VmSpec::new(
+            id,
+            self.chain.p_on(),
+            self.chain.p_off(),
+            self.base_mean + self.amplitude,
+            self.spike,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitting::fit_trace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec() -> DiurnalSpec {
+        DiurnalSpec::new(10.0, 3.0, 2880.0, 12.0, OnOffChain::new(0.01, 0.09))
+    }
+
+    #[test]
+    fn base_oscillates_within_bounds() {
+        let s = spec();
+        for t in 0..6000 {
+            let b = s.base_at(t);
+            assert!((7.0..=13.0).contains(&b), "t={t}: {b}");
+        }
+        // Hits (near) both extremes across a period.
+        let values: Vec<f64> = (0..2880).map(|t| s.base_at(t)).collect();
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 12.9 && min < 7.1);
+    }
+
+    #[test]
+    fn sampled_trace_mixes_both_signals() {
+        let s = spec();
+        let mut rng = StdRng::seed_from_u64(1);
+        let trace = s.sample(20_000, &mut rng);
+        let max = trace.iter().cloned().fold(f64::MIN, f64::max);
+        let min = trace.iter().cloned().fold(f64::MAX, f64::min);
+        // Peak ≈ crest + spike = 13 + 12 = 25; trough ≈ 7.
+        assert!(max > 22.0, "max {max}");
+        assert!(min < 7.5, "min {min}");
+    }
+
+    #[test]
+    fn fit_under_model_mismatch_is_conservative() {
+        // The two-level fit of a diurnal+burst trace must cover the true
+        // burst: the midpoint threshold puts the diurnal crest partly in
+        // the "ON" class, inflating R_e. What matters for the guarantee
+        // is that the fitted envelope (r_b + r_e) is not *below* the
+        // typical peak demand.
+        let s = spec();
+        let mut rng = StdRng::seed_from_u64(2);
+        let trace = s.sample(50_000, &mut rng);
+        let fit = fit_trace(&trace).unwrap();
+        // Fitted peak envelope covers the crest-plus-spike minus slack.
+        assert!(
+            fit.r_b + fit.r_e >= 0.8 * (13.0 + 12.0),
+            "fitted envelope {} too small",
+            fit.r_b + fit.r_e
+        );
+        // And R_b does not overstate the trough (packing stays feasible).
+        assert!(fit.r_b >= 7.0 && fit.r_b <= 14.5, "fitted R_b {}", fit.r_b);
+    }
+
+    #[test]
+    fn envelope_spec_dominates_every_sample() {
+        let s = spec();
+        let env = s.envelope(0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trace = s.sample(30_000, &mut rng);
+        let max = trace.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(env.r_p() >= max - 1e-9, "envelope {} vs max {max}", env.r_p());
+    }
+
+    #[test]
+    fn pure_sinusoid_when_spike_is_zero() {
+        let s = DiurnalSpec::new(10.0, 2.0, 100.0, 0.0, OnOffChain::new(0.01, 0.09));
+        let mut rng = StdRng::seed_from_u64(4);
+        let trace = s.sample(200, &mut rng);
+        for (t, &d) in trace.iter().enumerate() {
+            assert!((d - s.base_at(t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn rejects_amplitude_swallowing_base() {
+        let _ = DiurnalSpec::new(10.0, 10.0, 100.0, 1.0, OnOffChain::new(0.1, 0.1));
+    }
+}

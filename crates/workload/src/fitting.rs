@@ -1,0 +1,320 @@
+//! Fitting the ON-OFF model to observed demand traces.
+//!
+//! The paper assumes every VM's `(p_on, p_off, R_b, R_e)` is known. In
+//! production the operator has *traces* — per-interval demand samples from
+//! a monitor. This module closes that gap: it classifies each sample as
+//! ON/OFF and estimates the four-tuple by maximum likelihood on the
+//! two-state chain (transition counts), giving the consolidation pipeline
+//! a data-driven entry point.
+
+use crate::spec::VmSpec;
+use std::fmt;
+
+/// Why a trace could not be fitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Fewer than two samples — no transition information at all.
+    TooShort { len: usize },
+    /// The trace never leaves one state (constant demand, or the split
+    /// threshold classifies every sample identically): the switch
+    /// probabilities are unidentifiable.
+    NoTransitions,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooShort { len } => {
+                write!(f, "trace has {len} samples; at least 2 are required")
+            }
+            FitError::NoTransitions => {
+                write!(f, "trace shows no ON/OFF transitions; model is unidentifiable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted ON-OFF model plus fit diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedModel {
+    /// Estimated OFF→ON switch probability (MLE: ON-entries / OFF-steps).
+    pub p_on: f64,
+    /// Estimated ON→OFF switch probability.
+    pub p_off: f64,
+    /// Estimated normal-level demand (mean of OFF-classified samples).
+    pub r_b: f64,
+    /// Estimated spike size (mean ON demand − mean OFF demand).
+    pub r_e: f64,
+    /// The demand threshold used to classify ON vs OFF.
+    pub threshold: f64,
+    /// Number of OFF→ON transitions observed.
+    pub on_entries: usize,
+    /// Number of ON→OFF transitions observed.
+    pub off_entries: usize,
+    /// Fraction of samples classified ON.
+    pub on_fraction: f64,
+}
+
+impl FittedModel {
+    /// Converts the fit into a [`VmSpec`] with the given id.
+    ///
+    /// Degenerate estimates are nudged into the spec's valid domain:
+    /// probabilities are clamped to `(0, 1]` (a state that was never left
+    /// gets the smallest resolvable rate, one event per trace length).
+    pub fn to_spec(&self, id: usize, trace_len: usize) -> VmSpec {
+        let floor = 1.0 / trace_len.max(2) as f64;
+        VmSpec::new(
+            id,
+            self.p_on.clamp(floor, 1.0),
+            self.p_off.clamp(floor, 1.0),
+            self.r_b.max(f64::MIN_POSITIVE),
+            self.r_e.max(0.0),
+        )
+    }
+}
+
+/// Fits the two-state model to a demand trace.
+///
+/// Classification threshold: midpoint between the trace's minimum and
+/// maximum demand — correct for genuinely two-level traces (the model's
+/// own output) and a robust default for noisy ones. Use
+/// [`fit_trace_with_threshold`] to override.
+///
+/// # Examples
+/// ```
+/// use bursty_workload::fit_trace;
+///
+/// // A hand-made two-level trace: base 10, one 3-step spike to 25.
+/// let demands = [10.0, 10.0, 10.0, 25.0, 25.0, 25.0, 10.0, 10.0];
+/// let fit = fit_trace(&demands).unwrap();
+/// assert_eq!(fit.r_b, 10.0);
+/// assert_eq!(fit.r_e, 15.0);
+/// assert_eq!(fit.on_entries, 1); // one spike observed
+/// ```
+///
+/// # Errors
+/// [`FitError`] for traces too short or without transitions.
+pub fn fit_trace(demands: &[f64]) -> Result<FittedModel, FitError> {
+    if demands.len() < 2 {
+        return Err(FitError::TooShort { len: demands.len() });
+    }
+    let lo = demands.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = demands.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    fit_trace_with_threshold(demands, (lo + hi) / 2.0)
+}
+
+/// Fits with an explicit ON/OFF classification threshold (a sample is ON
+/// when `demand > threshold`).
+///
+/// # Errors
+/// [`FitError`] for traces too short or without transitions.
+pub fn fit_trace_with_threshold(
+    demands: &[f64],
+    threshold: f64,
+) -> Result<FittedModel, FitError> {
+    if demands.len() < 2 {
+        return Err(FitError::TooShort { len: demands.len() });
+    }
+    let on: Vec<bool> = demands.iter().map(|&d| d > threshold).collect();
+
+    // Transition counts (MLE for a two-state chain).
+    let (mut on_entries, mut off_entries) = (0usize, 0usize);
+    let (mut off_steps, mut on_steps) = (0usize, 0usize);
+    for w in on.windows(2) {
+        match (w[0], w[1]) {
+            (false, true) => {
+                on_entries += 1;
+                off_steps += 1;
+            }
+            (false, false) => off_steps += 1,
+            (true, false) => {
+                off_entries += 1;
+                on_steps += 1;
+            }
+            (true, true) => on_steps += 1,
+        }
+    }
+    if on_entries + off_entries == 0 {
+        return Err(FitError::NoTransitions);
+    }
+
+    let p_on = if off_steps > 0 { on_entries as f64 / off_steps as f64 } else { 0.0 };
+    let p_off = if on_steps > 0 { off_entries as f64 / on_steps as f64 } else { 0.0 };
+
+    // Level estimates.
+    let mean_of = |want_on: bool| -> f64 {
+        let xs: Vec<f64> = demands
+            .iter()
+            .zip(&on)
+            .filter(|&(_, &s)| s == want_on)
+            .map(|(&d, _)| d)
+            .collect();
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    let r_b = mean_of(false);
+    let r_p = mean_of(true);
+    let on_count = on.iter().filter(|&&s| s).count();
+
+    Ok(FittedModel {
+        p_on,
+        p_off,
+        r_b,
+        r_e: (r_p - r_b).max(0.0),
+        threshold,
+        on_entries,
+        off_entries,
+        on_fraction: on_count as f64 / on.len() as f64,
+    })
+}
+
+/// Fits a whole fleet of traces, skipping unfittable ones; returns the
+/// specs (ids `0..`) and the indices of traces that failed.
+pub fn fit_fleet(traces: &[Vec<f64>]) -> (Vec<VmSpec>, Vec<usize>) {
+    let mut specs = Vec::new();
+    let mut failed = Vec::new();
+    for (idx, trace) in traces.iter().enumerate() {
+        match fit_trace(trace) {
+            Ok(model) => specs.push(model.to_spec(specs.len(), trace.len())),
+            Err(_) => failed.push(idx),
+        }
+    }
+    (specs, failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::DemandTrace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_parameters_from_generated_trace() {
+        let truth = VmSpec::new(0, 0.02, 0.1, 10.0, 8.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let trace = DemandTrace::sample(truth, 300_000, &mut rng);
+        let fit = fit_trace(&trace.demands()).unwrap();
+        assert!((fit.p_on - 0.02).abs() < 0.002, "p_on {}", fit.p_on);
+        assert!((fit.p_off - 0.1).abs() < 0.01, "p_off {}", fit.p_off);
+        assert!((fit.r_b - 10.0).abs() < 1e-9);
+        assert!((fit.r_e - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fitted_spec_round_trips_through_consolidation_types() {
+        let truth = VmSpec::new(0, 0.01, 0.09, 12.0, 6.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let trace = DemandTrace::sample(truth, 100_000, &mut rng);
+        let fit = fit_trace(&trace.demands()).unwrap();
+        let spec = fit.to_spec(7, 100_000);
+        assert_eq!(spec.id, 7);
+        assert!(spec.p_on > 0.0 && spec.p_on <= 1.0);
+        assert!((spec.mean_demand() - truth.mean_demand()).abs() < 0.3);
+    }
+
+    #[test]
+    fn handles_noisy_levels_with_explicit_threshold() {
+        // Two noisy levels around 10 and 20.
+        let mut demands = Vec::new();
+        for i in 0..1000 {
+            let on = (i / 50) % 2 == 1;
+            let base = if on { 20.0 } else { 10.0 };
+            demands.push(base + ((i * 7) % 5) as f64 * 0.2 - 0.4);
+        }
+        let fit = fit_trace_with_threshold(&demands, 15.0).unwrap();
+        assert!((fit.r_b - 10.0).abs() < 0.5);
+        assert!((fit.r_e - 10.0).abs() < 0.8);
+        // Deterministic 50-step alternation: p ≈ 1/50.
+        assert!((fit.p_on - 0.02).abs() < 0.005);
+        assert!((fit.p_off - 0.02).abs() < 0.005);
+    }
+
+    #[test]
+    fn too_short_and_constant_traces_error() {
+        assert_eq!(fit_trace(&[5.0]), Err(FitError::TooShort { len: 1 }));
+        assert_eq!(fit_trace(&[]), Err(FitError::TooShort { len: 0 }));
+        assert_eq!(fit_trace(&[5.0; 100]), Err(FitError::NoTransitions));
+    }
+
+    #[test]
+    fn single_step_square_wave() {
+        // Alternating every step: p_on = p_off = 1.
+        let demands: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 3.0 }).collect();
+        let fit = fit_trace(&demands).unwrap();
+        assert!((fit.p_on - 1.0).abs() < 1e-9);
+        assert!((fit.p_off - 1.0).abs() < 1e-9);
+        assert!((fit.on_fraction - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn fleet_fitting_skips_bad_traces() {
+        let truth = VmSpec::new(0, 0.05, 0.2, 5.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let good1 = DemandTrace::sample(truth, 20_000, &mut rng).demands();
+        let good2 = DemandTrace::sample(truth, 20_000, &mut rng).demands();
+        let traces = vec![good1, vec![7.0; 50], good2, vec![]];
+        let (specs, failed) = fit_fleet(&traces);
+        assert_eq!(specs.len(), 2);
+        assert_eq!(failed, vec![1, 3]);
+        assert_eq!(specs[0].id, 0);
+        assert_eq!(specs[1].id, 1);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(FitError::TooShort { len: 1 }.to_string().contains('1'));
+        assert!(FitError::NoTransitions.to_string().contains("transition"));
+    }
+
+    #[test]
+    fn to_spec_clamps_degenerate_probabilities() {
+        // A trace with one ON sample at the very end: p_off estimate is 0
+        // (never observed leaving ON); to_spec must clamp it positive.
+        let mut demands = vec![1.0; 99];
+        demands.push(10.0);
+        let fit = fit_trace(&demands).unwrap();
+        assert_eq!(fit.p_off, 0.0);
+        let spec = fit.to_spec(0, demands.len());
+        assert!(spec.p_off > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::trace::DemandTrace;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn fit_recovers_levels_exactly_for_clean_traces(
+            p_on in 0.02f64..0.5,
+            p_off in 0.02f64..0.5,
+            r_b in 1.0f64..50.0,
+            r_e in 1.0f64..50.0,
+            seed in 0u64..1000,
+        ) {
+            let truth = VmSpec::new(0, p_on, p_off, r_b, r_e);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trace = DemandTrace::sample(truth, 50_000, &mut rng);
+            // Two-level traces have exact level recovery; probabilities
+            // are statistical.
+            if let Ok(fit) = fit_trace(&trace.demands()) {
+                prop_assert!((fit.r_b - r_b).abs() < 1e-9);
+                prop_assert!((fit.r_e - r_e).abs() < 1e-9);
+                prop_assert!((fit.p_on - p_on).abs() < 0.15 * p_on.max(0.05));
+                prop_assert!((fit.p_off - p_off).abs() < 0.15 * p_off.max(0.05));
+            }
+        }
+    }
+}

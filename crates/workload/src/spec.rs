@@ -1,0 +1,155 @@
+//! VM and PM specifications (paper Eq. 1–2).
+
+use bursty_markov::OnOffChain;
+
+/// A virtual machine's workload specification — the paper's four-tuple
+/// `V_i = (p_on, p_off, R_b, R_e)` (Eq. 1).
+///
+/// * `r_b` — resource demand of the normal (OFF) workload level,
+/// * `r_e` — the spike size, so the peak demand is `R_p = R_b + R_e`,
+/// * `p_on` — OFF→ON switch probability (spike frequency),
+/// * `p_off` — ON→OFF switch probability (reciprocal spike duration).
+///
+/// Resource units are deliberately abstract: the paper uses memory, but any
+/// one-dimensional resource (or a one-dimensional mapping of several) works.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmSpec {
+    /// Caller-assigned identifier; placement mappings index VMs by
+    /// position, this id survives sorting/clustering.
+    pub id: usize,
+    /// OFF→ON switch probability.
+    pub p_on: f64,
+    /// ON→OFF switch probability.
+    pub p_off: f64,
+    /// Normal-level (base) demand `R_b`.
+    pub r_b: f64,
+    /// Spike size `R_e = R_p − R_b`.
+    pub r_e: f64,
+}
+
+impl VmSpec {
+    /// Creates a validated spec.
+    ///
+    /// # Panics
+    /// Panics if probabilities are outside `(0, 1]`, `r_b ≤ 0`, or
+    /// `r_e < 0` (a spike-free VM is allowed with `r_e = 0`).
+    pub fn new(id: usize, p_on: f64, p_off: f64, r_b: f64, r_e: f64) -> Self {
+        assert!(p_on > 0.0 && p_on <= 1.0, "p_on must be in (0,1], got {p_on}");
+        assert!(p_off > 0.0 && p_off <= 1.0, "p_off must be in (0,1], got {p_off}");
+        assert!(r_b > 0.0, "r_b must be positive, got {r_b}");
+        assert!(r_e >= 0.0, "r_e must be nonnegative, got {r_e}");
+        Self { id, p_on, p_off, r_b, r_e }
+    }
+
+    /// Peak demand `R_p = R_b + R_e`.
+    #[inline]
+    pub fn r_p(&self) -> f64 {
+        self.r_b + self.r_e
+    }
+
+    /// The VM's ON-OFF chain.
+    #[inline]
+    pub fn chain(&self) -> OnOffChain {
+        OnOffChain::new(self.p_on, self.p_off)
+    }
+
+    /// Long-run mean demand `R_b + π_on · R_e`.
+    #[inline]
+    pub fn mean_demand(&self) -> f64 {
+        self.r_b + self.chain().stationary_on() * self.r_e
+    }
+
+    /// Demand at a given workload state.
+    #[inline]
+    pub fn demand(&self, on: bool) -> f64 {
+        if on {
+            self.r_p()
+        } else {
+            self.r_b
+        }
+    }
+}
+
+/// A physical machine's specification — its capacity (paper Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmSpec {
+    /// Caller-assigned identifier.
+    pub id: usize,
+    /// Capacity `C_j` in the same units as VM demands.
+    pub capacity: f64,
+}
+
+impl PmSpec {
+    /// Creates a validated spec.
+    ///
+    /// # Panics
+    /// Panics if `capacity ≤ 0`.
+    pub fn new(id: usize, capacity: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive, got {capacity}");
+        Self { id, capacity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_base_plus_spike() {
+        let v = VmSpec::new(0, 0.01, 0.09, 10.0, 5.0);
+        assert_eq!(v.r_p(), 15.0);
+        assert_eq!(v.demand(false), 10.0);
+        assert_eq!(v.demand(true), 15.0);
+    }
+
+    #[test]
+    fn mean_demand_uses_stationary_on_fraction() {
+        // 10% ON => mean = 10 + 0.1 * 5 = 10.5.
+        let v = VmSpec::new(0, 0.01, 0.09, 10.0, 5.0);
+        assert!((v.mean_demand() - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_spike_is_allowed() {
+        let v = VmSpec::new(1, 0.5, 0.5, 4.0, 0.0);
+        assert_eq!(v.r_p(), v.r_b);
+    }
+
+    #[test]
+    fn chain_round_trip() {
+        let v = VmSpec::new(0, 0.02, 0.08, 1.0, 1.0);
+        assert_eq!(v.chain().p_on(), 0.02);
+        assert_eq!(v.chain().p_off(), 0.08);
+    }
+
+    #[test]
+    #[should_panic(expected = "r_b")]
+    fn rejects_nonpositive_base() {
+        let _ = VmSpec::new(0, 0.1, 0.1, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "r_e")]
+    fn rejects_negative_spike() {
+        let _ = VmSpec::new(0, 0.1, 0.1, 1.0, -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_on")]
+    fn rejects_bad_p_on() {
+        let _ = VmSpec::new(0, 0.0, 0.1, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_nonpositive_capacity() {
+        let _ = PmSpec::new(0, 0.0);
+    }
+
+    #[test]
+    fn pm_spec_holds_fields() {
+        let h = PmSpec::new(3, 96.0);
+        assert_eq!(h.id, 3);
+        assert_eq!(h.capacity, 96.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Guards on the paper's headline experimental shapes, so a regression in
+//! any crate that would distort a figure fails CI loudly.
+//!
+//! These assert *shapes* (who wins, roughly by how much, where the
+//! orderings fall), not absolute numbers — our substrate is a simulator,
+//! not the authors' testbed.
+
+use bursty_core::placement::placement::consolidation_improvement;
+use bursty_core::prelude::*;
+use bursty_core::sim::events::migrations_per_step;
+
+/// Fig. 5: QUEUE-vs-RP improvement grows with spike share — large-spike
+/// savings beat equal-spike savings beat small-spike savings.
+#[test]
+fn fig5_improvement_ordering_across_patterns() {
+    let improvement = |pattern: WorkloadPattern| {
+        let mut acc = 0.0;
+        for seed in 0..4u64 {
+            let mut gen = FleetGenerator::new(900 + seed);
+            let vms = gen.vms(200, pattern);
+            let pms = gen.pms(200);
+            let q = Consolidator::new(Scheme::Queue).place(&vms, &pms).unwrap().pms_used();
+            let rp = Consolidator::new(Scheme::Rp).place(&vms, &pms).unwrap().pms_used();
+            acc += consolidation_improvement(q, rp);
+        }
+        acc / 4.0
+    };
+    let equal = improvement(WorkloadPattern::EqualSpike);
+    let small = improvement(WorkloadPattern::SmallSpike);
+    let large = improvement(WorkloadPattern::LargeSpike);
+    assert!(large > equal, "large {large:.2} must beat equal {equal:.2}");
+    assert!(equal > small, "equal {equal:.2} must beat small {small:.2}");
+    // Paper magnitudes: ~45%, ~30%, ~18%.
+    assert!((0.30..=0.55).contains(&large), "large-spike improvement {large:.2}");
+    assert!((0.15..=0.40).contains(&equal), "equal-spike improvement {equal:.2}");
+    assert!((0.03..=0.30).contains(&small), "small-spike improvement {small:.2}");
+}
+
+/// Fig. 6: QUEUE's CVR is bounded by ρ on average with at most slight
+/// per-PM excursions; RB's CVR is catastrophically higher.
+#[test]
+fn fig6_cvr_gap_between_queue_and_rb() {
+    let run = |scheme: Scheme| {
+        let mut gen = FleetGenerator::new(901);
+        let vms = gen.vms(150, WorkloadPattern::EqualSpike);
+        let pms = gen.pms(150);
+        let cfg = SimConfig {
+            steps: 8_000,
+            seed: 3,
+            migrations_enabled: false,
+            ..Default::default()
+        };
+        Consolidator::new(scheme).evaluate(&vms, &pms, cfg).unwrap().1
+    };
+    let queue = run(Scheme::Queue);
+    let rb = run(Scheme::Rb);
+    assert!(queue.mean_cvr() <= 0.011, "QUEUE mean CVR {}", queue.mean_cvr());
+    assert!(rb.mean_cvr() > 0.2, "RB mean CVR {}", rb.mean_cvr());
+    assert!(rb.mean_cvr() > 20.0 * queue.mean_cvr());
+}
+
+/// Fig. 6 secondary observation: larger spikes → slightly higher QUEUE CVR
+/// (still bounded), because each block is coarser relative to capacity.
+#[test]
+fn fig6_queue_cvr_stays_bounded_on_every_pattern() {
+    for pattern in WorkloadPattern::ALL {
+        let mut gen = FleetGenerator::new(902);
+        let vms = gen.vms(150, pattern);
+        let pms = gen.pms(150);
+        let cfg = SimConfig {
+            steps: 8_000,
+            seed: 4,
+            migrations_enabled: false,
+            ..Default::default()
+        };
+        let out = Consolidator::new(Scheme::Queue).evaluate(&vms, &pms, cfg).unwrap().1;
+        assert!(
+            out.mean_cvr() <= 0.011,
+            "{pattern}: mean CVR {:.4}",
+            out.mean_cvr()
+        );
+    }
+}
+
+/// Fig. 10: RB's cumulative migration curve keeps climbing through the
+/// whole run (cycle migration); QUEUE's is flat after at most a blip.
+#[test]
+fn fig10_rb_migrates_late_queue_does_not() {
+    let run = |scheme: Scheme| {
+        let mut gen = FleetGenerator::new(903);
+        let vms = gen.vms_table_i(120, WorkloadPattern::EqualSpike);
+        let pms = gen.pms(360);
+        let cfg = SimConfig { seed: 12, ..Default::default() };
+        Consolidator::new(scheme).evaluate(&vms, &pms, cfg).unwrap().1
+    };
+    let queue = run(Scheme::Queue);
+    let rb = run(Scheme::Rb);
+
+    let rb_bins = migrations_per_step(&rb.migrations, 100);
+    let late_rb: u32 = rb_bins[50..].iter().sum();
+    assert!(
+        late_rb >= 5,
+        "RB must still be migrating in the second half (cycle migration), got {late_rb}"
+    );
+    assert!(
+        queue.total_migrations() <= 3,
+        "QUEUE total migrations {}",
+        queue.total_migrations()
+    );
+}
+
+/// §V-D observation (iii): RB's PM count rises quickly early in the run as
+/// the over-tight initial packing unwinds.
+#[test]
+fn rb_pm_count_rises_early_then_stabilizes() {
+    let mut gen = FleetGenerator::new(904);
+    let vms = gen.vms_table_i(120, WorkloadPattern::EqualSpike);
+    let pms = gen.pms(360);
+    let cfg = SimConfig { seed: 21, ..Default::default() };
+    let (placement, out) = Consolidator::new(Scheme::Rb).evaluate(&vms, &pms, cfg).unwrap();
+
+    let series = &out.pms_used_series.values;
+    let initial = placement.pms_used() as f64;
+    let at_20 = series[20];
+    let at_99 = series[99];
+    assert!(at_20 > initial, "PM count must rise early: {at_20} vs initial {initial}");
+    // Stabilization: second half drifts far less than the first fifth rose.
+    let drift = (at_99 - series[50]).abs();
+    assert!(
+        drift <= (at_20 - initial),
+        "late drift {drift} should not exceed early rise {}",
+        at_20 - initial
+    );
+}
+
+/// Fig. 7: Algorithm 2 stays millisecond-scale at the paper's d = 16 and
+/// n up to a few hundred, and the mapping table alone is sub-millisecond.
+#[test]
+fn fig7_computation_cost_is_small() {
+    use std::time::Instant;
+    let mut gen = FleetGenerator::new(905);
+    let vms = gen.vms(400, WorkloadPattern::EqualSpike);
+    let pms = gen.pms(400);
+    let start = Instant::now();
+    let placement = Consolidator::new(Scheme::Queue).place(&vms, &pms).unwrap();
+    let elapsed = start.elapsed();
+    assert!(placement.is_complete());
+    assert!(
+        elapsed.as_millis() < 200,
+        "Algorithm 2 at (d=16, n=400) took {elapsed:?}"
+    );
+}

@@ -1,0 +1,159 @@
+//! Cross-validation of the queuing theory against brute-force simulation —
+//! the scientific core of the reproduction.
+//!
+//! Algorithm 1's promise is that reserving `K = mapping(k)` blocks bounds a
+//! PM's capacity-violation ratio by `ρ`. These tests verify that promise
+//! empirically: the analytic stationary distribution of the busy-block
+//! chain must match the simulated long-run occupancy, and the predicted CVR
+//! must match the violation rate an actual simulated PM experiences.
+
+use bursty_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const P_ON: f64 = 0.01;
+const P_OFF: f64 = 0.09;
+
+/// Simulates k independent ON-OFF chains and histograms the number
+/// simultaneously ON.
+fn empirical_busy_distribution(k: usize, steps: usize, seed: u64) -> Vec<f64> {
+    let chain = OnOffChain::new(P_ON, P_OFF);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut states: Vec<VmState> =
+        (0..k).map(|_| chain.sample_stationary(&mut rng)).collect();
+    let mut counts = vec![0u64; k + 1];
+    for _ in 0..steps {
+        for s in states.iter_mut() {
+            *s = chain.step(*s, &mut rng);
+        }
+        let busy = states.iter().filter(|s| s.is_on()).count();
+        counts[busy] += 1;
+    }
+    counts.iter().map(|&c| c as f64 / steps as f64).collect()
+}
+
+#[test]
+fn stationary_distribution_matches_monte_carlo() {
+    for k in [4usize, 8, 16] {
+        let analytic = AggregateChain::new(k, P_ON, P_OFF).stationary().unwrap();
+        let empirical = empirical_busy_distribution(k, 400_000, 17 + k as u64);
+        for (m, (&a, &e)) in analytic.iter().zip(&empirical).enumerate() {
+            assert!(
+                (a - e).abs() < 0.01,
+                "k={k} state {m}: analytic {a:.4} vs empirical {e:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn predicted_cvr_matches_simulated_violation_rate() {
+    // One PM hosting k identical VMs sized so that exactly K spikes fit:
+    // capacity = k·R_b + K·R_e. Analytic CVR = Pr[θ > K]; the simulator
+    // must observe the same violation fraction.
+    let k = 12;
+    let rho = 0.01;
+    let chain = AggregateChain::new(k, P_ON, P_OFF);
+    let blocks = chain.blocks_needed(rho).unwrap();
+    let predicted_cvr = chain.cvr_with_blocks(blocks).unwrap();
+
+    let (r_b, r_e) = (10.0, 10.0);
+    let vms: Vec<VmSpec> = (0..k).map(|i| VmSpec::new(i, P_ON, P_OFF, r_b, r_e)).collect();
+    let capacity = k as f64 * r_b + blocks as f64 * r_e;
+    let pms = vec![PmSpec::new(0, capacity)];
+    let placement = Placement { assignment: vec![Some(0); k], n_pms: 1 };
+
+    let policy = ObservedPolicy::rb();
+    let cfg = SimConfig {
+        steps: 300_000,
+        seed: 5,
+        migrations_enabled: false,
+        ..Default::default()
+    };
+    let out = Simulator::new(&vms, &pms, &policy, cfg).run(&placement);
+    let simulated_cvr = out.cvr_per_pm[0].1;
+
+    assert!(
+        (simulated_cvr - predicted_cvr).abs() < 0.002,
+        "predicted {predicted_cvr:.5} vs simulated {simulated_cvr:.5}"
+    );
+    assert!(simulated_cvr <= rho + 0.002, "constraint must hold empirically");
+}
+
+#[test]
+fn one_block_fewer_breaks_the_constraint() {
+    // Minimality check, end to end: with K−1 blocks the simulated CVR must
+    // exceed ρ — the reservation is tight, not padded.
+    let k = 12;
+    let rho = 0.01;
+    let chain = AggregateChain::new(k, P_ON, P_OFF);
+    let blocks = chain.blocks_needed(rho).unwrap();
+    assert!(blocks >= 1);
+
+    let (r_b, r_e) = (10.0, 10.0);
+    let vms: Vec<VmSpec> = (0..k).map(|i| VmSpec::new(i, P_ON, P_OFF, r_b, r_e)).collect();
+    let capacity = k as f64 * r_b + (blocks - 1) as f64 * r_e;
+    let pms = vec![PmSpec::new(0, capacity)];
+    let placement = Placement { assignment: vec![Some(0); k], n_pms: 1 };
+    let policy = ObservedPolicy::rb();
+    let cfg = SimConfig {
+        steps: 200_000,
+        seed: 6,
+        migrations_enabled: false,
+        ..Default::default()
+    };
+    let out = Simulator::new(&vms, &pms, &policy, cfg).run(&placement);
+    assert!(
+        out.cvr_per_pm[0].1 > rho,
+        "CVR with K-1 blocks must exceed rho, got {}",
+        out.cvr_per_pm[0].1
+    );
+}
+
+#[test]
+fn every_queue_packed_pm_honors_rho_in_simulation() {
+    // The full pipeline: QueuingFFD placements simulated long enough that
+    // per-PM CVR estimates are tight; every PM must sit at or below ρ with
+    // sampling slack.
+    let mut gen = FleetGenerator::new(404);
+    let vms = gen.vms(80, WorkloadPattern::EqualSpike);
+    let pms = gen.pms(80);
+    let consolidator = Consolidator::new(Scheme::Queue);
+    let placement = consolidator.place(&vms, &pms).unwrap();
+    let cfg = SimConfig {
+        steps: 60_000,
+        seed: 9,
+        migrations_enabled: false,
+        ..Default::default()
+    };
+    let out = consolidator.simulate(&vms, &pms, &placement, cfg);
+    for &(pm, cvr) in &out.cvr_per_pm {
+        assert!(
+            cvr <= 0.01 + 0.004,
+            "PM {pm} CVR {cvr:.4} above rho + sampling slack"
+        );
+    }
+    assert!(out.mean_cvr() <= 0.01, "mean CVR {}", out.mean_cvr());
+}
+
+#[test]
+fn autocorrelation_separates_markov_from_iid() {
+    // The reason SBP (i.i.d.) models under-serve bursty workloads: the
+    // ON-OFF chain's demand is autocorrelated in time. Verify the sampled
+    // lag-1 autocorrelation matches theory and is far from zero.
+    let chain = OnOffChain::new(P_ON, P_OFF);
+    let mut rng = StdRng::seed_from_u64(33);
+    let trace = chain.sample_trace(VmState::Off, 500_000, &mut rng);
+    let xs: Vec<f64> = trace.iter().map(|s| s.is_on() as u8 as f64).collect();
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+    let cov1 = xs
+        .windows(2)
+        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .sum::<f64>()
+        / (xs.len() - 1) as f64;
+    let rho1 = cov1 / var;
+    let theory = chain.autocorrelation(1);
+    assert!((rho1 - theory).abs() < 0.01, "lag-1 {rho1:.4} vs theory {theory:.4}");
+    assert!(rho1 > 0.85, "paper parameters imply strong burst persistence");
+}
