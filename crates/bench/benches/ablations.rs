@@ -22,9 +22,11 @@ fn bench_stationary_direct_vs_power(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("gaussian", k), &chain, |b, chain| {
             b.iter(|| black_box(chain.stationary().unwrap()))
         });
-        group.bench_with_input(BenchmarkId::new("power_iteration", k), &chain, |b, chain| {
-            b.iter(|| black_box(chain.stationary_by_power().unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("power_iteration", k),
+            &chain,
+            |b, chain| b.iter(|| black_box(chain.stationary_by_power().unwrap())),
+        );
     }
     group.finish();
 }
@@ -39,9 +41,7 @@ fn bench_clustering_granularity(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(buckets),
             &strategy,
-            |b, strategy| {
-                b.iter(|| black_box(first_fit(&vms, &pms, strategy).unwrap().pms_used()))
-            },
+            |b, strategy| b.iter(|| black_box(first_fit(&vms, &pms, strategy).unwrap().pms_used())),
         );
     }
     group.finish();
@@ -55,10 +55,14 @@ fn bench_web_workload_exact_vs_fast(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(7);
             b.iter(|| black_box(w.requests_exact(u, 30.0, &mut rng)))
         });
-        group.bench_with_input(BenchmarkId::new("gaussian_approx", users), &users, |b, &u| {
-            let mut rng = StdRng::seed_from_u64(7);
-            b.iter(|| black_box(w.requests_fast(u, 30.0, &mut rng)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("gaussian_approx", users),
+            &users,
+            |b, &u| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| black_box(w.requests_fast(u, 30.0, &mut rng)))
+            },
+        );
     }
     group.finish();
 }
@@ -84,7 +88,11 @@ fn bench_des_vs_stepped_engine(c: &mut Criterion) {
                 migrations_enabled: false,
                 ..Default::default()
             };
-            black_box(Simulator::new(&vms, &pms, &policy, cfg).run(&placement).mean_cvr())
+            black_box(
+                Simulator::new(&vms, &pms, &policy, cfg)
+                    .run(&placement)
+                    .mean_cvr(),
+            )
         })
     });
     group.bench_function("des_2000", |b| {
@@ -95,7 +103,11 @@ fn bench_des_vs_stepped_engine(c: &mut Criterion) {
                 migrations_enabled: false,
                 ..Default::default()
             };
-            black_box(DesSimulator::new(&vms, &pms, &policy, cfg).run(&placement).mean_cvr())
+            black_box(
+                DesSimulator::new(&vms, &pms, &policy, cfg)
+                    .run(&placement)
+                    .mean_cvr(),
+            )
         })
     });
     group.finish();

@@ -24,7 +24,11 @@ fn bench_step_throughput_vs_fleet(c: &mut Criterion) {
                     migrations_enabled: true,
                     ..Default::default()
                 };
-                black_box(consolidator.simulate(&vms, &pms, &placement, cfg).final_pms_used)
+                black_box(
+                    consolidator
+                        .simulate(&vms, &pms, &placement, cfg)
+                        .final_pms_used,
+                )
             })
         });
     }
@@ -41,8 +45,13 @@ fn bench_parallel_replication(c: &mut Criterion) {
     let consolidator = Consolidator::new(Scheme::Rb);
     let placement = consolidator.place(&vms, &pms).unwrap();
     let one = |seed: u64| {
-        let cfg = SimConfig { seed, ..Default::default() };
-        consolidator.simulate(&vms, &pms, &placement, cfg).total_migrations()
+        let cfg = SimConfig {
+            seed,
+            ..Default::default()
+        };
+        consolidator
+            .simulate(&vms, &pms, &placement, cfg)
+            .total_migrations()
     };
 
     let mut group = c.benchmark_group("replication_fan_out");
@@ -58,5 +67,9 @@ fn bench_parallel_replication(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_step_throughput_vs_fleet, bench_parallel_replication);
+criterion_group!(
+    benches,
+    bench_step_throughput_vs_fleet,
+    bench_parallel_replication
+);
 criterion_main!(benches);

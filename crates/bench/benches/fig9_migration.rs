@@ -13,17 +13,16 @@ fn bench_migration_run(c: &mut Criterion) {
         let vms = gen.vms_table_i(120, WorkloadPattern::EqualSpike);
         let pms = gen.pms(360);
         let consolidator = Consolidator::new(scheme);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.label()),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    let cfg = SimConfig { seed: 4, ..Default::default() };
-                    let (_, out) = consolidator.evaluate(&vms, &pms, cfg).unwrap();
-                    black_box((out.total_migrations(), out.final_pms_used))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &(), |b, _| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    seed: 4,
+                    ..Default::default()
+                };
+                let (_, out) = consolidator.evaluate(&vms, &pms, cfg).unwrap();
+                black_box((out.total_migrations(), out.final_pms_used))
+            })
+        });
     }
     group.finish();
 }
@@ -37,8 +36,15 @@ fn bench_replicated_fig9_cell(c: &mut Criterion) {
     c.bench_function("fig9_cell_10_replications", |b| {
         b.iter(|| {
             let outs = replicate(10, 1000, |seed| {
-                let cfg = SimConfig { seed, ..Default::default() };
-                consolidator.evaluate(&vms, &pms, cfg).unwrap().1.total_migrations()
+                let cfg = SimConfig {
+                    seed,
+                    ..Default::default()
+                };
+                consolidator
+                    .evaluate(&vms, &pms, cfg)
+                    .unwrap()
+                    .1
+                    .total_migrations()
             });
             black_box(outs)
         })

@@ -1,0 +1,60 @@
+//! Headroom-index scaling bench: indexed `first_fit`/`best_fit` vs the
+//! retained linear-scan references on a large fleet (n = 10 000 VMs,
+//! m = 5 000 PMs), QUEUE strategy.
+//!
+//! Plain `main` (no criterion) because the acceptance criterion is a
+//! single honest wall-clock ratio plus a byte-identical-results check,
+//! emitted as `BENCH_packing.json` at the repository root.
+
+use bursty_core::placement::{best_fit, best_fit_linear, first_fit, first_fit_linear};
+use bursty_core::prelude::*;
+use std::time::Instant;
+
+const N_VMS: usize = 10_000;
+const M_PMS: usize = 5_000;
+
+fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut out = None;
+    let start = Instant::now();
+    for _ in 0..reps {
+        out = Some(f());
+    }
+    (start.elapsed().as_secs_f64() / reps as f64, out.unwrap())
+}
+
+fn main() {
+    let mut gen = FleetGenerator::new(42);
+    let vms = gen.vms(N_VMS, WorkloadPattern::EqualSpike);
+    let pms = gen.pms(M_PMS);
+    // Build (and thereby cache) the mapping table before any timing so
+    // both sides measure pure packing.
+    let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+
+    let (ff_linear_s, ff_lin) = time(3, || first_fit_linear(&vms, &pms, &strategy));
+    let (ff_indexed_s, ff_idx) = time(3, || first_fit(&vms, &pms, &strategy));
+    assert_eq!(ff_lin, ff_idx, "indexed first_fit diverged from linear");
+
+    let (bf_linear_s, bf_lin) = time(3, || best_fit_linear(&vms, &pms, &strategy));
+    let (bf_indexed_s, bf_idx) = time(3, || best_fit(&vms, &pms, &strategy));
+    assert_eq!(bf_lin, bf_idx, "indexed best_fit diverged from linear");
+
+    let ff_speedup = ff_linear_s / ff_indexed_s;
+    let bf_speedup = bf_linear_s / bf_indexed_s;
+    let pms_used = ff_idx.as_ref().map(|p| p.pms_used()).unwrap_or(0);
+
+    let json = format!(
+        "{{\n  \"n_vms\": {N_VMS},\n  \"m_pms\": {M_PMS},\n  \"strategy\": \"QUEUE\",\n  \
+         \"pms_used\": {pms_used},\n  \"identical_placements\": true,\n  \
+         \"first_fit\": {{\"linear_s\": {ff_linear_s:.6}, \"indexed_s\": {ff_indexed_s:.6}, \
+         \"speedup\": {ff_speedup:.2}}},\n  \
+         \"best_fit\": {{\"linear_s\": {bf_linear_s:.6}, \"indexed_s\": {bf_indexed_s:.6}, \
+         \"speedup\": {bf_speedup:.2}}}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_packing.json");
+    std::fs::write(path, &json).expect("write BENCH_packing.json");
+    println!("{json}");
+    assert!(
+        ff_speedup >= 5.0,
+        "first_fit speedup {ff_speedup:.2}x below the 5x acceptance bar"
+    );
+}

@@ -120,8 +120,7 @@ pub fn plan(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let mut names = Vec::new();
     for (id, file) in files.iter().enumerate() {
         let demands = read_trace(file)?;
-        let model = fit_trace(&demands)
-            .map_err(|e| err(format!("{}: {e}", file.display())))?;
+        let model = fit_trace(&demands).map_err(|e| err(format!("{}: {e}", file.display())))?;
         specs.push(model.to_spec(id, demands.len()));
         names.push(
             file.file_stem()
@@ -131,8 +130,8 @@ pub fn plan(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
 
     // Conservative rounding, then QueuingFFD.
-    let (p_on, p_off) = round_with_policy(&specs, RoundingPolicy::Conservative)
-        .expect("at least one trace");
+    let (p_on, p_off) =
+        round_with_policy(&specs, RoundingPolicy::Conservative).expect("at least one trace");
     let n_pms = args.get_usize("pms")?.unwrap_or(specs.len());
     let pms: Vec<PmSpec> = (0..n_pms).map(|j| PmSpec::new(j, capacity)).collect();
     let consolidator = Consolidator::new(Scheme::Queue)
@@ -207,12 +206,11 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let mut specs = Vec::new();
     for (id, file) in files.iter().enumerate() {
         let demands = read_trace(file)?;
-        let model = fit_trace(&demands)
-            .map_err(|e| err(format!("{}: {e}", file.display())))?;
+        let model = fit_trace(&demands).map_err(|e| err(format!("{}: {e}", file.display())))?;
         specs.push(model.to_spec(id, demands.len()));
     }
-    let (p_on, p_off) = round_with_policy(&specs, RoundingPolicy::Conservative)
-        .expect("at least one trace");
+    let (p_on, p_off) =
+        round_with_policy(&specs, RoundingPolicy::Conservative).expect("at least one trace");
     let n_pms = args.get_usize("pms")?.unwrap_or(specs.len());
     let pms: Vec<PmSpec> = (0..n_pms).map(|j| PmSpec::new(j, capacity)).collect();
     let consolidator = Consolidator::new(Scheme::Queue)
@@ -231,7 +229,9 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     let outcome = consolidator.simulate(&specs, &pms, &placement, cfg);
 
-    let r = OnOffChain::new(p_on, p_off).autocorrelation(1).clamp(0.0, 0.999);
+    let r = OnOffChain::new(p_on, p_off)
+        .autocorrelation(1)
+        .clamp(0.0, 0.999);
     let violations: u64 = outcome
         .cvr_per_pm
         .iter()
@@ -251,10 +251,7 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out,
         "mean CVR {:.5} (budget {rho}) → availability {:.4} ({} nines), \
          ~{:.0} violation-min/month",
-        summary.cvr,
-        summary.availability,
-        summary.nines,
-        summary.violation_mins_per_month,
+        summary.cvr, summary.availability, summary.nines, summary.violation_mins_per_month,
     )?;
     let verdict_str = match verdict {
         BoundVerdict::Holds => "HOLDS at 95% confidence",

@@ -114,13 +114,21 @@ mod tests {
     fn reserve_happy_path() {
         let s = run_to_string(&["reserve", "--k", "16"]).unwrap();
         assert!(s.contains("blocks"), "{s}");
-        assert!(s.contains('5'), "paper parameters give 5 blocks at k=16: {s}");
+        assert!(
+            s.contains('5'),
+            "paper parameters give 5 blocks at k=16: {s}"
+        );
     }
 
     #[test]
     fn table_happy_path() {
         let s = run_to_string(&["table", "--d", "4"]).unwrap();
         // Four data rows.
-        assert_eq!(s.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 4);
+        assert_eq!(
+            s.lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .count(),
+            4
+        );
     }
 }

@@ -114,7 +114,10 @@ mod tests {
 
     #[test]
     fn missing_value_is_error() {
-        assert!(parse(&["--k"]).unwrap_err().to_string().contains("needs a value"));
+        assert!(parse(&["--k"])
+            .unwrap_err()
+            .to_string()
+            .contains("needs a value"));
     }
 
     #[test]
@@ -128,7 +131,11 @@ mod tests {
     #[test]
     fn bad_number_is_error() {
         let a = parse(&["--rho", "lots"]).unwrap();
-        assert!(a.get_f64("rho").unwrap_err().to_string().contains("expects a number"));
+        assert!(a
+            .get_f64("rho")
+            .unwrap_err()
+            .to_string()
+            .contains("expects a number"));
     }
 
     #[test]

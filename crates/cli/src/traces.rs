@@ -64,10 +64,8 @@ mod tests {
     use std::io::Write as _;
 
     fn scratch(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "bursty-cli-test-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("bursty-cli-test-{}-{name}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -108,7 +106,10 @@ mod tests {
         let dir = scratch("empty");
         let p = dir.join("a.csv");
         write(&p, "header-only\n");
-        assert!(read_trace(&p).unwrap_err().to_string().contains("no demand"));
+        assert!(read_trace(&p)
+            .unwrap_err()
+            .to_string()
+            .contains("no demand"));
     }
 
     #[test]
@@ -124,14 +125,19 @@ mod tests {
         write(&dir.join("a.csv"), "1\n");
         write(&dir.join("ignore.txt"), "x");
         let files = list_traces(&dir).unwrap();
-        let names: Vec<_> =
-            files.iter().map(|p| p.file_name().unwrap().to_str().unwrap()).collect();
+        let names: Vec<_> = files
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap())
+            .collect();
         assert_eq!(names, vec!["a.csv", "b.csv"]);
     }
 
     #[test]
     fn empty_dir_is_error() {
         let dir = scratch("nocsv");
-        assert!(list_traces(&dir).unwrap_err().to_string().contains("no .csv"));
+        assert!(list_traces(&dir)
+            .unwrap_err()
+            .to_string()
+            .contains("no .csv"));
     }
 }

@@ -11,10 +11,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 fn scratch(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "bursty-cli-e2e-{}-{name}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("bursty-cli-e2e-{}-{name}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     fs::create_dir_all(&dir).unwrap();
     dir
@@ -89,7 +86,11 @@ fn plan_pipeline_writes_a_consistent_plan() {
         assert!(rb <= 90.0, "PM {pm} overcommitted on base demand: {rb}");
     }
     // Uses fewer PMs than one-per-VM.
-    assert!(per_pm.len() < 8, "consolidation must share PMs, used {}", per_pm.len());
+    assert!(
+        per_pm.len() < 8,
+        "consolidation must share PMs, used {}",
+        per_pm.len()
+    );
 }
 
 #[test]
@@ -117,8 +118,7 @@ fn reserve_and_table_agree() {
     let table_out = run_ok(&args(&["table", "--d", "12"]));
     // The reserve answer for k=12 must appear as the last table row.
     let last = table_out.lines().last().unwrap();
-    let blocks_from_table: usize =
-        last.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let blocks_from_table: usize = last.split_whitespace().nth(1).unwrap().parse().unwrap();
     assert!(
         reserve_out.contains(&format!("reserve {blocks_from_table} blocks")),
         "reserve: {reserve_out} table last row: {last}"

@@ -1,12 +1,11 @@
 //! The high-level consolidation API: pick a scheme, place, simulate.
 
 use bursty_placement::{
-    first_fit, BaseStrategy, PackError, PeakStrategy, Placement, QueueStrategy,
-    ReserveStrategy, Strategy,
+    first_fit, BaseStrategy, PackError, PeakStrategy, Placement, QueueStrategy, ReserveStrategy,
+    Strategy,
 };
 use bursty_sim::{
-    ObservedPolicy, PeakPolicy, QueuePolicy, RuntimePolicy, SimConfig, SimOutcome,
-    Simulator,
+    ObservedPolicy, PeakPolicy, QueuePolicy, RuntimePolicy, SimConfig, SimOutcome, Simulator,
 };
 use bursty_workload::patterns::defaults;
 use bursty_workload::{PmSpec, VmSpec};
@@ -82,8 +81,19 @@ impl Consolidator {
         self
     }
 
-    /// Overrides the uniform switch probabilities.
+    /// Overrides the uniform switch probabilities. Both must lie in
+    /// `(0, 1]` — a zero probability degenerates the ON-OFF chain (a VM
+    /// that can never switch), and anything outside `[0, 1]` is not a
+    /// probability.
     pub fn with_probabilities(mut self, p_on: f64, p_off: f64) -> Self {
+        assert!(
+            p_on > 0.0 && p_on <= 1.0,
+            "p_on must be in (0,1], got {p_on}"
+        );
+        assert!(
+            p_off > 0.0 && p_off <= 1.0,
+            "p_off must be in (0,1], got {p_off}"
+        );
         self.p_on = p_on;
         self.p_off = p_off;
         self
@@ -97,9 +107,9 @@ impl Consolidator {
     /// Builds the packing strategy for the scheme.
     pub fn strategy(&self) -> Box<dyn Strategy> {
         match self.scheme {
-            Scheme::Queue => {
-                Box::new(QueueStrategy::build(self.d, self.p_on, self.p_off, self.rho))
-            }
+            Scheme::Queue => Box::new(QueueStrategy::build(
+                self.d, self.p_on, self.p_off, self.rho,
+            )),
             Scheme::Rp => Box::new(PeakStrategy),
             Scheme::Rb => Box::new(BaseStrategy),
             Scheme::RbEx(delta) => Box::new(ReserveStrategy::new(delta)),
@@ -110,9 +120,12 @@ impl Consolidator {
     /// scheme's knowledge model.
     pub fn policy(&self) -> Box<dyn RuntimePolicy> {
         match self.scheme {
-            Scheme::Queue => Box::new(QueuePolicy::new(QueueStrategy::build(
+            // Shares the memoized mapping table with `strategy()`, so
+            // `evaluate` solves each (d, p_on, p_off, rho) chain family
+            // exactly once per process.
+            Scheme::Queue => Box::new(QueuePolicy::from_parameters(
                 self.d, self.p_on, self.p_off, self.rho,
-            ))),
+            )),
             Scheme::Rp => Box::new(PeakPolicy),
             Scheme::Rb => Box::new(ObservedPolicy::rb()),
             Scheme::RbEx(delta) => Box::new(ObservedPolicy::rb_ex(delta)),
@@ -198,8 +211,15 @@ mod tests {
     #[test]
     fn evaluate_round_trip_honors_constraint() {
         let (vms, pms) = fleet(60, 2);
-        let cfg = SimConfig { steps: 3000, seed: 3, migrations_enabled: false, ..Default::default() };
-        let (_, out) = Consolidator::new(Scheme::Queue).evaluate(&vms, &pms, cfg).unwrap();
+        let cfg = SimConfig {
+            steps: 3000,
+            seed: 3,
+            migrations_enabled: false,
+            ..Default::default()
+        };
+        let (_, out) = Consolidator::new(Scheme::Queue)
+            .evaluate(&vms, &pms, cfg)
+            .unwrap();
         assert!(out.mean_cvr() <= 0.02, "mean CVR {}", out.mean_cvr());
     }
 
@@ -218,6 +238,38 @@ mod tests {
     #[should_panic(expected = "rho")]
     fn rho_builder_rejects_bad_value() {
         let _ = Consolidator::new(Scheme::Queue).with_rho(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_on must be in (0,1]")]
+    fn probabilities_builder_rejects_zero_p_on() {
+        let _ = Consolidator::new(Scheme::Queue).with_probabilities(0.0, 0.09);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_off must be in (0,1]")]
+    fn probabilities_builder_rejects_out_of_range_p_off() {
+        let _ = Consolidator::new(Scheme::Queue).with_probabilities(0.01, 1.5);
+    }
+
+    #[test]
+    fn strategy_and_policy_share_one_mapping_table() {
+        use bursty_placement::{mapping_cache_stats, QueueStrategy};
+        use bursty_sim::QueuePolicy;
+        // Unique parameters so other tests' cache traffic cannot collide
+        // with this key; counters are global, so assert only on deltas.
+        let (d, p_on, p_off, rho) = (9, 0.017, 0.083, 0.021);
+        let before = mapping_cache_stats();
+        let strategy = QueueStrategy::build(d, p_on, p_off, rho);
+        let policy = QueuePolicy::from_parameters(d, p_on, p_off, rho);
+        let after = mapping_cache_stats();
+        assert!(
+            std::sync::Arc::ptr_eq(strategy.mapping_arc(), policy.strategy().mapping_arc()),
+            "packing strategy and runtime policy must share one table"
+        );
+        // Exactly one build for this parameter set; the second lookup hit.
+        assert_eq!(after.misses - before.misses, 1);
+        assert!(after.hits - before.hits >= 1);
     }
 
     #[test]

@@ -60,21 +60,20 @@ pub use consolidator::{Consolidator, Scheme};
 pub mod prelude {
     pub use crate::consolidator::{Consolidator, Scheme};
     pub use bursty_markov::{
-        block_system_metrics, AggregateChain, BlockSystemMetrics, OnOffChain,
-        TransientAnalysis, VmState,
+        block_system_metrics, AggregateChain, BlockSystemMetrics, OnOffChain, TransientAnalysis,
+        VmState,
     };
     pub use bursty_metrics::{Summary, Table, TimeSeries};
     pub use bursty_placement::{
-        first_fit, BaseStrategy, MappingTable, PeakStrategy, Placement, PmLoad,
-        QueueStrategy, ReserveStrategy, Strategy,
+        first_fit, BaseStrategy, MappingTable, PeakStrategy, Placement, PmLoad, QueueStrategy,
+        ReserveStrategy, Strategy,
     };
     pub use bursty_sim::{
-        detect_stabilization, replicate, run_churn, ChurnConfig, ChurnOutcome,
-        MigrationEvent, ObservedPolicy, PeakPolicy, QueuePolicy, RuntimePolicy,
-        SimConfig, SimOutcome, Simulator, Stabilization,
+        detect_stabilization, replicate, run_churn, ChurnConfig, ChurnOutcome, MigrationEvent,
+        ObservedPolicy, PeakPolicy, QueuePolicy, RuntimePolicy, SimConfig, SimOutcome, Simulator,
+        Stabilization,
     };
     pub use bursty_workload::{
-        fit_trace, FittedModel, FleetGenerator, PmSpec, SizeClass, VmSpec,
-        WorkloadPattern, TABLE_I,
+        fit_trace, FittedModel, FleetGenerator, PmSpec, SizeClass, VmSpec, WorkloadPattern, TABLE_I,
     };
 }

@@ -15,16 +15,30 @@ pub fn run(ctx: &Ctx) {
     );
 
     let mut table = Table::new(&[
-        "scheme", "admitted", "rejected", "migrations", "fleet CVR", "steady PMs",
+        "scheme",
+        "admitted",
+        "rejected",
+        "migrations",
+        "fleet CVR",
+        "steady PMs",
     ]);
     let mut csv = CsvWriter::new();
     csv.record(&[
-        "scheme", "admitted", "rejected", "migrations", "fleet_cvr", "steady_pms",
+        "scheme",
+        "admitted",
+        "rejected",
+        "migrations",
+        "fleet_cvr",
+        "steady_pms",
     ]);
 
     let mut gen = FleetGenerator::new(0);
     let pms = gen.pms(400);
-    let sim = SimConfig { steps: 2_000, seed: 8, ..Default::default() };
+    let sim = SimConfig {
+        steps: 2_000,
+        seed: 8,
+        ..Default::default()
+    };
 
     let policies: Vec<(&str, Box<dyn RuntimePolicy>)> = vec![
         (

@@ -38,8 +38,10 @@ pub fn run(ctx: &Ctx) {
         }
     }
     let before = cluster.pms_used();
-    let assignment: Vec<usize> =
-        survivors.iter().map(|vm| cluster.host_of(vm.id).unwrap()).collect();
+    let assignment: Vec<usize> = survivors
+        .iter()
+        .map(|vm| cluster.host_of(vm.id).unwrap())
+        .collect();
     println!(
         "after churn: {} VMs spread over {before} PMs (packed fresh, QueuingFFD \
          would need {})\n",
@@ -52,17 +54,33 @@ pub fn run(ctx: &Ctx) {
 
     let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
     let mut table = Table::new(&[
-        "move budget", "moves", "PMs freed", "PMs after", "moves/PM", "migration secs",
+        "move budget",
+        "moves",
+        "PMs freed",
+        "PMs after",
+        "moves/PM",
+        "migration secs",
     ]);
     let mut csv = CsvWriter::new();
-    csv.record(&["budget", "moves", "freed", "pms_after", "moves_per_pm", "migration_secs"]);
+    csv.record(&[
+        "budget",
+        "moves",
+        "freed",
+        "pms_after",
+        "moves_per_pm",
+        "migration_secs",
+    ]);
     for budget in [2usize, 5, 10, 20, 50, 1_000] {
         let plan = plan_defrag(&survivors, &pm_specs, &assignment, &strategy, budget);
         let next = apply_plan(&survivors, &assignment, &plan);
         let after: std::collections::HashSet<usize> = next.iter().copied().collect();
         let secs = total_cost(plan.moves.len(), MigrationParams::default()).total_secs;
         table.row(&[
-            if budget == 1_000 { "∞".into() } else { budget.to_string() },
+            if budget == 1_000 {
+                "∞".into()
+            } else {
+                budget.to_string()
+            },
             plan.moves.len().to_string(),
             plan.freed_pms.len().to_string(),
             after.len().to_string(),

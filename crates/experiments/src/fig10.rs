@@ -29,7 +29,10 @@ pub fn run(ctx: &Ctx) {
         let mut gen = FleetGenerator::new(SEED);
         let vms = gen.vms_table_i(N_VMS, WorkloadPattern::EqualSpike);
         let pms = gen.pms(3 * N_VMS);
-        let cfg = SimConfig { seed: SEED, ..Default::default() };
+        let cfg = SimConfig {
+            seed: SEED,
+            ..Default::default()
+        };
         let (_, out) = consolidator.evaluate(&vms, &pms, cfg).unwrap();
         let per_step = migrations_per_step(&out.migrations, cfg.steps);
         let mut series = TimeSeries::new(0.0, 1.0);

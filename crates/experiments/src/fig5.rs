@@ -21,9 +21,7 @@ pub fn run(ctx: &Ctx) {
          mean over 5 seeded fleets per (pattern, n).",
     );
 
-    let mut table = Table::new(&[
-        "pattern", "n", "QUEUE", "RP", "RB", "QUEUE vs RP", "paper",
-    ]);
+    let mut table = Table::new(&["pattern", "n", "QUEUE", "RP", "RB", "QUEUE vs RP", "paper"]);
     let mut csv = CsvWriter::new();
     csv.record(&["pattern", "n", "queue", "rp", "rb", "improvement_vs_rp"]);
 
@@ -41,12 +39,18 @@ pub fn run(ctx: &Ctx) {
                 let mut gen = FleetGenerator::new(1000 * seed + n as u64);
                 let vms = gen.vms(n, pattern);
                 let pms = gen.pms(n); // one PM per VM is always enough
-                q += Consolidator::new(Scheme::Queue).place(&vms, &pms).unwrap().pms_used()
-                    as f64;
-                rp += Consolidator::new(Scheme::Rp).place(&vms, &pms).unwrap().pms_used()
-                    as f64;
-                rb += Consolidator::new(Scheme::Rb).place(&vms, &pms).unwrap().pms_used()
-                    as f64;
+                q += Consolidator::new(Scheme::Queue)
+                    .place(&vms, &pms)
+                    .unwrap()
+                    .pms_used() as f64;
+                rp += Consolidator::new(Scheme::Rp)
+                    .place(&vms, &pms)
+                    .unwrap()
+                    .pms_used() as f64;
+                rb += Consolidator::new(Scheme::Rb)
+                    .place(&vms, &pms)
+                    .unwrap()
+                    .pms_used() as f64;
             }
             let (q, rp, rb) = (q / REPS as f64, rp / REPS as f64, rb / REPS as f64);
             let improvement = consolidation_improvement(q.round() as usize, rp.round() as usize);

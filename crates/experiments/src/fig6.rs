@@ -19,10 +19,21 @@ pub fn run(ctx: &Ctx) {
     );
 
     let mut table = Table::new(&[
-        "pattern", "scheme", "mean CVR", "max per-PM CVR", "PMs > rho",
+        "pattern",
+        "scheme",
+        "mean CVR",
+        "max per-PM CVR",
+        "PMs > rho",
     ]);
     let mut csv = CsvWriter::new();
-    csv.record(&["pattern", "scheme", "mean_cvr", "max_cvr", "pms_over_rho", "pms_total"]);
+    csv.record(&[
+        "pattern",
+        "scheme",
+        "mean_cvr",
+        "max_cvr",
+        "pms_over_rho",
+        "pms_total",
+    ]);
 
     for pattern in WorkloadPattern::ALL {
         for scheme in [Scheme::Queue, Scheme::Rb] {
@@ -40,8 +51,7 @@ pub fn run(ctx: &Ctx) {
                 let (_, out) = consolidator.evaluate(&vms, &pms, cfg).unwrap();
                 out
             });
-            let mean_cvr =
-                outs.iter().map(SimOutcome::mean_cvr).sum::<f64>() / outs.len() as f64;
+            let mean_cvr = outs.iter().map(SimOutcome::mean_cvr).sum::<f64>() / outs.len() as f64;
             let max_cvr = outs.iter().map(SimOutcome::max_cvr).fold(0.0, f64::max);
             let over: usize = outs
                 .iter()

@@ -4,7 +4,9 @@
 use crate::common::{banner, Ctx};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::Table;
+use bursty_core::placement::{first_fit, MappingTable, QueueStrategy};
 use bursty_core::prelude::*;
+use bursty_core::workload::patterns::defaults;
 use std::time::Instant;
 
 const DS: [usize; 5] = [4, 8, 16, 24, 32];
@@ -30,8 +32,12 @@ pub fn run(ctx: &Ctx) {
             let vms = gen.vms(n, WorkloadPattern::EqualSpike);
             let pms = gen.pms(n);
             let start = Instant::now();
-            let consolidator = Consolidator::new(Scheme::Queue).with_d(d);
-            let placement = consolidator.place(&vms, &pms).unwrap();
+            // Build the table uncached so every cell charges the full
+            // O(d^4) MapCal cost the figure is about — the process-wide
+            // memo would otherwise make all but the first cell per d free.
+            let mapping = MappingTable::build(d, defaults::P_ON, defaults::P_OFF, defaults::RHO);
+            let strategy = QueueStrategy::new(mapping);
+            let placement = first_fit(&vms, &pms, &strategy).unwrap();
             let elapsed = start.elapsed();
             assert!(placement.is_complete());
             let ms = elapsed.as_secs_f64() * 1e3;

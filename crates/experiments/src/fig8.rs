@@ -6,7 +6,7 @@ use crate::common::{banner, Ctx};
 use bursty_core::markov::OnOffChain;
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::plot::ascii_series;
-use bursty_core::workload::{WebServerWorkload};
+use bursty_core::workload::WebServerWorkload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,7 +48,11 @@ pub fn run(ctx: &Ctx) {
         csv.record_display(&[
             t.to_string(),
             r.to_string(),
-            if state.is_on() { "ON".to_string() } else { "OFF".to_string() },
+            if state.is_on() {
+                "ON".to_string()
+            } else {
+                "OFF".to_string()
+            },
         ]);
     }
     ctx.write_csv("fig8_web_workload", &csv);

@@ -25,12 +25,23 @@ pub fn run(ctx: &Ctx) {
     );
 
     let mut table = Table::new(&[
-        "pattern", "scheme", "migrations mean [min,max]", "final PMs mean [min,max]", "energy kWh",
+        "pattern",
+        "scheme",
+        "migrations mean [min,max]",
+        "final PMs mean [min,max]",
+        "energy kWh",
     ]);
     let mut csv = CsvWriter::new();
     csv.record(&[
-        "pattern", "scheme", "migrations_mean", "migrations_min", "migrations_max",
-        "final_pms_mean", "final_pms_min", "final_pms_max", "energy_kwh_mean",
+        "pattern",
+        "scheme",
+        "migrations_mean",
+        "migrations_min",
+        "migrations_max",
+        "final_pms_mean",
+        "final_pms_min",
+        "final_pms_max",
+        "energy_kwh_mean",
     ]);
 
     for pattern in WorkloadPattern::ALL {
@@ -40,16 +51,16 @@ pub fn run(ctx: &Ctx) {
                 let mut gen = FleetGenerator::new(seed * 31 + pattern as u64);
                 let vms = gen.vms_table_i(N_VMS, pattern);
                 let pms = gen.pms(3 * N_VMS); // generous spare pool
-                let cfg = SimConfig { seed: seed ^ 0xF00D, ..Default::default() };
+                let cfg = SimConfig {
+                    seed: seed ^ 0xF00D,
+                    ..Default::default()
+                };
                 let (_, out) = consolidator.evaluate(&vms, &pms, cfg).unwrap();
                 out
             });
-            let migrations: Vec<f64> =
-                outs.iter().map(|o| o.total_migrations() as f64).collect();
-            let final_pms: Vec<f64> =
-                outs.iter().map(|o| o.final_pms_used as f64).collect();
-            let energy_kwh: Vec<f64> =
-                outs.iter().map(|o| o.energy_joules / 3.6e6).collect();
+            let migrations: Vec<f64> = outs.iter().map(|o| o.total_migrations() as f64).collect();
+            let final_pms: Vec<f64> = outs.iter().map(|o| o.final_pms_used as f64).collect();
+            let energy_kwh: Vec<f64> = outs.iter().map(|o| o.energy_joules / 3.6e6).collect();
             let (ms, ps, es) = (
                 Summary::of(&migrations),
                 Summary::of(&final_pms),

@@ -88,8 +88,21 @@ fn main() -> ExitCode {
 
     if which == "all" {
         for name in [
-            "table1", "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "sweep", "sbp", "churn", "quality", "defrag", "robustness", "victim",
+            "table1",
+            "fig1",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "sweep",
+            "sbp",
+            "churn",
+            "quality",
+            "defrag",
+            "robustness",
+            "victim",
         ] {
             run(name, &ctx);
             println!();

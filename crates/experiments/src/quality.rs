@@ -39,8 +39,14 @@ pub fn run(ctx: &Ctx) {
 
     let mut csv = CsvWriter::new();
     csv.record(&["metric", "value"]);
-    csv.record_display(&["ffd_quality_mean".to_string(), format!("{:.4}", summary.mean)]);
-    csv.record_display(&["ffd_quality_worst".to_string(), format!("{:.4}", summary.max)]);
+    csv.record_display(&[
+        "ffd_quality_mean".to_string(),
+        format!("{:.4}", summary.mean),
+    ]);
+    csv.record_display(&[
+        "ffd_quality_worst".to_string(),
+        format!("{:.4}", summary.max),
+    ]);
 
     // One worked example with the exact count shown.
     let mut gen = FleetGenerator::new(7_100);
@@ -55,7 +61,13 @@ pub fn run(ctx: &Ctx) {
 
     // --- Loss-system metrics --------------------------------------------
     let mut table = Table::new(&[
-        "k", "blocks (rho=1%)", "offered load", "carried", "utilization", "blocking", "CVR",
+        "k",
+        "blocks (rho=1%)",
+        "offered load",
+        "carried",
+        "utilization",
+        "blocking",
+        "CVR",
     ]);
     for k in [4usize, 8, 16, 32] {
         let chain = AggregateChain::new(k, 0.01, 0.09);

@@ -19,11 +19,22 @@ pub fn run(ctx: &Ctx) {
 
     // --- Tolerance envelopes --------------------------------------------
     let mut table = Table::new(&[
-        "k", "blocks", "max p_on (plan 0.01)", "min p_off (plan 0.09)",
-        "p_on headroom", "survives 10% error",
+        "k",
+        "blocks",
+        "max p_on (plan 0.01)",
+        "min p_off (plan 0.09)",
+        "p_on headroom",
+        "survives 10% error",
     ]);
     let mut csv = CsvWriter::new();
-    csv.record(&["k", "blocks", "max_p_on", "min_p_off", "p_on_headroom", "survives_10pct"]);
+    csv.record(&[
+        "k",
+        "blocks",
+        "max_p_on",
+        "min_p_off",
+        "p_on_headroom",
+        "survives_10pct",
+    ]);
     for k in [4usize, 8, 16, 32] {
         let chain = AggregateChain::new(k, 0.01, 0.09);
         let blocks = chain.blocks_needed(0.01).unwrap();
@@ -65,11 +76,15 @@ pub fn run(ctx: &Ctx) {
     );
 
     // Demonstrate on an actual simulation of that PM.
-    let vms: Vec<VmSpec> =
-        (0..16).map(|i| VmSpec::new(i, 0.01, 0.09, 10.0, 10.0)).collect();
+    let vms: Vec<VmSpec> = (0..16)
+        .map(|i| VmSpec::new(i, 0.01, 0.09, 10.0, 10.0))
+        .collect();
     let capacity = 16.0 * 10.0 + blocks as f64 * 10.0;
     let pms = vec![PmSpec::new(0, capacity)];
-    let placement = Placement { assignment: vec![Some(0); 16], n_pms: 1 };
+    let placement = Placement {
+        assignment: vec![Some(0); 16],
+        n_pms: 1,
+    };
     let policy = ObservedPolicy::rb();
     for steps in [2_000usize, 20_000, 200_000] {
         let cfg = SimConfig {

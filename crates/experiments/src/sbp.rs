@@ -20,7 +20,11 @@ pub fn run(ctx: &Ctx) {
     );
 
     let mut table = Table::new(&[
-        "pattern", "scheme", "PMs", "mean CVR", "mean violation episode (steps)",
+        "pattern",
+        "scheme",
+        "PMs",
+        "mean CVR",
+        "mean violation episode (steps)",
     ]);
     let mut csv = CsvWriter::new();
     csv.record(&["pattern", "scheme", "pms", "mean_cvr", "mean_episode_len"]);
@@ -49,8 +53,7 @@ pub fn run(ctx: &Ctx) {
             n_pms: pms.len(),
         };
         let policy = ObservedPolicy::rb();
-        let sbp_out =
-            Simulator::new(&vms, &pms, &policy, cfg).run(&sbp_placement);
+        let sbp_out = Simulator::new(&vms, &pms, &policy, cfg).run(&sbp_placement);
 
         for (label, placement, out) in [
             ("QUEUE", &q_placement, &q_out),

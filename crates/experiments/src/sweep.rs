@@ -23,7 +23,10 @@ pub fn run(ctx: &Ctx) {
     let mut gen = FleetGenerator::new(314);
     let vms = gen.vms(N_VMS, WorkloadPattern::EqualSpike);
     let pms = gen.pms(N_VMS);
-    let rp_pms = Consolidator::new(Scheme::Rp).place(&vms, &pms).unwrap().pms_used();
+    let rp_pms = Consolidator::new(Scheme::Rp)
+        .place(&vms, &pms)
+        .unwrap()
+        .pms_used();
 
     let mut record = |knob: &str, value: String, consolidator: Consolidator| {
         let cfg = SimConfig {
@@ -51,10 +54,18 @@ pub fn run(ctx: &Ctx) {
     };
 
     for rho in [0.001, 0.005, 0.01, 0.05, 0.1] {
-        record("rho", format!("{rho}"), Consolidator::new(Scheme::Queue).with_rho(rho));
+        record(
+            "rho",
+            format!("{rho}"),
+            Consolidator::new(Scheme::Queue).with_rho(rho),
+        );
     }
     for d in [4usize, 8, 16, 24, 32] {
-        record("d", d.to_string(), Consolidator::new(Scheme::Queue).with_d(d));
+        record(
+            "d",
+            d.to_string(),
+            Consolidator::new(Scheme::Queue).with_d(d),
+        );
     }
     // Burstiness: hold the ON fraction at 10% but stretch spike duration.
     for (p_on, p_off) in [(0.02, 0.18), (0.01, 0.09), (0.005, 0.045), (0.002, 0.018)] {
@@ -68,8 +79,7 @@ pub fn run(ctx: &Ctx) {
         let mut g = bursty_core::workload::FleetGenerator::with_options(314, opts);
         let vms2 = g.vms(N_VMS, WorkloadPattern::EqualSpike);
         let pms2 = g.pms(N_VMS);
-        let consolidator =
-            Consolidator::new(Scheme::Queue).with_probabilities(p_on, p_off);
+        let consolidator = Consolidator::new(Scheme::Queue).with_probabilities(p_on, p_off);
         let cfg = SimConfig {
             steps: 5_000,
             seed: 12,
@@ -77,7 +87,10 @@ pub fn run(ctx: &Ctx) {
             ..Default::default()
         };
         let (placement, out) = consolidator.evaluate(&vms2, &pms2, cfg).unwrap();
-        let rp2 = Consolidator::new(Scheme::Rp).place(&vms2, &pms2).unwrap().pms_used();
+        let rp2 = Consolidator::new(Scheme::Rp)
+            .place(&vms2, &pms2)
+            .unwrap()
+            .pms_used();
         let improvement = 1.0 - placement.pms_used() as f64 / rp2 as f64;
         table.row(&[
             "spike duration (1/p_off)".into(),

@@ -11,7 +11,11 @@ pub fn run(ctx: &Ctx) {
         "Size classes: small = 400 users, medium = 800, large = 1600.",
     );
     let mut table = Table::new(&[
-        "pattern", "R_b", "R_e", "normal capability", "peak capability",
+        "pattern",
+        "R_b",
+        "R_e",
+        "normal capability",
+        "peak capability",
     ]);
     let mut csv = CsvWriter::new();
     csv.record(&["pattern", "r_b", "r_e", "normal_users", "peak_users"]);

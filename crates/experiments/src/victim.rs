@@ -20,10 +20,20 @@ pub fn run(ctx: &Ctx) {
     );
 
     let mut table = Table::new(&[
-        "policy", "migrations", "final PMs", "mean demand moved", "est. migration secs",
+        "policy",
+        "migrations",
+        "final PMs",
+        "mean demand moved",
+        "est. migration secs",
     ]);
     let mut csv = CsvWriter::new();
-    csv.record(&["policy", "migrations_mean", "final_pms_mean", "mean_demand_moved", "migration_secs"]);
+    csv.record(&[
+        "policy",
+        "migrations_mean",
+        "final_pms_mean",
+        "mean_demand_moved",
+        "migration_secs",
+    ]);
 
     let mut gen = FleetGenerator::new(31337);
     let vms = gen.vms(N_VMS, WorkloadPattern::EqualSpike);
@@ -37,22 +47,31 @@ pub fn run(ctx: &Ctx) {
         ("smallest-base", VictimPolicy::SmallestBase),
     ] {
         let outs = replicate(RUNS, 9_000, |seed| {
-            let cfg = SimConfig { seed, victim_policy: policy, ..Default::default() };
+            let cfg = SimConfig {
+                seed,
+                victim_policy: policy,
+                ..Default::default()
+            };
             consolidator.simulate(&vms, &pms, &placement, cfg)
         });
-        let migrations: Vec<f64> =
-            outs.iter().map(|o| o.total_migrations() as f64).collect();
+        let migrations: Vec<f64> = outs.iter().map(|o| o.total_migrations() as f64).collect();
         let final_pms: Vec<f64> = outs.iter().map(|o| o.final_pms_used as f64).collect();
         let moved: Vec<f64> = outs
             .iter()
             .flat_map(|o| o.migrations.iter().map(|e| vms[e.vm_id].r_p()))
             .collect();
-        let (ms, ps, dm) =
-            (Summary::of(&migrations), Summary::of(&final_pms), Summary::of(&moved));
+        let (ms, ps, dm) = (
+            Summary::of(&migrations),
+            Summary::of(&final_pms),
+            Summary::of(&moved),
+        );
         // Demand → memory: 1 demand unit ≈ 100 MiB keeps the scale sane.
         let secs_per_migration = total_cost(
             1,
-            MigrationParams { memory_mib: dm.mean * 100.0, ..Default::default() },
+            MigrationParams {
+                memory_mib: dm.mean * 100.0,
+                ..Default::default()
+            },
         )
         .total_secs;
         let est_secs = ms.mean * secs_per_migration;

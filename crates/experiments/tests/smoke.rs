@@ -7,7 +7,10 @@ use std::process::Command;
 
 fn run(args: &[&str]) -> (bool, String, String) {
     let exe = env!("CARGO_BIN_EXE_experiments");
-    let out = Command::new(exe).args(args).output().expect("spawn experiments");
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .expect("spawn experiments");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),

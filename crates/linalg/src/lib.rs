@@ -21,7 +21,7 @@ pub mod stationary;
 pub use matrix::Matrix;
 pub use power::{power_iteration, PowerIterationOptions};
 pub use solve::{solve, LinalgError};
-pub use stationary::{stationary_distribution, stationary_by_power};
+pub use stationary::{stationary_by_power, stationary_distribution};
 
 /// Default absolute tolerance used by the crate's convergence and validation
 /// checks. Stationary probabilities of interest are ≥ ρ ~ 1e-2; 1e-12 leaves

@@ -18,7 +18,10 @@ pub struct PowerIterationOptions {
 
 impl Default for PowerIterationOptions {
     fn default() -> Self {
-        Self { tol: 1e-13, max_iters: 200_000 }
+        Self {
+            tol: 1e-13,
+            max_iters: 200_000,
+        }
     }
 }
 
@@ -38,7 +41,11 @@ pub fn power_iteration(
     opts: PowerIterationOptions,
 ) -> Result<Vec<f64>, LinalgError> {
     assert!(p.is_square(), "transition matrix must be square");
-    assert_eq!(start.len(), p.rows(), "start vector must match matrix order");
+    assert_eq!(
+        start.len(),
+        p.rows(),
+        "start vector must match matrix order"
+    );
 
     let mut cur = start.to_vec();
     normalize(&mut cur);
@@ -61,9 +68,15 @@ pub fn power_iteration(
     }
     let residual = {
         let nxt = p.vecmul_left(&cur);
-        cur.iter().zip(&nxt).map(|(a, b)| (a - b).abs()).fold(0.0_f64, f64::max)
+        cur.iter()
+            .zip(&nxt)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max)
     };
-    Err(LinalgError::NoConvergence { iterations: opts.max_iters, residual })
+    Err(LinalgError::NoConvergence {
+        iterations: opts.max_iters,
+        residual,
+    })
 }
 
 fn normalize(v: &mut [f64]) {
@@ -108,7 +121,10 @@ mod tests {
     fn periodic_chain_reports_no_convergence() {
         // Pure swap chain: period 2, point-mass start never converges.
         let p = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
-        let opts = PowerIterationOptions { tol: 1e-13, max_iters: 1_000 };
+        let opts = PowerIterationOptions {
+            tol: 1e-13,
+            max_iters: 1_000,
+        };
         match power_iteration(&p, &[1.0, 0.0], opts) {
             Err(LinalgError::NoConvergence { .. }) => {}
             other => panic!("expected NoConvergence, got {other:?}"),

@@ -24,8 +24,14 @@ impl fmt::Display for LinalgError {
             LinalgError::DimensionMismatch { rows, rhs } => {
                 write!(f, "dimension mismatch: {rows} rows vs rhs of length {rhs}")
             }
-            LinalgError::NoConvergence { iterations, residual } => {
-                write!(f, "no convergence after {iterations} iterations (residual {residual:.3e})")
+            LinalgError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (residual {residual:.3e})"
+                )
             }
         }
     }
@@ -52,7 +58,10 @@ pub fn solve(mut a: Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     assert!(a.is_square(), "solve requires a square matrix");
     let n = a.rows();
     if b.len() != n {
-        return Err(LinalgError::DimensionMismatch { rows: n, rhs: b.len() });
+        return Err(LinalgError::DimensionMismatch {
+            rows: n,
+            rhs: b.len(),
+        });
     }
     let mut x = b.to_vec();
 
@@ -159,7 +168,13 @@ mod tests {
 
     #[test]
     fn residual_of_exact_solution_is_small() {
-        let a = Matrix::from_fn(5, 5, |i, j| if i == j { 4.0 } else { 1.0 / (1 + i + j) as f64 });
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            if i == j {
+                4.0
+            } else {
+                1.0 / (1 + i + j) as f64
+            }
+        });
         let b = [1.0, 2.0, 3.0, 4.0, 5.0];
         let x = solve(a.clone(), &b).unwrap();
         assert!(residual_inf(&a, &x, &b) < 1e-10);
@@ -169,7 +184,9 @@ mod tests {
     fn hilbert_like_moderate_conditioning() {
         // A mildly ill-conditioned system still solves to a tight residual.
         let n = 8;
-        let a = Matrix::from_fn(n, n, |i, j| 1.0 / (i + j + 1) as f64 + if i == j { 0.5 } else { 0.0 });
+        let a = Matrix::from_fn(n, n, |i, j| {
+            1.0 / (i + j + 1) as f64 + if i == j { 0.5 } else { 0.0 }
+        });
         let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let x = solve(a.clone(), &b).unwrap();
         assert!(residual_inf(&a, &x, &b) < 1e-9);
@@ -179,7 +196,10 @@ mod tests {
     fn error_display_is_informative() {
         let e = LinalgError::Singular { pivot: 1e-20 };
         assert!(e.to_string().contains("singular"));
-        let e = LinalgError::NoConvergence { iterations: 10, residual: 0.5 };
+        let e = LinalgError::NoConvergence {
+            iterations: 10,
+            residual: 0.5,
+        };
         assert!(e.to_string().contains("10"));
     }
 }

@@ -107,11 +107,7 @@ mod tests {
 
     #[test]
     fn stationary_is_fixed_point() {
-        let p = Matrix::from_vec(
-            3,
-            3,
-            vec![0.5, 0.25, 0.25, 0.2, 0.6, 0.2, 0.1, 0.3, 0.6],
-        );
+        let p = Matrix::from_vec(3, 3, vec![0.5, 0.25, 0.25, 0.2, 0.6, 0.2, 0.1, 0.3, 0.6]);
         let pi = stationary_distribution(&p).unwrap();
         let pip = p.vecmul_left(&pi);
         assert_close(&pi, &pip, 1e-12);
@@ -121,11 +117,7 @@ mod tests {
 
     #[test]
     fn uniform_for_doubly_stochastic() {
-        let p = Matrix::from_vec(
-            3,
-            3,
-            vec![0.2, 0.3, 0.5, 0.5, 0.2, 0.3, 0.3, 0.5, 0.2],
-        );
+        let p = Matrix::from_vec(3, 3, vec![0.2, 0.3, 0.5, 0.5, 0.2, 0.3, 0.3, 0.5, 0.2]);
         let pi = stationary_distribution(&p).unwrap();
         assert_close(&pi, &[1.0 / 3.0; 3], 1e-12);
     }

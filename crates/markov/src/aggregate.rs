@@ -46,8 +46,14 @@ impl AggregateChain {
     /// Panics if `k == 0` or either probability is outside `(0, 1]`.
     pub fn new(k: usize, p_on: f64, p_off: f64) -> Self {
         assert!(k >= 1, "aggregate chain needs at least one VM");
-        assert!(p_on > 0.0 && p_on <= 1.0, "p_on must be in (0,1], got {p_on}");
-        assert!(p_off > 0.0 && p_off <= 1.0, "p_off must be in (0,1], got {p_off}");
+        assert!(
+            p_on > 0.0 && p_on <= 1.0,
+            "p_on must be in (0,1], got {p_on}"
+        );
+        assert!(
+            p_off > 0.0 && p_off <= 1.0,
+            "p_off must be in (0,1], got {p_off}"
+        );
         Self { k, p_on, p_off }
     }
 
@@ -145,19 +151,49 @@ impl AggregateChain {
     /// # Panics
     /// Panics unless `rho ∈ (0, 1)`.
     pub fn blocks_needed(&self, rho: f64) -> Result<usize, LinalgError> {
+        Ok(self.reservation(rho)?.blocks)
+    }
+
+    /// Eq. 15 and Eq. 16 answered by a *single* stationary solve: the
+    /// minimal block count `K` meeting the bound `ρ` together with the CVR
+    /// that `K` certifies, both read off the same `π`. Callers that need
+    /// both quantities (MapCal builds a table of them per `k`) should use
+    /// this instead of `blocks_needed` + `cvr_with_blocks`, which would
+    /// each re-run the `O(k³)` Gaussian elimination.
+    ///
+    /// # Errors
+    /// Propagates stationary-distribution failures.
+    ///
+    /// # Panics
+    /// Panics unless `rho ∈ (0, 1)`.
+    pub fn reservation(&self, rho: f64) -> Result<Reservation, LinalgError> {
         assert!(rho > 0.0 && rho < 1.0, "rho must be in (0,1), got {rho}");
         let pi = self.stationary()?;
+        // Roundoff can leave the cumulative sum slightly below 1 − ρ at the
+        // end; the full reservation k always satisfies the bound exactly.
+        let mut blocks = self.k;
         let mut cum = 0.0;
         for (m, &p) in pi.iter().enumerate() {
             cum += p;
             if cum >= 1.0 - rho {
-                return Ok(m);
+                blocks = m;
+                break;
             }
         }
-        // Roundoff can leave cum slightly below 1 − ρ at the end; the full
-        // reservation k always satisfies the constraint exactly.
-        Ok(self.k)
+        // Clamp: roundoff can leave a tail sum at -1e-17 for blocks = k.
+        let cvr = pi.iter().skip(blocks + 1).sum::<f64>().max(0.0);
+        Ok(Reservation { blocks, cvr })
     }
+}
+
+/// A block reservation certified by one stationary solve: the minimal
+/// feasible block count and the CVR it actually achieves (Eq. 15 + 16).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reservation {
+    /// Minimal `K` with `Σ_{m ≤ K} π_m ≥ 1 − ρ`.
+    pub blocks: usize,
+    /// The certified CVR at that reservation: `Σ_{m > K} π_m ≤ ρ`.
+    pub cvr: f64,
 }
 
 #[cfg(test)]
@@ -181,10 +217,7 @@ mod tests {
     fn transition_matrix_is_row_stochastic() {
         for k in [1usize, 2, 5, 16, 40] {
             let agg = AggregateChain::new(k, P_ON, P_OFF);
-            assert!(
-                agg.transition_matrix().is_row_stochastic(1e-9),
-                "k = {k}"
-            );
+            assert!(agg.transition_matrix().is_row_stochastic(1e-9), "k = {k}");
         }
     }
 
@@ -232,7 +265,10 @@ mod tests {
         let agg = AggregateChain::new(16, P_ON, P_OFF);
         let blocks = agg.blocks_needed(0.01).unwrap();
         assert!(blocks < 16, "expected reduction, got K = {blocks}");
-        assert!(blocks >= 1, "at 10% ON some reservation is needed, got K = {blocks}");
+        assert!(
+            blocks >= 1,
+            "at 10% ON some reservation is needed, got K = {blocks}"
+        );
         // Constraint actually holds…
         assert!(agg.cvr_with_blocks(blocks).unwrap() <= 0.01 + 1e-12);
         // …and K is minimal.
@@ -263,6 +299,19 @@ mod tests {
     }
 
     #[test]
+    fn reservation_matches_separate_queries() {
+        // The single-solve API must agree with the two independent ones.
+        for k in [1usize, 4, 16] {
+            let agg = AggregateChain::new(k, P_ON, P_OFF);
+            let res = agg.reservation(0.01).unwrap();
+            assert_eq!(res.blocks, agg.blocks_needed(0.01).unwrap());
+            let cvr = agg.cvr_with_blocks(res.blocks).unwrap();
+            assert!((res.cvr - cvr).abs() < 1e-12, "k={k}: {} vs {cvr}", res.cvr);
+            assert!(res.cvr <= 0.01 + 1e-12);
+        }
+    }
+
+    #[test]
     fn full_reservation_has_zero_cvr() {
         let agg = AggregateChain::new(12, P_ON, P_OFF);
         assert_eq!(agg.cvr_with_blocks(12).unwrap(), 0.0);
@@ -282,7 +331,10 @@ mod tests {
         // 90% ON: reserving much less than k must violate a tight ρ.
         let agg = AggregateChain::new(10, 0.09, 0.01);
         let blocks = agg.blocks_needed(0.01).unwrap();
-        assert!(blocks >= 9, "heavy traffic should need ≥ 9 blocks, got {blocks}");
+        assert!(
+            blocks >= 9,
+            "heavy traffic should need ≥ 9 blocks, got {blocks}"
+        );
     }
 
     #[test]

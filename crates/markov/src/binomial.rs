@@ -76,7 +76,10 @@ impl BinomialPmf {
     /// # Panics
     /// Panics unless `p ∈ [0, 1]`.
     pub fn new(n: u64, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in [0,1], got {p}"
+        );
         Self { n, p }
     }
 

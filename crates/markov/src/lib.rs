@@ -26,7 +26,7 @@ pub mod queueing;
 pub mod robustness;
 pub mod transient;
 
-pub use aggregate::AggregateChain;
+pub use aggregate::{AggregateChain, Reservation};
 pub use binomial::BinomialPmf;
 pub use birthdeath::BirthDeathApprox;
 pub use onoff::{OnOffChain, VmState};

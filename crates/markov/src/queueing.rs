@@ -58,7 +58,11 @@ pub fn block_system_metrics(
         .enumerate()
         .map(|(m, &p)| m.min(blocks) as f64 * p)
         .sum();
-    let utilization = if blocks == 0 { 0.0 } else { carried_load / blocks as f64 };
+    let utilization = if blocks == 0 {
+        0.0
+    } else {
+        carried_load / blocks as f64
+    };
 
     // Blocking: condition on the pre-step state θ = i. A tagged OFF source
     // turns ON with probability p_on; it is blocked when the *other*

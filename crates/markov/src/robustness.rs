@@ -145,7 +145,9 @@ mod tests {
     const RHO: f64 = 0.01;
 
     fn planned_blocks(k: usize) -> usize {
-        AggregateChain::new(k, P_ON, P_OFF).blocks_needed(RHO).unwrap()
+        AggregateChain::new(k, P_ON, P_OFF)
+            .blocks_needed(RHO)
+            .unwrap()
     }
 
     #[test]

@@ -218,8 +218,14 @@ mod tests {
         let early = a.violation_probability_at(blocks, 3);
         let late = a.violation_probability_at(blocks, 2_000);
         let cvr = a.chain().cvr_with_blocks(blocks).unwrap();
-        assert!(early < late, "violation probability must grow from cold start");
-        assert!((late - cvr).abs() < 1e-9, "late {late} vs stationary CVR {cvr}");
+        assert!(
+            early < late,
+            "violation probability must grow from cold start"
+        );
+        assert!(
+            (late - cvr).abs() < 1e-9,
+            "late {late} vs stationary CVR {cvr}"
+        );
     }
 
     #[test]
@@ -243,8 +249,8 @@ mod tests {
         assert!(e100 > e50);
         // Increments approach the stationary per-step rate.
         let cvr = a.chain().cvr_with_blocks(2).unwrap();
-        let tail_rate = (a.expected_violations(2, 2_000) - a.expected_violations(2, 1_000))
-            / 1_000.0;
+        let tail_rate =
+            (a.expected_violations(2, 2_000) - a.expected_violations(2, 1_000)) / 1_000.0;
         assert!((tail_rate - cvr).abs() < 1e-6);
     }
 

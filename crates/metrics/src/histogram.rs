@@ -19,7 +19,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo < hi, "lo must be < hi ({lo} vs {hi})");
         assert!(bins > 0, "need at least one bin");
-        Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Adds one observation.

@@ -152,8 +152,7 @@ pub fn certify_bound(
     // Scale counts down to the effective sample size, preserving the rate.
     let scale = ess / trials as f64;
     let eff_trials = (trials as f64 * scale).round().max(1.0) as u64;
-    let eff_successes =
-        ((successes as f64 * scale).round() as u64).min(eff_trials);
+    let eff_successes = ((successes as f64 * scale).round() as u64).min(eff_trials);
     let ci = wilson_interval(eff_successes, eff_trials, conf);
     if ci.hi <= bound {
         BoundVerdict::Holds

@@ -9,7 +9,10 @@ pub const SECS_PER_MONTH: f64 = 30.0 * 24.0 * 3600.0;
 
 /// Availability implied by a CVR: the fraction of time capacity holds.
 pub fn availability(cvr: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&cvr), "CVR must be in [0,1], got {cvr}");
+    assert!(
+        (0.0..=1.0).contains(&cvr),
+        "CVR must be in [0,1], got {cvr}"
+    );
     1.0 - cvr
 }
 

@@ -48,7 +48,13 @@ impl Default for OnlineStats {
 impl OnlineStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -126,7 +132,10 @@ impl OnlineStats {
 /// The `q`-quantile (`q ∈ [0, 1]`) by linear interpolation on a sorted copy.
 /// Returns `None` for an empty slice.
 pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     if xs.is_empty() {
         return None;
     }

@@ -21,7 +21,11 @@ impl TimeSeries {
     /// Panics if `dt ≤ 0`.
     pub fn new(t0: f64, dt: f64) -> Self {
         assert!(dt > 0.0, "dt must be positive, got {dt}");
-        Self { t0, dt, values: Vec::new() }
+        Self {
+            t0,
+            dt,
+            values: Vec::new(),
+        }
     }
 
     /// Appends a sample.
@@ -72,7 +76,11 @@ impl TimeSeries {
                 acc
             })
             .collect();
-        TimeSeries { t0: self.t0, dt: self.dt, values }
+        TimeSeries {
+            t0: self.t0,
+            dt: self.dt,
+            values,
+        }
     }
 
     /// Downsamples by averaging consecutive windows of `factor` samples
@@ -87,7 +95,11 @@ impl TimeSeries {
             .chunks(factor)
             .map(|c| c.iter().sum::<f64>() / c.len() as f64)
             .collect();
-        TimeSeries { t0: self.t0, dt: self.dt * factor as f64, values }
+        TimeSeries {
+            t0: self.t0,
+            dt: self.dt * factor as f64,
+            values,
+        }
     }
 }
 
@@ -109,7 +121,11 @@ mod tests {
 
     #[test]
     fn cumulative_sums_prefixes() {
-        let ts = TimeSeries { t0: 0.0, dt: 1.0, values: vec![1.0, 0.0, 2.0, 3.0] };
+        let ts = TimeSeries {
+            t0: 0.0,
+            dt: 1.0,
+            values: vec![1.0, 0.0, 2.0, 3.0],
+        };
         assert_eq!(ts.cumulative().values, vec![1.0, 1.0, 3.0, 6.0]);
     }
 
@@ -121,7 +137,11 @@ mod tests {
 
     #[test]
     fn downsample_averages_windows() {
-        let ts = TimeSeries { t0: 0.0, dt: 1.0, values: vec![1.0, 3.0, 5.0, 7.0, 9.0] };
+        let ts = TimeSeries {
+            t0: 0.0,
+            dt: 1.0,
+            values: vec![1.0, 3.0, 5.0, 7.0, 9.0],
+        };
         let d = ts.downsample_mean(2);
         assert_eq!(d.values, vec![2.0, 6.0, 9.0]);
         assert_eq!(d.dt, 2.0);

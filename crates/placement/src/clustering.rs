@@ -29,12 +29,14 @@ pub fn cluster_order(vms: &[VmSpec], buckets: usize) -> Vec<usize> {
         lo = lo.min(v.r_e);
         hi = hi.max(v.r_e);
     }
-    let width = if hi > lo { (hi - lo) / buckets as f64 } else { 1.0 };
+    let width = if hi > lo {
+        (hi - lo) / buckets as f64
+    } else {
+        1.0
+    };
 
     // Bucket index for a spike size; the max value lands in the top bucket.
-    let bucket_of = |r_e: f64| -> usize {
-        (((r_e - lo) / width) as usize).min(buckets - 1)
-    };
+    let bucket_of = |r_e: f64| -> usize { (((r_e - lo) / width) as usize).min(buckets - 1) };
 
     let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); buckets];
     for (i, v) in vms.iter().enumerate() {

@@ -13,7 +13,9 @@
 //! count and never degrades any remaining PM below the strategy's
 //! feasibility bar.
 
+use crate::index::HeadroomIndex;
 use crate::load::PmLoad;
+use crate::pack::probe_first_fit;
 use crate::strategy::Strategy;
 use bursty_workload::{PmSpec, VmSpec};
 
@@ -89,7 +91,11 @@ pub fn plan_defrag(
     strategy: &dyn Strategy,
     max_moves: usize,
 ) -> DefragPlan {
-    assert_eq!(vms.len(), assignment.len(), "assignment must cover every VM");
+    assert_eq!(
+        vms.len(),
+        assignment.len(),
+        "assignment must cover every VM"
+    );
 
     let m = pms.len();
     let mut hosted: Vec<Vec<usize>> = vec![Vec::new(); m];
@@ -97,8 +103,10 @@ pub fn plan_defrag(
         assert!(j < m, "assignment references PM {j} out of {m}");
         hosted[j].push(i);
     }
-    let mut loads: Vec<PmLoad> =
-        hosted.iter().map(|h| PmLoad::rebuild(h.iter().map(|&i| &vms[i]))).collect();
+    let mut loads: Vec<PmLoad> = hosted
+        .iter()
+        .map(|h| PmLoad::rebuild(h.iter().map(|&i| &vms[i])))
+        .collect();
 
     // Candidate sources: used PMs, cheapest (fewest VMs) first; ties by
     // lowest base load so "emptier" PMs drain first.
@@ -117,6 +125,20 @@ pub fn plan_defrag(
     // some VM twice, wasting migrations.
     let mut received = vec![false; m];
 
+    // Headroom index over eligible *targets*: empty PMs (and later drained
+    // sources) carry −∞ so the probe never returns them; everything else
+    // carries the strategy's headroom for O(log m) target search.
+    let headrooms: Vec<f64> = (0..m)
+        .map(|j| {
+            if loads[j].is_empty() {
+                f64::NEG_INFINITY
+            } else {
+                strategy.headroom(&loads[j], pms[j].capacity)
+            }
+        })
+        .collect();
+    let mut index = HeadroomIndex::new(&headrooms);
+
     for &source in &sources {
         if drained[source] || received[source] {
             continue;
@@ -126,23 +148,22 @@ pub fn plan_defrag(
         }
         // Tentatively place every VM of `source` on other used PMs —
         // largest first, so First Fit packs better and failure surfaces
-        // sooner.
+        // sooner. Index entries touched along the way are recorded so a
+        // failed drain can be rolled back.
         let mut tentative_loads = loads.clone();
         let mut tentative_moves = Vec::with_capacity(hosted[source].len());
         let mut members = hosted[source].clone();
         members.sort_by(|&a, &b| vms[b].r_b.total_cmp(&vms[a].r_b));
+        let mut touched = vec![(source, index.value(source))];
+        index.update(source, f64::NEG_INFINITY);
         let mut ok = true;
         for &i in &members {
             let vm = &vms[i];
-            let slot = (0..m).find(|&j| {
-                j != source
-                    && !drained[j]
-                    && !tentative_loads[j].is_empty()
-                    && strategy.admits(&tentative_loads[j], vm, pms[j].capacity)
-            });
-            match slot {
+            match probe_first_fit(&index, &tentative_loads, pms, strategy, vm) {
                 Some(j) => {
+                    touched.push((j, index.value(j)));
                     tentative_loads[j].add(vm);
+                    index.update(j, strategy.headroom(&tentative_loads[j], pms[j].capacity));
                     tentative_moves.push(PlannedMove {
                         vm_id: vm.id,
                         from_pm: source,
@@ -156,6 +177,8 @@ pub fn plan_defrag(
             }
         }
         if ok {
+            // Commit: the source stays −∞ in the index (it is now empty)
+            // and the target updates already hold the post-move headrooms.
             tentative_loads[source] = PmLoad::empty();
             loads = tentative_loads;
             // Commit membership so later drains see the true hosted sets.
@@ -170,9 +193,18 @@ pub fn plan_defrag(
             moves.extend(tentative_moves);
             freed.push(source);
             drained[source] = true;
+        } else {
+            // Roll back every index entry this drain touched, newest
+            // first, restoring the pre-drain headrooms (and the source).
+            for (j, value) in touched.into_iter().rev() {
+                index.update(j, value);
+            }
         }
     }
-    DefragPlan { moves, freed_pms: freed }
+    DefragPlan {
+        moves,
+        freed_pms: freed,
+    }
 }
 
 /// Applies a plan to an assignment (VM index → PM index), returning the
@@ -182,11 +214,7 @@ pub fn plan_defrag(
 /// # Panics
 /// Panics if a move references a VM id absent from `vms` or inconsistent
 /// with the current assignment.
-pub fn apply_plan(
-    vms: &[VmSpec],
-    assignment: &[usize],
-    plan: &DefragPlan,
-) -> Vec<usize> {
+pub fn apply_plan(vms: &[VmSpec], assignment: &[usize], plan: &DefragPlan) -> Vec<usize> {
     let mut next = assignment.to_vec();
     for mv in &plan.moves {
         let idx = vms
@@ -213,7 +241,10 @@ mod tests {
     }
 
     fn pms(caps: &[f64]) -> Vec<PmSpec> {
-        caps.iter().enumerate().map(|(j, &c)| PmSpec::new(j, c)).collect()
+        caps.iter()
+            .enumerate()
+            .map(|(j, &c)| PmSpec::new(j, c))
+            .collect()
     }
 
     #[test]
@@ -221,7 +252,12 @@ mod tests {
         // PM0: two small VMs; PM1/PM2 each half full. The cheapest drain
         // (fewest moves per freed PM) is a single-VM PM into PM0 — the
         // planner frees exactly one PM, and the result is consistent.
-        let vms = vec![vm(0, 2.0, 0.0), vm(1, 2.0, 0.0), vm(2, 5.0, 0.0), vm(3, 5.0, 0.0)];
+        let vms = vec![
+            vm(0, 2.0, 0.0),
+            vm(1, 2.0, 0.0),
+            vm(2, 5.0, 0.0),
+            vm(3, 5.0, 0.0),
+        ];
         let farm = pms(&[10.0, 10.0, 10.0]);
         let assignment = vec![0, 0, 1, 2];
         let plan = plan_defrag(&vms, &farm, &assignment, &BaseStrategy, 10);
@@ -249,11 +285,7 @@ mod tests {
     fn respects_strategy_feasibility() {
         // Under Eq. 17, target PMs must absorb newcomers' blocks too; a
         // drain feasible for RB can be infeasible for QUEUE.
-        let vms = vec![
-            vm(0, 10.0, 20.0),
-            vm(1, 60.0, 20.0),
-            vm(2, 60.0, 20.0),
-        ];
+        let vms = vec![vm(0, 10.0, 20.0), vm(1, 60.0, 20.0), vm(2, 60.0, 20.0)];
         let farm = pms(&[100.0, 100.0, 100.0]);
         let assignment = vec![0, 1, 2];
         let rb_plan = plan_defrag(&vms, &farm, &assignment, &BaseStrategy, 10);
@@ -274,7 +306,10 @@ mod tests {
                 continue;
             }
             let load = PmLoad::rebuild(h.iter().map(|&i| &vms[i]));
-            assert!(q.feasible(&load, farm[j].capacity), "PM {j} infeasible after defrag");
+            assert!(
+                q.feasible(&load, farm[j].capacity),
+                "PM {j} infeasible after defrag"
+            );
         }
     }
 
@@ -327,9 +362,21 @@ mod tests {
     fn plan_cost_effectiveness_metric() {
         let plan = DefragPlan {
             moves: vec![
-                PlannedMove { vm_id: 0, from_pm: 0, to_pm: 1 },
-                PlannedMove { vm_id: 1, from_pm: 0, to_pm: 2 },
-                PlannedMove { vm_id: 2, from_pm: 3, to_pm: 1 },
+                PlannedMove {
+                    vm_id: 0,
+                    from_pm: 0,
+                    to_pm: 1,
+                },
+                PlannedMove {
+                    vm_id: 1,
+                    from_pm: 0,
+                    to_pm: 2,
+                },
+                PlannedMove {
+                    vm_id: 2,
+                    from_pm: 3,
+                    to_pm: 1,
+                },
             ],
             freed_pms: vec![0, 3],
         };
@@ -341,7 +388,11 @@ mod tests {
     fn apply_rejects_stale_plan() {
         let vms = vec![vm(0, 1.0, 0.0)];
         let plan = DefragPlan {
-            moves: vec![PlannedMove { vm_id: 0, from_pm: 5, to_pm: 1 }],
+            moves: vec![PlannedMove {
+                vm_id: 0,
+                from_pm: 5,
+                to_pm: 1,
+            }],
             freed_pms: vec![5],
         };
         let _ = apply_plan(&vms, &[0], &plan);
@@ -354,24 +405,31 @@ mod tests {
         // constraints.
         use crate::pack::first_fit;
         let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
-        let all: Vec<VmSpec> =
-            (0..30).map(|i| vm(i, 4.0 + (i % 5) as f64 * 3.0, 6.0)).collect();
+        let all: Vec<VmSpec> = (0..30)
+            .map(|i| vm(i, 4.0 + (i % 5) as f64 * 3.0, 6.0))
+            .collect();
         let farm = pms(&vec![90.0; 30]);
         let packed = first_fit(&all, &farm, &strategy).unwrap();
         // Remove every third VM.
-        let survivors: Vec<VmSpec> =
-            all.iter().enumerate().filter(|(i, _)| i % 3 != 0).map(|(_, v)| *v).collect();
+        let survivors: Vec<VmSpec> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, v)| *v)
+            .collect();
         let assignment: Vec<usize> = all
             .iter()
             .enumerate()
             .filter(|(i, _)| i % 3 != 0)
             .map(|(i, _)| packed.assignment[i].unwrap())
             .collect();
-        let used_before: std::collections::HashSet<usize> =
-            assignment.iter().copied().collect();
+        let used_before: std::collections::HashSet<usize> = assignment.iter().copied().collect();
 
         let plan = plan_defrag(&survivors, &farm, &assignment, &strategy, 100);
-        assert!(!plan.freed_pms.is_empty(), "fragmented cluster must yield drains");
+        assert!(
+            !plan.freed_pms.is_empty(),
+            "fragmented cluster must yield drains"
+        );
         let next = apply_plan(&survivors, &assignment, &plan);
         let used_after: std::collections::HashSet<usize> = next.iter().copied().collect();
         assert!(used_after.len() < used_before.len());

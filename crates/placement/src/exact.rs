@@ -88,7 +88,9 @@ pub fn optimal_packing(
 fn greedy_count(ordered: &[&VmSpec], capacity: f64, strategy: &dyn Strategy) -> usize {
     let mut bins: Vec<PmLoad> = Vec::new();
     for vm in ordered {
-        let slot = bins.iter().position(|b| strategy.feasible(&b.with(vm), capacity));
+        let slot = bins
+            .iter()
+            .position(|b| strategy.feasible(&b.with(vm), capacity));
         match slot {
             Some(j) => bins[j].add(vm),
             None => bins.push(PmLoad::rebuild([*vm])),
@@ -223,8 +225,11 @@ mod tests {
         // So assert agreement on these plus optimality on a crafted one:
         // {3,3,3,3,3,3} cap 9 → OPT 2; FFD also 2.
         let sizes = [3.0, 3.0, 3.0, 3.0, 3.0, 3.0];
-        let vms: Vec<VmSpec> =
-            sizes.iter().enumerate().map(|(i, &s)| vm(i, s, 0.0)).collect();
+        let vms: Vec<VmSpec> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| vm(i, s, 0.0))
+            .collect();
         assert_eq!(
             optimal_packing(&vms, 9.0, &BaseStrategy, 100_000),
             ExactResult::Optimal(2)
@@ -242,8 +247,11 @@ mod tests {
         // OPT: (0.6+0.4)×3 + (0.5+0.5) + 0.5 → also 5. FFD is hard to
         // beat on tiny instances; verify the ratio API instead.
         let sizes = [5.0, 5.0, 5.0, 6.0, 6.0, 6.0, 4.0, 4.0, 4.0];
-        let vms: Vec<VmSpec> =
-            sizes.iter().enumerate().map(|(i, &s)| vm(i, s, 0.0)).collect();
+        let vms: Vec<VmSpec> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| vm(i, s, 0.0))
+            .collect();
         let ratio = ffd_quality_ratio(&vms, 10.0, &BaseStrategy, 200_000).unwrap();
         assert!((1.0..=11.0 / 9.0 + 0.3).contains(&ratio), "ratio {ratio}");
     }

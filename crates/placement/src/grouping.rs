@@ -52,7 +52,10 @@ impl GroupedPlacement {
 
     /// As a plain [`Placement`] (group structure erased).
     pub fn to_placement(&self) -> Placement {
-        Placement { assignment: self.assignment.clone(), n_pms: self.n_pms }
+        Placement {
+            assignment: self.assignment.clone(),
+            n_pms: self.n_pms,
+        }
     }
 }
 
@@ -103,7 +106,11 @@ pub fn grouped_consolidation(
         lo = lo.min(on_frac(v));
         hi = hi.max(on_frac(v));
     }
-    let width = if hi > lo { (hi - lo) / groups as f64 } else { 1.0 };
+    let width = if hi > lo {
+        (hi - lo) / groups as f64
+    } else {
+        1.0
+    };
     let band = |v: &VmSpec| (((on_frac(v) - lo) / width) as usize).min(groups - 1);
 
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); groups];
@@ -117,8 +124,7 @@ pub fn grouped_consolidation(
     for group in members.into_iter().filter(|g| !g.is_empty()) {
         let group_vms: Vec<VmSpec> = group.iter().map(|&i| vms[i]).collect();
         let (p_on, p_off) =
-            round_with_policy(&group_vms, RoundingPolicy::Conservative)
-                .expect("non-empty group");
+            round_with_policy(&group_vms, RoundingPolicy::Conservative).expect("non-empty group");
         let strategy = QueueStrategy::build(d, p_on, p_off, rho);
         // The group gets the remaining PM range.
         let pool = &pms[next_pm..];
@@ -129,10 +135,17 @@ pub fn grouped_consolidation(
             assignment[vm_idx] = Some(next_pm + j);
             highest = highest.max(j);
         }
-        group_infos.push(GroupInfo { members: group, rounded: (p_on, p_off) });
+        group_infos.push(GroupInfo {
+            members: group,
+            rounded: (p_on, p_off),
+        });
         next_pm += highest + 1;
     }
-    Ok(GroupedPlacement { assignment, groups: group_infos, n_pms: pms.len() })
+    Ok(GroupedPlacement {
+        assignment,
+        groups: group_infos,
+        n_pms: pms.len(),
+    })
 }
 
 #[cfg(test)]
@@ -147,9 +160,21 @@ mod tests {
         (0..n)
             .map(|id| {
                 if id % 2 == 0 {
-                    VmSpec::new(id, 0.002, 0.1, rng.gen_range(8.0..12.0), rng.gen_range(8.0..12.0))
+                    VmSpec::new(
+                        id,
+                        0.002,
+                        0.1,
+                        rng.gen_range(8.0..12.0),
+                        rng.gen_range(8.0..12.0),
+                    )
                 } else {
-                    VmSpec::new(id, 0.03, 0.09, rng.gen_range(8.0..12.0), rng.gen_range(8.0..12.0))
+                    VmSpec::new(
+                        id,
+                        0.03,
+                        0.09,
+                        rng.gen_range(8.0..12.0),
+                        rng.gen_range(8.0..12.0),
+                    )
                 }
             })
             .collect()
@@ -164,8 +189,7 @@ mod tests {
         let vms = heterogeneous_fleet(40, 1);
         let pms = farm(80);
         let grouped = grouped_consolidation(&vms, &pms, 16, 0.01, 1).unwrap();
-        let (p_on, p_off) =
-            round_with_policy(&vms, RoundingPolicy::Conservative).unwrap();
+        let (p_on, p_off) = round_with_policy(&vms, RoundingPolicy::Conservative).unwrap();
         let strategy = QueueStrategy::build(16, p_on, p_off, 0.01);
         let flat = first_fit(&vms, &pms, &strategy).unwrap();
         assert_eq!(grouped.pms_used(), flat.pms_used());
@@ -251,8 +275,9 @@ mod tests {
 
     #[test]
     fn homogeneous_fleet_gains_nothing_from_groups() {
-        let vms: Vec<VmSpec> =
-            (0..30).map(|i| VmSpec::new(i, 0.01, 0.09, 10.0, 10.0)).collect();
+        let vms: Vec<VmSpec> = (0..30)
+            .map(|i| VmSpec::new(i, 0.01, 0.09, 10.0, 10.0))
+            .collect();
         let pms = farm(60);
         let one = grouped_consolidation(&vms, &pms, 16, 0.01, 1).unwrap();
         let four = grouped_consolidation(&vms, &pms, 16, 0.01, 4).unwrap();

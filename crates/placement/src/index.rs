@@ -1,0 +1,254 @@
+//! Headroom indexes for O(log m) packing.
+//!
+//! Both structures index one scalar per PM — the strategy's *headroom*
+//! measure ([`crate::Strategy::headroom`]) — and answer the two queries the
+//! packers need:
+//!
+//! * [`HeadroomIndex::first_at_least`] — the lowest-numbered PM (at or
+//!   after a start position) whose headroom reaches a threshold: the
+//!   First-Fit probe. A segment tree over subtree maxima descends to the
+//!   answer in `O(log m)` instead of scanning all `m` PMs.
+//! * [`OrderedHeadroom::candidates_at_least`] — all PMs with headroom at
+//!   or above a threshold in *ascending headroom* order: the Best-Fit
+//!   probe, backed by an ordered set over a total-order bit mapping of the
+//!   headroom values.
+//!
+//! The headroom contract (`admits ⇒ headroom ≥ demand`) makes skipped PMs
+//! provably infeasible, so these indexes only *prune*; the strategy's
+//! `admits` remains the sole arbiter at every returned candidate and the
+//! results stay identical to a linear scan.
+
+/// A segment tree over per-PM headroom values supporting point updates and
+/// "first index ≥ `from` with value ≥ `threshold`" queries, both
+/// `O(log m)`.
+#[derive(Debug, Clone)]
+pub struct HeadroomIndex {
+    /// Number of indexed PMs.
+    n: usize,
+    /// Leaf offset; the power of two ≥ `n` (≥ 1).
+    base: usize,
+    /// `tree[1]` is the root; node `i` holds the max over its subtree.
+    /// Leaves beyond `n` are `-∞` and never returned.
+    tree: Vec<f64>,
+}
+
+impl HeadroomIndex {
+    /// Builds the index over the given per-PM headroom values.
+    pub fn new(values: &[f64]) -> Self {
+        let n = values.len();
+        let base = n.next_power_of_two().max(1);
+        let mut tree = vec![f64::NEG_INFINITY; 2 * base];
+        tree[base..base + n].copy_from_slice(values);
+        for i in (1..base).rev() {
+            tree[i] = tree[2 * i].max(tree[2 * i + 1]);
+        }
+        Self { n, base, tree }
+    }
+
+    /// Number of indexed PMs.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the index covers no PMs.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The current headroom value of PM `j`.
+    pub fn value(&self, j: usize) -> f64 {
+        assert!(j < self.n, "PM {j} out of {}", self.n);
+        self.tree[self.base + j]
+    }
+
+    /// Sets PM `j`'s headroom and repairs the path to the root.
+    pub fn update(&mut self, j: usize, value: f64) {
+        assert!(j < self.n, "PM {j} out of {}", self.n);
+        let mut i = self.base + j;
+        self.tree[i] = value;
+        while i > 1 {
+            i /= 2;
+            self.tree[i] = self.tree[2 * i].max(self.tree[2 * i + 1]);
+        }
+    }
+
+    /// The smallest PM index `j ≥ from` with `value(j) ≥ threshold`, or
+    /// `None`. This is the First-Fit probe; callers re-issue it with
+    /// `from = j + 1` when the candidate rejects (index-guided skip-ahead).
+    pub fn first_at_least(&self, from: usize, threshold: f64) -> Option<usize> {
+        if from >= self.n {
+            return None;
+        }
+        self.descend(1, 0, self.base, from, threshold)
+    }
+
+    /// Finds the leftmost qualifying leaf under `node` (covering
+    /// `[lo, lo + width)`), pruning subtrees entirely left of `from` or
+    /// with max below `threshold`.
+    fn descend(
+        &self,
+        node: usize,
+        lo: usize,
+        width: usize,
+        from: usize,
+        threshold: f64,
+    ) -> Option<usize> {
+        if lo + width <= from || self.tree[node] < threshold {
+            return None;
+        }
+        if width == 1 {
+            return Some(lo);
+        }
+        let half = width / 2;
+        self.descend(2 * node, lo, half, from, threshold)
+            .or_else(|| self.descend(2 * node + 1, lo + half, half, from, threshold))
+    }
+}
+
+/// Maps an `f64` to a `u64` whose unsigned order equals IEEE-754 total
+/// order (the `f64::total_cmp` order): flip all bits of negatives, flip
+/// only the sign bit of non-negatives.
+fn order_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Per-PM headroom values held in an ordered set, for Best-Fit's
+/// "ascending headroom among candidates above a threshold" iteration.
+/// Entries are `(order_key(headroom), pm)`, so ties in headroom resolve to
+/// the lower PM index first — matching the linear reference's tie-break.
+#[derive(Debug, Clone)]
+pub struct OrderedHeadroom {
+    set: std::collections::BTreeSet<(u64, usize)>,
+    keys: Vec<u64>,
+}
+
+impl OrderedHeadroom {
+    /// Builds the ordered index over the given per-PM headroom values.
+    pub fn new(values: &[f64]) -> Self {
+        let keys: Vec<u64> = values.iter().map(|&v| order_key(v)).collect();
+        let set = keys.iter().enumerate().map(|(j, &k)| (k, j)).collect();
+        Self { set, keys }
+    }
+
+    /// Number of indexed PMs.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the index covers no PMs.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Sets PM `j`'s headroom.
+    pub fn update(&mut self, j: usize, value: f64) {
+        let old = self.keys[j];
+        let new = order_key(value);
+        if old != new {
+            self.set.remove(&(old, j));
+            self.set.insert((new, j));
+            self.keys[j] = new;
+        }
+    }
+
+    /// PM indices with headroom ≥ `threshold` (total order), ascending by
+    /// `(headroom, pm index)` — the Best-Fit candidate stream.
+    pub fn candidates_at_least(&self, threshold: f64) -> impl Iterator<Item = usize> + '_ {
+        self.set.range((order_key(threshold), 0)..).map(|&(_, j)| j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_at_least_matches_linear_scan() {
+        let values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        let idx = HeadroomIndex::new(&values);
+        for from in 0..=values.len() {
+            for t in [0.0, 1.0, 2.5, 4.0, 5.0, 8.9, 9.0, 9.1] {
+                let linear = (from..values.len()).find(|&j| values[j] >= t);
+                assert_eq!(idx.first_at_least(from, t), linear, "from={from} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_moves_the_answer() {
+        let mut idx = HeadroomIndex::new(&[5.0, 5.0, 5.0]);
+        assert_eq!(idx.first_at_least(0, 4.0), Some(0));
+        idx.update(0, 1.0);
+        assert_eq!(idx.first_at_least(0, 4.0), Some(1));
+        idx.update(1, f64::NEG_INFINITY);
+        assert_eq!(idx.first_at_least(0, 4.0), Some(2));
+        assert_eq!(idx.value(1), f64::NEG_INFINITY);
+        idx.update(2, 3.0);
+        assert_eq!(idx.first_at_least(0, 4.0), None);
+        assert_eq!(idx.first_at_least(0, 3.0), Some(2));
+    }
+
+    #[test]
+    fn non_power_of_two_and_empty_sizes() {
+        for n in [0usize, 1, 2, 3, 5, 6, 7, 13] {
+            let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let idx = HeadroomIndex::new(&values);
+            assert_eq!(idx.len(), n);
+            assert_eq!(idx.is_empty(), n == 0);
+            // The padding leaves must never surface.
+            assert_eq!(idx.first_at_least(0, (n as f64) + 1.0), None);
+            if n > 0 {
+                assert_eq!(idx.first_at_least(0, (n - 1) as f64), Some(n - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn neg_infinity_marks_pms_unavailable() {
+        let idx = HeadroomIndex::new(&[f64::NEG_INFINITY, 2.0]);
+        assert_eq!(idx.first_at_least(0, f64::MIN), Some(1));
+        assert_eq!(idx.first_at_least(0, -1.0), Some(1));
+    }
+
+    #[test]
+    fn order_key_is_monotone_in_total_order() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-300,
+            2.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in samples.windows(2) {
+            assert!(order_key(w[0]) <= order_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        assert!(
+            order_key(-0.0) < order_key(0.0),
+            "total order separates zeros"
+        );
+    }
+
+    #[test]
+    fn ordered_headroom_streams_ascending() {
+        let mut oh = OrderedHeadroom::new(&[4.0, 2.0, 9.0, 2.0, f64::NEG_INFINITY]);
+        let got: Vec<usize> = oh.candidates_at_least(2.0).collect();
+        // Ascending headroom, ties by PM index.
+        assert_eq!(got, vec![1, 3, 0, 2]);
+        let got: Vec<usize> = oh.candidates_at_least(3.0).collect();
+        assert_eq!(got, vec![0, 2]);
+        oh.update(2, 1.0);
+        let got: Vec<usize> = oh.candidates_at_least(3.0).collect();
+        assert_eq!(got, vec![0]);
+        assert_eq!(oh.len(), 5);
+        assert!(!oh.is_empty());
+    }
+}

@@ -12,7 +12,10 @@
 //!   `R_p`), [`BaseStrategy`] (FFD by `R_b`) and [`ReserveStrategy`]
 //!   (RB-EX: FFD by `R_b` with a δ-fraction reserve).
 //! * [`pack::first_fit`] — the shared First-Fit driver; with a strategy's
-//!   decreasing order it becomes the paper's FFD family.
+//!   decreasing order it becomes the paper's FFD family. It finds each
+//!   slot through an [`index::HeadroomIndex`] segment tree in `O(log m)`;
+//!   [`pack::first_fit_linear`] keeps the `O(m)`-scan reference the
+//!   indexed form is differentially tested against.
 //! * [`online::OnlineCluster`] — §IV-E's online arrivals/exits, including
 //!   heterogeneous-probability rounding.
 //! * [`multidim`] — §IV-E's per-dimension reservation with plain First Fit.
@@ -26,6 +29,7 @@ pub mod clustering;
 pub mod defrag;
 pub mod exact;
 pub mod grouping;
+pub mod index;
 pub mod load;
 pub mod mapcal;
 pub mod multidim;
@@ -36,8 +40,9 @@ pub mod rounding;
 pub mod sbp;
 pub mod strategy;
 
+pub use index::{HeadroomIndex, OrderedHeadroom};
 pub use load::PmLoad;
-pub use mapcal::MappingTable;
-pub use pack::{best_fit, first_fit, PackError};
+pub use mapcal::{mapping_cache_stats, MappingCacheStats, MappingTable};
+pub use pack::{best_fit, best_fit_linear, first_fit, first_fit_linear, PackError};
 pub use placement::Placement;
 pub use strategy::{BaseStrategy, PeakStrategy, QueueStrategy, ReserveStrategy, Strategy};

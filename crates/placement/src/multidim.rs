@@ -30,7 +30,9 @@ struct DimLoads {
 
 impl DimLoads {
     fn empty(dims: usize) -> Self {
-        Self { dims: vec![PmLoad::empty(); dims] }
+        Self {
+            dims: vec![PmLoad::empty(); dims],
+        }
     }
 
     fn count(&self) -> usize {
@@ -84,7 +86,10 @@ pub fn first_fit_multidim(
     let dims = match vms.first() {
         Some(v) => v.dims(),
         None => {
-            return Ok(MultiDimPlacement { assignment: Vec::new(), n_pms: pms.len() })
+            return Ok(MultiDimPlacement {
+                assignment: Vec::new(),
+                n_pms: pms.len(),
+            })
         }
     };
     for v in vms {
@@ -116,7 +121,10 @@ pub fn first_fit_multidim(
             None => return Err(PackError { vm_id: vm.id }),
         }
     }
-    Ok(MultiDimPlacement { assignment, n_pms: pms.len() })
+    Ok(MultiDimPlacement {
+        assignment,
+        n_pms: pms.len(),
+    })
 }
 
 #[cfg(test)]
@@ -132,7 +140,10 @@ mod tests {
     }
 
     fn pm(id: usize, caps: &[f64]) -> MultiDimPmSpec {
-        MultiDimPmSpec { id, capacity: rv(caps) }
+        MultiDimPmSpec {
+            id,
+            capacity: rv(caps),
+        }
     }
 
     fn mapping() -> MappingTable {
@@ -141,7 +152,10 @@ mod tests {
 
     #[test]
     fn packs_when_both_dimensions_fit() {
-        let vms = vec![vm(0, &[10.0, 5.0], &[5.0, 2.0]), vm(1, &[10.0, 5.0], &[5.0, 2.0])];
+        let vms = vec![
+            vm(0, &[10.0, 5.0], &[5.0, 2.0]),
+            vm(1, &[10.0, 5.0], &[5.0, 2.0]),
+        ];
         let pms = vec![pm(0, &[100.0, 50.0])];
         let p = first_fit_multidim(&vms, &pms, &mapping()).unwrap();
         assert_eq!(p.assignment, vec![0, 0]);
@@ -151,7 +165,10 @@ mod tests {
     #[test]
     fn tight_dimension_forces_spill() {
         // Dimension 1 is the bottleneck: each VM needs ~7 of 10 units.
-        let vms = vec![vm(0, &[1.0, 6.0], &[1.0, 1.0]), vm(1, &[1.0, 6.0], &[1.0, 1.0])];
+        let vms = vec![
+            vm(0, &[1.0, 6.0], &[1.0, 1.0]),
+            vm(1, &[1.0, 6.0], &[1.0, 1.0]),
+        ];
         let pms = vec![pm(0, &[100.0, 10.0]), pm(1, &[100.0, 10.0])];
         let p = first_fit_multidim(&vms, &pms, &mapping()).unwrap();
         assert_eq!(p.pms_used(), 2, "dimension-1 contention must split them");
@@ -161,8 +178,7 @@ mod tests {
     fn reservation_is_per_dimension() {
         // One block is shared per dimension independently: the spike-heavy
         // dimension reserves big blocks, the flat one almost none.
-        let vms: Vec<MultiDimVmSpec> =
-            (0..4).map(|i| vm(i, &[5.0, 5.0], &[20.0, 0.0])).collect();
+        let vms: Vec<MultiDimVmSpec> = (0..4).map(|i| vm(i, &[5.0, 5.0], &[20.0, 0.0])).collect();
         let m = mapping();
         // k=4 needs mapping(4) blocks of 20 in dim 0: 20·m(4)+20 ≤ C0.
         let c0 = 20.0 * m.blocks_for(4) as f64 + 20.0;
@@ -193,7 +209,12 @@ mod tests {
     fn error_names_vm() {
         let vms = vec![vm(9, &[50.0], &[1.0])];
         let pms = vec![pm(0, &[10.0])];
-        assert_eq!(first_fit_multidim(&vms, &pms, &mapping()).unwrap_err().vm_id, 9);
+        assert_eq!(
+            first_fit_multidim(&vms, &pms, &mapping())
+                .unwrap_err()
+                .vm_id,
+            9
+        );
     }
 
     #[test]

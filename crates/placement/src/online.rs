@@ -2,8 +2,9 @@
 //! arrivals, and rounding of heterogeneous switch probabilities.
 
 use crate::clustering::{cluster_order, default_buckets};
+use crate::index::HeadroomIndex;
 use crate::load::PmLoad;
-use crate::pack::{first_fit_in_order, PackError};
+use crate::pack::{probe_first_fit, PackError};
 use crate::strategy::{QueueStrategy, Strategy};
 use bursty_workload::{PmSpec, VmSpec};
 use std::collections::HashMap;
@@ -45,6 +46,9 @@ pub struct OnlineCluster {
     hosts: HashMap<usize, usize>,
     /// Cached per-PM loads, kept consistent with `hosts`.
     loads: Vec<PmLoad>,
+    /// Segment tree over per-PM headroom under the current strategy; kept
+    /// consistent with `loads` so arrivals probe in `O(log m)`.
+    index: HeadroomIndex,
 }
 
 impl OnlineCluster {
@@ -53,7 +57,35 @@ impl OnlineCluster {
     pub fn new(pms: Vec<PmSpec>, d: usize, p_on: f64, p_off: f64, rho: f64) -> Self {
         let strategy = QueueStrategy::build(d, p_on, p_off, rho);
         let loads = vec![PmLoad::empty(); pms.len()];
-        Self { pms, strategy, rho, d, vms: HashMap::new(), hosts: HashMap::new(), loads }
+        let headrooms: Vec<f64> = pms
+            .iter()
+            .map(|pm| strategy.headroom(&PmLoad::empty(), pm.capacity))
+            .collect();
+        let index = HeadroomIndex::new(&headrooms);
+        Self {
+            pms,
+            strategy,
+            rho,
+            d,
+            vms: HashMap::new(),
+            hosts: HashMap::new(),
+            loads,
+            index,
+        }
+    }
+
+    /// Repairs the index entry of PM `j` after its load changed.
+    fn refresh_pm(&mut self, j: usize) {
+        let h = self.strategy.headroom(&self.loads[j], self.pms[j].capacity);
+        self.index.update(j, h);
+    }
+
+    /// Rebuilds the whole index — needed when the *strategy* changes, which
+    /// moves every PM's headroom at once.
+    fn refresh_index(&mut self) {
+        for j in 0..self.pms.len() {
+            self.refresh_pm(j);
+        }
     }
 
     /// Number of VMs currently hosted.
@@ -96,15 +128,11 @@ impl OnlineCluster {
             "VM id {} already in the cluster",
             vm.id
         );
-        let slot = self
-            .pms
-            .iter()
-            .enumerate()
-            .find(|(j, pm)| self.strategy.admits(&self.loads[*j], &vm, pm.capacity))
-            .map(|(j, _)| j);
+        let slot = probe_first_fit(&self.index, &self.loads, &self.pms, &self.strategy, &vm);
         match slot {
             Some(j) => {
                 self.loads[j].add(&vm);
+                self.refresh_pm(j);
                 self.hosts.insert(vm.id, j);
                 self.vms.insert(vm.id, vm);
                 Ok(j)
@@ -124,6 +152,7 @@ impl OnlineCluster {
                 .filter(|&(_, &j)| j == host)
                 .map(|(id, _)| &self.vms[id]),
         );
+        self.refresh_pm(host);
         Some(host)
     }
 
@@ -144,17 +173,15 @@ impl OnlineCluster {
         }
         let order = cluster_order(&batch, default_buckets(batch.len()));
         let mut result = Vec::with_capacity(batch.len());
-        // Place one by one so partial progress is recorded before an error.
+        // Place one by one so partial progress is recorded before an error;
+        // the cluster's own index persists across the whole batch, so each
+        // member costs one O(log m) probe instead of an O(m) scan.
         for &i in &order {
-            let placed = first_fit_in_order(
-                &batch,
-                &[i],
-                &self.pms,
-                &mut self.loads,
-                &self.strategy,
-            )?;
-            let (bi, j) = placed[0];
-            let vm = batch[bi];
+            let vm = batch[i];
+            let slot = probe_first_fit(&self.index, &self.loads, &self.pms, &self.strategy, &vm);
+            let j = slot.ok_or(PackError { vm_id: vm.id })?;
+            self.loads[j].add(&vm);
+            self.refresh_pm(j);
             self.hosts.insert(vm.id, j);
             self.vms.insert(vm.id, vm);
             result.push((vm.id, j));
@@ -170,6 +197,8 @@ impl OnlineCluster {
         let population: Vec<VmSpec> = self.vms.values().copied().collect();
         let (p_on, p_off) = round_probabilities(&population)?;
         self.strategy = QueueStrategy::build(self.d, p_on, p_off, self.rho);
+        // A new table moves every PM's headroom; rebuild the index.
+        self.refresh_index();
         Some((p_on, p_off))
     }
 
@@ -190,6 +219,14 @@ impl OnlineCluster {
                 || (rebuilt.max_re - cached.max_re).abs() > 1e-9
             {
                 return Err(format!("PM {j}: cached {cached:?} != rebuilt {rebuilt:?}"));
+            }
+            let expected = self.strategy.headroom(cached, self.pms[j].capacity);
+            let indexed = self.index.value(j);
+            let matches = indexed == expected || (indexed - expected).abs() < 1e-9;
+            if !matches {
+                return Err(format!(
+                    "PM {j}: indexed headroom {indexed} != expected {expected}"
+                ));
             }
         }
         Ok(())
@@ -225,7 +262,11 @@ mod tests {
     }
 
     fn cluster(caps: &[f64]) -> OnlineCluster {
-        let pms = caps.iter().enumerate().map(|(j, &c)| PmSpec::new(j, c)).collect();
+        let pms = caps
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| PmSpec::new(j, c))
+            .collect();
         OnlineCluster::new(pms, 16, 0.01, 0.09, 0.01)
     }
 
@@ -274,7 +315,9 @@ mod tests {
     #[test]
     fn batch_arrival_places_all_and_orders_by_cluster() {
         let mut c = cluster(&[100.0, 100.0, 100.0]);
-        let batch: Vec<VmSpec> = (0..12).map(|i| vm(i, 10.0, (i % 4 + 1) as f64 * 4.0)).collect();
+        let batch: Vec<VmSpec> = (0..12)
+            .map(|i| vm(i, 10.0, (i % 4 + 1) as f64 * 4.0))
+            .collect();
         let placed = c.arrive_batch(batch).unwrap();
         assert_eq!(placed.len(), 12);
         assert_eq!(c.n_vms(), 12);
@@ -340,6 +383,27 @@ mod tests {
     }
 
     #[test]
+    fn index_stays_consistent_through_churn() {
+        // Arrivals, departures, a batch, and a recalibration in sequence;
+        // check_consistency validates the headroom index against a fresh
+        // recomputation at every step.
+        let mut c = cluster(&[60.0, 60.0, 60.0]);
+        for i in 0..12 {
+            c.arrive(vm(i, 6.0, 4.0)).unwrap();
+        }
+        c.check_consistency().unwrap();
+        for i in (0..12).step_by(2) {
+            assert!(c.depart(i).is_some());
+        }
+        c.check_consistency().unwrap();
+        c.arrive_batch((100..106).map(|i| vm(i, 8.0, 3.0)).collect())
+            .unwrap();
+        c.check_consistency().unwrap();
+        c.recalibrate().unwrap();
+        c.check_consistency().unwrap();
+    }
+
+    #[test]
     #[should_panic(expected = "already in the cluster")]
     fn duplicate_arrival_panics() {
         let mut c = cluster(&[100.0]);
@@ -359,9 +423,13 @@ mod tests {
         let mut online = cluster(&caps);
         online.arrive_batch(vms.clone()).unwrap();
 
-        let pms: Vec<PmSpec> = caps.iter().enumerate().map(|(j, &c)| PmSpec::new(j, c)).collect();
-        let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01)
-            .with_buckets(default_buckets(vms.len()));
+        let pms: Vec<PmSpec> = caps
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| PmSpec::new(j, c))
+            .collect();
+        let strategy =
+            QueueStrategy::build(16, 0.01, 0.09, 0.01).with_buckets(default_buckets(vms.len()));
         let offline = first_fit(&vms, &pms, &strategy).unwrap();
         assert_eq!(online.pms_used(), offline.pms_used());
         for (i, v) in vms.iter().enumerate() {

@@ -1,5 +1,13 @@
-//! The shared First-Fit driver (Algorithm 2, lines 10–12).
+//! The shared First-Fit driver (Algorithm 2, lines 10–12) and its
+//! Best-Fit sibling, both backed by the headroom index.
+//!
+//! Every packer here comes in two forms: the indexed default
+//! ([`first_fit`], [`best_fit`], [`first_fit_in_order`]) and a retained
+//! linear-scan reference ([`first_fit_linear`], [`best_fit_linear`]) whose
+//! results the indexed form must reproduce exactly — the equivalence is
+//! property-tested below and benchmarked in `packing_scaling`.
 
+use crate::index::{HeadroomIndex, OrderedHeadroom};
 use crate::load::PmLoad;
 use crate::placement::Placement;
 use crate::strategy::Strategy;
@@ -21,12 +29,51 @@ impl fmt::Display for PackError {
 
 impl std::error::Error for PackError {}
 
+/// Safety margin below [`Strategy::demand`] when pruning via the headroom
+/// index: a PM is skipped only when its headroom is *strictly* below
+/// `demand − PRUNE_SLACK`, so an ulp-level difference between the
+/// incremental `admits` arithmetic and the subtractive `headroom`
+/// arithmetic can never hide an admissible PM. Pruning slightly less is
+/// one wasted probe; pruning slightly more would change results.
+const PRUNE_SLACK: f64 = 1e-6;
+
+/// Per-PM headroom of an empty farm under `strategy`.
+fn empty_headrooms(pms: &[PmSpec], strategy: &dyn Strategy) -> Vec<f64> {
+    pms.iter()
+        .map(|pm| strategy.headroom(&PmLoad::empty(), pm.capacity))
+        .collect()
+}
+
+/// The First-Fit probe over the index: lowest-numbered PM that admits
+/// `vm`, skipping (provably infeasible) PMs below the demand threshold and
+/// skipping ahead past candidates that reject on the full `admits` check.
+pub(crate) fn probe_first_fit(
+    index: &HeadroomIndex,
+    loads: &[PmLoad],
+    pms: &[PmSpec],
+    strategy: &dyn Strategy,
+    vm: &VmSpec,
+) -> Option<usize> {
+    let threshold = strategy.demand(vm) - PRUNE_SLACK;
+    let mut from = 0;
+    while let Some(j) = index.first_at_least(from, threshold) {
+        if strategy.admits(&loads[j], vm, pms[j].capacity) {
+            return Some(j);
+        }
+        from = j + 1;
+    }
+    None
+}
+
 /// Places `vms` onto `pms` with First Fit in the order chosen by
 /// `strategy` — with a decreasing order this is the paper's FFD family
 /// (QueuingFFD, RP, RB, RB-EX are all instances).
 ///
-/// Cost: `O(n log n)` for the ordering plus `O(n · m)` for placement,
-/// matching the paper's complexity analysis of Algorithm 2.
+/// Cost: `O(n log n)` for the ordering plus `O((n + r) log m)` for
+/// placement, where `r` counts index candidates rejected by the full
+/// admission check — the segment tree finds each First-Fit slot in
+/// `O(log m)` instead of the linear reference's `O(m)` scan, with
+/// identical results (see [`first_fit_linear`]).
 ///
 /// # Examples
 /// ```
@@ -45,10 +92,38 @@ impl std::error::Error for PackError {}
 /// ```
 ///
 /// # Errors
-/// [`PackError`] naming the first unplaceable VM; already-placed VMs keep
-/// their assignment in the error path's partial state being discarded —
-/// the function returns only complete placements.
+/// [`PackError`] naming the first VM that fits on no PM. The partial
+/// placement built before the failure is discarded — the function returns
+/// either a complete placement or an error, never a partial one.
 pub fn first_fit(
+    vms: &[VmSpec],
+    pms: &[PmSpec],
+    strategy: &dyn Strategy,
+) -> Result<Placement, PackError> {
+    let mut placement = Placement::empty(vms.len(), pms.len());
+    let mut loads = vec![PmLoad::empty(); pms.len()];
+    let mut index = HeadroomIndex::new(&empty_headrooms(pms, strategy));
+    for &i in &strategy.order(vms) {
+        let vm = &vms[i];
+        match probe_first_fit(&index, &loads, pms, strategy, vm) {
+            Some(j) => {
+                loads[j].add(vm);
+                index.update(j, strategy.headroom(&loads[j], pms[j].capacity));
+                placement.assignment[i] = Some(j);
+            }
+            None => return Err(PackError { vm_id: vm.id }),
+        }
+    }
+    Ok(placement)
+}
+
+/// The linear-scan First Fit the index replaces — retained as the
+/// reference implementation for differential tests and the
+/// `packing_scaling` bench. Same results as [`first_fit`], `O(n · m)`.
+///
+/// # Errors
+/// [`PackError`] naming the first unplaceable VM.
+pub fn first_fit_linear(
     vms: &[VmSpec],
     pms: &[PmSpec],
     strategy: &dyn Strategy,
@@ -73,12 +148,17 @@ pub fn first_fit(
     Ok(placement)
 }
 
-/// Best-Fit packing in the strategy's order: each VM goes to the feasible
-/// PM with the *least* remaining slack under the strategy's measure
-/// (`capacity − Σ R_b` — the base-demand headroom, which all four
-/// strategies consume monotonically). With a decreasing order this is
+/// Best-Fit packing in the strategy's order: each VM goes to the admitting
+/// PM with the *least* headroom under the strategy's own measure
+/// ([`Strategy::headroom`] — peak slack for RP, base slack for RB,
+/// reserve-reduced base slack for RB-EX, residual Eq.-17 capacity for
+/// QUEUE), ties to the lower PM index. With a decreasing order this is
 /// Best-Fit-Decreasing, the classic alternative to FFD with the same
 /// asymptotic guarantee but often one PM fewer in practice.
+///
+/// The ordered headroom index streams candidates in ascending headroom, so
+/// each VM costs `O(log m)` plus one `admits` check per candidate probed
+/// before the winner.
 ///
 /// # Errors
 /// [`PackError`] naming the first unplaceable VM.
@@ -89,20 +169,52 @@ pub fn best_fit(
 ) -> Result<Placement, PackError> {
     let mut placement = Placement::empty(vms.len(), pms.len());
     let mut loads = vec![PmLoad::empty(); pms.len()];
+    let mut ordered = OrderedHeadroom::new(&empty_headrooms(pms, strategy));
     for &i in &strategy.order(vms) {
         let vm = &vms[i];
-        let slot = pms
-            .iter()
-            .enumerate()
-            .filter(|(j, pm)| strategy.admits(&loads[*j], vm, pm.capacity))
-            .min_by(|(a, pa), (b, pb)| {
-                let slack_a = pa.capacity - loads[*a].sum_rb;
-                let slack_b = pb.capacity - loads[*b].sum_rb;
-                slack_a.total_cmp(&slack_b)
-            })
-            .map(|(j, _)| j);
+        let threshold = strategy.demand(vm) - PRUNE_SLACK;
+        let slot = ordered
+            .candidates_at_least(threshold)
+            .find(|&j| strategy.admits(&loads[j], vm, pms[j].capacity));
         match slot {
             Some(j) => {
+                loads[j].add(vm);
+                ordered.update(j, strategy.headroom(&loads[j], pms[j].capacity));
+                placement.assignment[i] = Some(j);
+            }
+            None => return Err(PackError { vm_id: vm.id }),
+        }
+    }
+    Ok(placement)
+}
+
+/// The linear-scan Best Fit — retained as the reference implementation for
+/// differential tests. Same results (including the lowest-index tie-break)
+/// as [`best_fit`], `O(n · m)`.
+///
+/// # Errors
+/// [`PackError`] naming the first unplaceable VM.
+pub fn best_fit_linear(
+    vms: &[VmSpec],
+    pms: &[PmSpec],
+    strategy: &dyn Strategy,
+) -> Result<Placement, PackError> {
+    let mut placement = Placement::empty(vms.len(), pms.len());
+    let mut loads = vec![PmLoad::empty(); pms.len()];
+    for &i in &strategy.order(vms) {
+        let vm = &vms[i];
+        let mut slot: Option<(f64, usize)> = None;
+        for (j, pm) in pms.iter().enumerate() {
+            if !strategy.admits(&loads[j], vm, pm.capacity) {
+                continue;
+            }
+            let h = strategy.headroom(&loads[j], pm.capacity);
+            if slot.is_none_or(|(best, _)| h.total_cmp(&best).is_lt()) {
+                slot = Some((h, j));
+            }
+        }
+        match slot {
+            Some((_, j)) => {
                 loads[j].add(vm);
                 placement.assignment[i] = Some(j);
             }
@@ -114,7 +226,12 @@ pub fn best_fit(
 
 /// First Fit over a *given* order (no re-sorting) — used by the online
 /// batch-arrival path where newcomers are ordered among themselves but the
-/// incumbent assignment is fixed.
+/// incumbent assignment is fixed. The headroom index is built from the
+/// incoming `loads`, so a call over `k` VMs costs `O(m + k log m)`.
+///
+/// # Errors
+/// [`PackError`] at the first unplaceable VM; `loads` keeps the updates of
+/// the VMs placed before the failure.
 pub fn first_fit_in_order(
     vms: &[VmSpec],
     order: &[usize],
@@ -123,17 +240,19 @@ pub fn first_fit_in_order(
     strategy: &dyn Strategy,
 ) -> Result<Vec<(usize, usize)>, PackError> {
     assert_eq!(pms.len(), loads.len(), "loads must match PMs");
+    let headrooms: Vec<f64> = loads
+        .iter()
+        .zip(pms)
+        .map(|(load, pm)| strategy.headroom(load, pm.capacity))
+        .collect();
+    let mut index = HeadroomIndex::new(&headrooms);
     let mut placed = Vec::with_capacity(order.len());
     for &i in order {
         let vm = &vms[i];
-        let slot = pms
-            .iter()
-            .enumerate()
-            .find(|(j, pm)| strategy.admits(&loads[*j], vm, pm.capacity))
-            .map(|(j, _)| j);
-        match slot {
+        match probe_first_fit(&index, loads, pms, strategy, vm) {
             Some(j) => {
                 loads[j].add(vm);
+                index.update(j, strategy.headroom(&loads[j], pms[j].capacity));
                 placed.push((i, j));
             }
             None => return Err(PackError { vm_id: vm.id }),
@@ -152,17 +271,27 @@ mod tests {
     }
 
     fn pms(caps: &[f64]) -> Vec<PmSpec> {
-        caps.iter().enumerate().map(|(j, &c)| PmSpec::new(j, c)).collect()
+        caps.iter()
+            .enumerate()
+            .map(|(j, &c)| PmSpec::new(j, c))
+            .collect()
     }
 
     #[test]
     fn ffd_by_peak_packs_exactly() {
         // Peaks 6, 6, 4, 4 onto capacity 10 → two PMs.
-        let vms = vec![vm(0, 5.0, 1.0), vm(1, 5.0, 1.0), vm(2, 3.0, 1.0), vm(3, 3.0, 1.0)];
+        let vms = vec![
+            vm(0, 5.0, 1.0),
+            vm(1, 5.0, 1.0),
+            vm(2, 3.0, 1.0),
+            vm(3, 3.0, 1.0),
+        ];
         let p = first_fit(&vms, &pms(&[10.0, 10.0, 10.0]), &PeakStrategy).unwrap();
         assert!(p.is_complete());
         assert_eq!(p.pms_used(), 2);
-        assert!(p.validate(&vms, &pms(&[10.0, 10.0, 10.0]), &PeakStrategy).is_ok());
+        assert!(p
+            .validate(&vms, &pms(&[10.0, 10.0, 10.0]), &PeakStrategy)
+            .is_ok());
     }
 
     #[test]
@@ -188,7 +317,10 @@ mod tests {
         let queue_used = first_fit(&vms, &farm, &q).unwrap().pms_used();
         let peak_used = first_fit(&vms, &farm, &PeakStrategy).unwrap().pms_used();
         let base_used = first_fit(&vms, &farm, &BaseStrategy).unwrap().pms_used();
-        assert!(queue_used < peak_used, "queue {queue_used} vs peak {peak_used}");
+        assert!(
+            queue_used < peak_used,
+            "queue {queue_used} vs peak {peak_used}"
+        );
         assert!(queue_used >= base_used, "queue can never beat base packing");
     }
 
@@ -221,8 +353,7 @@ mod tests {
         // Pre-load PM 0 with 7 units of base demand: 7 + 6 > 10, so both
         // newcomers must go to PM 1.
         loads[0].add(&vm(99, 7.0, 0.0));
-        let placed =
-            first_fit_in_order(&vms, &[0, 1], &farm, &mut loads, &BaseStrategy).unwrap();
+        let placed = first_fit_in_order(&vms, &[0, 1], &farm, &mut loads, &BaseStrategy).unwrap();
         assert_eq!(placed, vec![(0, 1), (1, 1)]);
         assert_eq!(loads[1].sum_rb, 12.0);
     }
@@ -237,6 +368,24 @@ mod tests {
         let bf = best_fit(&vms, &farm, &BaseStrategy).unwrap();
         assert_eq!(ff.assignment[0], Some(0));
         assert_eq!(bf.assignment[0], Some(1));
+    }
+
+    #[test]
+    fn best_fit_ranks_rp_bins_by_peak_headroom() {
+        // Two seeded bins: PM 0 ends up peak-tight but base-loose
+        // (R_b = 1, R_e = 20), PM 1 the opposite (R_b = 10, R_e = 1). The
+        // old base-slack ranking (capacity − Σ R_b) would send the third
+        // VM to PM 1; RP's own measure — peak slack — must pick PM 0.
+        let vms = vec![vm(0, 1.0, 20.0), vm(1, 10.0, 1.0), vm(2, 5.0, 1.0)];
+        let farm = pms(&[30.0, 30.0]);
+        let p = best_fit(&vms, &farm, &PeakStrategy).unwrap();
+        assert_eq!(p.assignment[0], Some(0), "largest peak seeds PM 0");
+        assert_eq!(p.assignment[1], Some(1), "second VM no longer fits PM 0");
+        assert_eq!(
+            p.assignment[2],
+            Some(0),
+            "peak slack 9 on PM 0 beats 19 on PM 1"
+        );
     }
 
     #[test]
@@ -269,16 +418,27 @@ mod tests {
         let vms = vec![vm(5, 30.0, 0.0)];
         let farm = pms(&[10.0]);
         let mut loads = vec![PmLoad::empty()];
-        let err = first_fit_in_order(&vms, &[0], &farm, &mut loads, &BaseStrategy)
-            .unwrap_err();
+        let err = first_fit_in_order(&vms, &[0], &farm, &mut loads, &BaseStrategy).unwrap_err();
         assert_eq!(err.vm_id, 5);
+    }
+
+    #[test]
+    fn indexed_matches_linear_on_the_doc_example() {
+        let vms: Vec<VmSpec> = (0..20).map(|i| vm(i, 10.0, 10.0)).collect();
+        let farm = pms(&[100.0; 20]);
+        let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        assert_eq!(
+            first_fit(&vms, &farm, &q),
+            first_fit_linear(&vms, &farm, &q)
+        );
+        assert_eq!(best_fit(&vms, &farm, &q), best_fit_linear(&vms, &farm, &q));
     }
 }
 
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use crate::strategy::{BaseStrategy, PeakStrategy, QueueStrategy};
+    use crate::strategy::{BaseStrategy, PeakStrategy, QueueStrategy, ReserveStrategy};
     use proptest::prelude::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
     use proptest::strategy::Strategy as PropStrategy;
 
@@ -287,6 +447,15 @@ mod proptests {
             raw.into_iter()
                 .enumerate()
                 .map(|(i, (rb, re))| VmSpec::new(i, 0.01, 0.09, rb, re))
+                .collect()
+        })
+    }
+
+    fn hetero_farm() -> impl PropStrategy<Value = Vec<PmSpec>> {
+        proptest::collection::vec(40.0f64..140.0, 4..48).prop_map(|caps| {
+            caps.into_iter()
+                .enumerate()
+                .map(|(j, c)| PmSpec::new(j, c))
                 .collect()
         })
     }
@@ -316,6 +485,50 @@ mod proptests {
             let base = first_fit(&vms, &farm, &BaseStrategy).unwrap().pms_used();
             prop_assert!(base <= peak);
             prop_assert!(queue <= peak, "queue {queue} must not exceed peak {peak}");
+        }
+
+        #[test]
+        fn indexed_packers_match_linear_reference(
+            vms in fleet(),
+            farm in hetero_farm(),
+        ) {
+            // The headline equivalence: on random fleets over heterogeneous
+            // PM capacities, the indexed packers must return bit-identical
+            // results (success or failure) to the linear-scan references,
+            // for all four paper strategies.
+            let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+            let rbex = ReserveStrategy::new(0.3);
+            let strategies: [&dyn Strategy; 4] =
+                [&q, &PeakStrategy, &BaseStrategy, &rbex];
+            for strategy in strategies {
+                prop_assert_eq!(
+                    first_fit(&vms, &farm, strategy),
+                    first_fit_linear(&vms, &farm, strategy),
+                    "first_fit diverged for {}", strategy.name()
+                );
+                prop_assert_eq!(
+                    best_fit(&vms, &farm, strategy),
+                    best_fit_linear(&vms, &farm, strategy),
+                    "best_fit diverged for {}", strategy.name()
+                );
+            }
+        }
+
+        #[test]
+        fn in_order_matches_first_fit_from_empty(vms in fleet()) {
+            // Placing everything through the in-order engine from empty
+            // loads, in first_fit's own order, must reproduce first_fit.
+            let farm: Vec<PmSpec> =
+                (0..vms.len()).map(|j| PmSpec::new(j, 100.0)).collect();
+            let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+            let order = q.order(&vms);
+            let mut loads = vec![PmLoad::empty(); farm.len()];
+            let placed =
+                first_fit_in_order(&vms, &order, &farm, &mut loads, &q).unwrap();
+            let reference = first_fit(&vms, &farm, &q).unwrap();
+            for (i, j) in placed {
+                prop_assert_eq!(reference.assignment[i], Some(j), "VM index {}", i);
+            }
         }
     }
 }

@@ -18,7 +18,10 @@ pub struct Placement {
 impl Placement {
     /// An empty placement of `n_vms` VMs over `n_pms` PMs.
     pub fn empty(n_vms: usize, n_pms: usize) -> Self {
-        Self { assignment: vec![None; n_vms], n_pms }
+        Self {
+            assignment: vec![None; n_vms],
+            n_pms,
+        }
     }
 
     /// Number of VMs covered by the mapping.
@@ -145,7 +148,10 @@ mod tests {
     #[test]
     fn load_of_reflects_hosted_specs() {
         let vms = vec![vm(0, 4.0, 1.0), vm(1, 6.0, 3.0)];
-        let p = Placement { assignment: vec![Some(0), Some(0)], n_pms: 1 };
+        let p = Placement {
+            assignment: vec![Some(0), Some(0)],
+            n_pms: 1,
+        };
         let load = p.load_of(0, &vms);
         assert_eq!(load.count, 2);
         assert_eq!(load.sum_rb, 10.0);
@@ -156,9 +162,15 @@ mod tests {
     fn validate_accepts_feasible_and_flags_overload() {
         let vms = vec![vm(0, 6.0, 0.1), vm(1, 6.0, 0.1)];
         let pms = vec![pm(0, 10.0), pm(1, 10.0)];
-        let ok = Placement { assignment: vec![Some(0), Some(1)], n_pms: 2 };
+        let ok = Placement {
+            assignment: vec![Some(0), Some(1)],
+            n_pms: 2,
+        };
         assert_eq!(ok.validate(&vms, &pms, &BaseStrategy), Ok(()));
-        let bad = Placement { assignment: vec![Some(0), Some(0)], n_pms: 2 };
+        let bad = Placement {
+            assignment: vec![Some(0), Some(0)],
+            n_pms: 2,
+        };
         assert_eq!(bad.validate(&vms, &pms, &BaseStrategy), Err(0));
     }
 

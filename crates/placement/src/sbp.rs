@@ -22,7 +22,10 @@ use bursty_workload::VmSpec;
 /// |relative error| < 1.15e-9 over (0, 1)).
 #[allow(clippy::excessive_precision)] // canonical Acklam coefficients
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile argument must be in (0,1), got {p}"
+    );
     // Coefficients for the central and tail regions.
     const A: [f64; 6] = [
         -3.969683028665376e+01,
@@ -94,7 +97,10 @@ impl SbpStrategy {
     /// Panics for `rho` outside `(0, 1)`.
     pub fn new(rho: f64) -> Self {
         assert!(rho > 0.0 && rho < 1.0, "rho must be in (0,1), got {rho}");
-        Self { rho, z: normal_quantile(1.0 - rho) }
+        Self {
+            rho,
+            z: normal_quantile(1.0 - rho),
+        }
     }
 
     /// The overflow budget.
@@ -151,7 +157,8 @@ impl Strategy for SbpStrategy {
     fn order(&self, vms: &[VmSpec]) -> Vec<usize> {
         let mut order: Vec<usize> = (0..vms.len()).collect();
         order.sort_by(|&a, &b| {
-            self.effective_size(&vms[b]).total_cmp(&self.effective_size(&vms[a]))
+            self.effective_size(&vms[b])
+                .total_cmp(&self.effective_size(&vms[a]))
         });
         order
     }
@@ -181,6 +188,15 @@ impl Strategy for SbpStrategy {
         // backstop as feasible().
         self.feasible(&load.with(vm), capacity)
     }
+
+    fn headroom(&self, load: &PmLoad, capacity: f64) -> f64 {
+        // Capacity minus the load's mean only — the variance term is left
+        // out, which can only *overstate* headroom. With `demand` at its
+        // zero default the contract holds: admits ⇒ the post-add mean fits
+        // under capacity ⇒ the (smaller) pre-add mean does too.
+        let q = 0.1; // π_on for the paper's default parameters
+        capacity - (load.sum_rb + q * (load.sum_rp - load.sum_rb))
+    }
 }
 
 /// Exact SBP first-fit packing over specs (the entry point the benches
@@ -188,11 +204,7 @@ impl Strategy for SbpStrategy {
 ///
 /// # Errors
 /// Returns the id of the first unplaceable VM.
-pub fn pack_sbp(
-    vms: &[VmSpec],
-    capacities: &[f64],
-    rho: f64,
-) -> Result<Vec<usize>, usize> {
+pub fn pack_sbp(vms: &[VmSpec], capacities: &[f64], rho: f64) -> Result<Vec<usize>, usize> {
     let strategy = SbpStrategy::new(rho);
     let order = strategy.order(vms);
     let mut means = vec![0.0; capacities.len()];
@@ -200,9 +212,8 @@ pub fn pack_sbp(
     let mut assignment = vec![usize::MAX; vms.len()];
     for &i in &order {
         let (m, v) = marginal_moments(&vms[i]);
-        let slot = (0..capacities.len()).find(|&j| {
-            means[j] + m + strategy.z * (vars[j] + v).sqrt() <= capacities[j]
-        });
+        let slot = (0..capacities.len())
+            .find(|&j| means[j] + m + strategy.z * (vars[j] + v).sqrt() <= capacities[j]);
         match slot {
             Some(j) => {
                 means[j] += m;
@@ -343,7 +354,10 @@ mod tests {
         let load = PmLoad::rebuild(&vms);
         for cap in [60.0, 90.0, 110.0, 150.0] {
             if s.feasible(&load, cap) {
-                assert!(s.set_feasible(&vms, cap), "backstop accepted what exact rejects at {cap}");
+                assert!(
+                    s.set_feasible(&vms, cap),
+                    "backstop accepted what exact rejects at {cap}"
+                );
             }
         }
     }

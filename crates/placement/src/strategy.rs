@@ -5,6 +5,7 @@ use crate::clustering::{cluster_order, default_buckets};
 use crate::load::PmLoad;
 use crate::mapcal::MappingTable;
 use bursty_workload::VmSpec;
+use std::sync::Arc;
 
 /// A consolidation strategy: how to order VMs for First-Fit-Decreasing and
 /// when a *set* of VMs fits on a PM.
@@ -29,6 +30,35 @@ pub trait Strategy: Send + Sync {
     fn admits(&self, load: &PmLoad, vm: &VmSpec, capacity: f64) -> bool {
         self.feasible(&load.with(vm), capacity)
     }
+
+    /// Scalar *headroom* of a PM under this strategy — how much more of
+    /// the strategy's scarce quantity the PM can still absorb. This is
+    /// what the packers index ([`crate::index::HeadroomIndex`]) and what
+    /// Best Fit minimizes.
+    ///
+    /// Contract with [`Strategy::demand`]: whenever
+    /// `admits(load, vm, capacity)` holds,
+    /// `headroom(load, capacity) ≥ demand(vm)` must hold too (the packers
+    /// additionally leave a small slack below `demand` before pruning, so
+    /// an ulp-level float discrepancy cannot skip an admissible PM). A PM
+    /// that can admit nothing — e.g. a QUEUE PM at the `d` cap — should
+    /// report `f64::NEG_INFINITY`.
+    ///
+    /// The default (`+∞`) honors the contract trivially and disables
+    /// pruning: indexed packing degrades to the linear scan, never to a
+    /// wrong answer.
+    fn headroom(&self, _load: &PmLoad, _capacity: f64) -> f64 {
+        f64::INFINITY
+    }
+
+    /// Load-independent lower bound on the headroom `vm` needs on *any*
+    /// PM — the threshold the indexed packers search with. Must be
+    /// conservative (never exceed the true requirement on any PM state);
+    /// see the contract on [`Strategy::headroom`]. The default (`0`)
+    /// disables pruning.
+    fn demand(&self, _vm: &VmSpec) -> f64 {
+        0.0
+    }
 }
 
 /// The paper's burstiness-aware strategy (Algorithm 2): cluster by spike
@@ -37,7 +67,7 @@ pub trait Strategy: Send + Sync {
 /// per PM.
 #[derive(Debug, Clone)]
 pub struct QueueStrategy {
-    mapping: MappingTable,
+    mapping: Arc<MappingTable>,
     buckets: Option<usize>,
 }
 
@@ -45,7 +75,16 @@ impl QueueStrategy {
     /// Creates the strategy from a prebuilt mapping table. `buckets`
     /// controls the `R_e` clustering granularity (`None` = `⌈√n⌉`).
     pub fn new(mapping: MappingTable) -> Self {
-        Self { mapping, buckets: None }
+        Self::from_shared(Arc::new(mapping))
+    }
+
+    /// Creates the strategy around an already-shared mapping table (e.g.
+    /// one obtained from [`MappingTable::cached`]) without copying it.
+    pub fn from_shared(mapping: Arc<MappingTable>) -> Self {
+        Self {
+            mapping,
+            buckets: None,
+        }
     }
 
     /// Overrides the clustering bucket count (ablation hook; `1` disables
@@ -56,13 +95,23 @@ impl QueueStrategy {
         self
     }
 
-    /// Builds the strategy directly from the parameters of Algorithm 2.
+    /// Builds the strategy directly from the parameters of Algorithm 2,
+    /// through the process-wide [`MappingTable::cached`] memo — repeated
+    /// builds over one parameter set (packing strategy + runtime policy of
+    /// the same consolidation run, replicated experiments, …) share a
+    /// single `O(d⁴)` table.
     pub fn build(d: usize, p_on: f64, p_off: f64, rho: f64) -> Self {
-        Self::new(MappingTable::build(d, p_on, p_off, rho))
+        Self::from_shared(MappingTable::cached(d, p_on, p_off, rho))
     }
 
     /// The underlying mapping table.
     pub fn mapping(&self) -> &MappingTable {
+        &self.mapping
+    }
+
+    /// The shared handle to the mapping table (for cache-identity checks
+    /// and zero-copy sharing with runtime policies).
+    pub fn mapping_arc(&self) -> &Arc<MappingTable> {
         &self.mapping
     }
 
@@ -90,6 +139,28 @@ impl Strategy for QueueStrategy {
     fn feasible(&self, load: &PmLoad, capacity: f64) -> bool {
         load.count <= self.mapping.d() && self.required_capacity(load) <= capacity
     }
+
+    /// Residual *admissible base demand*: what is left of Eq. 17 once the
+    /// blocks term is charged at the post-admission co-location count
+    /// `count + 1`. Admitting `vm` requires
+    /// `Σ R_b + R_b + max(max R_e, R_e) · mapping(count+1) ≤ C`, and since
+    /// `max(max R_e, R_e) ≥ max R_e` this implies
+    /// `R_b ≤ C − Σ R_b − max R_e · mapping(count+1)` — exactly this
+    /// measure, giving the contract with `demand` (and a *tight* one when
+    /// the newcomer's spike does not exceed the hosted maximum, the common
+    /// case under Algorithm 2's decreasing-spike order). A PM at the `d`
+    /// cap can admit nothing regardless of capacity.
+    fn headroom(&self, load: &PmLoad, capacity: f64) -> f64 {
+        if load.count >= self.mapping.d() {
+            return f64::NEG_INFINITY;
+        }
+        let next_blocks = self.mapping.blocks_for(load.count + 1) as f64;
+        capacity - load.sum_rb - load.max_re * next_blocks
+    }
+
+    fn demand(&self, vm: &VmSpec) -> f64 {
+        vm.r_b
+    }
 }
 
 /// FFD by peak demand (`R_p`) — the paper's "RP": provisioning for peak
@@ -110,6 +181,15 @@ impl Strategy for PeakStrategy {
     fn feasible(&self, load: &PmLoad, capacity: f64) -> bool {
         load.sum_rp <= capacity
     }
+
+    /// Peak slack: admitting a VM consumes exactly its `R_p`.
+    fn headroom(&self, load: &PmLoad, capacity: f64) -> f64 {
+        capacity - load.sum_rp
+    }
+
+    fn demand(&self, vm: &VmSpec) -> f64 {
+        vm.r_p()
+    }
 }
 
 /// FFD by base demand (`R_b`) — the paper's "RB": provisioning for normal
@@ -129,6 +209,15 @@ impl Strategy for BaseStrategy {
     fn feasible(&self, load: &PmLoad, capacity: f64) -> bool {
         load.sum_rb <= capacity
     }
+
+    /// Base slack: admitting a VM consumes exactly its `R_b`.
+    fn headroom(&self, load: &PmLoad, capacity: f64) -> f64 {
+        capacity - load.sum_rb
+    }
+
+    fn demand(&self, vm: &VmSpec) -> f64 {
+        vm.r_b
+    }
 }
 
 /// The paper's RB-EX baseline: FFD by `R_b`, but a fixed `δ` fraction of
@@ -146,7 +235,10 @@ impl ReserveStrategy {
     /// # Panics
     /// Panics for `delta` outside `[0, 1)`.
     pub fn new(delta: f64) -> Self {
-        assert!((0.0..1.0).contains(&delta), "delta must be in [0,1), got {delta}");
+        assert!(
+            (0.0..1.0).contains(&delta),
+            "delta must be in [0,1), got {delta}"
+        );
         Self { delta }
     }
 
@@ -173,6 +265,15 @@ impl Strategy for ReserveStrategy {
 
     fn feasible(&self, load: &PmLoad, capacity: f64) -> bool {
         load.sum_rb <= (1.0 - self.delta) * capacity
+    }
+
+    /// Base slack against the *usable* (reserve-reduced) capacity.
+    fn headroom(&self, load: &PmLoad, capacity: f64) -> f64 {
+        (1.0 - self.delta) * capacity - load.sum_rb
+    }
+
+    fn demand(&self, vm: &VmSpec) -> f64 {
+        vm.r_b
     }
 }
 
@@ -282,6 +383,75 @@ mod tests {
     #[should_panic(expected = "delta")]
     fn rbex_rejects_delta_one() {
         let _ = ReserveStrategy::new(1.0);
+    }
+
+    #[test]
+    fn headroom_is_the_strategy_slack() {
+        let load = PmLoad::rebuild(&[vm(0, 10.0, 5.0), vm(1, 8.0, 7.0)]);
+        assert_eq!(PeakStrategy.headroom(&load, 100.0), 100.0 - 30.0);
+        assert_eq!(BaseStrategy.headroom(&load, 100.0), 100.0 - 18.0);
+        let rbex = ReserveStrategy::new(0.3);
+        assert!((rbex.headroom(&load, 100.0) - (70.0 - 18.0)).abs() < 1e-12);
+        let q = queue();
+        // QUEUE charges the blocks term at the post-admission count.
+        let expected =
+            100.0 - load.sum_rb - load.max_re * q.mapping().blocks_for(load.count + 1) as f64;
+        assert!((q.headroom(&load, 100.0) - expected).abs() < 1e-12);
+        // Never above the plain Eq.-17 slack (blocks are nondecreasing).
+        assert!(q.headroom(&load, 100.0) <= 100.0 - q.required_capacity(&load) + 1e-12);
+    }
+
+    #[test]
+    fn queue_headroom_is_neg_infinity_at_d_cap() {
+        let q = QueueStrategy::build(2, 0.01, 0.09, 0.01);
+        let full = PmLoad::rebuild(&[vm(0, 0.1, 0.1), vm(1, 0.1, 0.1)]);
+        assert_eq!(q.headroom(&full, 1e9), f64::NEG_INFINITY);
+        // One slot left: finite headroom again.
+        let one = PmLoad::rebuild(&[vm(0, 0.1, 0.1)]);
+        assert!(q.headroom(&one, 1e9).is_finite());
+    }
+
+    #[test]
+    fn admits_implies_headroom_covers_demand() {
+        // The pruning contract the indexed packers rely on, exercised over
+        // a grid of loads, newcomers, and capacities for all strategies.
+        let q = queue();
+        let strategies: [&dyn Strategy; 4] =
+            [&q, &PeakStrategy, &BaseStrategy, &ReserveStrategy::new(0.3)];
+        let hosted: Vec<Vec<VmSpec>> = vec![
+            vec![],
+            vec![vm(0, 12.0, 4.0)],
+            vec![vm(0, 30.0, 10.0), vm(1, 25.0, 12.0)],
+            (0..6).map(|i| vm(i, 8.0, 6.0)).collect(),
+        ];
+        for s in strategies {
+            for set in &hosted {
+                let load = PmLoad::rebuild(set);
+                for newcomer in [vm(90, 2.0, 1.0), vm(91, 15.0, 20.0), vm(92, 40.0, 3.0)] {
+                    for cap in [20.0, 55.0, 90.0, 140.0] {
+                        if s.admits(&load, &newcomer, cap) {
+                            assert!(
+                                s.headroom(&load, cap) >= s.demand(&newcomer),
+                                "{}: headroom {} < demand {} (cap {cap}, load {load:?})",
+                                s.name(),
+                                s.headroom(&load, cap),
+                                s.demand(&newcomer),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn built_strategies_share_cached_tables() {
+        let a = QueueStrategy::build(11, 0.014, 0.086, 0.023);
+        let b = QueueStrategy::build(11, 0.014, 0.086, 0.023);
+        assert!(
+            std::sync::Arc::ptr_eq(a.mapping_arc(), b.mapping_arc()),
+            "same parameters must share one table"
+        );
     }
 
     #[test]

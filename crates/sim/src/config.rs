@@ -41,6 +41,16 @@ pub struct SimConfig {
     pub dual_count_steps: usize,
     /// Which VM an overloaded PM evicts.
     pub victim_policy: VictimPolicy,
+    /// CUSUM-style allowance on the migration trigger: a PM migrates only
+    /// once its violation count exceeds `ρ · observations + allowance`.
+    /// The raw running ratio `violations / observations` sits above `ρ`
+    /// after a single violation for the first `1/ρ` periods of a run, so
+    /// comparing it to `ρ` directly evicts VMs from plan-compliant PMs on
+    /// pure startup noise. With an allowance of `c`, a compliant PM
+    /// (violation rate ≤ ρ) crosses the threshold with probability
+    /// exponentially small in `c`, while a PM violating at rate `p > ρ`
+    /// still triggers within about `c / (p − ρ)` periods.
+    pub violation_allowance: f64,
 }
 
 impl Default for SimConfig {
@@ -53,6 +63,7 @@ impl Default for SimConfig {
             migrations_enabled: true,
             dual_count_steps: 0,
             victim_policy: VictimPolicy::default(),
+            violation_allowance: 5.0,
         }
     }
 }
@@ -61,11 +72,16 @@ impl SimConfig {
     /// Validates field ranges.
     ///
     /// # Panics
-    /// Panics on `steps == 0`, non-positive `sigma_secs`, or `rho ∉ (0,1)`.
+    /// Panics on `steps == 0`, non-positive `sigma_secs`, `rho ∉ (0,1)`,
+    /// or a negative `violation_allowance`.
     pub fn validate(&self) {
         assert!(self.steps > 0, "steps must be positive");
         assert!(self.sigma_secs > 0.0, "sigma must be positive");
         assert!(self.rho > 0.0 && self.rho < 1.0, "rho must be in (0,1)");
+        assert!(
+            self.violation_allowance >= 0.0,
+            "violation allowance must be nonnegative"
+        );
     }
 
     /// Total simulated wall-clock time in seconds.
@@ -92,12 +108,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "steps")]
     fn zero_steps_invalid() {
-        SimConfig { steps: 0, ..Default::default() }.validate();
+        SimConfig {
+            steps: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "rho")]
     fn bad_rho_invalid() {
-        SimConfig { rho: 1.0, ..Default::default() }.validate();
+        SimConfig {
+            rho: 1.0,
+            ..Default::default()
+        }
+        .validate();
     }
 }

@@ -33,6 +33,11 @@ pub struct DesConfig {
     /// Migration copy duration in periods; while copying, the VM's demand
     /// is charged on *both* PMs. May be fractional.
     pub migration_duration: f64,
+    /// CUSUM-style trigger allowance, mirroring
+    /// [`SimConfig::violation_allowance`](crate::SimConfig): migrate only
+    /// once violations exceed `ρ · samples + allowance`, so the noisy
+    /// early running ratio cannot evict VMs from compliant PMs.
+    pub violation_allowance: f64,
 }
 
 impl Default for DesConfig {
@@ -44,6 +49,7 @@ impl Default for DesConfig {
             seed: 0,
             migrations_enabled: true,
             migration_duration: 0.0,
+            violation_allowance: 5.0,
         }
     }
 }
@@ -97,8 +103,21 @@ impl<'a> DesSimulator<'a> {
     ) -> Self {
         assert!(config.steps > 0, "steps must be positive");
         assert!(config.rho > 0.0 && config.rho < 1.0, "rho must be in (0,1)");
-        assert!(config.migration_duration >= 0.0, "duration must be nonnegative");
-        Self { vms, pms, policy, power: PowerModel::default(), config }
+        assert!(
+            config.migration_duration >= 0.0,
+            "duration must be nonnegative"
+        );
+        assert!(
+            config.violation_allowance >= 0.0,
+            "violation allowance must be nonnegative"
+        );
+        Self {
+            vms,
+            pms,
+            policy,
+            power: PowerModel::default(),
+            config,
+        }
     }
 
     /// Overrides the power model.
@@ -112,9 +131,16 @@ impl<'a> DesSimulator<'a> {
     /// # Panics
     /// Panics on an incomplete placement or count mismatches.
     pub fn run(&self, initial: &Placement) -> DesOutcome {
-        assert_eq!(initial.n_vms(), self.vms.len(), "placement/VM count mismatch");
+        assert_eq!(
+            initial.n_vms(),
+            self.vms.len(),
+            "placement/VM count mismatch"
+        );
         assert_eq!(initial.n_pms, self.pms.len(), "placement/PM count mismatch");
-        assert!(initial.is_complete(), "initial placement must place every VM");
+        assert!(
+            initial.is_complete(),
+            "initial placement must place every VM"
+        );
 
         let n = self.vms.len();
         let m = self.pms.len();
@@ -161,7 +187,11 @@ impl<'a> DesSimulator<'a> {
             match event {
                 Event::StateSwitch { vm } => {
                     on[vm] = !on[vm];
-                    let p = if on[vm] { self.vms[vm].p_off } else { self.vms[vm].p_on };
+                    let p = if on[vm] {
+                        self.vms[vm].p_off
+                    } else {
+                        self.vms[vm].p_on
+                    };
                     queue.schedule_in(geometric(p, &mut rng), Event::StateSwitch { vm });
                 }
                 Event::MigrationComplete { vm: _, from } => {
@@ -191,7 +221,9 @@ impl<'a> DesSimulator<'a> {
                             vio[j] += 1;
                             total_violation_steps += 1;
                             if self.config.migrations_enabled
-                                && vio[j] as f64 / active[j] as f64 > self.config.rho
+                                && vio[j] as f64
+                                    > self.config.rho * active[j] as f64
+                                        + self.config.violation_allowance
                             {
                                 let migrated = self.try_migrate(
                                     j,
@@ -257,19 +289,19 @@ impl<'a> DesSimulator<'a> {
         migrations: &mut Vec<MigrationEvent>,
     ) -> bool {
         // Victim: largest-demand ON VM, falling back to largest demand.
-        let victim = hosted[source]
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                let key = |i: usize| (on[i] as u8, self.vms[i].demand(on[i]));
-                let (ka, kb) = (key(a), key(b));
-                ka.0.cmp(&kb.0).then(ka.1.total_cmp(&kb.1))
-            });
+        let victim = hosted[source].iter().copied().max_by(|&a, &b| {
+            let key = |i: usize| (on[i] as u8, self.vms[i].demand(on[i]));
+            let (ka, kb) = (key(a), key(b));
+            ka.0.cmp(&kb.0).then(ka.1.total_cmp(&kb.1))
+        });
         let Some(victim) = victim else { return false };
         let vm = &self.vms[victim];
         let vm_demand = vm.demand(on[victim]);
         let admit = |j: usize, loads: &[PmLoad], observed: &[f64]| {
-            let pm = PmRuntime { load: loads[j], observed: observed[j] };
+            let pm = PmRuntime {
+                load: loads[j],
+                observed: observed[j],
+            };
             self.policy.admits(vm, vm_demand, &pm, self.pms[j].capacity)
         };
         let target = (0..self.pms.len())
@@ -293,10 +325,18 @@ impl<'a> DesSimulator<'a> {
             observed[source] += vm_demand;
             queue.schedule(
                 time + self.config.migration_duration,
-                Event::MigrationComplete { vm: victim, from: source },
+                Event::MigrationComplete {
+                    vm: victim,
+                    from: source,
+                },
             );
         }
-        migrations.push(MigrationEvent { step, vm_id: vm.id, from_pm: source, to_pm: target });
+        migrations.push(MigrationEvent {
+            step,
+            vm_id: vm.id,
+            from_pm: source,
+            to_pm: target,
+        });
         true
     }
 }
@@ -352,14 +392,24 @@ mod tests {
             &vms,
             &pms,
             &policy,
-            SimConfig { steps: 40_000, seed: 1, migrations_enabled: false, ..Default::default() },
+            SimConfig {
+                steps: 40_000,
+                seed: 1,
+                migrations_enabled: false,
+                ..Default::default()
+            },
         )
         .run(&placement);
         let des = DesSimulator::new(
             &vms,
             &pms,
             &policy,
-            DesConfig { steps: 40_000, seed: 1, migrations_enabled: false, ..Default::default() },
+            DesConfig {
+                steps: 40_000,
+                seed: 1,
+                migrations_enabled: false,
+                ..Default::default()
+            },
         )
         .run(&placement);
 
@@ -379,13 +429,29 @@ mod tests {
         let qs = QueueStrategy::build(16, 0.01, 0.09, 0.01);
         let q_placement = first_fit(&vms, &pms, &qs).unwrap();
         let q_policy = QueuePolicy::new(qs);
-        let q = DesSimulator::new(&vms, &pms, &q_policy, DesConfig { seed: 2, ..Default::default() })
-            .run(&q_placement);
+        let q = DesSimulator::new(
+            &vms,
+            &pms,
+            &q_policy,
+            DesConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .run(&q_placement);
 
         let b_placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
         let b_policy = ObservedPolicy::rb();
-        let b = DesSimulator::new(&vms, &pms, &b_policy, DesConfig { seed: 2, ..Default::default() })
-            .run(&b_placement);
+        let b = DesSimulator::new(
+            &vms,
+            &pms,
+            &b_policy,
+            DesConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .run(&b_placement);
 
         assert!(
             b.migrations.len() > 5 * q.migrations.len().max(1),
@@ -407,14 +473,22 @@ mod tests {
             &vms,
             &pms,
             &policy,
-            DesConfig { seed: 3, migration_duration: 0.0, ..Default::default() },
+            DesConfig {
+                seed: 3,
+                migration_duration: 0.0,
+                ..Default::default()
+            },
         )
         .run(&placement);
         let slow = DesSimulator::new(
             &vms,
             &pms,
             &policy,
-            DesConfig { seed: 3, migration_duration: 3.0, ..Default::default() },
+            DesConfig {
+                seed: 3,
+                migration_duration: 3.0,
+                ..Default::default()
+            },
         )
         .run(&placement);
         assert!(
@@ -432,8 +506,16 @@ mod tests {
         let placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
         let policy = ObservedPolicy::rb();
         let run = |seed| {
-            DesSimulator::new(&vms, &pms, &policy, DesConfig { seed, ..Default::default() })
-                .run(&placement)
+            DesSimulator::new(
+                &vms,
+                &pms,
+                &policy,
+                DesConfig {
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .run(&placement)
         };
         let (a, b) = (run(7), run(7));
         assert_eq!(a.migrations, b.migrations);
@@ -444,13 +526,20 @@ mod tests {
     fn series_and_samples_line_up() {
         let vms = vec![vm(0, 5.0, 5.0)];
         let pms = farm(2, 50.0);
-        let placement = Placement { assignment: vec![Some(0)], n_pms: 2 };
+        let placement = Placement {
+            assignment: vec![Some(0)],
+            n_pms: 2,
+        };
         let policy = ObservedPolicy::rb();
         let out = DesSimulator::new(
             &vms,
             &pms,
             &policy,
-            DesConfig { steps: 25, seed: 1, ..Default::default() },
+            DesConfig {
+                steps: 25,
+                seed: 1,
+                ..Default::default()
+            },
         )
         .run(&placement);
         assert_eq!(out.pms_used_series.len(), 25);

@@ -52,7 +52,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time 0.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
     }
 
     /// Current simulation time (the time of the last popped event).
@@ -71,7 +75,11 @@ impl<E> EventQueue<E> {
             "cannot schedule into the past ({time} < {})",
             self.now
         );
-        self.heap.push(Entry { time, seq: self.seq, payload });
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            payload,
+        });
         self.seq += 1;
     }
 

@@ -18,7 +18,10 @@ pub struct PowerModel {
 impl Default for PowerModel {
     /// A typical commodity server: 150 W idle, 250 W at full load.
     fn default() -> Self {
-        Self { idle_watts: 150.0, peak_watts: 250.0 }
+        Self {
+            idle_watts: 150.0,
+            peak_watts: 250.0,
+        }
     }
 }
 
@@ -30,7 +33,10 @@ impl PowerModel {
     pub fn new(idle_watts: f64, peak_watts: f64) -> Self {
         assert!(idle_watts >= 0.0, "idle power must be nonnegative");
         assert!(peak_watts >= idle_watts, "peak power must be ≥ idle power");
-        Self { idle_watts, peak_watts }
+        Self {
+            idle_watts,
+            peak_watts,
+        }
     }
 
     /// Instantaneous power draw at utilization `u` (clamped to `[0, 1]` —

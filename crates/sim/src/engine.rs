@@ -101,7 +101,13 @@ impl<'a> Simulator<'a> {
         config: SimConfig,
     ) -> Self {
         config.validate();
-        Self { vms, pms, policy, power: PowerModel::default(), config }
+        Self {
+            vms,
+            pms,
+            policy,
+            power: PowerModel::default(),
+            config,
+        }
     }
 
     /// Overrides the power model.
@@ -119,9 +125,16 @@ impl<'a> Simulator<'a> {
     /// # Panics
     /// Panics if `initial` is incomplete or inconsistent with the specs.
     pub fn run(&self, initial: &Placement) -> SimOutcome {
-        assert_eq!(initial.n_vms(), self.vms.len(), "placement/VM count mismatch");
+        assert_eq!(
+            initial.n_vms(),
+            self.vms.len(),
+            "placement/VM count mismatch"
+        );
         assert_eq!(initial.n_pms, self.pms.len(), "placement/PM count mismatch");
-        assert!(initial.is_complete(), "initial placement must place every VM");
+        assert!(
+            initial.is_complete(),
+            "initial placement must place every VM"
+        );
 
         let n = self.vms.len();
         let m = self.pms.len();
@@ -198,12 +211,16 @@ impl<'a> Simulator<'a> {
                 }
             }
 
-            // 4. Live migration: a PM whose running CVR exceeds ρ sheds
-            //    one VM (at most one per PM per period).
+            // 4. Live migration: a PM whose violation count exceeds the
+            //    compliant budget ρ·t plus the CUSUM allowance sheds one
+            //    VM (at most one per PM per period). The allowance keeps
+            //    startup noise — where a single violation puts the running
+            //    ratio above ρ — from evicting VMs off compliant PMs.
             if self.config.migrations_enabled {
                 for &j in &overloaded {
-                    let cvr = vio_steps[j] as f64 / active_steps[j] as f64;
-                    if cvr <= self.config.rho {
+                    let budget =
+                        self.config.rho * active_steps[j] as f64 + self.config.violation_allowance;
+                    if vio_steps[j] as f64 <= budget {
                         continue; // tolerated fluctuation
                     }
                     let overload = observed[j] - self.pms[j].capacity;
@@ -218,8 +235,7 @@ impl<'a> Simulator<'a> {
                             hosted[j].retain(|&i| i != victim);
                             hosted[target].push(victim);
                             host[victim] = target;
-                            loads[j] =
-                                PmLoad::rebuild(hosted[j].iter().map(|&i| &self.vms[i]));
+                            loads[j] = PmLoad::rebuild(hosted[j].iter().map(|&i| &self.vms[i]));
                             loads[target].add(vm);
                             observed[j] -= vm_demand;
                             observed[target] += vm_demand;
@@ -292,7 +308,9 @@ impl<'a> Simulator<'a> {
                 .copied()
                 .filter(|&i| on[i] && self.vms[i].demand(true) >= overload)
                 .min_by(|&a, &b| {
-                    self.vms[a].demand(true).total_cmp(&self.vms[b].demand(true))
+                    self.vms[a]
+                        .demand(true)
+                        .total_cmp(&self.vms[b].demand(true))
                 })
                 .or_else(largest_on),
             VictimPolicy::SmallestBase => hosted
@@ -313,11 +331,13 @@ impl<'a> Simulator<'a> {
         observed: &[f64],
     ) -> Option<usize> {
         let admit = |j: usize| {
-            let pm = PmRuntime { load: loads[j], observed: observed[j] };
+            let pm = PmRuntime {
+                load: loads[j],
+                observed: observed[j],
+            };
             self.policy.admits(vm, vm_demand, &pm, self.pms[j].capacity)
         };
-        let active = (0..self.pms.len())
-            .find(|&j| j != source && !loads[j].is_empty() && admit(j));
+        let active = (0..self.pms.len()).find(|&j| j != source && !loads[j].is_empty() && admit(j));
         active.or_else(|| {
             (0..self.pms.len()).find(|&j| j != source && loads[j].is_empty() && admit(j))
         })
@@ -383,13 +403,11 @@ mod tests {
         let qs = QueueStrategy::build(16, 0.01, 0.09, 0.01);
         let q_placement = first_fit(&vms, &pms, &qs).unwrap();
         let q_policy = QueuePolicy::new(qs);
-        let q_out =
-            Simulator::new(&vms, &pms, &q_policy, config(100, 7, true)).run(&q_placement);
+        let q_out = Simulator::new(&vms, &pms, &q_policy, config(100, 7, true)).run(&q_placement);
 
         let b_placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
         let b_policy = ObservedPolicy::rb();
-        let b_out =
-            Simulator::new(&vms, &pms, &b_policy, config(100, 7, true)).run(&b_placement);
+        let b_out = Simulator::new(&vms, &pms, &b_policy, config(100, 7, true)).run(&b_placement);
 
         assert!(
             b_out.total_migrations() > 5 * q_out.total_migrations().max(1),
@@ -406,8 +424,7 @@ mod tests {
         let placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
         let initial = placement.pms_used();
         let policy = ObservedPolicy::rb();
-        let out =
-            Simulator::new(&vms, &pms, &policy, config(100, 3, true)).run(&placement);
+        let out = Simulator::new(&vms, &pms, &policy, config(100, 3, true)).run(&placement);
         assert!(
             out.final_pms_used > initial,
             "RB must spill to extra PMs: {} vs initial {initial}",
@@ -421,18 +438,15 @@ mod tests {
         let pms = farm(100, 90.0);
         let placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
         let policy = ObservedPolicy::rb();
-        let run = |seed| {
-            Simulator::new(&vms, &pms, &policy, config(80, seed, true)).run(&placement)
-        };
+        let run =
+            |seed| Simulator::new(&vms, &pms, &policy, config(80, seed, true)).run(&placement);
         let (a, b) = (run(11), run(11));
         assert_eq!(a.migrations, b.migrations);
         assert_eq!(a.final_pms_used, b.final_pms_used);
         assert_eq!(a.total_violation_steps, b.total_violation_steps);
         let c = run(12);
         // Different seed, different sample path (overwhelmingly likely).
-        assert!(
-            a.migrations != c.migrations || a.total_violation_steps != c.total_violation_steps
-        );
+        assert!(a.migrations != c.migrations || a.total_violation_steps != c.total_violation_steps);
     }
 
     #[test]
@@ -450,8 +464,12 @@ mod tests {
         };
         let policy = ObservedPolicy::rb();
         let cfg = config(50, 5, false);
-        let e1 = Simulator::new(&vms, &pms, &policy, cfg).run(&consolidated).energy_joules;
-        let e2 = Simulator::new(&vms, &pms, &policy, cfg).run(&spread).energy_joules;
+        let e1 = Simulator::new(&vms, &pms, &policy, cfg)
+            .run(&consolidated)
+            .energy_joules;
+        let e2 = Simulator::new(&vms, &pms, &policy, cfg)
+            .run(&spread)
+            .energy_joules;
         assert!(e2 > 3.0 * e1, "spread {e2} vs consolidated {e1}");
     }
 
@@ -460,10 +478,12 @@ mod tests {
         // Overloaded tiny farm with zero spare capacity anywhere.
         let vms: Vec<VmSpec> = (0..8).map(|i| vm(i, 10.0, 10.0)).collect();
         let pms = farm(1, 80.0);
-        let placement = Placement { assignment: vec![Some(0); 8], n_pms: 1 };
+        let placement = Placement {
+            assignment: vec![Some(0); 8],
+            n_pms: 1,
+        };
         let policy = ObservedPolicy::rb();
-        let out =
-            Simulator::new(&vms, &pms, &policy, config(2_000, 2, true)).run(&placement);
+        let out = Simulator::new(&vms, &pms, &policy, config(2_000, 2, true)).run(&placement);
         assert_eq!(out.total_migrations(), 0, "nowhere to go");
         assert!(out.failed_migrations > 0);
     }
@@ -472,10 +492,12 @@ mod tests {
     fn series_lengths_match_steps() {
         let vms = vec![vm(0, 5.0, 5.0)];
         let pms = farm(2, 50.0);
-        let placement = Placement { assignment: vec![Some(0)], n_pms: 2 };
+        let placement = Placement {
+            assignment: vec![Some(0)],
+            n_pms: 2,
+        };
         let policy = ObservedPolicy::rb();
-        let out =
-            Simulator::new(&vms, &pms, &policy, config(37, 1, true)).run(&placement);
+        let out = Simulator::new(&vms, &pms, &policy, config(37, 1, true)).run(&placement);
         assert_eq!(out.pms_used_series.len(), 37);
         assert_eq!(out.final_pms_used, 1);
         assert_eq!(out.peak_pms_used, 1);
@@ -498,8 +520,7 @@ mod tests {
         let pms = farm(30, 100.0);
         let placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
         let policy = ObservedPolicy::rb();
-        let out = Simulator::new(&vms, &pms, &policy, config(2_000, 4, false))
-            .run(&placement);
+        let out = Simulator::new(&vms, &pms, &policy, config(2_000, 4, false)).run(&placement);
         // Each violating PM-step exposes exactly its hosted VMs: with the
         // static 10-per-PM packing, Σ per-VM exposure = 10 × PM-steps.
         let total_exposure: usize = out.vm_violation_steps.iter().sum();
@@ -539,8 +560,7 @@ mod tests {
         }
         // Policy choice changes the event stream for this fleet/seed.
         assert!(
-            largest.migrations != smallest.migrations
-                || largest.migrations != base.migrations,
+            largest.migrations != smallest.migrations || largest.migrations != base.migrations,
             "policies should not coincide on a heterogeneous fleet"
         );
         // SmallestSufficient moves less demand per migration on average.
@@ -568,7 +588,10 @@ mod tests {
         let placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
         let policy = ObservedPolicy::rb();
         let base_cfg = config(100, 9, true);
-        let dual_cfg = SimConfig { dual_count_steps: 3, ..base_cfg };
+        let dual_cfg = SimConfig {
+            dual_count_steps: 3,
+            ..base_cfg
+        };
         let plain = Simulator::new(&vms, &pms, &policy, base_cfg).run(&placement);
         let dual = Simulator::new(&vms, &pms, &policy, dual_cfg).run(&placement);
         assert!(

@@ -32,16 +32,36 @@ mod tests {
     #[test]
     fn bins_by_step() {
         let events = [
-            MigrationEvent { step: 0, vm_id: 1, from_pm: 0, to_pm: 1 },
-            MigrationEvent { step: 0, vm_id: 2, from_pm: 0, to_pm: 2 },
-            MigrationEvent { step: 3, vm_id: 1, from_pm: 1, to_pm: 0 },
+            MigrationEvent {
+                step: 0,
+                vm_id: 1,
+                from_pm: 0,
+                to_pm: 1,
+            },
+            MigrationEvent {
+                step: 0,
+                vm_id: 2,
+                from_pm: 0,
+                to_pm: 2,
+            },
+            MigrationEvent {
+                step: 3,
+                vm_id: 1,
+                from_pm: 1,
+                to_pm: 0,
+            },
         ];
         assert_eq!(migrations_per_step(&events, 5), vec![2, 0, 0, 1, 0]);
     }
 
     #[test]
     fn out_of_range_events_are_dropped() {
-        let events = [MigrationEvent { step: 9, vm_id: 0, from_pm: 0, to_pm: 1 }];
+        let events = [MigrationEvent {
+            step: 9,
+            vm_id: 0,
+            from_pm: 0,
+            to_pm: 1,
+        }];
         assert_eq!(migrations_per_step(&events, 5), vec![0; 5]);
     }
 

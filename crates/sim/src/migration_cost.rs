@@ -80,7 +80,10 @@ pub fn precopy_cost(p: MigrationParams) -> MigrationCost {
     assert!(p.memory_mib > 0.0, "memory must be positive");
     assert!(p.bandwidth_mibs > 0.0, "bandwidth must be positive");
     assert!(p.dirty_rate_mibs >= 0.0, "dirty rate must be nonnegative");
-    assert!(p.downtime_target_secs > 0.0, "downtime target must be positive");
+    assert!(
+        p.downtime_target_secs > 0.0,
+        "downtime target must be positive"
+    );
 
     let ratio = p.dirty_rate_mibs / p.bandwidth_mibs;
     let residual_target = p.downtime_target_secs * p.bandwidth_mibs;
@@ -96,8 +99,8 @@ pub fn precopy_cost(p: MigrationParams) -> MigrationCost {
         precopy_time += round_time;
         rounds += 1;
         residual = p.dirty_rate_mibs * round_time; // dirtied during the round
-        // With ratio ≥ 1 further rounds cannot shrink the residual, so a
-        // first full copy is all pre-copy can usefully do.
+                                                   // With ratio ≥ 1 further rounds cannot shrink the residual, so a
+                                                   // first full copy is all pre-copy can usefully do.
         if residual <= residual_target || rounds >= p.max_rounds || ratio >= 1.0 {
             break;
         }
@@ -207,7 +210,10 @@ mod tests {
         let rb = total_cost(38, MigrationParams::default());
         let queue = total_cost(1, MigrationParams::default());
         assert!(rb.total_secs > 30.0 * queue.total_secs);
-        assert!(rb.total_secs > 0.15 * 3000.0, "RB spends >15% of the run migrating");
+        assert!(
+            rb.total_secs > 0.15 * 3000.0,
+            "RB spends >15% of the run migrating"
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ pub fn simulate_multidim(
     steps: usize,
     seed: u64,
 ) -> MultiDimOutcome {
-    assert_eq!(placement.assignment.len(), vms.len(), "placement covers every VM");
+    assert_eq!(
+        placement.assignment.len(),
+        vms.len(),
+        "placement covers every VM"
+    );
     assert_eq!(placement.n_pms, pms.len(), "placement/PM count mismatch");
     assert!(steps > 0, "steps must be positive");
     let dims = vms.first().map_or(0, MultiDimVmSpec::dims);
@@ -119,7 +123,11 @@ pub fn simulate_multidim(
         .filter(|&j| used[j])
         .map(|j| (j, vio[j] as f64 / steps as f64))
         .collect();
-    MultiDimOutcome { cvr_per_pm, violations_by_dim, steps }
+    MultiDimOutcome {
+        cvr_per_pm,
+        violations_by_dim,
+        steps,
+    }
 }
 
 #[cfg(test)]
@@ -138,16 +146,16 @@ mod tests {
     }
 
     fn pm(id: usize, caps: &[f64]) -> MultiDimPmSpec {
-        MultiDimPmSpec { id, capacity: rv(caps) }
+        MultiDimPmSpec {
+            id,
+            capacity: rv(caps),
+        }
     }
 
     #[test]
     fn per_dimension_reservation_honors_rho_on_both_dims() {
-        let vms: Vec<MultiDimVmSpec> = (0..48)
-            .map(|i| vm(i, &[10.0, 6.0], &[10.0, 4.0]))
-            .collect();
-        let pms: Vec<MultiDimPmSpec> =
-            (0..48).map(|j| pm(j, &[100.0, 60.0])).collect();
+        let vms: Vec<MultiDimVmSpec> = (0..48).map(|i| vm(i, &[10.0, 6.0], &[10.0, 4.0])).collect();
+        let pms: Vec<MultiDimPmSpec> = (0..48).map(|j| pm(j, &[100.0, 60.0])).collect();
         let mapping = MappingTable::build(16, 0.01, 0.09, 0.01);
         let placement = first_fit_multidim(&vms, &pms, &mapping).unwrap();
         let out = simulate_multidim(&vms, &pms, &placement, 20_000, 1);
@@ -169,8 +177,7 @@ mod tests {
                 }
             })
             .collect();
-        let pms_pool: Vec<MultiDimPmSpec> =
-            (0..24).map(|j| pm(j, &[100.0, 100.0])).collect();
+        let pms_pool: Vec<MultiDimPmSpec> = (0..24).map(|j| pm(j, &[100.0, 100.0])).collect();
         let mapping = MappingTable::build(16, 0.01, 0.09, 0.01);
         let placement = first_fit_multidim(&vms, &pms_pool, &mapping).unwrap();
         let out = simulate_multidim(&vms, &pms_pool, &placement, 10_000, 2);
@@ -196,10 +203,12 @@ mod tests {
     #[test]
     fn violations_attributed_to_the_tight_dimension() {
         // Dimension 1 is provisioned with zero headroom for spikes.
-        let vms: Vec<MultiDimVmSpec> =
-            (0..4).map(|i| vm(i, &[5.0, 10.0], &[0.0, 10.0])).collect();
+        let vms: Vec<MultiDimVmSpec> = (0..4).map(|i| vm(i, &[5.0, 10.0], &[0.0, 10.0])).collect();
         let pms_pool = vec![pm(0, &[1000.0, 40.0])];
-        let placement = MultiDimPlacement { assignment: vec![0; 4], n_pms: 1 };
+        let placement = MultiDimPlacement {
+            assignment: vec![0; 4],
+            n_pms: 1,
+        };
         let out = simulate_multidim(&vms, &pms_pool, &placement, 20_000, 3);
         assert_eq!(out.bottleneck_dimension(), Some(1));
         assert_eq!(out.violations_by_dim[0], 0);
@@ -210,7 +219,10 @@ mod tests {
     fn no_vms_on_a_pm_means_no_cvr_entry() {
         let vms = vec![vm(0, &[1.0], &[1.0])];
         let pms_pool = vec![pm(0, &[10.0]), pm(1, &[10.0])];
-        let placement = MultiDimPlacement { assignment: vec![0], n_pms: 2 };
+        let placement = MultiDimPlacement {
+            assignment: vec![0],
+            n_pms: 2,
+        };
         let out = simulate_multidim(&vms, &pms_pool, &placement, 100, 4);
         assert_eq!(out.cvr_per_pm.len(), 1);
         assert_eq!(out.cvr_per_pm[0].0, 0);
@@ -218,10 +230,8 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let vms: Vec<MultiDimVmSpec> =
-            (0..8).map(|i| vm(i, &[10.0, 5.0], &[10.0, 5.0])).collect();
-        let pms_pool: Vec<MultiDimPmSpec> =
-            (0..8).map(|j| pm(j, &[60.0, 30.0])).collect();
+        let vms: Vec<MultiDimVmSpec> = (0..8).map(|i| vm(i, &[10.0, 5.0], &[10.0, 5.0])).collect();
+        let pms_pool: Vec<MultiDimPmSpec> = (0..8).map(|j| pm(j, &[60.0, 30.0])).collect();
         let mapping = MappingTable::build(16, 0.01, 0.09, 0.01);
         let placement = first_fit_multidim(&vms, &pms_pool, &mapping).unwrap();
         let a = simulate_multidim(&vms, &pms_pool, &placement, 2_000, 9);

@@ -46,6 +46,16 @@ impl QueuePolicy {
         Self { strategy }
     }
 
+    /// Builds the policy from the queuing parameters, sharing the
+    /// process-wide memoized mapping table — a consolidator that already
+    /// built its packing strategy for the same `(d, p_on, p_off, rho)`
+    /// pays nothing extra here.
+    pub fn from_parameters(d: usize, p_on: f64, p_off: f64, rho: f64) -> Self {
+        Self {
+            strategy: QueueStrategy::build(d, p_on, p_off, rho),
+        }
+    }
+
     /// The wrapped strategy.
     pub fn strategy(&self) -> &QueueStrategy {
         &self.strategy
@@ -74,7 +84,10 @@ pub struct ObservedPolicy {
 impl ObservedPolicy {
     /// RB: accept whenever current demands fit the full capacity.
     pub fn rb() -> Self {
-        Self { headroom: 0.0, name: "RB" }
+        Self {
+            headroom: 0.0,
+            name: "RB",
+        }
     }
 
     /// RB-EX: keep a `delta` fraction of capacity free at admission time.
@@ -83,7 +96,10 @@ impl ObservedPolicy {
     /// Panics for `delta` outside `[0, 1)`.
     pub fn rb_ex(delta: f64) -> Self {
         assert!((0.0..1.0).contains(&delta), "delta must be in [0,1)");
-        Self { headroom: delta, name: "RB-EX" }
+        Self {
+            headroom: delta,
+            name: "RB-EX",
+        }
     }
 
     /// The headroom fraction.
@@ -126,7 +142,10 @@ mod tests {
     }
 
     fn runtime(hosted: &[VmSpec], observed: f64) -> PmRuntime {
-        PmRuntime { load: PmLoad::rebuild(hosted), observed }
+        PmRuntime {
+            load: PmLoad::rebuild(hosted),
+            observed,
+        }
     }
 
     #[test]

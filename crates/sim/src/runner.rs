@@ -35,9 +35,7 @@ where
             scope.spawn(move || {
                 // Static stride partitioning: replication costs are
                 // near-uniform, so striding balances without a work queue.
-                for (idx, &seed) in
-                    seeds.iter().enumerate().skip(worker).step_by(threads)
-                {
+                for (idx, &seed) in seeds.iter().enumerate().skip(worker).step_by(threads) {
                     tx.send((idx, f(seed))).expect("collector outlives workers");
                 }
             });
@@ -106,7 +104,9 @@ mod tests {
             // Deterministic pseudo-work.
             let mut acc = s;
             for _ in 0..1000 {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
             }
             acc
         };

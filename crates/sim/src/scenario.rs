@@ -112,7 +112,10 @@ pub fn run_churn(
     p_off: f64,
 ) -> ChurnOutcome {
     sim.validate();
-    assert!(churn.arrival_rate >= 0.0, "arrival rate must be nonnegative");
+    assert!(
+        churn.arrival_rate >= 0.0,
+        "arrival rate must be nonnegative"
+    );
     assert!(
         (0.0..=1.0).contains(&churn.departure_prob),
         "departure probability must be in [0,1]"
@@ -183,7 +186,10 @@ pub fn run_churn(
             // on spec-aggregates and observed demand.
             let observed: Vec<f64> = observed_demands(&live, &loads, m);
             let slot = (0..m).find(|&j| {
-                let pm = PmRuntime { load: loads[j], observed: observed[j] };
+                let pm = PmRuntime {
+                    load: loads[j],
+                    observed: observed[j],
+                };
                 policy.admits(&vm, vm.r_b, &pm, pms[j].capacity)
             });
             match slot {
@@ -217,9 +223,7 @@ pub fn run_churn(
             if observed[j] > pms[j].capacity + 1e-9 {
                 vio[j] += 1;
                 outcome.violation_steps += 1;
-                if sim.migrations_enabled
-                    && vio[j] as f64 / active[j] as f64 > sim.rho
-                {
+                if sim.migrations_enabled && vio[j] as f64 / active[j] as f64 > sim.rho {
                     migrate_one(
                         j,
                         &mut live,
@@ -242,11 +246,7 @@ pub fn run_churn(
     outcome
 }
 
-fn observed_demands(
-    live: &[(VmSpec, usize, bool)],
-    loads: &[PmLoad],
-    m: usize,
-) -> Vec<f64> {
+fn observed_demands(live: &[(VmSpec, usize, bool)], loads: &[PmLoad], m: usize) -> Vec<f64> {
     let mut observed = vec![0.0; m];
     for &(vm, host, on) in live {
         observed[host] += vm.demand(on);
@@ -282,7 +282,10 @@ fn migrate_one(
     let vm_demand = vm.demand(on);
 
     let admit = |j: usize| {
-        let pm = PmRuntime { load: loads[j], observed: observed[j] };
+        let pm = PmRuntime {
+            load: loads[j],
+            observed: observed[j],
+        };
         policy.admits(&vm, vm_demand, &pm, pms[j].capacity)
     };
     let target = (0..pms.len())
@@ -292,9 +295,16 @@ fn migrate_one(
         live[vi].1 = t;
         loads[t].add(&vm);
         loads[source] = PmLoad::rebuild(
-            live.iter().filter(|&&(_, h, _)| h == source).map(|(v, _, _)| v),
+            live.iter()
+                .filter(|&&(_, h, _)| h == source)
+                .map(|(v, _, _)| v),
         );
-        migrations.push(MigrationEvent { step, vm_id: vm.id, from_pm: source, to_pm: t });
+        migrations.push(MigrationEvent {
+            step,
+            vm_id: vm.id,
+            from_pm: source,
+            to_pm: t,
+        });
     }
 }
 
@@ -309,7 +319,11 @@ mod tests {
     }
 
     fn sim(steps: usize, seed: u64) -> SimConfig {
-        SimConfig { steps, seed, ..Default::default() }
+        SimConfig {
+            steps,
+            seed,
+            ..Default::default()
+        }
     }
 
     fn queue_policy() -> QueuePolicy {
@@ -345,7 +359,11 @@ mod tests {
             0.09,
         );
         assert!(out.fleet_cvr() <= 0.012, "fleet CVR {}", out.fleet_cvr());
-        assert!(out.admission_rate() > 0.95, "admissions {}", out.admission_rate());
+        assert!(
+            out.admission_rate() > 0.95,
+            "admissions {}",
+            out.admission_rate()
+        );
         assert!(out.migrations.len() < out.admitted / 10);
     }
 
@@ -367,7 +385,10 @@ mod tests {
     #[test]
     fn zero_arrival_rate_is_an_empty_run() {
         let policy = queue_policy();
-        let churn = ChurnConfig { arrival_rate: 0.0, ..Default::default() };
+        let churn = ChurnConfig {
+            arrival_rate: 0.0,
+            ..Default::default()
+        };
         let out = run_churn(&pms(10, 90.0), &policy, sim(200, 3), churn, 0.01, 0.09);
         assert_eq!(out.admitted, 0);
         assert_eq!(out.departed, 0);
@@ -401,7 +422,12 @@ mod tests {
                 0.01,
                 0.09,
             );
-            (out.admitted, out.departed, out.migrations.len(), out.violation_steps)
+            (
+                out.admitted,
+                out.departed,
+                out.migrations.len(),
+                out.violation_steps,
+            )
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));

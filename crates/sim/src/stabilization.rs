@@ -38,7 +38,11 @@ pub fn detect_stabilization(
     assert!(band >= 0.0, "band must be nonnegative");
     let n = pms_used.len();
     if n == 0 {
-        return Stabilization { step: None, residual_band: 0.0, residual_migrations: 0 };
+        return Stabilization {
+            step: None,
+            residual_band: 0.0,
+            residual_migrations: 0,
+        };
     }
 
     // Suffix extrema, computed right-to-left once.
@@ -77,7 +81,12 @@ mod tests {
     use super::*;
 
     fn ev(step: usize) -> MigrationEvent {
-        MigrationEvent { step, vm_id: 0, from_pm: 0, to_pm: 1 }
+        MigrationEvent {
+            step,
+            vm_id: 0,
+            from_pm: 0,
+            to_pm: 1,
+        }
     }
 
     #[test]
@@ -140,28 +149,23 @@ mod tests {
         let mut gen = FleetGenerator::new(7);
         let vms = gen.vms_table_i(120, WorkloadPattern::EqualSpike);
         let pms = gen.pms(360);
-        let cfg = crate::SimConfig { seed: 3, ..Default::default() };
+        let cfg = crate::SimConfig {
+            seed: 3,
+            ..Default::default()
+        };
 
         let qs = QueueStrategy::build(16, 0.01, 0.09, 0.01);
         let q_placement = first_fit(&vms, &pms, &qs).unwrap();
         let q_policy = crate::QueuePolicy::new(qs);
         let q_out = crate::Simulator::new(&vms, &pms, &q_policy, cfg).run(&q_placement);
-        let q_stable = detect_stabilization(
-            &q_out.pms_used_series.values,
-            &q_out.migrations,
-            0.0,
-            0,
-        );
+        let q_stable =
+            detect_stabilization(&q_out.pms_used_series.values, &q_out.migrations, 0.0, 0);
 
         let b_placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
         let b_policy = crate::ObservedPolicy::rb();
         let b_out = crate::Simulator::new(&vms, &pms, &b_policy, cfg).run(&b_placement);
-        let b_stable = detect_stabilization(
-            &b_out.pms_used_series.values,
-            &b_out.migrations,
-            1.0,
-            2,
-        );
+        let b_stable =
+            detect_stabilization(&b_out.pms_used_series.values, &b_out.migrations, 1.0, 2);
 
         let q_step = q_stable.step.expect("QUEUE must stabilize");
         assert!(q_step <= 10, "QUEUE stabilization step {q_step}");

@@ -93,7 +93,11 @@ pub fn run_stats(on: &[bool]) -> RunStats {
     }
     RunStats {
         runs,
-        mean_length: if runs == 0 { 0.0 } else { total as f64 / runs as f64 },
+        mean_length: if runs == 0 {
+            0.0
+        } else {
+            total as f64 / runs as f64
+        },
         max_length: max_len,
     }
 }
@@ -156,7 +160,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_is_negative() {
-        let xs: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         assert!(autocorrelation(&xs, 1) < -0.9);
     }
 
@@ -217,10 +223,21 @@ mod tests {
 
     #[test]
     fn run_stats_empty_and_all_off() {
-        assert_eq!(run_stats(&[]), RunStats { runs: 0, mean_length: 0.0, max_length: 0 });
+        assert_eq!(
+            run_stats(&[]),
+            RunStats {
+                runs: 0,
+                mean_length: 0.0,
+                max_length: 0
+            }
+        );
         assert_eq!(
             run_stats(&[false; 10]),
-            RunStats { runs: 0, mean_length: 0.0, max_length: 0 }
+            RunStats {
+                runs: 0,
+                mean_length: 0.0,
+                max_length: 0
+            }
         );
     }
 

@@ -48,7 +48,13 @@ impl DiurnalSpec {
         );
         assert!(period_steps > 0.0, "period must be positive");
         assert!(spike >= 0.0, "spike must be nonnegative");
-        Self { base_mean, amplitude, period_steps, spike, chain }
+        Self {
+            base_mean,
+            amplitude,
+            period_steps,
+            spike,
+            chain,
+        }
     }
 
     /// The deterministic diurnal base level at step `t`.
@@ -147,7 +153,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let trace = s.sample(30_000, &mut rng);
         let max = trace.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(env.r_p() >= max - 1e-9, "envelope {} vs max {max}", env.r_p());
+        assert!(
+            env.r_p() >= max - 1e-9,
+            "envelope {} vs max {max}",
+            env.r_p()
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl fmt::Display for FitError {
                 write!(f, "trace has {len} samples; at least 2 are required")
             }
             FitError::NoTransitions => {
-                write!(f, "trace shows no ON/OFF transitions; model is unidentifiable")
+                write!(
+                    f,
+                    "trace shows no ON/OFF transitions; model is unidentifiable"
+                )
             }
         }
     }
@@ -45,7 +48,13 @@ pub struct FittedModel {
     pub p_off: f64,
     /// Estimated normal-level demand (mean of OFF-classified samples).
     pub r_b: f64,
-    /// Estimated spike size (mean ON demand − mean OFF demand).
+    /// Estimated spike size: the ON-demand *envelope* above the normal
+    /// level (max ON demand − mean OFF demand). The maximum rather than
+    /// the ON mean, because the planner's CVR guarantee needs the fitted
+    /// peak `R_b + R_e` to dominate the demand actually observed while
+    /// ON; a mean-based spike under-reserves whenever the trace violates
+    /// the two-level assumption (e.g. a diurnal base under the bursts).
+    /// For genuinely two-level traces the two estimators coincide.
     pub r_e: f64,
     /// The demand threshold used to classify ON vs OFF.
     pub threshold: f64,
@@ -110,10 +119,7 @@ pub fn fit_trace(demands: &[f64]) -> Result<FittedModel, FitError> {
 ///
 /// # Errors
 /// [`FitError`] for traces too short or without transitions.
-pub fn fit_trace_with_threshold(
-    demands: &[f64],
-    threshold: f64,
-) -> Result<FittedModel, FitError> {
+pub fn fit_trace_with_threshold(demands: &[f64], threshold: f64) -> Result<FittedModel, FitError> {
     if demands.len() < 2 {
         return Err(FitError::TooShort { len: demands.len() });
     }
@@ -140,26 +146,39 @@ pub fn fit_trace_with_threshold(
         return Err(FitError::NoTransitions);
     }
 
-    let p_on = if off_steps > 0 { on_entries as f64 / off_steps as f64 } else { 0.0 };
-    let p_off = if on_steps > 0 { off_entries as f64 / on_steps as f64 } else { 0.0 };
-
-    // Level estimates.
-    let mean_of = |want_on: bool| -> f64 {
-        let xs: Vec<f64> = demands
-            .iter()
-            .zip(&on)
-            .filter(|&(_, &s)| s == want_on)
-            .map(|(&d, _)| d)
-            .collect();
-        if xs.is_empty() {
-            0.0
-        } else {
-            xs.iter().sum::<f64>() / xs.len() as f64
-        }
+    let p_on = if off_steps > 0 {
+        on_entries as f64 / off_steps as f64
+    } else {
+        0.0
     };
-    let r_b = mean_of(false);
-    let r_p = mean_of(true);
-    let on_count = on.iter().filter(|&&s| s).count();
+    let p_off = if on_steps > 0 {
+        off_entries as f64 / on_steps as f64
+    } else {
+        0.0
+    };
+
+    // Level estimates: OFF mean for the normal level, ON *envelope* for
+    // the peak (see [`FittedModel::r_e`] — the guarantee consumes the
+    // fitted peak, so it must dominate every observed ON demand).
+    let mut off_sum = 0.0;
+    let mut off_count = 0usize;
+    let mut on_max = f64::NEG_INFINITY;
+    let mut on_count = 0usize;
+    for (&d, &s) in demands.iter().zip(&on) {
+        if s {
+            on_max = on_max.max(d);
+            on_count += 1;
+        } else {
+            off_sum += d;
+            off_count += 1;
+        }
+    }
+    let r_b = if off_count > 0 {
+        off_sum / off_count as f64
+    } else {
+        0.0
+    };
+    let r_p = if on_count > 0 { on_max } else { 0.0 };
 
     Ok(FittedModel {
         p_on,
@@ -245,7 +264,9 @@ mod tests {
     #[test]
     fn single_step_square_wave() {
         // Alternating every step: p_on = p_off = 1.
-        let demands: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 3.0 }).collect();
+        let demands: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 3.0 })
+            .collect();
         let fit = fit_trace(&demands).unwrap();
         assert!((fit.p_on - 1.0).abs() < 1e-9);
         assert!((fit.p_off - 1.0).abs() < 1e-9);

@@ -57,7 +57,10 @@ impl FleetGenerator {
 
     /// Creates a generator with explicit options.
     pub fn with_options(seed: u64, opts: FleetOptions) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), opts }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            opts,
+        }
     }
 
     /// Samples `n` VMs with `R_b`/`R_e` drawn uniformly from the pattern's
@@ -81,8 +84,7 @@ impl FleetGenerator {
     /// Samples `n` VMs whose `(R_b, R_e)` size classes are drawn uniformly
     /// from the Table-I rows of `pattern` (the §V-D setup).
     pub fn vms_table_i(&mut self, n: usize, pattern: WorkloadPattern) -> Vec<VmSpec> {
-        let rows: Vec<&TableIRow> =
-            TABLE_I.iter().filter(|r| r.pattern == pattern).collect();
+        let rows: Vec<&TableIRow> = TABLE_I.iter().filter(|r| r.pattern == pattern).collect();
         assert!(!rows.is_empty(), "no Table I rows for {pattern}");
         (0..n)
             .map(|id| {
@@ -213,7 +215,11 @@ mod tests {
 
     #[test]
     fn custom_options_are_respected() {
-        let opts = FleetOptions { p_on: 0.2, p_off: 0.5, pm_capacity: 10.0..11.0 };
+        let opts = FleetOptions {
+            p_on: 0.2,
+            p_off: 0.5,
+            pm_capacity: 10.0..11.0,
+        };
         let mut g = FleetGenerator::with_options(1, opts);
         let v = &g.vms(1, WorkloadPattern::EqualSpike)[0];
         assert_eq!(v.p_on, 0.2);

@@ -91,7 +91,13 @@ impl MultiDimVmSpec {
         assert!(p_on > 0.0 && p_on <= 1.0, "p_on must be in (0,1]");
         assert!(p_off > 0.0 && p_off <= 1.0, "p_off must be in (0,1]");
         assert_eq!(r_b.dims(), r_e.dims(), "r_b/r_e dimension mismatch");
-        Self { id, p_on, p_off, r_b, r_e }
+        Self {
+            id,
+            p_on,
+            p_off,
+            r_b,
+            r_e,
+        }
     }
 
     /// Number of resource dimensions.

@@ -129,13 +129,41 @@ impl TableIRow {
 
 /// The seven rows of Table I, in the paper's order.
 pub const TABLE_I: [TableIRow; 7] = [
-    TableIRow { pattern: WorkloadPattern::EqualSpike, r_b: SizeClass::Small, r_e: SizeClass::Small },
-    TableIRow { pattern: WorkloadPattern::EqualSpike, r_b: SizeClass::Medium, r_e: SizeClass::Medium },
-    TableIRow { pattern: WorkloadPattern::EqualSpike, r_b: SizeClass::Large, r_e: SizeClass::Large },
-    TableIRow { pattern: WorkloadPattern::SmallSpike, r_b: SizeClass::Medium, r_e: SizeClass::Small },
-    TableIRow { pattern: WorkloadPattern::SmallSpike, r_b: SizeClass::Large, r_e: SizeClass::Medium },
-    TableIRow { pattern: WorkloadPattern::LargeSpike, r_b: SizeClass::Small, r_e: SizeClass::Medium },
-    TableIRow { pattern: WorkloadPattern::LargeSpike, r_b: SizeClass::Medium, r_e: SizeClass::Large },
+    TableIRow {
+        pattern: WorkloadPattern::EqualSpike,
+        r_b: SizeClass::Small,
+        r_e: SizeClass::Small,
+    },
+    TableIRow {
+        pattern: WorkloadPattern::EqualSpike,
+        r_b: SizeClass::Medium,
+        r_e: SizeClass::Medium,
+    },
+    TableIRow {
+        pattern: WorkloadPattern::EqualSpike,
+        r_b: SizeClass::Large,
+        r_e: SizeClass::Large,
+    },
+    TableIRow {
+        pattern: WorkloadPattern::SmallSpike,
+        r_b: SizeClass::Medium,
+        r_e: SizeClass::Small,
+    },
+    TableIRow {
+        pattern: WorkloadPattern::SmallSpike,
+        r_b: SizeClass::Large,
+        r_e: SizeClass::Medium,
+    },
+    TableIRow {
+        pattern: WorkloadPattern::LargeSpike,
+        r_b: SizeClass::Small,
+        r_e: SizeClass::Medium,
+    },
+    TableIRow {
+        pattern: WorkloadPattern::LargeSpike,
+        r_b: SizeClass::Medium,
+        r_e: SizeClass::Large,
+    },
 ];
 
 /// The paper's default experiment parameters (Fig. 5/9 captions).

@@ -34,11 +34,23 @@ impl VmSpec {
     /// Panics if probabilities are outside `(0, 1]`, `r_b ≤ 0`, or
     /// `r_e < 0` (a spike-free VM is allowed with `r_e = 0`).
     pub fn new(id: usize, p_on: f64, p_off: f64, r_b: f64, r_e: f64) -> Self {
-        assert!(p_on > 0.0 && p_on <= 1.0, "p_on must be in (0,1], got {p_on}");
-        assert!(p_off > 0.0 && p_off <= 1.0, "p_off must be in (0,1], got {p_off}");
+        assert!(
+            p_on > 0.0 && p_on <= 1.0,
+            "p_on must be in (0,1], got {p_on}"
+        );
+        assert!(
+            p_off > 0.0 && p_off <= 1.0,
+            "p_off must be in (0,1], got {p_off}"
+        );
         assert!(r_b > 0.0, "r_b must be positive, got {r_b}");
         assert!(r_e >= 0.0, "r_e must be nonnegative, got {r_e}");
-        Self { id, p_on, p_off, r_b, r_e }
+        Self {
+            id,
+            p_on,
+            p_off,
+            r_b,
+            r_e,
+        }
     }
 
     /// Peak demand `R_p = R_b + R_e`.

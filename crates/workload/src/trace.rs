@@ -118,7 +118,11 @@ mod tests {
     fn on_fraction_converges_to_stationary() {
         let mut rng = StdRng::seed_from_u64(3);
         let tr = DemandTrace::sample(vm(), 300_000, &mut rng);
-        assert!((tr.on_fraction() - 0.1).abs() < 0.01, "{}", tr.on_fraction());
+        assert!(
+            (tr.on_fraction() - 0.1).abs() < 0.01,
+            "{}",
+            tr.on_fraction()
+        );
     }
 
     #[test]
@@ -140,21 +144,33 @@ mod tests {
         let spikes = tr.spike_count() as f64;
         let on_steps = tr.on_fraction() * tr.len() as f64;
         let mean_len = on_steps / spikes;
-        assert!((mean_len - 1.0 / 0.09).abs() < 1.0, "mean spike length {mean_len}");
+        assert!(
+            (mean_len - 1.0 / 0.09).abs() < 1.0,
+            "mean spike length {mean_len}"
+        );
     }
 
     #[test]
     fn aggregate_demand_sums_members() {
         use VmState::{Off as F, On as N};
-        let a = DemandTrace { vm: vm(), states: vec![F, N] };
-        let b = DemandTrace { vm: VmSpec::new(1, 0.1, 0.1, 3.0, 2.0), states: vec![N, N] };
+        let a = DemandTrace {
+            vm: vm(),
+            states: vec![F, N],
+        };
+        let b = DemandTrace {
+            vm: VmSpec::new(1, 0.1, 0.1, 3.0, 2.0),
+            states: vec![N, N],
+        };
         assert_eq!(aggregate_demand_at(&[&a, &b], 0), 10.0 + 5.0);
         assert_eq!(aggregate_demand_at(&[&a, &b], 1), 15.0 + 5.0);
     }
 
     #[test]
     fn empty_trace_edge_cases() {
-        let tr = DemandTrace { vm: vm(), states: vec![] };
+        let tr = DemandTrace {
+            vm: vm(),
+            states: vec![],
+        };
         assert!(tr.is_empty());
         assert_eq!(tr.on_fraction(), 0.0);
         assert_eq!(tr.spike_count(), 0);

@@ -22,7 +22,10 @@ pub struct WebServerOptions {
 
 impl Default for WebServerOptions {
     fn default() -> Self {
-        Self { think_mean: 1.0, think_floor: 0.1 }
+        Self {
+            think_mean: 1.0,
+            think_floor: 0.1,
+        }
     }
 }
 
@@ -80,7 +83,12 @@ impl WebServerWorkload {
             peak_users >= normal_users,
             "peak population must be ≥ normal ({peak_users} < {normal_users})"
         );
-        Self { normal_users, peak_users, chain, opts: WebServerOptions::default() }
+        Self {
+            normal_users,
+            peak_users,
+            chain,
+            opts: WebServerOptions::default(),
+        }
     }
 
     /// Active users in the given state.
@@ -173,7 +181,10 @@ mod tests {
             sum += y;
         }
         let mean = sum / n as f64;
-        assert!((mean - o.mean_think()).abs() < 0.01, "empirical mean {mean}");
+        assert!(
+            (mean - o.mean_think()).abs() < 0.01,
+            "empirical mean {mean}"
+        );
     }
 
     #[test]
@@ -235,13 +246,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let tr = w.generate_trace(400, 1.0, &mut rng);
         let on_mean = {
-            let xs: Vec<u64> =
-                tr.iter().filter(|(s, _)| s.is_on()).map(|&(_, r)| r).collect();
+            let xs: Vec<u64> = tr
+                .iter()
+                .filter(|(s, _)| s.is_on())
+                .map(|&(_, r)| r)
+                .collect();
             xs.iter().sum::<u64>() as f64 / xs.len().max(1) as f64
         };
         let off_mean = {
-            let xs: Vec<u64> =
-                tr.iter().filter(|(s, _)| !s.is_on()).map(|&(_, r)| r).collect();
+            let xs: Vec<u64> = tr
+                .iter()
+                .filter(|(s, _)| !s.is_on())
+                .map(|&(_, r)| r)
+                .collect();
             xs.iter().sum::<u64>() as f64 / xs.len().max(1) as f64
         };
         assert!(on_mean > 4.0 * off_mean, "on {on_mean} vs off {off_mean}");

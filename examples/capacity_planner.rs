@@ -26,12 +26,19 @@ fn main() {
     // Reservation table across SLA budgets.
     let rhos = [0.001, 0.01, 0.05];
     let mut table = Table::new(&[
-        "k", "blocks @ rho=0.1%", "@ 1%", "@ 5%", "CVR @ 1% blocks", "saved vs peak",
+        "k",
+        "blocks @ rho=0.1%",
+        "@ 1%",
+        "@ 5%",
+        "CVR @ 1% blocks",
+        "saved vs peak",
     ]);
     for k in [1usize, 2, 4, 8, 12, 16, 24, 32] {
         let chain = AggregateChain::new(k, p_on, p_off);
-        let blocks: Vec<usize> =
-            rhos.iter().map(|&r| chain.blocks_needed(r).unwrap()).collect();
+        let blocks: Vec<usize> = rhos
+            .iter()
+            .map(|&r| chain.blocks_needed(r).unwrap())
+            .collect();
         let cvr = chain.cvr_with_blocks(blocks[1]).unwrap();
         table.row(&[
             k.to_string(),

@@ -22,7 +22,11 @@ fn main() {
     for vm in &fleet {
         cluster.arrive(*vm).expect("pool suffices");
     }
-    println!("day 0: {} VMs on {} PMs", cluster.n_vms(), cluster.pms_used());
+    println!(
+        "day 0: {} VMs on {} PMs",
+        cluster.n_vms(),
+        cluster.pms_used()
+    );
 
     // Weeks pass: 45% of tenants leave, holes appear.
     let mut rng = StdRng::seed_from_u64(43);
@@ -38,13 +42,18 @@ fn main() {
     println!(
         "after churn: {} VMs on {fragmented_pms} PMs (fresh packing would need {})",
         survivors.len(),
-        Consolidator::new(Scheme::Queue).place(&survivors, &pms).unwrap().pms_used(),
+        Consolidator::new(Scheme::Queue)
+            .place(&survivors, &pms)
+            .unwrap()
+            .pms_used(),
     );
 
     // Plan a drain-only defrag under the same Eq.-17 strategy, budgeted.
     let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
-    let assignment: Vec<usize> =
-        survivors.iter().map(|vm| cluster.host_of(vm.id).unwrap()).collect();
+    let assignment: Vec<usize> = survivors
+        .iter()
+        .map(|vm| cluster.host_of(vm.id).unwrap())
+        .collect();
     let plan = plan_defrag(&survivors, &pms, &assignment, &strategy, 25);
     let cost = total_cost(plan.moves.len(), MigrationParams::default());
     println!(

@@ -22,8 +22,18 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2023);
     let vms: Vec<VmSpec> = (0..80)
         .map(|id| {
-            let (p_on, p_off) = if id % 2 == 0 { (0.002, 0.1) } else { (0.03, 0.09) };
-            VmSpec::new(id, p_on, p_off, rng.gen_range(8.0..12.0), rng.gen_range(8.0..12.0))
+            let (p_on, p_off) = if id % 2 == 0 {
+                (0.002, 0.1)
+            } else {
+                (0.03, 0.09)
+            };
+            VmSpec::new(
+                id,
+                p_on,
+                p_off,
+                rng.gen_range(8.0..12.0),
+                rng.gen_range(8.0..12.0),
+            )
         })
         .collect();
     let pms: Vec<PmSpec> = (0..240).map(|j| PmSpec::new(j, 100.0)).collect();
@@ -54,7 +64,10 @@ fn main() {
 
     println!("PMs used:");
     println!("  conservative rounding : {}", conservative.pms_used());
-    println!("  mean rounding         : {} (no guarantee!)", mean.pms_used());
+    println!(
+        "  mean rounding         : {} (no guarantee!)",
+        mean.pms_used()
+    );
     println!("  grouped (2 bands)     : {}", grouped.pms_used());
     for (gi, info) in grouped.groups.iter().enumerate() {
         println!(
@@ -89,6 +102,10 @@ fn main() {
         "\nReading: grouping packs {} PMs fewer than conservative rounding \
          while both honor ρ; mean rounding {} (CVR {m_cvr:.4}).",
         conservative.pms_used() as i64 - grouped.pms_used() as i64,
-        if m_cvr > 0.01 { "breaks the bound" } else { "happened to hold here" },
+        if m_cvr > 0.01 {
+            "breaks the bound"
+        } else {
+            "happened to hold here"
+        },
     );
 }

@@ -29,7 +29,10 @@ fn main() {
         })
         .collect();
     let pms: Vec<MultiDimPmSpec> = (0..80)
-        .map(|id| MultiDimPmSpec { id, capacity: ResourceVec::new(vec![64.0, 96.0]) })
+        .map(|id| MultiDimPmSpec {
+            id,
+            capacity: ResourceVec::new(vec![64.0, 96.0]),
+        })
         .collect();
 
     // Route 1 (uncorrelated dimensions): per-dimension reservation + FF.
@@ -64,5 +67,8 @@ fn main() {
     let peak_placement = Consolidator::new(Scheme::Rp)
         .place(&scalar_vms, &scalar_pms)
         .expect("pool suffices");
-    println!("projected-scalar FFD by R_p: {} PMs", peak_placement.pms_used());
+    println!(
+        "projected-scalar FFD by R_p: {} PMs",
+        peak_placement.pms_used()
+    );
 }

@@ -71,13 +71,19 @@ fn main() {
     if let Some((p_on, p_off)) = cluster.recalibrate() {
         println!("recalibrated switch probabilities: p_on = {p_on:.4}, p_off = {p_off:.4}");
     }
-    cluster.check_consistency().expect("cluster invariants hold");
+    cluster
+        .check_consistency()
+        .expect("cluster invariants hold");
     let drifted = cluster.infeasible_pms();
     println!(
         "cluster invariants verified; {} PM(s) over-committed under the \
          recalibrated table{}",
         drifted.len(),
-        if drifted.is_empty() { "" } else { " (would migrate to fix)" }
+        if drifted.is_empty() {
+            ""
+        } else {
+            " (would migrate to fix)"
+        }
     );
 
     // Rounding in isolation, for the curious:

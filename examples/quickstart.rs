@@ -20,7 +20,9 @@ fn main() {
     //    (QUEUE), peak provisioning (RP) and normal provisioning (RB).
     for scheme in [Scheme::Queue, Scheme::Rp, Scheme::Rb] {
         let consolidator = Consolidator::new(scheme);
-        let placement = consolidator.place(&vms, &pms).expect("pool is large enough");
+        let placement = consolidator
+            .place(&vms, &pms)
+            .expect("pool is large enough");
 
         // 3. Run the cluster for 100 update periods (the paper's σ = 30 s,
         //    100 σ evaluation period) with live migration enabled.
@@ -28,7 +30,10 @@ fn main() {
             &vms,
             &pms,
             &placement,
-            SimConfig { seed: 7, ..SimConfig::default() },
+            SimConfig {
+                seed: 7,
+                ..SimConfig::default()
+            },
         );
 
         println!(

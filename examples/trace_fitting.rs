@@ -59,24 +59,25 @@ fn main() {
         .map(|(f, t)| ((f.p_on - t.p_on) / t.p_on).abs())
         .sum::<f64>()
         / truth.len() as f64;
-    println!("fitted {} VMs; mean relative p_on error {:.1}%", fitted.len(), fit_err * 100.0);
+    println!(
+        "fitted {} VMs; mean relative p_on error {:.1}%",
+        fitted.len(),
+        fit_err * 100.0
+    );
 
     // --- Step 3: round heterogeneous probabilities conservatively.
     let s = spread(&fitted).unwrap();
-    let (p_on, p_off) =
-        round_with_policy(&fitted, RoundingPolicy::Conservative).unwrap();
+    let (p_on, p_off) = round_with_policy(&fitted, RoundingPolicy::Conservative).unwrap();
     println!(
         "probability spread: p_on in [{:.3}, {:.3}], p_off in [{:.3}, {:.3}] → \
          conservative rounding ({p_on:.3}, {p_off:.3}), over-reservation ×{:.2}",
-        s.p_on_range.0, s.p_on_range.1, s.p_off_range.0, s.p_off_range.1,
-        s.over_reservation_factor
+        s.p_on_range.0, s.p_on_range.1, s.p_off_range.0, s.p_off_range.1, s.over_reservation_factor
     );
 
     // --- Step 4: consolidate on the fitted specs.
     let mut gen = FleetGenerator::new(61);
     let pms = gen.pms(120);
-    let consolidator =
-        Consolidator::new(Scheme::Queue).with_probabilities(p_on, p_off);
+    let consolidator = Consolidator::new(Scheme::Queue).with_probabilities(p_on, p_off);
     let placement = consolidator.place(&fitted, &pms).expect("pool suffices");
     println!("consolidated onto {} PMs", placement.pms_used());
 

@@ -45,19 +45,38 @@ fn main() {
     for scheme in [Scheme::Queue, Scheme::Rb, Scheme::RbEx(0.3)] {
         let consolidator = Consolidator::new(scheme);
         let outcomes = replicate(10, 5000, |seed| {
-            let cfg = SimConfig { seed, ..SimConfig::default() };
-            let (_, out) = consolidator.evaluate(&vms, &pms, cfg).expect("pool suffices");
+            let cfg = SimConfig {
+                seed,
+                ..SimConfig::default()
+            };
+            let (_, out) = consolidator
+                .evaluate(&vms, &pms, cfg)
+                .expect("pool suffices");
             out
         });
         let migrations = Summary::of(
-            &outcomes.iter().map(|o| o.total_migrations() as f64).collect::<Vec<_>>(),
+            &outcomes
+                .iter()
+                .map(|o| o.total_migrations() as f64)
+                .collect::<Vec<_>>(),
         );
         let final_pms = Summary::of(
-            &outcomes.iter().map(|o| o.final_pms_used as f64).collect::<Vec<_>>(),
+            &outcomes
+                .iter()
+                .map(|o| o.final_pms_used as f64)
+                .collect::<Vec<_>>(),
         );
-        let cvr = Summary::of(&outcomes.iter().map(SimOutcome::mean_cvr).collect::<Vec<_>>());
+        let cvr = Summary::of(
+            &outcomes
+                .iter()
+                .map(SimOutcome::mean_cvr)
+                .collect::<Vec<_>>(),
+        );
         let energy = Summary::of(
-            &outcomes.iter().map(|o| o.energy_joules / 3.6e6).collect::<Vec<_>>(),
+            &outcomes
+                .iter()
+                .map(|o| o.energy_joules / 3.6e6)
+                .collect::<Vec<_>>(),
         );
         println!(
             "{:<6} {:>12} {:>12} {:>12} {:>12}",

@@ -24,9 +24,18 @@ fn three_independent_stationary_distributions_agree() {
         // And the closed-form binomial, the fourth witness.
         let binom = BinomialPmf::new(k as u64, p_on / (p_on + p_off)).pmf_all();
         for i in 0..=k {
-            assert!((direct[i] - power[i]).abs() < 1e-8, "direct vs power at {i}");
-            assert!((direct[i] - product[i]).abs() < 1e-9, "direct vs product at {i}");
-            assert!((direct[i] - binom[i]).abs() < 1e-9, "direct vs binomial at {i}");
+            assert!(
+                (direct[i] - power[i]).abs() < 1e-8,
+                "direct vs power at {i}"
+            );
+            assert!(
+                (direct[i] - product[i]).abs() < 1e-9,
+                "direct vs product at {i}"
+            );
+            assert!(
+                (direct[i] - binom[i]).abs() < 1e-9,
+                "direct vs binomial at {i}"
+            );
         }
     }
 }
@@ -81,9 +90,7 @@ fn diurnal_fit_plan_simulate_stays_conservative() {
     use rand::SeedableRng;
     let chain = OnOffChain::new(0.01, 0.09);
     let specs: Vec<DiurnalSpec> = (0..24)
-        .map(|i| {
-            DiurnalSpec::new(10.0 + (i % 4) as f64, 2.5, 2880.0, 10.0, chain)
-        })
+        .map(|i| DiurnalSpec::new(10.0 + (i % 4) as f64, 2.5, 2880.0, 10.0, chain))
         .collect();
     let mut rng = StdRng::seed_from_u64(5);
     let fitted: Vec<VmSpec> = specs
@@ -103,8 +110,7 @@ fn diurnal_fit_plan_simulate_stays_conservative() {
     // violations manually.
     let steps = 20_000usize;
     let per_pm = placement.per_pm();
-    let traces: Vec<Vec<f64>> =
-        specs.iter().map(|s| s.sample(steps, &mut rng)).collect();
+    let traces: Vec<Vec<f64>> = specs.iter().map(|s| s.sample(steps, &mut rng)).collect();
     let mut violations = 0usize;
     let mut active = 0usize;
     #[allow(clippy::needless_range_loop)] // t indexes a column across rows
@@ -141,7 +147,10 @@ fn multidim_pack_and_simulate_close_the_loop() {
         })
         .collect();
     let pms: Vec<MultiDimPmSpec> = (0..30)
-        .map(|id| MultiDimPmSpec { id, capacity: ResourceVec::new(vec![70.0, 45.0]) })
+        .map(|id| MultiDimPmSpec {
+            id,
+            capacity: ResourceVec::new(vec![70.0, 45.0]),
+        })
         .collect();
     let mapping = MappingTable::build(16, 0.01, 0.09, 0.01);
     let placement = first_fit_multidim(&vms, &pms, &mapping).unwrap();
@@ -161,7 +170,9 @@ fn slo_language_matches_measured_cvr() {
         migrations_enabled: false,
         ..Default::default()
     };
-    let (_, out) = Consolidator::new(Scheme::Queue).evaluate(&vms, &pms, cfg).unwrap();
+    let (_, out) = Consolidator::new(Scheme::Queue)
+        .evaluate(&vms, &pms, cfg)
+        .unwrap();
     let summary = slo::summarize(out.mean_cvr());
     // ρ = 1% ⇒ at least two nines; measured CVR is usually ~0.4%, i.e.
     // two-to-three nines and ≤ ~435 violation-min/month.

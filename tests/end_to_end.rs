@@ -15,7 +15,10 @@ fn fleet(n: usize, pattern: WorkloadPattern, seed: u64) -> (Vec<VmSpec>, Vec<PmS
 fn full_pipeline_is_deterministic() {
     let (vms, pms) = fleet(100, WorkloadPattern::EqualSpike, 1);
     let consolidator = Consolidator::new(Scheme::Queue);
-    let cfg = SimConfig { seed: 42, ..Default::default() };
+    let cfg = SimConfig {
+        seed: 42,
+        ..Default::default()
+    };
     let (p1, o1) = consolidator.evaluate(&vms, &pms, cfg).unwrap();
     let (p2, o2) = consolidator.evaluate(&vms, &pms, cfg).unwrap();
     assert_eq!(p1, p2);
@@ -50,9 +53,18 @@ fn packing_order_rb_leq_queue_leq_rp_on_all_patterns() {
     for pattern in WorkloadPattern::ALL {
         for seed in [3u64, 11, 19] {
             let (vms, pms) = fleet(120, pattern, seed);
-            let q = Consolidator::new(Scheme::Queue).place(&vms, &pms).unwrap().pms_used();
-            let rp = Consolidator::new(Scheme::Rp).place(&vms, &pms).unwrap().pms_used();
-            let rb = Consolidator::new(Scheme::Rb).place(&vms, &pms).unwrap().pms_used();
+            let q = Consolidator::new(Scheme::Queue)
+                .place(&vms, &pms)
+                .unwrap()
+                .pms_used();
+            let rp = Consolidator::new(Scheme::Rp)
+                .place(&vms, &pms)
+                .unwrap()
+                .pms_used();
+            let rb = Consolidator::new(Scheme::Rb)
+                .place(&vms, &pms)
+                .unwrap()
+                .pms_used();
             assert!(rb <= q, "{pattern} seed {seed}: RB {rb} > QUEUE {q}");
             assert!(q <= rp, "{pattern} seed {seed}: QUEUE {q} > RP {rp}");
         }
@@ -62,11 +74,23 @@ fn packing_order_rb_leq_queue_leq_rp_on_all_patterns() {
 #[test]
 fn rbex_packs_between_rb_and_peak_in_pm_count() {
     let (vms, pms) = fleet(120, WorkloadPattern::EqualSpike, 13);
-    let rb = Consolidator::new(Scheme::Rb).place(&vms, &pms).unwrap().pms_used();
-    let rbex = Consolidator::new(Scheme::RbEx(0.3)).place(&vms, &pms).unwrap().pms_used();
-    let rp = Consolidator::new(Scheme::Rp).place(&vms, &pms).unwrap().pms_used();
+    let rb = Consolidator::new(Scheme::Rb)
+        .place(&vms, &pms)
+        .unwrap()
+        .pms_used();
+    let rbex = Consolidator::new(Scheme::RbEx(0.3))
+        .place(&vms, &pms)
+        .unwrap()
+        .pms_used();
+    let rp = Consolidator::new(Scheme::Rp)
+        .place(&vms, &pms)
+        .unwrap()
+        .pms_used();
     assert!(rb <= rbex, "reserving space cannot reduce PM count");
-    assert!(rbex <= rp + 2, "30% reserve should not exceed peak provisioning much");
+    assert!(
+        rbex <= rp + 2,
+        "30% reserve should not exceed peak provisioning much"
+    );
 }
 
 #[test]
@@ -80,12 +104,18 @@ fn migration_dynamics_rank_schemes_like_the_paper() {
     let run = |scheme: Scheme| {
         let consolidator = Consolidator::new(scheme);
         let outs = replicate(6, 555, |seed| {
-            let cfg = SimConfig { seed, ..Default::default() };
+            let cfg = SimConfig {
+                seed,
+                ..Default::default()
+            };
             let (_, out) = consolidator.evaluate(&vms, &pms, cfg).unwrap();
             out
         });
-        let migrations =
-            outs.iter().map(|o| o.total_migrations() as f64).sum::<f64>() / outs.len() as f64;
+        let migrations = outs
+            .iter()
+            .map(|o| o.total_migrations() as f64)
+            .sum::<f64>()
+            / outs.len() as f64;
         let pms_final =
             outs.iter().map(|o| o.final_pms_used as f64).sum::<f64>() / outs.len() as f64;
         (migrations, pms_final)
@@ -103,7 +133,10 @@ fn migration_dynamics_rank_schemes_like_the_paper() {
         rbex_migrations < rb_migrations,
         "RB-EX {rbex_migrations} must migrate less than RB {rb_migrations}"
     );
-    assert!(rb_pms <= queue_pms, "RB final PMs {rb_pms} vs QUEUE {queue_pms}");
+    assert!(
+        rb_pms <= queue_pms,
+        "RB final PMs {rb_pms} vs QUEUE {queue_pms}"
+    );
     assert!(queue_migrations <= 3.0, "QUEUE must migrate rarely");
 }
 
@@ -118,8 +151,14 @@ fn improvement_metric_matches_fig5_bounds() {
     ];
     for (pattern, lo, hi) in bands {
         let (vms, pms) = fleet(200, pattern, 31);
-        let q = Consolidator::new(Scheme::Queue).place(&vms, &pms).unwrap().pms_used();
-        let rp = Consolidator::new(Scheme::Rp).place(&vms, &pms).unwrap().pms_used();
+        let q = Consolidator::new(Scheme::Queue)
+            .place(&vms, &pms)
+            .unwrap()
+            .pms_used();
+        let rp = Consolidator::new(Scheme::Rp)
+            .place(&vms, &pms)
+            .unwrap()
+            .pms_used();
         let improvement = consolidation_improvement(q, rp);
         assert!(
             (lo..=hi).contains(&improvement),
@@ -131,9 +170,16 @@ fn improvement_metric_matches_fig5_bounds() {
 #[test]
 fn energy_tracks_pm_count_across_schemes() {
     let (vms, pms) = fleet(100, WorkloadPattern::EqualSpike, 5);
-    let cfg = SimConfig { seed: 77, ..Default::default() };
-    let (qp, qo) = Consolidator::new(Scheme::Queue).evaluate(&vms, &pms, cfg).unwrap();
-    let (rp_p, rp_o) = Consolidator::new(Scheme::Rp).evaluate(&vms, &pms, cfg).unwrap();
+    let cfg = SimConfig {
+        seed: 77,
+        ..Default::default()
+    };
+    let (qp, qo) = Consolidator::new(Scheme::Queue)
+        .evaluate(&vms, &pms, cfg)
+        .unwrap();
+    let (rp_p, rp_o) = Consolidator::new(Scheme::Rp)
+        .evaluate(&vms, &pms, cfg)
+        .unwrap();
     assert!(qp.pms_used() < rp_p.pms_used());
     assert!(
         qo.energy_joules < rp_o.energy_joules,
@@ -148,7 +194,10 @@ fn replicated_runs_are_order_independent() {
     let (vms, pms) = fleet(60, WorkloadPattern::LargeSpike, 8);
     let consolidator = Consolidator::new(Scheme::Rb);
     let f = |seed: u64| {
-        let cfg = SimConfig { seed, ..Default::default() };
+        let cfg = SimConfig {
+            seed,
+            ..Default::default()
+        };
         let (_, out) = consolidator.evaluate(&vms, &pms, cfg).unwrap();
         out.total_migrations()
     };

@@ -33,8 +33,7 @@ fn fit_round_place_simulate_pipeline_holds_the_bound() {
             fit_trace(&demands).unwrap().to_spec(vm.id, demands.len())
         })
         .collect();
-    let (p_on, p_off) =
-        round_with_policy(&fitted, RoundingPolicy::Conservative).unwrap();
+    let (p_on, p_off) = round_with_policy(&fitted, RoundingPolicy::Conservative).unwrap();
     let consolidator = Consolidator::new(Scheme::Queue).with_probabilities(p_on, p_off);
     let mut gen = FleetGenerator::new(2);
     let pms = gen.pms(80);
@@ -48,7 +47,11 @@ fn fit_round_place_simulate_pipeline_holds_the_bound() {
         ..Default::default()
     };
     let out = Simulator::new(&truth, &pms, policy.as_ref(), cfg).run(&placement);
-    assert!(out.mean_cvr() <= 0.011, "pipeline mean CVR {}", out.mean_cvr());
+    assert!(
+        out.mean_cvr() <= 0.011,
+        "pipeline mean CVR {}",
+        out.mean_cvr()
+    );
 }
 
 #[test]
@@ -122,20 +125,22 @@ fn churn_then_stabilization_analysis() {
     let out = run_churn(
         &pms,
         &policy,
-        SimConfig { steps: 1_200, seed: 8, ..Default::default() },
+        SimConfig {
+            steps: 1_200,
+            seed: 8,
+            ..Default::default()
+        },
         ChurnConfig::default(),
         0.01,
         0.09,
     );
     // Population ramps then holds; the PMs-used series must stabilize to
     // a ±3 band once arrivals ≈ departures (after ~5 mean lifetimes).
-    let stable = detect_stabilization(
-        &out.pms_used_series.values[500..],
-        &[],
-        6.0,
-        usize::MAX,
+    let stable = detect_stabilization(&out.pms_used_series.values[500..], &[], 6.0, usize::MAX);
+    assert!(
+        stable.step.is_some(),
+        "churned cluster must reach steady state"
     );
-    assert!(stable.step.is_some(), "churned cluster must reach steady state");
     assert!(out.fleet_cvr() <= 0.012, "fleet CVR {}", out.fleet_cvr());
 }
 
@@ -155,8 +160,14 @@ fn des_and_stepped_engines_agree_on_figure9_shape() {
     let stepped = |policy: &dyn RuntimePolicy, placement: &Placement| -> f64 {
         (0..5)
             .map(|seed| {
-                let cfg = SimConfig { seed, ..Default::default() };
-                Simulator::new(&vms, &pms, policy, cfg).run(placement).migrations.len()
+                let cfg = SimConfig {
+                    seed,
+                    ..Default::default()
+                };
+                Simulator::new(&vms, &pms, policy, cfg)
+                    .run(placement)
+                    .migrations
+                    .len()
             })
             .sum::<usize>() as f64
             / 5.0
@@ -164,25 +175,43 @@ fn des_and_stepped_engines_agree_on_figure9_shape() {
     let des = |policy: &dyn RuntimePolicy, placement: &Placement| -> f64 {
         (0..5)
             .map(|seed| {
-                let cfg = DesConfig { seed, ..Default::default() };
-                DesSimulator::new(&vms, &pms, policy, cfg).run(placement).migrations.len()
+                let cfg = DesConfig {
+                    seed,
+                    ..Default::default()
+                };
+                DesSimulator::new(&vms, &pms, policy, cfg)
+                    .run(placement)
+                    .migrations
+                    .len()
             })
             .sum::<usize>() as f64
             / 5.0
     };
 
-    let (q_stepped, q_des) = (stepped(&q_policy, &q_placement), des(&q_policy, &q_placement));
-    let (b_stepped, b_des) = (stepped(&b_policy, &b_placement), des(&b_policy, &b_placement));
+    let (q_stepped, q_des) = (
+        stepped(&q_policy, &q_placement),
+        des(&q_policy, &q_placement),
+    );
+    let (b_stepped, b_des) = (
+        stepped(&b_policy, &b_placement),
+        des(&b_policy, &b_placement),
+    );
 
     // Both engines: QUEUE migrates rarely, RB an order of magnitude more.
-    assert!(q_stepped <= 4.0 && q_des <= 4.0, "QUEUE: {q_stepped} / {q_des}");
+    assert!(
+        q_stepped <= 4.0 && q_des <= 4.0,
+        "QUEUE: {q_stepped} / {q_des}"
+    );
     assert!(
         b_stepped > 5.0 * q_stepped.max(0.5) && b_des > 5.0 * q_des.max(0.5),
         "RB: {b_stepped} / {b_des}"
     );
     // And the engines agree with each other within 2x on the RB count.
     let ratio = b_stepped.max(b_des) / b_stepped.min(b_des);
-    assert!(ratio < 2.0, "engine disagreement: stepped {b_stepped} vs DES {b_des}");
+    assert!(
+        ratio < 2.0,
+        "engine disagreement: stepped {b_stepped} vs DES {b_des}"
+    );
 }
 
 #[test]
@@ -207,10 +236,18 @@ fn transient_mixing_supports_evaluation_window() {
     // that window sensible (mixed well before the horizon ends).
     let analysis = TransientAnalysis::new(AggregateChain::new(16, 0.01, 0.09));
     let mix = analysis.mixing_time(0.01, 1_000).unwrap();
-    assert!(mix < 100, "mixing time {mix} must sit inside the 100-step horizon");
+    assert!(
+        mix < 100,
+        "mixing time {mix} must sit inside the 100-step horizon"
+    );
     // And expected transient violations over the paper's horizon stay
     // under the stationary budget ρ·T.
-    let blocks = AggregateChain::new(16, 0.01, 0.09).blocks_needed(0.01).unwrap();
+    let blocks = AggregateChain::new(16, 0.01, 0.09)
+        .blocks_needed(0.01)
+        .unwrap();
     let expected = analysis.expected_violations(blocks, 100);
-    assert!(expected <= 1.0, "expected violations over 100 steps: {expected}");
+    assert!(
+        expected <= 1.0,
+        "expected violations over 100 steps: {expected}"
+    );
 }

@@ -98,7 +98,9 @@ fn online_cluster_survives_full_drain() {
     assert_eq!(online.pms_used(), 0);
     online.check_consistency().unwrap();
     // The drained cluster accepts fresh arrivals again.
-    online.arrive(VmSpec::new(999, 0.01, 0.09, 5.0, 5.0)).unwrap();
+    online
+        .arrive(VmSpec::new(999, 0.01, 0.09, 5.0, 5.0))
+        .unwrap();
     assert_eq!(online.pms_used(), 1);
 }
 
@@ -113,9 +115,11 @@ fn online_placement_behaves_under_simulation() {
     for vm in &vms {
         online.arrive(*vm).unwrap();
     }
-    let assignment: Vec<Option<usize>> =
-        vms.iter().map(|vm| online.host_of(vm.id)).collect();
-    let placement = Placement { assignment, n_pms: farm.len() };
+    let assignment: Vec<Option<usize>> = vms.iter().map(|vm| online.host_of(vm.id)).collect();
+    let placement = Placement {
+        assignment,
+        n_pms: farm.len(),
+    };
     assert!(placement.is_complete());
 
     let policy = QueuePolicy::new(QueueStrategy::build(16, 0.01, 0.09, 0.01));

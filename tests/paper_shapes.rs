@@ -19,8 +19,14 @@ fn fig5_improvement_ordering_across_patterns() {
             let mut gen = FleetGenerator::new(900 + seed);
             let vms = gen.vms(200, pattern);
             let pms = gen.pms(200);
-            let q = Consolidator::new(Scheme::Queue).place(&vms, &pms).unwrap().pms_used();
-            let rp = Consolidator::new(Scheme::Rp).place(&vms, &pms).unwrap().pms_used();
+            let q = Consolidator::new(Scheme::Queue)
+                .place(&vms, &pms)
+                .unwrap()
+                .pms_used();
+            let rp = Consolidator::new(Scheme::Rp)
+                .place(&vms, &pms)
+                .unwrap()
+                .pms_used();
             acc += consolidation_improvement(q, rp);
         }
         acc / 4.0
@@ -31,9 +37,18 @@ fn fig5_improvement_ordering_across_patterns() {
     assert!(large > equal, "large {large:.2} must beat equal {equal:.2}");
     assert!(equal > small, "equal {equal:.2} must beat small {small:.2}");
     // Paper magnitudes: ~45%, ~30%, ~18%.
-    assert!((0.30..=0.55).contains(&large), "large-spike improvement {large:.2}");
-    assert!((0.15..=0.40).contains(&equal), "equal-spike improvement {equal:.2}");
-    assert!((0.03..=0.30).contains(&small), "small-spike improvement {small:.2}");
+    assert!(
+        (0.30..=0.55).contains(&large),
+        "large-spike improvement {large:.2}"
+    );
+    assert!(
+        (0.15..=0.40).contains(&equal),
+        "equal-spike improvement {equal:.2}"
+    );
+    assert!(
+        (0.03..=0.30).contains(&small),
+        "small-spike improvement {small:.2}"
+    );
 }
 
 /// Fig. 6: QUEUE's CVR is bounded by ρ on average with at most slight
@@ -50,11 +65,18 @@ fn fig6_cvr_gap_between_queue_and_rb() {
             migrations_enabled: false,
             ..Default::default()
         };
-        Consolidator::new(scheme).evaluate(&vms, &pms, cfg).unwrap().1
+        Consolidator::new(scheme)
+            .evaluate(&vms, &pms, cfg)
+            .unwrap()
+            .1
     };
     let queue = run(Scheme::Queue);
     let rb = run(Scheme::Rb);
-    assert!(queue.mean_cvr() <= 0.011, "QUEUE mean CVR {}", queue.mean_cvr());
+    assert!(
+        queue.mean_cvr() <= 0.011,
+        "QUEUE mean CVR {}",
+        queue.mean_cvr()
+    );
     assert!(rb.mean_cvr() > 0.2, "RB mean CVR {}", rb.mean_cvr());
     assert!(rb.mean_cvr() > 20.0 * queue.mean_cvr());
 }
@@ -73,7 +95,10 @@ fn fig6_queue_cvr_stays_bounded_on_every_pattern() {
             migrations_enabled: false,
             ..Default::default()
         };
-        let out = Consolidator::new(Scheme::Queue).evaluate(&vms, &pms, cfg).unwrap().1;
+        let out = Consolidator::new(Scheme::Queue)
+            .evaluate(&vms, &pms, cfg)
+            .unwrap()
+            .1;
         assert!(
             out.mean_cvr() <= 0.011,
             "{pattern}: mean CVR {:.4}",
@@ -90,8 +115,14 @@ fn fig10_rb_migrates_late_queue_does_not() {
         let mut gen = FleetGenerator::new(903);
         let vms = gen.vms_table_i(120, WorkloadPattern::EqualSpike);
         let pms = gen.pms(360);
-        let cfg = SimConfig { seed: 12, ..Default::default() };
-        Consolidator::new(scheme).evaluate(&vms, &pms, cfg).unwrap().1
+        let cfg = SimConfig {
+            seed: 12,
+            ..Default::default()
+        };
+        Consolidator::new(scheme)
+            .evaluate(&vms, &pms, cfg)
+            .unwrap()
+            .1
     };
     let queue = run(Scheme::Queue);
     let rb = run(Scheme::Rb);
@@ -116,14 +147,22 @@ fn rb_pm_count_rises_early_then_stabilizes() {
     let mut gen = FleetGenerator::new(904);
     let vms = gen.vms_table_i(120, WorkloadPattern::EqualSpike);
     let pms = gen.pms(360);
-    let cfg = SimConfig { seed: 21, ..Default::default() };
-    let (placement, out) = Consolidator::new(Scheme::Rb).evaluate(&vms, &pms, cfg).unwrap();
+    let cfg = SimConfig {
+        seed: 21,
+        ..Default::default()
+    };
+    let (placement, out) = Consolidator::new(Scheme::Rb)
+        .evaluate(&vms, &pms, cfg)
+        .unwrap();
 
     let series = &out.pms_used_series.values;
     let initial = placement.pms_used() as f64;
     let at_20 = series[20];
     let at_99 = series[99];
-    assert!(at_20 > initial, "PM count must rise early: {at_20} vs initial {initial}");
+    assert!(
+        at_20 > initial,
+        "PM count must rise early: {at_20} vs initial {initial}"
+    );
     // Stabilization: second half drifts far less than the first fifth rose.
     let drift = (at_99 - series[50]).abs();
     assert!(

@@ -20,7 +20,10 @@ fn instance() -> impl PropStrategy<Value = Instance> {
     (2usize..30, 1usize..200, 1usize..60)
         .prop_flat_map(|(n, seed, steps)| {
             (
-                proptest::collection::vec((1.0f64..20.0, 0.0f64..20.0, 0.005f64..0.5, 0.01f64..0.9), n),
+                proptest::collection::vec(
+                    (1.0f64..20.0, 0.0f64..20.0, 0.005f64..0.5, 0.01f64..0.9),
+                    n,
+                ),
                 proptest::collection::vec(0usize..n, n), // host per VM (≤ n PMs)
                 Just(seed as u64),
                 Just(steps),
@@ -36,13 +39,20 @@ fn instance() -> impl PropStrategy<Value = Instance> {
             // Deliberately arbitrary (often overloaded) placements over a
             // pool of n small-to-medium PMs: the engine must stay sound
             // even when the packing is nonsense.
-            let pms: Vec<PmSpec> =
-                (0..n).map(|j| PmSpec::new(j, 20.0 + (j % 7) as f64 * 15.0)).collect();
+            let pms: Vec<PmSpec> = (0..n)
+                .map(|j| PmSpec::new(j, 20.0 + (j % 7) as f64 * 15.0))
+                .collect();
             let placement = Placement {
                 assignment: hosts.into_iter().map(Some).collect(),
                 n_pms: n,
             };
-            Instance { vms, pms, placement, seed, steps }
+            Instance {
+                vms,
+                pms,
+                placement,
+                seed,
+                steps,
+            }
         })
 }
 

@@ -19,8 +19,7 @@ const P_OFF: f64 = 0.09;
 fn empirical_busy_distribution(k: usize, steps: usize, seed: u64) -> Vec<f64> {
     let chain = OnOffChain::new(P_ON, P_OFF);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut states: Vec<VmState> =
-        (0..k).map(|_| chain.sample_stationary(&mut rng)).collect();
+    let mut states: Vec<VmState> = (0..k).map(|_| chain.sample_stationary(&mut rng)).collect();
     let mut counts = vec![0u64; k + 1];
     for _ in 0..steps {
         for s in states.iter_mut() {
@@ -58,10 +57,15 @@ fn predicted_cvr_matches_simulated_violation_rate() {
     let predicted_cvr = chain.cvr_with_blocks(blocks).unwrap();
 
     let (r_b, r_e) = (10.0, 10.0);
-    let vms: Vec<VmSpec> = (0..k).map(|i| VmSpec::new(i, P_ON, P_OFF, r_b, r_e)).collect();
+    let vms: Vec<VmSpec> = (0..k)
+        .map(|i| VmSpec::new(i, P_ON, P_OFF, r_b, r_e))
+        .collect();
     let capacity = k as f64 * r_b + blocks as f64 * r_e;
     let pms = vec![PmSpec::new(0, capacity)];
-    let placement = Placement { assignment: vec![Some(0); k], n_pms: 1 };
+    let placement = Placement {
+        assignment: vec![Some(0); k],
+        n_pms: 1,
+    };
 
     let policy = ObservedPolicy::rb();
     let cfg = SimConfig {
@@ -77,7 +81,10 @@ fn predicted_cvr_matches_simulated_violation_rate() {
         (simulated_cvr - predicted_cvr).abs() < 0.002,
         "predicted {predicted_cvr:.5} vs simulated {simulated_cvr:.5}"
     );
-    assert!(simulated_cvr <= rho + 0.002, "constraint must hold empirically");
+    assert!(
+        simulated_cvr <= rho + 0.002,
+        "constraint must hold empirically"
+    );
 }
 
 #[test]
@@ -91,10 +98,15 @@ fn one_block_fewer_breaks_the_constraint() {
     assert!(blocks >= 1);
 
     let (r_b, r_e) = (10.0, 10.0);
-    let vms: Vec<VmSpec> = (0..k).map(|i| VmSpec::new(i, P_ON, P_OFF, r_b, r_e)).collect();
+    let vms: Vec<VmSpec> = (0..k)
+        .map(|i| VmSpec::new(i, P_ON, P_OFF, r_b, r_e))
+        .collect();
     let capacity = k as f64 * r_b + (blocks - 1) as f64 * r_e;
     let pms = vec![PmSpec::new(0, capacity)];
-    let placement = Placement { assignment: vec![Some(0); k], n_pms: 1 };
+    let placement = Placement {
+        assignment: vec![Some(0); k],
+        n_pms: 1,
+    };
     let policy = ObservedPolicy::rb();
     let cfg = SimConfig {
         steps: 200_000,
@@ -154,6 +166,12 @@ fn autocorrelation_separates_markov_from_iid() {
         / (xs.len() - 1) as f64;
     let rho1 = cov1 / var;
     let theory = chain.autocorrelation(1);
-    assert!((rho1 - theory).abs() < 0.01, "lag-1 {rho1:.4} vs theory {theory:.4}");
-    assert!(rho1 > 0.85, "paper parameters imply strong burst persistence");
+    assert!(
+        (rho1 - theory).abs() < 0.01,
+        "lag-1 {rho1:.4} vs theory {theory:.4}"
+    );
+    assert!(
+        rho1 > 0.85,
+        "paper parameters imply strong burst persistence"
+    );
 }
