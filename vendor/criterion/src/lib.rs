@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of the criterion API its benches use: [`Criterion`],
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups,
+//! [`BenchmarkId`], [`Throughput`] and `Bencher::iter`.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed over
+//! enough iterations to fill a short measurement window; median-of-batches
+//! nanoseconds-per-iteration is printed as a single line. No statistical
+//! machinery, plots or HTML reports — numbers are indicative, and the
+//! `BENCH_*.json` emitters in `crates/bench` do their own timing.
+
+use std::fmt::{self, Display};
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Label for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Throughput annotation (recorded, reported alongside the timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures under benchmark names.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(150),
+            measure: Duration::from_millis(600),
+        }
+    }
+}
+
+/// The timing handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing nanoseconds-per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: run until the warm-up window closes,
+        // counting iterations to pick a batch that fills ~1/10 of the
+        // measurement window.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch =
+            ((self.measure.as_nanos() as f64 / 10.0 / per_iter.max(1.0)) as u64).clamp(1, 1 << 20);
+
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn run_one(name: &str, warm_up: Duration, measure: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut samples = Vec::new();
+    f(&mut Bencher {
+        samples: &mut samples,
+        warm_up,
+        measure,
+    });
+    samples.sort_by(f64::total_cmp);
+    let median = samples.get(samples.len() / 2).copied().unwrap_or(f64::NAN);
+    println!(
+        "bench: {name:<60} {median:>14.1} ns/iter ({} batches)",
+        samples.len()
+    );
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.warm_up, self.measure, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Shrinks the sampling effort (API-compatibility shim; the stub's
+    /// fixed measurement window is already small).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.parent.measure = d;
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.parent.warm_up, self.parent.measure, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.parent.warm_up, self.parent.measure, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op beyond upstream API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, upstream-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_and_samples() {
+        let mut c = tiny();
+        c.bench_function("smoke", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+    }
+
+    #[test]
+    fn groups_compose() {
+        let mut c = tiny();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function(BenchmarkId::from_parameter(9), |b| b.iter(|| black_box(9)));
+        g.finish();
+    }
+}

@@ -1,0 +1,125 @@
+//! Offline stand-in for the `crossbeam` crate: the `channel` module only,
+//! backed by `std::sync::mpsc`. The build environment has no network
+//! access, and this workspace only uses multi-producer/single-consumer
+//! fan-in, which mpsc covers exactly.
+
+pub mod channel {
+    //! MPSC channel with the `crossbeam::channel` surface this workspace
+    //! uses: [`unbounded`], cloneable [`Sender`], iterable [`Receiver`].
+
+    use std::sync::mpsc;
+
+    /// Sending half; clone freely across worker threads.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half; iterate to drain until all senders drop.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned when the channel is empty and disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; fails only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; fails when all senders are gone and
+        /// the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Draining iterator (blocks between values, ends at disconnect).
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+
+        /// Non-blocking drain of everything currently queued.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.try_iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::thread;
+
+    #[test]
+    fn fan_in_from_multiple_threads() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        thread::scope(|scope| {
+            for w in 0..4 {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        tx.send(w * 10 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got: Vec<usize> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got.len(), 40);
+            assert_eq!(got, (0..40).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn send_after_receiver_drop_errors() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

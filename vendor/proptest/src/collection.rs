@@ -1,0 +1,95 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use std::ops::Range;
+
+/// Length specification for [`vec`]: an exact length or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            min: exact,
+            max: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `element` and a length drawn
+/// from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min
+            + if span > 1 {
+                runner.next_below(span) as usize
+            } else {
+                0
+            };
+        (0..len).map(|_| self.element.new_value(runner)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_the_size_range() {
+        let mut r = TestRunner::new("collection-tests");
+        r.begin_case(0);
+        let s = vec(0.0f64..1.0, 2..7);
+        let mut seen_min = false;
+        let mut seen_more = false;
+        for _ in 0..200 {
+            let v = s.new_value(&mut r);
+            assert!((2..7).contains(&v.len()));
+            seen_min |= v.len() == 2;
+            seen_more |= v.len() > 2;
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+        assert!(seen_min && seen_more, "length range must actually vary");
+    }
+
+    #[test]
+    fn exact_length_is_honored() {
+        let mut r = TestRunner::new("collection-tests-exact");
+        r.begin_case(0);
+        let s = vec(0usize..5, 4usize);
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut r).len(), 4);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Value-generation strategies (subset of `proptest::strategy`).
+
+use crate::test_runner::TestRunner;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of an associated type.
+///
+/// Unlike upstream there is no `ValueTree`/shrinking layer: `new_value`
+/// yields the final value directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns for
+    /// it — for dependent inputs (e.g. an index into a generated vec).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Boxes the strategy (API-compatibility shim).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).new_value(runner)
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn StrategyObject<T>>);
+
+trait StrategyObject<T> {
+    fn new_value_dyn(&self, runner: &mut TestRunner) -> T;
+}
+
+impl<S: Strategy> StrategyObject<S::Value> for S {
+    fn new_value_dyn(&self, runner: &mut TestRunner) -> S::Value {
+        self.new_value(runner)
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        self.0.new_value_dyn(runner)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> T::Value {
+        (self.f)(self.inner.new_value(runner)).new_value(runner)
+    }
+}
+
+macro_rules! impl_float_range_strategy {
+    ($t:ty) => {
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = runner.next_unit_f64() as $t;
+                let x = self.start + unit * (self.end - self.start);
+                if x >= self.end {
+                    // Top-end rounding on huge spans: step back into range.
+                    <$t>::from_bits(self.end.to_bits() - 1).max(self.start)
+                } else {
+                    x
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let unit = runner.next_unit_f64() as $t;
+                self.start() + unit * (self.end() - self.start())
+            }
+        }
+    };
+}
+
+impl_float_range_strategy!(f64);
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi - lo) as u128;
+                let draw = runner.next_u64() as u128 % span;
+                (lo + draw as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128 + 1;
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi - lo) as u128;
+                let draw = runner.next_u64() as u128 % span;
+                (lo + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> TestRunner {
+        let mut r = TestRunner::new("strategy-tests");
+        r.begin_case(0);
+        r
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = runner();
+        for _ in 0..500 {
+            let x = (1.5f64..2.5).new_value(&mut r);
+            assert!((1.5..2.5).contains(&x));
+            let k = (3usize..9).new_value(&mut r);
+            assert!((3..9).contains(&k));
+            let inc = (0.0f64..=1.0).new_value(&mut r);
+            assert!((0.0..=1.0).contains(&inc));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = runner();
+        let doubled = (1usize..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = doubled.new_value(&mut r);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+        let dependent = (1usize..5).prop_flat_map(|n| (0usize..n, Just(n)));
+        for _ in 0..100 {
+            let (i, n) = dependent.new_value(&mut r);
+            assert!(i < n);
+        }
+    }
+
+    #[test]
+    fn just_clones_its_value() {
+        let mut r = runner();
+        assert_eq!(Just(41usize).new_value(&mut r), 41);
+    }
+
+    #[test]
+    fn tuples_generate_elementwise() {
+        let mut r = runner();
+        let ((a, b, c), d) = ((0.0f64..1.0, 5usize..6, Just(7u8)), 1u64..2).new_value(&mut r);
+        assert!((0.0..1.0).contains(&a));
+        assert_eq!((b, c, d), (5, 7, 1));
+    }
+
+    #[test]
+    fn boxed_strategy_generates() {
+        let mut r = runner();
+        let s: BoxedStrategy<usize> = (0usize..4).prop_map(|x| x + 10).boxed();
+        for _ in 0..20 {
+            let v = s.new_value(&mut r);
+            assert!((10..14).contains(&v));
+        }
+    }
+}

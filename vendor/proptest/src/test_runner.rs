@@ -1,0 +1,130 @@
+//! Test-runner plumbing for the vendored [`proptest!`](crate::proptest)
+//! macro: configuration, case errors, and the deterministic RNG handed to
+//! strategies.
+
+/// Subset of `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single proptest case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure — the whole test fails.
+    Fail(String),
+    /// Rejected assumption (`prop_assume!`) — the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected case with a reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Deterministic per-test random source handed to strategies.
+///
+/// Seeding mixes the test name with the case index, so every test sees a
+/// distinct but fully reproducible stream — reruns hit the same inputs,
+/// which substitutes for upstream's failure-persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    base: u64,
+    state: u64,
+}
+
+impl TestRunner {
+    /// A runner for the named test.
+    pub fn new(test_name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { base: h, state: h }
+    }
+
+    /// Re-seeds for case `case` — each case's stream is independent of how
+    /// much randomness earlier cases consumed.
+    pub fn begin_case(&mut self, case: u32) {
+        self.state = self.base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Warm up so low-entropy seeds diverge immediately.
+        self.next_u64();
+        self.next_u64();
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut a = TestRunner::new("t");
+        let mut b = TestRunner::new("t");
+        a.begin_case(3);
+        b.begin_case(3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn different_tests_get_different_streams() {
+        let mut a = TestRunner::new("alpha");
+        let mut b = TestRunner::new("beta");
+        a.begin_case(0);
+        b.begin_case(0);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = TestRunner::new("u");
+        r.begin_case(0);
+        for _ in 0..1000 {
+            let x = r.next_unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

