@@ -177,12 +177,18 @@ pub fn plan(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 /// `bursty simulate --traces DIR --capacity C [--pms N] [--steps S]
-/// [--rho R] [--availability PCT]`
+/// [--rho R] [--availability PCT] [--mtbf S [--mttr S] [--fault-group G]
+/// [--fault-seed N]]`
 ///
 /// Fits the traces, plans with QueuingFFD, then *verifies* the plan by
 /// simulating the fitted workloads and certifying the CVR bound
 /// statistically (Wilson interval with the burst-autocorrelation
 /// discount). `--availability` overrides `--rho` in SLO terms.
+///
+/// `--mtbf` turns on PM crash/recovery injection (geometric holding
+/// times, mean `--mtbf`/`--mttr` periods, `--fault-group` PMs per fault
+/// domain); the report then adds recovery metrics and splits violations
+/// into burstiness-caused vs degraded-mode.
 pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     use bursty_core::metrics::inference::{certify_bound, BoundVerdict};
     use bursty_core::metrics::slo;
@@ -200,6 +206,31 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if !(rho > 0.0 && rho < 1.0) {
         return Err(err("the CVR budget must be in (0, 1)"));
     }
+    let faults = match args.get_f64("mtbf")? {
+        Some(mtbf_steps) => {
+            let defaults = FaultConfig::default();
+            Some(FaultConfig {
+                mtbf_steps,
+                mttr_steps: args.get_f64("mttr")?.unwrap_or(defaults.mttr_steps),
+                correlated_group_size: args
+                    .get_usize("fault-group")?
+                    .unwrap_or(defaults.correlated_group_size),
+                seed: args
+                    .get_usize("fault-seed")?
+                    .map_or(defaults.seed, |s| s as u64),
+            })
+        }
+        None => {
+            for orphan in ["mttr", "fault-group", "fault-seed"] {
+                if args.get_str(orphan).is_some() {
+                    return Err(err(format!(
+                        "--{orphan} only makes sense with --mtbf <steps>"
+                    )));
+                }
+            }
+            None
+        }
+    };
 
     // Fit and plan (same path as `plan`).
     let files = list_traces(Path::new(dir))?;
@@ -225,8 +256,11 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         steps,
         seed: 20130527, // the paper's conference date — fixed for reproducibility
         migrations_enabled: false,
+        faults,
         ..SimConfig::default()
     };
+    cfg.validate()
+        .map_err(|e| err(format!("invalid simulation setup: {e}")))?;
     let outcome = consolidator.simulate(&specs, &pms, &placement, cfg);
 
     let r = OnOffChain::new(p_on, p_off)
@@ -259,6 +293,29 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         BoundVerdict::Inconclusive => "INCONCLUSIVE — simulate longer (--steps)",
     };
     writeln!(out, "bound certification: {verdict_str}")?;
+    if let Some(fc) = &faults {
+        let r = &outcome.recovery;
+        let ttr = r
+            .mean_time_to_restore()
+            .map_or_else(|| "-".to_string(), |t| format!("{t:.1} periods"));
+        writeln!(
+            out,
+            "faults (MTBF {:.0}, MTTR {:.0}, group {}): {} crashes, {} recoveries",
+            fc.mtbf_steps, fc.mttr_steps, fc.correlated_group_size, r.crashes, r.recoveries,
+        )?;
+        writeln!(
+            out,
+            "recovery: mean time-to-restore {ttr}; {} stranded VM-steps; \
+             {} degraded admissions",
+            r.stranded_vm_steps, r.degraded_admissions,
+        )?;
+        writeln!(
+            out,
+            "violation split: {} burstiness-caused, {} degraded-mode",
+            outcome.burstiness_violation_steps(),
+            r.degraded_violation_steps,
+        )?;
+    }
     Ok(())
 }
 

@@ -78,8 +78,12 @@ USAGE:
       fit every *.csv in <dir>, round probabilities conservatively,
       consolidate with QueuingFFD, optionally write the VM→PM plan
   bursty simulate --traces <dir> --capacity <C> [--steps S] [--rho R | --availability PCT]
+                  [--mtbf S [--mttr S] [--fault-group G] [--fault-seed N]]
       plan as above, then simulate the fitted fleet and certify the
-      CVR bound statistically (Wilson interval, correlation-discounted)";
+      CVR bound statistically (Wilson interval, correlation-discounted);
+      --mtbf injects PM crashes (mean time between failures / to repair
+      in periods, --fault-group PMs failing together) and reports
+      recovery metrics and the burstiness/degraded violation split";
 
 #[cfg(test)]
 mod tests {

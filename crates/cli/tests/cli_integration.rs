@@ -144,6 +144,51 @@ fn simulate_certifies_a_sound_plan() {
 }
 
 #[test]
+fn simulate_with_fault_injection_reports_recovery_metrics() {
+    let dir = scratch("simulate-faults");
+    write_generated_traces(&dir, 6);
+    let out = run_ok(&args(&[
+        "simulate",
+        "--traces",
+        dir.to_str().unwrap(),
+        "--capacity",
+        "90",
+        "--steps",
+        "5000",
+        "--mtbf",
+        "400",
+        "--mttr",
+        "40",
+        "--fault-seed",
+        "9",
+    ]));
+    assert!(out.contains("faults (MTBF 400, MTTR 40, group 1)"), "{out}");
+    assert!(out.contains("crashes"), "{out}");
+    assert!(out.contains("time-to-restore"), "{out}");
+    assert!(out.contains("violation split"), "{out}");
+}
+
+#[test]
+fn simulate_rejects_orphan_fault_flags_and_bad_mtbf() {
+    let dir = scratch("simulate-badfaults");
+    write_generated_traces(&dir, 2);
+    let base = ["simulate", "--traces", dir.to_str().unwrap(), "--capacity"];
+    let mut buf = Vec::new();
+    let e = run(
+        &args(&[&base[..], &["120", "--mttr", "40"][..]].concat()),
+        &mut buf,
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("--mtbf"), "{e}");
+    let e = run(
+        &args(&[&base[..], &["120", "--mtbf", "0.2"][..]].concat()),
+        &mut buf,
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("mtbf_steps"), "{e}");
+}
+
+#[test]
 fn simulate_accepts_availability_budget() {
     let dir = scratch("simulate-slo");
     write_generated_traces(&dir, 4);

@@ -69,9 +69,10 @@ pub mod prelude {
         ReserveStrategy, Strategy,
     };
     pub use bursty_sim::{
-        detect_stabilization, replicate, run_churn, ChurnConfig, ChurnOutcome, MigrationEvent,
-        ObservedPolicy, PeakPolicy, QueuePolicy, RuntimePolicy, SimConfig, SimOutcome, Simulator,
-        Stabilization,
+        detect_stabilization, replicate, run_churn, ChurnConfig, ChurnOutcome, ConfigError,
+        DegradedAdmission, EvacuationEvent, FaultConfig, FaultEvent, FaultKind, FaultProcess,
+        MigrationEvent, ObservedPolicy, PeakPolicy, QueuePolicy, RecoveryStats, RuntimePolicy,
+        SimConfig, SimOutcome, Simulator, Stabilization,
     };
     pub use bursty_workload::{
         fit_trace, FittedModel, FleetGenerator, PmSpec, SizeClass, VmSpec, WorkloadPattern, TABLE_I,

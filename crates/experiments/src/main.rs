@@ -13,6 +13,7 @@
 mod churn;
 mod common;
 mod defrag;
+mod fault_tolerance;
 mod fig1;
 mod fig10;
 mod fig5;
@@ -73,6 +74,7 @@ fn main() -> ExitCode {
         "churn" => churn::run(ctx),
         "quality" => quality::run(ctx),
         "defrag" => defrag::run(ctx),
+        "faults" => fault_tolerance::run(ctx),
         "robustness" => robustness::run(ctx),
         "report" => report::run(ctx),
         "victim" => victim::run(ctx),
@@ -80,7 +82,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "unknown experiment `{other}`; expected one of \
                  fig1 fig5 fig6 fig7 fig8 fig9 fig10 table1 \
-                 sweep sbp churn quality defrag robustness victim report all"
+                 sweep sbp churn quality defrag faults robustness victim report all"
             );
             std::process::exit(2);
         }
@@ -101,6 +103,7 @@ fn main() -> ExitCode {
             "churn",
             "quality",
             "defrag",
+            "faults",
             "robustness",
             "victim",
         ] {

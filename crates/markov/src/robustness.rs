@@ -222,4 +222,42 @@ mod tests {
         // Zero blocks at 10% ON cannot meet ρ = 1%.
         let _ = tolerance_envelope(8, 0, P_ON, P_OFF, RHO);
     }
+
+    #[test]
+    fn plan_exactly_at_budget_has_unit_headroom() {
+        // Shrink the budget to the plan's own CVR: the plan sits exactly
+        // on the boundary, so the envelope must collapse to the planned
+        // point — headroom 1.0 in both directions, not a panic and not a
+        // negative margin.
+        let k = 12;
+        let blocks = planned_blocks(k);
+        let tight_rho = cvr_at(k, blocks, P_ON, P_OFF);
+        assert!(tight_rho > 0.0 && tight_rho < RHO);
+        let env = tolerance_envelope(k, blocks, P_ON, P_OFF, tight_rho);
+        assert!(
+            (env.p_on_headroom - 1.0).abs() < 1e-6,
+            "p_on headroom must collapse to 1.0, got {}",
+            env.p_on_headroom
+        );
+        assert!(
+            (env.p_off_headroom - 1.0).abs() < 1e-6,
+            "p_off headroom must collapse to 1.0, got {}",
+            env.p_off_headroom
+        );
+        assert!(env.max_p_on >= P_ON, "the plan itself stays inside");
+        assert!(env.min_p_off <= P_OFF, "the plan itself stays inside");
+    }
+
+    #[test]
+    #[should_panic(expected = "plan already violates")]
+    fn one_block_short_of_the_minimum_panics() {
+        // `blocks_needed` returns the *minimum* compliant reservation, so
+        // one block fewer must violate ρ — and the envelope of an empty
+        // feasible region is documented to panic rather than fabricate
+        // negative headroom.
+        let k = 12;
+        let blocks = planned_blocks(k);
+        assert!(blocks > 0);
+        let _ = tolerance_envelope(k, blocks - 1, P_ON, P_OFF, RHO);
+    }
 }

@@ -27,6 +27,7 @@
 
 pub mod clustering;
 pub mod defrag;
+pub mod evacuate;
 pub mod exact;
 pub mod grouping;
 pub mod index;
@@ -40,6 +41,7 @@ pub mod rounding;
 pub mod sbp;
 pub mod strategy;
 
+pub use evacuate::{evacuate_batch, EvacuationOutcome};
 pub use index::{HeadroomIndex, OrderedHeadroom};
 pub use load::PmLoad;
 pub use mapcal::{mapping_cache_stats, MappingCacheStats, MappingTable};

@@ -1,5 +1,8 @@
 //! Simulation configuration.
 
+use crate::faults::FaultConfig;
+use std::fmt;
+
 /// How the migration controller picks which VM to evict from an
 /// overloaded PM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -17,6 +20,57 @@ pub enum VictimPolicy {
     /// regardless of its instantaneous state.
     SmallestBase,
 }
+
+/// A structurally invalid [`SimConfig`] (or [`FaultConfig`]), detected
+/// before the run instead of surfacing as NaN CVRs or empty outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `steps == 0`: the run would observe nothing.
+    ZeroSteps,
+    /// `sigma_secs ≤ 0` (or NaN): time cannot stand still or run backward.
+    NonPositiveSigma(f64),
+    /// `rho ∉ (0, 1)`: the CVR budget is a proper probability.
+    RhoOutOfRange(f64),
+    /// `violation_allowance < 0` (or NaN).
+    NegativeAllowance(f64),
+    /// `retry_base_steps == 0`: exponential backoff needs a positive base.
+    ZeroRetryBase,
+    /// `degraded_epsilon < 0` (or NaN): the overflow margin cannot shrink
+    /// capacity.
+    NegativeEpsilon(f64),
+    /// `mtbf_steps < 1` (or NaN): a PM cannot fail more than once a step.
+    FaultMtbfOutOfRange(f64),
+    /// `mttr_steps < 1` (or NaN): repairs take at least one step.
+    FaultMttrOutOfRange(f64),
+    /// `correlated_group_size == 0`: fault domains contain at least one PM.
+    ZeroFaultGroup,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroSteps => write!(f, "steps must be positive"),
+            Self::NonPositiveSigma(s) => write!(f, "sigma must be positive, got {s}"),
+            Self::RhoOutOfRange(r) => write!(f, "rho must be in (0,1), got {r}"),
+            Self::NegativeAllowance(a) => {
+                write!(f, "violation allowance must be nonnegative, got {a}")
+            }
+            Self::ZeroRetryBase => write!(f, "retry_base_steps must be positive"),
+            Self::NegativeEpsilon(e) => {
+                write!(f, "degraded_epsilon must be nonnegative, got {e}")
+            }
+            Self::FaultMtbfOutOfRange(m) => {
+                write!(f, "mtbf_steps must be at least 1, got {m}")
+            }
+            Self::FaultMttrOutOfRange(m) => {
+                write!(f, "mttr_steps must be at least 1, got {m}")
+            }
+            Self::ZeroFaultGroup => write!(f, "correlated_group_size must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Parameters of one simulation run. Defaults mirror the paper's §V-D
 /// setup: `σ = 30 s` update period, an evaluation period of `100 σ`,
@@ -51,6 +105,24 @@ pub struct SimConfig {
     /// exponentially small in `c`, while a PM violating at rate `p > ρ`
     /// still triggers within about `c / (p − ρ)` periods.
     pub violation_allowance: f64,
+    /// Base delay (in steps) of the migration retry queue: attempt `a`
+    /// of a deferred placement waits `retry_base_steps · 2^a` steps.
+    pub retry_base_steps: usize,
+    /// Retry budget. For overload migrations the entry is abandoned after
+    /// this many failed re-attempts (the trigger re-detects a persisting
+    /// overload anyway); for crash evacuations the *backoff exponent*
+    /// saturates here but the entry stays queued — a displaced VM is
+    /// never silently dropped. `0` disables retrying entirely.
+    pub max_retries: usize,
+    /// Overflow margin `ε` of degraded-mode admission: when a displaced VM
+    /// fits nowhere under the active policy, admission is re-tried with
+    /// every capacity inflated to `(1 + ε)·C` before the VM is queued.
+    /// Violations on a PM hosting such an overflow admission are tagged
+    /// degraded, not burstiness. Only exercised by the fault path.
+    pub degraded_epsilon: f64,
+    /// PM crash/recovery model; `None` (the default) reproduces the
+    /// fault-free engine bit for bit.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for SimConfig {
@@ -64,24 +136,45 @@ impl Default for SimConfig {
             dual_count_steps: 0,
             victim_policy: VictimPolicy::default(),
             violation_allowance: 5.0,
+            retry_base_steps: 2,
+            max_retries: 5,
+            degraded_epsilon: 0.1,
+            faults: None,
         }
     }
 }
 
 impl SimConfig {
-    /// Validates field ranges.
+    /// Validates field ranges, returning the first violation found.
     ///
-    /// # Panics
-    /// Panics on `steps == 0`, non-positive `sigma_secs`, `rho ∉ (0,1)`,
-    /// or a negative `violation_allowance`.
-    pub fn validate(&self) {
-        assert!(self.steps > 0, "steps must be positive");
-        assert!(self.sigma_secs > 0.0, "sigma must be positive");
-        assert!(self.rho > 0.0 && self.rho < 1.0, "rho must be in (0,1)");
-        assert!(
-            self.violation_allowance >= 0.0,
-            "violation allowance must be nonnegative"
-        );
+    /// # Errors
+    /// [`ConfigError`] on `steps == 0`, non-positive `sigma_secs`,
+    /// `rho ∉ (0,1)`, a negative `violation_allowance` or
+    /// `degraded_epsilon`, `retry_base_steps == 0`, or an invalid
+    /// [`FaultConfig`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.steps == 0 {
+            return Err(ConfigError::ZeroSteps);
+        }
+        if self.sigma_secs.is_nan() || self.sigma_secs <= 0.0 {
+            return Err(ConfigError::NonPositiveSigma(self.sigma_secs));
+        }
+        if !(self.rho > 0.0 && self.rho < 1.0) {
+            return Err(ConfigError::RhoOutOfRange(self.rho));
+        }
+        if self.violation_allowance.is_nan() || self.violation_allowance < 0.0 {
+            return Err(ConfigError::NegativeAllowance(self.violation_allowance));
+        }
+        if self.retry_base_steps == 0 {
+            return Err(ConfigError::ZeroRetryBase);
+        }
+        if self.degraded_epsilon.is_nan() || self.degraded_epsilon < 0.0 {
+            return Err(ConfigError::NegativeEpsilon(self.degraded_epsilon));
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
+        }
+        Ok(())
     }
 
     /// Total simulated wall-clock time in seconds.
@@ -102,26 +195,84 @@ mod tests {
         assert_eq!(c.rho, 0.01);
         assert!(c.migrations_enabled);
         assert_eq!(c.horizon_secs(), 3000.0);
-        c.validate();
+        assert!(c.faults.is_none(), "faults are off by default");
+        c.validate().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "steps")]
     fn zero_steps_invalid() {
-        SimConfig {
+        let err = SimConfig {
             steps: 0,
             ..Default::default()
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroSteps);
+        assert!(err.to_string().contains("steps"));
     }
 
     #[test]
-    #[should_panic(expected = "rho")]
     fn bad_rho_invalid() {
-        SimConfig {
-            rho: 1.0,
-            ..Default::default()
+        for rho in [0.0, 1.0, -0.5, f64::NAN] {
+            let err = SimConfig {
+                rho,
+                ..Default::default()
+            }
+            .validate()
+            .unwrap_err();
+            assert!(
+                matches!(err, ConfigError::RhoOutOfRange(_)),
+                "rho {rho}: {err}"
+            );
+            assert!(err.to_string().contains("rho"));
         }
-        .validate();
+    }
+
+    #[test]
+    fn bad_sigma_and_allowance_and_retry() {
+        assert_eq!(
+            SimConfig {
+                sigma_secs: 0.0,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ConfigError::NonPositiveSigma(0.0))
+        );
+        assert_eq!(
+            SimConfig {
+                violation_allowance: -1.0,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ConfigError::NegativeAllowance(-1.0))
+        );
+        assert_eq!(
+            SimConfig {
+                retry_base_steps: 0,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ConfigError::ZeroRetryBase)
+        );
+        assert_eq!(
+            SimConfig {
+                degraded_epsilon: -0.1,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ConfigError::NegativeEpsilon(-0.1))
+        );
+    }
+
+    #[test]
+    fn invalid_fault_config_is_caught() {
+        let cfg = SimConfig {
+            faults: Some(FaultConfig {
+                mtbf_steps: 0.5,
+                ..FaultConfig::default()
+            }),
+            ..Default::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::FaultMtbfOutOfRange(0.5)));
     }
 }

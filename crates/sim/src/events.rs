@@ -13,6 +13,45 @@ pub struct MigrationEvent {
     pub to_pm: usize,
 }
 
+/// Direction of a PM fault transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The PM went down; its hosted VMs were displaced.
+    Crash,
+    /// The PM came back up (empty) and rejoined the target pool.
+    Recovery,
+}
+
+/// One PM crash or recovery, emitted by the fault process
+/// ([`crate::faults::FaultProcess`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Update period of the transition.
+    pub step: usize,
+    /// The affected PM.
+    pub pm: usize,
+    /// Crash or recovery.
+    pub kind: FaultKind,
+}
+
+/// One displaced VM's re-placement attempt after a PM crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvacuationEvent {
+    /// Update period of the attempt.
+    pub step: usize,
+    /// Id of the displaced VM.
+    pub vm_id: usize,
+    /// The crashed PM it was displaced from.
+    pub from_pm: usize,
+    /// Where it landed, or `None` when no PM admitted it and it entered
+    /// the retry queue (it will re-attempt with exponential backoff; a
+    /// later successful attempt emits a second event with `Some`).
+    pub to_pm: Option<usize>,
+    /// Whether the placement needed the degraded-mode overflow margin
+    /// (admission at `(1 + ε)·C` after every normal admission refused).
+    pub degraded: bool,
+}
+
 /// Bins migration events into per-step counts over `steps` periods —
 /// cumulated, this is the Fig.-10 curve.
 pub fn migrations_per_step(events: &[MigrationEvent], steps: usize) -> Vec<u32> {

@@ -25,6 +25,7 @@ pub mod des;
 pub mod energy;
 pub mod engine;
 pub mod events;
+pub mod faults;
 pub mod migration_cost;
 pub mod multidim;
 pub mod policy;
@@ -32,12 +33,15 @@ pub mod runner;
 pub mod scenario;
 pub mod stabilization;
 
-pub use config::{SimConfig, VictimPolicy};
+pub use config::{ConfigError, SimConfig, VictimPolicy};
 pub use energy::PowerModel;
-pub use engine::{SimOutcome, Simulator};
-pub use events::MigrationEvent;
+pub use engine::{RecoveryStats, SimOutcome, Simulator};
+pub use events::{EvacuationEvent, FaultEvent, FaultKind, MigrationEvent};
+pub use faults::{FaultConfig, FaultProcess};
 pub use migration_cost::{precopy_cost, MigrationCost, MigrationParams};
-pub use policy::{ObservedPolicy, PeakPolicy, QueuePolicy, RuntimePolicy};
+pub use policy::{
+    DegradedAdmission, ObservedPolicy, PeakPolicy, PmRuntime, QueuePolicy, RuntimePolicy,
+};
 pub use runner::{replicate, replicate_seeds};
 pub use scenario::{run_churn, ChurnConfig, ChurnOutcome};
 pub use stabilization::{detect_stabilization, Stabilization};

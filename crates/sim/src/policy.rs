@@ -32,6 +32,109 @@ pub trait RuntimePolicy: Send + Sync {
 
     /// Whether the controller would accept the VM on this PM.
     fn admits(&self, vm: &VmSpec, vm_demand: f64, pm: &PmRuntime, capacity: f64) -> bool;
+
+    /// Scalar headroom of the PM under this policy — the same pruning
+    /// contract as [`bursty_placement::Strategy::headroom`]: whenever
+    /// `admits(vm, vm_demand, pm, capacity)` holds,
+    /// `headroom(pm, capacity) ≥ demand_measure(vm, vm_demand)` must hold
+    /// too. The batch evacuation controller indexes this value
+    /// ([`bursty_placement::HeadroomIndex`]) to find feasible targets in
+    /// `O(log m)`; the default (observed slack) is exact for
+    /// observed-demand policies and conservative for any policy at least
+    /// as strict as "current demands must fit".
+    fn headroom(&self, pm: &PmRuntime, capacity: f64) -> f64 {
+        capacity - pm.observed
+    }
+
+    /// The load-independent headroom requirement of `vm` paired with
+    /// [`RuntimePolicy::headroom`] (see the contract there). The default
+    /// is the VM's current demand.
+    fn demand_measure(&self, _vm: &VmSpec, vm_demand: f64) -> f64 {
+        vm_demand
+    }
+}
+
+impl RuntimePolicy for &dyn RuntimePolicy {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn admits(&self, vm: &VmSpec, vm_demand: f64, pm: &PmRuntime, capacity: f64) -> bool {
+        (**self).admits(vm, vm_demand, pm, capacity)
+    }
+    fn headroom(&self, pm: &PmRuntime, capacity: f64) -> f64 {
+        (**self).headroom(pm, capacity)
+    }
+    fn demand_measure(&self, vm: &VmSpec, vm_demand: f64) -> f64 {
+        (**self).demand_measure(vm, vm_demand)
+    }
+}
+
+impl RuntimePolicy for Box<dyn RuntimePolicy> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn admits(&self, vm: &VmSpec, vm_demand: f64, pm: &PmRuntime, capacity: f64) -> bool {
+        (**self).admits(vm, vm_demand, pm, capacity)
+    }
+    fn headroom(&self, pm: &PmRuntime, capacity: f64) -> f64 {
+        (**self).headroom(pm, capacity)
+    }
+    fn demand_measure(&self, vm: &VmSpec, vm_demand: f64) -> f64 {
+        (**self).demand_measure(vm, vm_demand)
+    }
+}
+
+/// Degraded-mode admission: the wrapped policy's rule evaluated with every
+/// capacity inflated to `(1 + ε)·C`. This is the principled relaxation
+/// order's first stage when the pool is exhausted — the *shape* of the
+/// guarantee (Eq. 17 for QUEUE, observed slack for RB/RB-EX, peak for RP)
+/// is preserved, only its budget is stretched by a known, configurable
+/// margin; every placement admitted this way is tagged so reports can
+/// separate "guarantee held" from "guarantee suspended" time.
+#[derive(Debug, Clone)]
+pub struct DegradedAdmission<P> {
+    inner: P,
+    epsilon: f64,
+}
+
+impl<P: RuntimePolicy> DegradedAdmission<P> {
+    /// Wraps `inner` with overflow margin `epsilon ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics for a negative (or NaN) `epsilon`.
+    pub fn new(inner: P, epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0, "epsilon must be nonnegative, got {epsilon}");
+        Self { inner, epsilon }
+    }
+
+    /// The overflow margin.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: RuntimePolicy> RuntimePolicy for DegradedAdmission<P> {
+    fn name(&self) -> &'static str {
+        "DEGRADED"
+    }
+
+    fn admits(&self, vm: &VmSpec, vm_demand: f64, pm: &PmRuntime, capacity: f64) -> bool {
+        self.inner
+            .admits(vm, vm_demand, pm, capacity * (1.0 + self.epsilon))
+    }
+
+    fn headroom(&self, pm: &PmRuntime, capacity: f64) -> f64 {
+        self.inner.headroom(pm, capacity * (1.0 + self.epsilon))
+    }
+
+    fn demand_measure(&self, vm: &VmSpec, vm_demand: f64) -> f64 {
+        self.inner.demand_measure(vm, vm_demand)
+    }
 }
 
 /// Spec-aware admission by the paper's Eq. 17 — the QUEUE runtime.
@@ -69,6 +172,14 @@ impl RuntimePolicy for QueuePolicy {
 
     fn admits(&self, vm: &VmSpec, _vm_demand: f64, pm: &PmRuntime, capacity: f64) -> bool {
         self.strategy.admits(&pm.load, vm, capacity)
+    }
+
+    fn headroom(&self, pm: &PmRuntime, capacity: f64) -> f64 {
+        Strategy::headroom(&self.strategy, &pm.load, capacity)
+    }
+
+    fn demand_measure(&self, vm: &VmSpec, _vm_demand: f64) -> f64 {
+        Strategy::demand(&self.strategy, vm)
     }
 }
 
@@ -116,6 +227,10 @@ impl RuntimePolicy for ObservedPolicy {
     fn admits(&self, _vm: &VmSpec, vm_demand: f64, pm: &PmRuntime, capacity: f64) -> bool {
         pm.observed + vm_demand <= (1.0 - self.headroom) * capacity
     }
+
+    fn headroom(&self, pm: &PmRuntime, capacity: f64) -> f64 {
+        (1.0 - self.headroom) * capacity - pm.observed
+    }
 }
 
 /// Peak-demand admission (provisioning for peak at runtime): never admits
@@ -130,6 +245,14 @@ impl RuntimePolicy for PeakPolicy {
 
     fn admits(&self, vm: &VmSpec, _vm_demand: f64, pm: &PmRuntime, capacity: f64) -> bool {
         pm.load.sum_rp + vm.r_p() <= capacity
+    }
+
+    fn headroom(&self, pm: &PmRuntime, capacity: f64) -> f64 {
+        capacity - pm.load.sum_rp
+    }
+
+    fn demand_measure(&self, vm: &VmSpec, _vm_demand: f64) -> f64 {
+        vm.r_p()
     }
 }
 
@@ -223,5 +346,88 @@ mod tests {
     #[should_panic(expected = "delta")]
     fn rb_ex_rejects_bad_delta() {
         let _ = ObservedPolicy::rb_ex(1.0);
+    }
+
+    #[test]
+    fn admits_implies_headroom_covers_demand_measure() {
+        // The pruning contract the evacuation controller's index relies
+        // on, over a grid of PM states, newcomers, and capacities.
+        let q = QueuePolicy::new(QueueStrategy::build(16, 0.01, 0.09, 0.01));
+        let policies: [&dyn RuntimePolicy; 4] = [
+            &q,
+            &ObservedPolicy::rb(),
+            &ObservedPolicy::rb_ex(0.3),
+            &PeakPolicy,
+        ];
+        let states: Vec<(Vec<VmSpec>, f64)> = vec![
+            (vec![], 0.0),
+            (vec![vm(0, 12.0, 4.0)], 12.0),
+            (vec![vm(0, 30.0, 10.0), vm(1, 25.0, 12.0)], 67.0),
+            ((0..6).map(|i| vm(i, 8.0, 6.0)).collect(), 62.0),
+        ];
+        for policy in policies {
+            for (hosted, observed) in &states {
+                let pm = runtime(hosted, *observed);
+                for newcomer in [vm(90, 2.0, 1.0), vm(91, 15.0, 20.0), vm(92, 40.0, 3.0)] {
+                    for demand in [newcomer.r_b, newcomer.r_p()] {
+                        for cap in [20.0, 55.0, 90.0, 140.0] {
+                            if policy.admits(&newcomer, demand, &pm, cap) {
+                                assert!(
+                                    policy.headroom(&pm, cap)
+                                        >= policy.demand_measure(&newcomer, demand),
+                                    "{}: headroom {} < demand {} (cap {cap})",
+                                    policy.name(),
+                                    policy.headroom(&pm, cap),
+                                    policy.demand_measure(&newcomer, demand),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_admission_inflates_capacity() {
+        // Observed 90 on a 100-capacity PM: a 15-unit migrant is refused
+        // normally but admitted with a 10% overflow margin (fits in 110).
+        let hosted: Vec<VmSpec> = (0..9).map(|i| vm(i, 10.0, 10.0)).collect();
+        let pm = runtime(&hosted, 90.0);
+        let migrant = vm(9, 15.0, 5.0);
+        let rb = ObservedPolicy::rb();
+        assert!(!rb.admits(&migrant, 15.0, &pm, 100.0));
+        let degraded = DegradedAdmission::new(rb, 0.1);
+        assert!(degraded.admits(&migrant, 15.0, &pm, 100.0));
+        assert_eq!(degraded.name(), "DEGRADED");
+        assert_eq!(degraded.epsilon(), 0.1);
+        // ε = 0 degenerates to the wrapped policy.
+        let strict = DegradedAdmission::new(ObservedPolicy::rb(), 0.0);
+        assert!(!strict.admits(&migrant, 15.0, &pm, 100.0));
+        // The contract survives wrapping.
+        assert!(degraded.headroom(&pm, 100.0) >= degraded.demand_measure(&migrant, 15.0));
+    }
+
+    #[test]
+    fn degraded_admission_preserves_the_inner_rule_shape() {
+        // QUEUE wrapped: still refuses what even a stretched Eq. 17
+        // cannot certify, admits what the margin covers.
+        let q = QueuePolicy::new(QueueStrategy::build(16, 0.01, 0.09, 0.01));
+        let hosted: Vec<VmSpec> = (0..9).map(|i| vm(i, 10.0, 10.0)).collect();
+        let pm = runtime(&hosted, 90.0);
+        let migrant = vm(9, 10.0, 10.0);
+        assert!(!q.admits(&migrant, 10.0, &pm, 100.0));
+        // Eq. 17 for 10 VMs at R_e = 10 needs 100 + 10·mapping(10);
+        // a 50% margin covers it on a 100-capacity PM.
+        let wide = DegradedAdmission::new(q.clone(), 0.5);
+        assert!(wide.admits(&migrant, 10.0, &pm, 100.0));
+        let narrow = DegradedAdmission::new(q, 0.01);
+        assert!(!narrow.admits(&migrant, 10.0, &pm, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn degraded_admission_rejects_negative_epsilon() {
+        let _ = DegradedAdmission::new(ObservedPolicy::rb(), -0.1);
     }
 }

@@ -6,7 +6,9 @@
 //! channel.
 
 use crossbeam::channel;
+use std::any::Any;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::thread;
 
 /// Runs `f(seed)` for each seed in `seeds`, in parallel across up to
@@ -14,6 +16,13 @@ use std::thread;
 ///
 /// `f` must be deterministic in its seed for results to be reproducible
 /// (every simulator entry point in this workspace is).
+///
+/// # Panics
+/// If `f` panics for some seed, the panic is re-raised on the calling
+/// thread with its original payload (not the generic "a scoped thread
+/// panicked" the scope would otherwise surface). When several seeds panic,
+/// the lowest-indexed one wins — the same panic a sequential run would hit
+/// first, so parallelism does not change which error is reported.
 pub fn replicate_seeds<T, F>(seeds: &[u64], f: F) -> Vec<T>
 where
     T: Send,
@@ -27,7 +36,8 @@ where
         return seeds.iter().map(|&s| f(s)).collect();
     }
 
-    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    type Payload = Box<dyn Any + Send + 'static>;
+    let (tx, rx) = channel::unbounded::<(usize, Result<T, Payload>)>();
     thread::scope(|scope| {
         for worker in 0..threads {
             let tx = tx.clone();
@@ -36,14 +46,30 @@ where
                 // Static stride partitioning: replication costs are
                 // near-uniform, so striding balances without a work queue.
                 for (idx, &seed) in seeds.iter().enumerate().skip(worker).step_by(threads) {
-                    tx.send((idx, f(seed))).expect("collector outlives workers");
+                    let result = catch_unwind(AssertUnwindSafe(|| f(seed)));
+                    let failed = result.is_err();
+                    tx.send((idx, result)).expect("collector outlives workers");
+                    if failed {
+                        break; // this worker's remaining seeds are moot
+                    }
                 }
             });
         }
         drop(tx);
         let mut slots: Vec<Option<T>> = (0..seeds.len()).map(|_| None).collect();
+        let mut first_panic: Option<(usize, Payload)> = None;
         for (idx, value) in rx {
-            slots[idx] = Some(value);
+            match value {
+                Ok(value) => slots[idx] = Some(value),
+                Err(payload) => {
+                    if first_panic.as_ref().is_none_or(|(i, _)| idx < *i) {
+                        first_panic = Some((idx, payload));
+                    }
+                }
+            }
+        }
+        if let Some((_, payload)) = first_panic {
+            resume_unwind(payload);
         }
         slots
             .into_iter()
@@ -95,6 +121,51 @@ mod tests {
     #[test]
     fn replicate_uses_consecutive_seeds() {
         assert_eq!(replicate(3, 100, |s| s), vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_original_payload() {
+        let seeds: Vec<u64> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            replicate_seeds(&seeds, |s| {
+                if s == 7 {
+                    panic!("seed {s} exploded");
+                }
+                s
+            })
+        })
+        .expect_err("the worker panic must reach the caller");
+        let message = caught
+            .downcast_ref::<String>()
+            .expect("payload must be the original formatted message");
+        assert_eq!(message, "seed 7 exploded");
+    }
+
+    #[test]
+    fn lowest_seed_panic_wins_when_several_fail() {
+        let seeds: Vec<u64> = (0..32).collect();
+        let caught = std::panic::catch_unwind(|| {
+            replicate_seeds(&seeds, |s| {
+                if s >= 3 {
+                    panic!("seed {s}");
+                }
+                s
+            })
+        })
+        .expect_err("must panic");
+        // Workers race, but the collector re-raises the earliest index —
+        // the panic a sequential run would have hit.
+        assert_eq!(caught.downcast_ref::<String>().unwrap(), "seed 3");
+    }
+
+    #[test]
+    fn sequential_path_panics_too() {
+        // One seed takes the non-threaded path; the panic must still
+        // escape unchanged.
+        let caught =
+            std::panic::catch_unwind(|| replicate_seeds(&[9], |_| -> u64 { panic!("lone seed") }))
+                .expect_err("must panic");
+        assert_eq!(caught.downcast_ref::<&str>().unwrap(), &"lone seed");
     }
 
     #[test]

@@ -111,7 +111,8 @@ pub fn run_churn(
     p_on: f64,
     p_off: f64,
 ) -> ChurnOutcome {
-    sim.validate();
+    sim.validate()
+        .unwrap_or_else(|e| panic!("invalid SimConfig: {e}"));
     assert!(
         churn.arrival_rate >= 0.0,
         "arrival rate must be nonnegative"

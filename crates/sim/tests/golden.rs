@@ -1,0 +1,87 @@
+//! Frozen-baseline differential test: with fault injection disabled (the
+//! default), the simulator must reproduce the exact outcomes the engine
+//! produced before the fault subsystem existed. The constants below were
+//! captured from the pre-fault engine on these scenarios (both of which
+//! finish with zero failed migrations, so the retry queue stays empty and
+//! the fault-free path must be bit-for-bit unchanged); any drift in the
+//! default configuration is a regression.
+
+use bursty_placement::{first_fit, BaseStrategy, QueueStrategy};
+use bursty_sim::{ObservedPolicy, QueuePolicy, RecoveryStats, SimConfig, Simulator};
+use bursty_workload::{PmSpec, VmSpec};
+
+fn vm(id: usize, r_b: f64, r_e: f64) -> VmSpec {
+    VmSpec::new(id, 0.01, 0.09, r_b, r_e)
+}
+
+fn farm(count: usize, cap: f64) -> Vec<PmSpec> {
+    (0..count).map(|j| PmSpec::new(j, cap)).collect()
+}
+
+#[test]
+fn rb_with_migrations_matches_pre_fault_engine_bit_for_bit() {
+    let vms: Vec<VmSpec> = (0..64).map(|i| vm(i, 10.0, 10.0)).collect();
+    let pms = farm(200, 100.0);
+    let placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
+    let policy = ObservedPolicy::rb();
+    let cfg = SimConfig {
+        steps: 100,
+        seed: 7,
+        ..Default::default()
+    };
+    let out = Simulator::new(&vms, &pms, &policy, cfg).run(&placement);
+
+    assert_eq!(out.total_migrations(), 18);
+    assert_eq!(out.failed_migrations, 0);
+    assert_eq!(out.final_pms_used, 8);
+    assert_eq!(out.peak_pms_used, 8);
+    assert_eq!(out.total_violation_steps, 53);
+    assert_eq!(out.energy_joules.to_bits(), 4707864810224615424);
+    assert_eq!(out.vm_violation_steps.iter().sum::<usize>(), 509);
+
+    let first = out.migrations.first().unwrap();
+    assert_eq!(
+        (first.step, first.vm_id, first.from_pm, first.to_pm),
+        (5, 26, 2, 6)
+    );
+    let last = out.migrations.last().unwrap();
+    assert_eq!(
+        (last.step, last.vm_id, last.from_pm, last.to_pm),
+        (79, 6, 4, 6)
+    );
+
+    // The fault machinery must not have engaged at all.
+    assert_eq!(out.retried_migrations, 0);
+    assert!(out.fault_events.is_empty());
+    assert!(out.evacuations.is_empty());
+    assert_eq!(out.recovery, RecoveryStats::default());
+}
+
+#[test]
+fn queue_without_migrations_matches_pre_fault_engine_bit_for_bit() {
+    let vms: Vec<VmSpec> = (0..48).map(|i| vm(i, 10.0, 10.0)).collect();
+    let pms = farm(48, 100.0);
+    let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+    let placement = first_fit(&vms, &pms, &strategy).unwrap();
+    let policy = QueuePolicy::new(strategy);
+    let cfg = SimConfig {
+        steps: 5_000,
+        seed: 1,
+        migrations_enabled: false,
+        ..Default::default()
+    };
+    let out = Simulator::new(&vms, &pms, &policy, cfg).run(&placement);
+
+    assert_eq!(out.total_migrations(), 0);
+    assert_eq!(out.failed_migrations, 0);
+    assert_eq!(out.final_pms_used, 7);
+    assert_eq!(out.peak_pms_used, 7);
+    assert_eq!(out.total_violation_steps, 47);
+    assert_eq!(out.energy_joules.to_bits(), 4732213460996194304);
+    assert_eq!(out.mean_cvr().to_bits(), 4563835658409401586);
+
+    assert_eq!(out.retried_migrations, 0);
+    assert!(out.fault_events.is_empty());
+    assert!(out.evacuations.is_empty());
+    assert_eq!(out.recovery, RecoveryStats::default());
+}
