@@ -1,0 +1,243 @@
+//! Engine-throughput benchmark with machine-readable output.
+//!
+//! Measures the simulator's step throughput under each RNG layout
+//! (shared serial stream, per-VM serial, per-VM with all cores) and the
+//! MapCal stationary-distribution build (closed-form Binomial vs the
+//! retained Gaussian-elimination oracle), then writes the results as
+//! JSON — the `BENCH_engine.json` artifact CI uploads for trending.
+//!
+//! ```text
+//! engine-bench [--steps S] [--fleets N1,N2,...] [--repeats R]
+//!              [--mapcal-d D] [--out PATH]
+//! ```
+//!
+//! Defaults: 200 steps, fleet of 800 VMs, 3 repeats (best kept),
+//! MapCal d = 200, output to `BENCH_engine.json`. Every timing is the
+//! minimum over the repeats — throughput questions want the
+//! least-interfered run, not the mean.
+
+use bursty_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct EngineRow {
+    n: usize,
+    layout: &'static str,
+    threads: usize,
+    secs: f64,
+    steps_per_sec: f64,
+    vm_steps_per_sec: f64,
+}
+
+fn parse_args() -> (usize, Vec<usize>, usize, usize, String) {
+    let mut steps = 200usize;
+    let mut fleets = vec![800usize];
+    let mut repeats = 3usize;
+    let mut mapcal_d = 200usize;
+    let mut out = "BENCH_engine.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("missing value for {}", args[i]);
+            std::process::exit(2);
+        });
+        match args[i].as_str() {
+            "--steps" => steps = value.parse().expect("--steps"),
+            "--fleets" => {
+                fleets = value
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--fleets"))
+                    .collect()
+            }
+            "--repeats" => repeats = value.parse().expect("--repeats"),
+            "--mapcal-d" => mapcal_d = value.parse().expect("--mapcal-d"),
+            "--out" => out = value.clone(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    (steps, fleets, repeats.max(1), mapcal_d, out)
+}
+
+fn best_secs<R>(repeats: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let (steps, fleets, repeats, mapcal_d, out_path) = parse_args();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    eprintln!("engine-bench: {steps} steps, fleets {fleets:?}, {repeats} repeats, {cores} cores");
+
+    let mut rows: Vec<EngineRow> = Vec::new();
+    for &n in &fleets {
+        let mut gen = FleetGenerator::new(n as u64);
+        let vms = gen.vms(n, WorkloadPattern::EqualSpike);
+        let pms = gen.pms(n);
+        let consolidator = Consolidator::new(Scheme::Queue);
+        let placement = consolidator.place(&vms, &pms).expect("placement");
+        let cases: [(&'static str, RngLayout, usize); 3] = [
+            ("shared", RngLayout::Shared, 1),
+            ("per_vm_serial", RngLayout::PerVm, 1),
+            ("per_vm_parallel", RngLayout::PerVm, 0),
+        ];
+        for (layout, rng_layout, threads) in cases {
+            let secs = best_secs(repeats, || {
+                let cfg = SimConfig {
+                    steps,
+                    seed: 1,
+                    migrations_enabled: true,
+                    rng_layout,
+                    threads,
+                    ..Default::default()
+                };
+                consolidator
+                    .simulate(&vms, &pms, &placement, cfg)
+                    .final_pms_used
+            });
+            eprintln!(
+                "  n={n} {layout}: {secs:.4}s ({:.0} steps/s)",
+                steps as f64 / secs
+            );
+            rows.push(EngineRow {
+                n,
+                layout,
+                threads: if threads == 0 { cores } else { threads },
+                secs,
+                steps_per_sec: steps as f64 / secs,
+                vm_steps_per_sec: (steps * n) as f64 / secs,
+            });
+        }
+    }
+
+    // Hot-loop microbenchmark: the evolution pass alone, the way the
+    // pre-SoA engine ran it (per-VM method indirection, an OnOffChain
+    // constructed per call) vs the flat structure-of-arrays pass the
+    // engine runs now. Both consume the identical shared RNG stream, so
+    // the delta is purely the data-layout effect the tentpole claims.
+    let hot_n = fleets.iter().copied().max().unwrap_or(800);
+    let hot_fleet = {
+        let mut gen = FleetGenerator::new(hot_n as u64);
+        gen.vms(hot_n, WorkloadPattern::EqualSpike)
+    };
+    let hot_legacy = best_secs(repeats, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut on = vec![false; hot_n];
+        for _ in 0..steps {
+            for (i, vm) in hot_fleet.iter().enumerate() {
+                let state = if on[i] { VmState::On } else { VmState::Off };
+                on[i] = vm.chain().step(state, &mut rng).is_on();
+            }
+        }
+        on.iter().filter(|&&b| b).count()
+    });
+    let hot_soa = best_secs(repeats, || {
+        let p_on: Vec<f64> = hot_fleet.iter().map(|vm| vm.p_on).collect();
+        let p_off: Vec<f64> = hot_fleet.iter().map(|vm| vm.p_off).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut on = vec![false; hot_n];
+        for _ in 0..steps {
+            for i in 0..hot_n {
+                let u = rng.gen::<f64>();
+                on[i] = if on[i] { u >= p_off[i] } else { u < p_on[i] };
+            }
+        }
+        on.iter().filter(|&&b| b).count()
+    });
+    eprintln!(
+        "  hot loop n={hot_n}: legacy {hot_legacy:.4}s vs soa {hot_soa:.4}s ({:.2}x)",
+        hot_legacy / hot_soa
+    );
+
+    // MapCal stationary build: every aggregate size 1..=d, exactly the
+    // loop MappingTable::build drives through reservation().
+    let mapcal_closed = best_secs(repeats, || {
+        (1..=mapcal_d)
+            .map(|k| AggregateChain::new(k, 0.01, 0.09).stationary().unwrap()[0])
+            .sum::<f64>()
+    });
+    let mapcal_gauss = best_secs(1, || {
+        (1..=mapcal_d)
+            .map(|k| {
+                AggregateChain::new(k, 0.01, 0.09)
+                    .stationary_by_solver()
+                    .unwrap()[0]
+            })
+            .sum::<f64>()
+    });
+    eprintln!(
+        "  mapcal d={mapcal_d}: closed {mapcal_closed:.4}s vs gaussian {mapcal_gauss:.4}s \
+         ({:.0}x)",
+        mapcal_gauss / mapcal_closed
+    );
+
+    let speedup_of = |n: usize, a: &str, b: &str| -> f64 {
+        let secs = |layout: &str| {
+            rows.iter()
+                .find(|r| r.n == n && r.layout == layout)
+                .map(|r| r.secs)
+                .unwrap_or(f64::NAN)
+        };
+        secs(a) / secs(b)
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"generated_by\": \"engine-bench\",");
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"steps\": {steps}, \"repeats\": {repeats}, \"seed\": 1}},"
+    );
+    json.push_str("  \"engine\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"layout\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \
+             \"steps_per_sec\": {:.1}, \"vm_steps_per_sec\": {:.1}}}",
+            r.n, r.layout, r.threads, r.secs, r.steps_per_sec, r.vm_steps_per_sec
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedups\": {\n");
+    for (i, &n) in fleets.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    \"n{n}\": {{\"serial_soa_per_vm_over_shared\": {:.3}, \
+             \"parallel_over_shared\": {:.3}, \"parallel_over_per_vm_serial\": {:.3}}}",
+            speedup_of(n, "shared", "per_vm_serial"),
+            speedup_of(n, "shared", "per_vm_parallel"),
+            speedup_of(n, "per_vm_serial", "per_vm_parallel"),
+        );
+        json.push_str(if i + 1 < fleets.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"hot_loop\": {{\"n\": {hot_n}, \"legacy_secs\": {hot_legacy:.6}, \
+         \"soa_secs\": {hot_soa:.6}, \"speedup\": {:.2}}},",
+        hot_legacy / hot_soa
+    );
+    let _ = writeln!(
+        json,
+        "  \"mapcal\": {{\"d\": {mapcal_d}, \"closed_form_secs\": {mapcal_closed:.6}, \
+         \"gaussian_secs\": {mapcal_gauss:.6}, \"speedup\": {:.1}}}",
+        mapcal_gauss / mapcal_closed
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+    eprintln!("wrote {out_path}");
+}

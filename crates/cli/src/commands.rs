@@ -206,6 +206,21 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if !(rho > 0.0 && rho < 1.0) {
         return Err(err("the CVR budget must be in (0, 1)"));
     }
+    let rng_layout = match args.get_str("rng-layout") {
+        None | Some("shared") => RngLayout::Shared,
+        Some("per-vm") | Some("pervm") => RngLayout::PerVm,
+        Some(other) => {
+            return Err(err(format!(
+                "unknown --rng-layout '{other}' (expected 'shared' or 'per-vm')"
+            )))
+        }
+    };
+    let threads = args.get_usize("threads")?.unwrap_or(1);
+    if threads > 1 && rng_layout == RngLayout::Shared {
+        return Err(err(
+            "--threads requires --rng-layout per-vm (the shared stream is sequential)",
+        ));
+    }
     let faults = match args.get_f64("mtbf")? {
         Some(mtbf_steps) => {
             let defaults = FaultConfig::default();
@@ -257,6 +272,8 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         seed: 20130527, // the paper's conference date — fixed for reproducibility
         migrations_enabled: false,
         faults,
+        rng_layout,
+        threads,
         ..SimConfig::default()
     };
     cfg.validate()

@@ -79,11 +79,15 @@ USAGE:
       consolidate with QueuingFFD, optionally write the VM→PM plan
   bursty simulate --traces <dir> --capacity <C> [--steps S] [--rho R | --availability PCT]
                   [--mtbf S [--mttr S] [--fault-group G] [--fault-seed N]]
+                  [--rng-layout shared|per-vm [--threads T]]
       plan as above, then simulate the fitted fleet and certify the
       CVR bound statistically (Wilson interval, correlation-discounted);
       --mtbf injects PM crashes (mean time between failures / to repair
       in periods, --fault-group PMs failing together) and reports
-      recovery metrics and the burstiness/degraded violation split";
+      recovery metrics and the burstiness/degraded violation split;
+      --rng-layout per-vm gives every VM its own counter-based RNG
+      stream so --threads T (0 = all cores) parallelizes the workload
+      evolution with results identical at any thread count";
 
 #[cfg(test)]
 mod tests {

@@ -189,6 +189,52 @@ fn simulate_rejects_orphan_fault_flags_and_bad_mtbf() {
 }
 
 #[test]
+fn simulate_accepts_rng_layout_and_threads() {
+    let dir = scratch("simulate-rng");
+    write_generated_traces(&dir, 4);
+    let base = ["simulate", "--traces", dir.to_str().unwrap(), "--capacity"];
+    // Per-VM layout with explicit thread counts runs fine; outcomes are
+    // thread-count invariant, so both reports must match exactly.
+    let run_with = |threads: &str| {
+        run_ok(&args(
+            &[
+                &base[..],
+                &[
+                    "120",
+                    "--steps",
+                    "3000",
+                    "--rng-layout",
+                    "per-vm",
+                    "--threads",
+                    threads,
+                ][..],
+            ]
+            .concat(),
+        ))
+    };
+    let one = run_with("1");
+    assert!(one.contains("mean CVR"), "{one}");
+    assert_eq!(one, run_with("4"), "report must not depend on threads");
+
+    // The shared (default) stream is sequential: --threads is rejected.
+    let mut buf = Vec::new();
+    let e = run(
+        &args(&[&base[..], &["120", "--threads", "4"][..]].concat()),
+        &mut buf,
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("--rng-layout per-vm"), "{e}");
+
+    // Unknown layout names are rejected up front.
+    let e = run(
+        &args(&[&base[..], &["120", "--rng-layout", "weird"][..]].concat()),
+        &mut buf,
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("unknown --rng-layout"), "{e}");
+}
+
+#[test]
 fn simulate_accepts_availability_budget() {
     let dir = scratch("simulate-slo");
     write_generated_traces(&dir, 4);

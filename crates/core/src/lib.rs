@@ -71,8 +71,8 @@ pub mod prelude {
     pub use bursty_sim::{
         detect_stabilization, replicate, run_churn, ChurnConfig, ChurnOutcome, ConfigError,
         DegradedAdmission, EvacuationEvent, FaultConfig, FaultEvent, FaultKind, FaultProcess,
-        MigrationEvent, ObservedPolicy, PeakPolicy, QueuePolicy, RecoveryStats, RuntimePolicy,
-        SimConfig, SimOutcome, Simulator, Stabilization,
+        MigrationEvent, ObservedPolicy, PeakPolicy, QueuePolicy, RecoveryStats, RngLayout,
+        RuntimePolicy, SimConfig, SimOutcome, Simulator, Stabilization,
     };
     pub use bursty_workload::{
         fit_trace, FittedModel, FleetGenerator, PmSpec, SizeClass, VmSpec, WorkloadPattern, TABLE_I,

@@ -82,7 +82,9 @@ impl AggregateChain {
 
     /// The full `(k+1) × (k+1)` one-step transition matrix `P`.
     ///
-    /// Cost `O(k³)` — the dominant term of MapCal's complexity budget.
+    /// Cost `O(k³)`. Only the solver/power verification paths need it —
+    /// since [`AggregateChain::stationary`] went closed-form, building `P`
+    /// is no longer on MapCal's hot path.
     pub fn transition_matrix(&self) -> Matrix {
         let n = self.k + 1;
         // Precompute the two PMF families once per row instead of per entry.
@@ -109,13 +111,34 @@ impl AggregateChain {
         p
     }
 
-    /// Stationary distribution `Π` of the busy-block count, solved directly
-    /// via Gaussian elimination (paper Eq. 14 / Algorithm 1 step 3).
+    /// Stationary distribution `Π` of the busy-block count, in closed form.
+    ///
+    /// The chain is the superposition of `k` *independent* two-state
+    /// ON-OFF chains with common switch probabilities, so its stationary
+    /// law is exactly `Binomial(k, p_on / (p_on + p_off))` — each VM is ON
+    /// with its own stationary probability, independently of the others.
+    /// This replaces the `O(k³)` Gaussian elimination of the original
+    /// MapCal implementation with an `O(k)` PMF evaluation; the solver is
+    /// retained as [`AggregateChain::stationary_by_solver`] for
+    /// cross-validation (a differential proptest pins the two to 1e-12).
+    ///
+    /// # Errors
+    /// Infallible for valid parameters; the `Result` is kept so callers
+    /// built against the solver-backed signature keep compiling.
+    pub fn stationary(&self) -> Result<Vec<f64>, LinalgError> {
+        let q = self.p_on / (self.p_on + self.p_off);
+        Ok(BinomialPmf::new(self.k as u64, q).pmf_all())
+    }
+
+    /// Stationary distribution solved from the transition matrix via
+    /// Gaussian elimination (paper Eq. 14 / Algorithm 1 step 3) — the
+    /// verification oracle for the closed-form [`AggregateChain::stationary`].
+    /// `O(k³)`; prefer `stationary` everywhere a result is needed.
     ///
     /// # Errors
     /// Propagates solver failures; cannot occur for valid parameters since
     /// the chain is irreducible and aperiodic (paper Proposition 1).
-    pub fn stationary(&self) -> Result<Vec<f64>, LinalgError> {
+    pub fn stationary_by_solver(&self) -> Result<Vec<f64>, LinalgError> {
         stationary_distribution(&self.transition_matrix())
     }
 
@@ -154,12 +177,23 @@ impl AggregateChain {
         Ok(self.reservation(rho)?.blocks)
     }
 
-    /// Eq. 15 and Eq. 16 answered by a *single* stationary solve: the
+    /// Eq. 15 and Eq. 16 answered by a *single* stationary evaluation: the
     /// minimal block count `K` meeting the bound `ρ` together with the CVR
     /// that `K` certifies, both read off the same `π`. Callers that need
     /// both quantities (MapCal builds a table of them per `k`) should use
     /// this instead of `blocks_needed` + `cvr_with_blocks`, which would
-    /// each re-run the `O(k³)` Gaussian elimination.
+    /// each re-evaluate the stationary distribution.
+    ///
+    /// # Knife edge
+    /// When the cumulative sum `Σ_{m ≤ K} π_m` lands *exactly* on `1 − ρ`
+    /// for some `K`, the chosen block count sits on a knife edge: any
+    /// change in how `π` is computed (closed form vs Gaussian solver vs
+    /// power iteration) perturbs the sum by a few ulps and can flip the
+    /// `cum ≥ 1 − ρ` comparison, moving `K` by one. Both answers are
+    /// "correct" — they certify CVRs on either side of ρ within roundoff —
+    /// but table-level differential tests must either avoid such `(p_on,
+    /// p_off, ρ)` points or compare certified CVRs instead of raw block
+    /// counts.
     ///
     /// # Errors
     /// Propagates stationary-distribution failures.
@@ -238,13 +272,18 @@ mod tests {
     #[test]
     fn stationary_is_binomial_with_on_fraction() {
         // Independence makes the stationary θ exactly Binomial(k, π_on):
-        // each VM is ON w.p. p_on/(p_on+p_off) in steady state.
+        // each VM is ON w.p. p_on/(p_on+p_off) in steady state. The
+        // Gaussian solver must agree with the closed form it verifies.
         let k = 10;
         let agg = AggregateChain::new(k, P_ON, P_OFF);
         let pi = agg.stationary().unwrap();
+        let solved = agg.stationary_by_solver().unwrap();
         let expect = BinomialPmf::new(k as u64, P_ON / (P_ON + P_OFF)).pmf_all();
         for (m, (&a, &b)) in pi.iter().zip(&expect).enumerate() {
-            assert!((a - b).abs() < 1e-10, "state {m}: {a} vs {b}");
+            assert!((a - b).abs() < 1e-12, "state {m}: {a} vs {b}");
+        }
+        for (m, (&a, &b)) in pi.iter().zip(&solved).enumerate() {
+            assert!((a - b).abs() < 1e-10, "solver state {m}: {a} vs {b}");
         }
     }
 
@@ -253,8 +292,10 @@ mod tests {
         let agg = AggregateChain::new(8, 0.05, 0.2);
         let a = agg.stationary().unwrap();
         let b = agg.stationary_by_power().unwrap();
-        for (x, y) in a.iter().zip(&b) {
+        let c = agg.stationary_by_solver().unwrap();
+        for ((x, y), z) in a.iter().zip(&b).zip(&c) {
             assert!((x - y).abs() < 1e-8);
+            assert!((x - z).abs() < 1e-10);
         }
     }
 
@@ -376,6 +417,25 @@ mod proptests {
             let expect = BinomialPmf::new(k as u64, q).pmf_all();
             for (a, b) in pi.iter().zip(&expect) {
                 prop_assert!((a - b).abs() < 1e-8);
+            }
+        }
+
+        // The differential guard of the closed-form replacement: the
+        // retained O(k³) Gaussian solver and the O(k) Binomial closed form
+        // must agree to 1e-12 across the parameter space MapCal sweeps.
+        #[test]
+        fn closed_form_matches_gaussian_solver_to_1e12(
+            k in 1usize..24, p_on in 0.005f64..0.995, p_off in 0.005f64..0.995
+        ) {
+            let agg = AggregateChain::new(k, p_on, p_off);
+            let closed = agg.stationary().unwrap();
+            let solved = agg.stationary_by_solver().unwrap();
+            prop_assert_eq!(closed.len(), solved.len());
+            for (m, (a, b)) in closed.iter().zip(&solved).enumerate() {
+                prop_assert!(
+                    (a - b).abs() < 1e-12,
+                    "k={} state {}: closed {} vs solver {}", k, m, a, b
+                );
             }
         }
 

@@ -11,10 +11,15 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// capacity-violation ratio stays within `ρ` (computed by Algorithm 1 /
 /// [`AggregateChain::reservation`]).
 ///
-/// Building the table costs `O(d⁴)` — Algorithm 1 is `O(k³)` and is invoked
-/// for each `k ∈ [1, d]` — after which every lookup is `O(1)`. Each `k`
-/// costs exactly one stationary solve: the block count *and* the certified
-/// CVR are read off the same `π` (see [`MappingTable::certified_cvr`]).
+/// Building the table costs `O(d²)`: the aggregate chain's stationary law
+/// is the closed-form `Binomial(k, p_on/(p_on+p_off))` (superposition of
+/// `k` independent two-state chains), so Algorithm 1 is an `O(k)` PMF
+/// evaluation per `k ∈ [1, d]` — the original `O(k³)` Gaussian solve
+/// survives only as a cross-validation oracle
+/// ([`bursty_markov::AggregateChain::stationary_by_solver`]). Every lookup
+/// is `O(1)`. Each `k` costs exactly one stationary evaluation: the block
+/// count *and* the certified CVR are read off the same `π` (see
+/// [`MappingTable::certified_cvr`]).
 /// Repeated consolidation runs over the same parameter set should go
 /// through [`MappingTable::cached`], which memoizes built tables for the
 /// lifetime of the process.
@@ -81,7 +86,7 @@ impl MappingTable {
     /// first request and hands out the same `Arc` afterwards, so every
     /// consumer of one parameter set — `QueueStrategy` for packing,
     /// `QueuePolicy` for runtime admission, repeated `Consolidator`
-    /// evaluations — pays the `O(d⁴)` build exactly once per process.
+    /// evaluations — pays the `O(d²)` build exactly once per process.
     ///
     /// Keys are the exact bit patterns of the probabilities/ρ, so only
     /// bit-identical parameters share a table (no tolerance matching).
@@ -95,7 +100,7 @@ impl MappingTable {
             CACHE_HITS.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(table);
         }
-        // Build outside the lock: an O(d⁴) solve must not serialize other
+        // Build outside the lock: a table build must not serialize other
         // parameter sets behind this one. A racing builder of the same key
         // may duplicate the work once; the map keeps the first insert.
         drop(cache);

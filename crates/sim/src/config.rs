@@ -21,6 +21,29 @@ pub enum VictimPolicy {
     SmallestBase,
 }
 
+/// How the engine assigns random-number streams to VM workload chains.
+///
+/// The layout is part of the *scientific configuration*: it selects which
+/// sample path a seed produces, not just how fast the engine runs. Results
+/// under either layout are drawn from exactly the same ON-OFF process —
+/// only the pairing of seeds to sample paths differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RngLayout {
+    /// One serial generator shared by every VM, consumed in VM order each
+    /// step — bit-identical to the engine as it existed before layouts
+    /// were introduced (frozen by `sim/tests/golden.rs`). Inherently
+    /// sequential: [`SimConfig::threads`] is ignored.
+    #[default]
+    Shared,
+    /// One independent counter-based stream per VM, derived from
+    /// `(seed, vm index, step)`. Draws are position-addressable, so the
+    /// per-step evolution is embarrassingly parallel and the outcome is
+    /// `f64::to_bits`-identical for *any* thread count. Sample paths
+    /// differ from [`RngLayout::Shared`] for the same seed (different
+    /// stream pairing), but their distribution is identical.
+    PerVm,
+}
+
 /// A structurally invalid [`SimConfig`] (or [`FaultConfig`]), detected
 /// before the run instead of surfacing as NaN CVRs or empty outcomes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,6 +146,16 @@ pub struct SimConfig {
     /// PM crash/recovery model; `None` (the default) reproduces the
     /// fault-free engine bit for bit.
     pub faults: Option<FaultConfig>,
+    /// How workload RNG streams are laid out across VMs. The default
+    /// [`RngLayout::Shared`] preserves the historical serial stream;
+    /// [`RngLayout::PerVm`] enables deterministic parallel evolution.
+    pub rng_layout: RngLayout,
+    /// Worker threads for the [`RngLayout::PerVm`] hot path. `0` means
+    /// "use the machine's available parallelism". Ignored under
+    /// [`RngLayout::Shared`], and forced to 1 inside
+    /// [`crate::replicate_seeds`] workers (replication-level parallelism
+    /// already owns the cores). Any value yields bit-identical outcomes.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -140,6 +173,8 @@ impl Default for SimConfig {
             max_retries: 5,
             degraded_epsilon: 0.1,
             faults: None,
+            rng_layout: RngLayout::default(),
+            threads: 1,
         }
     }
 }

@@ -5,11 +5,10 @@ use crate::energy::PowerModel;
 use crate::events::{EvacuationEvent, FaultEvent, FaultKind, MigrationEvent};
 use crate::faults::FaultProcess;
 use crate::policy::{DegradedAdmission, PmRuntime, RuntimePolicy};
+use crate::workload_core::WorkloadCore;
 use bursty_metrics::TimeSeries;
 use bursty_placement::{evacuate_batch, HeadroomIndex, Placement, PmLoad};
 use bursty_workload::{PmSpec, VmSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Recovery and degradation accounting of one run. All fields stay zero
 /// when [`SimConfig::faults`] is `None` and no migration ever fails.
@@ -169,6 +168,13 @@ struct FaultState {
     crash_of_vm: Vec<Option<usize>>,
     crash_records: Vec<CrashRecord>,
     retry_queue: Vec<RetryEntry>,
+    /// Per-VM membership flag for `retry_queue` — the O(1) replacement
+    /// for scanning the queue on every failed migration. Invariant:
+    /// `in_retry[i]` iff some entry with `vm == i` is in `retry_queue`
+    /// (a VM never holds two entries: overload retries are deduplicated
+    /// on push, and a displaced VM's overload entry is dropped before
+    /// its evacuation entry is queued).
+    in_retry: Vec<bool>,
     fault_events: Vec<FaultEvent>,
     evacuations: Vec<EvacuationEvent>,
     recovery: RecoveryStats,
@@ -183,10 +189,90 @@ impl FaultState {
             crash_of_vm: vec![None; n],
             crash_records: Vec::new(),
             retry_queue: Vec::new(),
+            in_retry: vec![false; n],
             fault_events: Vec::new(),
             evacuations: Vec::new(),
             recovery: RecoveryStats::default(),
         }
+    }
+
+    /// Adds a retry entry for a VM not currently queued, maintaining the
+    /// `in_retry` flag. The debug assertion is the duplicate-entry
+    /// regression guard: it re-runs the old O(queue) scan in test builds
+    /// to certify the flag never drifts from actual queue membership.
+    fn enqueue_retry(&mut self, entry: RetryEntry) {
+        debug_assert!(
+            !self.in_retry[entry.vm] && !self.retry_queue.iter().any(|r| r.vm == entry.vm),
+            "VM {} already has a retry entry",
+            entry.vm
+        );
+        self.in_retry[entry.vm] = true;
+        self.retry_queue.push(entry);
+    }
+}
+
+/// Per-step headroom indexes over the PM pool for migration target
+/// selection, split into *active* (hosting at least one VM) and *empty*
+/// PMs so [`Simulator::pick_target`] keeps its two-phase first-fit
+/// semantics. Built lazily at the first target query of a step — the
+/// violation trigger fires rarely, so most steps never pay the O(m)
+/// build — and point-updated after each move within the step. Down PMs
+/// carry `NEG_INFINITY` in both indexes and are never probed.
+struct TargetFinder {
+    active: HeadroomIndex,
+    empty: HeadroomIndex,
+}
+
+impl TargetFinder {
+    fn build(sim: &Simulator<'_>, loads: &[PmLoad], observed: &[f64], pm_up: &[bool]) -> Self {
+        let mut active = vec![f64::NEG_INFINITY; loads.len()];
+        let mut empty = vec![f64::NEG_INFINITY; loads.len()];
+        for j in 0..loads.len() {
+            if !pm_up[j] {
+                continue;
+            }
+            let pm = PmRuntime {
+                load: loads[j],
+                observed: observed[j],
+            };
+            let h = sim.policy.headroom(&pm, sim.pms[j].capacity);
+            if loads[j].is_empty() {
+                empty[j] = h;
+            } else {
+                active[j] = h;
+            }
+        }
+        Self {
+            active: HeadroomIndex::new(&active),
+            empty: HeadroomIndex::new(&empty),
+        }
+    }
+
+    /// Re-derives PM `j`'s entries after its load or observed demand
+    /// changed (it may have crossed the active/empty boundary).
+    fn refresh(
+        &mut self,
+        sim: &Simulator<'_>,
+        j: usize,
+        loads: &[PmLoad],
+        observed: &[f64],
+        pm_up: &[bool],
+    ) {
+        let (mut a, mut e) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        if pm_up[j] {
+            let pm = PmRuntime {
+                load: loads[j],
+                observed: observed[j],
+            };
+            let h = sim.policy.headroom(&pm, sim.pms[j].capacity);
+            if loads[j].is_empty() {
+                e = h;
+            } else {
+                a = h;
+            }
+        }
+        self.active.update(j, a);
+        self.empty.update(j, e);
     }
 }
 
@@ -283,12 +369,20 @@ impl<'a> Simulator<'a> {
 
         let n = self.vms.len();
         let m = self.pms.len();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut fault_process = self.config.faults.map(|cfg| FaultProcess::new(cfg, m));
+
+        // The structure-of-arrays hot path: flattened chain parameters,
+        // per-VM ON/OFF state, and the configured RNG layout.
+        let mut core = WorkloadCore::new(
+            self.vms,
+            m,
+            self.config.seed,
+            self.config.rng_layout,
+            self.config.threads,
+        );
 
         // Runtime state. `host[i] == None` marks a displaced (stranded) VM
         // waiting in the retry queue after a crash.
-        let mut on = vec![false; n];
         let mut host: Vec<Option<usize>> = initial
             .assignment
             .iter()
@@ -322,6 +416,11 @@ impl<'a> Simulator<'a> {
 
         let mut observed = vec![0.0f64; m];
         for step in 0..self.config.steps {
+            // Migration-target headroom indexes, built lazily inside any
+            // step that actually attempts a migration (observed demand —
+            // and with it every headroom — changes each step, so the
+            // indexes cannot carry over).
+            let mut finder: Option<TargetFinder> = None;
             // 0. Fault transitions, then immediate batch evacuation of the
             //    VMs the crashes displaced. Driven by the dedicated fault
             //    RNG stream, so the workload sample paths below are
@@ -364,15 +463,21 @@ impl<'a> Simulator<'a> {
                 fs.fault_events.extend(events);
                 // Displaced VMs abandon any pending overload retry — the
                 // evacuation path owns them now.
-                fs.retry_queue.retain(|r| match r.kind {
-                    RetryKind::Overload => host[r.vm].is_some(),
-                    RetryKind::Evacuation => true,
-                });
+                if !displaced.is_empty() && !fs.retry_queue.is_empty() {
+                    let queue = std::mem::take(&mut fs.retry_queue);
+                    for r in queue {
+                        if r.kind == RetryKind::Overload && host[r.vm].is_none() {
+                            fs.in_retry[r.vm] = false;
+                        } else {
+                            fs.retry_queue.push(r);
+                        }
+                    }
+                }
                 if !displaced.is_empty() {
                     let unplaced = self.evacuate_displaced(
                         step,
                         &displaced,
-                        &on,
+                        &core.on,
                         &mut host,
                         &mut hosted,
                         &mut loads,
@@ -390,7 +495,7 @@ impl<'a> Simulator<'a> {
                             to_pm: None,
                             degraded: false,
                         });
-                        fs.retry_queue.push(RetryEntry {
+                        fs.enqueue_retry(RetryEntry {
                             vm: i,
                             kind: RetryKind::Evacuation,
                             attempts: 0,
@@ -400,27 +505,15 @@ impl<'a> Simulator<'a> {
                 }
             }
 
-            // 1. Workload evolution (state switches happen at interval
-            //    boundaries, paper §IV-B). Every VM's chain advances —
-            //    including stranded ones — so the RNG stream is identical
-            //    regardless of fault and migration decisions.
-            for (i, vm) in self.vms.iter().enumerate() {
-                let state = if on[i] {
-                    bursty_markov::VmState::On
-                } else {
-                    bursty_markov::VmState::Off
-                };
-                on[i] = vm.chain().step(state, &mut rng).is_on();
-            }
-
-            // 2. Local resizing: allocation == demand, so the observed PM
-            //    load is the sum of current demands (plus copy overhead).
-            observed.iter_mut().for_each(|o| *o = 0.0);
-            for (i, j) in host.iter().enumerate() {
-                if let Some(j) = *j {
-                    observed[j] += self.vms[i].demand(on[i]);
-                }
-            }
+            // 1.+2. Workload evolution (state switches happen at interval
+            //    boundaries, paper §IV-B) and local resizing (allocation
+            //    == demand, so observed PM load is the sum of current
+            //    demands). Every VM's chain advances — including stranded
+            //    ones — so the RNG streams are identical regardless of
+            //    fault and migration decisions. Draw order and summation
+            //    order per layout are the core's determinism contract
+            //    (DESIGN.md §8).
+            core.step(step as u64, &host, &mut observed);
             for &(j, demand, _) in &dual {
                 observed[j] += demand;
             }
@@ -460,12 +553,20 @@ impl<'a> Simulator<'a> {
                         continue; // tolerated fluctuation
                     }
                     let overload = observed[j] - self.pms[j].capacity;
-                    let Some(victim) = self.pick_victim(&hosted[j], &on, overload) else {
+                    let Some(victim) = self.pick_victim(&hosted[j], &core.on, overload) else {
                         continue;
                     };
                     let vm = &self.vms[victim];
-                    let vm_demand = vm.demand(on[victim]);
-                    match self.pick_target(j, vm, vm_demand, &loads, &observed, &fs.pm_up) {
+                    let vm_demand = vm.demand(core.on[victim]);
+                    match self.pick_target(
+                        &mut finder,
+                        j,
+                        vm,
+                        vm_demand,
+                        &loads,
+                        &observed,
+                        &fs.pm_up,
+                    ) {
                         Some(target) => {
                             // Move the VM.
                             hosted[j].retain(|&i| i != victim);
@@ -475,6 +576,10 @@ impl<'a> Simulator<'a> {
                             loads[target].add(vm);
                             observed[j] -= vm_demand;
                             observed[target] += vm_demand;
+                            if let Some(f) = finder.as_mut() {
+                                f.refresh(self, j, &loads, &observed, &fs.pm_up);
+                                f.refresh(self, target, &loads, &observed, &fs.pm_up);
+                            }
                             if fs.vm_degraded[victim] {
                                 // Normal admission elsewhere ends the
                                 // degraded occupancy.
@@ -493,10 +598,8 @@ impl<'a> Simulator<'a> {
                         }
                         None => {
                             failed_migrations += 1;
-                            if self.config.max_retries > 0
-                                && !fs.retry_queue.iter().any(|r| r.vm == victim)
-                            {
-                                fs.retry_queue.push(RetryEntry {
+                            if self.config.max_retries > 0 && !fs.in_retry[victim] {
+                                fs.enqueue_retry(RetryEntry {
                                     vm: victim,
                                     kind: RetryKind::Overload,
                                     attempts: 0,
@@ -517,11 +620,17 @@ impl<'a> Simulator<'a> {
                 let mut due_evac: Vec<RetryEntry> = Vec::new();
                 for e in queue {
                     if e.next_step > step {
+                        // Not due: stays queued, membership flag unchanged.
                         fs.retry_queue.push(e);
-                    } else if e.kind == RetryKind::Overload {
-                        due_overload.push(e);
                     } else {
-                        due_evac.push(e);
+                        // Popped for processing; only another failure below
+                        // re-queues it (and re-raises the flag).
+                        fs.in_retry[e.vm] = false;
+                        if e.kind == RetryKind::Overload {
+                            due_overload.push(e);
+                        } else {
+                            due_evac.push(e);
+                        }
                     }
                 }
 
@@ -534,8 +643,16 @@ impl<'a> Simulator<'a> {
                         continue; // overload cleared itself; cancel
                     }
                     let vm = &self.vms[e.vm];
-                    let vm_demand = vm.demand(on[e.vm]);
-                    match self.pick_target(j, vm, vm_demand, &loads, &observed, &fs.pm_up) {
+                    let vm_demand = vm.demand(core.on[e.vm]);
+                    match self.pick_target(
+                        &mut finder,
+                        j,
+                        vm,
+                        vm_demand,
+                        &loads,
+                        &observed,
+                        &fs.pm_up,
+                    ) {
                         Some(target) => {
                             hosted[j].retain(|&i| i != e.vm);
                             hosted[target].push(e.vm);
@@ -544,6 +661,10 @@ impl<'a> Simulator<'a> {
                             loads[target].add(vm);
                             observed[j] -= vm_demand;
                             observed[target] += vm_demand;
+                            if let Some(f) = finder.as_mut() {
+                                f.refresh(self, j, &loads, &observed, &fs.pm_up);
+                                f.refresh(self, target, &loads, &observed, &fs.pm_up);
+                            }
                             if fs.vm_degraded[e.vm] {
                                 fs.vm_degraded[e.vm] = false;
                                 fs.pm_overflow[j] -= 1;
@@ -563,7 +684,7 @@ impl<'a> Simulator<'a> {
                             e.attempts += 1;
                             if e.attempts < self.config.max_retries {
                                 e.next_step = step + self.backoff(e.attempts);
-                                fs.retry_queue.push(e);
+                                fs.enqueue_retry(e);
                             }
                             // else: abandoned; the trigger re-detects a
                             // persisting overload (the VM is still hosted).
@@ -576,7 +697,7 @@ impl<'a> Simulator<'a> {
                     let unplaced = self.evacuate_displaced(
                         step,
                         &vms_due,
-                        &on,
+                        &core.on,
                         &mut host,
                         &mut hosted,
                         &mut loads,
@@ -590,7 +711,7 @@ impl<'a> Simulator<'a> {
                             .expect("unplaced VM came from the due batch")
                             .attempts
                             + 1;
-                        fs.retry_queue.push(RetryEntry {
+                        fs.enqueue_retry(RetryEntry {
                             vm: i,
                             kind: RetryKind::Evacuation,
                             attempts,
@@ -797,7 +918,53 @@ impl<'a> Simulator<'a> {
 
     /// Target selection: first *active* up PM (other than the source) the
     /// policy admits the VM on, else the first empty up PM in the pool.
+    ///
+    /// Candidates come from the per-step [`TargetFinder`] headroom
+    /// indexes rather than a linear scan over all m PMs: a PM whose
+    /// headroom is below `demand_measure(vm)` cannot admit the VM (the
+    /// [`RuntimePolicy`] headroom contract), so `first_at_least` skips
+    /// straight to the next plausible index and the full `admits` check
+    /// runs only there. By that contract the result is identical to the
+    /// linear scan — certified by the differential test
+    /// `indexed_target_selection_matches_linear_scan` and by the golden
+    /// pins, whose constants predate the index.
+    #[allow(clippy::too_many_arguments)]
     fn pick_target(
+        &self,
+        finder: &mut Option<TargetFinder>,
+        source: usize,
+        vm: &VmSpec,
+        vm_demand: f64,
+        loads: &[PmLoad],
+        observed: &[f64],
+        pm_up: &[bool],
+    ) -> Option<usize> {
+        let f = finder.get_or_insert_with(|| TargetFinder::build(self, loads, observed, pm_up));
+        let threshold = self.policy.demand_measure(vm, vm_demand);
+        let admit = |j: usize| {
+            let pm = PmRuntime {
+                load: loads[j],
+                observed: observed[j],
+            };
+            self.policy.admits(vm, vm_demand, &pm, self.pms[j].capacity)
+        };
+        for index in [&f.active, &f.empty] {
+            let mut from = 0;
+            while let Some(j) = index.first_at_least(from, threshold) {
+                if j != source && admit(j) {
+                    return Some(j);
+                }
+                from = j + 1;
+            }
+        }
+        None
+    }
+
+    /// Reference implementation of [`Self::pick_target`]: the pre-index
+    /// linear scan over every PM, kept as the oracle for the
+    /// differential test.
+    #[cfg(test)]
+    fn pick_target_linear(
         &self,
         source: usize,
         vm: &VmSpec,
@@ -1344,5 +1511,177 @@ mod tests {
         assert_eq!(out.total_migrations(), 0);
         assert_eq!(out.retried_migrations, 0);
         assert!(out.failed_migrations > 0);
+    }
+
+    #[test]
+    fn repeated_failed_migrations_never_duplicate_retry_entries() {
+        // A single overcommitted PM with no escape target: the trigger
+        // fails a migration on (nearly) every violating step, each
+        // failure tries to enqueue the victim, and retries themselves
+        // keep failing and re-enqueueing until the budget runs out. The
+        // `debug_assert` in `FaultState::enqueue_retry` cross-checks the
+        // `in_retry` flag against an actual queue scan on every push, so
+        // this run is the regression proof that the O(1) flag never lets
+        // a VM hold two entries.
+        let vms: Vec<VmSpec> = (0..10).map(|i| vm(i, 10.0, 10.0)).collect();
+        let pms = farm(1, 80.0);
+        let placement = Placement {
+            assignment: vec![Some(0); 10],
+            n_pms: 1,
+        };
+        let policy = ObservedPolicy::rb();
+        let cfg = SimConfig {
+            retry_base_steps: 1,
+            max_retries: 4,
+            ..config(3_000, 11, true)
+        };
+        let out = Simulator::new(&vms, &pms, &policy, cfg).run(&placement);
+        assert!(
+            out.failed_migrations > 100,
+            "scenario must exercise the dedup path heavily, got {}",
+            out.failed_migrations
+        );
+        assert_eq!(out.total_migrations(), 0);
+    }
+
+    #[test]
+    fn indexed_target_selection_matches_linear_scan() {
+        // Heterogeneous pool: varying capacities, occupancy, up/down
+        // state, plus source exclusion — swept across two policies and
+        // every VM as the migrant. The indexed path must agree with the
+        // linear oracle exactly, per the RuntimePolicy headroom contract.
+        let vms: Vec<VmSpec> = (0..40)
+            .map(|i| {
+                VmSpec::new(
+                    i,
+                    0.02 + (i % 5) as f64 * 0.015,
+                    0.08,
+                    6.0 + (i % 4) as f64,
+                    9.0,
+                )
+            })
+            .collect();
+        let pms: Vec<PmSpec> = (0..24)
+            .map(|j| PmSpec::new(j, 40.0 + (j % 7) as f64 * 12.0))
+            .collect();
+        let mut hosted: Vec<Vec<usize>> = vec![Vec::new(); pms.len()];
+        for (i, vm) in vms.iter().enumerate() {
+            // Pack unevenly and leave PMs 5, 11, 17, 23 empty.
+            let j = (i * 7 + i / 3) % pms.len();
+            let j = if j % 6 == 5 { (j + 1) % pms.len() } else { j };
+            hosted[j].push(vm.id);
+        }
+        let loads: Vec<PmLoad> = hosted
+            .iter()
+            .map(|vs| PmLoad::rebuild(vs.iter().map(|&i| &vms[i])))
+            .collect();
+        let observed: Vec<f64> = hosted
+            .iter()
+            .map(|vs| vs.iter().map(|&i| vms[i].demand(i % 2 == 0)).sum())
+            .collect();
+        let pm_up: Vec<bool> = (0..pms.len()).map(|j| j % 9 != 4).collect();
+
+        let rb = ObservedPolicy::rb();
+        let queue = QueuePolicy::new(QueueStrategy::build(16, 0.02, 0.08, 0.01));
+        let policies: [&dyn crate::policy::RuntimePolicy; 2] = [&rb, &queue];
+        for (p, policy) in policies.iter().enumerate() {
+            let sim = Simulator::new(&vms, &pms, *policy, config(10, 1, true));
+            for (i, vm) in vms.iter().enumerate() {
+                for source in [0usize, 7, 23] {
+                    for &on in &[false, true] {
+                        let demand = vm.demand(on);
+                        let mut finder = None;
+                        let fast = sim.pick_target(
+                            &mut finder,
+                            source,
+                            vm,
+                            demand,
+                            &loads,
+                            &observed,
+                            &pm_up,
+                        );
+                        let slow =
+                            sim.pick_target_linear(source, vm, demand, &loads, &observed, &pm_up);
+                        assert_eq!(fast, slow, "policy {p}, vm {i}, source {source}, on {on}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pervm_layout_outcomes_are_thread_count_invariant() {
+        use crate::config::RngLayout;
+        // Full engine runs (migrations + faults) must agree to the bit
+        // across thread counts under RngLayout::PerVm, including with a
+        // fleet larger than one chunk.
+        let vms: Vec<VmSpec> = (0..700).map(|i| vm(i, 10.0, 10.0)).collect();
+        let pms = farm(900, 100.0);
+        let placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
+        let policy = ObservedPolicy::rb();
+        let run = |threads: usize| {
+            let cfg = SimConfig {
+                steps: 120,
+                seed: 13,
+                rng_layout: RngLayout::PerVm,
+                threads,
+                faults: Some(FaultConfig {
+                    mtbf_steps: 200.0,
+                    mttr_steps: 30.0,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            };
+            Simulator::new(&vms, &pms, &policy, cfg).run(&placement)
+        };
+        let base = run(1);
+        assert!(base.total_migrations() > 0, "scenario must be non-trivial");
+        for threads in [2usize, 8] {
+            let other = run(threads);
+            assert_eq!(base.total_migrations(), other.total_migrations());
+            assert_eq!(base.failed_migrations, other.failed_migrations);
+            assert_eq!(base.final_pms_used, other.final_pms_used);
+            assert_eq!(base.total_violation_steps, other.total_violation_steps);
+            assert_eq!(
+                base.energy_joules.to_bits(),
+                other.energy_joules.to_bits(),
+                "energy bits diverged at {threads} threads"
+            );
+            assert_eq!(base.vm_violation_steps, other.vm_violation_steps);
+            assert_eq!(base.fault_events.len(), other.fault_events.len());
+            assert_eq!(base.evacuations.len(), other.evacuations.len());
+        }
+    }
+
+    #[test]
+    fn pervm_layout_differs_from_shared_but_same_law() {
+        use crate::config::RngLayout;
+        // Same seed, different layout: a different sample path (the
+        // pairing of streams to VMs changed) drawn from the same process.
+        let vms: Vec<VmSpec> = (0..48).map(|i| vm(i, 10.0, 10.0)).collect();
+        let pms = farm(48, 100.0);
+        let placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
+        let policy = ObservedPolicy::rb();
+        let run = |layout: RngLayout| {
+            let cfg = SimConfig {
+                rng_layout: layout,
+                ..config(4_000, 3, false)
+            };
+            Simulator::new(&vms, &pms, &policy, cfg).run(&placement)
+        };
+        let shared = run(RngLayout::Shared);
+        let pervm = run(RngLayout::PerVm);
+        assert_ne!(
+            shared.energy_joules.to_bits(),
+            pervm.energy_joules.to_bits(),
+            "layouts must select different sample paths"
+        );
+        // Identical stationary law: long-run mean CVRs in the same band.
+        assert!(
+            (shared.mean_cvr() - pervm.mean_cvr()).abs() < 0.1 * shared.mean_cvr().max(0.01),
+            "shared {} vs per-vm {}",
+            shared.mean_cvr(),
+            pervm.mean_cvr()
+        );
     }
 }

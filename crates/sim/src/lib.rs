@@ -29,11 +29,13 @@ pub mod faults;
 pub mod migration_cost;
 pub mod multidim;
 pub mod policy;
+pub mod rng;
 pub mod runner;
 pub mod scenario;
 pub mod stabilization;
+mod workload_core;
 
-pub use config::{ConfigError, SimConfig, VictimPolicy};
+pub use config::{ConfigError, RngLayout, SimConfig, VictimPolicy};
 pub use energy::PowerModel;
 pub use engine::{RecoveryStats, SimOutcome, Simulator};
 pub use events::{EvacuationEvent, FaultEvent, FaultKind, MigrationEvent};

@@ -7,9 +7,26 @@
 
 use crossbeam::channel;
 use std::any::Any;
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::thread;
+
+thread_local! {
+    /// Set while this thread is a [`replicate_seeds`] worker. The engine's
+    /// per-VM parallel path consults it to resolve its thread count to 1:
+    /// replication-level parallelism already owns every core, and nesting
+    /// a scoped pool per replication would only add spawn churn. Purely a
+    /// scheduling guard — [`crate::config::RngLayout::PerVm`] outcomes are
+    /// thread-count invariant, so the clamp cannot change any result.
+    static IN_REPLICATION_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True on a thread currently executing replications for
+/// [`replicate_seeds`] (the engine's nested-parallelism guard).
+pub(crate) fn in_replication_worker() -> bool {
+    IN_REPLICATION_WORKER.with(Cell::get)
+}
 
 /// Runs `f(seed)` for each seed in `seeds`, in parallel across up to
 /// `available_parallelism` threads, returning outcomes in seed order.
@@ -43,6 +60,7 @@ where
             let tx = tx.clone();
             let f = &f;
             scope.spawn(move || {
+                IN_REPLICATION_WORKER.with(|flag| flag.set(true));
                 // Static stride partitioning: replication costs are
                 // near-uniform, so striding balances without a work queue.
                 for (idx, &seed) in seeds.iter().enumerate().skip(worker).step_by(threads) {
@@ -92,6 +110,22 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_are_flagged_for_the_nesting_guard() {
+        // The calling thread is not a worker...
+        assert!(!in_replication_worker());
+        let seeds: Vec<u64> = (0..8).collect();
+        let flags = replicate_seeds(&seeds, |s| (s, in_replication_worker()));
+        // ...but when replications actually fan out, each one sees the
+        // guard raised. (On a single-core machine the sequential path
+        // runs on the caller, legitimately unflagged.)
+        let parallel = thread::available_parallelism().map_or(1, NonZeroUsize::get) > 1;
+        for (s, flagged) in flags {
+            assert_eq!(flagged, parallel, "seed {s}");
+        }
+        assert!(!in_replication_worker(), "flag must not leak to callers");
+    }
 
     #[test]
     fn results_are_in_seed_order() {

@@ -8,7 +8,7 @@
 //! scheme behaves under sustained churn (an extension beyond the paper's
 //! static-population evaluation).
 
-use crate::config::SimConfig;
+use crate::config::{RngLayout, SimConfig};
 use crate::events::MigrationEvent;
 use crate::policy::{PmRuntime, RuntimePolicy};
 use bursty_metrics::TimeSeries;
@@ -203,14 +203,30 @@ pub fn run_churn(
             }
         }
 
-        // 3. Workload evolution.
-        for (vm, _, on) in live.iter_mut() {
-            let state = if *on {
-                bursty_markov::VmState::On
-            } else {
-                bursty_markov::VmState::Off
-            };
-            *on = vm.chain().step(state, &mut rng).is_on();
+        // 3. Workload evolution. Under the shared layout the chains draw
+        //    from the same sequential stream as the churn control plane
+        //    (the historical behaviour, unchanged bit for bit). Under
+        //    RngLayout::PerVm each VM draws from its own counter-based
+        //    stream keyed by its id, so a tenant's spike sample path is
+        //    invariant to the churn around it; arrival, departure, and
+        //    demand-sampling draws always stay on the shared stream.
+        match sim.rng_layout {
+            RngLayout::Shared => {
+                for (vm, _, on) in live.iter_mut() {
+                    let state = if *on {
+                        bursty_markov::VmState::On
+                    } else {
+                        bursty_markov::VmState::Off
+                    };
+                    *on = vm.chain().step(state, &mut rng).is_on();
+                }
+            }
+            RngLayout::PerVm => {
+                for (vm, _, on) in live.iter_mut() {
+                    let u = crate::rng::pervm_u01(sim.seed, vm.id as u64, step as u64);
+                    *on = if *on { u >= vm.p_off } else { u < vm.p_on };
+                }
+            }
         }
 
         // 4. Violations + migration.
@@ -409,6 +425,35 @@ mod tests {
         let out = run_churn(&pms(2, 90.0), &policy, sim(500, 4), churn, 0.01, 0.09);
         assert!(out.rejected > 0, "a 2-PM pool must reject under λ=2 churn");
         assert!(out.admission_rate() < 1.0);
+    }
+
+    #[test]
+    fn pervm_layout_under_churn_is_deterministic_and_distinct() {
+        let policy = queue_policy();
+        let run = |layout: RngLayout, seed: u64| {
+            let cfg = SimConfig {
+                rng_layout: layout,
+                ..sim(800, seed)
+            };
+            let out = run_churn(
+                &pms(100, 90.0),
+                &policy,
+                cfg,
+                ChurnConfig::default(),
+                0.01,
+                0.09,
+            );
+            (
+                out.admitted,
+                out.departed,
+                out.migrations.len(),
+                out.violation_steps,
+            )
+        };
+        // Reproducible per seed, and a different sample path than the
+        // shared layout under the same seed (the streams re-paired).
+        assert_eq!(run(RngLayout::PerVm, 5), run(RngLayout::PerVm, 5));
+        assert_ne!(run(RngLayout::PerVm, 5), run(RngLayout::Shared, 5));
     }
 
     #[test]

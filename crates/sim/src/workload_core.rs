@@ -1,0 +1,330 @@
+//! Structure-of-arrays fast path for the engine's per-step hot loop.
+//!
+//! [`Simulator::run`] spends almost all of its time in two per-VM loops:
+//! evolving every ON-OFF chain and re-summing every hosted demand into
+//! the per-PM `observed` vector. [`WorkloadCore`] flattens the VM specs
+//! into four `f64` vectors once per run (`p_on`/`p_off`/`demand_off`/
+//! `demand_on`) and fuses both loops into one branch-light pass.
+//!
+//! Two layouts, one determinism contract (DESIGN.md §8):
+//!
+//! * [`RngLayout::Shared`] — one sequential `StdRng`, drawn in VM order,
+//!   demands summed in ascending VM order. This is *exactly* the draw
+//!   and summation order of the pre-SoA engine, so outcomes stay
+//!   bit-identical (frozen by `sim/tests/golden.rs`).
+//! * [`RngLayout::PerVm`] — each VM draws from its own counter-based
+//!   stream ([`crate::rng`]), keyed by the VM's spec id. VMs are split
+//!   into fixed chunks of [`PER_VM_CHUNK`] (a function of the fleet
+//!   only, never of the thread count); each chunk accumulates demands
+//!   into its own partial buffer in ascending VM order, and the partials
+//!   are folded into `observed` in ascending chunk order. Both the draw
+//!   values and the floating-point grouping are therefore invariant in
+//!   the thread count: 1, 2, or 64 workers produce `f64::to_bits`-equal
+//!   results. The serial path runs the very same chunked code, so
+//!   `threads: 1` equals `threads: N` by construction, not by accident.
+//!
+//! Workers are plain `std::thread::scope` spawns (the workspace vendors
+//! no thread-pool crate), so each step pays a spawn/join round trip —
+//! profitable for large fleets, pure overhead for small ones. The
+//! engine-throughput bench (`BENCH_engine.json`) records the crossover.
+//!
+//! [`Simulator::run`]: crate::engine::Simulator::run
+//! [`RngLayout::Shared`]: crate::config::RngLayout::Shared
+//! [`RngLayout::PerVm`]: crate::config::RngLayout::PerVm
+
+use crate::config::RngLayout;
+use crate::rng::{keyed_u01, stream_key};
+use bursty_workload::VmSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::thread;
+
+/// Fixed chunk width of the per-VM layout. Part of the determinism
+/// contract: chunk boundaries depend only on the fleet size, so the
+/// floating-point reduction tree is identical at every thread count.
+pub(crate) const PER_VM_CHUNK: usize = 512;
+
+/// Per-chunk demand accumulator: a dense per-PM scratch vector plus the
+/// PM indices this chunk touched, in first-touch order. Folding by
+/// touch list keeps the reduction O(VMs) instead of O(chunks · PMs).
+struct Partial {
+    dense: Vec<f64>,
+    touched: Vec<usize>,
+}
+
+enum Mode {
+    Shared {
+        rng: StdRng,
+    },
+    PerVm {
+        /// Pre-mixed stream key per VM (`stream_key(seed, spec id)`).
+        keys: Vec<u64>,
+        /// Resolved worker count (≥ 1). Purely a throughput knob.
+        threads: usize,
+        partials: Vec<Partial>,
+    },
+}
+
+/// The engine's per-step hot path in structure-of-arrays form.
+pub(crate) struct WorkloadCore {
+    p_on: Vec<f64>,
+    p_off: Vec<f64>,
+    demand_off: Vec<f64>,
+    demand_on: Vec<f64>,
+    /// Current ON/OFF state per VM; read freely by the engine between
+    /// steps (victim selection, demand queries, evacuation sizing).
+    pub(crate) on: Vec<bool>,
+    mode: Mode,
+}
+
+impl WorkloadCore {
+    /// Flattens `vms` and prepares the RNG layout. `m` is the PM count
+    /// (the width of each per-chunk partial buffer); `threads` follows
+    /// [`crate::config::SimConfig::threads`] semantics and is resolved
+    /// here: `0` → available parallelism, always `1` inside a
+    /// `replicate_seeds` worker, and capped at the chunk count.
+    pub(crate) fn new(
+        vms: &[VmSpec],
+        m: usize,
+        seed: u64,
+        layout: RngLayout,
+        threads: usize,
+    ) -> Self {
+        let n = vms.len();
+        let mode = match layout {
+            RngLayout::Shared => Mode::Shared {
+                rng: StdRng::seed_from_u64(seed),
+            },
+            RngLayout::PerVm => {
+                let chunks = n.div_ceil(PER_VM_CHUNK).max(1);
+                let requested = if crate::runner::in_replication_worker() {
+                    1
+                } else if threads == 0 {
+                    thread::available_parallelism().map_or(1, |p| p.get())
+                } else {
+                    threads
+                };
+                Mode::PerVm {
+                    keys: vms
+                        .iter()
+                        .map(|vm| stream_key(seed, vm.id as u64))
+                        .collect(),
+                    threads: requested.clamp(1, chunks),
+                    partials: (0..chunks)
+                        .map(|_| Partial {
+                            dense: vec![0.0; m],
+                            touched: Vec::with_capacity(PER_VM_CHUNK.min(n)),
+                        })
+                        .collect(),
+                }
+            }
+        };
+        Self {
+            p_on: vms.iter().map(|vm| vm.p_on).collect(),
+            p_off: vms.iter().map(|vm| vm.p_off).collect(),
+            demand_off: vms.iter().map(|vm| vm.demand(false)).collect(),
+            demand_on: vms.iter().map(|vm| vm.demand(true)).collect(),
+            on: vec![false; n],
+            mode,
+        }
+    }
+
+    /// Advances every chain one step and rebuilds `observed` (zeroed
+    /// first) with the sum of hosted demands per PM. Displaced VMs
+    /// (`host[i] == None`) still evolve — the draw sequence must not
+    /// depend on fault or migration decisions. Copy-overhead dual
+    /// entries stay with the caller.
+    pub(crate) fn step(&mut self, step: u64, host: &[Option<usize>], observed: &mut [f64]) {
+        let Self {
+            p_on,
+            p_off,
+            demand_off,
+            demand_on,
+            on,
+            mode,
+        } = self;
+        match mode {
+            Mode::Shared { rng } => {
+                // Pre-SoA engine order, verbatim: one full evolution
+                // pass (n sequential draws), then one full accumulation
+                // pass in ascending VM order.
+                for i in 0..on.len() {
+                    let u = rng.gen::<f64>();
+                    on[i] = if on[i] { u >= p_off[i] } else { u < p_on[i] };
+                }
+                observed.iter_mut().for_each(|o| *o = 0.0);
+                for (i, j) in host.iter().enumerate() {
+                    if let Some(j) = *j {
+                        observed[j] += if on[i] { demand_on[i] } else { demand_off[i] };
+                    }
+                }
+            }
+            Mode::PerVm {
+                keys,
+                threads,
+                partials,
+            } => {
+                let mut units: Vec<(usize, &mut [bool], &mut Partial)> = on
+                    .chunks_mut(PER_VM_CHUNK)
+                    .zip(partials.iter_mut())
+                    .enumerate()
+                    .map(|(c, (chunk, partial))| (c, chunk, partial))
+                    .collect();
+                let evolve_chunk = |c: usize, chunk: &mut [bool], partial: &mut Partial| {
+                    let base = c * PER_VM_CHUNK;
+                    for (off, on_i) in chunk.iter_mut().enumerate() {
+                        let i = base + off;
+                        let u = keyed_u01(keys[i], step);
+                        *on_i = if *on_i { u >= p_off[i] } else { u < p_on[i] };
+                        if let Some(j) = host[i] {
+                            if partial.dense[j] == 0.0 {
+                                partial.touched.push(j);
+                            }
+                            partial.dense[j] += if *on_i { demand_on[i] } else { demand_off[i] };
+                        }
+                    }
+                };
+                if *threads <= 1 || units.len() <= 1 {
+                    for (c, chunk, partial) in &mut units {
+                        evolve_chunk(*c, chunk, partial);
+                    }
+                } else {
+                    let mut buckets: Vec<Vec<(usize, &mut [bool], &mut Partial)>> =
+                        (0..*threads).map(|_| Vec::new()).collect();
+                    for (slot, unit) in units.into_iter().enumerate() {
+                        buckets[slot % *threads].push(unit);
+                    }
+                    thread::scope(|scope| {
+                        for bucket in &mut buckets {
+                            scope.spawn(|| {
+                                for (c, chunk, partial) in bucket.iter_mut() {
+                                    evolve_chunk(*c, chunk, partial);
+                                }
+                            });
+                        }
+                    });
+                }
+                // Deterministic reduction: ascending chunk order, each
+                // PM's partial added exactly once (a `touched` entry can
+                // repeat only while the partial was still 0.0, and the
+                // first fold resets it, so duplicates add 0.0).
+                observed.iter_mut().for_each(|o| *o = 0.0);
+                for partial in partials.iter_mut() {
+                    for &j in &partial.touched {
+                        observed[j] += partial.dense[j];
+                        partial.dense[j] = 0.0;
+                    }
+                    partial.touched.clear();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> Vec<VmSpec> {
+        (0..n)
+            .map(|i| VmSpec::new(i, 0.02 + (i % 7) as f64 * 0.01, 0.08, 8.0, 12.0))
+            .collect()
+    }
+
+    fn run_core(core: &mut WorkloadCore, host: &[Option<usize>], m: usize, steps: u64) -> Vec<f64> {
+        let mut observed = vec![0.0; m];
+        let mut trace = Vec::new();
+        for step in 0..steps {
+            core.step(step, host, &mut observed);
+            trace.extend_from_slice(&observed);
+        }
+        trace
+    }
+
+    #[test]
+    fn shared_layout_matches_legacy_loop_bit_for_bit() {
+        let vms = fleet(133);
+        let m = 9;
+        let host: Vec<Option<usize>> = (0..vms.len()).map(|i| Some(i % m)).collect();
+
+        // Legacy loop: per-VM chain stepping off one shared StdRng.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut on = vec![false; vms.len()];
+        let mut legacy = Vec::new();
+        for _ in 0..50 {
+            for (i, vm) in vms.iter().enumerate() {
+                let state = if on[i] {
+                    bursty_markov::VmState::On
+                } else {
+                    bursty_markov::VmState::Off
+                };
+                on[i] = vm.chain().step(state, &mut rng).is_on();
+            }
+            let mut observed = vec![0.0; m];
+            for (i, j) in host.iter().enumerate() {
+                if let Some(j) = *j {
+                    observed[j] += vms[i].demand(on[i]);
+                }
+            }
+            legacy.extend_from_slice(&observed);
+        }
+
+        let mut core = WorkloadCore::new(&vms, m, 99, RngLayout::Shared, 1);
+        let soa = run_core(&mut core, &host, m, 50);
+        assert_eq!(legacy.len(), soa.len());
+        for (a, b) in legacy.iter().zip(&soa) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn pervm_layout_is_thread_count_invariant() {
+        // Fleet large enough for several chunks; some VMs unhosted.
+        let vms = fleet(2 * PER_VM_CHUNK + 77);
+        let m = 13;
+        let host: Vec<Option<usize>> = (0..vms.len())
+            .map(|i| (i % 11 != 0).then_some(i % m))
+            .collect();
+        let mut reference = None;
+        for threads in [1usize, 2, 3, 8] {
+            let mut core = WorkloadCore::new(&vms, m, 5, RngLayout::PerVm, threads);
+            let trace = run_core(&mut core, &host, m, 25);
+            let bits: Vec<u64> = trace.iter().map(|v| v.to_bits()).collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(r, &bits, "divergence at {threads} threads"),
+            }
+        }
+    }
+
+    #[test]
+    fn pervm_streams_follow_the_stationary_law() {
+        // Each chain's long-run ON fraction must approach
+        // p_on / (p_on + p_off) under the counter-based streams too.
+        let vms: Vec<VmSpec> = (0..400)
+            .map(|i| VmSpec::new(i, 0.3, 0.2, 1.0, 1.0))
+            .collect();
+        let host: Vec<Option<usize>> = vec![None; vms.len()];
+        let mut core = WorkloadCore::new(&vms, 1, 11, RngLayout::PerVm, 1);
+        let mut observed = vec![0.0; 1];
+        let steps = 4000u64;
+        let mut on_steps = 0usize;
+        for step in 0..steps {
+            core.step(step, &host, &mut observed);
+            on_steps += core.on.iter().filter(|&&b| b).count();
+        }
+        let frac = on_steps as f64 / (steps as usize * vms.len()) as f64;
+        assert!((frac - 0.6).abs() < 0.01, "ON fraction {frac}, want 0.6");
+    }
+
+    #[test]
+    fn displaced_vms_keep_evolving_without_contributing_demand() {
+        let vms = fleet(40);
+        let host = vec![None; vms.len()];
+        let mut core = WorkloadCore::new(&vms, 3, 1, RngLayout::PerVm, 2);
+        let mut observed = vec![1.0; 3];
+        core.step(0, &host, &mut observed);
+        assert!(observed.iter().all(|&o| o == 0.0));
+        assert!(core.on.iter().any(|&b| b), "chains must still evolve");
+    }
+}

@@ -1,13 +1,20 @@
-//! Frozen-baseline differential test: with fault injection disabled (the
-//! default), the simulator must reproduce the exact outcomes the engine
-//! produced before the fault subsystem existed. The constants below were
-//! captured from the pre-fault engine on these scenarios (both of which
-//! finish with zero failed migrations, so the retry queue stays empty and
-//! the fault-free path must be bit-for-bit unchanged); any drift in the
-//! default configuration is a regression.
+//! Frozen-baseline differential tests.
+//!
+//! The first two pins freeze the fault-free engine: with fault injection
+//! disabled (the default), the simulator must reproduce the exact
+//! outcomes the engine produced before the fault subsystem existed. The
+//! third pin freezes a faults-enabled run — captured from the engine as
+//! it stood *before* the structure-of-arrays hot path landed — so both
+//! the workload stream and the independent fault stream are locked.
+//!
+//! All three run under the default `RngLayout::Shared`, whose contract
+//! (DESIGN.md §8) is bit-identity with the historical serial engine;
+//! any drift in these constants is a regression, not a re-baseline.
 
 use bursty_placement::{first_fit, BaseStrategy, QueueStrategy};
-use bursty_sim::{ObservedPolicy, QueuePolicy, RecoveryStats, SimConfig, Simulator};
+use bursty_sim::{
+    FaultConfig, FaultKind, ObservedPolicy, QueuePolicy, RecoveryStats, SimConfig, Simulator,
+};
 use bursty_workload::{PmSpec, VmSpec};
 
 fn vm(id: usize, r_b: f64, r_e: f64) -> VmSpec {
@@ -55,6 +62,72 @@ fn rb_with_migrations_matches_pre_fault_engine_bit_for_bit() {
     assert!(out.fault_events.is_empty());
     assert!(out.evacuations.is_empty());
     assert_eq!(out.recovery, RecoveryStats::default());
+}
+
+#[test]
+fn rb_with_faults_matches_pre_soa_engine_bit_for_bit() {
+    let vms: Vec<VmSpec> = (0..64).map(|i| vm(i, 10.0, 10.0)).collect();
+    let pms = farm(200, 100.0);
+    let placement = first_fit(&vms, &pms, &BaseStrategy).unwrap();
+    let policy = ObservedPolicy::rb();
+    let cfg = SimConfig {
+        steps: 400,
+        seed: 7,
+        faults: Some(FaultConfig {
+            mtbf_steps: 150.0,
+            mttr_steps: 25.0,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let out = Simulator::new(&vms, &pms, &policy, cfg).run(&placement);
+
+    assert_eq!(out.total_migrations(), 76);
+    assert_eq!(out.failed_migrations, 0);
+    assert_eq!(out.retried_migrations, 0);
+    assert_eq!(out.final_pms_used, 8);
+    assert_eq!(out.peak_pms_used, 9);
+    assert_eq!(out.total_violation_steps, 128);
+    assert_eq!(out.energy_joules.to_bits(), 4716916140268322816);
+    assert_eq!(out.vm_violation_steps.iter().sum::<usize>(), 1182);
+
+    // Fault stream: crash/recovery counts and the exact first event.
+    assert_eq!(out.recovery.crashes, 486);
+    assert_eq!(out.recovery.recoveries, 460);
+    assert_eq!(out.fault_events.len(), 946);
+    assert_eq!(out.evacuations.len(), 137);
+    assert_eq!(out.recovery.stranded_vm_steps, 0);
+    assert_eq!(out.recovery.degraded_admissions, 0);
+    assert_eq!(out.recovery.degraded_violation_steps, 0);
+    assert_eq!(out.recovery.unrestored_crashes, 0);
+    assert_eq!(out.recovery.time_to_restore, vec![0; 17]);
+
+    let first = out.migrations.first().unwrap();
+    assert_eq!(
+        (first.step, first.vm_id, first.from_pm, first.to_pm),
+        (5, 26, 2, 6)
+    );
+    let last = out.migrations.last().unwrap();
+    assert_eq!(
+        (last.step, last.vm_id, last.from_pm, last.to_pm),
+        (396, 54, 3, 2)
+    );
+    let evac = out.evacuations.first().unwrap();
+    assert_eq!(
+        (
+            evac.step,
+            evac.vm_id,
+            evac.from_pm,
+            evac.to_pm,
+            evac.degraded
+        ),
+        (47, 13, 5, Some(7), false)
+    );
+    let fault = out.fault_events.first().unwrap();
+    assert_eq!(
+        (fault.step, fault.pm, fault.kind),
+        (0, 193, FaultKind::Crash)
+    );
 }
 
 #[test]
