@@ -1,0 +1,215 @@
+//! Packing-throughput benchmark with machine-readable output.
+//!
+//! Times the class-collapsed batch packer (`first_fit_batch_with`, arena
+//! reused across runs) against the per-VM indexed `first_fit` on a
+//! duplicate-heavy fleet (the small-instance segment of Table I),
+//! verifying byte-identical placements at every size, then writes the
+//! results as JSON — the `BENCH_packing.json` artifact CI uploads for
+//! trending.
+//!
+//! ```text
+//! packing-bench [--sizes N1,N2,...] [--repeats R] [--out PATH]
+//! ```
+//!
+//! Defaults: sizes 10000,100000,1000000, 3 repeats (best kept), output
+//! to `BENCH_packing.json`. Every timing is the minimum over the
+//! repeats — throughput questions want the least-interfered run, not
+//! the mean. An all-distinct control row shows what the batch path
+//! costs when class collapsing cannot help.
+//!
+//! The process exits nonzero (assert) if any size produces divergent
+//! placements, or if a size at n >= 1e6 falls below the 10x acceptance
+//! bar — so CI can gate on the exit code alone.
+
+use bursty_core::placement::{first_fit, first_fit_batch_with, PlacementState, QueueStrategy};
+use bursty_core::prelude::*;
+use bursty_core::workload::SizeClass;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct SizeRow {
+    n: usize,
+    m_pms: usize,
+    distinct_classes: usize,
+    pms_used: usize,
+    identical: bool,
+    per_vm_secs: f64,
+    batch_secs: f64,
+    speedup: f64,
+}
+
+fn parse_args() -> (Vec<usize>, usize, String) {
+    let mut sizes = vec![10_000usize, 100_000, 1_000_000];
+    let mut repeats = 3usize;
+    let mut out = "BENCH_packing.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("missing value for {}", args[i]);
+            std::process::exit(2);
+        });
+        match args[i].as_str() {
+            "--sizes" => {
+                sizes = value
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sizes"))
+                    .collect()
+            }
+            "--repeats" => repeats = value.parse().expect("--repeats"),
+            "--out" => out = value.clone(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    (sizes, repeats.max(1), out)
+}
+
+fn best_secs<R>(repeats: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let (sizes, repeats, out_path) = parse_args();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    eprintln!("packing-bench: sizes {sizes:?}, {repeats} repeats, {cores} cores");
+
+    // Build (and thereby cache) the mapping table before any timing so
+    // both sides measure pure packing.
+    let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+    let mut arena = PlacementState::new();
+
+    let mut rows: Vec<SizeRow> = Vec::new();
+    for &n in &sizes {
+        // Duplicate-heavy fleet: the small-instance segment of Table I —
+        // a 50/50 mix of the two `R_b = small` rows (small/small and
+        // small/medium). Two discrete classes at any n, ~11 VMs per PM,
+        // the consolidation-dense workload the batch path is built for.
+        let mut gen = FleetGenerator::new(n as u64);
+        let vms: Vec<_> = (0..n)
+            .map(|id| {
+                if id % 2 == 0 {
+                    gen.vm_of_classes(id, SizeClass::Small, SizeClass::Small)
+                } else {
+                    gen.vm_of_classes(id, SizeClass::Small, SizeClass::Medium)
+                }
+            })
+            .collect();
+        let pms = gen.pms(n);
+        let distinct = bursty_core::workload::distinct_classes(&vms);
+
+        let per_vm_secs = best_secs(repeats, || first_fit(&vms, &pms, &strategy));
+        let batch_secs = best_secs(repeats, || {
+            first_fit_batch_with(&mut arena, &vms, &pms, &strategy)
+        });
+
+        let reference = first_fit(&vms, &pms, &strategy);
+        let batched = first_fit_batch_with(&mut arena, &vms, &pms, &strategy);
+        let identical = reference == batched;
+        let pms_used = reference.as_ref().map(|p| p.pms_used()).unwrap_or(0);
+        let speedup = per_vm_secs / batch_secs;
+        eprintln!(
+            "  n={n} ({distinct} classes): per-VM {per_vm_secs:.4}s vs batch {batch_secs:.4}s \
+             ({speedup:.1}x), identical={identical}"
+        );
+        rows.push(SizeRow {
+            n,
+            m_pms: pms.len(),
+            distinct_classes: distinct,
+            pms_used,
+            identical,
+            per_vm_secs,
+            batch_secs,
+            speedup,
+        });
+    }
+
+    // All-distinct control: continuous demand draws give every VM its own
+    // class, so the batch path degenerates to per-VM admission and only
+    // its run-detection overhead shows.
+    let control_n = sizes.iter().copied().min().unwrap_or(10_000);
+    let mut gen = FleetGenerator::new(control_n as u64);
+    let distinct_vms = gen.vms(control_n, WorkloadPattern::EqualSpike);
+    let distinct_pms = gen.pms(control_n);
+    let control_per_vm = best_secs(repeats, || {
+        first_fit(&distinct_vms, &distinct_pms, &strategy)
+    });
+    let control_batch = best_secs(repeats, || {
+        first_fit_batch_with(&mut arena, &distinct_vms, &distinct_pms, &strategy)
+    });
+    let control_identical = first_fit(&distinct_vms, &distinct_pms, &strategy)
+        == first_fit_batch_with(&mut arena, &distinct_vms, &distinct_pms, &strategy);
+    let control_overhead = control_batch / control_per_vm;
+    eprintln!(
+        "  all-distinct n={control_n}: per-VM {control_per_vm:.4}s vs batch {control_batch:.4}s \
+         ({control_overhead:.2}x overhead), identical={control_identical}"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"generated_by\": \"packing-bench\",");
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"repeats\": {repeats}, \"strategy\": \"QUEUE\", \
+         \"fleet\": \"table-i r_b-small rows (small/small + small/medium, 50/50)\", \
+         \"d\": 16, \"p_on\": 0.01, \"p_off\": 0.09, \"rho\": 0.01}},"
+    );
+    json.push_str("  \"sizes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"m_pms\": {}, \"distinct_classes\": {}, \"pms_used\": {}, \
+             \"identical_placements\": {}, \"per_vm_secs\": {:.6}, \"batch_secs\": {:.6}, \
+             \"speedup\": {:.2}}}",
+            r.n,
+            r.m_pms,
+            r.distinct_classes,
+            r.pms_used,
+            r.identical,
+            r.per_vm_secs,
+            r.batch_secs,
+            r.speedup
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"all_distinct_control\": {{\"n\": {control_n}, \"per_vm_secs\": {control_per_vm:.6}, \
+         \"batch_secs\": {control_batch:.6}, \"overhead\": {control_overhead:.2}, \
+         \"identical_placements\": {control_identical}}}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_packing.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    for r in &rows {
+        assert!(
+            r.identical,
+            "batch placements diverged from per-VM at n={}",
+            r.n
+        );
+        assert!(
+            r.n < 1_000_000 || r.speedup >= 10.0,
+            "batch speedup {:.2}x at n={} below the 10x acceptance bar",
+            r.speedup,
+            r.n
+        );
+    }
+    assert!(
+        control_identical,
+        "batch placements diverged from per-VM on the all-distinct control"
+    );
+}

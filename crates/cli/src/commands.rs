@@ -176,6 +176,85 @@ pub fn plan(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `bursty consolidate --vms N [--pms M] [--pattern equal|small|large]
+/// [--scheme queue|rp|rb|rbex] [--seed S] [--p-on P] [--p-off P] [--rho R]
+/// [--batch | --no-batch]`
+///
+/// Generates a seeded synthetic fleet and packs it. `--batch` forces the
+/// class-collapsed batch path, `--no-batch` forces the per-VM path; the
+/// default lets the consolidator pick based on how duplicate-heavy the
+/// fleet is. Both paths produce byte-identical placements — the flags
+/// only trade packing speed.
+pub fn consolidate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse_with_switches(args, &["batch", "no-batch"])?;
+    if args.has("batch") && args.has("no-batch") {
+        return Err(err("--batch and --no-batch are mutually exclusive"));
+    }
+    let n = args.require_usize("vms")?;
+    if n == 0 {
+        return Err(err("--vms must be at least 1"));
+    }
+    let pattern = match args.get_str("pattern") {
+        None | Some("equal") => WorkloadPattern::EqualSpike,
+        Some("small") => WorkloadPattern::SmallSpike,
+        Some("large") => WorkloadPattern::LargeSpike,
+        Some(other) => {
+            return Err(err(format!(
+                "unknown --pattern '{other}' (expected 'equal', 'small' or 'large')"
+            )))
+        }
+    };
+    let scheme = match args.get_str("scheme") {
+        None | Some("queue") => Scheme::Queue,
+        Some("rp") => Scheme::Rp,
+        Some("rb") => Scheme::Rb,
+        Some("rbex") => Scheme::RbEx(0.3),
+        Some(other) => {
+            return Err(err(format!(
+                "unknown --scheme '{other}' (expected 'queue', 'rp', 'rb' or 'rbex')"
+            )))
+        }
+    };
+    let seed = args.get_usize("seed")?.unwrap_or(42) as u64;
+    let (p_on, p_off, rho) = probabilities(&args)?;
+    let batch = if args.has("batch") {
+        BatchMode::Always
+    } else if args.has("no-batch") {
+        BatchMode::Never
+    } else {
+        BatchMode::Auto
+    };
+
+    let mut gen = FleetGenerator::new(seed);
+    let vms = gen.vms_table_i(n, pattern);
+    let n_pms = args.get_usize("pms")?.unwrap_or(n);
+    let pms = gen.pms(n_pms);
+    let consolidator = Consolidator::new(scheme)
+        .with_probabilities(p_on, p_off)
+        .with_rho(rho)
+        .with_batch(batch);
+    let classes = bursty_core::workload::distinct_classes(&vms);
+    let path = if consolidator.uses_batch(&vms) {
+        "class-collapsed batch"
+    } else {
+        "per-VM"
+    };
+    let start = std::time::Instant::now();
+    let placement = consolidator
+        .place(&vms, &pms)
+        .map_err(|e| err(format!("packing failed: {e} — add PMs or capacity")))?;
+    let elapsed = start.elapsed();
+    writeln!(
+        out,
+        "{n} VMs ({classes} classes) packed onto {} of {n_pms} PMs by {} \
+         via the {path} path in {:.1} ms",
+        placement.pms_used(),
+        scheme.label(),
+        elapsed.as_secs_f64() * 1e3,
+    )?;
+    Ok(())
+}
+
 /// `bursty simulate --traces DIR --capacity C [--pms N] [--steps S]
 /// [--rho R] [--availability PCT] [--mtbf S [--mttr S] [--fault-group G]
 /// [--fault-seed N]]`
@@ -379,5 +458,33 @@ mod tests {
     fn fit_requires_one_positional() {
         assert!(run_cmd(fit, &[]).is_err());
         assert!(run_cmd(fit, &["a", "b"]).is_err());
+    }
+
+    #[test]
+    fn consolidate_batch_paths_agree() {
+        let forced = run_cmd(consolidate, &["--vms", "300", "--batch"]).unwrap();
+        let per_vm = run_cmd(consolidate, &["--vms", "300", "--no-batch"]).unwrap();
+        assert!(forced.contains("class-collapsed batch"), "{forced}");
+        assert!(per_vm.contains("per-VM"), "{per_vm}");
+        // Same "packed onto X of Y PMs" regardless of path.
+        let used = |s: &str| {
+            s.split("packed onto")
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(used(&forced), used(&per_vm));
+    }
+
+    #[test]
+    fn consolidate_rejects_bad_args() {
+        assert!(run_cmd(consolidate, &[]).is_err());
+        assert!(run_cmd(consolidate, &["--vms", "0"]).is_err());
+        assert!(run_cmd(consolidate, &["--vms", "10", "--batch", "--no-batch"]).is_err());
+        assert!(run_cmd(consolidate, &["--vms", "10", "--pattern", "wavy"]).is_err());
+        assert!(run_cmd(consolidate, &["--vms", "10", "--scheme", "magic"]).is_err());
     }
 }

@@ -9,6 +9,7 @@
 //! bursty table   --d 16 [--p-on ..] [--p-off ..] [--rho ..]
 //! bursty fit     <trace.csv>
 //! bursty plan    --traces <dir> --capacity <C> [--pms N] [--rho ..] [--out plan.csv]
+//! bursty consolidate --vms <N> [--batch | --no-batch]
 //! ```
 
 pub mod commands;
@@ -54,6 +55,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "table" => commands::table(rest, out),
         "fit" => commands::fit(rest, out),
         "plan" => commands::plan(rest, out),
+        "consolidate" => commands::consolidate(rest, out),
         "simulate" => commands::simulate(rest, out),
         "--help" | "-h" | "help" => {
             writeln!(out, "{USAGE}")?;
@@ -77,6 +79,13 @@ USAGE:
   bursty plan --traces <dir> --capacity <C> [--pms N] [--rho R] [--out plan.csv]
       fit every *.csv in <dir>, round probabilities conservatively,
       consolidate with QueuingFFD, optionally write the VM→PM plan
+  bursty consolidate --vms <N> [--pms M] [--pattern equal|small|large]
+                  [--scheme queue|rp|rb|rbex] [--seed S] [--p-on P] [--p-off P]
+                  [--rho R] [--batch | --no-batch]
+      pack a seeded synthetic fleet and report PMs used and packing time;
+      --batch forces the class-collapsed batch path, --no-batch the
+      per-VM path (identical placements, different speed), default picks
+      automatically from the fleet's duplicate ratio
   bursty simulate --traces <dir> --capacity <C> [--steps S] [--rho R | --availability PCT]
                   [--mtbf S [--mttr S] [--fault-group G] [--fault-seed N]]
                   [--rng-layout shared|per-vm [--threads T]]

@@ -3,10 +3,12 @@
 use crate::{err, CliError};
 use std::collections::HashMap;
 
-/// Parsed arguments: named `--flag value` options plus positional args.
+/// Parsed arguments: named `--flag value` options, boolean `--flag`
+/// switches, plus positional args.
 #[derive(Debug, Default, Clone)]
 pub struct Args {
     options: HashMap<String, String>,
+    switches: Vec<String>,
     positional: Vec<String>,
 }
 
@@ -17,10 +19,26 @@ impl Args {
     /// # Errors
     /// [`CliError`] for a dangling flag or a duplicated one.
     pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        Self::parse_with_switches(args, &[])
+    }
+
+    /// Like [`Args::parse`], except flags named in `switches` take no
+    /// value — their presence is queried with [`Args::has`].
+    ///
+    /// # Errors
+    /// [`CliError`] for a dangling value flag or any duplicated flag.
+    pub fn parse_with_switches(args: &[String], switches: &[&str]) -> Result<Self, CliError> {
         let mut out = Args::default();
         let mut it = args.iter();
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
+                if switches.contains(&name) {
+                    if out.switches.iter().any(|s| s == name) {
+                        return Err(err(format!("flag --{name} given twice")));
+                    }
+                    out.switches.push(name.to_string());
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| err(format!("flag --{name} needs a value")))?;
@@ -36,6 +54,11 @@ impl Args {
             }
         }
         Ok(out)
+    }
+
+    /// Whether the boolean switch `--name` was passed.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
     }
 
     /// A required numeric option.
@@ -136,6 +159,31 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("expects a number"));
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let v: Vec<String> = ["--batch", "--vms", "100", "trace.csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = Args::parse_with_switches(&v, &["batch", "no-batch"]).unwrap();
+        assert!(a.has("batch"));
+        assert!(!a.has("no-batch"));
+        assert_eq!(a.require_usize("vms").unwrap(), 100);
+        assert_eq!(a.positional(), &["trace.csv".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_switch_is_error() {
+        let v: Vec<String> = ["--batch", "--batch"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(Args::parse_with_switches(&v, &["batch"])
+            .unwrap_err()
+            .to_string()
+            .contains("twice"));
     }
 
     #[test]

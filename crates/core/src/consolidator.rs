@@ -1,8 +1,8 @@
 //! The high-level consolidation API: pick a scheme, place, simulate.
 
 use bursty_placement::{
-    first_fit, BaseStrategy, PackError, PeakStrategy, Placement, QueueStrategy, ReserveStrategy,
-    Strategy,
+    first_fit, first_fit_batch, BaseStrategy, PackError, PeakStrategy, Placement, QueueStrategy,
+    ReserveStrategy, Strategy,
 };
 use bursty_sim::{
     DegradedAdmission, ObservedPolicy, PeakPolicy, QueuePolicy, RuntimePolicy, SimConfig,
@@ -37,6 +37,24 @@ impl Scheme {
     }
 }
 
+/// How [`Consolidator::place`] chooses between the per-VM packer and the
+/// class-collapsed batch packer ([`bursty_placement::first_fit_batch`]).
+/// Both produce byte-identical placements; the choice is purely about
+/// speed, so the default [`BatchMode::Auto`] is safe everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Batch when the fleet collapses well (at least two VMs per distinct
+    /// class on average); per-VM otherwise. The collapse census is one
+    /// `O(n)` hashing pass — noise next to the `O(n log n)` ordering.
+    #[default]
+    Auto,
+    /// Always take the batch path (e.g. when the caller knows the fleet is
+    /// duplicate-heavy and wants to skip the census).
+    Always,
+    /// Always take the per-VM path (reference behavior).
+    Never,
+}
+
 /// Configuration + scheme bundle with the paper's defaults
 /// (`ρ = 0.01`, `d = 16`, `p_on = 0.01`, `p_off = 0.09`).
 ///
@@ -54,6 +72,8 @@ pub struct Consolidator {
     pub p_on: f64,
     /// Uniform ON→OFF probability.
     pub p_off: f64,
+    /// Packing-path selection (results are identical either way).
+    pub batch: BatchMode,
 }
 
 impl Consolidator {
@@ -65,7 +85,14 @@ impl Consolidator {
             d: defaults::MAX_VMS_PER_PM,
             p_on: defaults::P_ON,
             p_off: defaults::P_OFF,
+            batch: BatchMode::default(),
         }
+    }
+
+    /// Overrides the packing-path selection (see [`BatchMode`]).
+    pub fn with_batch(mut self, batch: BatchMode) -> Self {
+        self.batch = batch;
+        self
     }
 
     /// Overrides the CVR bound.
@@ -145,13 +172,30 @@ impl Consolidator {
         Box::new(DegradedAdmission::new(self.policy(), epsilon))
     }
 
+    /// Whether [`Consolidator::place`] would take the batch path for this
+    /// fleet under the current [`BatchMode`].
+    pub fn uses_batch(&self, vms: &[VmSpec]) -> bool {
+        match self.batch {
+            BatchMode::Always => true,
+            BatchMode::Never => false,
+            BatchMode::Auto => 2 * bursty_workload::distinct_classes(vms) <= vms.len(),
+        }
+    }
+
     /// Consolidates `vms` onto `pms` (paper Algorithm 2 for
-    /// [`Scheme::Queue`], plain FFD otherwise).
+    /// [`Scheme::Queue`], plain FFD otherwise) — through the
+    /// class-collapsed batch packer when the fleet collapses (see
+    /// [`BatchMode`]); the result is byte-identical either way.
     ///
     /// # Errors
     /// [`PackError`] if some VM fits nowhere.
     pub fn place(&self, vms: &[VmSpec], pms: &[PmSpec]) -> Result<Placement, PackError> {
-        first_fit(vms, pms, self.strategy().as_ref())
+        let strategy = self.strategy();
+        if self.uses_batch(vms) {
+            first_fit_batch(vms, pms, strategy.as_ref())
+        } else {
+            first_fit(vms, pms, strategy.as_ref())
+        }
     }
 
     /// Simulates a placed cluster under this scheme's runtime policy.
@@ -234,6 +278,36 @@ mod tests {
             .evaluate(&vms, &pms, cfg)
             .unwrap();
         assert!(out.mean_cvr() <= 0.02, "mean CVR {}", out.mean_cvr());
+    }
+
+    #[test]
+    fn batch_modes_agree_on_placements() {
+        let mut g = FleetGenerator::new(9);
+        // Duplicate-heavy Table-I fleet: Auto must pick the batch path.
+        let vms = g.vms_table_i(300, WorkloadPattern::EqualSpike);
+        let pms = g.pms(250);
+        for scheme in [Scheme::Queue, Scheme::Rp, Scheme::Rb, Scheme::RbEx(0.3)] {
+            let c = Consolidator::new(scheme);
+            assert!(
+                c.uses_batch(&vms),
+                "{}: Table-I fleet collapses",
+                c.scheme.label()
+            );
+            let auto = c.place(&vms, &pms).unwrap();
+            let never = c.with_batch(BatchMode::Never).place(&vms, &pms).unwrap();
+            let always = c.with_batch(BatchMode::Always).place(&vms, &pms).unwrap();
+            assert_eq!(auto, never, "{}", scheme.label());
+            assert_eq!(auto, always, "{}", scheme.label());
+        }
+    }
+
+    #[test]
+    fn auto_mode_prefers_per_vm_on_distinct_fleets() {
+        let (vms, _) = fleet(100, 4);
+        let c = Consolidator::new(Scheme::Queue);
+        assert!(!c.uses_batch(&vms), "uniform draws are all-distinct");
+        assert!(c.with_batch(BatchMode::Always).uses_batch(&vms));
+        assert!(!c.with_batch(BatchMode::Never).uses_batch(&vms));
     }
 
     #[test]

@@ -54,19 +54,19 @@ pub use bursty_workload as workload;
 
 pub mod consolidator;
 
-pub use consolidator::{Consolidator, Scheme};
+pub use consolidator::{BatchMode, Consolidator, Scheme};
 
 /// The convenient single-import surface.
 pub mod prelude {
-    pub use crate::consolidator::{Consolidator, Scheme};
+    pub use crate::consolidator::{BatchMode, Consolidator, Scheme};
     pub use bursty_markov::{
         block_system_metrics, AggregateChain, BlockSystemMetrics, OnOffChain, TransientAnalysis,
         VmState,
     };
     pub use bursty_metrics::{Summary, Table, TimeSeries};
     pub use bursty_placement::{
-        first_fit, BaseStrategy, MappingTable, PeakStrategy, Placement, PmLoad, QueueStrategy,
-        ReserveStrategy, Strategy,
+        first_fit, first_fit_batch, BaseStrategy, MappingTable, PeakStrategy, Placement,
+        PlacementState, PmLoad, QueueStrategy, ReserveStrategy, Strategy,
     };
     pub use bursty_sim::{
         detect_stabilization, replicate, run_churn, ChurnConfig, ChurnOutcome, ConfigError,

@@ -1,12 +1,12 @@
 //! Churn scenario (extension): the §IV-E online situation under sustained
 //! arrivals/departures with live migration running.
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::Table;
 use bursty_core::prelude::*;
 
-pub fn run(ctx: &Ctx) {
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "Churn scenario (extension)",
         "Empty cluster; Poisson(1) arrivals per period, geometric VM\n\
@@ -83,5 +83,5 @@ pub fn run(ctx: &Ctx) {
          the population churns; the observed-demand policies admit greedily\n\
          and pay in violations and migration traffic."
     );
-    ctx.write_csv("churn_scenario", &csv);
+    ctx.write_csv("churn_scenario", &csv)
 }

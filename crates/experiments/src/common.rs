@@ -1,8 +1,63 @@
 //! Shared experiment plumbing.
 
 use bursty_core::metrics::csv::CsvWriter;
+use std::fmt;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+/// An experiment-output I/O failure, carrying the offending path — what
+/// `main` prints before exiting nonzero (a bare `io::Error` without the
+/// path is undiagnosable when the CSV directory is user-supplied).
+#[derive(Debug)]
+pub struct CtxError {
+    /// What was being attempted ("create directory", "write file").
+    pub op: &'static str,
+    /// The path the operation failed on.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl fmt::Display for CtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot {} {}: {}",
+            self.op,
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for CtxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Writes `contents` to `path`, creating parent directories, with the
+/// path-carrying error the experiment harness reports.
+///
+/// # Errors
+/// [`CtxError`] naming the path that failed.
+pub fn write_file(path: impl AsRef<Path>, contents: &str) -> Result<(), CtxError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|source| CtxError {
+                op: "create directory",
+                path: parent.to_path_buf(),
+                source,
+            })?;
+        }
+    }
+    fs::write(path, contents).map_err(|source| CtxError {
+        op: "write file",
+        path: path.to_path_buf(),
+        source,
+    })
+}
 
 /// Experiment context: where (if anywhere) to drop CSV files.
 pub struct Ctx {
@@ -11,21 +66,36 @@ pub struct Ctx {
 
 impl Ctx {
     /// Creates a context; `csv_dir = None` disables CSV export.
-    pub fn new(csv_dir: Option<String>) -> Self {
+    ///
+    /// # Errors
+    /// [`CtxError`] when the CSV directory cannot be created.
+    pub fn new(csv_dir: Option<String>) -> Result<Self, CtxError> {
         let csv_dir = csv_dir.map(PathBuf::from);
         if let Some(dir) = &csv_dir {
-            fs::create_dir_all(dir).expect("create csv dir");
+            fs::create_dir_all(dir).map_err(|source| CtxError {
+                op: "create directory",
+                path: dir.clone(),
+                source,
+            })?;
         }
-        Self { csv_dir }
+        Ok(Self { csv_dir })
     }
 
     /// Writes `csv` under `<csv_dir>/<name>.csv` when export is enabled.
-    pub fn write_csv(&self, name: &str, csv: &CsvWriter) {
+    ///
+    /// # Errors
+    /// [`CtxError`] naming the file that could not be written.
+    pub fn write_csv(&self, name: &str, csv: &CsvWriter) -> Result<(), CtxError> {
         if let Some(dir) = &self.csv_dir {
             let path = dir.join(format!("{name}.csv"));
-            fs::write(&path, csv.as_str()).expect("write csv");
+            fs::write(&path, csv.as_str()).map_err(|source| CtxError {
+                op: "write file",
+                path: path.clone(),
+                source,
+            })?;
             println!("  [csv] wrote {}", path.display());
         }
+        Ok(())
     }
 }
 
@@ -34,4 +104,38 @@ pub fn banner(title: &str, detail: &str) {
     println!("=== {title} ===");
     println!("{detail}");
     println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_error_names_the_path() {
+        // A file where a directory is needed forces the create to fail.
+        let dir = std::env::temp_dir().join(format!("bursty-ctx-{}", std::process::id()));
+        fs::write(&dir, "occupied").unwrap();
+        let err = Ctx::new(Some(dir.to_string_lossy().into_owned()))
+            .err()
+            .expect("creating a dir over a file must fail");
+        assert!(err.to_string().contains(&*dir.to_string_lossy()));
+        assert_eq!(err.op, "create directory");
+        fs::remove_file(&dir).unwrap();
+    }
+
+    #[test]
+    fn disabled_export_writes_nothing() {
+        let ctx = Ctx::new(None).unwrap();
+        let csv = CsvWriter::new();
+        ctx.write_csv("nope", &csv).unwrap();
+    }
+
+    #[test]
+    fn write_file_creates_parents() {
+        let base = std::env::temp_dir().join(format!("bursty-wf-{}", std::process::id()));
+        let nested = base.join("a/b/out.txt");
+        write_file(&nested, "hello").unwrap();
+        assert_eq!(fs::read_to_string(&nested).unwrap(), "hello");
+        fs::remove_dir_all(&base).unwrap();
+    }
 }

@@ -2,7 +2,7 @@
 //! periodic conservative re-consolidation recovers PMs at a measured
 //! migration cost.
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::Table;
 use bursty_core::placement::defrag::{apply_plan, plan_defrag};
@@ -12,7 +12,7 @@ use bursty_core::sim::migration_cost::{total_cost, MigrationParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-pub fn run(ctx: &Ctx) {
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "Defragmentation (extension)",
         "Fill an online cluster, churn 50% of VMs out at random, then plan\n\
@@ -103,5 +103,5 @@ pub fn run(ctx: &Ctx) {
          drain-only discipline keeps every surviving PM inside Eq. 17, so\n\
          the rho guarantee is never traded for the energy win."
     );
-    ctx.write_csv("defrag_plan", &csv);
+    ctx.write_csv("defrag_plan", &csv)
 }

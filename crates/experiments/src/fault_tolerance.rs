@@ -11,12 +11,12 @@
 //! time-to-restore and stranded VM-steps, and splits SLA violations into
 //! burstiness-caused vs degraded-mode (failure-caused).
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::Table;
 use bursty_core::prelude::*;
 
-pub fn run(ctx: &Ctx) {
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "Fault tolerance (extension)",
         "96 heterogeneous VMs, 2000 periods, migration on. Each scheme runs\n\
@@ -134,5 +134,5 @@ pub fn run(ctx: &Ctx) {
          with an order of magnitude fewer degraded violations at a\n\
          footprint far below RP's."
     );
-    ctx.write_csv("fault_tolerance", &csv);
+    ctx.write_csv("fault_tolerance", &csv)
 }

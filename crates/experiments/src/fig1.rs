@@ -1,7 +1,7 @@
 //! Fig. 1: a sample workload trace with burstiness, annotated with the two
 //! provisioning levels (peak and normal).
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::plot::ascii_series;
 use bursty_core::prelude::*;
@@ -9,7 +9,7 @@ use bursty_core::workload::DemandTrace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-pub fn run(ctx: &Ctx) {
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "Figure 1 — sample bursty workload trace",
         "One VM, p_on = 0.01, p_off = 0.09, R_b = 10, R_e = 10, 600 steps.\n\
@@ -33,5 +33,5 @@ pub fn run(ctx: &Ctx) {
     for (t, d) in demands.iter().enumerate() {
         csv.record_display(&[t as f64, *d, vm.r_p(), vm.r_b]);
     }
-    ctx.write_csv("fig1_trace", &csv);
+    ctx.write_csv("fig1_trace", &csv)
 }

@@ -1,7 +1,7 @@
 //! Fig. 10: time-order pattern of migration events — cumulative migration
 //! curves for QUEUE, RB and RB-EX over one R_b = R_e run.
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::plot::ascii_series;
 use bursty_core::metrics::TimeSeries;
@@ -11,7 +11,7 @@ use bursty_core::sim::events::migrations_per_step;
 const N_VMS: usize = 120;
 const SEED: u64 = 99;
 
-pub fn run(ctx: &Ctx) {
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "Figure 10 — time-order pattern of migration events",
         "One R_b = R_e run, 120 VMs, 100 update periods. Cumulative\n\
@@ -57,5 +57,5 @@ pub fn run(ctx: &Ctx) {
             format!("{:.0}", curves[2].1[t]),
         ]);
     }
-    ctx.write_csv("fig10_migration_timeline", &csv);
+    ctx.write_csv("fig10_migration_timeline", &csv)
 }

@@ -1,7 +1,7 @@
 //! Fig. 6: runtime CVR of each placement with local resizing only
 //! (no migration). RP is omitted — it never violates by construction.
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::Table;
 use bursty_core::prelude::*;
@@ -10,7 +10,7 @@ const N_VMS: usize = 200;
 const STEPS: usize = 10_000;
 const REPS: usize = 5;
 
-pub fn run(ctx: &Ctx) {
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "Figure 6 — capacity violation ratio per placement (no migration)",
         "200 VMs, 10000 steps, 5 replications; CVR averaged over used PMs.\n\
@@ -77,5 +77,5 @@ pub fn run(ctx: &Ctx) {
         }
     }
     println!("{}", table.render());
-    ctx.write_csv("fig6_cvr", &csv);
+    ctx.write_csv("fig6_cvr", &csv)
 }

@@ -1,7 +1,7 @@
 //! Fig. 7: computation cost of Algorithm 2 (building the placement matrix)
 //! for various `d` and `n`.
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::Table;
 use bursty_core::placement::{first_fit, MappingTable, QueueStrategy};
@@ -12,7 +12,7 @@ use std::time::Instant;
 const DS: [usize; 5] = [4, 8, 16, 24, 32];
 const NS: [usize; 5] = [200, 400, 800, 1600, 3200];
 
-pub fn run(ctx: &Ctx) {
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "Figure 7 — computation cost of Algorithm 2",
         "Wall-clock time to produce the placement matrix X (mapping table +\n\
@@ -47,5 +47,5 @@ pub fn run(ctx: &Ctx) {
         table.row(&row);
     }
     println!("{}", table.render());
-    ctx.write_csv("fig7_cost", &csv);
+    ctx.write_csv("fig7_cost", &csv)
 }

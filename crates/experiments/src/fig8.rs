@@ -2,7 +2,7 @@
 //! interval from a think-time-driven user population modulated by the
 //! VM's ON-OFF state.
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::markov::OnOffChain;
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::plot::ascii_series;
@@ -10,7 +10,7 @@ use bursty_core::workload::WebServerWorkload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-pub fn run(ctx: &Ctx) {
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "Figure 8 — sample generated web workload",
         "medium VM (800 normal users) with a large spike (to 2400 users);\n\
@@ -55,5 +55,5 @@ pub fn run(ctx: &Ctx) {
             },
         ]);
     }
-    ctx.write_csv("fig8_web_workload", &csv);
+    ctx.write_csv("fig8_web_workload", &csv)
 }

@@ -2,7 +2,7 @@
 //! and PMs used at the end of the evaluation period (energy) for QUEUE,
 //! RB and RB-EX, averaged over 10 runs with min/max whiskers.
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::{Summary, Table};
 use bursty_core::prelude::*;
@@ -14,7 +14,7 @@ fn schemes() -> [Scheme; 3] {
     [Scheme::Queue, Scheme::Rb, Scheme::RbEx(0.3)]
 }
 
-pub fn run(ctx: &Ctx) {
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "Figure 9 — migrations and PMs used with live migration",
         "rho = 0.01, p_on = 0.01, p_off = 0.09, sigma = 30 s, horizon 100\n\
@@ -87,5 +87,5 @@ pub fn run(ctx: &Ctx) {
         }
     }
     println!("{}", table.render());
-    ctx.write_csv("fig9_migration", &csv);
+    ctx.write_csv("fig9_migration", &csv)
 }

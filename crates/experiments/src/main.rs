@@ -59,36 +59,45 @@ fn main() -> ExitCode {
     }
 
     let which = which.unwrap_or_else(|| "all".to_string());
-    let ctx = common::Ctx::new(csv_dir);
-    let run = |name: &str, ctx: &common::Ctx| match name {
-        "fig1" => fig1::run(ctx),
-        "fig5" => fig5::run(ctx),
-        "fig6" => fig6::run(ctx),
-        "fig7" => fig7::run(ctx),
-        "fig8" => fig8::run(ctx),
-        "fig9" => fig9::run(ctx),
-        "fig10" => fig10::run(ctx),
-        "table1" => table1::run(ctx),
-        "sweep" => sweep::run(ctx),
-        "sbp" => sbp::run(ctx),
-        "churn" => churn::run(ctx),
-        "quality" => quality::run(ctx),
-        "defrag" => defrag::run(ctx),
-        "faults" => fault_tolerance::run(ctx),
-        "robustness" => robustness::run(ctx),
-        "report" => report::run(ctx),
-        "victim" => victim::run(ctx),
-        other => {
-            eprintln!(
-                "unknown experiment `{other}`; expected one of \
+    let ctx = match common::Ctx::new(csv_dir) {
+        Ok(ctx) => ctx,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = |name: &str, ctx: &common::Ctx| -> Result<(), common::CtxError> {
+        match name {
+            "fig1" => fig1::run(ctx),
+            "fig5" => fig5::run(ctx),
+            "fig6" => fig6::run(ctx),
+            "fig7" => fig7::run(ctx),
+            "fig8" => fig8::run(ctx),
+            "fig9" => fig9::run(ctx),
+            "fig10" => fig10::run(ctx),
+            "table1" => table1::run(ctx),
+            "sweep" => sweep::run(ctx),
+            "sbp" => sbp::run(ctx),
+            "churn" => churn::run(ctx),
+            "quality" => quality::run(ctx),
+            "defrag" => defrag::run(ctx),
+            "faults" => fault_tolerance::run(ctx),
+            "robustness" => robustness::run(ctx),
+            "report" => report::run(ctx),
+            "victim" => victim::run(ctx),
+            other => {
+                eprintln!(
+                    "unknown experiment `{other}`; expected one of \
                  fig1 fig5 fig6 fig7 fig8 fig9 fig10 table1 \
                  sweep sbp churn quality defrag faults robustness victim report all"
-            );
-            std::process::exit(2);
+                );
+                std::process::exit(2);
+            }
         }
     };
 
-    if which == "all" {
+    let outcome = if which == "all" {
+        let mut result = Ok(());
         for name in [
             "table1",
             "fig1",
@@ -107,11 +116,21 @@ fn main() -> ExitCode {
             "robustness",
             "victim",
         ] {
-            run(name, &ctx);
+            result = run(name, &ctx);
+            if result.is_err() {
+                break;
+            }
             println!();
         }
+        result
     } else {
-        run(&which, &ctx);
+        run(&which, &ctx)
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
     }
-    ExitCode::SUCCESS
 }

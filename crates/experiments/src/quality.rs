@@ -1,13 +1,13 @@
 //! FFD quality (extension): QueuingFFD vs the exact branch-and-bound
 //! optimum on small instances, plus the theory-side block metrics.
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::Table;
 use bursty_core::placement::exact::{ffd_quality_ratio, optimal_packing, ExactResult};
 use bursty_core::prelude::*;
 
-pub fn run(ctx: &Ctx) {
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "Packing quality & block metrics (extension)",
         "Left: QueuingFFD vs branch-and-bound optimum on 20 random 14-VM\n\
@@ -89,5 +89,5 @@ pub fn run(ctx: &Ctx) {
          the ρ guarantee — and the spike-blocking probability tracks the\n\
          CVR's order of magnitude, tying the time view to the loss view."
     );
-    ctx.write_csv("quality_metrics", &csv);
+    ctx.write_csv("quality_metrics", &csv)
 }

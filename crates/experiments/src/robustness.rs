@@ -2,14 +2,14 @@
 //! the MapCal reservation tolerates, and what simulation length certifies
 //! the CVR bound statistically.
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::markov::robustness::{survives_relative_error, tolerance_envelope};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::inference::{certify_bound, samples_to_certify, BoundVerdict};
 use bursty_core::metrics::Table;
 use bursty_core::prelude::*;
 
-pub fn run(ctx: &Ctx) {
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "Robustness & certification (extension)",
         "Left: the (p_on, p_off) envelope within which the planned\n\
@@ -104,5 +104,5 @@ pub fn run(ctx: &Ctx) {
             assert_eq!(verdict, BoundVerdict::Holds, "long run must certify");
         }
     }
-    ctx.write_csv("robustness_envelope", &csv);
+    ctx.write_csv("robustness_envelope", &csv)
 }

@@ -2,7 +2,7 @@
 //! related-work baseline vs QUEUE — same per-instant budget, different
 //! temporal semantics.
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::Table;
 use bursty_core::placement::sbp::pack_sbp;
@@ -11,7 +11,7 @@ use bursty_core::prelude::*;
 const N_VMS: usize = 150;
 const STEPS: usize = 8_000;
 
-pub fn run(ctx: &Ctx) {
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "SBP vs QUEUE (extension — related-work baseline)",
         "Normal-approximation stochastic bin packing at the same rho:\n\
@@ -83,7 +83,7 @@ pub fn run(ctx: &Ctx) {
          has no burst-persistence term), and its violation episodes run\n\
          ~40% longer. The chain model prices the time dimension SBP omits."
     );
-    ctx.write_csv("sbp_compare", &csv);
+    ctx.write_csv("sbp_compare", &csv)
 }
 
 /// Re-simulates the placement and measures the mean length of maximal

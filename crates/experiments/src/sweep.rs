@@ -1,15 +1,39 @@
 //! Sensitivity sweep (beyond the paper): how the QUEUE packing and its
 //! runtime CVR respond to the SLA budget `ρ`, the co-location cap `d`,
 //! and the burstiness parameters.
+//!
+//! Every sweep point is an independent place-and-simulate, so the grid
+//! fans out through [`bursty_core::sim::run_indexed`] and folds back in
+//! ascending point order — the table is byte-identical to a sequential
+//! run.
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::Table;
 use bursty_core::prelude::*;
+use bursty_core::sim::run_indexed;
 
 const N_VMS: usize = 150;
 
-pub fn run(ctx: &Ctx) {
+/// One point of the sensitivity grid.
+#[derive(Clone, Copy)]
+enum Point {
+    Rho(f64),
+    D(usize),
+    Burst { p_on: f64, p_off: f64 },
+}
+
+/// One evaluated row, in presentation-ready pieces.
+struct Row {
+    knob: &'static str,
+    csv_knob: &'static str,
+    value: String,
+    pms_used: usize,
+    improvement: f64,
+    mean_cvr: f64,
+}
+
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "Sensitivity sweep — rho, d and burstiness (extension)",
         "150 VMs, Rb = Re pattern; PMs used by QUEUE and mean simulated\n\
@@ -20,91 +44,30 @@ pub fn run(ctx: &Ctx) {
     let mut csv = CsvWriter::new();
     csv.record(&["knob", "value", "pms_used", "improvement_vs_rp", "mean_cvr"]);
 
-    let mut gen = FleetGenerator::new(314);
-    let vms = gen.vms(N_VMS, WorkloadPattern::EqualSpike);
-    let pms = gen.pms(N_VMS);
-    let rp_pms = Consolidator::new(Scheme::Rp)
-        .place(&vms, &pms)
-        .unwrap()
-        .pms_used();
-
-    let mut record = |knob: &str, value: String, consolidator: Consolidator| {
-        let cfg = SimConfig {
-            steps: 5_000,
-            seed: 11,
-            migrations_enabled: false,
-            ..Default::default()
-        };
-        let (placement, out) = consolidator.evaluate(&vms, &pms, cfg).unwrap();
-        let improvement = 1.0 - placement.pms_used() as f64 / rp_pms as f64;
-        table.row(&[
-            knob.into(),
-            value.clone(),
-            placement.pms_used().to_string(),
-            format!("{:.0}%", improvement * 100.0),
-            format!("{:.4}", out.mean_cvr()),
-        ]);
-        csv.record_display(&[
-            knob.to_string(),
-            value,
-            placement.pms_used().to_string(),
-            format!("{improvement:.4}"),
-            format!("{:.6}", out.mean_cvr()),
-        ]);
-    };
-
-    for rho in [0.001, 0.005, 0.01, 0.05, 0.1] {
-        record(
-            "rho",
-            format!("{rho}"),
-            Consolidator::new(Scheme::Queue).with_rho(rho),
-        );
-    }
-    for d in [4usize, 8, 16, 24, 32] {
-        record(
-            "d",
-            d.to_string(),
-            Consolidator::new(Scheme::Queue).with_d(d),
-        );
-    }
+    let mut points: Vec<Point> = Vec::new();
+    points.extend([0.001, 0.005, 0.01, 0.05, 0.1].map(Point::Rho));
+    points.extend([4usize, 8, 16, 24, 32].map(Point::D));
     // Burstiness: hold the ON fraction at 10% but stretch spike duration.
-    for (p_on, p_off) in [(0.02, 0.18), (0.01, 0.09), (0.005, 0.045), (0.002, 0.018)] {
-        // NOTE: the fleet's own chains must match the planner's belief,
-        // so regenerate VMs with these probabilities.
-        let opts = bursty_core::workload::FleetOptions {
-            p_on,
-            p_off,
-            ..Default::default()
-        };
-        let mut g = bursty_core::workload::FleetGenerator::with_options(314, opts);
-        let vms2 = g.vms(N_VMS, WorkloadPattern::EqualSpike);
-        let pms2 = g.pms(N_VMS);
-        let consolidator = Consolidator::new(Scheme::Queue).with_probabilities(p_on, p_off);
-        let cfg = SimConfig {
-            steps: 5_000,
-            seed: 12,
-            migrations_enabled: false,
-            ..Default::default()
-        };
-        let (placement, out) = consolidator.evaluate(&vms2, &pms2, cfg).unwrap();
-        let rp2 = Consolidator::new(Scheme::Rp)
-            .place(&vms2, &pms2)
-            .unwrap()
-            .pms_used();
-        let improvement = 1.0 - placement.pms_used() as f64 / rp2 as f64;
+    points.extend(
+        [(0.02, 0.18), (0.01, 0.09), (0.005, 0.045), (0.002, 0.018)]
+            .map(|(p_on, p_off)| Point::Burst { p_on, p_off }),
+    );
+
+    let rows = run_indexed(points.len(), |idx| evaluate_point(points[idx]));
+    for row in &rows {
         table.row(&[
-            "spike duration (1/p_off)".into(),
-            format!("{:.1}", 1.0 / p_off),
-            placement.pms_used().to_string(),
-            format!("{:.0}%", improvement * 100.0),
-            format!("{:.4}", out.mean_cvr()),
+            row.knob.into(),
+            row.value.clone(),
+            row.pms_used.to_string(),
+            format!("{:.0}%", row.improvement * 100.0),
+            format!("{:.4}", row.mean_cvr),
         ]);
         csv.record_display(&[
-            "mean_spike_len".to_string(),
-            format!("{:.1}", 1.0 / p_off),
-            placement.pms_used().to_string(),
-            format!("{improvement:.4}"),
-            format!("{:.6}", out.mean_cvr()),
+            row.csv_knob.to_string(),
+            row.value.clone(),
+            row.pms_used.to_string(),
+            format!("{:.4}", row.improvement),
+            format!("{:.6}", row.mean_cvr),
         ]);
     }
 
@@ -114,5 +77,85 @@ pub fn run(ctx: &Ctx) {
          column stays below the corresponding rho throughout — the bound\n\
          is honored at every setting, the knobs trade energy for headroom."
     );
-    ctx.write_csv("sweep_sensitivity", &csv);
+    ctx.write_csv("sweep_sensitivity", &csv)
+}
+
+fn evaluate_point(point: Point) -> Row {
+    match point {
+        Point::Rho(rho) => standard_point(
+            "rho",
+            "rho",
+            format!("{rho}"),
+            Consolidator::new(Scheme::Queue).with_rho(rho),
+        ),
+        Point::D(d) => standard_point(
+            "d",
+            "d",
+            d.to_string(),
+            Consolidator::new(Scheme::Queue).with_d(d),
+        ),
+        Point::Burst { p_on, p_off } => {
+            // NOTE: the fleet's own chains must match the planner's belief,
+            // so regenerate VMs with these probabilities.
+            let opts = bursty_core::workload::FleetOptions {
+                p_on,
+                p_off,
+                ..Default::default()
+            };
+            let mut g = bursty_core::workload::FleetGenerator::with_options(314, opts);
+            let vms = g.vms(N_VMS, WorkloadPattern::EqualSpike);
+            let pms = g.pms(N_VMS);
+            let consolidator = Consolidator::new(Scheme::Queue).with_probabilities(p_on, p_off);
+            let cfg = SimConfig {
+                steps: 5_000,
+                seed: 12,
+                migrations_enabled: false,
+                ..Default::default()
+            };
+            let (placement, out) = consolidator.evaluate(&vms, &pms, cfg).unwrap();
+            let rp = Consolidator::new(Scheme::Rp)
+                .place(&vms, &pms)
+                .unwrap()
+                .pms_used();
+            Row {
+                knob: "spike duration (1/p_off)",
+                csv_knob: "mean_spike_len",
+                value: format!("{:.1}", 1.0 / p_off),
+                pms_used: placement.pms_used(),
+                improvement: 1.0 - placement.pms_used() as f64 / rp as f64,
+                mean_cvr: out.mean_cvr(),
+            }
+        }
+    }
+}
+
+/// A sweep point over the shared seed-314 fleet.
+fn standard_point(
+    knob: &'static str,
+    csv_knob: &'static str,
+    value: String,
+    consolidator: Consolidator,
+) -> Row {
+    let mut gen = FleetGenerator::new(314);
+    let vms = gen.vms(N_VMS, WorkloadPattern::EqualSpike);
+    let pms = gen.pms(N_VMS);
+    let rp_pms = Consolidator::new(Scheme::Rp)
+        .place(&vms, &pms)
+        .unwrap()
+        .pms_used();
+    let cfg = SimConfig {
+        steps: 5_000,
+        seed: 11,
+        migrations_enabled: false,
+        ..Default::default()
+    };
+    let (placement, out) = consolidator.evaluate(&vms, &pms, cfg).unwrap();
+    Row {
+        knob,
+        csv_knob,
+        value,
+        pms_used: placement.pms_used(),
+        improvement: 1.0 - placement.pms_used() as f64 / rp_pms as f64,
+        mean_cvr: out.mean_cvr(),
+    }
 }

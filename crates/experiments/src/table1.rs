@@ -1,11 +1,11 @@
 //! Table I: experiment settings on workload patterns.
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::Table;
 use bursty_core::prelude::*;
 
-pub fn run(ctx: &Ctx) {
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "Table I — experiment settings on workload patterns",
         "Size classes: small = 400 users, medium = 800, large = 1600.",
@@ -36,5 +36,5 @@ pub fn run(ctx: &Ctx) {
         ]);
     }
     println!("{}", table.render());
-    ctx.write_csv("table1_settings", &csv);
+    ctx.write_csv("table1_settings", &csv)
 }

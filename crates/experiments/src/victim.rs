@@ -1,7 +1,7 @@
 //! Victim-selection ablation (extension): which VM should an overloaded
 //! PM evict? The paper does not specify; this quantifies the choice.
 
-use crate::common::{banner, Ctx};
+use crate::common::{banner, Ctx, CtxError};
 use bursty_core::metrics::csv::CsvWriter;
 use bursty_core::metrics::{Summary, Table};
 use bursty_core::prelude::*;
@@ -11,7 +11,7 @@ use bursty_core::sim::VictimPolicy;
 const N_VMS: usize = 120;
 const RUNS: usize = 10;
 
-pub fn run(ctx: &Ctx) {
+pub fn run(ctx: &Ctx) -> Result<(), CtxError> {
     banner(
         "Victim-selection ablation (extension)",
         "RB packing (the migration-heavy regime) under three eviction\n\
@@ -97,5 +97,5 @@ pub fn run(ctx: &Ctx) {
          event but usually needs more events. The total migration seconds\n\
          column is the number an operator should actually minimize."
     );
-    ctx.write_csv("victim_ablation", &csv);
+    ctx.write_csv("victim_ablation", &csv)
 }

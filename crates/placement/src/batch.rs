@@ -1,0 +1,1116 @@
+//! Class-collapsed batch First Fit: the million-VM fast path.
+//!
+//! Production fleets are built from a handful of instance types, so the
+//! placement order produced by any of the paper's strategies consists of
+//! long *runs* of bit-identical VMs ([`bursty_workload::class_runs`]). The
+//! per-VM packer ([`crate::pack::first_fit`]) pays an index probe and an
+//! `O(log m)` index update for every VM; [`first_fit_batch`] pays them once
+//! per *(run, PM)* pair instead, computing the largest admissible copy
+//! count on each candidate PM in one shot.
+//!
+//! On the fast path the packer never materializes a per-VM order at all:
+//! one linear pass collapses the fleet into a class table
+//! ([`MAX_TRACKED_CLASSES`] distinct specs at most — beyond that the
+//! collapsing cannot pay and the packer falls back to the strategy's own
+//! sort), the *classes* are sorted by the strategy's
+//! [`Strategy::class_order_keys`] (`k log k` work for `k` classes instead
+//! of `n log n` for `n` VMs), whole classes are placed as single runs
+//! recording `(PM, copies)` fill segments, and a final linear pass scatters
+//! the per-VM assignments straight from those segments.
+//!
+//! # Why the results are byte-identical to `first_fit`
+//!
+//! Within a run every VM has the same spec, so the per-VM packer's
+//! decisions have a rigid structure the batch packer replays wholesale:
+//!
+//! * Once a candidate PM rejects one copy, it rejects every later copy of
+//!   the run — its load only changes when *we* add copies, and a PM we
+//!   filled was filled to its maximum (the next copy was rejected under
+//!   its final load). PMs the probe skipped are provably infeasible by the
+//!   headroom contract. Hence the per-VM First-Fit slot for the next copy
+//!   is always at or after the current PM, and scanning candidates with a
+//!   monotonically advancing `from` cursor visits exactly the per-VM
+//!   slots.
+//! * On one PM, the largest admissible copy count is found by [`admit_run`]
+//!   with the *same arithmetic* the per-VM packer uses at the decision
+//!   boundary (an exact per-copy `admits` fold), so the count — and the
+//!   final stored [`PmLoad`] — match the per-VM fold bit for bit.
+//! * The class schedule reproduces the strategy's *stable* sort: classes
+//!   are emitted in descending key order and, within one class, VMs keep
+//!   their original indices (exactly what a stable sort does with equal
+//!   keys). Two *distinct* classes sharing an exact sort key would have
+//!   their members interleaved by a stable sort, which fill segments
+//!   cannot express — [`class_schedule`] detects that (rare, bit-equal
+//!   keys across different specs) and the packer falls back to the
+//!   strategy's own sort rather than risk a divergence.
+//!
+//! # The ulp gap between closed-form and folded sums
+//!
+//! [`PmLoad::with_copies`] computes `Σ + c·x`, which can differ from `c`
+//! repeated additions by a few ulps — enough to flip an admission at the
+//! boundary. [`admit_run`] therefore uses the closed form only under a
+//! safety margin ([`BATCH_SLACK`]) to *bracket* the answer (binary search
+//! over the monotone Eq. 17 left-hand side), replays that many exact
+//! `add`s unchecked — justified by a worst-case rounding-drift bound
+//! checked at runtime, with a fall back to a fully checked fold when the
+//! bound is not met — and then extends copy by copy with the exact per-VM
+//! `admits` check until the true boundary. Closed form for speed, exact
+//! fold for the decision: never a diverging placement.
+
+use crate::index::HeadroomIndex;
+use crate::load::PmLoad;
+use crate::pack::{PackError, PRUNE_SLACK};
+use crate::placement::Placement;
+use crate::strategy::Strategy;
+use bursty_workload::{class_runs, ClassRun, PmSpec, VmClass, VmSpec};
+
+/// Safety margin for the closed-form feasibility probe: the binary-search
+/// bracket tests `feasible(with_copies(c), capacity − BATCH_SLACK)`, so a
+/// copy count the bracket accepts is feasible under the *exact* fold too
+/// (the fold differs from the closed form by far less than this margin —
+/// enforced by a runtime drift bound). Bracketing slightly low costs a few
+/// extra exact checks at the boundary; bracketing high would change
+/// results, and cannot happen.
+const BATCH_SLACK: f64 = 1e-6;
+
+/// Reusable arena for batch packing: per-PM load accounting in
+/// structure-of-arrays form plus the headroom index, all kept between
+/// packs so repeated consolidations over same-sized farms allocate
+/// nothing after the first (the index reuses its tree via
+/// [`HeadroomIndex::rebuild`]).
+///
+/// Two tricks keep the reset cost of a million-PM farm off the packing
+/// critical path:
+///
+/// * The load arrays are *generation-tagged* rather than zeroed: a reset
+///   bumps `generation`, and [`PlacementState::load`] treats any PM whose
+///   `epoch` tag is older as empty. Only the headroom array (the one the
+///   First-Fit cursor reads) is rewritten per pack.
+/// * The headroom tree is maintained *lazily*. A reset only marks it
+///   stale; stores append to a dirty list instead of climbing the tree.
+///   The first probe that actually needs the tree rebuilds it (or replays
+///   the dirty entries, whichever is cheaper) — a pack whose candidates
+///   all come from the `O(1)` cursor check never touches the tree at all,
+///   and dirt left by the final run is never flushed. Placements are
+///   unaffected: probes flush before descending, so the tree they search
+///   is exact.
+#[derive(Debug)]
+pub struct PlacementState {
+    generation: u32,
+    epoch: Vec<u32>,
+    vm_count: Vec<usize>,
+    max_re: Vec<f64>,
+    sum_rb: Vec<f64>,
+    sum_rp: Vec<f64>,
+    headrooms: Vec<f64>,
+    index: HeadroomIndex,
+    tree_stale: bool,
+    dirty: Vec<u32>,
+}
+
+impl PlacementState {
+    /// An empty arena; capacity grows on first use.
+    pub fn new() -> Self {
+        Self {
+            generation: 0,
+            epoch: Vec::new(),
+            vm_count: Vec::new(),
+            max_re: Vec::new(),
+            sum_rb: Vec::new(),
+            sum_rp: Vec::new(),
+            headrooms: Vec::new(),
+            index: HeadroomIndex::new(&[]),
+            tree_stale: true,
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Resets the arena to an empty farm of `pms` under `strategy`.
+    fn reset<S: Strategy + ?Sized>(&mut self, pms: &[PmSpec], strategy: &S) {
+        let m = pms.len();
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Generation wrap (once per 2³² resets): hard-clear the tags
+            // so no stale entry can collide with the restarted counter.
+            self.epoch.clear();
+            self.generation = 1;
+        }
+        if self.epoch.len() < m {
+            self.epoch.resize(m, 0);
+            self.vm_count.resize(m, 0);
+            self.max_re.resize(m, 0.0);
+            self.sum_rb.resize(m, 0.0);
+            self.sum_rp.resize(m, 0.0);
+        }
+        self.headrooms.clear();
+        strategy.empty_headrooms(pms, &mut self.headrooms);
+        self.tree_stale = true;
+        self.dirty.clear();
+    }
+
+    /// The load of PM `j`, materialized from the arrays.
+    fn load(&self, j: usize) -> PmLoad {
+        if self.epoch[j] != self.generation {
+            return PmLoad::empty();
+        }
+        PmLoad {
+            count: self.vm_count[j],
+            max_re: self.max_re[j],
+            sum_rb: self.sum_rb[j],
+            sum_rp: self.sum_rp[j],
+        }
+    }
+
+    /// Stores PM `j`'s new load and headroom; the tree entry is deferred
+    /// to the next probe.
+    fn store(&mut self, j: usize, load: PmLoad, headroom: f64) {
+        self.epoch[j] = self.generation;
+        self.vm_count[j] = load.count;
+        self.max_re[j] = load.max_re;
+        self.sum_rb[j] = load.sum_rb;
+        self.sum_rp[j] = load.sum_rp;
+        self.headrooms[j] = headroom;
+        if !self.tree_stale {
+            self.dirty.push(j as u32);
+        }
+    }
+
+    /// First PM at or after `from` whose headroom reaches `threshold`,
+    /// bringing the lazy tree up to date first: a full rebuild when the
+    /// tree is stale (or the dirty backlog rivals a rebuild's cost), a
+    /// replay of the dirty entries otherwise.
+    fn probe(&mut self, from: usize, threshold: f64) -> Option<usize> {
+        if self.tree_stale || 4 * self.dirty.len() >= self.headrooms.len() {
+            self.index.rebuild(&self.headrooms);
+            self.tree_stale = false;
+        } else {
+            for &j in &self.dirty {
+                self.index.update(j as usize, self.headrooms[j as usize]);
+            }
+        }
+        self.dirty.clear();
+        self.index.first_at_least(from, threshold)
+    }
+}
+
+impl Default for PlacementState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The largest number of copies of `vm` (up to `want`) admissible on a PM
+/// carrying `load` under `capacity`, together with the resulting load —
+/// computed by the *exact* incremental fold at the decision boundary, so
+/// both the count and the returned load are bit-identical to `want`
+/// capped repetitions of the per-VM `admits`-then-`add` sequence.
+///
+/// Fast path: a binary search over the closed-form
+/// [`PmLoad::with_copies`] probe under [`BATCH_SLACK`] margin brackets the
+/// answer in `O(log want)` feasibility tests — valid because every
+/// quantity in each strategy's feasibility predicate (`Σ R_b`, `Σ R_p`,
+/// `max R_e`, `mapping(count)`) is nondecreasing in the copy count. The
+/// bracketed copies are then replayed as unchecked exact `add`s: margin
+/// feasibility of the closed form plus a worst-case rounding-drift bound
+/// (checked at runtime; on failure the fold runs fully checked) implies
+/// exact feasibility of the folded load at the bracket, and since the
+/// fold's sums are nondecreasing copy over copy, every intermediate
+/// admission the per-VM packer would have tested holds as well.
+///
+/// `hint` seeds the bracket search (0 = no guess). Consecutive PMs in one
+/// run admit near-identical copy counts (capacities are similar, loads
+/// evolve in lockstep), so the previous PM's count usually pins the
+/// bracket in two probes instead of `O(log admitted)`. The hint only
+/// steers *where* the monotone predicate is probed — the bracket it
+/// converges to, and hence the placement, is identical for every hint.
+fn admit_run<S: Strategy + ?Sized>(
+    load: PmLoad,
+    vm: &VmSpec,
+    capacity: f64,
+    want: usize,
+    hint: usize,
+    strategy: &S,
+) -> (PmLoad, usize) {
+    debug_assert!(want > 0);
+    if want == 1 {
+        // Single copy: the bracket machinery cannot beat one exact check.
+        return if strategy.admits(&load, vm, capacity) {
+            (load.with(vm), 1)
+        } else {
+            (load, 0)
+        };
+    }
+
+    // Phase 1: bracket the copy count with the margin-tightened closed
+    // form. `lo` is feasible under the margin (or 0); `lo + 1` may or may
+    // not be admissible exactly — phase 2 decides. Galloping out from the
+    // hint keeps the probe count at O(log |admitted − hint|) rather than
+    // O(log want): a run can span most of the fleet while a single PM
+    // admits only a handful of copies.
+    let feasible = |c: usize| strategy.feasible(&load.with_copies(vm, c), capacity - BATCH_SLACK);
+    let start = hint.clamp(1, want);
+    let mut lo;
+    let mut hi;
+    if feasible(start) {
+        lo = start;
+        hi = want;
+        let mut step = 1usize;
+        while lo < hi {
+            let p = (lo + step).min(want);
+            if feasible(p) {
+                lo = p;
+                step *= 2;
+            } else {
+                hi = p - 1;
+                break;
+            }
+        }
+    } else {
+        lo = 0;
+        hi = start - 1;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if feasible(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+
+    // Trust the bracket only when the worst-case drift between the closed
+    // form and the exact fold is provably below the margin (each of the
+    // `lo` folded additions and the closed form's two operations round
+    // once, against partial sums bounded by `scale`), and the monotone
+    // replay argument applies (nonnegative demands).
+    let scale = load.sum_rb.abs() + load.sum_rp.abs() + lo as f64 * (vm.r_b.abs() + vm.r_p().abs());
+    let drift = 4.0 * (lo as f64 + 2.0) * f64::EPSILON * scale;
+    let trusted = drift < BATCH_SLACK && vm.r_b >= 0.0 && vm.r_e >= 0.0;
+    let skip = if trusted { lo } else { 0 };
+
+    // Phase 2: the exact fold. The first `skip` copies are admitted
+    // without re-testing; past the bracket every copy runs the same
+    // `admits` arithmetic the per-VM packer runs.
+    let mut current = load;
+    for _ in 0..skip {
+        current.add(vm);
+    }
+    debug_assert!(
+        skip == 0 || strategy.feasible(&current, capacity),
+        "margin-bracketed load must be exactly feasible"
+    );
+    let mut placed = skip;
+    while placed < want && strategy.admits(&current, vm, capacity) {
+        current.add(vm);
+        placed += 1;
+    }
+    (current, placed)
+}
+
+/// [`admit_run`] specialised to an **empty** seed load, reading its exact
+/// folds from a per-class memo chain instead of re-folding per PM.
+///
+/// `chain[c]` is the exact `c`-fold of `vm` from `PmLoad::empty()` — the
+/// identical serial `add` sequence [`admit_run`]'s phase 2 would run, so
+/// every count and load this returns is bit-identical to
+/// `admit_run(PmLoad::empty(), ..)`. A run over a farm of empty PMs folds
+/// each copy count once into the chain (amortised `O(max copies per PM)`
+/// adds per class) instead of once per PM.
+fn admit_run_empty<S: Strategy + ?Sized>(
+    chain: &mut Vec<PmLoad>,
+    vm: &VmSpec,
+    capacity: f64,
+    want: usize,
+    hint: usize,
+    strategy: &S,
+) -> (PmLoad, usize) {
+    debug_assert!(want > 0);
+    debug_assert!(!chain.is_empty() && chain[0].is_empty());
+    let fold = |chain: &mut Vec<PmLoad>, c: usize| -> PmLoad {
+        while chain.len() <= c {
+            let mut next = *chain.last().expect("chain seeded with empty");
+            next.add(vm);
+            chain.push(next);
+        }
+        chain[c]
+    };
+    if want == 1 {
+        return if strategy.admits(&chain[0], vm, capacity) {
+            (fold(chain, 1), 1)
+        } else {
+            (chain[0], 0)
+        };
+    }
+
+    // Phase 1: the same margin bracket as `admit_run`, from an empty seed.
+    let empty = PmLoad::empty();
+    let feasible = |c: usize| strategy.feasible(&empty.with_copies(vm, c), capacity - BATCH_SLACK);
+    let start = hint.clamp(1, want);
+    let mut lo;
+    let mut hi;
+    if feasible(start) {
+        lo = start;
+        hi = want;
+        let mut step = 1usize;
+        while lo < hi {
+            let p = (lo + step).min(want);
+            if feasible(p) {
+                lo = p;
+                step *= 2;
+            } else {
+                hi = p - 1;
+                break;
+            }
+        }
+    } else {
+        lo = 0;
+        hi = start - 1;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if feasible(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+
+    // Same drift bound as `admit_run` with an empty seed (zero seed sums),
+    // so the trusted skip — and hence the exact decision sequence — agrees.
+    let scale = lo as f64 * (vm.r_b.abs() + vm.r_p().abs());
+    let drift = 4.0 * (lo as f64 + 2.0) * f64::EPSILON * scale;
+    let trusted = drift < BATCH_SLACK && vm.r_b >= 0.0 && vm.r_e >= 0.0;
+    let skip = if trusted { lo } else { 0 };
+
+    // Phase 2: the exact boundary walk, with each fold memoised.
+    let mut placed = skip;
+    let mut current = fold(chain, placed);
+    debug_assert!(
+        skip == 0 || strategy.feasible(&current, capacity),
+        "margin-bracketed load must be exactly feasible"
+    );
+    while placed < want && strategy.admits(&current, vm, capacity) {
+        placed += 1;
+        current = fold(chain, placed);
+    }
+    (current, placed)
+}
+
+/// Cap on the distinct classes the collapsing pass tracks before falling
+/// back to the strategy's comparison sort: the per-VM class lookup is a
+/// linear scan over the tracked classes, so the cap bounds it at a
+/// cache-resident table. Production fleets have tens of instance types; a
+/// fleet with more distinct classes than this gains little from
+/// collapsing anyway.
+const MAX_TRACKED_CLASSES: usize = 96;
+
+/// A fleet collapsed to its distinct classes: one representative spec per
+/// class (the first occurrence), per-class multiplicities, and the per-VM
+/// class id — everything the fast path needs, gathered in one linear pass.
+struct ClassTable {
+    reps: Vec<VmSpec>,
+    counts: Vec<u32>,
+    kid: Vec<u32>,
+}
+
+/// Collapses `vms` into a [`ClassTable`], or `None` once more than
+/// [`MAX_TRACKED_CLASSES`] distinct classes appear.
+fn collapse_classes(vms: &[VmSpec]) -> Option<ClassTable> {
+    // Cached class keys so the per-VM scan compares plain `u64` words
+    // instead of re-deriving each tracked class's key every probe.
+    let mut keys: Vec<[u64; 4]> = Vec::new();
+    let mut reps: Vec<VmSpec> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    let mut kid: Vec<u32> = Vec::with_capacity(vms.len());
+    for vm in vms {
+        let ck = VmClass::of(vm).key();
+        let slot = match keys.iter().position(|k| *k == ck) {
+            Some(slot) => slot,
+            None => {
+                if keys.len() == MAX_TRACKED_CLASSES {
+                    return None;
+                }
+                keys.push(ck);
+                reps.push(*vm);
+                counts.push(0);
+                keys.len() - 1
+            }
+        };
+        counts[slot] += 1;
+        kid.push(slot as u32);
+    }
+    Some(ClassTable { reps, counts, kid })
+}
+
+/// Class ids sorted by `(band descending, key descending)` — the order in
+/// which whole classes are placed — or `None` when two *distinct* classes
+/// share an exact `(band, key)`: a stable sort would interleave their
+/// members by original index across class boundaries, which per-class
+/// fill segments cannot express, so the caller falls back to the
+/// strategy's own sort.
+fn class_schedule(keys: &[(u32, f64)]) -> Option<Vec<u32>> {
+    let mut by_key: Vec<u32> = (0..keys.len() as u32).collect();
+    by_key.sort_by(|&a, &b| {
+        let (band_a, key_a) = keys[a as usize];
+        let (band_b, key_b) = keys[b as usize];
+        band_b.cmp(&band_a).then(key_b.total_cmp(&key_a))
+    });
+    let tied = by_key.windows(2).any(|w| {
+        let (band_a, key_a) = keys[w[0] as usize];
+        let (band_b, key_b) = keys[w[1] as usize];
+        band_a == band_b && key_a.to_bits() == key_b.to_bits()
+    });
+    (!tied).then_some(by_key)
+}
+
+/// The id of the `nth` (0-based) member of class `cid` in original fleet
+/// order — error-path only, so the linear rescan is fine.
+#[cold]
+fn nth_member_id(vms: &[VmSpec], kid: &[u32], cid: u32, nth: usize) -> usize {
+    let mut seen = 0usize;
+    for (i, &k) in kid.iter().enumerate() {
+        if k == cid {
+            if seen == nth {
+                return vms[i].id;
+            }
+            seen += 1;
+        }
+    }
+    unreachable!("class {cid} has fewer than {nth} members")
+}
+
+/// Class-collapsed batch First Fit: places `vms` onto `pms` in the order
+/// chosen by `strategy`, producing a placement **byte-identical** to
+/// [`crate::pack::first_fit`] (the same `Result`, down to the error's
+/// `vm_id`) — differentially property-tested below at 0%, 50% and 100%
+/// duplicate ratios.
+///
+/// Cost on the fast path (at most [`MAX_TRACKED_CLASSES`] distinct
+/// classes, per-class sort keys available, no cross-class key ties):
+/// `O(n·k + k log k)` ordering and scatter plus
+/// `O(u·(log d + log m))` placement, where `u` counts (run, candidate PM)
+/// encounters — for a fleet of `k` classes packing into `P` PMs, `u` is
+/// `O(k·P)` in the worst case and `O(k + P)` typically. The per-VM packer
+/// pays `O(n log n)` ordering and `n` index probes and updates instead;
+/// on duplicate-heavy fleets (`k ≪ n`) the batch packer's index work all
+/// but vanishes and throughput is dominated by the linear collapse and
+/// scatter passes. Off the fast path it degrades to the strategy's own
+/// sort with per-run placement — never worse than a small constant over
+/// per-VM packing.
+///
+/// # Errors
+/// [`PackError`] naming the first VM (in placement order) that fits on no
+/// PM; the partial placement is discarded, exactly as in `first_fit`.
+pub fn first_fit_batch<S: Strategy + ?Sized>(
+    vms: &[VmSpec],
+    pms: &[PmSpec],
+    strategy: &S,
+) -> Result<Placement, PackError> {
+    first_fit_batch_with(&mut PlacementState::new(), vms, pms, strategy)
+}
+
+/// [`first_fit_batch`] against a caller-held [`PlacementState`] arena —
+/// repeated packs over same-sized farms reuse every allocation.
+///
+/// # Errors
+/// [`PackError`] naming the first unplaceable VM.
+pub fn first_fit_batch_with<S: Strategy + ?Sized>(
+    state: &mut PlacementState,
+    vms: &[VmSpec],
+    pms: &[PmSpec],
+    strategy: &S,
+) -> Result<Placement, PackError> {
+    let fast = collapse_classes(vms).and_then(|table| {
+        let keys = strategy.class_order_keys(vms.len(), &table.reps)?;
+        let schedule = class_schedule(&keys)?;
+        Some((table, schedule))
+    });
+    match fast {
+        Some((table, schedule)) => batch_collapsed(state, vms, pms, strategy, &table, &schedule),
+        None => {
+            let order = strategy.order(vms);
+            let runs = class_runs(vms, &order);
+            batch_ordered(state, vms, pms, strategy, &order, &runs)
+        }
+    }
+}
+
+/// The fast path: whole classes placed as single runs, per-VM assignments
+/// scattered from the recorded `(PM, copies)` fill segments afterwards.
+/// No per-VM order ever exists.
+fn batch_collapsed<S: Strategy + ?Sized>(
+    state: &mut PlacementState,
+    vms: &[VmSpec],
+    pms: &[PmSpec],
+    strategy: &S,
+    table: &ClassTable,
+    schedule: &[u32],
+) -> Result<Placement, PackError> {
+    state.reset(pms, strategy);
+    let k = table.reps.len();
+    let mut fills: Vec<(u32, u32)> = Vec::new(); // (PM, copies), per-class contiguous
+    let mut fill_start = vec![0u32; k];
+    // Exact fold memo for empty-PM admissions, rebuilt per class.
+    let mut chain: Vec<PmLoad> = Vec::new();
+    for &cid in schedule {
+        let template = table.reps[cid as usize];
+        let want_total = table.counts[cid as usize] as usize;
+        let threshold = strategy.demand(&template) - PRUNE_SLACK;
+        fill_start[cid as usize] = fills.len() as u32;
+        chain.clear();
+        chain.push(PmLoad::empty());
+        let mut placed = 0usize;
+        let mut hint = 0usize;
+        // First-Fit cursor: every PM before it has rejected this class
+        // under its current (and henceforth unchanging) load, so the
+        // per-VM packer could never place a later copy there either.
+        let mut from = 0usize;
+        while placed < want_total {
+            // The PM right at the cursor is the common hit (a farm of
+            // still-empty PMs), so test it in O(1) before paying the
+            // index flush and descent; `probe` would return it anyway.
+            let candidate = if from < state.headrooms.len() && state.headrooms[from] >= threshold {
+                Some(from)
+            } else {
+                state.probe(from, threshold)
+            };
+            let Some(j) = candidate else {
+                return Err(PackError {
+                    vm_id: nth_member_id(vms, &table.kid, cid, placed),
+                });
+            };
+            let seed = state.load(j);
+            let (new_load, c) = if seed.is_empty() {
+                admit_run_empty(
+                    &mut chain,
+                    &template,
+                    pms[j].capacity,
+                    want_total - placed,
+                    hint,
+                    strategy,
+                )
+            } else {
+                admit_run(
+                    seed,
+                    &template,
+                    pms[j].capacity,
+                    want_total - placed,
+                    hint,
+                    strategy,
+                )
+            };
+            if c > 0 {
+                fills.push((j as u32, c as u32));
+                placed += c;
+                hint = c;
+                state.store(j, new_load, strategy.headroom(&new_load, pms[j].capacity));
+            }
+            from = j + 1;
+        }
+    }
+
+    // Scatter: VMs in original order consume their class's fill segments
+    // front to back — within a class the stable sort keeps original
+    // index order, so the i-th member takes the i-th filled slot.
+    let mut assignment: Vec<Option<usize>> = Vec::with_capacity(vms.len());
+    let mut next_seg = fill_start;
+    let mut pm_cur = vec![0u32; k];
+    let mut rem = vec![0u32; k];
+    for &kidx in &table.kid {
+        let c = kidx as usize;
+        if rem[c] == 0 {
+            let (pm, copies) = fills[next_seg[c] as usize];
+            pm_cur[c] = pm;
+            rem[c] = copies;
+            next_seg[c] += 1;
+        }
+        assignment.push(Some(pm_cur[c] as usize));
+        rem[c] -= 1;
+    }
+    Ok(Placement {
+        assignment,
+        n_pms: pms.len(),
+    })
+}
+
+/// The general path: an explicit per-VM order and its class runs (either
+/// from the strategy's own sort, or because cross-class key ties demand
+/// the full stable-sort semantics).
+fn batch_ordered<S: Strategy + ?Sized>(
+    state: &mut PlacementState,
+    vms: &[VmSpec],
+    pms: &[PmSpec],
+    strategy: &S,
+    order: &[usize],
+    runs: &[ClassRun],
+) -> Result<Placement, PackError> {
+    state.reset(pms, strategy);
+    let mut placement = Placement::empty(vms.len(), pms.len());
+    for run in runs {
+        let template = vms[order[run.start]];
+        let threshold = strategy.demand(&template) - PRUNE_SLACK;
+        let mut placed = 0;
+        let mut hint = 0;
+        let mut from = 0;
+        while placed < run.len {
+            let candidate = if from < state.headrooms.len() && state.headrooms[from] >= threshold {
+                Some(from)
+            } else {
+                state.probe(from, threshold)
+            };
+            let Some(j) = candidate else {
+                return Err(PackError {
+                    vm_id: vms[order[run.start + placed]].id,
+                });
+            };
+            let (new_load, c) = admit_run(
+                state.load(j),
+                &template,
+                pms[j].capacity,
+                run.len - placed,
+                hint,
+                strategy,
+            );
+            if c > 0 {
+                for &vm_pos in &order[run.start + placed..run.start + placed + c] {
+                    placement.assignment[vm_pos] = Some(j);
+                }
+                placed += c;
+                hint = c;
+                state.store(j, new_load, strategy.headroom(&new_load, pms[j].capacity));
+            }
+            from = j + 1;
+        }
+    }
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::first_fit;
+    use crate::strategy::{BaseStrategy, PeakStrategy, QueueStrategy, ReserveStrategy};
+
+    fn vm(id: usize, r_b: f64, r_e: f64) -> VmSpec {
+        VmSpec::new(id, 0.01, 0.09, r_b, r_e)
+    }
+
+    fn pms(caps: &[f64]) -> Vec<PmSpec> {
+        caps.iter()
+            .enumerate()
+            .map(|(j, &c)| PmSpec::new(j, c))
+            .collect()
+    }
+
+    fn all_strategies() -> (QueueStrategy, ReserveStrategy) {
+        (
+            QueueStrategy::build(16, 0.01, 0.09, 0.01),
+            ReserveStrategy::new(0.3),
+        )
+    }
+
+    /// Whether the orderless collapsed path would handle this fleet.
+    fn fast_path_engages<S: Strategy + ?Sized>(vms: &[VmSpec], strategy: &S) -> bool {
+        collapse_classes(vms)
+            .and_then(|table| {
+                let keys = strategy.class_order_keys(vms.len(), &table.reps)?;
+                class_schedule(&keys)
+            })
+            .is_some()
+    }
+
+    #[test]
+    fn admit_run_matches_repeated_admits() {
+        let (q, rbex) = all_strategies();
+        let strategies: [&dyn Strategy; 4] = [&q, &PeakStrategy, &BaseStrategy, &rbex];
+        let template = vm(0, 7.0, 5.0);
+        for s in strategies {
+            for cap in [10.0, 33.0, 70.0, 100.0, 250.0] {
+                for want in [1usize, 2, 5, 40] {
+                    let mut refr = PmLoad::empty();
+                    let mut count = 0;
+                    while count < want && s.admits(&refr, &template, cap) {
+                        refr.add(&template);
+                        count += 1;
+                    }
+                    // Any hint — absent, exact, low, high, out of range —
+                    // must land on the same count and load.
+                    for hint in [0usize, 1, count, count + 1, want / 2, want, want + 9] {
+                        let (batch_load, batch_count) =
+                            admit_run(PmLoad::empty(), &template, cap, want, hint, s);
+                        assert_eq!(
+                            batch_count,
+                            count,
+                            "{} cap={cap} want={want} hint={hint}",
+                            s.name()
+                        );
+                        assert_eq!(
+                            batch_load,
+                            refr,
+                            "{} cap={cap} want={want} hint={hint}",
+                            s.name()
+                        );
+                        // The memoised empty-seed variant must agree bit
+                        // for bit, whatever state its chain arrives in.
+                        for prefill in [1usize, count + 1, want + 2] {
+                            let mut chain = vec![PmLoad::empty()];
+                            while chain.len() < prefill {
+                                let mut next = *chain.last().unwrap();
+                                next.add(&template);
+                                chain.push(next);
+                            }
+                            let (memo_load, memo_count) =
+                                admit_run_empty(&mut chain, &template, cap, want, hint, s);
+                            assert_eq!(
+                                (memo_count, memo_load),
+                                (count, refr),
+                                "{} cap={cap} want={want} hint={hint} prefill={prefill}",
+                                s.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn admit_run_from_preloaded_pm() {
+        let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let seed = PmLoad::rebuild(&[vm(90, 11.0, 9.0), vm(91, 4.0, 2.0)]);
+        let template = vm(0, 6.0, 4.0);
+        let (load, count) = admit_run(seed, &template, 95.0, 30, 4, &q);
+        let mut refr = seed;
+        let mut expect = 0;
+        while expect < 30 && q.admits(&refr, &template, 95.0) {
+            refr.add(&template);
+            expect += 1;
+        }
+        assert_eq!(count, expect);
+        assert_eq!(load, refr);
+    }
+
+    #[test]
+    fn batch_matches_per_vm_on_duplicate_heavy_fleet() {
+        use bursty_workload::{FleetGenerator, WorkloadPattern};
+        let (q, rbex) = all_strategies();
+        let strategies: [&dyn Strategy; 4] = [&q, &PeakStrategy, &BaseStrategy, &rbex];
+        let mut g = FleetGenerator::new(42);
+        let vms = g.vms_table_i(600, WorkloadPattern::LargeSpike);
+        let farm = g.pms(400);
+        for s in strategies {
+            assert!(
+                fast_path_engages(&vms, s),
+                "Table-I fleet must collapse for {}",
+                s.name()
+            );
+            assert_eq!(
+                first_fit_batch(&vms, &farm, s),
+                first_fit(&vms, &farm, s),
+                "batch diverged for {}",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_vm_on_all_distinct_fleet() {
+        use bursty_workload::{FleetGenerator, WorkloadPattern};
+        let (q, rbex) = all_strategies();
+        let strategies: [&dyn Strategy; 4] = [&q, &PeakStrategy, &BaseStrategy, &rbex];
+        let mut g = FleetGenerator::new(7);
+        let vms = g.vms(300, WorkloadPattern::EqualSpike);
+        let farm = g.pms(300);
+        // 300 continuous-draw specs exceed the tracked-class cap, so this
+        // also exercises the collapse bail-out into the ordered path.
+        assert!(!fast_path_engages(&vms, &q));
+        for s in strategies {
+            assert_eq!(
+                first_fit_batch(&vms, &farm, s),
+                first_fit(&vms, &farm, s),
+                "batch diverged for {}",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn tied_keys_across_classes_use_the_stable_sort_path() {
+        // Two *distinct* classes (different spike sizes) sharing an exact
+        // R_b: under RB (single band, key = R_b) a stable sort interleaves
+        // their members by original index, which fill segments cannot
+        // express — the packer must detect the tie, fall back, and still
+        // match the per-VM packer bit for bit.
+        let vms = vec![
+            vm(0, 5.0, 2.0),
+            vm(1, 5.0, 9.0),
+            vm(2, 5.0, 2.0),
+            vm(3, 5.0, 9.0),
+            vm(4, 5.0, 2.0),
+        ];
+        let farm = pms(&[11.0, 11.0, 11.0]);
+        assert!(!fast_path_engages(&vms, &BaseStrategy));
+        let (q, rbex) = all_strategies();
+        let strategies: [&dyn Strategy; 4] = [&q, &PeakStrategy, &BaseStrategy, &rbex];
+        for s in strategies {
+            assert_eq!(
+                first_fit_batch(&vms, &farm, s),
+                first_fit(&vms, &farm, s),
+                "batch diverged for {}",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn class_schedule_sorts_descending_and_rejects_ties() {
+        let keys = vec![(0u32, 3.0f64), (1, 1.0), (0, 7.0), (1, 2.0)];
+        // Bands descending first, then keys descending within a band.
+        assert_eq!(class_schedule(&keys), Some(vec![3, 1, 2, 0]));
+        let tied = vec![(0u32, 3.0f64), (0, 3.0)];
+        assert_eq!(class_schedule(&tied), None);
+        // Same key in *different* bands is not a tie.
+        let split = vec![(1u32, 3.0f64), (0, 3.0)];
+        assert_eq!(class_schedule(&split), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn collapse_bails_past_the_class_cap() {
+        let many: Vec<VmSpec> = (0..MAX_TRACKED_CLASSES + 1)
+            .map(|i| vm(i, 1.0 + i as f64 * 0.01, 1.0))
+            .collect();
+        assert!(collapse_classes(&many).is_none());
+        let table = collapse_classes(&many[..MAX_TRACKED_CLASSES]).unwrap();
+        assert_eq!(table.reps.len(), MAX_TRACKED_CLASSES);
+        assert!(table.counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn batch_error_matches_per_vm_error() {
+        // Two PMs fill up; the run's remaining copies overflow. The error
+        // must name the same VM the per-VM packer names.
+        let vms: Vec<VmSpec> = (0..10).map(|i| vm(i, 6.0, 0.0)).collect();
+        let farm = pms(&[10.0, 10.0]);
+        let batch = first_fit_batch(&vms, &farm, &BaseStrategy);
+        let per_vm = first_fit(&vms, &farm, &BaseStrategy);
+        assert!(batch.is_err());
+        assert_eq!(batch, per_vm);
+    }
+
+    #[test]
+    fn batch_error_matches_on_the_collapsed_path_mid_class() {
+        // Three classes, the middle one overflows after placing some
+        // copies: the error must name the exact member (in original fleet
+        // order) the per-VM packer names.
+        let mut vms = Vec::new();
+        for i in 0..4 {
+            vms.push(vm(i, 9.0, 1.0));
+        }
+        for i in 4..12 {
+            vms.push(vm(i, 6.0, 2.0));
+        }
+        for i in 12..14 {
+            vms.push(vm(i, 2.0, 3.0));
+        }
+        let farm = pms(&[20.0, 20.0]);
+        let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let strategies: [&dyn Strategy; 2] = [&BaseStrategy, &q];
+        for s in strategies {
+            let batch = first_fit_batch(&vms, &farm, s);
+            let per_vm = first_fit(&vms, &farm, s);
+            assert!(per_vm.is_err(), "{}", s.name());
+            assert_eq!(batch, per_vm, "error diverged for {}", s.name());
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let p = first_fit_batch(&[], &pms(&[10.0]), &BaseStrategy).unwrap();
+        assert_eq!(p.pms_used(), 0);
+        assert!(first_fit_batch(&[vm(0, 1.0, 0.0)], &[], &BaseStrategy).is_err());
+    }
+
+    #[test]
+    fn arena_reuse_is_stateless() {
+        use bursty_workload::{FleetGenerator, WorkloadPattern};
+        let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let mut state = PlacementState::new();
+        let mut g = FleetGenerator::new(3);
+        // Different sizes back to back: results must match fresh packs.
+        for (n, m) in [(200, 150), (50, 40), (400, 300)] {
+            let vms = g.vms_table_i(n, WorkloadPattern::EqualSpike);
+            let farm = g.pms(m);
+            assert_eq!(
+                first_fit_batch_with(&mut state, &vms, &farm, &q),
+                first_fit_batch(&vms, &farm, &q),
+                "arena reuse changed results at n={n} m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_tags_survive_many_resets() {
+        // The epoch machinery must keep packs independent across many
+        // arena reuses (stale loads from an earlier pack would corrupt
+        // admission arithmetic silently).
+        use bursty_workload::{FleetGenerator, WorkloadPattern};
+        let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let mut state = PlacementState::new();
+        let mut g = FleetGenerator::new(9);
+        let vms = g.vms_table_i(120, WorkloadPattern::LargeSpike);
+        let farm = g.pms(90);
+        let fresh = first_fit_batch(&vms, &farm, &q);
+        for round in 0..50 {
+            assert_eq!(
+                first_fit_batch_with(&mut state, &vms, &farm, &q),
+                fresh,
+                "drift after {round} arena reuses"
+            );
+        }
+    }
+
+    #[test]
+    fn golden_pin_table_i_queue_pack() {
+        // Frozen behavior pin: seeded Table-I fleet under QUEUE. If this
+        // moves, either the generator, the ordering, or the admission
+        // arithmetic changed — all of which are load-bearing for the
+        // byte-identical contract.
+        use bursty_workload::{FleetGenerator, WorkloadPattern};
+        let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let mut g = FleetGenerator::new(42);
+        let vms = g.vms_table_i(500, WorkloadPattern::EqualSpike);
+        let farm = g.pms(400);
+        let batch = first_fit_batch(&vms, &farm, &q).unwrap();
+        let per_vm = first_fit(&vms, &farm, &q).unwrap();
+        assert_eq!(batch, per_vm);
+        let checksum: usize = batch
+            .assignment
+            .iter()
+            .enumerate()
+            .map(|(i, a)| i.wrapping_mul(a.unwrap() + 1))
+            .fold(0usize, |acc, x| acc.wrapping_add(x));
+        assert_eq!(
+            (batch.pms_used(), checksum),
+            (GOLDEN_PMS_USED, GOLDEN_CHECKSUM)
+        );
+    }
+
+    // Pinned from the current implementation; see golden_pin_table_i_queue_pack.
+    const GOLDEN_PMS_USED: usize = 119;
+    const GOLDEN_CHECKSUM: usize = 11_194_963;
+
+    #[test]
+    fn all_distinct_overhead_is_bounded() {
+        // Regression guard: on a fleet with no duplicate classes every run
+        // has length one, so the batch path degenerates to the per-VM path
+        // plus O(1) run-length-encoding per VM — it must stay within ~1.2x
+        // of the per-VM packer's time.
+        use bursty_workload::{FleetGenerator, WorkloadPattern};
+        use std::time::Instant;
+        let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let mut g = FleetGenerator::new(11);
+        let vms = g.vms(4000, WorkloadPattern::EqualSpike);
+        let farm = g.pms(3000);
+        let mut state = PlacementState::new();
+        let mut per_vm = f64::INFINITY;
+        let mut batch = f64::INFINITY;
+        for _ in 0..5 {
+            let t = Instant::now();
+            let a = first_fit(&vms, &farm, &q).unwrap();
+            per_vm = per_vm.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            let b = first_fit_batch_with(&mut state, &vms, &farm, &q).unwrap();
+            batch = batch.min(t.elapsed().as_secs_f64());
+            assert_eq!(a, b);
+        }
+        assert!(
+            batch <= per_vm * 1.2 + 2e-3,
+            "batch {batch:.6}s vs per-VM {per_vm:.6}s on an all-distinct fleet"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::pack::first_fit;
+    use crate::strategy::{BaseStrategy, PeakStrategy, QueueStrategy, ReserveStrategy};
+    use proptest::prelude::{prop_assert_eq, proptest, ProptestConfig};
+    use proptest::strategy::Strategy as PropStrategy;
+
+    /// A fleet where roughly `dup_pct`% of the VMs reuse the spec of an
+    /// earlier VM (100% collapses to one class, 0% leaves all distinct —
+    /// up to accidental collisions, which the batch packer must survive
+    /// anyway).
+    fn fleet_with_duplicates(dup_pct: u8) -> impl PropStrategy<Value = Vec<VmSpec>> {
+        proptest::collection::vec((2.0f64..20.0, 2.0f64..20.0, 0u8..100, 0usize..64), 1..80)
+            .prop_map(move |raw| {
+                let mut vms: Vec<VmSpec> = Vec::with_capacity(raw.len());
+                for (i, (rb, re, roll, pick)) in raw.into_iter().enumerate() {
+                    let vm = if i > 0 && roll < dup_pct {
+                        let donor = vms[pick % i];
+                        VmSpec::new(i, donor.p_on, donor.p_off, donor.r_b, donor.r_e)
+                    } else {
+                        VmSpec::new(i, 0.01, 0.09, rb, re)
+                    };
+                    vms.push(vm);
+                }
+                vms
+            })
+    }
+
+    fn hetero_farm() -> impl PropStrategy<Value = Vec<PmSpec>> {
+        proptest::collection::vec(40.0f64..140.0, 4..48).prop_map(|caps| {
+            caps.into_iter()
+                .enumerate()
+                .map(|(j, c)| PmSpec::new(j, c))
+                .collect()
+        })
+    }
+
+    fn assert_batch_matches(
+        vms: &[VmSpec],
+        farm: &[PmSpec],
+    ) -> Result<(), proptest::test_runner::TestCaseError> {
+        let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let rbex = ReserveStrategy::new(0.3);
+        let strategies: [&dyn Strategy; 4] = [&q, &PeakStrategy, &BaseStrategy, &rbex];
+        for strategy in strategies {
+            prop_assert_eq!(
+                first_fit_batch(vms, farm, strategy),
+                first_fit(vms, farm, strategy),
+                "batch diverged for {}",
+                strategy.name()
+            );
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn batch_identical_all_distinct(
+            vms in fleet_with_duplicates(0),
+            farm in hetero_farm(),
+        ) {
+            assert_batch_matches(&vms, &farm)?;
+        }
+
+        #[test]
+        fn batch_identical_half_duplicates(
+            vms in fleet_with_duplicates(50),
+            farm in hetero_farm(),
+        ) {
+            assert_batch_matches(&vms, &farm)?;
+        }
+
+        #[test]
+        fn batch_identical_all_duplicates(
+            vms in fleet_with_duplicates(100),
+            farm in hetero_farm(),
+        ) {
+            assert_batch_matches(&vms, &farm)?;
+        }
+    }
+}

@@ -20,6 +20,30 @@ use bursty_workload::VmSpec;
 /// # Panics
 /// Panics if `buckets == 0`.
 pub fn cluster_order(vms: &[VmSpec], buckets: usize) -> Vec<usize> {
+    let bands = cluster_bands(vms, buckets);
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); buckets];
+    for (i, &band) in bands.iter().enumerate() {
+        clusters[band as usize].push(i);
+    }
+    // Highest R_e band first; within a band, R_b descending.
+    let mut order = Vec::with_capacity(vms.len());
+    for cluster in clusters.iter_mut().rev() {
+        cluster.sort_by(|&a, &b| vms[b].r_b.total_cmp(&vms[a].r_b));
+        order.extend_from_slice(cluster);
+    }
+    order
+}
+
+/// The equal-width `R_e` band of every VM — the cluster assignment
+/// [`cluster_order`] groups by, exposed so callers can reproduce the
+/// cluster ordering without materializing the per-bucket vectors (the
+/// batch packer's counting-sort path). `cluster_order(vms, buckets)` is
+/// exactly a stable sort of `0..n` by `(band descending, R_b descending)`
+/// over these bands.
+///
+/// # Panics
+/// Panics if `buckets == 0`.
+pub fn cluster_bands(vms: &[VmSpec], buckets: usize) -> Vec<u32> {
     assert!(buckets > 0, "need at least one bucket");
     if vms.is_empty() {
         return Vec::new();
@@ -34,21 +58,10 @@ pub fn cluster_order(vms: &[VmSpec], buckets: usize) -> Vec<usize> {
     } else {
         1.0
     };
-
     // Bucket index for a spike size; the max value lands in the top bucket.
-    let bucket_of = |r_e: f64| -> usize { (((r_e - lo) / width) as usize).min(buckets - 1) };
-
-    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); buckets];
-    for (i, v) in vms.iter().enumerate() {
-        clusters[bucket_of(v.r_e)].push(i);
-    }
-    // Highest R_e band first; within a band, R_b descending.
-    let mut order = Vec::with_capacity(vms.len());
-    for cluster in clusters.iter_mut().rev() {
-        cluster.sort_by(|&a, &b| vms[b].r_b.total_cmp(&vms[a].r_b));
-        order.extend_from_slice(cluster);
-    }
-    order
+    vms.iter()
+        .map(|v| (((v.r_e - lo) / width) as usize).min(buckets - 1) as u32)
+        .collect()
 }
 
 /// The default bucket count used by QueuingFFD: `⌈√n⌉`, a standard

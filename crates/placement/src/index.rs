@@ -45,6 +45,27 @@ impl HeadroomIndex {
         Self { n, base, tree }
     }
 
+    /// Rebuilds the index over new values in place, reusing the tree
+    /// allocation whenever the required size fits (the arena-reuse path of
+    /// the batch packer: repeated packs over same-sized farms allocate
+    /// nothing after the first).
+    pub fn rebuild(&mut self, values: &[f64]) {
+        let n = values.len();
+        let base = n.next_power_of_two().max(1);
+        if 2 * base > self.tree.capacity() {
+            *self = Self::new(values);
+            return;
+        }
+        self.n = n;
+        self.base = base;
+        self.tree.clear();
+        self.tree.resize(2 * base, f64::NEG_INFINITY);
+        self.tree[base..base + n].copy_from_slice(values);
+        for i in (1..base).rev() {
+            self.tree[i] = self.tree[2 * i].max(self.tree[2 * i + 1]);
+        }
+    }
+
     /// Number of indexed PMs.
     pub fn len(&self) -> usize {
         self.n
@@ -204,6 +225,30 @@ mod tests {
             assert_eq!(idx.first_at_least(0, (n as f64) + 1.0), None);
             if n > 0 {
                 assert_eq!(idx.first_at_least(0, (n - 1) as f64), Some(n - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_construction() {
+        let mut idx = HeadroomIndex::new(&[3.0, 1.0, 4.0, 1.0, 5.0]);
+        // Shrink, grow within capacity, grow beyond capacity.
+        for values in [
+            vec![2.0, 9.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+            (0..37).map(|i| i as f64).collect::<Vec<_>>(),
+        ] {
+            idx.rebuild(&values);
+            let fresh = HeadroomIndex::new(&values);
+            assert_eq!(idx.len(), fresh.len());
+            for from in 0..=values.len() {
+                for t in [0.0, 1.5, 3.0, 8.0, 40.0] {
+                    assert_eq!(
+                        idx.first_at_least(from, t),
+                        fresh.first_at_least(from, t),
+                        "values={values:?} from={from} t={t}"
+                    );
+                }
             }
         }
     }

@@ -25,6 +25,7 @@
 //! guaranteed-safe conservative probability rounding, and [`exact`] is a
 //! branch-and-bound optimum for validating FFD quality on small instances.
 
+pub mod batch;
 pub mod clustering;
 pub mod defrag;
 pub mod evacuate;
@@ -41,6 +42,7 @@ pub mod rounding;
 pub mod sbp;
 pub mod strategy;
 
+pub use batch::{first_fit_batch, first_fit_batch_with, PlacementState};
 pub use evacuate::{evacuate_batch, EvacuationOutcome};
 pub use index::{HeadroomIndex, OrderedHeadroom};
 pub use load::PmLoad;

@@ -35,13 +35,13 @@ impl std::error::Error for PackError {}
 /// incremental `admits` arithmetic and the subtractive `headroom`
 /// arithmetic can never hide an admissible PM. Pruning slightly less is
 /// one wasted probe; pruning slightly more would change results.
-const PRUNE_SLACK: f64 = 1e-6;
+pub(crate) const PRUNE_SLACK: f64 = 1e-6;
 
 /// Per-PM headroom of an empty farm under `strategy`.
 fn empty_headrooms(pms: &[PmSpec], strategy: &dyn Strategy) -> Vec<f64> {
-    pms.iter()
-        .map(|pm| strategy.headroom(&PmLoad::empty(), pm.capacity))
-        .collect()
+    let mut out = Vec::with_capacity(pms.len());
+    strategy.empty_headrooms(pms, &mut out);
+    out
 }
 
 /// The First-Fit probe over the index: lowest-numbered PM that admits

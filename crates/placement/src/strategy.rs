@@ -1,10 +1,10 @@
 //! Packing/admission strategies: QUEUE (the paper's Eq. 17) and the
 //! baselines RP, RB and RB-EX.
 
-use crate::clustering::{cluster_order, default_buckets};
+use crate::clustering::{cluster_bands, cluster_order, default_buckets};
 use crate::load::PmLoad;
 use crate::mapcal::MappingTable;
-use bursty_workload::VmSpec;
+use bursty_workload::{PmSpec, VmSpec};
 use std::sync::Arc;
 
 /// A consolidation strategy: how to order VMs for First-Fit-Decreasing and
@@ -58,6 +58,50 @@ pub trait Strategy: Send + Sync {
     /// disables pruning.
     fn demand(&self, _vm: &VmSpec) -> f64 {
         0.0
+    }
+
+    /// `(cluster band, primary key)` sort keys for a set of distinct VM
+    /// *class representatives*, or `None` when the strategy's order is
+    /// not expressible as per-class keys.
+    ///
+    /// `fleet_size` is the full fleet's VM count `n` — key computation
+    /// may depend on it (QUEUE's default bucket count is `⌈√n⌉`) even
+    /// though only `representatives.len()` keys are produced.
+    ///
+    /// Contract: when this returns `Some(keys)`, the key must be a pure
+    /// function of a VM's spec bits given the fleet — bit-identical
+    /// `(p_on, p_off, R_b, R_e)` specs get bit-identical keys, and a
+    /// representative's key must equal what its duplicates would be
+    /// assigned from the full fleet (QUEUE satisfies this because its
+    /// band edges depend only on the min/max spike size, a function of
+    /// the *support* of the spec distribution, which the representatives
+    /// span). Further, [`Strategy::order`] must equal a *stable* sort of
+    /// `0..n` by `(band descending, key descending by total order)` over
+    /// the per-VM keys these induce. The batch packer then reproduces the
+    /// order by sorting only the `k ≪ n` distinct classes — while staying
+    /// byte-identical to `order` (differentially property-tested in
+    /// `batch.rs`). The default (`None`) keeps arbitrary `order`
+    /// implementations correct: the batch packer falls back to calling
+    /// `order` itself.
+    fn class_order_keys(
+        &self,
+        _fleet_size: usize,
+        _representatives: &[VmSpec],
+    ) -> Option<Vec<(u32, f64)>> {
+        None
+    }
+
+    /// Appends the empty-farm headroom of every PM to `out` — a batched
+    /// form of `headroom(&PmLoad::empty(), pm.capacity)`. The default
+    /// body is monomorphized per implementing type, so the inner
+    /// `headroom` calls dispatch statically even when the strategy is
+    /// held behind `dyn`: one virtual call per farm instead of one per
+    /// PM, which matters when the batch packer resets a million-PM arena.
+    fn empty_headrooms(&self, pms: &[PmSpec], out: &mut Vec<f64>) {
+        out.extend(
+            pms.iter()
+                .map(|pm| self.headroom(&PmLoad::empty(), pm.capacity)),
+        );
     }
 }
 
@@ -161,6 +205,25 @@ impl Strategy for QueueStrategy {
     fn demand(&self, vm: &VmSpec) -> f64 {
         vm.r_b
     }
+
+    /// Band edges come from the min/max spike size, and every fleet
+    /// member's `R_e` is some representative's `R_e` — so banding the
+    /// representatives reproduces exactly the bands [`cluster_order`]
+    /// assigns over the full fleet.
+    fn class_order_keys(
+        &self,
+        fleet_size: usize,
+        representatives: &[VmSpec],
+    ) -> Option<Vec<(u32, f64)>> {
+        let buckets = self.buckets.unwrap_or_else(|| default_buckets(fleet_size));
+        let bands = cluster_bands(representatives, buckets);
+        Some(
+            bands
+                .into_iter()
+                .zip(representatives.iter().map(|v| v.r_b))
+                .collect(),
+        )
+    }
 }
 
 /// FFD by peak demand (`R_p`) — the paper's "RP": provisioning for peak
@@ -176,6 +239,14 @@ impl Strategy for PeakStrategy {
 
     fn order(&self, vms: &[VmSpec]) -> Vec<usize> {
         sorted_desc_by(vms, |v| v.r_p())
+    }
+
+    fn class_order_keys(
+        &self,
+        _fleet_size: usize,
+        representatives: &[VmSpec],
+    ) -> Option<Vec<(u32, f64)>> {
+        Some(representatives.iter().map(|v| (0, v.r_p())).collect())
     }
 
     fn feasible(&self, load: &PmLoad, capacity: f64) -> bool {
@@ -204,6 +275,14 @@ impl Strategy for BaseStrategy {
 
     fn order(&self, vms: &[VmSpec]) -> Vec<usize> {
         sorted_desc_by(vms, |v| v.r_b)
+    }
+
+    fn class_order_keys(
+        &self,
+        _fleet_size: usize,
+        representatives: &[VmSpec],
+    ) -> Option<Vec<(u32, f64)>> {
+        Some(representatives.iter().map(|v| (0, v.r_b)).collect())
     }
 
     fn feasible(&self, load: &PmLoad, capacity: f64) -> bool {
@@ -261,6 +340,14 @@ impl Strategy for ReserveStrategy {
 
     fn order(&self, vms: &[VmSpec]) -> Vec<usize> {
         sorted_desc_by(vms, |v| v.r_b)
+    }
+
+    fn class_order_keys(
+        &self,
+        _fleet_size: usize,
+        representatives: &[VmSpec],
+    ) -> Option<Vec<(u32, f64)>> {
+        Some(representatives.iter().map(|v| (0, v.r_b)).collect())
     }
 
     fn feasible(&self, load: &PmLoad, capacity: f64) -> bool {

@@ -44,6 +44,6 @@ pub use migration_cost::{precopy_cost, MigrationCost, MigrationParams};
 pub use policy::{
     DegradedAdmission, ObservedPolicy, PeakPolicy, PmRuntime, QueuePolicy, RuntimePolicy,
 };
-pub use runner::{replicate, replicate_seeds};
+pub use runner::{replicate, replicate_seeds, run_indexed};
 pub use scenario::{run_churn, ChurnConfig, ChurnOutcome};
 pub use stabilization::{detect_stabilization, Stabilization};

@@ -28,29 +28,33 @@ pub(crate) fn in_replication_worker() -> bool {
     IN_REPLICATION_WORKER.with(Cell::get)
 }
 
-/// Runs `f(seed)` for each seed in `seeds`, in parallel across up to
-/// `available_parallelism` threads, returning outcomes in seed order.
+/// Runs `f(i)` for every `i in 0..count`, in parallel across up to
+/// `available_parallelism` threads, returning results in ascending index
+/// order — the deterministic fan-out driver behind [`replicate_seeds`] and
+/// the experiment sweep grids.
 ///
-/// `f` must be deterministic in its seed for results to be reproducible
-/// (every simulator entry point in this workspace is).
+/// `f` must be deterministic in its index for results to be reproducible
+/// (every simulator entry point in this workspace is). Workers raise the
+/// replication-worker flag, so nested engine parallelism collapses to one
+/// thread instead of oversubscribing the machine.
 ///
 /// # Panics
-/// If `f` panics for some seed, the panic is re-raised on the calling
+/// If `f` panics for some index, the panic is re-raised on the calling
 /// thread with its original payload (not the generic "a scoped thread
-/// panicked" the scope would otherwise surface). When several seeds panic,
-/// the lowest-indexed one wins — the same panic a sequential run would hit
+/// panicked" the scope would otherwise surface). When several indices
+/// panic, the lowest one wins — the same panic a sequential run would hit
 /// first, so parallelism does not change which error is reported.
-pub fn replicate_seeds<T, F>(seeds: &[u64], f: F) -> Vec<T>
+pub fn run_indexed<T, F>(count: usize, f: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(u64) -> T + Sync,
+    F: Fn(usize) -> T + Sync,
 {
     let threads = thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
-        .min(seeds.len().max(1));
-    if threads <= 1 || seeds.len() <= 1 {
-        return seeds.iter().map(|&s| f(s)).collect();
+        .min(count.max(1));
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(&f).collect();
     }
 
     type Payload = Box<dyn Any + Send + 'static>;
@@ -61,20 +65,20 @@ where
             let f = &f;
             scope.spawn(move || {
                 IN_REPLICATION_WORKER.with(|flag| flag.set(true));
-                // Static stride partitioning: replication costs are
+                // Static stride partitioning: grid-point costs are
                 // near-uniform, so striding balances without a work queue.
-                for (idx, &seed) in seeds.iter().enumerate().skip(worker).step_by(threads) {
-                    let result = catch_unwind(AssertUnwindSafe(|| f(seed)));
+                for idx in (worker..count).step_by(threads) {
+                    let result = catch_unwind(AssertUnwindSafe(|| f(idx)));
                     let failed = result.is_err();
                     tx.send((idx, result)).expect("collector outlives workers");
                     if failed {
-                        break; // this worker's remaining seeds are moot
+                        break; // this worker's remaining indices are moot
                     }
                 }
             });
         }
         drop(tx);
-        let mut slots: Vec<Option<T>> = (0..seeds.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
         let mut first_panic: Option<(usize, Payload)> = None;
         for (idx, value) in rx {
             match value {
@@ -94,6 +98,20 @@ where
             .map(|s| s.expect("every index produced"))
             .collect()
     })
+}
+
+/// Runs `f(seed)` for each seed in `seeds`, in parallel across up to
+/// `available_parallelism` threads, returning outcomes in seed order.
+/// A thin wrapper over [`run_indexed`].
+///
+/// # Panics
+/// Propagates worker panics exactly as [`run_indexed`] does.
+pub fn replicate_seeds<T, F>(seeds: &[u64], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    run_indexed(seeds.len(), |i| f(seeds[i]))
 }
 
 /// Convenience wrapper: seeds `base_seed..base_seed + runs`.
@@ -125,6 +143,28 @@ mod tests {
             assert_eq!(flagged, parallel, "seed {s}");
         }
         assert!(!in_replication_worker(), "flag must not leak to callers");
+    }
+
+    #[test]
+    fn run_indexed_returns_ascending_index_order() {
+        let out = run_indexed(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        let none: Vec<usize> = run_indexed(0, |i| i);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn run_indexed_lowest_index_panic_wins() {
+        let caught = std::panic::catch_unwind(|| {
+            run_indexed(32, |i| {
+                if i >= 5 {
+                    panic!("point {i}");
+                }
+                i
+            })
+        })
+        .expect_err("must panic");
+        assert_eq!(caught.downcast_ref::<String>().unwrap(), "point 5");
     }
 
     #[test]

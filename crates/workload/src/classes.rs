@@ -1,0 +1,241 @@
+//! Equivalence classes of VM specifications.
+//!
+//! The paper's admission test (Eq. 17) depends on a VM only through its
+//! four-tuple `(p_on, p_off, R_b, R_e)` — two VMs with identical tuples are
+//! interchangeable everywhere in the consolidation pipeline. Production
+//! fleets are built from a handful of instance types (Table I has seven
+//! rows), so a million-VM input typically collapses to a few dozen
+//! classes. This module extracts that structure:
+//!
+//! * [`VmClass`] — the tuple itself, hashable by exact bit pattern (no
+//!   tolerance matching: only bit-identical specs are interchangeable
+//!   under bit-identical arithmetic).
+//! * [`class_runs`] — run-length-encodes a placement *order* into maximal
+//!   runs of consecutive same-class VMs, preserving the order exactly (the
+//!   paper's cluster-by-`R_e` / sort-by-`R_b` order puts same-class VMs
+//!   next to each other, so the encoding is near-perfect there, but any
+//!   order is legal — runs just get shorter).
+//! * [`collapse`] — exact-key dedup into `(VmClass, count)` pairs in
+//!   first-appearance order, for collapse-factor decisions and reporting.
+
+use crate::spec::VmSpec;
+use std::collections::HashMap;
+
+/// An equivalence class of VMs: the spec four-tuple without the id.
+/// Equality and hashing use the exact bit patterns of the four fields, so
+/// two classes compare equal exactly when every packing/admission
+/// computation treats their members identically.
+#[derive(Debug, Clone, Copy)]
+pub struct VmClass {
+    /// OFF→ON switch probability.
+    pub p_on: f64,
+    /// ON→OFF switch probability.
+    pub p_off: f64,
+    /// Normal-level (base) demand `R_b`.
+    pub r_b: f64,
+    /// Spike size `R_e`.
+    pub r_e: f64,
+}
+
+impl VmClass {
+    /// The class of a VM.
+    #[inline]
+    pub fn of(vm: &VmSpec) -> Self {
+        Self {
+            p_on: vm.p_on,
+            p_off: vm.p_off,
+            r_b: vm.r_b,
+            r_e: vm.r_e,
+        }
+    }
+
+    /// The exact dedup key: bit patterns of the four fields.
+    #[inline]
+    pub fn key(&self) -> [u64; 4] {
+        [
+            self.p_on.to_bits(),
+            self.p_off.to_bits(),
+            self.r_b.to_bits(),
+            self.r_e.to_bits(),
+        ]
+    }
+
+    /// Whether `vm` belongs to this class (bit-exact).
+    #[inline]
+    pub fn matches(&self, vm: &VmSpec) -> bool {
+        self.key() == Self::of(vm).key()
+    }
+}
+
+impl PartialEq for VmClass {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for VmClass {}
+
+impl std::hash::Hash for VmClass {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+/// A maximal run of consecutive same-class VMs inside a placement order:
+/// positions `start .. start + len` of the order slice all hold VMs of
+/// `class`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassRun {
+    /// The shared spec tuple of every VM in the run.
+    pub class: VmClass,
+    /// First position in the *order* slice (not a VM index).
+    pub start: usize,
+    /// Number of consecutive same-class positions.
+    pub len: usize,
+}
+
+/// Run-length-encodes `order` (a permutation of VM indices, e.g. the
+/// output of a packing strategy's ordering) into maximal [`ClassRun`]s.
+/// Concatenating the runs reproduces `order` exactly, so a packer that
+/// processes runs left to right visits VMs in the same sequence a per-VM
+/// packer would.
+pub fn class_runs(vms: &[VmSpec], order: &[usize]) -> Vec<ClassRun> {
+    let mut runs: Vec<ClassRun> = Vec::new();
+    for (pos, &i) in order.iter().enumerate() {
+        let class = VmClass::of(&vms[i]);
+        match runs.last_mut() {
+            Some(run) if run.class == class => run.len += 1,
+            _ => runs.push(ClassRun {
+                class,
+                start: pos,
+                len: 1,
+            }),
+        }
+    }
+    runs
+}
+
+/// Exact-key dedup of a fleet into `(VmClass, count)` pairs, ordered by
+/// first appearance in `vms`.
+pub fn collapse(vms: &[VmSpec]) -> Vec<(VmClass, usize)> {
+    let mut slot: HashMap<[u64; 4], usize> = HashMap::with_capacity(vms.len().min(1024));
+    let mut pairs: Vec<(VmClass, usize)> = Vec::new();
+    for vm in vms {
+        let class = VmClass::of(vm);
+        match slot.get(&class.key()) {
+            Some(&at) => pairs[at].1 += 1,
+            None => {
+                slot.insert(class.key(), pairs.len());
+                pairs.push((class, 1));
+            }
+        }
+    }
+    pairs
+}
+
+/// Number of distinct classes in the fleet (the length of [`collapse`]
+/// without materializing the pairs).
+pub fn distinct_classes(vms: &[VmSpec]) -> usize {
+    let mut keys: HashMap<[u64; 4], ()> = HashMap::with_capacity(vms.len().min(1024));
+    for vm in vms {
+        keys.insert(VmClass::of(vm).key(), ());
+    }
+    keys.len()
+}
+
+/// Collapse factor `n / distinct_classes` — how many VMs the average class
+/// absorbs (1.0 for an all-distinct fleet, `n` for a single-class one).
+/// Empty fleets report 1.0.
+pub fn collapse_factor(vms: &[VmSpec]) -> f64 {
+    if vms.is_empty() {
+        return 1.0;
+    }
+    vms.len() as f64 / distinct_classes(vms) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(id: usize, r_b: f64, r_e: f64) -> VmSpec {
+        VmSpec::new(id, 0.01, 0.09, r_b, r_e)
+    }
+
+    #[test]
+    fn class_equality_is_bit_exact() {
+        let a = VmClass::of(&vm(0, 5.0, 2.0));
+        let b = VmClass::of(&vm(9, 5.0, 2.0));
+        let c = VmClass::of(&vm(1, 5.0, 2.0 + 1e-12));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.matches(&vm(3, 5.0, 2.0)));
+        assert!(!a.matches(&vm(3, 5.0, 2.5)));
+    }
+
+    #[test]
+    fn probabilities_are_part_of_the_key() {
+        let a = VmClass::of(&VmSpec::new(0, 0.01, 0.09, 5.0, 2.0));
+        let b = VmClass::of(&VmSpec::new(0, 0.02, 0.09, 5.0, 2.0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn runs_cover_the_order_exactly() {
+        let vms = vec![vm(0, 5.0, 2.0), vm(1, 5.0, 2.0), vm(2, 3.0, 2.0)];
+        let order = [2, 0, 1];
+        let runs = class_runs(&vms, &order);
+        assert_eq!(runs.len(), 2);
+        assert_eq!((runs[0].start, runs[0].len), (0, 1));
+        assert_eq!((runs[1].start, runs[1].len), (1, 2));
+        assert!(runs[1].class.matches(&vms[0]));
+        let total: usize = runs.iter().map(|r| r.len).sum();
+        assert_eq!(total, order.len());
+    }
+
+    #[test]
+    fn interleaved_classes_split_runs() {
+        // Same class at positions 0 and 2 with a different class between:
+        // three runs, not two.
+        let vms = vec![vm(0, 5.0, 2.0), vm(1, 4.0, 2.0), vm(2, 5.0, 2.0)];
+        let runs = class_runs(&vms, &[0, 1, 2]);
+        assert_eq!(runs.len(), 3);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(class_runs(&[], &[]).is_empty());
+        assert!(collapse(&[]).is_empty());
+        assert_eq!(distinct_classes(&[]), 0);
+        assert_eq!(collapse_factor(&[]), 1.0);
+    }
+
+    #[test]
+    fn collapse_counts_and_orders_by_first_appearance() {
+        let vms = vec![
+            vm(0, 5.0, 2.0),
+            vm(1, 3.0, 1.0),
+            vm(2, 5.0, 2.0),
+            vm(3, 5.0, 2.0),
+        ];
+        let pairs = collapse(&vms);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs[0].0.matches(&vms[0]));
+        assert_eq!(pairs[0].1, 3);
+        assert!(pairs[1].0.matches(&vms[1]));
+        assert_eq!(pairs[1].1, 1);
+        assert_eq!(distinct_classes(&vms), 2);
+        assert_eq!(collapse_factor(&vms), 2.0);
+    }
+
+    #[test]
+    fn table_i_fleet_collapses_hard() {
+        use crate::fleet::FleetGenerator;
+        use crate::patterns::WorkloadPattern;
+        let mut g = FleetGenerator::new(5);
+        let vms = g.vms_table_i(1000, WorkloadPattern::EqualSpike);
+        // Equal-spike Table I has three rows: (S,S), (M,M), (L,L).
+        assert_eq!(distinct_classes(&vms), 3);
+        let pairs = collapse(&vms);
+        assert_eq!(pairs.iter().map(|&(_, c)| c).sum::<usize>(), 1000);
+    }
+}

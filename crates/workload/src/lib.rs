@@ -15,6 +15,7 @@
 //! dispersion, run statistics) the way the paper's related work does.
 
 pub mod analysis;
+pub mod classes;
 pub mod diurnal;
 pub mod fitting;
 pub mod fleet;
@@ -25,6 +26,7 @@ pub mod trace;
 pub mod webserver;
 
 pub use analysis::{profile, BurstinessProfile};
+pub use classes::{class_runs, collapse, collapse_factor, distinct_classes, ClassRun, VmClass};
 pub use fitting::{fit_fleet, fit_trace, FitError, FittedModel};
 pub use fleet::{FleetGenerator, FleetOptions};
 pub use patterns::{SizeClass, TableIRow, WorkloadPattern, TABLE_I};
