@@ -8,13 +8,21 @@
 //!
 //! ```text
 //! engine-bench [--steps S] [--fleets N1,N2,...] [--repeats R]
-//!              [--mapcal-d D] [--out PATH]
+//!              [--mapcal-d D] [--out PATH] [--obs-gate PCT]
 //! ```
 //!
 //! Defaults: 200 steps, fleet of 800 VMs, 3 repeats (best kept),
 //! MapCal d = 200, output to `BENCH_engine.json`. Every timing is the
 //! minimum over the repeats — throughput questions want the
 //! least-interfered run, not the mean.
+//!
+//! The observability section times `run()` (which *is* the
+//! `NoopRecorder` monomorphization) against an explicit
+//! `run_recorded::<NoopRecorder>` call and against a fully active
+//! `MemoryRecorder`. `--obs-gate PCT` turns the Noop comparison into a
+//! pass/fail check: exit nonzero if the explicit-Noop path is more than
+//! PCT percent slower — a drift alarm for accidental de-monomorphization
+//! or instrumentation leaking out of `if R::ENABLED` guards.
 
 use bursty_core::prelude::*;
 use rand::rngs::StdRng;
@@ -31,12 +39,13 @@ struct EngineRow {
     vm_steps_per_sec: f64,
 }
 
-fn parse_args() -> (usize, Vec<usize>, usize, usize, String) {
+fn parse_args() -> (usize, Vec<usize>, usize, usize, String, Option<f64>) {
     let mut steps = 200usize;
     let mut fleets = vec![800usize];
     let mut repeats = 3usize;
     let mut mapcal_d = 200usize;
     let mut out = "BENCH_engine.json".to_string();
+    let mut obs_gate: Option<f64> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -55,6 +64,7 @@ fn parse_args() -> (usize, Vec<usize>, usize, usize, String) {
             "--repeats" => repeats = value.parse().expect("--repeats"),
             "--mapcal-d" => mapcal_d = value.parse().expect("--mapcal-d"),
             "--out" => out = value.clone(),
+            "--obs-gate" => obs_gate = Some(value.parse().expect("--obs-gate")),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -62,7 +72,7 @@ fn parse_args() -> (usize, Vec<usize>, usize, usize, String) {
         }
         i += 2;
     }
-    (steps, fleets, repeats.max(1), mapcal_d, out)
+    (steps, fleets, repeats.max(1), mapcal_d, out, obs_gate)
 }
 
 fn best_secs<R>(repeats: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -76,7 +86,7 @@ fn best_secs<R>(repeats: usize, mut f: impl FnMut() -> R) -> f64 {
 }
 
 fn main() {
-    let (steps, fleets, repeats, mapcal_d, out_path) = parse_args();
+    let (steps, fleets, repeats, mapcal_d, out_path, obs_gate) = parse_args();
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     eprintln!("engine-bench: {steps} steps, fleets {fleets:?}, {repeats} repeats, {cores} cores");
 
@@ -160,6 +170,51 @@ fn main() {
         hot_legacy / hot_soa
     );
 
+    // Observability overhead: run() is the NoopRecorder monomorphization,
+    // so run() vs run_recorded::<NoopRecorder> is an A/A comparison that
+    // measures pure noise unless zero-cost dispatch has regressed; the
+    // MemoryRecorder row shows what turning everything on actually costs.
+    let obs_n = fleets.iter().copied().max().unwrap_or(800);
+    let (obs_vms, obs_pms, obs_placement) = {
+        let mut gen = FleetGenerator::new(obs_n as u64);
+        let vms = gen.vms(obs_n, WorkloadPattern::EqualSpike);
+        let pms = gen.pms(obs_n);
+        let placement = Consolidator::new(Scheme::Queue)
+            .place(&vms, &pms)
+            .expect("placement");
+        (vms, pms, placement)
+    };
+    let obs_cfg = SimConfig {
+        steps,
+        seed: 1,
+        migrations_enabled: true,
+        ..Default::default()
+    };
+    let obs_consolidator = Consolidator::new(Scheme::Queue);
+    let obs_noop = best_secs(repeats, || {
+        obs_consolidator
+            .simulate(&obs_vms, &obs_pms, &obs_placement, obs_cfg)
+            .final_pms_used
+    });
+    let obs_noop_explicit = best_secs(repeats, || {
+        let mut rec = NoopRecorder;
+        obs_consolidator
+            .simulate_recorded(&obs_vms, &obs_pms, &obs_placement, obs_cfg, &mut rec)
+            .final_pms_used
+    });
+    let obs_memory = best_secs(repeats, || {
+        let mut rec = MemoryRecorder::new(65_536).with_cvr_sampling((steps / 100).max(1));
+        obs_consolidator
+            .simulate_recorded(&obs_vms, &obs_pms, &obs_placement, obs_cfg, &mut rec)
+            .final_pms_used
+    });
+    let obs_noop_overhead_pct = (obs_noop_explicit / obs_noop - 1.0) * 100.0;
+    let obs_memory_overhead_pct = (obs_memory / obs_noop - 1.0) * 100.0;
+    eprintln!(
+        "  obs n={obs_n}: noop {obs_noop:.4}s, explicit-noop {obs_noop_explicit:.4}s \
+         ({obs_noop_overhead_pct:+.2}%), memory {obs_memory:.4}s ({obs_memory_overhead_pct:+.2}%)"
+    );
+
     // MapCal stationary build: every aggregate size 1..=d, exactly the
     // loop MappingTable::build drives through reservation().
     let mapcal_closed = best_secs(repeats, || {
@@ -232,6 +287,13 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"obs\": {{\"n\": {obs_n}, \"noop_secs\": {obs_noop:.6}, \
+         \"noop_recorded_secs\": {obs_noop_explicit:.6}, \"memory_secs\": {obs_memory:.6}, \
+         \"noop_overhead_pct\": {obs_noop_overhead_pct:.2}, \
+         \"memory_overhead_pct\": {obs_memory_overhead_pct:.2}}},"
+    );
+    let _ = writeln!(
+        json,
         "  \"mapcal\": {{\"d\": {mapcal_d}, \"closed_form_secs\": {mapcal_closed:.6}, \
          \"gaussian_secs\": {mapcal_gauss:.6}, \"speedup\": {:.1}}}",
         mapcal_gauss / mapcal_closed
@@ -240,4 +302,15 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
     eprintln!("wrote {out_path}");
+
+    if let Some(gate) = obs_gate {
+        if obs_noop_overhead_pct > gate {
+            eprintln!(
+                "FAIL: NoopRecorder overhead {obs_noop_overhead_pct:.2}% exceeds the \
+                 --obs-gate {gate}% budget"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("obs gate: NoopRecorder overhead {obs_noop_overhead_pct:+.2}% <= {gate}%");
+    }
 }

@@ -268,6 +268,11 @@ pub fn consolidate(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
 /// times, mean `--mtbf`/`--mttr` periods, `--fault-group` PMs per fault
 /// domain); the report then adds recovery metrics and splits violations
 /// into burstiness-caused vs degraded-mode.
+///
+/// `--trace-out <file>` attaches a [`MemoryRecorder`] to the packing and
+/// the simulation and dumps the structured trace (counters, gauges,
+/// histograms, per-PM CVR series, event journal) as JSONL; summarize it
+/// with `bursty trace-report <file>`.
 pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     use bursty_core::metrics::inference::{certify_bound, BoundVerdict};
     use bursty_core::metrics::slo;
@@ -341,9 +346,18 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let consolidator = Consolidator::new(Scheme::Queue)
         .with_probabilities(p_on, p_off)
         .with_rho(rho);
-    let placement = consolidator
-        .place(&specs, &pms)
-        .map_err(|e| err(format!("planning failed: {e} — add PMs or capacity")))?;
+    // `--trace-out` attaches a bounded-journal recorder to both phases;
+    // the default path stays on the zero-cost NoopRecorder.
+    let trace_out = args.get_str("trace-out");
+    let mut rec = trace_out.map(|_| {
+        let every = (steps / 256).max(1);
+        MemoryRecorder::new(65_536).with_cvr_sampling(every)
+    });
+    let placement = match rec.as_mut() {
+        Some(r) => consolidator.place_recorded(&specs, &pms, r),
+        None => consolidator.place(&specs, &pms),
+    }
+    .map_err(|e| err(format!("planning failed: {e} — add PMs or capacity")))?;
 
     // Simulate the fitted workloads against the plan.
     let cfg = SimConfig {
@@ -357,7 +371,10 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     cfg.validate()
         .map_err(|e| err(format!("invalid simulation setup: {e}")))?;
-    let outcome = consolidator.simulate(&specs, &pms, &placement, cfg);
+    let outcome = match rec.as_mut() {
+        Some(r) => consolidator.simulate_recorded(&specs, &pms, &placement, cfg, r),
+        None => consolidator.simulate(&specs, &pms, &placement, cfg),
+    };
 
     let r = OnOffChain::new(p_on, p_off)
         .autocorrelation(1)
@@ -412,6 +429,32 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             r.degraded_violation_steps,
         )?;
     }
+    if let (Some(path), Some(r)) = (trace_out, rec.as_ref()) {
+        std::fs::write(path, r.to_jsonl()).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        writeln!(
+            out,
+            "trace written to {path} ({} journal events, {} dropped)",
+            r.journal().len(),
+            r.journal().dropped(),
+        )?;
+    }
+    Ok(())
+}
+
+/// `bursty trace-report <trace.jsonl>`
+///
+/// Parses a trace produced by `simulate --trace-out` and prints a human
+/// summary: counters, gauges, event counts by type, the per-PM violation
+/// leaderboard and the CVR-series coverage.
+pub fn trace_report(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(args)?;
+    let [path] = args.positional() else {
+        return Err(err("trace-report expects exactly one trace file"));
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let report = TraceReport::from_jsonl(&text).map_err(|e| err(format!("{path}: {e}")))?;
+    write!(out, "{}", report.render())?;
     Ok(())
 }
 

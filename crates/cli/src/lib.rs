@@ -57,6 +57,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "plan" => commands::plan(rest, out),
         "consolidate" => commands::consolidate(rest, out),
         "simulate" => commands::simulate(rest, out),
+        "trace-report" => commands::trace_report(rest, out),
         "--help" | "-h" | "help" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -88,7 +89,7 @@ USAGE:
       automatically from the fleet's duplicate ratio
   bursty simulate --traces <dir> --capacity <C> [--steps S] [--rho R | --availability PCT]
                   [--mtbf S [--mttr S] [--fault-group G] [--fault-seed N]]
-                  [--rng-layout shared|per-vm [--threads T]]
+                  [--rng-layout shared|per-vm [--threads T]] [--trace-out FILE]
       plan as above, then simulate the fitted fleet and certify the
       CVR bound statistically (Wilson interval, correlation-discounted);
       --mtbf injects PM crashes (mean time between failures / to repair
@@ -96,7 +97,12 @@ USAGE:
       recovery metrics and the burstiness/degraded violation split;
       --rng-layout per-vm gives every VM its own counter-based RNG
       stream so --threads T (0 = all cores) parallelizes the workload
-      evolution with results identical at any thread count";
+      evolution with results identical at any thread count;
+      --trace-out dumps the structured observability trace (counters,
+      event journal, per-PM CVR series) as JSONL
+  bursty trace-report <trace.jsonl>
+      summarize a --trace-out dump: counters, gauges, events by type,
+      the per-PM violation leaderboard and CVR-series coverage";
 
 #[cfg(test)]
 mod tests {

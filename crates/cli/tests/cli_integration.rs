@@ -235,6 +235,59 @@ fn simulate_accepts_rng_layout_and_threads() {
 }
 
 #[test]
+fn simulate_trace_out_round_trips_through_trace_report() {
+    let dir = scratch("simulate-trace");
+    write_generated_traces(&dir, 4);
+    let trace_path = dir.join("trace.jsonl");
+    let out = run_ok(&args(&[
+        "simulate",
+        "--traces",
+        dir.to_str().unwrap(),
+        "--capacity",
+        "90",
+        "--steps",
+        "2000",
+        "--mtbf",
+        "400",
+        "--mttr",
+        "40",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]));
+    assert!(out.contains("trace written to"), "{out}");
+
+    let text = fs::read_to_string(&trace_path).unwrap();
+    let first = text.lines().next().unwrap();
+    assert!(first.contains("\"type\":\"meta\""), "{first}");
+    // The dump carries the step counter and CVR series lines.
+    assert!(text.contains("\"steps\":2000"), "missing steps counter");
+    assert!(text.contains("\"type\":\"cvr_series\""), "missing series");
+
+    let report = run_ok(&args(&["trace-report", trace_path.to_str().unwrap()]));
+    assert!(report.contains("trace report"), "{report}");
+    assert!(report.contains("steps"), "{report}");
+    assert!(report.contains("cvr series"), "{report}");
+}
+
+#[test]
+fn trace_report_rejects_garbage_and_missing_files() {
+    let dir = scratch("trace-report-bad");
+    let mut buf = Vec::new();
+    let missing = dir.join("nope.jsonl");
+    let e = run(
+        &args(&["trace-report", missing.to_str().unwrap()]),
+        &mut buf,
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("cannot read"), "{e}");
+
+    let junk = dir.join("junk.jsonl");
+    fs::write(&junk, "not a trace\n").unwrap();
+    let e = run(&args(&["trace-report", junk.to_str().unwrap()]), &mut buf).unwrap_err();
+    assert!(e.to_string().contains("junk.jsonl"), "{e}");
+}
+
+#[test]
 fn simulate_accepts_availability_budget() {
     let dir = scratch("simulate-slo");
     write_generated_traces(&dir, 4);

@@ -1,8 +1,9 @@
 //! The high-level consolidation API: pick a scheme, place, simulate.
 
+use bursty_obs::{NoopRecorder, Recorder};
 use bursty_placement::{
-    first_fit, first_fit_batch, BaseStrategy, PackError, PeakStrategy, Placement, QueueStrategy,
-    ReserveStrategy, Strategy,
+    first_fit_batch_recorded, first_fit_recorded, BaseStrategy, PackError, PeakStrategy, Placement,
+    QueueStrategy, ReserveStrategy, Strategy,
 };
 use bursty_sim::{
     DegradedAdmission, ObservedPolicy, PeakPolicy, QueuePolicy, RuntimePolicy, SimConfig,
@@ -190,11 +191,25 @@ impl Consolidator {
     /// # Errors
     /// [`PackError`] if some VM fits nowhere.
     pub fn place(&self, vms: &[VmSpec], pms: &[PmSpec]) -> Result<Placement, PackError> {
+        self.place_recorded(vms, pms, &mut NoopRecorder)
+    }
+
+    /// [`Consolidator::place`] with packing counters/gauges flowing into
+    /// `rec`. With [`bursty_obs::NoopRecorder`] this is exactly `place`.
+    ///
+    /// # Errors
+    /// [`PackError`] if some VM fits nowhere.
+    pub fn place_recorded<R: Recorder>(
+        &self,
+        vms: &[VmSpec],
+        pms: &[PmSpec],
+        rec: &mut R,
+    ) -> Result<Placement, PackError> {
         let strategy = self.strategy();
         if self.uses_batch(vms) {
-            first_fit_batch(vms, pms, strategy.as_ref())
+            first_fit_batch_recorded(vms, pms, strategy.as_ref(), rec)
         } else {
-            first_fit(vms, pms, strategy.as_ref())
+            first_fit_recorded(vms, pms, strategy.as_ref(), rec)
         }
     }
 
@@ -206,8 +221,22 @@ impl Consolidator {
         placement: &Placement,
         config: SimConfig,
     ) -> SimOutcome {
+        self.simulate_recorded(vms, pms, placement, config, &mut NoopRecorder)
+    }
+
+    /// [`Consolidator::simulate`] with runtime counters, the event journal
+    /// and CVR sampling flowing into `rec`. Outcomes are bit-identical to
+    /// `simulate` for any recorder (see `Simulator::run_recorded`).
+    pub fn simulate_recorded<R: Recorder>(
+        &self,
+        vms: &[VmSpec],
+        pms: &[PmSpec],
+        placement: &Placement,
+        config: SimConfig,
+        rec: &mut R,
+    ) -> SimOutcome {
         let policy = self.policy();
-        Simulator::new(vms, pms, policy.as_ref(), config).run(placement)
+        Simulator::new(vms, pms, policy.as_ref(), config).run_recorded(placement, rec)
     }
 
     /// Place-then-simulate in one call.
@@ -220,8 +249,22 @@ impl Consolidator {
         pms: &[PmSpec],
         config: SimConfig,
     ) -> Result<(Placement, SimOutcome), PackError> {
-        let placement = self.place(vms, pms)?;
-        let outcome = self.simulate(vms, pms, &placement, config);
+        self.evaluate_recorded(vms, pms, config, &mut NoopRecorder)
+    }
+
+    /// Place-then-simulate with one recorder observing both phases.
+    ///
+    /// # Errors
+    /// Propagates packing failures.
+    pub fn evaluate_recorded<R: Recorder>(
+        &self,
+        vms: &[VmSpec],
+        pms: &[PmSpec],
+        config: SimConfig,
+        rec: &mut R,
+    ) -> Result<(Placement, SimOutcome), PackError> {
+        let placement = self.place_recorded(vms, pms, rec)?;
+        let outcome = self.simulate_recorded(vms, pms, &placement, config, rec);
         Ok((placement, outcome))
     }
 }

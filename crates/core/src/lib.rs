@@ -44,10 +44,12 @@
 //! | [`placement`] | MapCal, QueuingFFD, the RP/RB/RB-EX baselines, online + multi-dim variants |
 //! | [`sim`] | the time-stepped data-center simulator with live migration |
 //! | [`metrics`] | summary stats, time series, tables, ASCII plots, CSV |
+//! | [`obs`] | zero-cost recorders, the structured event journal, CVR certification |
 
 pub use bursty_linalg as linalg;
 pub use bursty_markov as markov;
 pub use bursty_metrics as metrics;
+pub use bursty_obs as obs;
 pub use bursty_placement as placement;
 pub use bursty_sim as sim;
 pub use bursty_workload as workload;
@@ -64,6 +66,10 @@ pub mod prelude {
         VmState,
     };
     pub use bursty_metrics::{Summary, Table, TimeSeries};
+    pub use bursty_obs::{
+        certify_cvr, Counter, CvrCheck, Event, EventJournal, Gauge, HistId, MemoryRecorder,
+        NoopRecorder, Recorder, TraceReport,
+    };
     pub use bursty_placement::{
         first_fit, first_fit_batch, BaseStrategy, MappingTable, PeakStrategy, Placement,
         PlacementState, PmLoad, QueueStrategy, ReserveStrategy, Strategy,

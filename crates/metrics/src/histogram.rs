@@ -1,4 +1,47 @@
-//! Fixed-width-bin histograms (used for CVR distributions, Fig. 6).
+//! Fixed-width-bin histograms (used for CVR distributions, Fig. 6) and
+//! log2-bucketed histograms (used by the observability layer for latency-
+//! and size-like quantities spanning orders of magnitude).
+
+use std::fmt;
+
+/// Why two histograms cannot be merged: their bucket layouts disagree, so
+/// adding counts bin-by-bin would silently misattribute observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HistogramError {
+    /// The `[lo, hi)` ranges differ, so equal bin indexes cover different
+    /// value intervals.
+    RangeMismatch {
+        /// `(lo, hi)` of the receiver.
+        ours: (f64, f64),
+        /// `(lo, hi)` of the argument.
+        theirs: (f64, f64),
+    },
+    /// The bin (or bucket) counts differ, so the bin widths disagree even
+    /// over an identical range.
+    BinCountMismatch {
+        /// Bin count of the receiver.
+        ours: usize,
+        /// Bin count of the argument.
+        theirs: usize,
+    },
+}
+
+impl fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistogramError::RangeMismatch { ours, theirs } => write!(
+                f,
+                "histogram ranges differ: [{}, {}) vs [{}, {})",
+                ours.0, ours.1, theirs.0, theirs.1
+            ),
+            HistogramError::BinCountMismatch { ours, theirs } => {
+                write!(f, "histogram bin counts differ: {ours} vs {theirs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
 
 /// A histogram with `bins` equal-width bins over `[lo, hi)`, plus overflow
 /// and underflow counters.
@@ -80,6 +123,127 @@ impl Histogram {
             + self.overflow;
         above as f64 / total as f64
     }
+
+    /// Adds `other`'s counts bin-by-bin (plus under/overflow). The bucket
+    /// layouts must agree exactly — merging histograms of different ranges
+    /// or widths would misattribute every observation, so layout drift is
+    /// a typed error rather than a silent corruption.
+    ///
+    /// # Errors
+    /// [`HistogramError`] when `lo`/`hi` or the bin count differ. On error
+    /// the receiver is untouched.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), HistogramError> {
+        if self.lo.to_bits() != other.lo.to_bits() || self.hi.to_bits() != other.hi.to_bits() {
+            return Err(HistogramError::RangeMismatch {
+                ours: (self.lo, self.hi),
+                theirs: (other.lo, other.hi),
+            });
+        }
+        if self.counts.len() != other.counts.len() {
+            return Err(HistogramError::BinCountMismatch {
+                ours: self.counts.len(),
+                theirs: other.counts.len(),
+            });
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        Ok(())
+    }
+}
+
+/// A log2-bucketed histogram over `u64` values: bucket 0 holds the value
+/// 0, bucket `b ≥ 1` holds values whose bit length is `b` (i.e. the range
+/// `[2^(b−1), 2^b)`), and the *last* bucket saturates — every value too
+/// large for its own bucket lands there rather than in a lossy overflow
+/// counter. With 65 buckets (the maximum useful count) every `u64`
+/// including `u64::MAX` has its exact bucket.
+///
+/// This is the shape observability counters want: step counts, backoff
+/// delays and batch sizes span orders of magnitude, and the question asked
+/// of them is "what's the distribution's shape", not "what's the 37th
+/// percentile to three digits".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: Vec<u64>,
+}
+
+impl Log2Histogram {
+    /// Largest bucket count that still discriminates: value 0 plus one
+    /// bucket per possible bit length of a `u64`.
+    pub const MAX_BUCKETS: usize = 65;
+
+    /// Creates a histogram with `buckets` buckets (clamped to
+    /// [`Self::MAX_BUCKETS`]).
+    ///
+    /// # Panics
+    /// Panics when `buckets == 0`.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        Self {
+            counts: vec![0; buckets.min(Self::MAX_BUCKETS)],
+        }
+    }
+
+    /// The bucket a value falls into: 0 for 0, else its bit length,
+    /// saturated into the last bucket.
+    pub fn bucket_of(&self, value: u64) -> usize {
+        let b = (u64::BITS - value.leading_zeros()) as usize;
+        b.min(self.counts.len() - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let b = self.bucket_of(value);
+        self.counts[b] += 1;
+    }
+
+    /// Per-bucket counts; bucket `b ≥ 1` covers `[2^(b−1), 2^b)`, the last
+    /// bucket additionally holds everything larger.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The inclusive `[start, end]` value range of bucket `b` (the last
+    /// bucket ends at `u64::MAX` by saturation).
+    pub fn bucket_range(&self, b: usize) -> (u64, u64) {
+        let last = self.counts.len() - 1;
+        let start = if b == 0 { 0 } else { 1u64 << (b - 1) };
+        let end = if b == 0 {
+            0
+        } else if b >= last || b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        };
+        (start, end)
+    }
+
+    /// Adds `other`'s counts bucket-by-bucket.
+    ///
+    /// # Errors
+    /// [`HistogramError::BinCountMismatch`] when the bucket counts differ
+    /// (different saturation points make bucketwise addition meaningless).
+    /// On error the receiver is untouched.
+    pub fn merge(&mut self, other: &Log2Histogram) -> Result<(), HistogramError> {
+        if self.counts.len() != other.counts.len() {
+            return Err(HistogramError::BinCountMismatch {
+                ours: self.counts.len(),
+                theirs: other.counts.len(),
+            });
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -134,5 +298,110 @@ mod tests {
     #[should_panic(expected = "lo must be")]
     fn rejects_inverted_range() {
         let _ = Histogram::new(1.0, 0.0, 3);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_flows() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let mut b = Histogram::new(0.0, 1.0, 4);
+        for &x in &[0.1, 0.6, -1.0, 2.0] {
+            a.push(x);
+        }
+        for &x in &[0.1, 0.9, 2.0] {
+            b.push(x);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts(), &[2, 0, 1, 1]);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 2);
+        assert_eq!(a.total(), 7);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_range() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let mut b = Histogram::new(0.0, 2.0, 4);
+        b.push(1.5);
+        let before = a.clone();
+        let err = a.merge(&b).unwrap_err();
+        assert_eq!(
+            err,
+            HistogramError::RangeMismatch {
+                ours: (0.0, 1.0),
+                theirs: (0.0, 2.0),
+            }
+        );
+        assert!(err.to_string().contains("ranges differ"));
+        assert_eq!(a, before, "failed merge must not corrupt the receiver");
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_bin_count() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let b = Histogram::new(0.0, 1.0, 8);
+        let err = a.merge(&b).unwrap_err();
+        assert_eq!(err, HistogramError::BinCountMismatch { ours: 4, theirs: 8 });
+        assert!(err.to_string().contains("4 vs 8"));
+    }
+
+    #[test]
+    fn log2_buckets_by_bit_length() {
+        let mut h = Log2Histogram::new(Log2Histogram::MAX_BUCKETS);
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.counts()[0], 1, "value 0");
+        assert_eq!(h.counts()[1], 1, "value 1");
+        assert_eq!(h.counts()[2], 2, "values 2..4");
+        assert_eq!(h.counts()[3], 2, "values 4..8");
+        assert_eq!(h.counts()[4], 1, "values 8..16");
+        assert_eq!(h.counts()[11], 1, "value 1024");
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn log2_max_value_lands_in_last_bucket_not_overflow() {
+        // The boundary bucket: the largest representable value must be
+        // counted in the last bucket — there is no overflow counter to
+        // silently absorb it.
+        let mut h = Log2Histogram::new(Log2Histogram::MAX_BUCKETS);
+        h.record(u64::MAX);
+        assert_eq!(*h.counts().last().unwrap(), 1);
+        assert_eq!(h.total(), 1);
+
+        // With a truncated bucket count the last bucket saturates: both a
+        // just-too-large value and u64::MAX land there.
+        let mut small = Log2Histogram::new(4);
+        small.record(7); // bit length 3 → own bucket (the last)
+        small.record(8); // bit length 4 → saturates into the last
+        small.record(u64::MAX);
+        assert_eq!(small.counts(), &[0, 0, 0, 3]);
+        assert_eq!(small.bucket_range(3), (4, u64::MAX));
+    }
+
+    #[test]
+    fn log2_bucket_ranges_tile() {
+        let h = Log2Histogram::new(Log2Histogram::MAX_BUCKETS);
+        assert_eq!(h.bucket_range(0), (0, 0));
+        assert_eq!(h.bucket_range(1), (1, 1));
+        assert_eq!(h.bucket_range(2), (2, 3));
+        assert_eq!(h.bucket_range(4), (8, 15));
+        assert_eq!(h.bucket_range(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn log2_merge_matches_fixed_width_semantics() {
+        let mut a = Log2Histogram::new(8);
+        let mut b = Log2Histogram::new(8);
+        a.record(3);
+        b.record(3);
+        b.record(100);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts()[2], 2);
+        assert_eq!(a.total(), 3);
+
+        let c = Log2Histogram::new(4);
+        let err = a.merge(&c).unwrap_err();
+        assert_eq!(err, HistogramError::BinCountMismatch { ours: 8, theirs: 4 });
     }
 }

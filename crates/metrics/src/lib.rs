@@ -14,8 +14,10 @@ pub mod stats;
 pub mod table;
 pub mod timeseries;
 
-pub use histogram::Histogram;
-pub use inference::{certify_bound, wilson_interval, BoundVerdict, ProportionCi};
+pub use histogram::{Histogram, HistogramError, Log2Histogram};
+pub use inference::{
+    certify_bound, effective_sample_size, wilson_interval, BoundVerdict, ProportionCi,
+};
 pub use plot::{ascii_bars, ascii_series};
 pub use stats::{OnlineStats, Summary};
 pub use table::Table;

@@ -1,0 +1,31 @@
+//! Observability layer for the consolidation stack.
+//!
+//! Three pieces, matching the three consumers in the workspace:
+//!
+//! 1. [`Recorder`] — a trait of monotonic counters, gauges and log2-bucketed
+//!    histograms that the hot paths (`sim::engine`, `placement`,
+//!    `core::consolidator`) accept as a generic parameter. The
+//!    [`NoopRecorder`] has `ENABLED = false` and empty inline methods, so
+//!    every instrumentation site monomorphizes to nothing and the
+//!    uninstrumented entry points keep their exact historical behaviour
+//!    (the `Shared`-layout golden pins stay byte-identical by construction:
+//!    no recorder method ever touches an RNG or a simulation value).
+//! 2. [`journal`] — a bounded ring buffer of typed [`Event`]s with
+//!    deterministic sim-time timestamps, serializable as JSONL and parsed
+//!    back by [`report`] for the `trace-report` CLI subcommand.
+//! 3. [`certify`] — per-PM CVR sampling plus a Wilson-interval check
+//!    (via `metrics::inference`) that the empirical violation fraction is
+//!    statistically consistent with the analytic `certified_cvr`.
+//!
+//! The crate depends only on `bursty-metrics`, so every other crate in the
+//! workspace can depend on it without cycles.
+
+pub mod certify;
+pub mod journal;
+pub mod recorder;
+pub mod report;
+
+pub use certify::{certify_cvr, CvrCheck, CvrSeries};
+pub use journal::{Event, EventJournal, RetryCause};
+pub use recorder::{Counter, Gauge, HistId, MemoryRecorder, NoopRecorder, Recorder};
+pub use report::TraceReport;

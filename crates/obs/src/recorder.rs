@@ -1,0 +1,552 @@
+//! The [`Recorder`] trait and its two stock implementations.
+//!
+//! Instrumented code takes `&mut R` where `R: Recorder` and guards anything
+//! that allocates or formats behind `R::ENABLED`. [`NoopRecorder`] sets
+//! `ENABLED = false` with empty `#[inline(always)]` methods, so the
+//! monomorphized no-op path is byte-for-byte the uninstrumented code.
+//! [`MemoryRecorder`] keeps everything in flat arrays (indexed by the
+//! `Counter` / `Gauge` / `HistId` enums) plus an [`EventJournal`], and is
+//! what the CLI's `--trace-out` and the certification tests use.
+
+use crate::journal::{Event, EventJournal};
+use bursty_metrics::Log2Histogram;
+
+/// Monotonic counters. Every variant is a distinct slot in a flat array,
+/// so `counter_add` is a single indexed add — cheap enough for per-step
+/// call sites even with a recording recorder attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Simulation steps executed by the engine loop.
+    Steps,
+    /// PM-steps in violation (capacity exceeded on an active PM).
+    ViolationSteps,
+    /// Subset of `ViolationSteps` attributable to degraded admissions.
+    DegradedViolationSteps,
+    /// Successful migrations (immediate trigger path).
+    Migrations,
+    /// Successful migrations that landed from the retry queue.
+    RetriedMigrations,
+    /// Migration attempts that found no feasible target.
+    FailedMigrations,
+    /// PM crash transitions.
+    Crashes,
+    /// PM recovery transitions.
+    Recoveries,
+    /// VMs evicted by crashes (displaced into evacuation).
+    DisplacedVms,
+    /// Evacuated VMs placed under the normal admission rule.
+    EvacuationsPlaced,
+    /// Evacuated VMs placed only under degraded (epsilon) admission.
+    EvacuationsDegraded,
+    /// VM-steps spent unhosted while waiting for evacuation retry.
+    StrandedVmSteps,
+    /// First-time retry enqueues (attempts == 0).
+    RetryEnqueued,
+    /// Re-enqueues after a failed retry attempt (attempts > 0).
+    RetryReenqueued,
+    /// Overload retries dropped after exhausting `max_retries`.
+    RetryAbandoned,
+    /// Overload retries cancelled because the VM was no longer hosted /
+    /// no longer over budget when the retry came due.
+    RetryCancelled,
+    /// Overload retries that landed (== `retried_migrations`).
+    RetryLandedOverload,
+    /// Evacuation retries that landed a VM on a PM.
+    RetryLandedEvacuation,
+    /// Overload entries still queued when the run ended.
+    RetryResidualOverload,
+    /// Evacuation entries still queued when the run ended.
+    RetryResidualEvacuation,
+    /// Feasibility probes made by the packing first/best-fit search.
+    PackProbes,
+    /// Probes rejected by the admission check.
+    PackRejectedProbes,
+    /// VMs placed by the offline packers.
+    PackPlacedVms,
+    /// VMs placed by the class-collapsed batch packer.
+    BatchPlacedVms,
+    /// Placement attempts made by the evacuation batch placer.
+    EvacProbes,
+    /// Evacuation placement attempts refused by the admission rule.
+    EvacRefusals,
+    /// Online arrivals admitted.
+    OnlineArrivals,
+    /// Online departures processed.
+    OnlineDepartures,
+    /// Online recalibration passes.
+    OnlineRecalibrations,
+}
+
+impl Counter {
+    pub const COUNT: usize = 29;
+
+    /// Stable snake_case name used in the JSONL meta record.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Steps => "steps",
+            Counter::ViolationSteps => "violation_steps",
+            Counter::DegradedViolationSteps => "degraded_violation_steps",
+            Counter::Migrations => "migrations",
+            Counter::RetriedMigrations => "retried_migrations",
+            Counter::FailedMigrations => "failed_migrations",
+            Counter::Crashes => "crashes",
+            Counter::Recoveries => "recoveries",
+            Counter::DisplacedVms => "displaced_vms",
+            Counter::EvacuationsPlaced => "evacuations_placed",
+            Counter::EvacuationsDegraded => "evacuations_degraded",
+            Counter::StrandedVmSteps => "stranded_vm_steps",
+            Counter::RetryEnqueued => "retry_enqueued",
+            Counter::RetryReenqueued => "retry_reenqueued",
+            Counter::RetryAbandoned => "retry_abandoned",
+            Counter::RetryCancelled => "retry_cancelled",
+            Counter::RetryLandedOverload => "retry_landed_overload",
+            Counter::RetryLandedEvacuation => "retry_landed_evacuation",
+            Counter::RetryResidualOverload => "retry_residual_overload",
+            Counter::RetryResidualEvacuation => "retry_residual_evacuation",
+            Counter::PackProbes => "pack_probes",
+            Counter::PackRejectedProbes => "pack_rejected_probes",
+            Counter::PackPlacedVms => "pack_placed_vms",
+            Counter::BatchPlacedVms => "batch_placed_vms",
+            Counter::EvacProbes => "evac_probes",
+            Counter::EvacRefusals => "evac_refusals",
+            Counter::OnlineArrivals => "online_arrivals",
+            Counter::OnlineDepartures => "online_departures",
+            Counter::OnlineRecalibrations => "online_recalibrations",
+        }
+    }
+
+    /// All variants in declaration order (for reporting).
+    pub fn all() -> [Counter; Counter::COUNT] {
+        [
+            Counter::Steps,
+            Counter::ViolationSteps,
+            Counter::DegradedViolationSteps,
+            Counter::Migrations,
+            Counter::RetriedMigrations,
+            Counter::FailedMigrations,
+            Counter::Crashes,
+            Counter::Recoveries,
+            Counter::DisplacedVms,
+            Counter::EvacuationsPlaced,
+            Counter::EvacuationsDegraded,
+            Counter::StrandedVmSteps,
+            Counter::RetryEnqueued,
+            Counter::RetryReenqueued,
+            Counter::RetryAbandoned,
+            Counter::RetryCancelled,
+            Counter::RetryLandedOverload,
+            Counter::RetryLandedEvacuation,
+            Counter::RetryResidualOverload,
+            Counter::RetryResidualEvacuation,
+            Counter::PackProbes,
+            Counter::PackRejectedProbes,
+            Counter::PackPlacedVms,
+            Counter::BatchPlacedVms,
+            Counter::EvacProbes,
+            Counter::EvacRefusals,
+            Counter::OnlineArrivals,
+            Counter::OnlineDepartures,
+            Counter::OnlineRecalibrations,
+        ]
+    }
+}
+
+/// Point-in-time values overwritten on each set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// PMs in use after the initial pack.
+    PmsUsedAtPack,
+    /// Peak concurrent PMs over the run.
+    PeakPmsUsed,
+    /// PMs in use at the end of the run.
+    FinalPmsUsed,
+    /// Total energy of the run in joules.
+    EnergyJoules,
+}
+
+impl Gauge {
+    pub const COUNT: usize = 4;
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::PmsUsedAtPack => "pms_used_at_pack",
+            Gauge::PeakPmsUsed => "peak_pms_used",
+            Gauge::FinalPmsUsed => "final_pms_used",
+            Gauge::EnergyJoules => "energy_joules",
+        }
+    }
+
+    pub fn all() -> [Gauge; Gauge::COUNT] {
+        [
+            Gauge::PmsUsedAtPack,
+            Gauge::PeakPmsUsed,
+            Gauge::FinalPmsUsed,
+            Gauge::EnergyJoules,
+        ]
+    }
+}
+
+/// Log2-bucketed histograms (see `metrics::Log2Histogram`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HistId {
+    /// Backoff delays (in steps) chosen for retry enqueues.
+    RetryBackoffSteps,
+    /// Displaced-VM batch sizes handed to the evacuator per crash step.
+    EvacuationBatchSize,
+    /// Violating-PM count per step with at least one violation.
+    ViolationsPerStep,
+}
+
+impl HistId {
+    pub const COUNT: usize = 3;
+
+    pub fn name(self) -> &'static str {
+        match self {
+            HistId::RetryBackoffSteps => "retry_backoff_steps",
+            HistId::EvacuationBatchSize => "evacuation_batch_size",
+            HistId::ViolationsPerStep => "violations_per_step",
+        }
+    }
+
+    pub fn all() -> [HistId; HistId::COUNT] {
+        [
+            HistId::RetryBackoffSteps,
+            HistId::EvacuationBatchSize,
+            HistId::ViolationsPerStep,
+        ]
+    }
+}
+
+/// Sink for instrumentation emitted by the engine, the placement layer and
+/// the consolidator facade.
+///
+/// Contract: implementations must be *passive* — no method may influence
+/// the caller's control flow or numeric state. The engine relies on this to
+/// keep instrumented and uninstrumented runs `f64::to_bits`-identical
+/// (enforced by differential proptests in `sim`).
+pub trait Recorder {
+    /// `false` only for [`NoopRecorder`]; instrumented code wraps any work
+    /// beyond a plain method call (journal event construction, per-PM
+    /// sampling loops) in `if R::ENABLED { .. }` so the no-op
+    /// monomorphization contains no dead setup code.
+    const ENABLED: bool;
+
+    /// Add `by` to a monotonic counter.
+    fn counter_add(&mut self, counter: Counter, by: u64);
+
+    /// Increment a monotonic counter by one.
+    #[inline(always)]
+    fn counter_inc(&mut self, counter: Counter) {
+        self.counter_add(counter, 1);
+    }
+
+    /// Overwrite a gauge.
+    fn gauge_set(&mut self, gauge: Gauge, value: f64);
+
+    /// Record one value into a log2 histogram.
+    fn record_value(&mut self, hist: HistId, value: u64);
+
+    /// Append a typed event to the journal (ring-buffered; may evict).
+    fn record_event(&mut self, event: Event);
+
+    /// `Some(every)` requests a per-PM CVR sample each `every` steps.
+    /// `None` (the default) disables sampling entirely.
+    #[inline(always)]
+    fn cvr_sample_interval(&self) -> Option<usize> {
+        None
+    }
+
+    /// Receive a CVR sample: cumulative violation and active PM-step
+    /// counts per PM as of `step`. Called only when
+    /// [`cvr_sample_interval`](Recorder::cvr_sample_interval) is `Some`,
+    /// and once more at end of run.
+    #[inline(always)]
+    fn sample_cvr(&mut self, _step: u64, _violations: &[usize], _active: &[usize]) {}
+
+    /// Whether per-step `Event::Step` records are wanted (high volume).
+    #[inline(always)]
+    fn wants_step_events(&self) -> bool {
+        false
+    }
+}
+
+/// The disabled recorder: every method is an empty `#[inline(always)]`
+/// body and `ENABLED = false`, so instrumentation sites compile away.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn counter_add(&mut self, _counter: Counter, _by: u64) {}
+
+    #[inline(always)]
+    fn gauge_set(&mut self, _gauge: Gauge, _value: f64) {}
+
+    #[inline(always)]
+    fn record_value(&mut self, _hist: HistId, _value: u64) {}
+
+    #[inline(always)]
+    fn record_event(&mut self, _event: Event) {}
+}
+
+/// Number of log2 buckets kept per histogram: values here are step counts
+/// and batch sizes, so 33 buckets (up to 2^32) is plenty and keeps the
+/// recorder small.
+const MEMORY_HIST_BUCKETS: usize = 33;
+
+/// An in-memory recorder: flat counter/gauge arrays, log2 histograms and a
+/// bounded event journal. This is the "counting recorder" the overhead
+/// gate benchmarks against, and the backing store for `--trace-out`.
+#[derive(Debug, Clone)]
+pub struct MemoryRecorder {
+    counters: [u64; Counter::COUNT],
+    gauges: [f64; Gauge::COUNT],
+    hists: Vec<Log2Histogram>,
+    journal: EventJournal,
+    cvr_every: Option<usize>,
+    cvr_series: Vec<crate::certify::CvrSeries>,
+    step_events: bool,
+}
+
+impl MemoryRecorder {
+    /// A recorder with a journal capacity of `journal_cap` events (0
+    /// disables the journal) and no CVR sampling.
+    pub fn new(journal_cap: usize) -> Self {
+        MemoryRecorder {
+            counters: [0; Counter::COUNT],
+            gauges: [0.0; Gauge::COUNT],
+            hists: (0..HistId::COUNT)
+                .map(|_| Log2Histogram::new(MEMORY_HIST_BUCKETS))
+                .collect(),
+            journal: EventJournal::new(journal_cap),
+            cvr_every: None,
+            cvr_series: Vec::new(),
+            step_events: false,
+        }
+    }
+
+    /// Enable per-PM CVR sampling every `every` steps (`every >= 1`).
+    pub fn with_cvr_sampling(mut self, every: usize) -> Self {
+        assert!(every >= 1, "sampling interval must be >= 1");
+        self.cvr_every = Some(every);
+        self
+    }
+
+    /// Enable per-step `Event::Step` records (high volume; journal may
+    /// evict older events).
+    pub fn with_step_events(mut self) -> Self {
+        self.step_events = true;
+        self
+    }
+
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    pub fn gauge(&self, gauge: Gauge) -> f64 {
+        self.gauges[gauge as usize]
+    }
+
+    pub fn histogram(&self, hist: HistId) -> &Log2Histogram {
+        &self.hists[hist as usize]
+    }
+
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// Per-PM CVR sample series, one entry per sampled PM, in PM order.
+    pub fn cvr_series(&self) -> &[crate::certify::CvrSeries] {
+        &self.cvr_series
+    }
+
+    /// Serialize the whole recorder as JSONL: one meta record carrying the
+    /// counters, gauges, histograms and CVR samples, then one line per
+    /// journal event in chronological order. Hand-rolled (the workspace
+    /// has no serde); `report::TraceReport` parses this exact format back.
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        out.push_str("{\"type\":\"meta\",\"version\":1,\"counters\":{");
+        let mut first = true;
+        for c in Counter::all() {
+            let v = self.counter(c);
+            if v == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", c.name(), v);
+        }
+        out.push_str("},\"gauges\":{");
+        let mut first = true;
+        for g in Gauge::all() {
+            let v = self.gauge(g);
+            if v == 0.0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", g.name(), v);
+        }
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for h in HistId::all() {
+            let hist = self.histogram(h);
+            if hist.total() == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":[", h.name());
+            let mut first_bucket = true;
+            for (b, &n) in hist.counts().iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first_bucket {
+                    out.push(',');
+                }
+                first_bucket = false;
+                let (lo, hi) = hist.bucket_range(b);
+                let _ = write!(out, "[{},{},{}]", lo, hi, n);
+            }
+            out.push(']');
+        }
+        out.push_str("},\"journal_dropped\":");
+        let _ = write!(out, "{}", self.journal.dropped());
+        out.push_str("}\n");
+
+        for series in &self.cvr_series {
+            let _ = write!(out, "{}", series.to_json_line());
+        }
+        for event in self.journal.iter() {
+            let _ = write!(out, "{}", event.to_json_line());
+        }
+        out
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn counter_add(&mut self, counter: Counter, by: u64) {
+        self.counters[counter as usize] += by;
+    }
+
+    #[inline]
+    fn gauge_set(&mut self, gauge: Gauge, value: f64) {
+        self.gauges[gauge as usize] = value;
+    }
+
+    #[inline]
+    fn record_value(&mut self, hist: HistId, value: u64) {
+        self.hists[hist as usize].record(value);
+    }
+
+    #[inline]
+    fn record_event(&mut self, event: Event) {
+        self.journal.push(event);
+    }
+
+    #[inline]
+    fn cvr_sample_interval(&self) -> Option<usize> {
+        self.cvr_every
+    }
+
+    fn sample_cvr(&mut self, step: u64, violations: &[usize], active: &[usize]) {
+        if self.cvr_series.len() < violations.len() {
+            self.cvr_series
+                .resize_with(violations.len(), crate::certify::CvrSeries::default);
+        }
+        for (pm, series) in self.cvr_series.iter_mut().enumerate() {
+            series.push(step, violations[pm], active[pm]);
+        }
+    }
+
+    #[inline]
+    fn wants_step_events(&self) -> bool {
+        self.step_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_inert() {
+        assert!(!NoopRecorder::ENABLED);
+        let mut r = NoopRecorder;
+        r.counter_inc(Counter::Steps);
+        r.gauge_set(Gauge::EnergyJoules, 1.0);
+        r.record_value(HistId::RetryBackoffSteps, 7);
+        r.record_event(Event::Recovery { step: 0, pm: 0 });
+        assert_eq!(r, NoopRecorder);
+    }
+
+    #[test]
+    fn memory_recorder_accumulates() {
+        let mut r = MemoryRecorder::new(16);
+        r.counter_inc(Counter::Migrations);
+        r.counter_add(Counter::Migrations, 2);
+        r.gauge_set(Gauge::FinalPmsUsed, 5.0);
+        r.record_value(HistId::EvacuationBatchSize, 3);
+        r.record_event(Event::Recovery { step: 4, pm: 1 });
+        assert_eq!(r.counter(Counter::Migrations), 3);
+        assert_eq!(r.gauge(Gauge::FinalPmsUsed), 5.0);
+        assert_eq!(r.histogram(HistId::EvacuationBatchSize).total(), 1);
+        assert_eq!(r.journal().len(), 1);
+    }
+
+    #[test]
+    fn counter_enum_names_are_unique_and_complete() {
+        let all = Counter::all();
+        assert_eq!(all.len(), Counter::COUNT);
+        for (i, c) in all.iter().enumerate() {
+            assert_eq!(*c as usize, i, "declaration order must match repr");
+        }
+        let mut names: Vec<&str> = all.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn cvr_sampling_builds_series() {
+        let mut r = MemoryRecorder::new(0).with_cvr_sampling(10);
+        assert_eq!(r.cvr_sample_interval(), Some(10));
+        r.sample_cvr(9, &[1, 0], &[10, 10]);
+        r.sample_cvr(19, &[2, 0], &[20, 20]);
+        assert_eq!(r.cvr_series().len(), 2);
+        assert_eq!(r.cvr_series()[0].samples().len(), 2);
+        let (step, vio, act) = r.cvr_series()[0].samples()[1];
+        assert_eq!((step, vio, act), (19, 2, 20));
+    }
+
+    #[test]
+    fn jsonl_meta_first_then_events() {
+        let mut r = MemoryRecorder::new(8);
+        r.counter_add(Counter::Steps, 100);
+        r.record_event(Event::Recovery { step: 3, pm: 2 });
+        let text = r.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"meta\""));
+        assert!(lines[0].contains("\"steps\":100"));
+        assert!(lines[1].contains("\"type\":\"recovery\""));
+    }
+}

@@ -1,0 +1,260 @@
+//! Summarize a `--trace-out` JSONL dump (the format emitted by
+//! [`MemoryRecorder::to_jsonl`](crate::MemoryRecorder::to_jsonl)) for the
+//! `trace-report` CLI subcommand.
+//!
+//! The workspace has no JSON library, so this parses with targeted string
+//! scanning — sufficient because we only ever read back our own writer's
+//! fixed field order, and defensive enough to reject non-trace input with
+//! a useful error.
+
+use std::collections::BTreeMap;
+
+/// Parsed summary of one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Counter name → value, from the meta record.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value, from the meta record.
+    pub gauges: BTreeMap<String, f64>,
+    /// Events dropped by the ring buffer, from the meta record.
+    pub journal_dropped: u64,
+    /// Event `type` tag → occurrence count across the journal lines.
+    pub event_counts: BTreeMap<String, u64>,
+    /// Inclusive step range covered by journal events, if any.
+    pub step_range: Option<(u64, u64)>,
+    /// PM → violation-event count (journal lines, not the counter).
+    pub violations_by_pm: BTreeMap<u64, u64>,
+    /// Number of `cvr_series` records (one per sampled PM).
+    pub cvr_series: usize,
+    /// Total journal event lines parsed.
+    pub events: u64,
+}
+
+/// Extract `"key":<number>` from a JSON-ish line. Only handles the
+/// non-negative integers our own writer emits.
+fn int_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{}\":", key);
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract `"key":"value"` from a JSON-ish line.
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{}\":\"", key);
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Parse the `"counters":{...}` / `"gauges":{...}` style object embedded
+/// in the meta line, returning its `name -> numeric-text` pairs.
+fn object_fields(line: &str, key: &str) -> Vec<(String, String)> {
+    let pat = format!("\"{}\":{{", key);
+    let Some(start) = line.find(&pat) else {
+        return Vec::new();
+    };
+    let body_start = start + pat.len();
+    let Some(rel_end) = line[body_start..].find('}') else {
+        return Vec::new();
+    };
+    let body = &line[body_start..body_start + rel_end];
+    let mut out = Vec::new();
+    for pair in body.split(',') {
+        let Some((name, value)) = pair.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().trim_matches('"');
+        if name.is_empty() {
+            continue;
+        }
+        out.push((name.to_string(), value.trim().to_string()));
+    }
+    out
+}
+
+impl TraceReport {
+    /// Parse a full JSONL trace. Returns `Err` with a line number and
+    /// reason when the input does not look like a trace dump.
+    pub fn from_jsonl(text: &str) -> Result<TraceReport, String> {
+        let mut report = TraceReport::default();
+        let mut saw_meta = false;
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some(kind) = str_field(line, "type") else {
+                return Err(format!("line {}: no \"type\" field", idx + 1));
+            };
+            match kind {
+                "meta" => {
+                    saw_meta = true;
+                    for (name, value) in object_fields(line, "counters") {
+                        if let Ok(v) = value.parse::<u64>() {
+                            report.counters.insert(name, v);
+                        }
+                    }
+                    for (name, value) in object_fields(line, "gauges") {
+                        if let Ok(v) = value.parse::<f64>() {
+                            report.gauges.insert(name, v);
+                        }
+                    }
+                    report.journal_dropped = int_field(line, "journal_dropped").unwrap_or(0);
+                }
+                "cvr_series" => report.cvr_series += 1,
+                _ => {
+                    report.events += 1;
+                    *report.event_counts.entry(kind.to_string()).or_insert(0) += 1;
+                    if let Some(step) = int_field(line, "step") {
+                        report.step_range = Some(match report.step_range {
+                            None => (step, step),
+                            Some((lo, hi)) => (lo.min(step), hi.max(step)),
+                        });
+                    }
+                    if kind == "violation" {
+                        if let Some(pm) = int_field(line, "pm") {
+                            *report.violations_by_pm.entry(pm).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if !saw_meta {
+            return Err("no meta record found; is this a --trace-out file?".to_string());
+        }
+        Ok(report)
+    }
+
+    /// Render the human-readable report the CLI prints.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "trace report");
+        let _ = writeln!(out, "============");
+        if let Some((lo, hi)) = self.step_range {
+            let _ = writeln!(
+                out,
+                "journal events : {} (steps {}..={})",
+                self.events, lo, hi
+            );
+        } else {
+            let _ = writeln!(out, "journal events : {}", self.events);
+        }
+        if self.journal_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "  (ring buffer evicted {} older events)",
+                self.journal_dropped
+            );
+        }
+        if !self.event_counts.is_empty() {
+            let _ = writeln!(out, "by type:");
+            for (kind, n) in &self.event_counts {
+                let _ = writeln!(out, "  {:<18} {}", kind, n);
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {:<26} {}", name, v);
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {:<26} {}", name, v);
+            }
+        }
+        if !self.violations_by_pm.is_empty() {
+            // Top offenders, highest violation-event count first.
+            let mut pms: Vec<(u64, u64)> = self
+                .violations_by_pm
+                .iter()
+                .map(|(&pm, &n)| (pm, n))
+                .collect();
+            pms.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let _ = writeln!(out, "violations by pm (top {}):", pms.len().min(10));
+            for &(pm, n) in pms.iter().take(10) {
+                let _ = writeln!(out, "  pm {:<6} {}", pm, n);
+            }
+        }
+        if self.cvr_series > 0 {
+            let _ = writeln!(out, "cvr series     : {} sampled PMs", self.cvr_series);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Event;
+    use crate::recorder::{Counter, Gauge, MemoryRecorder, Recorder};
+
+    #[test]
+    fn round_trips_a_memory_recorder_dump() {
+        let mut r = MemoryRecorder::new(64).with_cvr_sampling(10);
+        r.counter_add(Counter::Steps, 200);
+        r.counter_add(Counter::Migrations, 3);
+        r.gauge_set(Gauge::FinalPmsUsed, 4.0);
+        r.record_event(Event::Violation {
+            step: 7,
+            pm: 1,
+            observed: 55.0,
+            capacity: 50.0,
+            degraded: false,
+        });
+        r.record_event(Event::Violation {
+            step: 8,
+            pm: 1,
+            observed: 56.0,
+            capacity: 50.0,
+            degraded: false,
+        });
+        r.record_event(Event::Migration {
+            step: 9,
+            vm: 0,
+            from: 1,
+            to: 2,
+            retried: false,
+        });
+        r.sample_cvr(9, &[2, 0], &[10, 10]);
+
+        let report = TraceReport::from_jsonl(&r.to_jsonl()).unwrap();
+        assert_eq!(report.counters["steps"], 200);
+        assert_eq!(report.counters["migrations"], 3);
+        assert_eq!(report.gauges["final_pms_used"], 4.0);
+        assert_eq!(report.events, 3);
+        assert_eq!(report.event_counts["violation"], 2);
+        assert_eq!(report.event_counts["migration"], 1);
+        assert_eq!(report.step_range, Some((7, 9)));
+        assert_eq!(report.violations_by_pm[&1], 2);
+        assert_eq!(report.cvr_series, 2);
+
+        let text = report.render();
+        assert!(text.contains("violation"));
+        assert!(text.contains("pm 1"));
+    }
+
+    #[test]
+    fn rejects_non_trace_input() {
+        assert!(TraceReport::from_jsonl("hello world\n").is_err());
+        // Valid-looking events but no meta line.
+        let err =
+            TraceReport::from_jsonl("{\"type\":\"recovery\",\"step\":1,\"pm\":0}\n").unwrap_err();
+        assert!(err.contains("no meta record"));
+    }
+
+    #[test]
+    fn empty_meta_only_trace_is_fine() {
+        let r = MemoryRecorder::new(8);
+        let report = TraceReport::from_jsonl(&r.to_jsonl()).unwrap();
+        assert_eq!(report.events, 0);
+        assert!(report.render().contains("journal events : 0"));
+    }
+}

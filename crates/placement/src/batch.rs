@@ -62,6 +62,7 @@ use crate::load::PmLoad;
 use crate::pack::{PackError, PRUNE_SLACK};
 use crate::placement::Placement;
 use crate::strategy::Strategy;
+use bursty_obs::{Counter, Gauge, Recorder};
 use bursty_workload::{class_runs, ClassRun, PmSpec, VmClass, VmSpec};
 
 /// Safety margin for the closed-form feasibility probe: the binary-search
@@ -533,6 +534,28 @@ pub fn first_fit_batch_with<S: Strategy + ?Sized>(
             batch_ordered(state, vms, pms, strategy, &order, &runs)
         }
     }
+}
+
+/// [`first_fit_batch`] with instrumentation. The batch packer's internals
+/// place whole class runs, not individual VMs, so only aggregate facts are
+/// recorded *after* the pack: [`Counter::BatchPlacedVms`]
+/// (every VM, on success) and the [`Gauge::PmsUsedAtPack`] gauge — nothing
+/// inside the run-placement hot loop, which stays untouched.
+///
+/// # Errors
+/// [`PackError`] naming the first unplaceable VM.
+pub fn first_fit_batch_recorded<S: Strategy + ?Sized, R: Recorder>(
+    vms: &[VmSpec],
+    pms: &[PmSpec],
+    strategy: &S,
+    rec: &mut R,
+) -> Result<Placement, PackError> {
+    let placement = first_fit_batch(vms, pms, strategy)?;
+    rec.counter_add(Counter::BatchPlacedVms, vms.len() as u64);
+    if R::ENABLED {
+        rec.gauge_set(Gauge::PmsUsedAtPack, placement.pms_used() as f64);
+    }
+    Ok(placement)
 }
 
 /// The fast path: whole classes placed as single runs, per-VM assignments

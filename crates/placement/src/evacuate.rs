@@ -16,6 +16,7 @@
 //! at initial packing time.
 
 use crate::index::HeadroomIndex;
+use bursty_obs::{Counter, NoopRecorder, Recorder};
 
 /// Safety margin below the demand threshold when pruning, mirroring the
 /// packers' slack: a PM is skipped only when its indexed headroom is
@@ -53,6 +54,20 @@ pub struct EvacuationOutcome {
 pub fn evacuate_batch(
     demands: &[f64],
     index: &mut HeadroomIndex,
+    place: impl FnMut(usize, usize) -> Option<f64>,
+) -> EvacuationOutcome {
+    evacuate_batch_recorded(demands, index, &mut NoopRecorder, place)
+}
+
+/// [`evacuate_batch`] with instrumentation: counts every `place` probe
+/// ([`Counter::EvacProbes`]) and every admission refusal
+/// ([`Counter::EvacRefusals`]) into `rec`. The recorder is passed as a
+/// separate argument (not captured by `place`) so the caller's closure can
+/// keep exclusive borrows of its own placement state.
+pub fn evacuate_batch_recorded<R: Recorder>(
+    demands: &[f64],
+    index: &mut HeadroomIndex,
+    rec: &mut R,
     mut place: impl FnMut(usize, usize) -> Option<f64>,
 ) -> EvacuationOutcome {
     let mut order: Vec<usize> = (0..demands.len()).collect();
@@ -71,10 +86,16 @@ pub fn evacuate_batch(
         let mut from = 0;
         let target = loop {
             match index.first_at_least(from, demand - PRUNE_SLACK) {
-                Some(j) => match place(j, slot) {
-                    Some(headroom) => break Some((j, headroom)),
-                    None => from = j + 1,
-                },
+                Some(j) => {
+                    rec.counter_inc(Counter::EvacProbes);
+                    match place(j, slot) {
+                        Some(headroom) => break Some((j, headroom)),
+                        None => {
+                            rec.counter_inc(Counter::EvacRefusals);
+                            from = j + 1;
+                        }
+                    }
+                }
                 None => break None,
             }
         };
@@ -227,5 +248,20 @@ mod tests {
         let out = evacuate_batch(&[], &mut index, |_, _| Some(0.0));
         assert!(out.placed.is_empty());
         assert!(out.unplaced.is_empty());
+    }
+
+    #[test]
+    fn recorded_variant_counts_probes_and_refusals() {
+        use bursty_obs::MemoryRecorder;
+        // Headroom admits everywhere; the rule vetoes PM 0, so the single
+        // VM costs two probes (one refused, one placed).
+        let mut index = HeadroomIndex::new(&[100.0, 100.0]);
+        let mut rec = MemoryRecorder::new(0);
+        let out = evacuate_batch_recorded(&[10.0], &mut index, &mut rec, |pm, _| {
+            (pm != 0).then_some(90.0)
+        });
+        assert_eq!(out.placed, vec![(0, 1)]);
+        assert_eq!(rec.counter(Counter::EvacProbes), 2);
+        assert_eq!(rec.counter(Counter::EvacRefusals), 1);
     }
 }

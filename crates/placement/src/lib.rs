@@ -42,11 +42,14 @@ pub mod rounding;
 pub mod sbp;
 pub mod strategy;
 
-pub use batch::{first_fit_batch, first_fit_batch_with, PlacementState};
-pub use evacuate::{evacuate_batch, EvacuationOutcome};
+pub use batch::{first_fit_batch, first_fit_batch_recorded, first_fit_batch_with, PlacementState};
+pub use evacuate::{evacuate_batch, evacuate_batch_recorded, EvacuationOutcome};
 pub use index::{HeadroomIndex, OrderedHeadroom};
 pub use load::PmLoad;
 pub use mapcal::{mapping_cache_stats, MappingCacheStats, MappingTable};
-pub use pack::{best_fit, best_fit_linear, first_fit, first_fit_linear, PackError};
+pub use pack::{
+    best_fit, best_fit_linear, best_fit_recorded, first_fit, first_fit_linear, first_fit_recorded,
+    PackError,
+};
 pub use placement::Placement;
 pub use strategy::{BaseStrategy, PeakStrategy, QueueStrategy, ReserveStrategy, Strategy};

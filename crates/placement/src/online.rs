@@ -4,8 +4,9 @@
 use crate::clustering::{cluster_order, default_buckets};
 use crate::index::HeadroomIndex;
 use crate::load::PmLoad;
-use crate::pack::{probe_first_fit, PackError};
+use crate::pack::{probe_first_fit_recorded, PackError};
 use crate::strategy::{QueueStrategy, Strategy};
+use bursty_obs::{Counter, NoopRecorder, Recorder};
 use bursty_workload::{PmSpec, VmSpec};
 use std::collections::HashMap;
 
@@ -123,18 +124,42 @@ impl OnlineCluster {
     /// # Panics
     /// Panics if the VM id is already present.
     pub fn arrive(&mut self, vm: VmSpec) -> Result<usize, PackError> {
+        self.arrive_recorded(vm, &mut NoopRecorder)
+    }
+
+    /// [`arrive`](Self::arrive) with instrumentation: probe counts plus
+    /// one [`Counter::OnlineArrivals`] on success.
+    ///
+    /// # Errors
+    /// [`PackError`] if no PM admits the VM.
+    ///
+    /// # Panics
+    /// Panics if the VM id is already present.
+    pub fn arrive_recorded<R: Recorder>(
+        &mut self,
+        vm: VmSpec,
+        rec: &mut R,
+    ) -> Result<usize, PackError> {
         assert!(
             !self.vms.contains_key(&vm.id),
             "VM id {} already in the cluster",
             vm.id
         );
-        let slot = probe_first_fit(&self.index, &self.loads, &self.pms, &self.strategy, &vm);
+        let slot = probe_first_fit_recorded(
+            &self.index,
+            &self.loads,
+            &self.pms,
+            &self.strategy,
+            &vm,
+            rec,
+        );
         match slot {
             Some(j) => {
                 self.loads[j].add(&vm);
                 self.refresh_pm(j);
                 self.hosts.insert(vm.id, j);
                 self.vms.insert(vm.id, vm);
+                rec.counter_inc(Counter::OnlineArrivals);
                 Ok(j)
             }
             None => Err(PackError { vm_id: vm.id }),
@@ -144,7 +169,14 @@ impl OnlineCluster {
     /// Removes a VM (§IV-E: "when a VM quits, we simply recalculate the
     /// size of the queue on the PM"). Returns its former host.
     pub fn depart(&mut self, vm_id: usize) -> Option<usize> {
+        self.depart_recorded(vm_id, &mut NoopRecorder)
+    }
+
+    /// [`depart`](Self::depart) with instrumentation: one
+    /// [`Counter::OnlineDepartures`] when the VM was present.
+    pub fn depart_recorded<R: Recorder>(&mut self, vm_id: usize, rec: &mut R) -> Option<usize> {
         let host = self.hosts.remove(&vm_id)?;
+        rec.counter_inc(Counter::OnlineDepartures);
         self.vms.remove(&vm_id);
         self.loads[host] = PmLoad::rebuild(
             self.hosts
@@ -164,6 +196,22 @@ impl OnlineCluster {
     /// [`PackError`] at the first unplaceable VM. VMs placed before the
     /// failure stay placed (the online system cannot un-arrive them).
     pub fn arrive_batch(&mut self, batch: Vec<VmSpec>) -> Result<Vec<(usize, usize)>, PackError> {
+        self.arrive_batch_recorded(batch, &mut NoopRecorder)
+    }
+
+    /// [`arrive_batch`](Self::arrive_batch) with instrumentation: probe
+    /// counts plus one [`Counter::OnlineArrivals`] per placed member
+    /// (members placed before a mid-batch failure stay counted — they stay
+    /// placed).
+    ///
+    /// # Errors
+    /// [`PackError`] at the first unplaceable VM. VMs placed before the
+    /// failure stay placed (the online system cannot un-arrive them).
+    pub fn arrive_batch_recorded<R: Recorder>(
+        &mut self,
+        batch: Vec<VmSpec>,
+        rec: &mut R,
+    ) -> Result<Vec<(usize, usize)>, PackError> {
         for vm in &batch {
             assert!(
                 !self.vms.contains_key(&vm.id),
@@ -178,12 +226,20 @@ impl OnlineCluster {
         // member costs one O(log m) probe instead of an O(m) scan.
         for &i in &order {
             let vm = batch[i];
-            let slot = probe_first_fit(&self.index, &self.loads, &self.pms, &self.strategy, &vm);
+            let slot = probe_first_fit_recorded(
+                &self.index,
+                &self.loads,
+                &self.pms,
+                &self.strategy,
+                &vm,
+                rec,
+            );
             let j = slot.ok_or(PackError { vm_id: vm.id })?;
             self.loads[j].add(&vm);
             self.refresh_pm(j);
             self.hosts.insert(vm.id, j);
             self.vms.insert(vm.id, vm);
+            rec.counter_inc(Counter::OnlineArrivals);
             result.push((vm.id, j));
         }
         Ok(result)
@@ -194,11 +250,18 @@ impl OnlineCluster {
     /// periodical recalculation of the rounded values"). Returns the new
     /// rounded pair, or `None` when the cluster is empty.
     pub fn recalibrate(&mut self) -> Option<(f64, f64)> {
+        self.recalibrate_recorded(&mut NoopRecorder)
+    }
+
+    /// [`recalibrate`](Self::recalibrate) with instrumentation: one
+    /// [`Counter::OnlineRecalibrations`] when a rebuild happened.
+    pub fn recalibrate_recorded<R: Recorder>(&mut self, rec: &mut R) -> Option<(f64, f64)> {
         let population: Vec<VmSpec> = self.vms.values().copied().collect();
         let (p_on, p_off) = round_probabilities(&population)?;
         self.strategy = QueueStrategy::build(self.d, p_on, p_off, self.rho);
         // A new table moves every PM's headroom; rebuild the index.
         self.refresh_index();
+        rec.counter_inc(Counter::OnlineRecalibrations);
         Some((p_on, p_off))
     }
 
@@ -400,6 +463,25 @@ mod tests {
             .unwrap();
         c.check_consistency().unwrap();
         c.recalibrate().unwrap();
+        c.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn recorded_churn_counts_arrivals_departures_recalibrations() {
+        use bursty_obs::MemoryRecorder;
+        let mut c = cluster(&[100.0, 100.0]);
+        let mut rec = MemoryRecorder::new(0);
+        c.arrive_recorded(vm(0, 10.0, 5.0), &mut rec).unwrap();
+        c.arrive_batch_recorded(vec![vm(1, 10.0, 5.0), vm(2, 10.0, 5.0)], &mut rec)
+            .unwrap();
+        assert_eq!(rec.counter(Counter::OnlineArrivals), 3);
+        assert!(rec.counter(Counter::PackProbes) >= 3);
+        assert_eq!(c.depart_recorded(1, &mut rec), Some(0));
+        assert_eq!(c.depart_recorded(99, &mut rec), None, "unknown VM");
+        assert_eq!(rec.counter(Counter::OnlineDepartures), 1);
+        c.recalibrate_recorded(&mut rec).unwrap();
+        assert_eq!(rec.counter(Counter::OnlineRecalibrations), 1);
+        // The recorder never perturbs the cluster.
         c.check_consistency().unwrap();
     }
 

@@ -11,6 +11,7 @@ use crate::index::{HeadroomIndex, OrderedHeadroom};
 use crate::load::PmLoad;
 use crate::placement::Placement;
 use crate::strategy::Strategy;
+use bursty_obs::{Counter, Gauge, NoopRecorder, Recorder};
 use bursty_workload::{PmSpec, VmSpec};
 use std::fmt;
 
@@ -54,12 +55,29 @@ pub(crate) fn probe_first_fit(
     strategy: &dyn Strategy,
     vm: &VmSpec,
 ) -> Option<usize> {
+    probe_first_fit_recorded(index, loads, pms, strategy, vm, &mut NoopRecorder)
+}
+
+/// [`probe_first_fit`] with instrumentation: every full `admits` check
+/// counts as a [`Counter::PackProbes`], every rejection as a
+/// [`Counter::PackRejectedProbes`] (probes minus rejections minus
+/// placements = 0 by construction).
+pub(crate) fn probe_first_fit_recorded<R: Recorder>(
+    index: &HeadroomIndex,
+    loads: &[PmLoad],
+    pms: &[PmSpec],
+    strategy: &dyn Strategy,
+    vm: &VmSpec,
+    rec: &mut R,
+) -> Option<usize> {
     let threshold = strategy.demand(vm) - PRUNE_SLACK;
     let mut from = 0;
     while let Some(j) = index.first_at_least(from, threshold) {
+        rec.counter_inc(Counter::PackProbes);
         if strategy.admits(&loads[j], vm, pms[j].capacity) {
             return Some(j);
         }
+        rec.counter_inc(Counter::PackRejectedProbes);
         from = j + 1;
     }
     None
@@ -100,19 +118,39 @@ pub fn first_fit(
     pms: &[PmSpec],
     strategy: &dyn Strategy,
 ) -> Result<Placement, PackError> {
+    first_fit_recorded(vms, pms, strategy, &mut NoopRecorder)
+}
+
+/// [`first_fit`] with instrumentation: probe/rejection counts (see
+/// [`probe_first_fit_recorded`]), one [`Counter::PackPlacedVms`] per VM
+/// placed, and the [`Gauge::PmsUsedAtPack`] gauge on success. Results are
+/// identical to [`first_fit`] — the recorder is write-only.
+///
+/// # Errors
+/// [`PackError`] naming the first unplaceable VM.
+pub fn first_fit_recorded<R: Recorder>(
+    vms: &[VmSpec],
+    pms: &[PmSpec],
+    strategy: &dyn Strategy,
+    rec: &mut R,
+) -> Result<Placement, PackError> {
     let mut placement = Placement::empty(vms.len(), pms.len());
     let mut loads = vec![PmLoad::empty(); pms.len()];
     let mut index = HeadroomIndex::new(&empty_headrooms(pms, strategy));
     for &i in &strategy.order(vms) {
         let vm = &vms[i];
-        match probe_first_fit(&index, &loads, pms, strategy, vm) {
+        match probe_first_fit_recorded(&index, &loads, pms, strategy, vm, rec) {
             Some(j) => {
                 loads[j].add(vm);
                 index.update(j, strategy.headroom(&loads[j], pms[j].capacity));
                 placement.assignment[i] = Some(j);
+                rec.counter_inc(Counter::PackPlacedVms);
             }
             None => return Err(PackError { vm_id: vm.id }),
         }
+    }
+    if R::ENABLED {
+        rec.gauge_set(Gauge::PmsUsedAtPack, placement.pms_used() as f64);
     }
     Ok(placement)
 }
@@ -167,23 +205,45 @@ pub fn best_fit(
     pms: &[PmSpec],
     strategy: &dyn Strategy,
 ) -> Result<Placement, PackError> {
+    best_fit_recorded(vms, pms, strategy, &mut NoopRecorder)
+}
+
+/// [`best_fit`] with instrumentation, mirroring [`first_fit_recorded`].
+///
+/// # Errors
+/// [`PackError`] naming the first unplaceable VM.
+pub fn best_fit_recorded<R: Recorder>(
+    vms: &[VmSpec],
+    pms: &[PmSpec],
+    strategy: &dyn Strategy,
+    rec: &mut R,
+) -> Result<Placement, PackError> {
     let mut placement = Placement::empty(vms.len(), pms.len());
     let mut loads = vec![PmLoad::empty(); pms.len()];
     let mut ordered = OrderedHeadroom::new(&empty_headrooms(pms, strategy));
     for &i in &strategy.order(vms) {
         let vm = &vms[i];
         let threshold = strategy.demand(vm) - PRUNE_SLACK;
-        let slot = ordered
-            .candidates_at_least(threshold)
-            .find(|&j| strategy.admits(&loads[j], vm, pms[j].capacity));
+        let slot = ordered.candidates_at_least(threshold).find(|&j| {
+            rec.counter_inc(Counter::PackProbes);
+            let admitted = strategy.admits(&loads[j], vm, pms[j].capacity);
+            if !admitted {
+                rec.counter_inc(Counter::PackRejectedProbes);
+            }
+            admitted
+        });
         match slot {
             Some(j) => {
                 loads[j].add(vm);
                 ordered.update(j, strategy.headroom(&loads[j], pms[j].capacity));
                 placement.assignment[i] = Some(j);
+                rec.counter_inc(Counter::PackPlacedVms);
             }
             None => return Err(PackError { vm_id: vm.id }),
         }
+    }
+    if R::ENABLED {
+        rec.gauge_set(Gauge::PmsUsedAtPack, placement.pms_used() as f64);
     }
     Ok(placement)
 }
@@ -239,6 +299,24 @@ pub fn first_fit_in_order(
     loads: &mut [PmLoad],
     strategy: &dyn Strategy,
 ) -> Result<Vec<(usize, usize)>, PackError> {
+    first_fit_in_order_recorded(vms, order, pms, loads, strategy, &mut NoopRecorder)
+}
+
+/// [`first_fit_in_order`] with instrumentation, mirroring
+/// [`first_fit_recorded`] (no pack gauge: this path extends an existing
+/// assignment, it does not produce a fresh packing).
+///
+/// # Errors
+/// [`PackError`] at the first unplaceable VM; `loads` keeps the updates of
+/// the VMs placed before the failure.
+pub fn first_fit_in_order_recorded<R: Recorder>(
+    vms: &[VmSpec],
+    order: &[usize],
+    pms: &[PmSpec],
+    loads: &mut [PmLoad],
+    strategy: &dyn Strategy,
+    rec: &mut R,
+) -> Result<Vec<(usize, usize)>, PackError> {
     assert_eq!(pms.len(), loads.len(), "loads must match PMs");
     let headrooms: Vec<f64> = loads
         .iter()
@@ -249,11 +327,12 @@ pub fn first_fit_in_order(
     let mut placed = Vec::with_capacity(order.len());
     for &i in order {
         let vm = &vms[i];
-        match probe_first_fit(&index, loads, pms, strategy, vm) {
+        match probe_first_fit_recorded(&index, loads, pms, strategy, vm, rec) {
             Some(j) => {
                 loads[j].add(vm);
                 index.update(j, strategy.headroom(&loads[j], pms[j].capacity));
                 placed.push((i, j));
+                rec.counter_inc(Counter::PackPlacedVms);
             }
             None => return Err(PackError { vm_id: vm.id }),
         }
@@ -432,6 +511,37 @@ mod tests {
             first_fit_linear(&vms, &farm, &q)
         );
         assert_eq!(best_fit(&vms, &farm, &q), best_fit_linear(&vms, &farm, &q));
+    }
+
+    #[test]
+    fn recorded_packers_match_and_balance_their_probe_accounting() {
+        use bursty_obs::MemoryRecorder;
+        let vms: Vec<VmSpec> = (0..30)
+            .map(|i| vm(i, 3.0 + (i % 7) as f64 * 2.0, 1.0 + (i % 5) as f64))
+            .collect();
+        let farm = pms(&vec![40.0; 30]);
+        let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+
+        let mut rec = MemoryRecorder::new(0);
+        let recorded = first_fit_recorded(&vms, &farm, &q, &mut rec).unwrap();
+        assert_eq!(recorded, first_fit(&vms, &farm, &q).unwrap());
+        let placed = rec.counter(Counter::PackPlacedVms);
+        assert_eq!(placed, vms.len() as u64);
+        // Every probe either placed a VM or was rejected.
+        assert_eq!(
+            rec.counter(Counter::PackProbes),
+            rec.counter(Counter::PackRejectedProbes) + placed
+        );
+        assert_eq!(rec.gauge(Gauge::PmsUsedAtPack), recorded.pms_used() as f64);
+
+        let mut rec = MemoryRecorder::new(0);
+        let recorded = best_fit_recorded(&vms, &farm, &q, &mut rec).unwrap();
+        assert_eq!(recorded, best_fit(&vms, &farm, &q).unwrap());
+        assert_eq!(rec.counter(Counter::PackPlacedVms), vms.len() as u64);
+        assert_eq!(
+            rec.counter(Counter::PackProbes),
+            rec.counter(Counter::PackRejectedProbes) + vms.len() as u64
+        );
     }
 }
 

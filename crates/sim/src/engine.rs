@@ -7,7 +7,8 @@ use crate::faults::FaultProcess;
 use crate::policy::{DegradedAdmission, PmRuntime, RuntimePolicy};
 use crate::workload_core::WorkloadCore;
 use bursty_metrics::TimeSeries;
-use bursty_placement::{evacuate_batch, HeadroomIndex, Placement, PmLoad};
+use bursty_obs::{Counter, Event, Gauge, HistId, NoopRecorder, Recorder, RetryCause};
+use bursty_placement::{evacuate_batch_recorded, HeadroomIndex, Placement, PmLoad};
 use bursty_workload::{PmSpec, VmSpec};
 
 /// Recovery and degradation accounting of one run. All fields stay zero
@@ -356,6 +357,26 @@ impl<'a> Simulator<'a> {
     /// # Panics
     /// Panics if `initial` is incomplete or inconsistent with the specs.
     pub fn run(&self, initial: &Placement) -> SimOutcome {
+        self.run_recorded(initial, &mut NoopRecorder)
+    }
+
+    /// [`run`](Self::run) with an observability [`Recorder`] attached:
+    /// counters, gauges and histograms accumulate at each decision point,
+    /// typed [`Event`]s flow into the recorder's journal, and — when the
+    /// recorder requests it — cumulative per-PM CVR inputs are sampled on
+    /// a fixed step interval.
+    ///
+    /// The recorder is *write-only*: no recorder method can influence
+    /// control flow, RNG draws or any `f64` the simulation computes, so
+    /// `run_recorded(p, &mut any_recorder)` returns a [`SimOutcome`]
+    /// bit-identical to `run(p)` (differentially proptested in
+    /// `tests/obs_differential.rs`). With [`NoopRecorder`]
+    /// (`R::ENABLED == false`) every instrumentation site monomorphizes to
+    /// nothing — [`run`](Self::run) *is* this function at zero cost.
+    ///
+    /// # Panics
+    /// Panics if `initial` is incomplete or inconsistent with the specs.
+    pub fn run_recorded<R: Recorder>(&self, initial: &Placement, rec: &mut R) -> SimOutcome {
         assert_eq!(
             initial.n_vms(),
             self.vms.len(),
@@ -438,6 +459,15 @@ impl<'a> Simulator<'a> {
                             let evicted = std::mem::take(&mut hosted[e.pm]);
                             loads[e.pm] = PmLoad::empty();
                             observed[e.pm] = 0.0;
+                            rec.counter_inc(Counter::Crashes);
+                            rec.counter_add(Counter::DisplacedVms, evicted.len() as u64);
+                            if R::ENABLED {
+                                rec.record_event(Event::Crash {
+                                    step: step as u64,
+                                    pm: e.pm,
+                                    displaced: evicted.len(),
+                                });
+                            }
                             if evicted.is_empty() {
                                 continue;
                             }
@@ -457,6 +487,13 @@ impl<'a> Simulator<'a> {
                         FaultKind::Recovery => {
                             fs.recovery.recoveries += 1;
                             fs.pm_up[e.pm] = true;
+                            rec.counter_inc(Counter::Recoveries);
+                            if R::ENABLED {
+                                rec.record_event(Event::Recovery {
+                                    step: step as u64,
+                                    pm: e.pm,
+                                });
+                            }
                         }
                     }
                 }
@@ -468,12 +505,20 @@ impl<'a> Simulator<'a> {
                     for r in queue {
                         if r.kind == RetryKind::Overload && host[r.vm].is_none() {
                             fs.in_retry[r.vm] = false;
+                            rec.counter_inc(Counter::RetryCancelled);
+                            if R::ENABLED {
+                                rec.record_event(Event::RetryCancelled {
+                                    step: step as u64,
+                                    vm: self.vms[r.vm].id,
+                                });
+                            }
                         } else {
                             fs.retry_queue.push(r);
                         }
                     }
                 }
                 if !displaced.is_empty() {
+                    rec.record_value(HistId::EvacuationBatchSize, displaced.len() as u64);
                     let unplaced = self.evacuate_displaced(
                         step,
                         &displaced,
@@ -483,6 +528,7 @@ impl<'a> Simulator<'a> {
                         &mut loads,
                         &mut observed,
                         &mut fs,
+                        rec,
                     );
                     for i in unplaced {
                         let from_pm = fs.crash_records
@@ -495,11 +541,30 @@ impl<'a> Simulator<'a> {
                             to_pm: None,
                             degraded: false,
                         });
+                        let delay = self.backoff(0);
+                        rec.counter_inc(Counter::RetryEnqueued);
+                        rec.record_value(HistId::RetryBackoffSteps, delay as u64);
+                        if R::ENABLED {
+                            rec.record_event(Event::Evacuation {
+                                step: step as u64,
+                                vm: self.vms[i].id,
+                                from: from_pm,
+                                to: None,
+                                degraded: false,
+                            });
+                            rec.record_event(Event::RetryEnqueued {
+                                step: step as u64,
+                                vm: self.vms[i].id,
+                                cause: RetryCause::Evacuation,
+                                attempts: 0,
+                                due_step: (step + delay) as u64,
+                            });
+                        }
                         fs.enqueue_retry(RetryEntry {
                             vm: i,
                             kind: RetryKind::Evacuation,
                             attempts: 0,
-                            next_step: step + self.backoff(0),
+                            next_step: step + delay,
                         });
                     }
                 }
@@ -530,14 +595,28 @@ impl<'a> Simulator<'a> {
                 if observed[j] > self.pms[j].capacity + CAP_EPS {
                     vio_steps[j] += 1;
                     total_violation_steps += 1;
+                    rec.counter_inc(Counter::ViolationSteps);
                     if fs.pm_overflow[j] > 0 {
                         fs.recovery.degraded_violation_steps += 1;
+                        rec.counter_inc(Counter::DegradedViolationSteps);
+                    }
+                    if R::ENABLED {
+                        rec.record_event(Event::Violation {
+                            step: step as u64,
+                            pm: j,
+                            observed: observed[j],
+                            capacity: self.pms[j].capacity,
+                            degraded: fs.pm_overflow[j] > 0,
+                        });
                     }
                     for &i in &hosted[j] {
                         vm_violation_steps[i] += 1;
                     }
                     overloaded.push(j);
                 }
+            }
+            if R::ENABLED && !overloaded.is_empty() {
+                rec.record_value(HistId::ViolationsPerStep, overloaded.len() as u64);
             }
 
             // 4. Live migration: a PM whose violation count exceeds the
@@ -595,15 +674,45 @@ impl<'a> Simulator<'a> {
                                 from_pm: j,
                                 to_pm: target,
                             });
+                            rec.counter_inc(Counter::Migrations);
+                            if R::ENABLED {
+                                rec.record_event(Event::Migration {
+                                    step: step as u64,
+                                    vm: vm.id,
+                                    from: j,
+                                    to: target,
+                                    retried: false,
+                                });
+                            }
                         }
                         None => {
                             failed_migrations += 1;
+                            rec.counter_inc(Counter::FailedMigrations);
+                            if R::ENABLED {
+                                rec.record_event(Event::MigrationFailed {
+                                    step: step as u64,
+                                    vm: vm.id,
+                                    pm: j,
+                                });
+                            }
                             if self.config.max_retries > 0 && !fs.in_retry[victim] {
+                                let delay = self.backoff(0);
+                                rec.counter_inc(Counter::RetryEnqueued);
+                                rec.record_value(HistId::RetryBackoffSteps, delay as u64);
+                                if R::ENABLED {
+                                    rec.record_event(Event::RetryEnqueued {
+                                        step: step as u64,
+                                        vm: vm.id,
+                                        cause: RetryCause::Overload,
+                                        attempts: 0,
+                                        due_step: (step + delay) as u64,
+                                    });
+                                }
                                 fs.enqueue_retry(RetryEntry {
                                     vm: victim,
                                     kind: RetryKind::Overload,
                                     attempts: 0,
-                                    next_step: step + self.backoff(0),
+                                    next_step: step + delay,
                                 });
                             }
                         }
@@ -636,10 +745,26 @@ impl<'a> Simulator<'a> {
 
                 for mut e in due_overload {
                     // Displaced meanwhile: the evacuation path owns it.
-                    let Some(j) = host[e.vm] else { continue };
+                    let Some(j) = host[e.vm] else {
+                        rec.counter_inc(Counter::RetryCancelled);
+                        if R::ENABLED {
+                            rec.record_event(Event::RetryCancelled {
+                                step: step as u64,
+                                vm: self.vms[e.vm].id,
+                            });
+                        }
+                        continue;
+                    };
                     let budget =
                         self.config.rho * active_steps[j] as f64 + self.config.violation_allowance;
                     if vio_steps[j] as f64 <= budget {
+                        rec.counter_inc(Counter::RetryCancelled);
+                        if R::ENABLED {
+                            rec.record_event(Event::RetryCancelled {
+                                step: step as u64,
+                                vm: self.vms[e.vm].id,
+                            });
+                        }
                         continue; // overload cleared itself; cancel
                     }
                     let vm = &self.vms[e.vm];
@@ -679,15 +804,48 @@ impl<'a> Simulator<'a> {
                                 to_pm: target,
                             });
                             retried_migrations += 1;
+                            rec.counter_inc(Counter::Migrations);
+                            rec.counter_inc(Counter::RetriedMigrations);
+                            rec.counter_inc(Counter::RetryLandedOverload);
+                            if R::ENABLED {
+                                rec.record_event(Event::Migration {
+                                    step: step as u64,
+                                    vm: vm.id,
+                                    from: j,
+                                    to: target,
+                                    retried: true,
+                                });
+                            }
                         }
                         None => {
                             e.attempts += 1;
                             if e.attempts < self.config.max_retries {
-                                e.next_step = step + self.backoff(e.attempts);
+                                let delay = self.backoff(e.attempts);
+                                e.next_step = step + delay;
+                                rec.counter_inc(Counter::RetryReenqueued);
+                                rec.record_value(HistId::RetryBackoffSteps, delay as u64);
+                                if R::ENABLED {
+                                    rec.record_event(Event::RetryEnqueued {
+                                        step: step as u64,
+                                        vm: vm.id,
+                                        cause: RetryCause::Overload,
+                                        attempts: e.attempts as u32,
+                                        due_step: e.next_step as u64,
+                                    });
+                                }
                                 fs.enqueue_retry(e);
+                            } else {
+                                // Abandoned; the trigger re-detects a
+                                // persisting overload (the VM is hosted).
+                                rec.counter_inc(Counter::RetryAbandoned);
+                                if R::ENABLED {
+                                    rec.record_event(Event::RetryAbandoned {
+                                        step: step as u64,
+                                        vm: vm.id,
+                                        attempts: e.attempts as u32,
+                                    });
+                                }
                             }
-                            // else: abandoned; the trigger re-detects a
-                            // persisting overload (the VM is still hosted).
                         }
                     }
                 }
@@ -703,6 +861,11 @@ impl<'a> Simulator<'a> {
                         &mut loads,
                         &mut observed,
                         &mut fs,
+                        rec,
+                    );
+                    rec.counter_add(
+                        Counter::RetryLandedEvacuation,
+                        (vms_due.len() - unplaced.len()) as u64,
                     );
                     for i in unplaced {
                         let attempts = due_evac
@@ -711,11 +874,23 @@ impl<'a> Simulator<'a> {
                             .expect("unplaced VM came from the due batch")
                             .attempts
                             + 1;
+                        let delay = self.backoff(attempts);
+                        rec.counter_inc(Counter::RetryReenqueued);
+                        rec.record_value(HistId::RetryBackoffSteps, delay as u64);
+                        if R::ENABLED {
+                            rec.record_event(Event::RetryEnqueued {
+                                step: step as u64,
+                                vm: self.vms[i].id,
+                                cause: RetryCause::Evacuation,
+                                attempts: attempts as u32,
+                                due_step: (step + delay) as u64,
+                            });
+                        }
                         fs.enqueue_retry(RetryEntry {
                             vm: i,
                             kind: RetryKind::Evacuation,
                             attempts,
-                            next_step: step + self.backoff(attempts),
+                            next_step: step + delay,
                         });
                     }
                 }
@@ -734,11 +909,51 @@ impl<'a> Simulator<'a> {
                 }
             }
             if fault_process.is_some() {
-                fs.recovery.stranded_vm_steps += host.iter().filter(|h| h.is_none()).count();
+                let stranded = host.iter().filter(|h| h.is_none()).count();
+                fs.recovery.stranded_vm_steps += stranded;
+                rec.counter_add(Counter::StrandedVmSteps, stranded as u64);
+            }
+            rec.counter_inc(Counter::Steps);
+            if R::ENABLED {
+                if rec.wants_step_events() {
+                    rec.record_event(Event::Step {
+                        step: step as u64,
+                        pms_used: used,
+                        violations: overloaded.len(),
+                    });
+                }
+                if let Some(every) = rec.cvr_sample_interval() {
+                    if (step + 1) % every == 0 {
+                        rec.sample_cvr(step as u64, &vio_steps, &active_steps);
+                    }
+                }
             }
         }
 
         fs.recovery.unrestored_crashes = fs.crash_records.iter().filter(|r| r.pending > 0).count();
+
+        if R::ENABLED {
+            // Close out the recorder: a final CVR sample when the horizon
+            // did not land on the sampling grid, residual retry-queue
+            // depths, and the end-of-run gauges.
+            if let Some(every) = rec.cvr_sample_interval() {
+                if self.config.steps > 0 && !self.config.steps.is_multiple_of(every) {
+                    rec.sample_cvr((self.config.steps - 1) as u64, &vio_steps, &active_steps);
+                }
+            }
+            for e in &fs.retry_queue {
+                rec.counter_inc(match e.kind {
+                    RetryKind::Overload => Counter::RetryResidualOverload,
+                    RetryKind::Evacuation => Counter::RetryResidualEvacuation,
+                });
+            }
+            rec.gauge_set(
+                Gauge::FinalPmsUsed,
+                loads.iter().filter(|l| !l.is_empty()).count() as f64,
+            );
+            rec.gauge_set(Gauge::PeakPmsUsed, peak_pms_used as f64);
+            rec.gauge_set(Gauge::EnergyJoules, energy);
+        }
 
         let cvr_per_pm = (0..m)
             .filter(|&j| active_steps[j] > 0)
@@ -768,7 +983,7 @@ impl<'a> Simulator<'a> {
     /// [`EvacuationEvent`]s and settle their crash records; the returned
     /// VMs found no PM under either rule.
     #[allow(clippy::too_many_arguments)]
-    fn evacuate_displaced(
+    fn evacuate_displaced<R: Recorder>(
         &self,
         step: usize,
         displaced: &[usize],
@@ -778,6 +993,7 @@ impl<'a> Simulator<'a> {
         loads: &mut [PmLoad],
         observed: &mut [f64],
         fs: &mut FaultState,
+        rec: &mut R,
     ) -> Vec<usize> {
         let leftover = self.evacuate_pass(
             step,
@@ -790,13 +1006,14 @@ impl<'a> Simulator<'a> {
             loads,
             observed,
             fs,
+            rec,
         );
         if leftover.is_empty() || self.config.degraded_epsilon <= 0.0 {
             return leftover;
         }
         let degraded = DegradedAdmission::new(self.policy, self.config.degraded_epsilon);
         self.evacuate_pass(
-            step, &leftover, &degraded, true, on, host, hosted, loads, observed, fs,
+            step, &leftover, &degraded, true, on, host, hosted, loads, observed, fs, rec,
         )
     }
 
@@ -804,7 +1021,7 @@ impl<'a> Simulator<'a> {
     /// driven by [`evacuate_batch`] over a fresh [`HeadroomIndex`] (down
     /// PMs enter as `NEG_INFINITY` and are never probed).
     #[allow(clippy::too_many_arguments)]
-    fn evacuate_pass(
+    fn evacuate_pass<R: Recorder>(
         &self,
         step: usize,
         displaced: &[usize],
@@ -816,6 +1033,7 @@ impl<'a> Simulator<'a> {
         loads: &mut [PmLoad],
         observed: &mut [f64],
         fs: &mut FaultState,
+        rec: &mut R,
     ) -> Vec<usize> {
         let demands: Vec<f64> = displaced
             .iter()
@@ -834,7 +1052,7 @@ impl<'a> Simulator<'a> {
             })
             .collect();
         let mut index = HeadroomIndex::new(&headrooms);
-        let out = evacuate_batch(&demands, &mut index, |j, slot| {
+        let out = evacuate_batch_recorded(&demands, &mut index, rec, |j, slot| {
             let i = displaced[slot];
             let vm = &self.vms[i];
             let vm_demand = vm.demand(on[i]);
@@ -867,6 +1085,28 @@ impl<'a> Simulator<'a> {
                 to_pm: Some(j),
                 degraded,
             });
+            rec.counter_inc(if degraded {
+                Counter::EvacuationsDegraded
+            } else {
+                Counter::EvacuationsPlaced
+            });
+            if R::ENABLED {
+                rec.record_event(Event::Evacuation {
+                    step: step as u64,
+                    vm: self.vms[i].id,
+                    from: fs.crash_records[record].pm,
+                    to: Some(j),
+                    degraded,
+                });
+                if degraded {
+                    rec.record_event(Event::Admission {
+                        step: step as u64,
+                        vm: self.vms[i].id,
+                        pm: j,
+                        degraded: true,
+                    });
+                }
+            }
             if degraded {
                 fs.vm_degraded[i] = true;
                 fs.pm_overflow[j] += 1;

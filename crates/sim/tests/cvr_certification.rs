@@ -1,0 +1,118 @@
+//! Statistical certification of MapCal's CVR guarantee (satellite of the
+//! observability PR): pack exactly-tight PMs, run long-horizon
+//! simulations, and assert that every PM's *empirical* capacity-violation
+//! ratio is statistically consistent with the *analytic*
+//! [`MappingTable::certified_cvr`] — a Wilson 99% interval around the
+//! observed fraction, discounted to the AR(1) effective sample size,
+//! must contain the analytic value.
+//!
+//! The construction makes the comparison exact rather than merely
+//! bounded: every PM hosts `k` identical VMs (`R_b = R_e = 10`) on a
+//! capacity of exactly `k·R_b + r·R_e` with `r = mapping(k)`, so a
+//! violation step is precisely "more than `r` VMs ON" — the event whose
+//! stationary probability `certified_cvr(k)` computes (Eq. 16).
+
+use bursty_obs::{certify_cvr, MemoryRecorder};
+use bursty_placement::{first_fit, MappingTable, QueueStrategy};
+use bursty_sim::{QueuePolicy, SimConfig, Simulator};
+use bursty_workload::{PmSpec, VmSpec};
+
+const K: usize = 16;
+const PMS: usize = 3;
+const STEPS: usize = 40_000;
+const CONF: f64 = 0.99;
+
+/// Runs one grid cell and certifies every PM in it.
+fn certify_cell(p_on: f64, p_off: f64, rho: f64, seed: u64) {
+    let mapping = MappingTable::build(K, p_on, p_off, rho);
+    let r = mapping.blocks_for(K);
+    let analytic = mapping.certified_cvr(K);
+    assert!(analytic <= rho + 1e-12, "MapCal bound broken analytically");
+
+    // Exactly-tight PMs: Eq. 17 admits the k-th VM with zero slack, so
+    // the engine's violation predicate (`observed > C + ε`) fires iff
+    // more than `r` VMs are ON.
+    let capacity = (K as f64) * 10.0 + (r as f64) * 10.0;
+    let vms: Vec<VmSpec> = (0..K * PMS)
+        .map(|i| VmSpec::new(i, p_on, p_off, 10.0, 10.0))
+        .collect();
+    let pms: Vec<PmSpec> = (0..PMS).map(|j| PmSpec::new(j, capacity)).collect();
+    let strategy = QueueStrategy::build(K, p_on, p_off, rho);
+    let placement = first_fit(&vms, &pms, &strategy).unwrap();
+    for j in 0..PMS {
+        assert_eq!(placement.vms_on(j).len(), K, "PM {j} must host exactly k");
+    }
+
+    let policy = QueuePolicy::new(strategy);
+    let cfg = SimConfig {
+        steps: STEPS,
+        seed,
+        migrations_enabled: false,
+        ..Default::default()
+    };
+    let mut rec = MemoryRecorder::new(4096).with_cvr_sampling(1000);
+    let outcome = Simulator::new(&vms, &pms, &policy, cfg).run_recorded(&placement, &mut rec);
+
+    // Lag-1 autocorrelation of every VM's ON/OFF chain — and of the
+    // aggregate ON-count the violation indicator thresholds.
+    let lag1 = (1.0 - p_on - p_off).clamp(0.0, 0.999);
+    for pm in 0..PMS {
+        let (violations, active) = rec.cvr_series()[pm]
+            .last_counts()
+            .expect("sampled at least once");
+        assert_eq!(active, STEPS as u64, "PM {pm} active every step");
+        let check = certify_cvr(pm, violations, active, analytic, CONF, lag1);
+        if !check.consistent() {
+            let tail: String = rec
+                .journal()
+                .tail(15, Some(pm))
+                .into_iter()
+                .map(|e| e.to_json_line())
+                .collect();
+            panic!(
+                "cell (p_on={p_on}, p_off={p_off}, rho={rho}, seed={seed}): {}\n\
+                 event-journal tail for PM {pm}:\n{tail}",
+                check.describe(),
+            );
+        }
+    }
+    // Cross-check against the engine's own CVR accounting.
+    for &(pm, cvr) in &outcome.cvr_per_pm {
+        let (violations, active) = rec.cvr_series()[pm].last_counts().unwrap();
+        let empirical = violations as f64 / active as f64;
+        assert!(
+            (cvr - empirical).abs() < 1e-12,
+            "recorder series and SimOutcome disagree on PM {pm}"
+        );
+    }
+}
+
+#[test]
+fn paper_defaults_certify_at_one_percent() {
+    certify_cell(0.01, 0.09, 0.01, 101);
+}
+
+#[test]
+fn paper_defaults_certify_at_five_percent() {
+    certify_cell(0.01, 0.09, 0.05, 102);
+}
+
+#[test]
+fn faster_switching_certifies_at_one_percent() {
+    certify_cell(0.02, 0.18, 0.01, 103);
+}
+
+#[test]
+fn faster_switching_certifies_at_five_percent() {
+    certify_cell(0.02, 0.18, 0.05, 104);
+}
+
+#[test]
+fn hotter_vms_certify_at_one_percent() {
+    certify_cell(0.05, 0.15, 0.01, 105);
+}
+
+#[test]
+fn hotter_vms_certify_at_five_percent() {
+    certify_cell(0.05, 0.15, 0.05, 106);
+}
