@@ -39,9 +39,19 @@ struct EngineRow {
     vm_steps_per_sec: f64,
 }
 
-fn parse_args() -> (usize, Vec<usize>, usize, usize, String, Option<f64>) {
+#[allow(clippy::type_complexity)]
+fn parse_args() -> (
+    usize,
+    Vec<usize>,
+    Option<Vec<usize>>,
+    usize,
+    usize,
+    String,
+    Option<f64>,
+) {
     let mut steps = 200usize;
     let mut fleets = vec![800usize];
+    let mut class_fleets: Option<Vec<usize>> = None;
     let mut repeats = 3usize;
     let mut mapcal_d = 200usize;
     let mut out = "BENCH_engine.json".to_string();
@@ -61,6 +71,14 @@ fn parse_args() -> (usize, Vec<usize>, usize, usize, String, Option<f64>) {
                     .map(|s| s.trim().parse().expect("--fleets"))
                     .collect()
             }
+            "--class-fleets" => {
+                class_fleets = Some(
+                    value
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--class-fleets"))
+                        .collect(),
+                )
+            }
             "--repeats" => repeats = value.parse().expect("--repeats"),
             "--mapcal-d" => mapcal_d = value.parse().expect("--mapcal-d"),
             "--out" => out = value.clone(),
@@ -72,7 +90,15 @@ fn parse_args() -> (usize, Vec<usize>, usize, usize, String, Option<f64>) {
         }
         i += 2;
     }
-    (steps, fleets, repeats.max(1), mapcal_d, out, obs_gate)
+    (
+        steps,
+        fleets,
+        class_fleets,
+        repeats.max(1),
+        mapcal_d,
+        out,
+        obs_gate,
+    )
 }
 
 fn best_secs<R>(repeats: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -86,9 +112,13 @@ fn best_secs<R>(repeats: usize, mut f: impl FnMut() -> R) -> f64 {
 }
 
 fn main() {
-    let (steps, fleets, repeats, mapcal_d, out_path, obs_gate) = parse_args();
+    let (steps, fleets, class_fleets, repeats, mapcal_d, out_path, obs_gate) = parse_args();
+    let class_fleets = class_fleets.unwrap_or_else(|| fleets.clone());
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    eprintln!("engine-bench: {steps} steps, fleets {fleets:?}, {repeats} repeats, {cores} cores");
+    eprintln!(
+        "engine-bench: {steps} steps, fleets {fleets:?}, class fleets {class_fleets:?}, \
+         {repeats} repeats, {cores} cores"
+    );
 
     let mut rows: Vec<EngineRow> = Vec::new();
     for &n in &fleets {
@@ -124,6 +154,58 @@ fn main() {
                 n,
                 layout,
                 threads: if threads == 0 { cores } else { threads },
+                secs,
+                steps_per_sec: steps as f64 / secs,
+                vm_steps_per_sec: (steps * n) as f64 / secs,
+            });
+        }
+    }
+
+    // Class-heavy fleets: the Table-I mix (three distinct classes) on a
+    // pool of big hosts (d = 256, ~200 VMs per PM). The class-aggregated
+    // layout collapses each PM to at most one binomial ON-counter per
+    // class, so its evolution cost scales with occupied cells (~ PMs ×
+    // classes) rather than fleet size — hundreds of same-class VMs per
+    // counter is exactly the shape dense consolidation produces, and
+    // these rows pin the resulting ratio against the shared layout on
+    // the *same* fleet and placement. A separate fleet list because the
+    // class path scales to fleet sizes (10^6) the per-VM main rows
+    // cannot reach in bench time.
+    for &n in &class_fleets {
+        let mut gen = FleetGenerator::new(n as u64);
+        let vms = gen.vms_table_i(n, WorkloadPattern::EqualSpike);
+        let m = (n / 200).max(1);
+        let pms: Vec<PmSpec> = (0..m).map(|j| PmSpec::new(j, 4000.0)).collect();
+        let consolidator = Consolidator::new(Scheme::Queue).with_d(256);
+        let placement = consolidator
+            .place(&vms, &pms)
+            .expect("class-heavy placement");
+        let cases: [(&'static str, RngLayout, usize); 2] = [
+            ("shared_classheavy", RngLayout::Shared, 1),
+            ("class_aggregated", RngLayout::ClassAggregated, 1),
+        ];
+        for (layout, rng_layout, threads) in cases {
+            let secs = best_secs(repeats, || {
+                let cfg = SimConfig {
+                    steps,
+                    seed: 1,
+                    migrations_enabled: true,
+                    rng_layout,
+                    threads,
+                    ..Default::default()
+                };
+                consolidator
+                    .simulate(&vms, &pms, &placement, cfg)
+                    .final_pms_used
+            });
+            eprintln!(
+                "  n={n} {layout}: {secs:.4}s ({:.0} steps/s)",
+                steps as f64 / secs
+            );
+            rows.push(EngineRow {
+                n,
+                layout,
+                threads,
                 secs,
                 steps_per_sec: steps as f64 / secs,
                 vm_steps_per_sec: (steps * n) as f64 / secs,
@@ -267,16 +349,33 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str("  \"speedups\": {\n");
-    for (i, &n) in fleets.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    \"n{n}\": {{\"serial_soa_per_vm_over_shared\": {:.3}, \
-             \"parallel_over_shared\": {:.3}, \"parallel_over_per_vm_serial\": {:.3}}}",
-            speedup_of(n, "shared", "per_vm_serial"),
-            speedup_of(n, "shared", "per_vm_parallel"),
-            speedup_of(n, "per_vm_serial", "per_vm_parallel"),
-        );
-        json.push_str(if i + 1 < fleets.len() { ",\n" } else { "\n" });
+    let mut all_ns: Vec<usize> = fleets.iter().chain(&class_fleets).copied().collect();
+    all_ns.sort_unstable();
+    all_ns.dedup();
+    for (i, &n) in all_ns.iter().enumerate() {
+        let mut pairs: Vec<String> = Vec::new();
+        if fleets.contains(&n) {
+            pairs.push(format!(
+                "\"serial_soa_per_vm_over_shared\": {:.3}",
+                speedup_of(n, "shared", "per_vm_serial")
+            ));
+            pairs.push(format!(
+                "\"parallel_over_shared\": {:.3}",
+                speedup_of(n, "shared", "per_vm_parallel")
+            ));
+            pairs.push(format!(
+                "\"parallel_over_per_vm_serial\": {:.3}",
+                speedup_of(n, "per_vm_serial", "per_vm_parallel")
+            ));
+        }
+        if class_fleets.contains(&n) {
+            pairs.push(format!(
+                "\"class_aggregated_over_shared_classheavy\": {:.3}",
+                speedup_of(n, "shared_classheavy", "class_aggregated")
+            ));
+        }
+        let _ = write!(json, "    \"n{n}\": {{{}}}", pairs.join(", "));
+        json.push_str(if i + 1 < all_ns.len() { ",\n" } else { "\n" });
     }
     json.push_str("  },\n");
     let _ = writeln!(

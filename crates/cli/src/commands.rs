@@ -293,16 +293,18 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let rng_layout = match args.get_str("rng-layout") {
         None | Some("shared") => RngLayout::Shared,
         Some("per-vm") | Some("pervm") => RngLayout::PerVm,
+        Some("class-aggregated") | Some("classaggregated") => RngLayout::ClassAggregated,
         Some(other) => {
             return Err(err(format!(
-                "unknown --rng-layout '{other}' (expected 'shared' or 'per-vm')"
+                "unknown --rng-layout '{other}' (expected 'shared', 'per-vm' or 'class-aggregated')"
             )))
         }
     };
     let threads = args.get_usize("threads")?.unwrap_or(1);
     if threads > 1 && rng_layout == RngLayout::Shared {
         return Err(err(
-            "--threads requires --rng-layout per-vm (the shared stream is sequential)",
+            "--threads requires --rng-layout per-vm or class-aggregated \
+             (the shared stream is sequential)",
         ));
     }
     let faults = match args.get_f64("mtbf")? {
@@ -445,15 +447,17 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 ///
 /// Parses a trace produced by `simulate --trace-out` and prints a human
 /// summary: counters, gauges, event counts by type, the per-PM violation
-/// leaderboard and the CVR-series coverage.
+/// leaderboard, overload/displacement percentile sketches and the
+/// CVR-series coverage. Streams the file line-at-a-time, so traces far
+/// larger than memory summarize fine.
 pub fn trace_report(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let args = Args::parse(args)?;
     let [path] = args.positional() else {
         return Err(err("trace-report expects exactly one trace file"));
     };
-    let text =
-        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
-    let report = TraceReport::from_jsonl(&text).map_err(|e| err(format!("{path}: {e}")))?;
+    let file = std::fs::File::open(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let report = TraceReport::from_reader(std::io::BufReader::new(file))
+        .map_err(|e| err(format!("{path}: {e}")))?;
     write!(out, "{}", report.render())?;
     Ok(())
 }

@@ -89,7 +89,8 @@ USAGE:
       automatically from the fleet's duplicate ratio
   bursty simulate --traces <dir> --capacity <C> [--steps S] [--rho R | --availability PCT]
                   [--mtbf S [--mttr S] [--fault-group G] [--fault-seed N]]
-                  [--rng-layout shared|per-vm [--threads T]] [--trace-out FILE]
+                  [--rng-layout shared|per-vm|class-aggregated [--threads T]]
+                  [--trace-out FILE]
       plan as above, then simulate the fitted fleet and certify the
       CVR bound statistically (Wilson interval, correlation-discounted);
       --mtbf injects PM crashes (mean time between failures / to repair
@@ -98,6 +99,10 @@ USAGE:
       --rng-layout per-vm gives every VM its own counter-based RNG
       stream so --threads T (0 = all cores) parallelizes the workload
       evolution with results identical at any thread count;
+      --rng-layout class-aggregated evolves one binomial ON-counter per
+      (PM, class) cell instead of per-VM coins — O(PMs x classes) per
+      step, distributionally equivalent to per-vm (same stationary law,
+      certified CVR/energy), thread-count invariant but not bit-equal;
       --trace-out dumps the structured observability trace (counters,
       event journal, per-PM CVR series) as JSONL
   bursty trace-report <trace.jsonl>

@@ -124,6 +124,32 @@ impl Histogram {
         above as f64 / total as f64
     }
 
+    /// Approximate `q`-quantile (`q` clamped to `[0, 1]`) over everything
+    /// recorded, linearly interpolated within the containing bin. Mass in
+    /// the underflow bucket reports `lo`, mass in the overflow bucket
+    /// reports `hi` — the sketch cannot resolve beyond its range, and
+    /// clamping is more honest than extrapolating. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = self.underflow as f64;
+        if self.underflow > 0 && target <= cum {
+            return Some(self.lo);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if c > 0 && target <= next {
+                let (start, end) = self.bin_range(i);
+                return Some(start + (target - cum) / c as f64 * (end - start));
+            }
+            cum = next;
+        }
+        Some(self.hi)
+    }
+
     /// Adds `other`'s counts bin-by-bin (plus under/overflow). The bucket
     /// layouts must agree exactly — merging histograms of different ranges
     /// or widths would misattribute every observation, so layout drift is
@@ -226,6 +252,31 @@ impl Log2Histogram {
         (start, end)
     }
 
+    /// Approximate `q`-quantile (`q` clamped to `[0, 1]`): the inclusive
+    /// upper bound of the bucket holding the `q`-th observation — a
+    /// guaranteed overestimate by at most the bucket's 2x width, which is
+    /// the resolution this sketch trades for constant memory. `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0.0;
+        let mut last_nonempty = None;
+        for (b, &c) in self.counts.iter().enumerate() {
+            cum += c as f64;
+            if c > 0 {
+                last_nonempty = Some(b);
+                if target <= cum {
+                    return Some(self.bucket_range(b).1);
+                }
+            }
+        }
+        last_nonempty.map(|b| self.bucket_range(b).1)
+    }
+
     /// Adds `other`'s counts bucket-by-bucket.
     ///
     /// # Errors
@@ -298,6 +349,42 @@ mod tests {
     #[should_panic(expected = "lo must be")]
     fn rejects_inverted_range() {
         let _ = Histogram::new(1.0, 0.0, 3);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..100 {
+            h.push(i as f64 / 100.0);
+        }
+        // Uniform mass: the q-quantile is ~q to within one bin width.
+        for &q in &[0.1, 0.5, 0.9, 0.99] {
+            let est = h.quantile(q).unwrap();
+            assert!((est - q).abs() <= 0.1, "q={q} est={est}");
+        }
+        assert_eq!(Histogram::new(0.0, 1.0, 4).quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_range_for_out_of_range_mass() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-5.0);
+        h.push(0.5);
+        h.push(9.0);
+        h.push(9.0);
+        assert_eq!(h.quantile(0.0), Some(0.0), "underflow mass reports lo");
+        assert_eq!(h.quantile(1.0), Some(1.0), "overflow mass reports hi");
+    }
+
+    #[test]
+    fn log2_quantile_reports_bucket_upper_bound() {
+        let mut h = Log2Histogram::new(Log2Histogram::MAX_BUCKETS);
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(1.0), Some(127), "100 has bit length 7");
+        assert_eq!(Log2Histogram::new(8).quantile(0.5), None);
     }
 
     #[test]

@@ -100,8 +100,30 @@ pub struct ProportionCi {
 pub fn wilson_interval(successes: u64, trials: u64, conf: f64) -> ProportionCi {
     assert!(trials > 0, "need at least one trial");
     assert!(successes <= trials, "successes cannot exceed trials");
-    let n = trials as f64;
-    let p = successes as f64 / n;
+    wilson_interval_fractional(successes as f64, trials as f64, conf)
+}
+
+/// Wilson score interval for *fractional* counts — the effective-sample-
+/// size variant. Discounting `n` correlated steps to `n_eff` independent
+/// ones scales both counts by `n_eff / n`; rounding the scaled success
+/// count back to an integer would destroy small-but-nonzero proportions
+/// (3 violations at scale 0.005 round to zero successes — an interval
+/// anchored at the wrong estimate). The Wilson formula only ever uses
+/// `p = successes/trials` and `n = trials` as reals, so this variant
+/// accepts them as reals and preserves the empirical proportion exactly.
+///
+/// Bit-identical to [`wilson_interval`] for integer inputs.
+///
+/// # Panics
+/// Panics when `trials <= 0`, `successes < 0`, or `successes > trials`.
+pub fn wilson_interval_fractional(successes: f64, trials: f64, conf: f64) -> ProportionCi {
+    assert!(trials > 0.0, "need a positive trial count");
+    assert!(
+        successes >= 0.0 && successes <= trials,
+        "successes must lie in [0, trials]"
+    );
+    let n = trials;
+    let p = successes / n;
     let z = z_for(conf);
     let z2 = z * z;
     let denom = 1.0 + z2 / n;
@@ -149,11 +171,11 @@ pub fn certify_bound(
     lag1_autocorrelation: f64,
 ) -> BoundVerdict {
     let ess = effective_sample_size(trials, lag1_autocorrelation).max(1.0);
-    // Scale counts down to the effective sample size, preserving the rate.
-    let scale = ess / trials as f64;
-    let eff_trials = (trials as f64 * scale).round().max(1.0) as u64;
-    let eff_successes = ((successes as f64 * scale).round() as u64).min(eff_trials);
-    let ci = wilson_interval(eff_successes, eff_trials, conf);
+    // Shrink to the effective sample size while preserving the empirical
+    // rate exactly: form the interval at fractional counts rather than
+    // rounding, which would zero out (or inflate) small success counts.
+    let p_hat = successes as f64 / trials as f64;
+    let ci = wilson_interval_fractional(p_hat * ess, ess, conf);
     if ci.hi <= bound {
         BoundVerdict::Holds
     } else if ci.lo > bound {
@@ -298,5 +320,55 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn wilson_rejects_zero_trials() {
         let _ = wilson_interval(0, 0, 0.95);
+    }
+
+    #[test]
+    fn fractional_wilson_matches_integer_wilson_exactly() {
+        for &(s, n) in &[
+            (0u64, 100u64),
+            (1, 100),
+            (50, 100),
+            (100, 100),
+            (12, 10_000),
+        ] {
+            let a = wilson_interval(s, n, 0.95);
+            let b = wilson_interval_fractional(s as f64, n as f64, 0.95);
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+            assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+            assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+        }
+    }
+
+    #[test]
+    fn fractional_wilson_preserves_small_proportions() {
+        // 3 successes discounted to an ESS of ~500 out of 100k trials: the
+        // old rounding path collapsed this to 0 effective successes, so the
+        // interval's estimate was 0. The fractional path keeps p̂ exact.
+        let p_hat = 3.0 / 100_000.0;
+        let ess = 502.5;
+        let ci = wilson_interval_fractional(p_hat * ess, ess, 0.95);
+        assert!((ci.estimate - p_hat).abs() < 1e-15);
+        assert!(ci.lo <= p_hat && p_hat <= ci.hi);
+        assert!(ci.lo < ci.hi);
+    }
+
+    #[test]
+    fn certify_bound_does_not_round_away_rare_violations() {
+        // 3 violations in 100k steps at r = 0.99 → ESS ≈ 502.5, scale
+        // ≈ 0.005. Rounding gave 0 effective successes, which certified a
+        // bound of ~0.6% as Holds off a fabricated zero rate; the interval
+        // at the true rate 3e-5 with ~502 effective samples cannot
+        // distinguish it from 0.6% — Inconclusive is the honest verdict.
+        let verdict = certify_bound(3, 100_000, 0.006, 0.95, 0.99);
+        assert_ne!(verdict, BoundVerdict::Violated);
+        let ess = effective_sample_size(100_000, 0.99);
+        let ci = wilson_interval_fractional(3.0 / 100_000.0 * ess, ess, 0.95);
+        let expected = if ci.hi <= 0.006 {
+            BoundVerdict::Holds
+        } else {
+            BoundVerdict::Inconclusive
+        };
+        assert_eq!(verdict, expected);
+        assert!(ci.hi > 0.006, "ESS ~502 cannot certify 0.6% from rate 3e-5");
     }
 }

@@ -16,7 +16,8 @@ pub mod timeseries;
 
 pub use histogram::{Histogram, HistogramError, Log2Histogram};
 pub use inference::{
-    certify_bound, effective_sample_size, wilson_interval, BoundVerdict, ProportionCi,
+    certify_bound, effective_sample_size, wilson_interval, wilson_interval_fractional,
+    BoundVerdict, ProportionCi,
 };
 pub use plot::{ascii_bars, ascii_series};
 pub use stats::{OnlineStats, Summary};

@@ -10,7 +10,7 @@
 //! interval discounted for the ON/OFF chain's lag-1 autocorrelation
 //! (consecutive steps are correlated by design — that is the burstiness).
 
-use bursty_metrics::{effective_sample_size, wilson_interval, ProportionCi};
+use bursty_metrics::{effective_sample_size, wilson_interval_fractional, ProportionCi};
 
 /// Cumulative CVR samples for one PM: `(step, violations, active)` with
 /// both counts cumulative since the start of the run.
@@ -116,13 +116,15 @@ pub fn certify_cvr(
         "violations cannot exceed active steps"
     );
     let ess = effective_sample_size(active, lag1_autocorrelation).max(1.0);
-    let scale = ess / active as f64;
-    let eff_trials = (active as f64 * scale).round().max(1.0) as u64;
-    let eff_successes = ((violations as f64 * scale).round() as u64).min(eff_trials);
-    let ci = wilson_interval(eff_successes, eff_trials, conf);
+    // Form the interval at *fractional* effective counts: rounding the
+    // scaled success count would collapse a small-but-nonzero violation
+    // count to zero successes (or inflate it) whenever the ESS discount is
+    // strong, anchoring the interval at the wrong proportion.
+    let p_hat = violations as f64 / active as f64;
+    let ci = wilson_interval_fractional(p_hat * ess, ess, conf);
     CvrCheck {
         pm,
-        empirical: violations as f64 / active as f64,
+        empirical: p_hat,
         analytic: analytic_cvr,
         ci,
         effective_samples: ess,
@@ -179,5 +181,26 @@ mod tests {
     #[should_panic(expected = "never active")]
     fn rejects_inactive_pm() {
         let _ = certify_cvr(0, 0, 0, 0.01, 0.99, 0.0);
+    }
+
+    #[test]
+    fn rare_violations_survive_a_strong_ess_discount() {
+        // 3 violations over 100k steps at r = 0.99: ESS ≈ 502.5, so the
+        // old rounding path scaled 3 successes down to round(0.015) = 0 —
+        // a zero-success interval whose lower bound is exactly 0 and whose
+        // estimate contradicts `empirical`. The fractional interval keeps
+        // the proportion: the analytic rate 3e-5 must sit inside the CI,
+        // and the CI estimate must match the empirical rate bit-for-bit.
+        let check = certify_cvr(7, 3, 100_000, 3e-5, 0.99, 0.99);
+        assert_eq!(check.empirical.to_bits(), check.ci.estimate.to_bits());
+        assert!(
+            check.ci.estimate > 0.0,
+            "nonzero violations must not vanish"
+        );
+        assert!(check.consistent(), "{}", check.describe());
+        // A far larger analytic value is still rejected — the discount
+        // widens the interval but does not destroy its power entirely.
+        let check = certify_cvr(7, 3, 100_000, 0.5, 0.99, 0.99);
+        assert!(!check.consistent(), "{}", check.describe());
     }
 }

@@ -7,10 +7,12 @@
 //! fixed field order, and defensive enough to reject non-trace input with
 //! a useful error.
 
+use bursty_metrics::{Histogram, Log2Histogram};
 use std::collections::BTreeMap;
+use std::io::BufRead;
 
 /// Parsed summary of one trace file.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TraceReport {
     /// Counter name → value, from the meta record.
     pub counters: BTreeMap<String, u64>,
@@ -28,6 +30,30 @@ pub struct TraceReport {
     pub cvr_series: usize,
     /// Total journal event lines parsed.
     pub events: u64,
+    /// Sketch of `observed / capacity` across violation events: how far
+    /// over the line the overloads run, summarized as percentiles. Fixed
+    /// bins over `[1, 4)` — constant memory however long the trace is.
+    pub overload_ratio: Histogram,
+    /// Sketch of crash `displaced` counts (log2-bucketed: displacement
+    /// sizes span orders of magnitude between idle and packed PMs).
+    pub crash_displaced: Log2Histogram,
+}
+
+impl Default for TraceReport {
+    fn default() -> Self {
+        TraceReport {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            journal_dropped: 0,
+            event_counts: BTreeMap::new(),
+            step_range: None,
+            violations_by_pm: BTreeMap::new(),
+            cvr_series: 0,
+            events: 0,
+            overload_ratio: Histogram::new(1.0, 4.0, 120),
+            crash_displaced: Log2Histogram::new(33),
+        }
+    }
 }
 
 /// Extract `"key":<number>` from a JSON-ish line. Only handles the
@@ -38,6 +64,18 @@ fn int_field(line: &str, key: &str) -> Option<u64> {
     let rest = &line[at..];
     let end = rest
         .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract `"key":<number>` as an `f64` (handles the `-?d+(.d+)?(e±d+)?`
+/// forms our own writer emits).
+fn f64_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{}\":", key);
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
 }
@@ -78,18 +116,37 @@ fn object_fields(line: &str, key: &str) -> Vec<(String, String)> {
 }
 
 impl TraceReport {
-    /// Parse a full JSONL trace. Returns `Err` with a line number and
-    /// reason when the input does not look like a trace dump.
+    /// Parse a full in-memory JSONL trace. Thin wrapper over
+    /// [`TraceReport::from_reader`] for callers that already hold the text.
     pub fn from_jsonl(text: &str) -> Result<TraceReport, String> {
+        Self::from_reader(text.as_bytes())
+    }
+
+    /// Parse a JSONL trace one line at a time. Memory stays bounded by the
+    /// longest single line plus the fixed-size sketches and per-name maps —
+    /// never by the trace length, so multi-gigabyte `--trace-out` dumps
+    /// report fine. Returns `Err` with a line number and reason when the
+    /// input does not look like a trace dump (or the reader fails).
+    pub fn from_reader<R: BufRead>(mut input: R) -> Result<TraceReport, String> {
         let mut report = TraceReport::default();
         let mut saw_meta = false;
-        for (idx, line) in text.lines().enumerate() {
-            let line = line.trim();
+        let mut buf = String::new();
+        let mut idx = 0usize;
+        loop {
+            buf.clear();
+            let n = input
+                .read_line(&mut buf)
+                .map_err(|e| format!("read error at line {}: {e}", idx + 1))?;
+            if n == 0 {
+                break;
+            }
+            idx += 1;
+            let line = buf.trim();
             if line.is_empty() {
                 continue;
             }
             let Some(kind) = str_field(line, "type") else {
-                return Err(format!("line {}: no \"type\" field", idx + 1));
+                return Err(format!("line {idx}: no \"type\" field"));
             };
             match kind {
                 "meta" => {
@@ -119,6 +176,18 @@ impl TraceReport {
                     if kind == "violation" {
                         if let Some(pm) = int_field(line, "pm") {
                             *report.violations_by_pm.entry(pm).or_insert(0) += 1;
+                        }
+                        if let (Some(observed), Some(capacity)) =
+                            (f64_field(line, "observed"), f64_field(line, "capacity"))
+                        {
+                            if capacity > 0.0 {
+                                report.overload_ratio.push(observed / capacity);
+                            }
+                        }
+                    }
+                    if kind == "crash" {
+                        if let Some(displaced) = int_field(line, "displaced") {
+                            report.crash_displaced.record(displaced);
                         }
                     }
                 }
@@ -183,6 +252,25 @@ impl TraceReport {
                 let _ = writeln!(out, "  pm {:<6} {}", pm, n);
             }
         }
+        if self.overload_ratio.total() > 0 {
+            let q = |p| self.overload_ratio.quantile(p).unwrap_or(f64::NAN);
+            let _ = writeln!(
+                out,
+                "overload ratio : p50 {:.3}  p90 {:.3}  p99 {:.3} (observed/capacity)",
+                q(0.5),
+                q(0.9),
+                q(0.99)
+            );
+        }
+        if self.crash_displaced.total() > 0 {
+            let q = |p| self.crash_displaced.quantile(p).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "crash displaced: p50 <= {}  p99 <= {} VMs per crash",
+                q(0.5),
+                q(0.99)
+            );
+        }
         if self.cvr_series > 0 {
             let _ = writeln!(out, "cvr series     : {} sampled PMs", self.cvr_series);
         }
@@ -239,6 +327,50 @@ mod tests {
         let text = report.render();
         assert!(text.contains("violation"));
         assert!(text.contains("pm 1"));
+    }
+
+    #[test]
+    fn streaming_reader_matches_in_memory_parse_and_sketches_fill() {
+        let mut r = MemoryRecorder::new(64);
+        for step in 0..40 {
+            r.record_event(Event::Violation {
+                step,
+                pm: (step % 3) as usize,
+                observed: 50.0 + step as f64,
+                capacity: 50.0,
+                degraded: false,
+            });
+        }
+        r.record_event(Event::Crash {
+            step: 41,
+            pm: 0,
+            displaced: 12,
+        });
+        let text = r.to_jsonl();
+
+        let whole = TraceReport::from_jsonl(&text).unwrap();
+        // Drip the same bytes through a tiny BufReader so read_line has to
+        // cross buffer boundaries mid-line.
+        let streamed =
+            TraceReport::from_reader(std::io::BufReader::with_capacity(7, text.as_bytes()))
+                .unwrap();
+        assert_eq!(streamed.events, whole.events);
+        assert_eq!(streamed.event_counts, whole.event_counts);
+        assert_eq!(streamed.violations_by_pm, whole.violations_by_pm);
+        assert_eq!(streamed.overload_ratio, whole.overload_ratio);
+        assert_eq!(streamed.crash_displaced, whole.crash_displaced);
+
+        // Ratios run 1.0..=1.78; the sketch must see all 40 and place the
+        // median near 1.4.
+        assert_eq!(streamed.overload_ratio.total(), 40);
+        let p50 = streamed.overload_ratio.quantile(0.5).unwrap();
+        assert!((1.3..1.5).contains(&p50), "p50 {p50}");
+        assert_eq!(streamed.crash_displaced.total(), 1);
+        assert_eq!(streamed.crash_displaced.quantile(0.5), Some(15));
+
+        let rendered = streamed.render();
+        assert!(rendered.contains("overload ratio"), "{rendered}");
+        assert!(rendered.contains("crash displaced"), "{rendered}");
     }
 
     #[test]

@@ -42,6 +42,19 @@ pub enum RngLayout {
     /// differ from [`RngLayout::Shared`] for the same seed (different
     /// stream pairing), but their distribution is identical.
     PerVm,
+    /// Class-aggregated evolution: one ON-counter per `(PM, VM class)`
+    /// cell, stepped with two counter-based binomial draws
+    /// (`ON→OFF ~ B(n_on, p_off)`, `OFF→ON ~ B(n_off, p_on)`) keyed on
+    /// `(seed, pm, class, step)` — the superposition argument behind the
+    /// closed-form MapCal stationary, applied to the hot loop. Per-PM
+    /// demand is `counter × class demand`, so the per-step cost scales
+    /// with the number of occupied cells, not the fleet size. Outcomes
+    /// are `f64::to_bits`-identical for any thread count and invariant
+    /// under class enumeration order, but individual VMs no longer own
+    /// sample paths: agreement with [`RngLayout::PerVm`] is
+    /// *distributional* (same per-PM ON-count law, CVR and energy within
+    /// certified Wilson intervals), never bit-exact.
+    ClassAggregated,
 }
 
 /// A structurally invalid [`SimConfig`] (or [`FaultConfig`]), detected
@@ -148,10 +161,13 @@ pub struct SimConfig {
     pub faults: Option<FaultConfig>,
     /// How workload RNG streams are laid out across VMs. The default
     /// [`RngLayout::Shared`] preserves the historical serial stream;
-    /// [`RngLayout::PerVm`] enables deterministic parallel evolution.
+    /// [`RngLayout::PerVm`] enables deterministic parallel evolution;
+    /// [`RngLayout::ClassAggregated`] collapses same-class VMs on a PM
+    /// into binomial counter cells for class-heavy fleets at scale.
     pub rng_layout: RngLayout,
-    /// Worker threads for the [`RngLayout::PerVm`] hot path. `0` means
-    /// "use the machine's available parallelism". Ignored under
+    /// Worker threads for the [`RngLayout::PerVm`] and
+    /// [`RngLayout::ClassAggregated`] hot paths. `0` means "use the
+    /// machine's available parallelism". Ignored under
     /// [`RngLayout::Shared`], and forced to 1 inside
     /// [`crate::replicate_seeds`] workers (replication-level parallelism
     /// already owns the cores). Any value yields bit-identical outcomes.

@@ -413,6 +413,9 @@ impl<'a> Simulator<'a> {
         for (i, j) in host.iter().enumerate() {
             hosted[j.expect("fresh placement")].push(i);
         }
+        // Class-aggregated layout only: build the (PM, class) counters
+        // from the initial placement. A no-op for the other layouts.
+        core.class_init(&host);
         let mut loads: Vec<PmLoad> = hosted
             .iter()
             .map(|vs| PmLoad::rebuild(vs.iter().map(|&i| &self.vms[i])))
@@ -456,6 +459,10 @@ impl<'a> Simulator<'a> {
                             fs.pm_up[e.pm] = false;
                             fs.pm_overflow[e.pm] = 0;
                             dual.retain(|d| d.0 != e.pm);
+                            // Class mode: fix the members' ON flags from
+                            // the counters, then merge the PM's cells
+                            // into the limbo pool.
+                            core.class_crash(e.pm, &hosted[e.pm]);
                             let evicted = std::mem::take(&mut hosted[e.pm]);
                             loads[e.pm] = PmLoad::empty();
                             observed[e.pm] = 0.0;
@@ -522,7 +529,7 @@ impl<'a> Simulator<'a> {
                     let unplaced = self.evacuate_displaced(
                         step,
                         &displaced,
-                        &core.on,
+                        &mut core,
                         &mut host,
                         &mut hosted,
                         &mut loads,
@@ -632,6 +639,9 @@ impl<'a> Simulator<'a> {
                         continue; // tolerated fluctuation
                     }
                     let overload = observed[j] - self.pms[j].capacity;
+                    // Class mode: re-materialize this PM's per-VM ON
+                    // flags from its counters before reading them.
+                    core.class_sync_pm(j, &hosted[j]);
                     let Some(victim) = self.pick_victim(&hosted[j], &core.on, overload) else {
                         continue;
                     };
@@ -648,6 +658,7 @@ impl<'a> Simulator<'a> {
                     ) {
                         Some(target) => {
                             // Move the VM.
+                            core.class_move(victim, Some(j), Some(target));
                             hosted[j].retain(|&i| i != victim);
                             hosted[target].push(victim);
                             host[victim] = Some(target);
@@ -768,6 +779,7 @@ impl<'a> Simulator<'a> {
                         continue; // overload cleared itself; cancel
                     }
                     let vm = &self.vms[e.vm];
+                    core.class_sync_pm(j, &hosted[j]);
                     let vm_demand = vm.demand(core.on[e.vm]);
                     match self.pick_target(
                         &mut finder,
@@ -779,6 +791,7 @@ impl<'a> Simulator<'a> {
                         &fs.pm_up,
                     ) {
                         Some(target) => {
+                            core.class_move(e.vm, Some(j), Some(target));
                             hosted[j].retain(|&i| i != e.vm);
                             hosted[target].push(e.vm);
                             host[e.vm] = Some(target);
@@ -852,10 +865,13 @@ impl<'a> Simulator<'a> {
 
                 if !due_evac.is_empty() {
                     let vms_due: Vec<usize> = due_evac.iter().map(|e| e.vm).collect();
+                    // Class mode: the limbo counters have evolved since
+                    // these VMs were displaced — refresh their flags.
+                    core.class_sync_displaced(&host);
                     let unplaced = self.evacuate_displaced(
                         step,
                         &vms_due,
-                        &core.on,
+                        &mut core,
                         &mut host,
                         &mut hosted,
                         &mut loads,
@@ -987,7 +1003,7 @@ impl<'a> Simulator<'a> {
         &self,
         step: usize,
         displaced: &[usize],
-        on: &[bool],
+        core: &mut WorkloadCore,
         host: &mut [Option<usize>],
         hosted: &mut [Vec<usize>],
         loads: &mut [PmLoad],
@@ -1000,7 +1016,7 @@ impl<'a> Simulator<'a> {
             displaced,
             self.policy,
             false,
-            on,
+            core,
             host,
             hosted,
             loads,
@@ -1013,7 +1029,7 @@ impl<'a> Simulator<'a> {
         }
         let degraded = DegradedAdmission::new(self.policy, self.config.degraded_epsilon);
         self.evacuate_pass(
-            step, &leftover, &degraded, true, on, host, hosted, loads, observed, fs, rec,
+            step, &leftover, &degraded, true, core, host, hosted, loads, observed, fs, rec,
         )
     }
 
@@ -1027,7 +1043,7 @@ impl<'a> Simulator<'a> {
         displaced: &[usize],
         policy: &dyn RuntimePolicy,
         degraded: bool,
-        on: &[bool],
+        core: &mut WorkloadCore,
         host: &mut [Option<usize>],
         hosted: &mut [Vec<usize>],
         loads: &mut [PmLoad],
@@ -1037,7 +1053,7 @@ impl<'a> Simulator<'a> {
     ) -> Vec<usize> {
         let demands: Vec<f64> = displaced
             .iter()
-            .map(|&i| policy.demand_measure(&self.vms[i], self.vms[i].demand(on[i])))
+            .map(|&i| policy.demand_measure(&self.vms[i], self.vms[i].demand(core.on[i])))
             .collect();
         let headrooms: Vec<f64> = (0..self.pms.len())
             .map(|j| {
@@ -1055,7 +1071,7 @@ impl<'a> Simulator<'a> {
         let out = evacuate_batch_recorded(&demands, &mut index, rec, |j, slot| {
             let i = displaced[slot];
             let vm = &self.vms[i];
-            let vm_demand = vm.demand(on[i]);
+            let vm_demand = vm.demand(core.on[i]);
             let pm = PmRuntime {
                 load: loads[j],
                 observed: observed[j],
@@ -1063,6 +1079,7 @@ impl<'a> Simulator<'a> {
             if !policy.admits(vm, vm_demand, &pm, self.pms[j].capacity) {
                 return None;
             }
+            core.class_move(i, None, Some(j));
             hosted[j].push(i);
             host[i] = Some(j);
             loads[j].add(vm);

@@ -60,6 +60,89 @@ pub fn pervm_u01(seed: u64, stream: u64, counter: u64) -> f64 {
     keyed_u01(stream_key(seed, stream), counter)
 }
 
+/// Content hash of a VM class's exact bit-pattern key (the
+/// `workload::classes::VmClass::key()` four-tuple), for keying
+/// per-(PM, class) streams. A *content* hash — never a first-appearance
+/// index — so the stream a class draws from is invariant under the order
+/// classes are enumerated in the fleet.
+#[inline]
+pub fn class_hash(key: [u64; 4]) -> u64 {
+    let mut acc = MIX_B;
+    for word in key {
+        acc = mix64(acc ^ word.wrapping_mul(GOLDEN));
+    }
+    acc
+}
+
+/// The key of one per-(PM, class) stream under
+/// [`RngLayout::ClassAggregated`]: a pure function of the run seed, the
+/// PM index and the class content hash. The engine uses `pm = m` (one
+/// past the last PM) for the displaced-VM limbo pool.
+///
+/// [`RngLayout::ClassAggregated`]: crate::config::RngLayout::ClassAggregated
+#[inline]
+pub fn class_cell_key(seed: u64, pm: u64, class_hash: u64) -> u64 {
+    stream_key(seed, mix64(class_hash ^ pm.wrapping_mul(GOLDEN)))
+}
+
+/// Deterministic `Binomial(n, p)` draw at `(key, counter)` coordinates:
+/// one [`keyed_u01`] uniform inverted through the CDF by the standard
+/// pmf-recurrence walk `pmf(k+1) = pmf(k)·(n−k)/(k+1)·p/(1−p)`.
+///
+/// Pure and stateless like [`pervm_u01`], so any thread can compute any
+/// cell's draw for any step — that is what makes the class-aggregated
+/// layout thread-count invariant. Cost is `O(E[X] + 1)` per draw: the
+/// walk stops at the sampled value, and the chains this samples for keep
+/// `n·p` small (`p_on`/`p_off` are per-step switch probabilities, a few
+/// percent). The loop is bounded by `n` regardless of roundoff.
+#[inline]
+pub fn keyed_binomial(key: u64, counter: u64, n: u32, p: f64) -> u32 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let u = keyed_u01(key, counter);
+    let q = 1.0 - p;
+    let ratio = p / q;
+    let mut pmf = q.powi(n as i32);
+    if pmf > 0.0 {
+        // Ordered inverse-CDF walk from k = 0: O(E[X] + 1) per draw for
+        // the small switch probabilities the ON-OFF chains use.
+        let mut cdf = pmf;
+        let mut k = 0u32;
+        while u >= cdf && k < n {
+            pmf *= (n - k) as f64 / (k + 1) as f64 * ratio;
+            k += 1;
+            cdf += pmf;
+        }
+        return k;
+    }
+    // q^n underflowed (possible for cells of many thousands of VMs):
+    // anchor the same ordered walk at the lower 12σ edge, with the anchor
+    // pmf evaluated in log space. The skipped left tail carries < 1e-30
+    // probability mass, and the draw stays a pure function of the
+    // coordinates.
+    let mean = n as f64 * p;
+    let start = (mean - 12.0 * (mean * q).sqrt()).floor().max(0.0) as u32;
+    use bursty_markov::binomial::ln_gamma;
+    let ln_pmf = ln_gamma(f64::from(n) + 1.0)
+        - ln_gamma(f64::from(start) + 1.0)
+        - ln_gamma(f64::from(n - start) + 1.0)
+        + f64::from(start) * p.ln()
+        + f64::from(n - start) * q.ln();
+    let mut pmf = ln_pmf.exp();
+    let mut cdf = pmf;
+    let mut k = start;
+    while u >= cdf && k < n {
+        pmf *= (n - k) as f64 / (k + 1) as f64 * ratio;
+        k += 1;
+        cdf += pmf;
+    }
+    k
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +211,75 @@ mod tests {
             }
         }
         assert_eq!(diff, 256, "a seed change must re-key every stream");
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let key = stream_key(1, 0);
+        assert_eq!(keyed_binomial(key, 0, 0, 0.5), 0);
+        assert_eq!(keyed_binomial(key, 0, 10, 0.0), 0);
+        assert_eq!(keyed_binomial(key, 0, 10, -0.1), 0);
+        assert_eq!(keyed_binomial(key, 0, 10, 1.0), 10);
+        for counter in 0..100 {
+            let x = keyed_binomial(key, counter, 7, 0.3);
+            assert!(x <= 7);
+        }
+    }
+
+    #[test]
+    fn binomial_is_pure_function_of_coordinates() {
+        let key = class_cell_key(42, 3, class_hash([1, 2, 3, 4]));
+        let a = keyed_binomial(key, 17, 25, 0.09);
+        let b = keyed_binomial(key, 17, 25, 0.09);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn binomial_moments_match_the_law() {
+        // Binomial(n, p) has mean np and variance npq; 40k draws pin both
+        // to a few percent.
+        for &(n, p) in &[(8u32, 0.09f64), (30, 0.01), (100, 0.25)] {
+            let key = class_cell_key(7, 11, class_hash([5, 6, 7, 8]));
+            let draws = 40_000u64;
+            let (mut sum, mut sum_sq) = (0.0f64, 0.0f64);
+            for counter in 0..draws {
+                let x = f64::from(keyed_binomial(key, counter ^ (u64::from(n) << 32), n, p));
+                sum += x;
+                sum_sq += x * x;
+            }
+            let mean = sum / draws as f64;
+            let var = sum_sq / draws as f64 - mean * mean;
+            let (m, v) = (f64::from(n) * p, f64::from(n) * p * (1.0 - p));
+            assert!(
+                (mean - m).abs() < 0.05 * m.max(1.0),
+                "n={n} p={p} mean {mean} vs {m}"
+            );
+            assert!(
+                (var - v).abs() < 0.08 * v.max(1.0),
+                "n={n} p={p} var {var} vs {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_large_n_path_is_sane() {
+        // n large enough that q^n underflows: the log-space anchored walk
+        // must still sample near np, never the saturated n.
+        let key = stream_key(9, 4);
+        let (n, p) = (50_000u32, 0.09f64);
+        assert_eq!((1.0 - p).powi(n as i32), 0.0, "test premise: underflow");
+        let draws = 2_000u64;
+        let mut sum = 0.0;
+        for counter in 0..draws {
+            let x = keyed_binomial(key, counter, n, p);
+            assert!(x < n, "saturated draw {x}");
+            sum += f64::from(x);
+        }
+        let mean = sum / draws as f64;
+        let expect = f64::from(n) * p;
+        assert!(
+            (mean - expect).abs() < 0.02 * expect,
+            "mean {mean} vs {expect}"
+        );
     }
 }

@@ -227,6 +227,46 @@ pub fn run_churn(
                     *on = if *on { u >= vm.p_off } else { u < vm.p_on };
                 }
             }
+            RngLayout::ClassAggregated => {
+                // Group the live population into (host, class) cells and
+                // evolve each with one pair of binomial draws — the same
+                // aggregation the engine's class layout uses, applied to
+                // a churning population. Cell streams are keyed by
+                // (seed, host, class contents, step), so arrivals and
+                // departures never shift another cell's draws; the new
+                // ON count disaggregates back to member flags with the
+                // canonical lowest-id-first rule. Continuous-sampled
+                // newcomers form singleton cells (Binomial(1, p) is just
+                // Bernoulli), so the arm stays exact for any class mix.
+                use crate::rng::{class_cell_key, class_hash, keyed_binomial};
+                use bursty_workload::VmClass;
+                let mut cells: Vec<(usize, [u64; 4], usize, usize)> = live
+                    .iter()
+                    .enumerate()
+                    .map(|(v, (vm, host, _))| (*host, VmClass::of(vm).key(), vm.id, v))
+                    .collect();
+                cells.sort_unstable();
+                let mut at = 0;
+                while at < cells.len() {
+                    let (host0, key0, _, v0) = cells[at];
+                    let mut end = at + 1;
+                    while end < cells.len() && cells[end].0 == host0 && cells[end].1 == key0 {
+                        end += 1;
+                    }
+                    let group = &cells[at..end];
+                    let n_on = group.iter().filter(|&&(_, _, _, v)| live[v].2).count() as u32;
+                    let n_off = group.len() as u32 - n_on;
+                    let (cls_p_on, cls_p_off) = (live[v0].0.p_on, live[v0].0.p_off);
+                    let key = class_cell_key(sim.seed, host0 as u64, class_hash(key0));
+                    let out = keyed_binomial(key, 2 * step as u64, n_on, cls_p_off);
+                    let inn = keyed_binomial(key, 2 * step as u64 + 1, n_off, cls_p_on);
+                    let new_on = (n_on - out + inn) as usize;
+                    for (g, &(_, _, _, v)) in group.iter().enumerate() {
+                        live[v].2 = g < new_on;
+                    }
+                    at = end;
+                }
+            }
         }
 
         // 4. Violations + migration.
@@ -454,6 +494,14 @@ mod tests {
         // shared layout under the same seed (the streams re-paired).
         assert_eq!(run(RngLayout::PerVm, 5), run(RngLayout::PerVm, 5));
         assert_ne!(run(RngLayout::PerVm, 5), run(RngLayout::Shared, 5));
+        // The class-aggregated layout is deterministic per seed too, and
+        // walks its own sample path (binomial cell draws, not per-VM
+        // coins).
+        assert_eq!(
+            run(RngLayout::ClassAggregated, 5),
+            run(RngLayout::ClassAggregated, 5)
+        );
+        assert_ne!(run(RngLayout::ClassAggregated, 5), run(RngLayout::PerVm, 5));
     }
 
     #[test]

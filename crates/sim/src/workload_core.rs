@@ -6,7 +6,7 @@
 //! into four `f64` vectors once per run (`p_on`/`p_off`/`demand_off`/
 //! `demand_on`) and fuses both loops into one branch-light pass.
 //!
-//! Two layouts, one determinism contract (DESIGN.md §8):
+//! Three layouts, one determinism contract (DESIGN.md §8):
 //!
 //! * [`RngLayout::Shared`] — one sequential `StdRng`, drawn in VM order,
 //!   demands summed in ascending VM order. This is *exactly* the draw
@@ -22,6 +22,20 @@
 //!   the thread count: 1, 2, or 64 workers produce `f64::to_bits`-equal
 //!   results. The serial path runs the very same chunked code, so
 //!   `threads: 1` equals `threads: N` by construction, not by accident.
+//! * [`RngLayout::ClassAggregated`] — same-class VMs on a PM share one
+//!   ON-counter cell; a step is two counter-based binomial draws per
+//!   occupied cell (`ON→OFF ~ B(n_on, p_off)`, `OFF→ON ~ B(n_off,
+//!   p_on)`) keyed on `(seed, pm, class, step)`, and per-PM demand is
+//!   `counter × class demand`. Cost scales with occupied cells, not
+//!   fleet size. Thread-count invariant (each PM's demand is computed
+//!   wholly by one worker from its own cells) and invariant under class
+//!   enumeration order (the class table is sorted by content, cell keys
+//!   hash class *contents*). Individual VMs no longer own sample paths:
+//!   the engine re-materializes per-VM ON flags lazily at decision
+//!   points via the `class_sync_*` hooks (canonical rule: lowest VM
+//!   indices of a class at a location are ON first), and agreement with
+//!   `PerVm` is distributional — per-PM ON-count marginals, CVR and
+//!   energy within certified Wilson intervals — never bit-exact.
 //!
 //! Workers are plain `std::thread::scope` spawns (the workspace vendors
 //! no thread-pool crate), so each step pays a spawn/join round trip —
@@ -33,7 +47,8 @@
 //! [`RngLayout::PerVm`]: crate::config::RngLayout::PerVm
 
 use crate::config::RngLayout;
-use crate::rng::{keyed_u01, stream_key};
+use crate::rng::{class_cell_key, class_hash, keyed_binomial, keyed_u01, stream_key};
+use bursty_workload::classes::VmClass;
 use bursty_workload::VmSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,12 +59,44 @@ use std::thread;
 /// floating-point reduction tree is identical at every thread count.
 pub(crate) const PER_VM_CHUNK: usize = 512;
 
+/// Fixed PM-chunk width of the class-aggregated layout. Unlike the
+/// per-VM fold, each PM's demand is produced entirely inside one chunk
+/// (cells never span PMs), so any chunking is thread-count invariant;
+/// the fixed width just keeps scheduling deterministic and cache-sized.
+pub(crate) const CLASS_PM_CHUNK: usize = 512;
+
 /// Per-chunk demand accumulator: a dense per-PM scratch vector plus the
 /// PM indices this chunk touched, in first-touch order. Folding by
 /// touch list keeps the reduction O(VMs) instead of O(chunks · PMs).
 struct Partial {
     dense: Vec<f64>,
     touched: Vec<usize>,
+}
+
+/// Per-class chain parameters of the class-aggregated layout, one entry
+/// per *distinct* VM class in canonical order (sorted by the exact
+/// [`VmClass::key`] bit patterns — a function of the class *contents*,
+/// so indices are invariant under fleet enumeration order).
+struct ClassInfo {
+    p_on: f64,
+    p_off: f64,
+    demand_off: f64,
+    demand_on: f64,
+    /// Content hash of the class key, the class axis of every cell's
+    /// stream coordinates.
+    hash: u64,
+}
+
+/// One `(location, class)` ON-counter of the class-aggregated layout:
+/// `count` resident VMs of `class`, `n_on` of them currently ON, and the
+/// pre-mixed stream key of the cell's binomial draws. A location is a PM
+/// or the displaced-VM limbo pool; each location's cells stay sorted by
+/// class index so evolution and demand accumulation order are canonical.
+struct Cell {
+    class: u32,
+    count: u32,
+    n_on: u32,
+    key: u64,
 }
 
 enum Mode {
@@ -62,6 +109,19 @@ enum Mode {
         /// Resolved worker count (≥ 1). Purely a throughput knob.
         threads: usize,
         partials: Vec<Partial>,
+    },
+    ClassAggregated {
+        /// Canonical class table (sorted by class key bit patterns).
+        classes: Vec<ClassInfo>,
+        /// Canonical class index per VM.
+        class_of: Vec<u32>,
+        /// Cells per location: `cells[0..m]` are the PMs, `cells[m]` is
+        /// the limbo pool of displaced VMs (which evolve but contribute
+        /// no demand). Populated by [`WorkloadCore::class_init`].
+        cells: Vec<Vec<Cell>>,
+        /// Resolved worker count (≥ 1). Purely a throughput knob.
+        threads: usize,
+        seed: u64,
     },
 }
 
@@ -91,31 +151,76 @@ impl WorkloadCore {
         threads: usize,
     ) -> Self {
         let n = vms.len();
+        let resolve_threads = |chunks: usize| {
+            let requested = if crate::runner::in_replication_worker() {
+                1
+            } else if threads == 0 {
+                thread::available_parallelism().map_or(1, |p| p.get())
+            } else {
+                threads
+            };
+            requested.clamp(1, chunks)
+        };
         let mode = match layout {
             RngLayout::Shared => Mode::Shared {
                 rng: StdRng::seed_from_u64(seed),
             },
             RngLayout::PerVm => {
                 let chunks = n.div_ceil(PER_VM_CHUNK).max(1);
-                let requested = if crate::runner::in_replication_worker() {
-                    1
-                } else if threads == 0 {
-                    thread::available_parallelism().map_or(1, |p| p.get())
-                } else {
-                    threads
-                };
                 Mode::PerVm {
                     keys: vms
                         .iter()
                         .map(|vm| stream_key(seed, vm.id as u64))
                         .collect(),
-                    threads: requested.clamp(1, chunks),
+                    threads: resolve_threads(chunks),
                     partials: (0..chunks)
                         .map(|_| Partial {
                             dense: vec![0.0; m],
                             touched: Vec::with_capacity(PER_VM_CHUNK.min(n)),
                         })
                         .collect(),
+                }
+            }
+            RngLayout::ClassAggregated => {
+                // Canonical class table: distinct class keys sorted by
+                // their exact bit patterns. Sorting by *content* (never
+                // first-appearance order) is what makes cell streams —
+                // and with them every outcome — invariant under the
+                // order VMs are enumerated in the fleet.
+                let mut keys: Vec<[u64; 4]> = vms.iter().map(|vm| VmClass::of(vm).key()).collect();
+                keys.sort_unstable();
+                keys.dedup();
+                let index: std::collections::HashMap<[u64; 4], u32> = keys
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &k)| (k, c as u32))
+                    .collect();
+                let mut classes: Vec<ClassInfo> = keys
+                    .iter()
+                    .map(|&k| ClassInfo {
+                        p_on: f64::from_bits(k[0]),
+                        p_off: f64::from_bits(k[1]),
+                        demand_off: 0.0,
+                        demand_on: 0.0,
+                        hash: class_hash(k),
+                    })
+                    .collect();
+                let class_of: Vec<u32> =
+                    vms.iter().map(|vm| index[&VmClass::of(vm).key()]).collect();
+                // Demands via the spec's own accessor (bit-identical for
+                // every member of a class, so any representative works).
+                for (i, vm) in vms.iter().enumerate() {
+                    let info = &mut classes[class_of[i] as usize];
+                    info.demand_off = vm.demand(false);
+                    info.demand_on = vm.demand(true);
+                }
+                let chunks = m.div_ceil(CLASS_PM_CHUNK).max(1);
+                Mode::ClassAggregated {
+                    classes,
+                    class_of,
+                    cells: (0..=m).map(|_| Vec::new()).collect(),
+                    threads: resolve_threads(chunks),
+                    seed,
                 }
             }
         };
@@ -217,6 +322,270 @@ impl WorkloadCore {
                     partial.touched.clear();
                 }
             }
+            Mode::ClassAggregated {
+                classes,
+                cells,
+                threads,
+                ..
+            } => {
+                // Two binomial draws per occupied (PM, class) cell: the
+                // ON→OFF departures and OFF→ON arrivals of the cell's
+                // superposed chains. Draw coordinates are pure functions
+                // of (seed, location, class, step) — counters 2·step and
+                // 2·step + 1 of the cell's keyed stream — so any thread
+                // can evolve any PM, and each PM's demand is produced
+                // entirely by its own cells in canonical class order:
+                // thread-count invariance needs no reduction tree here.
+                let m = observed.len();
+                let (pm_cells, limbo) = cells.split_at_mut(m);
+                let classes: &[ClassInfo] = classes;
+                let evolve = |cell_chunk: &mut [Vec<Cell>], obs_chunk: &mut [f64]| {
+                    for (cs, o) in cell_chunk.iter_mut().zip(obs_chunk.iter_mut()) {
+                        let mut demand = 0.0;
+                        for cell in cs.iter_mut() {
+                            let info = &classes[cell.class as usize];
+                            let off_count = cell.count - cell.n_on;
+                            let out = keyed_binomial(cell.key, 2 * step, cell.n_on, info.p_off);
+                            let inn = keyed_binomial(cell.key, 2 * step + 1, off_count, info.p_on);
+                            cell.n_on = cell.n_on - out + inn;
+                            demand += f64::from(cell.n_on) * info.demand_on
+                                + f64::from(cell.count - cell.n_on) * info.demand_off;
+                        }
+                        *o = demand;
+                    }
+                };
+                if *threads <= 1 || m <= CLASS_PM_CHUNK {
+                    evolve(pm_cells, observed);
+                } else {
+                    let units: Vec<(&mut [Vec<Cell>], &mut [f64])> = pm_cells
+                        .chunks_mut(CLASS_PM_CHUNK)
+                        .zip(observed.chunks_mut(CLASS_PM_CHUNK))
+                        .collect();
+                    #[allow(clippy::type_complexity)]
+                    let mut buckets: Vec<Vec<(&mut [Vec<Cell>], &mut [f64])>> =
+                        (0..*threads).map(|_| Vec::new()).collect();
+                    for (slot, unit) in units.into_iter().enumerate() {
+                        buckets[slot % *threads].push(unit);
+                    }
+                    thread::scope(|scope| {
+                        for bucket in &mut buckets {
+                            scope.spawn(|| {
+                                for (cell_chunk, obs_chunk) in bucket.iter_mut() {
+                                    evolve(cell_chunk, obs_chunk);
+                                }
+                            });
+                        }
+                    });
+                }
+                // Displaced VMs keep evolving (the draw sequence must not
+                // depend on fault decisions) but contribute no demand.
+                for cell in limbo[0].iter_mut() {
+                    let info = &classes[cell.class as usize];
+                    let off_count = cell.count - cell.n_on;
+                    let out = keyed_binomial(cell.key, 2 * step, cell.n_on, info.p_off);
+                    let inn = keyed_binomial(cell.key, 2 * step + 1, off_count, info.p_on);
+                    cell.n_on = cell.n_on - out + inn;
+                }
+            }
+        }
+    }
+
+    /// Builds the class-aggregated counters from the initial placement
+    /// (every VM OFF, matching the all-`false` `on` vector). Must be
+    /// called once before the first [`WorkloadCore::step`] under
+    /// [`RngLayout::ClassAggregated`]; a no-op for the other layouts.
+    pub(crate) fn class_init(&mut self, host: &[Option<usize>]) {
+        let Mode::ClassAggregated {
+            classes,
+            class_of,
+            cells,
+            seed,
+            ..
+        } = &mut self.mode
+        else {
+            return;
+        };
+        for cs in cells.iter_mut() {
+            cs.clear();
+        }
+        let limbo = cells.len() - 1;
+        for (i, h) in host.iter().enumerate() {
+            let loc = h.unwrap_or(limbo);
+            let c = class_of[i];
+            let cs = &mut cells[loc];
+            match cs.binary_search_by_key(&c, |cell| cell.class) {
+                Ok(at) => cs[at].count += 1,
+                Err(at) => cs.insert(
+                    at,
+                    Cell {
+                        class: c,
+                        count: 1,
+                        n_on: 0,
+                        key: class_cell_key(*seed, loc as u64, classes[c as usize].hash),
+                    },
+                ),
+            }
+        }
+    }
+
+    /// Refreshes the `on` flags of PM `j`'s hosted VMs from its cell
+    /// counters, using the canonical disaggregation rule: within each
+    /// class at one location, the `n_on` members with the lowest VM
+    /// indices are ON. The engine calls this before any decision that
+    /// reads per-VM state (victim selection, demand queries); a no-op
+    /// for the other layouts, whose `on` vector is always current.
+    pub(crate) fn class_sync_pm(&mut self, j: usize, members: &[usize]) {
+        let Self { on, mode, .. } = self;
+        let Mode::ClassAggregated {
+            class_of, cells, ..
+        } = mode
+        else {
+            return;
+        };
+        Self::class_assign_flags(on, class_of, &cells[j], members.iter().copied());
+    }
+
+    /// Refreshes the `on` flags of every displaced VM (`host[i] == None`)
+    /// from the limbo-pool counters — the displaced-side counterpart of
+    /// [`WorkloadCore::class_sync_pm`], called before evacuation passes.
+    pub(crate) fn class_sync_displaced(&mut self, host: &[Option<usize>]) {
+        let Self { on, mode, .. } = self;
+        let Mode::ClassAggregated {
+            class_of, cells, ..
+        } = mode
+        else {
+            return;
+        };
+        let limbo = cells.len() - 1;
+        let displaced = host
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.is_none())
+            .map(|(i, _)| i);
+        Self::class_assign_flags(on, class_of, &cells[limbo], displaced);
+    }
+
+    /// Shared flag-assignment pass of the two sync hooks: group `members`
+    /// by class, sort each group ascending, flag the first `n_on` of the
+    /// matching cell ON.
+    fn class_assign_flags(
+        on: &mut [bool],
+        class_of: &[u32],
+        cells: &[Cell],
+        members: impl Iterator<Item = usize>,
+    ) {
+        if cells.is_empty() {
+            return;
+        }
+        // (class, vm index) sorted: classes ascending, indices ascending
+        // within a class — one pass pairs each cell with its contiguous
+        // member group (cells are sorted by class too).
+        let mut by_class: Vec<(u32, usize)> = members.map(|i| (class_of[i], i)).collect();
+        by_class.sort_unstable();
+        let mut pos = 0usize;
+        for cell in cells {
+            debug_assert!(pos >= by_class.len() || by_class[pos].0 >= cell.class);
+            let start = pos;
+            while pos < by_class.len() && by_class[pos].0 == cell.class {
+                pos += 1;
+            }
+            let group = &by_class[start..pos];
+            debug_assert_eq!(
+                group.len(),
+                cell.count as usize,
+                "cell membership out of sync"
+            );
+            for (g, &(_, i)) in group.iter().enumerate() {
+                on[i] = g < cell.n_on as usize;
+            }
+        }
+    }
+
+    /// Moves VM `i` between locations in the class-aggregated counters
+    /// (`None` = the displaced limbo pool), carrying its current `on`
+    /// flag. The caller must have synced `i`'s source location since the
+    /// last evolution step so the flag matches the source counters; a
+    /// no-op for the other layouts.
+    pub(crate) fn class_move(&mut self, i: usize, from: Option<usize>, to: Option<usize>) {
+        let Self { on, mode, .. } = self;
+        let Mode::ClassAggregated {
+            classes,
+            class_of,
+            cells,
+            seed,
+            ..
+        } = mode
+        else {
+            return;
+        };
+        let limbo = cells.len() - 1;
+        let c = class_of[i];
+        let was_on = on[i];
+        let src = from.unwrap_or(limbo);
+        let cs = &mut cells[src];
+        let at = cs
+            .binary_search_by_key(&c, |cell| cell.class)
+            .expect("moving VM has a source cell");
+        cs[at].count -= 1;
+        if was_on {
+            cs[at].n_on -= 1;
+        }
+        if cs[at].count == 0 {
+            cs.remove(at);
+        }
+        let dst = to.unwrap_or(limbo);
+        let cs = &mut cells[dst];
+        match cs.binary_search_by_key(&c, |cell| cell.class) {
+            Ok(at) => {
+                cs[at].count += 1;
+                cs[at].n_on += u32::from(was_on);
+            }
+            Err(at) => cs.insert(
+                at,
+                Cell {
+                    class: c,
+                    count: 1,
+                    n_on: u32::from(was_on),
+                    key: class_cell_key(*seed, dst as u64, classes[c as usize].hash),
+                },
+            ),
+        }
+    }
+
+    /// Crash handling for PM `j`: fixes each member's flag from the
+    /// current counters (the flags displaced VMs carry into evacuation),
+    /// then merges the PM's cells wholesale into the limbo pool. A no-op
+    /// for the other layouts.
+    pub(crate) fn class_crash(&mut self, j: usize, members: &[usize]) {
+        self.class_sync_pm(j, members);
+        let Mode::ClassAggregated {
+            classes,
+            cells,
+            seed,
+            ..
+        } = &mut self.mode
+        else {
+            return;
+        };
+        let limbo = cells.len() - 1;
+        let moved = std::mem::take(&mut cells[j]);
+        for cell in moved {
+            let pool = &mut cells[limbo];
+            match pool.binary_search_by_key(&cell.class, |c| c.class) {
+                Ok(at) => {
+                    pool[at].count += cell.count;
+                    pool[at].n_on += cell.n_on;
+                }
+                Err(at) => pool.insert(
+                    at,
+                    Cell {
+                        class: cell.class,
+                        count: cell.count,
+                        n_on: cell.n_on,
+                        key: class_cell_key(*seed, limbo as u64, classes[cell.class as usize].hash),
+                    },
+                ),
+            }
         }
     }
 }
@@ -315,6 +684,133 @@ mod tests {
         }
         let frac = on_steps as f64 / (steps as usize * vms.len()) as f64;
         assert!((frac - 0.6).abs() < 0.01, "ON fraction {frac}, want 0.6");
+    }
+
+    /// A class-heavy fleet: `n` VMs drawn from 3 distinct classes.
+    fn class_fleet(n: usize) -> Vec<VmSpec> {
+        (0..n)
+            .map(|i| match i % 3 {
+                0 => VmSpec::new(i, 0.02, 0.08, 8.0, 12.0),
+                1 => VmSpec::new(i, 0.05, 0.05, 4.0, 20.0),
+                _ => VmSpec::new(i, 0.10, 0.02, 2.0, 6.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn class_layout_is_thread_count_invariant() {
+        // Enough PMs for several CLASS_PM_CHUNK chunks so the parallel
+        // path actually splits, plus some displaced VMs in limbo.
+        let m = 2 * CLASS_PM_CHUNK + 91;
+        let vms = class_fleet(3 * m);
+        let host: Vec<Option<usize>> = (0..vms.len())
+            .map(|i| (i % 17 != 0).then_some(i % m))
+            .collect();
+        let mut reference = None;
+        for threads in [1usize, 2, 8] {
+            let mut core = WorkloadCore::new(&vms, m, 7, RngLayout::ClassAggregated, threads);
+            core.class_init(&host);
+            let trace = run_core(&mut core, &host, m, 12);
+            let bits: Vec<u64> = trace.iter().map(|v| v.to_bits()).collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(r, &bits, "divergence at {threads} threads"),
+            }
+        }
+    }
+
+    #[test]
+    fn class_layout_is_invariant_under_fleet_enumeration_order() {
+        // Reversing the fleet (and its placement with it) permutes the
+        // order classes are first encountered, but every (PM, class)
+        // cell keeps the same composition — so the per-PM demand trace
+        // must be bit-identical: the class table is sorted by content
+        // and cell streams are keyed by content hashes, never by
+        // first-appearance indices.
+        let m = 11;
+        let vms = class_fleet(200);
+        let host: Vec<Option<usize>> = (0..vms.len())
+            .map(|i| (i % 13 != 0).then_some(i % m))
+            .collect();
+        let mut fwd = WorkloadCore::new(&vms, m, 3, RngLayout::ClassAggregated, 1);
+        fwd.class_init(&host);
+        let trace_fwd = run_core(&mut fwd, &host, m, 30);
+
+        let vms_rev: Vec<VmSpec> = vms.iter().rev().cloned().collect();
+        let host_rev: Vec<Option<usize>> = host.iter().rev().copied().collect();
+        let mut rev = WorkloadCore::new(&vms_rev, m, 3, RngLayout::ClassAggregated, 1);
+        rev.class_init(&host_rev);
+        let trace_rev = run_core(&mut rev, &host_rev, m, 30);
+
+        for (a, b) in trace_fwd.iter().zip(&trace_rev) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn class_counters_follow_the_stationary_law() {
+        // One PM hosting k same-class chains: the ON count must settle
+        // on Binomial(k, p_on/(p_on+p_off)) — mean and variance both.
+        // r_b = 1, r_e = 1 makes the observed demand k + ON count.
+        let k = 50usize;
+        let vms: Vec<VmSpec> = (0..k).map(|i| VmSpec::new(i, 0.3, 0.2, 1.0, 1.0)).collect();
+        let host: Vec<Option<usize>> = vec![Some(0); k];
+        let mut core = WorkloadCore::new(&vms, 1, 11, RngLayout::ClassAggregated, 1);
+        core.class_init(&host);
+        let mut observed = vec![0.0; 1];
+        let steps = 6000u64;
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for step in 0..steps {
+            core.step(step, &host, &mut observed);
+            let n_on = observed[0] - k as f64;
+            sum += n_on;
+            sum_sq += n_on * n_on;
+        }
+        let mean = sum / steps as f64;
+        let var = sum_sq / steps as f64 - mean * mean;
+        let pi = 0.3 / 0.5;
+        let (want_mean, want_var) = (k as f64 * pi, k as f64 * pi * (1.0 - pi));
+        assert!((mean - want_mean).abs() < 0.03 * want_mean, "mean {mean}");
+        assert!((var - want_var).abs() < 0.25 * want_var, "var {var}");
+    }
+
+    #[test]
+    fn class_sync_and_move_keep_flags_consistent_with_counters() {
+        // Sync must flag exactly n_on members ON per cell, and a move
+        // must carry the flag so counters never underflow.
+        let m = 2;
+        let vms = class_fleet(30);
+        let host: Vec<Option<usize>> = (0..vms.len()).map(|i| Some(i % m)).collect();
+        let mut core = WorkloadCore::new(&vms, m, 5, RngLayout::ClassAggregated, 1);
+        core.class_init(&host);
+        let mut observed = vec![0.0; m];
+        for step in 0..20 {
+            core.step(step, &host, &mut observed);
+        }
+        let members: Vec<usize> = (0..vms.len()).filter(|i| i % m == 0).collect();
+        core.class_sync_pm(0, &members);
+        // Flag-sum == counter-sum: the demand implied by the synced
+        // per-VM flags must reproduce the counter-computed observed load
+        // (same addends, possibly different grouping — so approximate).
+        let demand: f64 = members.iter().map(|&i| vms[i].demand(core.on[i])).sum();
+        assert!(
+            (demand - observed[0]).abs() < 1e-9 * observed[0].max(1.0),
+            "flags imply {demand}, counters observed {}",
+            observed[0]
+        );
+        // Move every PM-0 member to PM 1 and back; counters must absorb
+        // the round trip without panicking, and the flags (which the
+        // moves carry) must survive unchanged.
+        let on_before: Vec<bool> = members.iter().map(|&i| core.on[i]).collect();
+        for &i in &members {
+            core.class_move(i, Some(0), Some(1));
+        }
+        for &i in &members {
+            core.class_move(i, Some(1), Some(0));
+        }
+        core.class_sync_pm(0, &members);
+        let on_after: Vec<bool> = members.iter().map(|&i| core.on[i]).collect();
+        assert_eq!(on_before, on_after);
     }
 
     #[test]
