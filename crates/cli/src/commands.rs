@@ -277,7 +277,7 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     use bursty_core::metrics::inference::{certify_bound, BoundVerdict};
     use bursty_core::metrics::slo;
 
-    let args = Args::parse(args)?;
+    let args = Args::parse_with_switches(args, &["resume"])?;
     let dir = args
         .get_str("traces")
         .ok_or_else(|| err("missing required flag --traces <dir>"))?;
@@ -332,6 +332,36 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             None
         }
     };
+    let ckpt = match args.get_usize("checkpoint-every")? {
+        Some(every) => {
+            let ckpt_dir = args.get_str("checkpoint-dir").ok_or_else(|| {
+                err("--checkpoint-every requires --checkpoint-dir <dir> for the snapshots")
+            })?;
+            let mut cc = CheckpointConfig::new(every, ckpt_dir);
+            if let Some(keep) = args.get_usize("checkpoint-keep")? {
+                cc.keep = keep;
+            }
+            cc.validate(steps)
+                .map_err(|e| err(format!("invalid checkpoint setup: {e}")))?;
+            Some(cc)
+        }
+        None => {
+            for orphan in ["checkpoint-dir", "checkpoint-keep"] {
+                if args.get_str(orphan).is_some() {
+                    return Err(err(format!(
+                        "--{orphan} only makes sense with --checkpoint-every <steps>"
+                    )));
+                }
+            }
+            if args.has("resume") {
+                return Err(err(
+                    "--resume needs --checkpoint-every <steps> and --checkpoint-dir <dir> \
+                     to locate the snapshots",
+                ));
+            }
+            None
+        }
+    };
 
     // Fit and plan (same path as `plan`).
     let files = list_traces(Path::new(dir))?;
@@ -373,10 +403,67 @@ pub fn simulate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     cfg.validate()
         .map_err(|e| err(format!("invalid simulation setup: {e}")))?;
-    let outcome = match rec.as_mut() {
-        Some(r) => consolidator.simulate_recorded(&specs, &pms, &placement, cfg, r),
-        None => consolidator.simulate(&specs, &pms, &placement, cfg),
+    let outcome = if let Some(cc) = &ckpt {
+        let run = if args.has("resume") {
+            let resumed = match rec.as_mut() {
+                Some(r) => consolidator.resume_checkpointed(&specs, &pms, cfg, cc, r),
+                None => consolidator.resume_checkpointed(&specs, &pms, cfg, cc, &mut NoopRecorder),
+            };
+            let (run, report) =
+                resumed.map_err(|e| err(format!("cannot resume from checkpoints: {e}")))?;
+            writeln!(
+                out,
+                "resumed from {} at step {} ({} newer snapshot(s) discarded)",
+                report.loaded,
+                report.step,
+                report.discarded.len(),
+            )?;
+            for (name, why) in &report.discarded {
+                writeln!(out, "  discarded {name}: {why}")?;
+            }
+            run
+        } else {
+            match rec.as_mut() {
+                Some(r) => consolidator.simulate_checkpointed(&specs, &pms, &placement, cfg, cc, r),
+                None => consolidator.simulate_checkpointed(
+                    &specs,
+                    &pms,
+                    &placement,
+                    cfg,
+                    cc,
+                    &mut NoopRecorder,
+                ),
+            }
+            .map_err(|e| err(format!("cannot open checkpoint dir: {e}")))?
+        };
+        writeln!(
+            out,
+            "checkpoints: {} written to {} (every {} steps, keep {})",
+            run.saves,
+            cc.dir.display(),
+            cc.every,
+            cc.keep,
+        )?;
+        for (step, e) in &run.save_errors {
+            writeln!(out, "  snapshot at step {step} failed (run continued): {e}")?;
+        }
+        run.outcome
+    } else {
+        match rec.as_mut() {
+            Some(r) => consolidator.simulate_recorded(&specs, &pms, &placement, cfg, r),
+            None => consolidator.simulate(&specs, &pms, &placement, cfg),
+        }
     };
+    if ckpt.is_some() {
+        // Bit-exact digests for CI's crash/resume identity check: a resumed
+        // run must reprint exactly these words.
+        writeln!(
+            out,
+            "digest: energy {:#018x} mean-cvr {:#018x}",
+            outcome.energy_joules.to_bits(),
+            outcome.mean_cvr().to_bits(),
+        )?;
+    }
 
     let r = OnOffChain::new(p_on, p_off)
         .autocorrelation(1)

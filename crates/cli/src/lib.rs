@@ -90,6 +90,7 @@ USAGE:
   bursty simulate --traces <dir> --capacity <C> [--steps S] [--rho R | --availability PCT]
                   [--mtbf S [--mttr S] [--fault-group G] [--fault-seed N]]
                   [--rng-layout shared|per-vm|class-aggregated [--threads T]]
+                  [--checkpoint-every N --checkpoint-dir DIR [--checkpoint-keep K] [--resume]]
                   [--trace-out FILE]
       plan as above, then simulate the fitted fleet and certify the
       CVR bound statistically (Wilson interval, correlation-discounted);
@@ -104,7 +105,13 @@ USAGE:
       step, distributionally equivalent to per-vm (same stationary law,
       certified CVR/energy), thread-count invariant but not bit-equal;
       --trace-out dumps the structured observability trace (counters,
-      event journal, per-PM CVR series) as JSONL
+      event journal, per-PM CVR series) as JSONL;
+      --checkpoint-every writes a crash-safe snapshot of the full
+      simulation state to --checkpoint-dir every N steps (atomic
+      temp+fsync+rename, CRC-guarded, newest K retained); --resume
+      restarts an interrupted run from the newest verifying snapshot
+      and finishes bit-identical to a run that never stopped (the
+      printed digest line is the proof)
   bursty trace-report <trace.jsonl>
       summarize a --trace-out dump: counters, gauges, events by type,
       the per-PM violation leaderboard and CVR-series coverage";

@@ -288,6 +288,96 @@ fn trace_report_rejects_garbage_and_missing_files() {
 }
 
 #[test]
+fn simulate_checkpoints_resume_to_the_same_digest() {
+    let dir = scratch("simulate-ckpt");
+    write_generated_traces(&dir, 4);
+    let ckpts = dir.join("ckpts");
+    let base = args(&[
+        "simulate",
+        "--traces",
+        dir.to_str().unwrap(),
+        "--capacity",
+        "90",
+        "--steps",
+        "600",
+        "--mtbf",
+        "150",
+        "--checkpoint-every",
+        "100",
+        "--checkpoint-dir",
+        ckpts.to_str().unwrap(),
+    ]);
+    let first = run_ok(&base);
+    assert!(first.contains("checkpoints: 5 written"), "{first}");
+    let digest = first
+        .lines()
+        .find(|l| l.starts_with("digest:"))
+        .expect("checkpointed runs print a digest line")
+        .to_string();
+
+    // The snapshots are still on disk: --resume re-runs the tail from
+    // the newest one and must land on the exact same digest.
+    let resumed = run_ok(&[base.clone(), args(&["--resume"])].concat());
+    assert!(
+        resumed.contains("resumed from ckpt-000000000500 at step 500"),
+        "{resumed}"
+    );
+    assert!(resumed.contains(&digest), "{resumed}\nexpected {digest}");
+
+    // A corrupted newest snapshot is discarded with a reason; the run
+    // falls back to the older retained one and still matches.
+    let newest = ckpts.join("ckpt-000000000500");
+    let mut bytes = fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(&newest, bytes).unwrap();
+    let fallback = run_ok(&[base, args(&["--resume"])].concat());
+    assert!(
+        fallback.contains("resumed from ckpt-000000000400 at step 400"),
+        "{fallback}"
+    );
+    assert!(
+        fallback.contains("discarded ckpt-000000000500"),
+        "{fallback}"
+    );
+    assert!(fallback.contains(&digest), "{fallback}\nexpected {digest}");
+}
+
+#[test]
+fn simulate_rejects_orphan_checkpoint_flags() {
+    let dir = scratch("simulate-badckpt");
+    write_generated_traces(&dir, 2);
+    let base = [
+        "simulate",
+        "--traces",
+        dir.to_str().unwrap(),
+        "--capacity",
+        "120",
+    ];
+    let mut buf = Vec::new();
+    let e = run(
+        &args(&[&base[..], &["--checkpoint-dir", "/tmp/x"][..]].concat()),
+        &mut buf,
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("--checkpoint-every"), "{e}");
+    let e = run(&args(&[&base[..], &["--resume"][..]].concat()), &mut buf).unwrap_err();
+    assert!(e.to_string().contains("--checkpoint-every"), "{e}");
+    let e = run(
+        &args(
+            &[
+                &base[..],
+                &["--checkpoint-every", "0", "--checkpoint-dir", "/tmp/x"][..],
+            ]
+            .concat(),
+        ),
+        &mut buf,
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("interval"), "{e}");
+}
+
+#[test]
 fn simulate_accepts_availability_budget() {
     let dir = scratch("simulate-slo");
     write_generated_traces(&dir, 4);

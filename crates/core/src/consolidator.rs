@@ -1,13 +1,14 @@
 //! The high-level consolidation API: pick a scheme, place, simulate.
 
+use bursty_obs::durable::FsStore;
 use bursty_obs::{NoopRecorder, Recorder};
 use bursty_placement::{
     first_fit_batch_recorded, first_fit_recorded, BaseStrategy, PackError, PeakStrategy, Placement,
     QueueStrategy, ReserveStrategy, Strategy,
 };
 use bursty_sim::{
-    DegradedAdmission, ObservedPolicy, PeakPolicy, QueuePolicy, RuntimePolicy, SimConfig,
-    SimOutcome, Simulator,
+    CheckpointConfig, CheckpointError, CheckpointedRun, DegradedAdmission, ObservedPolicy,
+    PeakPolicy, QueuePolicy, RecoveryReport, RuntimePolicy, SimConfig, SimOutcome, Simulator,
 };
 use bursty_workload::patterns::defaults;
 use bursty_workload::{PmSpec, VmSpec};
@@ -239,6 +240,55 @@ impl Consolidator {
         Simulator::new(vms, pms, policy.as_ref(), config).run_recorded(placement, rec)
     }
 
+    /// [`Consolidator::simulate_recorded`] with crash-safe checkpoints
+    /// written to `ckpt.dir` every `ckpt.every` steps (atomic temp +
+    /// fsync + rename writes, newest `ckpt.keep` retained). The outcome
+    /// is bit-identical to an uncheckpointed run; snapshot-write
+    /// failures never abort the simulation — they surface in
+    /// [`bursty_sim::CheckpointedRun::save_errors`].
+    ///
+    /// # Errors
+    /// `io::Error` if the checkpoint directory cannot be opened.
+    pub fn simulate_checkpointed<R: Recorder>(
+        &self,
+        vms: &[VmSpec],
+        pms: &[PmSpec],
+        placement: &Placement,
+        config: SimConfig,
+        ckpt: &CheckpointConfig,
+        rec: &mut R,
+    ) -> std::io::Result<CheckpointedRun> {
+        let store = FsStore::open(&ckpt.dir)?;
+        let policy = self.policy();
+        Ok(Simulator::new(vms, pms, policy.as_ref(), config)
+            .run_with_checkpoints(placement, ckpt, store, rec))
+    }
+
+    /// Resumes an interrupted [`Consolidator::simulate_checkpointed`]
+    /// run from the newest verifying snapshot in `ckpt.dir` and carries
+    /// it to completion (checkpointing continues from where the loaded
+    /// snapshot left off). The caller must pass the same fleet, scheme
+    /// parameters and `config` the snapshots were written under — a
+    /// fingerprint over all of them (except the thread count, which
+    /// never changes results) rejects mismatches with
+    /// [`CheckpointError::FingerprintMismatch`].
+    ///
+    /// # Errors
+    /// [`CheckpointError`] if the store is unreadable, every retained
+    /// snapshot fails verification, or the fingerprint mismatches.
+    pub fn resume_checkpointed<R: Recorder>(
+        &self,
+        vms: &[VmSpec],
+        pms: &[PmSpec],
+        config: SimConfig,
+        ckpt: &CheckpointConfig,
+        rec: &mut R,
+    ) -> Result<(CheckpointedRun, RecoveryReport), CheckpointError> {
+        let store = FsStore::open(&ckpt.dir).map_err(CheckpointError::Io)?;
+        let policy = self.policy();
+        Simulator::new(vms, pms, policy.as_ref(), config).resume_with_checkpoints(ckpt, store, rec)
+    }
+
     /// Place-then-simulate in one call.
     ///
     /// # Errors
@@ -380,6 +430,52 @@ mod tests {
     #[should_panic(expected = "p_off must be in (0,1]")]
     fn probabilities_builder_rejects_out_of_range_p_off() {
         let _ = Consolidator::new(Scheme::Queue).with_probabilities(0.01, 1.5);
+    }
+
+    #[test]
+    fn checkpointed_simulation_round_trips_on_disk() {
+        let (vms, pms) = fleet(40, 6);
+        let c = Consolidator::new(Scheme::Queue);
+        let placement = c.place(&vms, &pms).unwrap();
+        let cfg = SimConfig {
+            steps: 50,
+            seed: 11,
+            ..Default::default()
+        };
+        let dir = std::env::temp_dir().join(format!("bckp-consolidator-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let ckpt = CheckpointConfig {
+            every: 10,
+            keep: 2,
+            dir: dir.clone(),
+        };
+
+        let baseline = c.simulate(&vms, &pms, &placement, cfg);
+        let run = c
+            .simulate_checkpointed(&vms, &pms, &placement, cfg, &ckpt, &mut NoopRecorder)
+            .unwrap();
+        assert!(run.save_errors.is_empty());
+        assert_eq!(
+            baseline.energy_joules.to_bits(),
+            run.outcome.energy_joules.to_bits()
+        );
+
+        // The snapshots are still on disk: resuming re-runs the tail from
+        // step 40 (the newest retained boundary) to the same result.
+        let (resumed, report) = c
+            .resume_checkpointed(&vms, &pms, cfg, &ckpt, &mut NoopRecorder)
+            .unwrap();
+        assert_eq!(report.step, 40);
+        assert!(report.discarded.is_empty());
+        assert_eq!(
+            baseline.energy_joules.to_bits(),
+            resumed.outcome.energy_joules.to_bits()
+        );
+        assert_eq!(
+            baseline.mean_cvr().to_bits(),
+            resumed.outcome.mean_cvr().to_bits()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

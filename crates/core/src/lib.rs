@@ -75,9 +75,10 @@ pub mod prelude {
         PlacementState, PmLoad, QueueStrategy, ReserveStrategy, Strategy,
     };
     pub use bursty_sim::{
-        detect_stabilization, replicate, run_churn, ChurnConfig, ChurnOutcome, ConfigError,
-        DegradedAdmission, EvacuationEvent, FaultConfig, FaultEvent, FaultKind, FaultProcess,
-        MigrationEvent, ObservedPolicy, PeakPolicy, QueuePolicy, RecoveryStats, RngLayout,
+        detect_stabilization, replicate, run_churn, CheckpointConfig, CheckpointError,
+        CheckpointedRun, ChurnConfig, ChurnOutcome, ConfigError, DegradedAdmission,
+        EvacuationEvent, FaultConfig, FaultEvent, FaultKind, FaultProcess, MigrationEvent,
+        ObservedPolicy, PeakPolicy, QueuePolicy, RecoveryReport, RecoveryStats, RngLayout,
         RuntimePolicy, SimConfig, SimOutcome, Simulator, Stabilization,
     };
     pub use bursty_workload::{

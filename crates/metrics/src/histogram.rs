@@ -213,6 +213,21 @@ impl Log2Histogram {
         }
     }
 
+    /// Rebuilds a histogram from previously captured per-bucket counts
+    /// (the inverse of [`counts`](Self::counts), for durable snapshots).
+    ///
+    /// # Panics
+    /// Panics when `counts` is empty or longer than [`Self::MAX_BUCKETS`].
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        assert!(
+            !counts.is_empty() && counts.len() <= Self::MAX_BUCKETS,
+            "bucket count {} outside 1..={}",
+            counts.len(),
+            Self::MAX_BUCKETS
+        );
+        Self { counts }
+    }
+
     /// The bucket a value falls into: 0 for 0, else its bit length,
     /// saturated into the last bucket.
     pub fn bucket_of(&self, value: u64) -> usize {

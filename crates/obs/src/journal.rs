@@ -267,6 +267,227 @@ impl Event {
     }
 }
 
+impl Event {
+    /// Appends the event's compact binary encoding (tag byte + fields,
+    /// all integers little-endian) — the checkpoint representation;
+    /// [`Event::decode`] is the exact inverse.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        use crate::durable::{put_bool, put_f64, put_u32, put_u64, put_u8, put_usize};
+        match *self {
+            Event::Violation {
+                step,
+                pm,
+                observed,
+                capacity,
+                degraded,
+            } => {
+                put_u8(buf, 0);
+                put_u64(buf, step);
+                put_usize(buf, pm);
+                put_f64(buf, observed);
+                put_f64(buf, capacity);
+                put_bool(buf, degraded);
+            }
+            Event::Migration {
+                step,
+                vm,
+                from,
+                to,
+                retried,
+            } => {
+                put_u8(buf, 1);
+                put_u64(buf, step);
+                put_usize(buf, vm);
+                put_usize(buf, from);
+                put_usize(buf, to);
+                put_bool(buf, retried);
+            }
+            Event::MigrationFailed { step, vm, pm } => {
+                put_u8(buf, 2);
+                put_u64(buf, step);
+                put_usize(buf, vm);
+                put_usize(buf, pm);
+            }
+            Event::Crash {
+                step,
+                pm,
+                displaced,
+            } => {
+                put_u8(buf, 3);
+                put_u64(buf, step);
+                put_usize(buf, pm);
+                put_usize(buf, displaced);
+            }
+            Event::Recovery { step, pm } => {
+                put_u8(buf, 4);
+                put_u64(buf, step);
+                put_usize(buf, pm);
+            }
+            Event::Evacuation {
+                step,
+                vm,
+                from,
+                to,
+                degraded,
+            } => {
+                put_u8(buf, 5);
+                put_u64(buf, step);
+                put_usize(buf, vm);
+                put_usize(buf, from);
+                match to {
+                    Some(j) => {
+                        put_bool(buf, true);
+                        put_usize(buf, j);
+                    }
+                    None => put_bool(buf, false),
+                }
+                put_bool(buf, degraded);
+            }
+            Event::RetryEnqueued {
+                step,
+                vm,
+                cause,
+                attempts,
+                due_step,
+            } => {
+                put_u8(buf, 6);
+                put_u64(buf, step);
+                put_usize(buf, vm);
+                put_u8(buf, matches!(cause, RetryCause::Evacuation) as u8);
+                put_u32(buf, attempts);
+                put_u64(buf, due_step);
+            }
+            Event::RetryAbandoned { step, vm, attempts } => {
+                put_u8(buf, 7);
+                put_u64(buf, step);
+                put_usize(buf, vm);
+                put_u32(buf, attempts);
+            }
+            Event::RetryCancelled { step, vm } => {
+                put_u8(buf, 8);
+                put_u64(buf, step);
+                put_usize(buf, vm);
+            }
+            Event::Admission {
+                step,
+                vm,
+                pm,
+                degraded,
+            } => {
+                put_u8(buf, 9);
+                put_u64(buf, step);
+                put_usize(buf, vm);
+                put_usize(buf, pm);
+                put_bool(buf, degraded);
+            }
+            Event::CvrSample {
+                step,
+                pm,
+                violations,
+                active,
+            } => {
+                put_u8(buf, 10);
+                put_u64(buf, step);
+                put_usize(buf, pm);
+                put_u64(buf, violations);
+                put_u64(buf, active);
+            }
+            Event::Step {
+                step,
+                pms_used,
+                violations,
+            } => {
+                put_u8(buf, 11);
+                put_u64(buf, step);
+                put_usize(buf, pms_used);
+                put_usize(buf, violations);
+            }
+        }
+    }
+
+    /// Decodes one event from a [`Cursor`](crate::durable::Cursor);
+    /// inverse of [`Event::encode`].
+    pub fn decode(c: &mut crate::durable::Cursor<'_>) -> Result<Self, crate::durable::FrameError> {
+        use crate::durable::FrameError;
+        let tag = c.u8()?;
+        Ok(match tag {
+            0 => Event::Violation {
+                step: c.u64()?,
+                pm: c.usize()?,
+                observed: c.f64()?,
+                capacity: c.f64()?,
+                degraded: c.boolean()?,
+            },
+            1 => Event::Migration {
+                step: c.u64()?,
+                vm: c.usize()?,
+                from: c.usize()?,
+                to: c.usize()?,
+                retried: c.boolean()?,
+            },
+            2 => Event::MigrationFailed {
+                step: c.u64()?,
+                vm: c.usize()?,
+                pm: c.usize()?,
+            },
+            3 => Event::Crash {
+                step: c.u64()?,
+                pm: c.usize()?,
+                displaced: c.usize()?,
+            },
+            4 => Event::Recovery {
+                step: c.u64()?,
+                pm: c.usize()?,
+            },
+            5 => Event::Evacuation {
+                step: c.u64()?,
+                vm: c.usize()?,
+                from: c.usize()?,
+                to: if c.boolean()? { Some(c.usize()?) } else { None },
+                degraded: c.boolean()?,
+            },
+            6 => Event::RetryEnqueued {
+                step: c.u64()?,
+                vm: c.usize()?,
+                cause: if c.u8()? == 1 {
+                    RetryCause::Evacuation
+                } else {
+                    RetryCause::Overload
+                },
+                attempts: c.u32()?,
+                due_step: c.u64()?,
+            },
+            7 => Event::RetryAbandoned {
+                step: c.u64()?,
+                vm: c.usize()?,
+                attempts: c.u32()?,
+            },
+            8 => Event::RetryCancelled {
+                step: c.u64()?,
+                vm: c.usize()?,
+            },
+            9 => Event::Admission {
+                step: c.u64()?,
+                vm: c.usize()?,
+                pm: c.usize()?,
+                degraded: c.boolean()?,
+            },
+            10 => Event::CvrSample {
+                step: c.u64()?,
+                pm: c.usize()?,
+                violations: c.u64()?,
+                active: c.u64()?,
+            },
+            11 => Event::Step {
+                step: c.u64()?,
+                pms_used: c.usize()?,
+                violations: c.usize()?,
+            },
+            t => return Err(FrameError::Decode(format!("unknown event tag {t}"))),
+        })
+    }
+}
+
 /// Bounded FIFO of events. When full, pushing evicts the oldest event and
 /// bumps the `dropped` count, so long runs keep the most recent history —
 /// the part a failure diagnosis needs.
@@ -287,6 +508,27 @@ impl EventJournal {
             head: 0,
             cap,
             dropped: 0,
+        }
+    }
+
+    /// Rebuilds a journal from snapshot parts: `events` oldest → newest
+    /// (at most `cap` of them) and the prior eviction count. The
+    /// restored journal's `iter`/`tail`/`push` behaviour is
+    /// indistinguishable from the original's.
+    ///
+    /// # Panics
+    /// Panics when `events.len() > cap`.
+    pub fn from_parts(cap: usize, events: Vec<Event>, dropped: u64) -> Self {
+        assert!(
+            events.len() <= cap,
+            "{} events exceed capacity {cap}",
+            events.len()
+        );
+        EventJournal {
+            buf: events,
+            head: 0,
+            cap,
+            dropped,
         }
     }
 

@@ -20,12 +20,22 @@
 //! The crate depends only on `bursty-metrics`, so every other crate in the
 //! workspace can depend on it without cycles.
 
+//! A fourth piece, [`durable`], carries the checksummed frame format and
+//! the store abstraction (`FsStore` temp+fsync+rename, `MemStore`,
+//! fault-injecting `FailingStore`) that `sim::checkpoint` persists
+//! snapshots through.
+
 pub mod certify;
+pub mod durable;
 pub mod journal;
 pub mod recorder;
 pub mod report;
 
 pub use certify::{certify_cvr, CvrCheck, CvrSeries};
+pub use durable::{
+    crc64, parse_frames, FailingStore, FrameError, FrameWriter, FsStore, InjectedFault, MemStore,
+    Store,
+};
 pub use journal::{Event, EventJournal, RetryCause};
 pub use recorder::{Counter, Gauge, HistId, MemoryRecorder, NoopRecorder, Recorder};
 pub use report::TraceReport;

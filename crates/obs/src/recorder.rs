@@ -271,6 +271,27 @@ pub trait Recorder {
     fn wants_step_events(&self) -> bool {
         false
     }
+
+    /// The recorder's durable self-description, captured at a step
+    /// boundary so a resumed run neither loses nor duplicates events
+    /// across the checkpoint seam. `None` (the default, and the
+    /// [`NoopRecorder`] answer) means the recorder carries no state worth
+    /// persisting; [`MemoryRecorder`] returns its
+    /// [`to_snapshot_bytes`](MemoryRecorder::to_snapshot_bytes) image.
+    #[inline(always)]
+    fn snapshot_bytes(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Replaces this recorder's state with a snapshot previously
+    /// produced by [`snapshot_bytes`](Recorder::snapshot_bytes),
+    /// returning whether the restore happened. The default (and the
+    /// [`NoopRecorder`] answer) is `false`: a stateless recorder has
+    /// nothing to restore, and a resumed run simply records afresh.
+    #[inline(always)]
+    fn restore_from_snapshot(&mut self, _bytes: &[u8]) -> bool {
+        false
+    }
 }
 
 /// The disabled recorder: every method is an empty `#[inline(always)]`
@@ -363,6 +384,148 @@ impl MemoryRecorder {
     /// Per-PM CVR sample series, one entry per sampled PM, in PM order.
     pub fn cvr_series(&self) -> &[crate::certify::CvrSeries] {
         &self.cvr_series
+    }
+
+    /// Serializes the full recorder state (counters, gauges, histograms,
+    /// journal contents + eviction count, CVR sampling config and series,
+    /// step-event flag) as a compact binary image for checkpointing.
+    /// [`from_snapshot_bytes`](Self::from_snapshot_bytes) restores a
+    /// recorder that continues recording exactly where this one stopped.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        use crate::durable::{put_bool, put_f64, put_u64, put_usize};
+        let mut buf = Vec::with_capacity(1024);
+        put_usize(&mut buf, Counter::COUNT);
+        for &c in &self.counters {
+            put_u64(&mut buf, c);
+        }
+        put_usize(&mut buf, Gauge::COUNT);
+        for &g in &self.gauges {
+            put_f64(&mut buf, g);
+        }
+        put_usize(&mut buf, self.hists.len());
+        for h in &self.hists {
+            put_usize(&mut buf, h.counts().len());
+            for &n in h.counts() {
+                put_u64(&mut buf, n);
+            }
+        }
+        put_usize(&mut buf, self.journal.capacity());
+        put_u64(&mut buf, self.journal.dropped());
+        put_usize(&mut buf, self.journal.len());
+        for event in self.journal.iter() {
+            event.encode(&mut buf);
+        }
+        match self.cvr_every {
+            Some(every) => {
+                put_bool(&mut buf, true);
+                put_usize(&mut buf, every);
+            }
+            None => put_bool(&mut buf, false),
+        }
+        put_usize(&mut buf, self.cvr_series.len());
+        for series in &self.cvr_series {
+            put_usize(&mut buf, series.samples().len());
+            for &(step, v, a) in series.samples() {
+                put_u64(&mut buf, step);
+                put_usize(&mut buf, v);
+                put_usize(&mut buf, a);
+            }
+        }
+        put_bool(&mut buf, self.step_events);
+        buf
+    }
+
+    /// Restores a recorder from a
+    /// [`to_snapshot_bytes`](Self::to_snapshot_bytes) image.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, crate::durable::FrameError> {
+        use crate::durable::{Cursor, FrameError};
+        let mut c = Cursor::new(bytes);
+        let n_counters = c.usize()?;
+        if n_counters != Counter::COUNT {
+            return Err(FrameError::Decode(format!(
+                "snapshot has {n_counters} counters, this build has {}",
+                Counter::COUNT
+            )));
+        }
+        let mut counters = [0u64; Counter::COUNT];
+        for slot in counters.iter_mut() {
+            *slot = c.u64()?;
+        }
+        let n_gauges = c.usize()?;
+        if n_gauges != Gauge::COUNT {
+            return Err(FrameError::Decode(format!(
+                "snapshot has {n_gauges} gauges, this build has {}",
+                Gauge::COUNT
+            )));
+        }
+        let mut gauges = [0.0f64; Gauge::COUNT];
+        for slot in gauges.iter_mut() {
+            *slot = c.f64()?;
+        }
+        let n_hists = c.seq_len(8)?;
+        if n_hists != HistId::COUNT {
+            return Err(FrameError::Decode(format!(
+                "snapshot has {n_hists} histograms, this build has {}",
+                HistId::COUNT
+            )));
+        }
+        let mut hists = Vec::with_capacity(n_hists);
+        for _ in 0..n_hists {
+            let buckets = c.seq_len(8)?;
+            if buckets == 0 || buckets > Log2Histogram::MAX_BUCKETS {
+                return Err(FrameError::Decode(format!("bad bucket count {buckets}")));
+            }
+            let mut counts = Vec::with_capacity(buckets);
+            for _ in 0..buckets {
+                counts.push(c.u64()?);
+            }
+            hists.push(Log2Histogram::from_counts(counts));
+        }
+        let cap = c.usize()?;
+        let dropped = c.u64()?;
+        let n_events = c.seq_len(9)?;
+        if n_events > cap {
+            return Err(FrameError::Decode(format!(
+                "{n_events} journal events exceed capacity {cap}"
+            )));
+        }
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            events.push(Event::decode(&mut c)?);
+        }
+        let cvr_every = if c.boolean()? {
+            let every = c.usize()?;
+            if every == 0 {
+                return Err(FrameError::Decode("zero CVR sampling interval".into()));
+            }
+            Some(every)
+        } else {
+            None
+        };
+        let n_series = c.seq_len(8)?;
+        let mut cvr_series = Vec::with_capacity(n_series);
+        for _ in 0..n_series {
+            let n_samples = c.seq_len(24)?;
+            let mut series = crate::certify::CvrSeries::default();
+            for _ in 0..n_samples {
+                let step = c.u64()?;
+                let v = c.usize()?;
+                let a = c.usize()?;
+                series.push(step, v, a);
+            }
+            cvr_series.push(series);
+        }
+        let step_events = c.boolean()?;
+        c.expect_done()?;
+        Ok(MemoryRecorder {
+            counters,
+            gauges,
+            hists,
+            journal: EventJournal::from_parts(cap, events, dropped),
+            cvr_every,
+            cvr_series,
+            step_events,
+        })
     }
 
     /// Serialize the whole recorder as JSONL: one meta record carrying the
@@ -481,6 +644,20 @@ impl Recorder for MemoryRecorder {
     fn wants_step_events(&self) -> bool {
         self.step_events
     }
+
+    fn snapshot_bytes(&self) -> Option<Vec<u8>> {
+        Some(self.to_snapshot_bytes())
+    }
+
+    fn restore_from_snapshot(&mut self, bytes: &[u8]) -> bool {
+        match Self::from_snapshot_bytes(bytes) {
+            Ok(restored) => {
+                *self = restored;
+                true
+            }
+            Err(_) => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -535,6 +712,53 @@ mod tests {
         assert_eq!(r.cvr_series()[0].samples().len(), 2);
         let (step, vio, act) = r.cvr_series()[0].samples()[1];
         assert_eq!((step, vio, act), (19, 2, 20));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_everything() {
+        let mut r = MemoryRecorder::new(4)
+            .with_cvr_sampling(10)
+            .with_step_events();
+        r.counter_add(Counter::Steps, 123);
+        r.counter_inc(Counter::RetryAbandoned);
+        r.gauge_set(Gauge::EnergyJoules, 98.5);
+        r.record_value(HistId::RetryBackoffSteps, 7);
+        r.record_value(HistId::RetryBackoffSteps, 900);
+        // Overfill the journal so head/dropped state is nontrivial.
+        for step in 0..6 {
+            r.record_event(Event::Recovery { step, pm: 1 });
+        }
+        r.record_event(Event::RetryEnqueued {
+            step: 6,
+            vm: 3,
+            cause: crate::RetryCause::Evacuation,
+            attempts: 2,
+            due_step: 14,
+        });
+        r.sample_cvr(9, &[1, 0], &[10, 10]);
+
+        let bytes = r.to_snapshot_bytes();
+        let mut restored = MemoryRecorder::from_snapshot_bytes(&bytes).expect("decodes");
+        assert_eq!(restored.counter(Counter::Steps), 123);
+        assert_eq!(restored.gauge(Gauge::EnergyJoules), 98.5);
+        assert_eq!(
+            restored.histogram(HistId::RetryBackoffSteps).counts(),
+            r.histogram(HistId::RetryBackoffSteps).counts()
+        );
+        assert_eq!(restored.journal().dropped(), r.journal().dropped());
+        assert_eq!(restored.cvr_sample_interval(), Some(10));
+        assert!(restored.wants_step_events());
+        // The JSONL dump — the externally visible surface — must match
+        // exactly, and continued recording must behave identically.
+        assert_eq!(restored.to_jsonl(), r.to_jsonl());
+        r.record_event(Event::Recovery { step: 7, pm: 2 });
+        restored.record_event(Event::Recovery { step: 7, pm: 2 });
+        assert_eq!(restored.to_jsonl(), r.to_jsonl());
+
+        // Corruption in the image must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            let _ = MemoryRecorder::from_snapshot_bytes(&bytes[..cut]);
+        }
     }
 
     #[test]

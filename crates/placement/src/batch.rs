@@ -62,6 +62,7 @@ use crate::load::PmLoad;
 use crate::pack::{PackError, PRUNE_SLACK};
 use crate::placement::Placement;
 use crate::strategy::Strategy;
+use bursty_obs::durable::{put_f64, put_usize, Cursor, FrameError};
 use bursty_obs::{Counter, Gauge, Recorder};
 use bursty_workload::{class_runs, ClassRun, PmSpec, VmClass, VmSpec};
 
@@ -191,6 +192,56 @@ impl PlacementState {
         }
         self.dirty.clear();
         self.index.first_at_least(from, threshold)
+    }
+
+    /// Serializes the arena's *logical* content — the current-generation
+    /// load of every PM plus its headroom — into a flat byte image
+    /// suitable for a [`bursty_obs::durable`] section. The generation/
+    /// epoch machinery is collapsed away: a PM whose tag is stale
+    /// serializes as the empty load it logically is, so the image is a
+    /// pure function of what [`PlacementState::load`] would report.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let m = self.headrooms.len();
+        let mut buf = Vec::with_capacity(8 + m * 40);
+        put_usize(&mut buf, m);
+        for j in 0..m {
+            let load = self.load(j);
+            put_usize(&mut buf, load.count);
+            put_f64(&mut buf, load.max_re);
+            put_f64(&mut buf, load.sum_rb);
+            put_f64(&mut buf, load.sum_rp);
+            put_f64(&mut buf, self.headrooms[j]);
+        }
+        buf
+    }
+
+    /// Rebuilds an arena from a [`snapshot_bytes`] image. The restored
+    /// arena starts a fresh tag space (generation 1, every PM current)
+    /// with a stale tree — the first probe rebuilds it from the restored
+    /// headrooms — so continuing a pack from the restored state places
+    /// exactly as the original arena would have.
+    ///
+    /// [`snapshot_bytes`]: PlacementState::snapshot_bytes
+    pub fn restore_from_snapshot(bytes: &[u8]) -> Result<Self, FrameError> {
+        let mut cur = Cursor::new(bytes);
+        let m = cur.seq_len(40)?;
+        let mut state = Self::new();
+        state.generation = 1;
+        state.epoch = vec![1; m];
+        state.vm_count = Vec::with_capacity(m);
+        state.max_re = Vec::with_capacity(m);
+        state.sum_rb = Vec::with_capacity(m);
+        state.sum_rp = Vec::with_capacity(m);
+        state.headrooms = Vec::with_capacity(m);
+        for _ in 0..m {
+            state.vm_count.push(cur.usize()?);
+            state.max_re.push(cur.f64()?);
+            state.sum_rb.push(cur.f64()?);
+            state.sum_rp.push(cur.f64()?);
+            state.headrooms.push(cur.f64()?);
+        }
+        cur.expect_done()?;
+        Ok(state)
     }
 }
 
@@ -990,6 +1041,52 @@ mod tests {
                 "drift after {round} arena reuses"
             );
         }
+    }
+
+    #[test]
+    fn arena_snapshot_round_trips_through_a_durable_store() {
+        use bursty_obs::durable::{parse_frames, FrameWriter, MemStore, Store};
+        use bursty_workload::{FleetGenerator, WorkloadPattern};
+        let q = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let mut g = FleetGenerator::new(17);
+
+        // Two packs of different sizes leave stale epoch tags past the
+        // second farm's end; the snapshot must collapse those to the
+        // empty loads they logically are.
+        let mut state = PlacementState::new();
+        let big_vms = g.vms_table_i(150, WorkloadPattern::EqualSpike);
+        let big_farm = g.pms(120);
+        first_fit_batch_with(&mut state, &big_vms, &big_farm, &q).unwrap();
+        let vms = g.vms_table_i(60, WorkloadPattern::LargeSpike);
+        let farm = g.pms(50);
+        first_fit_batch_with(&mut state, &vms, &farm, &q).unwrap();
+
+        // Round-trip through the frame format and an atomic store.
+        let mut w = FrameWriter::new();
+        w.section(1, &state.snapshot_bytes());
+        let mut store = MemStore::new();
+        store.write_atomic("arena", &w.finish()).unwrap();
+        let sections = parse_frames(&store.read("arena").unwrap()).unwrap();
+        let restored = PlacementState::restore_from_snapshot(&sections[0].1).unwrap();
+
+        assert_eq!(restored.headrooms, state.headrooms);
+        for j in 0..farm.len() {
+            assert_eq!(restored.load(j), state.load(j), "PM {j} load diverged");
+        }
+
+        // The restored arena's fresh tag space must behave exactly like
+        // any other arena when reused for a further pack.
+        let mut restored = restored;
+        let next = g.vms_table_i(80, WorkloadPattern::EqualSpike);
+        let next_farm = g.pms(70);
+        assert_eq!(
+            first_fit_batch_with(&mut restored, &next, &next_farm, &q),
+            first_fit_batch(&next, &next_farm, &q),
+        );
+
+        // Truncated images are rejected, never silently zero-filled.
+        let image = state.snapshot_bytes();
+        assert!(PlacementState::restore_from_snapshot(&image[..image.len() - 1]).is_err());
     }
 
     #[test]

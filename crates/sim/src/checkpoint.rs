@@ -1,0 +1,1210 @@
+//! Crash-safe checkpoint/resume: durable snapshots of the full
+//! simulation state with bit-identical restart (DESIGN.md §11).
+//!
+//! A checkpoint is one file in the [`bursty_obs::durable`] frame
+//! format — magic, version, CRC64-guarded sections — holding a
+//! serialization of the engine's [`RunState`] at a step boundary,
+//! plus (optionally) the attached recorder's own snapshot. Resuming
+//! reconstructs the `RunState` and re-enters the step loop via
+//! [`Simulator::run_from`]; because every piece of evolving state
+//! travels — all three RNG layouts, the fault process, the retry
+//! queue with its backoff exponents, the displaced-VM pools, the
+//! accumulated accounting, and the recorder journal — a resumed run
+//! finishes `f64::to_bits`-identical to one that never stopped
+//! (proptested in `sim/tests/checkpoint_resume.rs`).
+//!
+//! What a snapshot does *not* carry is anything derivable from the
+//! specs: flattened chain parameters, stream keys, the class table,
+//! headroom indexes. Those are rebuilt from the `Simulator`'s own
+//! fleet on load, and a fingerprint over the scientific configuration
+//! (config fields, power model, and the exact spec bit patterns —
+//! *not* the thread count, which never changes results) rejects a
+//! snapshot from a different experiment before any state is trusted.
+//! The runtime policy is a `dyn` trait object and cannot be hashed;
+//! resuming under a different policy than the one that wrote the
+//! snapshot is undetectable and on the caller, as documented on
+//! [`Simulator::resume_with_checkpoints`].
+//!
+//! Failure tolerance runs in both directions. Saves go through
+//! [`Store::write_atomic`] (temp + fsync + rename for the filesystem
+//! store); a failed save is recorded and the run continues — a
+//! checkpointer can degrade, never corrupt the science. Loads walk
+//! the retained snapshots newest-first and take the first one that
+//! verifies end to end (frame CRCs, fingerprint, structural
+//! validation of every section); torn, truncated, or bit-flipped
+//! files are discarded with a reason into the [`RecoveryReport`].
+
+use crate::config::{CheckpointConfig, RngLayout, VictimPolicy};
+use crate::engine::{
+    CrashRecord, FaultState, RecoveryStats, RetryEntry, RetryKind, RunState, SimOutcome, Simulator,
+    StepHook,
+};
+use crate::events::{EvacuationEvent, FaultEvent, FaultKind, MigrationEvent};
+use crate::faults::FaultProcess;
+use crate::rng::mix64;
+use crate::workload_core::{CoreSnapshot, WorkloadCore};
+use bursty_metrics::TimeSeries;
+use bursty_obs::durable::{
+    parse_frames, put_bool, put_bytes, put_f64, put_u32, put_u64, put_u8, put_usize, Cursor,
+    FrameError, FrameWriter, Store,
+};
+use bursty_obs::Recorder;
+use bursty_placement::{Placement, PmLoad};
+use std::fmt;
+
+// Section tags of a checkpoint file, in write order.
+const SEC_META: u32 = 1;
+const SEC_STEP: u32 = 2;
+const SEC_CORE: u32 = 3;
+const SEC_FAULTPROC: u32 = 4;
+const SEC_FAULTSTATE: u32 = 5;
+const SEC_PLACE: u32 = 6;
+const SEC_DUAL: u32 = 7;
+const SEC_ACCT: u32 = 8;
+const SEC_REC: u32 = 9;
+
+/// Width of the zero-padded step number in checkpoint file names —
+/// what makes lexicographic order equal numeric order during rotation
+/// and newest-first recovery.
+const STEP_DIGITS: usize = 12;
+
+/// Why a checkpoint operation failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The store could not be read or listed.
+    Io(std::io::Error),
+    /// The file failed frame verification (bad magic, CRC mismatch,
+    /// truncation) or a section failed structural validation.
+    Frame(FrameError),
+    /// The snapshot was written by a different experiment: its
+    /// configuration/fleet fingerprint does not match this simulator.
+    FingerprintMismatch {
+        /// Fingerprint of this simulator's configuration and fleet.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot.
+        found: u64,
+    },
+    /// No retained snapshot survived verification; each discarded file
+    /// is listed with the reason it was rejected.
+    NoUsableCheckpoint {
+        /// `(file name, rejection reason)` of every discarded file.
+        discarded: Vec<(String, String)>,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint store I/O error: {e}"),
+            Self::Frame(e) => write!(f, "checkpoint verification failed: {e}"),
+            Self::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different experiment \
+                 (fingerprint {found:#018x}, this run is {expected:#018x})"
+            ),
+            Self::NoUsableCheckpoint { discarded } => {
+                write!(f, "no usable checkpoint ({} discarded", discarded.len())?;
+                for (name, why) in discarded {
+                    write!(f, "; {name}: {why}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<FrameError> for CheckpointError {
+    fn from(e: FrameError) -> Self {
+        Self::Frame(e)
+    }
+}
+
+/// What a recovery walk found: which snapshot was loaded and which
+/// files were discarded on the way there (newest first), each with the
+/// verification failure that disqualified it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// File name of the snapshot the run resumed from.
+    pub loaded: String,
+    /// The step the loaded snapshot was taken at (= completed steps).
+    pub step: usize,
+    /// `(file name, rejection reason)` of newer files that failed
+    /// verification and were skipped.
+    pub discarded: Vec<(String, String)>,
+}
+
+/// Outcome of a checkpointed run: the simulation result plus the
+/// checkpointer's own accounting. Save failures never abort the run —
+/// they are tolerated and surfaced here.
+#[derive(Debug)]
+pub struct CheckpointedRun {
+    /// The simulation outcome, bit-identical to an uncheckpointed run.
+    pub outcome: SimOutcome,
+    /// Snapshots written successfully.
+    pub saves: usize,
+    /// `(step, error)` of snapshot writes that failed; the run
+    /// continued past each.
+    pub save_errors: Vec<(usize, String)>,
+}
+
+/// Fingerprint of the scientific configuration: a mix64 chain over
+/// every config field that selects the sample path or the accounting,
+/// the power model, and the exact bit patterns of the fleet specs.
+/// `threads` is deliberately excluded — any thread count produces
+/// `to_bits`-identical results (the core's determinism contract), so a
+/// snapshot may be resumed at a different parallelism. The `dyn`
+/// runtime policy cannot participate; see the module docs.
+pub(crate) fn fingerprint(sim: &Simulator<'_>) -> u64 {
+    let mut h: u64 = 0x4243_4b50; // "BCKP"
+    let mut eat = |w: u64| h = mix64(h ^ w);
+    let cfg = &sim.config;
+    eat(cfg.steps as u64);
+    eat(cfg.sigma_secs.to_bits());
+    eat(cfg.rho.to_bits());
+    eat(cfg.seed);
+    eat(u64::from(cfg.migrations_enabled));
+    eat(cfg.dual_count_steps as u64);
+    eat(match cfg.victim_policy {
+        VictimPolicy::LargestOnDemand => 0,
+        VictimPolicy::SmallestSufficient => 1,
+        VictimPolicy::SmallestBase => 2,
+    });
+    eat(cfg.violation_allowance.to_bits());
+    eat(cfg.retry_base_steps as u64);
+    eat(cfg.max_retries as u64);
+    eat(cfg.degraded_epsilon.to_bits());
+    match &cfg.faults {
+        None => eat(0),
+        Some(fc) => {
+            eat(1);
+            eat(fc.mtbf_steps.to_bits());
+            eat(fc.mttr_steps.to_bits());
+            eat(fc.correlated_group_size as u64);
+            eat(fc.seed);
+        }
+    }
+    eat(match cfg.rng_layout {
+        RngLayout::Shared => 0,
+        RngLayout::PerVm => 1,
+        RngLayout::ClassAggregated => 2,
+    });
+    eat(sim.power.idle_watts.to_bits());
+    eat(sim.power.peak_watts.to_bits());
+    eat(sim.vms.len() as u64);
+    eat(sim.pms.len() as u64);
+    for vm in sim.vms {
+        eat(vm.id as u64);
+        eat(vm.p_on.to_bits());
+        eat(vm.p_off.to_bits());
+        eat(vm.r_b.to_bits());
+        eat(vm.r_e.to_bits());
+    }
+    for pm in sim.pms {
+        eat(pm.id as u64);
+        eat(pm.capacity.to_bits());
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Encoding.
+// ---------------------------------------------------------------------
+
+fn put_opt_usize(buf: &mut Vec<u8>, v: Option<usize>) {
+    put_bool(buf, v.is_some());
+    put_usize(buf, v.unwrap_or(0));
+}
+
+fn put_usize_slice(buf: &mut Vec<u8>, vs: &[usize]) {
+    put_usize(buf, vs.len());
+    for &v in vs {
+        put_usize(buf, v);
+    }
+}
+
+fn put_bool_slice(buf: &mut Vec<u8>, vs: &[bool]) {
+    put_usize(buf, vs.len());
+    for &v in vs {
+        put_bool(buf, v);
+    }
+}
+
+fn put_f64_slice(buf: &mut Vec<u8>, vs: &[f64]) {
+    put_usize(buf, vs.len());
+    for &v in vs {
+        put_f64(buf, v);
+    }
+}
+
+/// Serializes a [`RunState`] (plus optional recorder snapshot) into
+/// the durable frame format.
+pub(crate) fn encode_state(
+    sim: &Simulator<'_>,
+    st: &RunState,
+    rec_bytes: Option<Vec<u8>>,
+) -> Vec<u8> {
+    let mut w = FrameWriter::new();
+
+    let mut meta = Vec::new();
+    put_u64(&mut meta, fingerprint(sim));
+    w.section(SEC_META, &meta);
+
+    let mut step = Vec::new();
+    put_usize(&mut step, st.next_step);
+    w.section(SEC_STEP, &step);
+
+    let mut core = Vec::new();
+    put_bool_slice(&mut core, &st.core.on);
+    match st.core.snapshot_mode() {
+        CoreSnapshot::Shared(words) => {
+            put_u8(&mut core, 0);
+            for word in words {
+                put_u64(&mut core, word);
+            }
+        }
+        CoreSnapshot::PerVm => put_u8(&mut core, 1),
+        CoreSnapshot::ClassAggregated(locs) => {
+            put_u8(&mut core, 2);
+            put_usize(&mut core, locs.len());
+            for cells in &locs {
+                put_usize(&mut core, cells.len());
+                for &(class, count, n_on) in cells {
+                    put_u32(&mut core, class);
+                    put_u32(&mut core, count);
+                    put_u32(&mut core, n_on);
+                }
+            }
+        }
+    }
+    w.section(SEC_CORE, &core);
+
+    let mut fp = Vec::new();
+    match &st.fault_process {
+        None => put_bool(&mut fp, false),
+        Some(process) => {
+            put_bool(&mut fp, true);
+            for word in process.rng_state() {
+                put_u64(&mut fp, word);
+            }
+            put_bool_slice(&mut fp, process.domain_states());
+        }
+    }
+    w.section(SEC_FAULTPROC, &fp);
+
+    let fs = &st.fs;
+    let mut fsb = Vec::new();
+    put_bool_slice(&mut fsb, &fs.pm_up);
+    put_bool_slice(&mut fsb, &fs.vm_degraded);
+    put_usize_slice(&mut fsb, &fs.pm_overflow);
+    put_usize(&mut fsb, fs.crash_of_vm.len());
+    for &c in &fs.crash_of_vm {
+        put_opt_usize(&mut fsb, c);
+    }
+    put_usize(&mut fsb, fs.crash_records.len());
+    for r in &fs.crash_records {
+        put_usize(&mut fsb, r.pm);
+        put_usize(&mut fsb, r.step);
+        put_usize(&mut fsb, r.pending);
+    }
+    put_usize(&mut fsb, fs.retry_queue.len());
+    for e in &fs.retry_queue {
+        put_usize(&mut fsb, e.vm);
+        put_u8(&mut fsb, matches!(e.kind, RetryKind::Evacuation).into());
+        put_usize(&mut fsb, e.attempts);
+        put_usize(&mut fsb, e.next_step);
+    }
+    put_usize(&mut fsb, fs.fault_events.len());
+    for e in &fs.fault_events {
+        put_usize(&mut fsb, e.step);
+        put_usize(&mut fsb, e.pm);
+        put_u8(&mut fsb, matches!(e.kind, FaultKind::Recovery).into());
+    }
+    put_usize(&mut fsb, fs.evacuations.len());
+    for e in &fs.evacuations {
+        put_usize(&mut fsb, e.step);
+        put_usize(&mut fsb, e.vm_id);
+        put_usize(&mut fsb, e.from_pm);
+        put_opt_usize(&mut fsb, e.to_pm);
+        put_bool(&mut fsb, e.degraded);
+    }
+    let rec = &fs.recovery;
+    put_usize(&mut fsb, rec.crashes);
+    put_usize(&mut fsb, rec.recoveries);
+    put_usize_slice(&mut fsb, &rec.time_to_restore);
+    put_usize(&mut fsb, rec.unrestored_crashes);
+    put_usize(&mut fsb, rec.stranded_vm_steps);
+    put_usize(&mut fsb, rec.degraded_admissions);
+    put_usize(&mut fsb, rec.degraded_violation_steps);
+    w.section(SEC_FAULTSTATE, &fsb);
+
+    let mut place = Vec::new();
+    put_usize(&mut place, st.host.len());
+    for &h in &st.host {
+        put_opt_usize(&mut place, h);
+    }
+    put_usize(&mut place, st.hosted.len());
+    for vs in &st.hosted {
+        put_usize_slice(&mut place, vs);
+    }
+    // Loads are serialized field-exact, never rebuilt on load: the
+    // incremental `add` fold and a fresh `rebuild` can differ by ulps,
+    // and bit-identity of the resumed run hinges on these exact sums.
+    put_usize(&mut place, st.loads.len());
+    for l in &st.loads {
+        put_usize(&mut place, l.count);
+        put_f64(&mut place, l.max_re);
+        put_f64(&mut place, l.sum_rb);
+        put_f64(&mut place, l.sum_rp);
+    }
+    w.section(SEC_PLACE, &place);
+
+    let mut dual = Vec::new();
+    put_usize(&mut dual, st.dual.len());
+    for &(pm, demand, left) in &st.dual {
+        put_usize(&mut dual, pm);
+        put_f64(&mut dual, demand);
+        put_usize(&mut dual, left);
+    }
+    w.section(SEC_DUAL, &dual);
+
+    let mut acct = Vec::new();
+    put_usize_slice(&mut acct, &st.vio_steps);
+    put_usize_slice(&mut acct, &st.active_steps);
+    put_usize(&mut acct, st.migrations.len());
+    for e in &st.migrations {
+        put_usize(&mut acct, e.step);
+        put_usize(&mut acct, e.vm_id);
+        put_usize(&mut acct, e.from_pm);
+        put_usize(&mut acct, e.to_pm);
+    }
+    put_usize(&mut acct, st.failed_migrations);
+    put_usize(&mut acct, st.retried_migrations);
+    let series: Vec<f64> = st.pms_used_series.points().map(|(_, v)| v).collect();
+    put_f64_slice(&mut acct, &series);
+    put_usize(&mut acct, st.peak_pms_used);
+    put_usize(&mut acct, st.total_violation_steps);
+    put_usize_slice(&mut acct, &st.vm_violation_steps);
+    put_f64(&mut acct, st.energy);
+    put_f64_slice(&mut acct, &st.observed);
+    w.section(SEC_ACCT, &acct);
+
+    if let Some(bytes) = rec_bytes {
+        let mut rb = Vec::new();
+        put_bytes(&mut rb, &bytes);
+        w.section(SEC_REC, &rb);
+    }
+
+    w.finish()
+}
+
+// ---------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------
+
+fn bad(msg: impl Into<String>) -> FrameError {
+    FrameError::Decode(msg.into())
+}
+
+fn read_opt_usize(c: &mut Cursor<'_>) -> Result<Option<usize>, FrameError> {
+    let some = c.boolean()?;
+    let v = c.usize()?;
+    Ok(some.then_some(v))
+}
+
+fn read_usize_vec(c: &mut Cursor<'_>, want: Option<usize>) -> Result<Vec<usize>, FrameError> {
+    let len = c.seq_len(8)?;
+    if want.is_some_and(|w| w != len) {
+        return Err(bad(format!("sequence length {len}, expected {want:?}")));
+    }
+    (0..len).map(|_| c.usize()).collect()
+}
+
+fn read_bool_vec(c: &mut Cursor<'_>, want: Option<usize>) -> Result<Vec<bool>, FrameError> {
+    let len = c.seq_len(1)?;
+    if want.is_some_and(|w| w != len) {
+        return Err(bad(format!("sequence length {len}, expected {want:?}")));
+    }
+    (0..len).map(|_| c.boolean()).collect()
+}
+
+fn read_f64_vec(c: &mut Cursor<'_>, want: Option<usize>) -> Result<Vec<f64>, FrameError> {
+    let len = c.seq_len(8)?;
+    if want.is_some_and(|w| w != len) {
+        return Err(bad(format!("sequence length {len}, expected {want:?}")));
+    }
+    (0..len).map(|_| c.f64()).collect()
+}
+
+/// Deserializes and validates a checkpoint file against `sim`,
+/// returning the restored [`RunState`] and the recorder snapshot bytes
+/// (when the writing run had a stateful recorder attached).
+pub(crate) fn decode_state(
+    sim: &Simulator<'_>,
+    bytes: &[u8],
+) -> Result<(RunState, Option<Vec<u8>>), CheckpointError> {
+    let n = sim.vms.len();
+    let m = sim.pms.len();
+    let frames = parse_frames(bytes)?;
+    let section = |tag: u32| -> Result<&[u8], CheckpointError> {
+        frames
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, payload)| payload.as_slice())
+            .ok_or_else(|| bad(format!("missing section {tag}")).into())
+    };
+
+    let mut c = Cursor::new(section(SEC_META)?);
+    let found = c.u64()?;
+    c.expect_done()?;
+    let expected = fingerprint(sim);
+    if found != expected {
+        return Err(CheckpointError::FingerprintMismatch { expected, found });
+    }
+
+    let mut c = Cursor::new(section(SEC_STEP)?);
+    let next_step = c.usize()?;
+    c.expect_done()?;
+    if next_step == 0 || next_step >= sim.config.steps {
+        return Err(bad(format!(
+            "snapshot step {next_step} outside (0, {})",
+            sim.config.steps
+        ))
+        .into());
+    }
+
+    // Core: a fresh core is built from the specs, then the evolving
+    // state is grafted in. `restore_mode` performs the deep structural
+    // validation of the class-aggregated counters.
+    let mut c = Cursor::new(section(SEC_CORE)?);
+    let on = read_bool_vec(&mut c, Some(n))?;
+    let snap = match c.u8()? {
+        0 => CoreSnapshot::Shared([c.u64()?, c.u64()?, c.u64()?, c.u64()?]),
+        1 => CoreSnapshot::PerVm,
+        2 => {
+            let locs = c.seq_len(8)?;
+            let mut all = Vec::with_capacity(locs);
+            for _ in 0..locs {
+                let cells = c.seq_len(12)?;
+                all.push(
+                    (0..cells)
+                        .map(|_| Ok((c.u32()?, c.u32()?, c.u32()?)))
+                        .collect::<Result<Vec<_>, FrameError>>()?,
+                );
+            }
+            CoreSnapshot::ClassAggregated(all)
+        }
+        t => return Err(bad(format!("unknown core layout tag {t}")).into()),
+    };
+    c.expect_done()?;
+    let mut core = WorkloadCore::new(
+        sim.vms,
+        m,
+        sim.config.seed,
+        sim.config.rng_layout,
+        sim.config.threads,
+    );
+    core.restore_mode(snap).map_err(bad)?;
+    core.on.copy_from_slice(&on);
+
+    let mut c = Cursor::new(section(SEC_FAULTPROC)?);
+    let fault_process = if c.boolean()? {
+        let Some(cfg) = sim.config.faults else {
+            return Err(bad("snapshot has a fault process, config does not").into());
+        };
+        let words = [c.u64()?, c.u64()?, c.u64()?, c.u64()?];
+        let domains = read_bool_vec(&mut c, None)?;
+        Some(FaultProcess::restore(cfg, m, words, domains).map_err(bad)?)
+    } else {
+        if sim.config.faults.is_some() {
+            return Err(bad("config has faults, snapshot has no fault process").into());
+        }
+        None
+    };
+    c.expect_done()?;
+
+    let mut c = Cursor::new(section(SEC_FAULTSTATE)?);
+    let pm_up = read_bool_vec(&mut c, Some(m))?;
+    let vm_degraded = read_bool_vec(&mut c, Some(n))?;
+    let pm_overflow = read_usize_vec(&mut c, Some(m))?;
+    let len = c.seq_len(9)?;
+    if len != n {
+        return Err(bad(format!("crash_of_vm length {len}, fleet has {n}")).into());
+    }
+    let crash_of_vm = (0..n)
+        .map(|_| read_opt_usize(&mut c))
+        .collect::<Result<Vec<_>, _>>()?;
+    let crash_records = (0..c.seq_len(24)?)
+        .map(|_| {
+            Ok(CrashRecord {
+                pm: c.usize()?,
+                step: c.usize()?,
+                pending: c.usize()?,
+            })
+        })
+        .collect::<Result<Vec<_>, FrameError>>()?;
+    let retry_queue = (0..c.seq_len(25)?)
+        .map(|_| {
+            Ok(RetryEntry {
+                vm: c.usize()?,
+                kind: match c.u8()? {
+                    0 => RetryKind::Overload,
+                    1 => RetryKind::Evacuation,
+                    t => return Err(bad(format!("unknown retry kind {t}"))),
+                },
+                attempts: c.usize()?,
+                next_step: c.usize()?,
+            })
+        })
+        .collect::<Result<Vec<_>, FrameError>>()?;
+    let fault_events = (0..c.seq_len(17)?)
+        .map(|_| {
+            Ok(FaultEvent {
+                step: c.usize()?,
+                pm: c.usize()?,
+                kind: match c.u8()? {
+                    0 => FaultKind::Crash,
+                    1 => FaultKind::Recovery,
+                    t => return Err(bad(format!("unknown fault kind {t}"))),
+                },
+            })
+        })
+        .collect::<Result<Vec<_>, FrameError>>()?;
+    let evacuations = (0..c.seq_len(34)?)
+        .map(|_| {
+            Ok(EvacuationEvent {
+                step: c.usize()?,
+                vm_id: c.usize()?,
+                from_pm: c.usize()?,
+                to_pm: read_opt_usize(&mut c)?,
+                degraded: c.boolean()?,
+            })
+        })
+        .collect::<Result<Vec<_>, FrameError>>()?;
+    let recovery = RecoveryStats {
+        crashes: c.usize()?,
+        recoveries: c.usize()?,
+        time_to_restore: read_usize_vec(&mut c, None)?,
+        unrestored_crashes: c.usize()?,
+        stranded_vm_steps: c.usize()?,
+        degraded_admissions: c.usize()?,
+        degraded_violation_steps: c.usize()?,
+    };
+    c.expect_done()?;
+
+    // Structural validation of the fault state before trusting it.
+    let mut in_retry = vec![false; n];
+    for e in &retry_queue {
+        if e.vm >= n {
+            return Err(bad(format!("retry entry for VM {} out of range", e.vm)).into());
+        }
+        if in_retry[e.vm] {
+            return Err(bad(format!("VM {} queued twice for retry", e.vm)).into());
+        }
+        in_retry[e.vm] = true;
+    }
+    for r in &crash_records {
+        if r.pm >= m {
+            return Err(bad(format!("crash record for PM {} out of range", r.pm)).into());
+        }
+    }
+    for (i, c) in crash_of_vm.iter().enumerate() {
+        if let Some(r) = c {
+            if *r >= crash_records.len() {
+                return Err(bad(format!("VM {i} points at crash record {r} out of range")).into());
+            }
+        }
+    }
+
+    let mut c = Cursor::new(section(SEC_PLACE)?);
+    let len = c.seq_len(9)?;
+    if len != n {
+        return Err(bad(format!("host length {len}, fleet has {n}")).into());
+    }
+    let host = (0..n)
+        .map(|_| read_opt_usize(&mut c))
+        .collect::<Result<Vec<_>, _>>()?;
+    let len = c.seq_len(8)?;
+    if len != m {
+        return Err(bad(format!("hosted length {len}, pool has {m}")).into());
+    }
+    let hosted = (0..m)
+        .map(|_| read_usize_vec(&mut c, None))
+        .collect::<Result<Vec<_>, _>>()?;
+    let len = c.seq_len(32)?;
+    if len != m {
+        return Err(bad(format!("loads length {len}, pool has {m}")).into());
+    }
+    let loads = (0..m)
+        .map(|_| {
+            Ok(PmLoad {
+                count: c.usize()?,
+                max_re: c.f64()?,
+                sum_rb: c.f64()?,
+                sum_rp: c.f64()?,
+            })
+        })
+        .collect::<Result<Vec<PmLoad>, FrameError>>()?;
+    c.expect_done()?;
+
+    // host and hosted must be exact inverses — including the order of
+    // each hosted list, which victim tie-breaking depends on.
+    let mut seen = vec![false; n];
+    for (j, vs) in hosted.iter().enumerate() {
+        for &i in vs {
+            if i >= n {
+                return Err(bad(format!("hosted VM {i} out of range")).into());
+            }
+            if seen[i] {
+                return Err(bad(format!("VM {i} hosted twice")).into());
+            }
+            seen[i] = true;
+            if host[i] != Some(j) {
+                return Err(
+                    bad(format!("VM {i} hosted on {j} but host says {:?}", host[i])).into(),
+                );
+            }
+        }
+        if loads[j].count != vs.len() {
+            return Err(bad(format!(
+                "PM {j} load counts {} VMs, hosted list has {}",
+                loads[j].count,
+                vs.len()
+            ))
+            .into());
+        }
+    }
+    for (i, h) in host.iter().enumerate() {
+        match h {
+            Some(j) if *j >= m => {
+                return Err(bad(format!("VM {i} hosted on PM {j} out of range")).into())
+            }
+            Some(_) if !seen[i] => {
+                return Err(bad(format!("VM {i} hosted but missing from hosted list")).into())
+            }
+            _ => {}
+        }
+    }
+
+    let mut c = Cursor::new(section(SEC_DUAL)?);
+    let dual = (0..c.seq_len(24)?)
+        .map(|_| Ok((c.usize()?, c.f64()?, c.usize()?)))
+        .collect::<Result<Vec<_>, FrameError>>()?;
+    c.expect_done()?;
+
+    let mut c = Cursor::new(section(SEC_ACCT)?);
+    let vio_steps = read_usize_vec(&mut c, Some(m))?;
+    let active_steps = read_usize_vec(&mut c, Some(m))?;
+    let migrations = (0..c.seq_len(32)?)
+        .map(|_| {
+            Ok(MigrationEvent {
+                step: c.usize()?,
+                vm_id: c.usize()?,
+                from_pm: c.usize()?,
+                to_pm: c.usize()?,
+            })
+        })
+        .collect::<Result<Vec<_>, FrameError>>()?;
+    let failed_migrations = c.usize()?;
+    let retried_migrations = c.usize()?;
+    let series = read_f64_vec(&mut c, Some(next_step))?;
+    let peak_pms_used = c.usize()?;
+    let total_violation_steps = c.usize()?;
+    let vm_violation_steps = read_usize_vec(&mut c, Some(n))?;
+    let energy = c.f64()?;
+    let observed = read_f64_vec(&mut c, Some(m))?;
+    c.expect_done()?;
+
+    let mut pms_used_series = TimeSeries::new(0.0, sim.config.sigma_secs);
+    for v in series {
+        pms_used_series.push(v);
+    }
+
+    let rec_bytes = match frames.iter().find(|(t, _)| *t == SEC_REC) {
+        None => None,
+        Some((_, payload)) => {
+            let mut c = Cursor::new(payload);
+            let bytes = c.bytes()?.to_vec();
+            c.expect_done()?;
+            Some(bytes)
+        }
+    };
+
+    Ok((
+        RunState {
+            core,
+            fault_process,
+            host,
+            hosted,
+            loads,
+            fs: FaultState {
+                pm_up,
+                vm_degraded,
+                pm_overflow,
+                crash_of_vm,
+                crash_records,
+                retry_queue,
+                in_retry,
+                fault_events,
+                evacuations,
+                recovery,
+            },
+            dual,
+            vio_steps,
+            active_steps,
+            migrations,
+            failed_migrations,
+            retried_migrations,
+            pms_used_series,
+            peak_pms_used,
+            total_violation_steps,
+            vm_violation_steps,
+            energy,
+            observed,
+            next_step,
+        },
+        rec_bytes,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// The checkpointer.
+// ---------------------------------------------------------------------
+
+/// The [`StepHook`] that persists snapshots: every
+/// [`CheckpointConfig::every`] completed steps it serializes the
+/// [`RunState`] (and the recorder, when stateful), writes it
+/// atomically, and rotates old files down to
+/// [`CheckpointConfig::keep`]. Write failures are recorded in
+/// [`Checkpointer::save_errors`] and never interrupt the run.
+pub struct Checkpointer<S: Store> {
+    store: S,
+    every: usize,
+    keep: usize,
+    saves: usize,
+    save_errors: Vec<(usize, String)>,
+}
+
+impl<S: Store> Checkpointer<S> {
+    /// Wraps `store` with the given cadence and retention.
+    pub fn new(store: S, cfg: &CheckpointConfig) -> Self {
+        Self {
+            store,
+            every: cfg.every,
+            keep: cfg.keep,
+            saves: 0,
+            save_errors: Vec::new(),
+        }
+    }
+
+    /// File name of the snapshot taken after `step` completed steps.
+    fn name_of(step: usize) -> String {
+        format!("ckpt-{step:0STEP_DIGITS$}")
+    }
+
+    /// Parses a file name produced by [`Self::name_of`].
+    fn step_of(name: &str) -> Option<usize> {
+        let digits = name.strip_prefix("ckpt-")?;
+        if digits.len() != STEP_DIGITS {
+            return None;
+        }
+        digits.parse().ok()
+    }
+
+    /// Snapshot file names in the store, sorted ascending by step.
+    fn snapshot_names(&self) -> std::io::Result<Vec<String>> {
+        let mut names: Vec<String> = self
+            .store
+            .list()?
+            .into_iter()
+            .filter(|n| Self::step_of(n).is_some())
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn save<R: Recorder>(&mut self, sim: &Simulator<'_>, st: &RunState, rec: &R) {
+        let bytes = encode_state(sim, st, rec.snapshot_bytes());
+        match self
+            .store
+            .write_atomic(&Self::name_of(st.next_step), &bytes)
+        {
+            Ok(()) => {
+                self.saves += 1;
+                self.rotate();
+            }
+            Err(e) => self.save_errors.push((st.next_step, e.to_string())),
+        }
+    }
+
+    /// Deletes all but the newest [`Self::keep`] snapshots. Rotation
+    /// failures are tolerated like save failures: extra files cost
+    /// disk, never correctness.
+    fn rotate(&mut self) {
+        let Ok(names) = self.snapshot_names() else {
+            return;
+        };
+        let excess = names.len().saturating_sub(self.keep);
+        for name in &names[..excess] {
+            let _ = self.store.remove(name);
+        }
+    }
+
+    /// Walks the retained snapshots newest-first and returns the first
+    /// that verifies in full against `sim`, alongside the recorder
+    /// bytes it carried and the report of everything discarded.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] when the store cannot be listed;
+    /// [`CheckpointError::NoUsableCheckpoint`] when every retained file
+    /// fails verification (each with its reason).
+    pub(crate) fn load_latest(
+        &self,
+        sim: &Simulator<'_>,
+    ) -> Result<(RunState, Option<Vec<u8>>, RecoveryReport), CheckpointError> {
+        let names = self.snapshot_names()?;
+        let mut discarded: Vec<(String, String)> = Vec::new();
+        for name in names.into_iter().rev() {
+            let verdict = self
+                .store
+                .read(&name)
+                .map_err(CheckpointError::from)
+                .and_then(|bytes| decode_state(sim, &bytes));
+            match verdict {
+                Ok((st, rec_bytes)) => {
+                    let report = RecoveryReport {
+                        loaded: name,
+                        step: st.next_step,
+                        discarded,
+                    };
+                    return Ok((st, rec_bytes, report));
+                }
+                Err(e) => discarded.push((name, e.to_string())),
+            }
+        }
+        Err(CheckpointError::NoUsableCheckpoint { discarded })
+    }
+
+    /// The store back, for inspection.
+    pub fn into_store(self) -> S {
+        self.store
+    }
+}
+
+impl<S: Store> StepHook for Checkpointer<S> {
+    fn after_step<R: Recorder>(&mut self, sim: &Simulator<'_>, st: &RunState, rec: &R) {
+        // `next_step` has already been advanced: it equals the number
+        // of completed steps. The final step needs no snapshot — the
+        // run is finishing anyway.
+        if st.next_step.is_multiple_of(self.every) && st.next_step < sim.config.steps {
+            self.save(sim, st, rec);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulator entry points.
+// ---------------------------------------------------------------------
+
+impl Simulator<'_> {
+    /// [`run_recorded`](Simulator::run_recorded) with durable
+    /// checkpoints: a snapshot lands in `store` every
+    /// [`CheckpointConfig::every`] completed steps. The outcome is
+    /// `f64::to_bits`-identical to an uncheckpointed run — snapshots
+    /// observe the state, never perturb it — and save failures are
+    /// tolerated (surfaced in [`CheckpointedRun::save_errors`]).
+    ///
+    /// Call [`CheckpointConfig::validate`] first to reject bad knobs
+    /// as typed errors; this method asserts only `every > 0`.
+    pub fn run_with_checkpoints<S: Store, R: Recorder>(
+        &self,
+        initial: &Placement,
+        cfg: &CheckpointConfig,
+        store: S,
+        rec: &mut R,
+    ) -> CheckpointedRun {
+        assert!(cfg.every > 0, "checkpoint interval must be positive");
+        let st = self.init_state(initial);
+        let mut ck = Checkpointer::new(store, cfg);
+        let outcome = self.run_from(st, rec, &mut ck);
+        CheckpointedRun {
+            outcome,
+            saves: ck.saves,
+            save_errors: ck.save_errors,
+        }
+    }
+
+    /// Resumes from the newest verifying snapshot in `store` and runs
+    /// to the horizon, continuing to checkpoint on the way. The
+    /// recorder is restored from the snapshot when both sides support
+    /// it ([`Recorder::restore_from_snapshot`]), so journaled events
+    /// are neither lost nor duplicated across the seam.
+    ///
+    /// The snapshot fingerprint covers the config, power model, and
+    /// fleet — but not the runtime policy, which is a trait object the
+    /// engine cannot hash. Resuming under a different policy than the
+    /// one that wrote the snapshot silently changes the remainder of
+    /// the run; keeping the policy identical is the caller's contract.
+    ///
+    /// # Errors
+    /// [`CheckpointError`] when the store is unreadable or no retained
+    /// snapshot verifies; the report inside
+    /// [`CheckpointError::NoUsableCheckpoint`] lists every discard.
+    pub fn resume_with_checkpoints<S: Store, R: Recorder>(
+        &self,
+        cfg: &CheckpointConfig,
+        store: S,
+        rec: &mut R,
+    ) -> Result<(CheckpointedRun, RecoveryReport), CheckpointError> {
+        assert!(cfg.every > 0, "checkpoint interval must be positive");
+        let mut ck = Checkpointer::new(store, cfg);
+        let (st, rec_bytes, report) = ck.load_latest(self)?;
+        if let Some(bytes) = rec_bytes {
+            rec.restore_from_snapshot(&bytes);
+        }
+        let outcome = self.run_from(st, rec, &mut ck);
+        Ok((
+            CheckpointedRun {
+                outcome,
+                saves: ck.saves,
+                save_errors: ck.save_errors,
+            },
+            report,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::faults::FaultConfig;
+    use crate::policy::QueuePolicy;
+    use bursty_obs::durable::{FailingStore, MemStore};
+    use bursty_obs::{MemoryRecorder, NoopRecorder};
+    use bursty_placement::{first_fit, QueueStrategy};
+    use bursty_workload::{PmSpec, VmSpec};
+
+    fn fleet() -> (Vec<VmSpec>, Vec<PmSpec>) {
+        let vms = (0..30)
+            .map(|i| VmSpec::new(i, 0.01, 0.09, 10.0, 10.0))
+            .collect();
+        let pms = (0..30).map(|j| PmSpec::new(j, 100.0)).collect();
+        (vms, pms)
+    }
+
+    fn config() -> SimConfig {
+        SimConfig {
+            steps: 60,
+            seed: 7,
+            faults: Some(FaultConfig {
+                mtbf_steps: 25.0,
+                mttr_steps: 6.0,
+                correlated_group_size: 2,
+                seed: 3,
+            }),
+            ..SimConfig::default()
+        }
+    }
+
+    fn knobs(every: usize, keep: usize) -> CheckpointConfig {
+        CheckpointConfig {
+            every,
+            keep,
+            dir: std::path::PathBuf::new(), // unused with an explicit store
+        }
+    }
+
+    #[track_caller]
+    pub(crate) fn assert_same_outcome(a: &SimOutcome, b: &SimOutcome) {
+        assert_eq!(a.energy_joules.to_bits(), b.energy_joules.to_bits());
+        assert_eq!(a.cvr_per_pm.len(), b.cvr_per_pm.len());
+        for ((ja, ca), (jb, cb)) in a.cvr_per_pm.iter().zip(&b.cvr_per_pm) {
+            assert_eq!(ja, jb);
+            assert_eq!(ca.to_bits(), cb.to_bits());
+        }
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.failed_migrations, b.failed_migrations);
+        assert_eq!(a.retried_migrations, b.retried_migrations);
+        assert_eq!(a.final_pms_used, b.final_pms_used);
+        assert_eq!(a.peak_pms_used, b.peak_pms_used);
+        assert_eq!(a.total_violation_steps, b.total_violation_steps);
+        assert_eq!(a.vm_violation_steps, b.vm_violation_steps);
+        assert_eq!(a.fault_events, b.fault_events);
+        assert_eq!(a.evacuations, b.evacuations);
+        assert_eq!(a.recovery, b.recovery);
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_resume_matches_both() {
+        let (vms, pms) = fleet();
+        let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let placement = first_fit(&vms, &pms, &strategy).unwrap();
+        let policy = QueuePolicy::new(strategy);
+        let sim = Simulator::new(&vms, &pms, &policy, config());
+
+        let baseline = sim.run(&placement);
+        let run = sim.run_with_checkpoints(
+            &placement,
+            &knobs(10, 2),
+            MemStore::new(),
+            &mut NoopRecorder,
+        );
+        assert_same_outcome(&baseline, &run.outcome);
+        assert_eq!(run.saves, 5, "steps 10..=50 each snapshot");
+        assert!(run.save_errors.is_empty());
+
+        // Re-run keeping the store, then resume from its newest file:
+        // the tail re-executes and the outcome is identical again.
+        let mut store = MemStore::new();
+        sim.run_with_checkpoints(&placement, &knobs(10, 2), &mut store, &mut NoopRecorder);
+        let (resumed, report) = sim
+            .resume_with_checkpoints(&knobs(10, 2), store, &mut NoopRecorder)
+            .unwrap();
+        assert_eq!(report.step, 50);
+        assert_eq!(report.loaded, "ckpt-000000000050");
+        assert!(report.discarded.is_empty());
+        assert_same_outcome(&baseline, &resumed.outcome);
+    }
+
+    #[test]
+    fn recorder_travels_through_the_checkpoint() {
+        let (vms, pms) = fleet();
+        let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let placement = first_fit(&vms, &pms, &strategy).unwrap();
+        let policy = QueuePolicy::new(strategy);
+        let sim = Simulator::new(&vms, &pms, &policy, config());
+
+        let mut full = MemoryRecorder::new(4096);
+        sim.run_recorded(&placement, &mut full);
+
+        let mut store = MemStore::new();
+        let mut rec = MemoryRecorder::new(4096);
+        sim.run_with_checkpoints(&placement, &knobs(15, 3), &mut store, &mut rec);
+        let mut resumed = MemoryRecorder::new(4096);
+        sim.resume_with_checkpoints(&knobs(15, 3), store, &mut resumed)
+            .unwrap();
+        // Events before the snapshot come from the restored journal,
+        // events after from the re-run tail — the journal is exactly
+        // the uninterrupted run's, neither losing nor duplicating.
+        assert_eq!(full.to_jsonl(), resumed.to_jsonl());
+    }
+
+    #[test]
+    fn rotation_keeps_only_the_newest_snapshots() {
+        let (vms, pms) = fleet();
+        let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let placement = first_fit(&vms, &pms, &strategy).unwrap();
+        let policy = QueuePolicy::new(strategy);
+        let sim = Simulator::new(&vms, &pms, &policy, config());
+
+        let mut store = MemStore::new();
+        sim.run_with_checkpoints(&placement, &knobs(10, 2), &mut store, &mut NoopRecorder);
+        let names = store.list().unwrap();
+        assert_eq!(names, vec!["ckpt-000000000040", "ckpt-000000000050"]);
+    }
+
+    #[test]
+    fn fingerprint_rejects_a_different_experiment() {
+        let (vms, pms) = fleet();
+        let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let placement = first_fit(&vms, &pms, &strategy).unwrap();
+        let policy = QueuePolicy::new(strategy);
+        let sim = Simulator::new(&vms, &pms, &policy, config());
+
+        let mut store = MemStore::new();
+        sim.run_with_checkpoints(&placement, &knobs(10, 2), &mut store, &mut NoopRecorder);
+
+        let other = Simulator::new(
+            &vms,
+            &pms,
+            &policy,
+            SimConfig {
+                seed: 8,
+                ..config()
+            },
+        );
+        let err = other
+            .resume_with_checkpoints(&knobs(10, 2), store, &mut NoopRecorder)
+            .unwrap_err();
+        let CheckpointError::NoUsableCheckpoint { discarded } = err else {
+            panic!("want NoUsableCheckpoint");
+        };
+        assert_eq!(discarded.len(), 2);
+        assert!(discarded[0].1.contains("different experiment"));
+    }
+
+    #[test]
+    fn save_failures_are_tolerated_and_reported() {
+        let (vms, pms) = fleet();
+        let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let placement = first_fit(&vms, &pms, &strategy).unwrap();
+        let policy = QueuePolicy::new(strategy);
+        let sim = Simulator::new(&vms, &pms, &policy, config());
+
+        let baseline = sim.run(&placement);
+        // Every write's rename fails: zero snapshots land, every save
+        // is reported, and the outcome is untouched.
+        let store = FailingStore::new(MemStore::new(), 1, 0, 255, 0);
+        let run = sim.run_with_checkpoints(&placement, &knobs(10, 2), store, &mut NoopRecorder);
+        assert_same_outcome(&baseline, &run.outcome);
+        assert_eq!(run.saves + run.save_errors.len(), 5);
+        assert!(!run.save_errors.is_empty());
+    }
+
+    #[test]
+    fn corrupted_newest_falls_back_to_older_snapshot() {
+        let (vms, pms) = fleet();
+        let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let placement = first_fit(&vms, &pms, &strategy).unwrap();
+        let policy = QueuePolicy::new(strategy);
+        let sim = Simulator::new(&vms, &pms, &policy, config());
+
+        let baseline = sim.run(&placement);
+        let mut store = MemStore::new();
+        sim.run_with_checkpoints(&placement, &knobs(10, 2), &mut store, &mut NoopRecorder);
+        // Flip one bit in the newest snapshot.
+        let newest = store.file_mut("ckpt-000000000050").unwrap();
+        let mid = newest.len() / 2;
+        newest[mid] ^= 0x10;
+        let (resumed, report) = sim
+            .resume_with_checkpoints(&knobs(10, 2), store, &mut NoopRecorder)
+            .unwrap();
+        assert_eq!(report.loaded, "ckpt-000000000040");
+        assert_eq!(report.discarded.len(), 1);
+        assert_eq!(report.discarded[0].0, "ckpt-000000000050");
+        assert_same_outcome(&baseline, &resumed.outcome);
+    }
+
+    #[test]
+    fn empty_store_is_a_typed_error() {
+        let (vms, pms) = fleet();
+        let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+        let policy = QueuePolicy::new(strategy);
+        let sim = Simulator::new(&vms, &pms, &policy, config());
+        let err = sim
+            .resume_with_checkpoints(&knobs(10, 2), MemStore::new(), &mut NoopRecorder)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::NoUsableCheckpoint { ref discarded } if discarded.is_empty()
+        ));
+    }
+
+    #[test]
+    fn file_names_round_trip_and_sort_by_step() {
+        type Ck = Checkpointer<MemStore>;
+        assert_eq!(Ck::name_of(50), "ckpt-000000000050");
+        assert_eq!(Ck::step_of("ckpt-000000000050"), Some(50));
+        assert_eq!(Ck::step_of("ckpt-50"), None);
+        assert_eq!(Ck::step_of("other"), None);
+        assert!(Ck::name_of(99) < Ck::name_of(100));
+    }
+}

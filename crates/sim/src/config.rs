@@ -57,9 +57,11 @@ pub enum RngLayout {
     ClassAggregated,
 }
 
-/// A structurally invalid [`SimConfig`] (or [`FaultConfig`]), detected
-/// before the run instead of surfacing as NaN CVRs or empty outcomes.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// A structurally invalid [`SimConfig`], [`FaultConfig`], or
+/// [`CheckpointConfig`], detected before the run instead of surfacing
+/// as NaN CVRs, empty outcomes, or a checkpoint directory that turns
+/// out unwritable only after hours of simulation.
+#[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
     /// `steps == 0`: the run would observe nothing.
     ZeroSteps,
@@ -80,6 +82,28 @@ pub enum ConfigError {
     FaultMttrOutOfRange(f64),
     /// `correlated_group_size == 0`: fault domains contain at least one PM.
     ZeroFaultGroup,
+    /// `CheckpointConfig::every == 0`: a snapshot interval of zero would
+    /// checkpoint before any step completes.
+    ZeroCheckpointInterval,
+    /// `CheckpointConfig::every ≥ steps`: the first snapshot would land
+    /// at or past the horizon, so the run could never resume.
+    CheckpointIntervalBeyondHorizon {
+        /// The configured snapshot interval.
+        every: usize,
+        /// The run's step horizon.
+        steps: usize,
+    },
+    /// `CheckpointConfig::keep == 0`: rotation must retain at least one
+    /// snapshot or every save would immediately delete itself.
+    ZeroCheckpointKeep,
+    /// The checkpoint directory could not be created or probed for
+    /// writability; carries the offending path and the OS error text.
+    CheckpointDirUnwritable {
+        /// The directory that rejected the write probe.
+        path: String,
+        /// The underlying OS error, stringified.
+        cause: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -102,11 +126,91 @@ impl fmt::Display for ConfigError {
                 write!(f, "mttr_steps must be at least 1, got {m}")
             }
             Self::ZeroFaultGroup => write!(f, "correlated_group_size must be at least 1"),
+            Self::ZeroCheckpointInterval => {
+                write!(f, "checkpoint interval must be positive")
+            }
+            Self::CheckpointIntervalBeyondHorizon { every, steps } => write!(
+                f,
+                "checkpoint interval {every} is not below the {steps}-step horizon; \
+                 the first snapshot would never be taken"
+            ),
+            Self::ZeroCheckpointKeep => {
+                write!(f, "checkpoint rotation must keep at least 1 snapshot")
+            }
+            Self::CheckpointDirUnwritable { path, cause } => {
+                write!(f, "checkpoint directory {path:?} is not writable: {cause}")
+            }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Durable-checkpoint knobs of a run (DESIGN.md §11). Deliberately a
+/// separate struct from [`SimConfig`] (which stays `Copy`): snapshots
+/// are an I/O concern layered onto the engine, not part of the
+/// scientific configuration — the compatibility fingerprint embedded
+/// in every snapshot hashes the simulation parameters and fleet only,
+/// never these knobs, so resuming with a different interval, retention
+/// count, or directory is always legal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Take a snapshot after every `every` completed steps. Must be
+    /// positive and below [`SimConfig::steps`] (a snapshot at or past
+    /// the horizon would never be written — the run finishes first).
+    pub every: usize,
+    /// Rotation depth: the newest `keep` snapshots are retained, older
+    /// ones deleted after each successful save. Must be at least 1;
+    /// values above 1 buy resilience against a torn newest file.
+    pub keep: usize,
+    /// Directory the snapshot files live in; created on demand.
+    pub dir: std::path::PathBuf,
+}
+
+impl CheckpointConfig {
+    /// A snapshot every `every` steps into `dir`, keeping the newest 2
+    /// (one deep enough to survive a torn newest file).
+    pub fn new(every: usize, dir: impl Into<std::path::PathBuf>) -> Self {
+        Self {
+            every,
+            keep: 2,
+            dir: dir.into(),
+        }
+    }
+
+    /// Validates the knobs against the run's `steps` horizon, probing
+    /// the directory for writability (creating it if absent) so an
+    /// unwritable volume is a typed error *before* the run, not a
+    /// string of failed saves hours in.
+    ///
+    /// # Errors
+    /// [`ConfigError`] on a zero interval, an interval at or past the
+    /// horizon, a zero retention count, or a directory that cannot be
+    /// created or written (the probe file is removed on success).
+    pub fn validate(&self, steps: usize) -> Result<(), ConfigError> {
+        if self.every == 0 {
+            return Err(ConfigError::ZeroCheckpointInterval);
+        }
+        if self.every >= steps {
+            return Err(ConfigError::CheckpointIntervalBeyondHorizon {
+                every: self.every,
+                steps,
+            });
+        }
+        if self.keep == 0 {
+            return Err(ConfigError::ZeroCheckpointKeep);
+        }
+        let unwritable = |cause: std::io::Error| ConfigError::CheckpointDirUnwritable {
+            path: self.dir.display().to_string(),
+            cause: cause.to_string(),
+        };
+        std::fs::create_dir_all(&self.dir).map_err(unwritable)?;
+        let probe = self.dir.join(".bckp-probe");
+        std::fs::write(&probe, b"probe").map_err(unwritable)?;
+        std::fs::remove_file(&probe).map_err(unwritable)?;
+        Ok(())
+    }
+}
 
 /// Parameters of one simulation run. Defaults mirror the paper's §V-D
 /// setup: `σ = 30 s` update period, an evaluation period of `100 σ`,
@@ -313,6 +417,45 @@ mod tests {
             .validate(),
             Err(ConfigError::NegativeEpsilon(-0.1))
         );
+    }
+
+    #[test]
+    fn checkpoint_knobs_are_validated() {
+        let tmp = std::env::temp_dir().join(format!("bckp-cfg-{}", std::process::id()));
+        assert_eq!(
+            CheckpointConfig::new(0, &tmp).validate(100),
+            Err(ConfigError::ZeroCheckpointInterval)
+        );
+        assert_eq!(
+            CheckpointConfig::new(100, &tmp).validate(100),
+            Err(ConfigError::CheckpointIntervalBeyondHorizon {
+                every: 100,
+                steps: 100
+            })
+        );
+        assert_eq!(
+            CheckpointConfig {
+                keep: 0,
+                ..CheckpointConfig::new(10, &tmp)
+            }
+            .validate(100),
+            Err(ConfigError::ZeroCheckpointKeep)
+        );
+        // A writable directory validates (and is created on demand)...
+        CheckpointConfig::new(10, &tmp).validate(100).unwrap();
+        assert!(tmp.is_dir());
+        std::fs::remove_dir_all(&tmp).unwrap();
+        // ...while a path under a regular file cannot be created.
+        let err = CheckpointConfig::new(10, "/dev/null/ckpts")
+            .validate(100)
+            .unwrap_err();
+        match &err {
+            ConfigError::CheckpointDirUnwritable { path, .. } => {
+                assert!(path.contains("/dev/null/ckpts"), "path {path}");
+            }
+            other => panic!("want CheckpointDirUnwritable, got {other:?}"),
+        }
+        assert!(err.to_string().contains("not writable"));
     }
 
     #[test]

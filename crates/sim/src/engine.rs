@@ -125,7 +125,7 @@ impl SimOutcome {
 
 /// Why a VM sits in the retry queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RetryKind {
+pub(crate) enum RetryKind {
     /// A trigger-time migration off an over-budget PM found no target;
     /// the VM is still hosted there. Abandoned after
     /// [`SimConfig::max_retries`] failed re-attempts (the trigger
@@ -139,50 +139,50 @@ enum RetryKind {
 
 /// One deferred placement attempt.
 #[derive(Debug, Clone, Copy)]
-struct RetryEntry {
-    vm: usize,
-    kind: RetryKind,
+pub(crate) struct RetryEntry {
+    pub(crate) vm: usize,
+    pub(crate) kind: RetryKind,
     /// Failed re-attempts so far (0 right after the initial failure).
-    attempts: usize,
+    pub(crate) attempts: usize,
     /// First step at which the entry is due again.
-    next_step: usize,
+    pub(crate) next_step: usize,
 }
 
 /// Restoration bookkeeping for one displacing crash.
 #[derive(Debug, Clone, Copy)]
-struct CrashRecord {
-    pm: usize,
-    step: usize,
+pub(crate) struct CrashRecord {
+    pub(crate) pm: usize,
+    pub(crate) step: usize,
     /// Displaced VMs still waiting for a new home.
-    pending: usize,
+    pub(crate) pending: usize,
 }
 
 /// Mutable fault/recovery state of a run, bundled so the evacuation
 /// helpers can borrow it alongside the placement state.
-struct FaultState {
-    pm_up: Vec<bool>,
+pub(crate) struct FaultState {
+    pub(crate) pm_up: Vec<bool>,
     /// Whether each VM currently occupies a degraded-mode admission.
-    vm_degraded: Vec<bool>,
+    pub(crate) vm_degraded: Vec<bool>,
     /// Degraded admissions currently hosted per PM.
-    pm_overflow: Vec<usize>,
+    pub(crate) pm_overflow: Vec<usize>,
     /// For a displaced VM, the crash record it belongs to.
-    crash_of_vm: Vec<Option<usize>>,
-    crash_records: Vec<CrashRecord>,
-    retry_queue: Vec<RetryEntry>,
+    pub(crate) crash_of_vm: Vec<Option<usize>>,
+    pub(crate) crash_records: Vec<CrashRecord>,
+    pub(crate) retry_queue: Vec<RetryEntry>,
     /// Per-VM membership flag for `retry_queue` — the O(1) replacement
     /// for scanning the queue on every failed migration. Invariant:
     /// `in_retry[i]` iff some entry with `vm == i` is in `retry_queue`
     /// (a VM never holds two entries: overload retries are deduplicated
     /// on push, and a displaced VM's overload entry is dropped before
     /// its evacuation entry is queued).
-    in_retry: Vec<bool>,
-    fault_events: Vec<FaultEvent>,
-    evacuations: Vec<EvacuationEvent>,
-    recovery: RecoveryStats,
+    pub(crate) in_retry: Vec<bool>,
+    pub(crate) fault_events: Vec<FaultEvent>,
+    pub(crate) evacuations: Vec<EvacuationEvent>,
+    pub(crate) recovery: RecoveryStats,
 }
 
 impl FaultState {
-    fn new(n: usize, m: usize) -> Self {
+    pub(crate) fn new(n: usize, m: usize) -> Self {
         Self {
             pm_up: vec![true; m],
             vm_degraded: vec![false; n],
@@ -298,11 +298,63 @@ impl TargetFinder {
 /// assert!(outcome.total_migrations() <= 2);  // reservation absorbs spikes
 /// ```
 pub struct Simulator<'a> {
-    vms: &'a [VmSpec],
-    pms: &'a [PmSpec],
-    policy: &'a dyn RuntimePolicy,
-    power: PowerModel,
-    config: SimConfig,
+    pub(crate) vms: &'a [VmSpec],
+    pub(crate) pms: &'a [PmSpec],
+    pub(crate) policy: &'a dyn RuntimePolicy,
+    pub(crate) power: PowerModel,
+    pub(crate) config: SimConfig,
+}
+
+/// The complete mutable state of a run between two step boundaries —
+/// everything [`Simulator::step_once`] reads or writes. Bundling it in
+/// one struct is what makes the engine checkpointable: a durable
+/// snapshot is a serialization of `RunState` (plus the recorder), and
+/// resume is [`Simulator::run_from`] on a restored value. Constructed
+/// by [`Simulator::init_state`]; never leaves the crate.
+pub(crate) struct RunState {
+    pub(crate) core: WorkloadCore,
+    pub(crate) fault_process: Option<FaultProcess>,
+    /// `host[i] == None` marks a displaced (stranded) VM waiting in the
+    /// retry queue after a crash.
+    pub(crate) host: Vec<Option<usize>>,
+    pub(crate) hosted: Vec<Vec<usize>>,
+    pub(crate) loads: Vec<PmLoad>,
+    pub(crate) fs: FaultState,
+    /// Live-migration copy overhead: (pm, demand, steps left) entries
+    /// that keep charging the source PM.
+    pub(crate) dual: Vec<(usize, f64, usize)>,
+    pub(crate) vio_steps: Vec<usize>,
+    pub(crate) active_steps: Vec<usize>,
+    pub(crate) migrations: Vec<MigrationEvent>,
+    pub(crate) failed_migrations: usize,
+    pub(crate) retried_migrations: usize,
+    pub(crate) pms_used_series: TimeSeries,
+    pub(crate) peak_pms_used: usize,
+    pub(crate) total_violation_steps: usize,
+    pub(crate) vm_violation_steps: Vec<usize>,
+    pub(crate) energy: f64,
+    /// Per-PM observed demand of the *last completed* step. Read by the
+    /// next step's fault/evacuation phase before the workload evolves,
+    /// so it is genuine run state, not scratch.
+    pub(crate) observed: Vec<f64>,
+    /// The next step to execute (== completed steps so far).
+    pub(crate) next_step: usize,
+}
+
+/// A callback the engine drives after every completed step — the seam
+/// the checkpointer hangs off. [`NoopHook`] is the zero-cost default:
+/// its empty body inlines away, so [`Simulator::run`] compiles to the
+/// same loop it was before the seam existed.
+pub(crate) trait StepHook {
+    fn after_step<R: Recorder>(&mut self, sim: &Simulator<'_>, st: &RunState, rec: &R);
+}
+
+/// The do-nothing [`StepHook`] of plain (non-checkpointed) runs.
+pub(crate) struct NoopHook;
+
+impl StepHook for NoopHook {
+    #[inline(always)]
+    fn after_step<R: Recorder>(&mut self, _: &Simulator<'_>, _: &RunState, _: &R) {}
 }
 
 /// Tolerance when comparing aggregate demand to capacity, so exact-fit
@@ -377,6 +429,15 @@ impl<'a> Simulator<'a> {
     /// # Panics
     /// Panics if `initial` is incomplete or inconsistent with the specs.
     pub fn run_recorded<R: Recorder>(&self, initial: &Placement, rec: &mut R) -> SimOutcome {
+        let st = self.init_state(initial);
+        self.run_from(st, rec, &mut NoopHook)
+    }
+
+    /// Builds the step-0 [`RunState`] from an initial placement.
+    ///
+    /// # Panics
+    /// Panics if `initial` is incomplete or inconsistent with the specs.
+    pub(crate) fn init_state(&self, initial: &Placement) -> RunState {
         assert_eq!(
             initial.n_vms(),
             self.vms.len(),
@@ -390,7 +451,7 @@ impl<'a> Simulator<'a> {
 
         let n = self.vms.len();
         let m = self.pms.len();
-        let mut fault_process = self.config.faults.map(|cfg| FaultProcess::new(cfg, m));
+        let fault_process = self.config.faults.map(|cfg| FaultProcess::new(cfg, m));
 
         // The structure-of-arrays hot path: flattened chain parameters,
         // per-VM ON/OFF state, and the configured RNG layout.
@@ -402,9 +463,7 @@ impl<'a> Simulator<'a> {
             self.config.threads,
         );
 
-        // Runtime state. `host[i] == None` marks a displaced (stranded) VM
-        // waiting in the retry queue after a crash.
-        let mut host: Vec<Option<usize>> = initial
+        let host: Vec<Option<usize>> = initial
             .assignment
             .iter()
             .map(|a| Some(a.expect("complete placement")))
@@ -416,30 +475,79 @@ impl<'a> Simulator<'a> {
         // Class-aggregated layout only: build the (PM, class) counters
         // from the initial placement. A no-op for the other layouts.
         core.class_init(&host);
-        let mut loads: Vec<PmLoad> = hosted
+        let loads: Vec<PmLoad> = hosted
             .iter()
             .map(|vs| PmLoad::rebuild(vs.iter().map(|&i| &self.vms[i])))
             .collect();
-        let mut fs = FaultState::new(n, m);
 
-        // Live-migration copy overhead: (pm, demand, steps left) entries
-        // that keep charging the source PM.
-        let mut dual: Vec<(usize, f64, usize)> = Vec::new();
+        RunState {
+            core,
+            fault_process,
+            host,
+            hosted,
+            loads,
+            fs: FaultState::new(n, m),
+            dual: Vec::new(),
+            vio_steps: vec![0usize; m],
+            active_steps: vec![0usize; m],
+            migrations: Vec::new(),
+            failed_migrations: 0,
+            retried_migrations: 0,
+            pms_used_series: TimeSeries::new(0.0, self.config.sigma_secs),
+            peak_pms_used: 0,
+            total_violation_steps: 0,
+            vm_violation_steps: vec![0usize; n],
+            energy: 0.0,
+            observed: vec![0.0f64; m],
+            next_step: 0,
+        }
+    }
 
-        // Accounting.
-        let mut vio_steps = vec![0usize; m];
-        let mut active_steps = vec![0usize; m];
-        let mut migrations = Vec::new();
-        let mut failed_migrations = 0usize;
-        let mut retried_migrations = 0usize;
-        let mut pms_used_series = TimeSeries::new(0.0, self.config.sigma_secs);
-        let mut peak_pms_used = 0usize;
-        let mut total_violation_steps = 0usize;
-        let mut vm_violation_steps = vec![0usize; n];
-        let mut energy = 0.0;
+    /// Drives `st` to the horizon, invoking `hook` after every completed
+    /// step, then closes out the run. `run_recorded` is exactly this
+    /// with [`NoopHook`]; the checkpointer enters here with a restored
+    /// mid-run state.
+    pub(crate) fn run_from<R: Recorder, H: StepHook>(
+        &self,
+        mut st: RunState,
+        rec: &mut R,
+        hook: &mut H,
+    ) -> SimOutcome {
+        while st.next_step < self.config.steps {
+            self.step_once(&mut st, rec);
+            hook.after_step(self, &st, rec);
+        }
+        self.finish(st, rec)
+    }
 
-        let mut observed = vec![0.0f64; m];
-        for step in 0..self.config.steps {
+    /// Executes exactly one simulation step — the body of the historical
+    /// `run_recorded` loop, verbatim (the golden pins certify the
+    /// extraction changed no operation order).
+    fn step_once<R: Recorder>(&self, st: &mut RunState, rec: &mut R) {
+        let m = self.pms.len();
+        let step = st.next_step;
+        let RunState {
+            core,
+            fault_process,
+            host,
+            hosted,
+            loads,
+            fs,
+            dual,
+            vio_steps,
+            active_steps,
+            migrations,
+            failed_migrations,
+            retried_migrations,
+            pms_used_series,
+            peak_pms_used,
+            total_violation_steps,
+            vm_violation_steps,
+            energy,
+            observed,
+            next_step,
+        } = st;
+        {
             // Migration-target headroom indexes, built lazily inside any
             // step that actually attempts a migration (observed demand —
             // and with it every headroom — changes each step, so the
@@ -527,15 +635,7 @@ impl<'a> Simulator<'a> {
                 if !displaced.is_empty() {
                     rec.record_value(HistId::EvacuationBatchSize, displaced.len() as u64);
                     let unplaced = self.evacuate_displaced(
-                        step,
-                        &displaced,
-                        &mut core,
-                        &mut host,
-                        &mut hosted,
-                        &mut loads,
-                        &mut observed,
-                        &mut fs,
-                        rec,
+                        step, &displaced, core, host, hosted, loads, observed, fs, rec,
                     );
                     for i in unplaced {
                         let from_pm = fs.crash_records
@@ -585,8 +685,8 @@ impl<'a> Simulator<'a> {
             //    fault and migration decisions. Draw order and summation
             //    order per layout are the core's determinism contract
             //    (DESIGN.md §8).
-            core.step(step as u64, &host, &mut observed);
-            for &(j, demand, _) in &dual {
+            core.step(step as u64, host, observed);
+            for &(j, demand, _) in dual.iter() {
                 observed[j] += demand;
             }
 
@@ -601,7 +701,7 @@ impl<'a> Simulator<'a> {
                 active_steps[j] += 1;
                 if observed[j] > self.pms[j].capacity + CAP_EPS {
                     vio_steps[j] += 1;
-                    total_violation_steps += 1;
+                    *total_violation_steps += 1;
                     rec.counter_inc(Counter::ViolationSteps);
                     if fs.pm_overflow[j] > 0 {
                         fs.recovery.degraded_violation_steps += 1;
@@ -652,8 +752,8 @@ impl<'a> Simulator<'a> {
                         j,
                         vm,
                         vm_demand,
-                        &loads,
-                        &observed,
+                        loads,
+                        observed,
                         &fs.pm_up,
                     ) {
                         Some(target) => {
@@ -667,8 +767,8 @@ impl<'a> Simulator<'a> {
                             observed[j] -= vm_demand;
                             observed[target] += vm_demand;
                             if let Some(f) = finder.as_mut() {
-                                f.refresh(self, j, &loads, &observed, &fs.pm_up);
-                                f.refresh(self, target, &loads, &observed, &fs.pm_up);
+                                f.refresh(self, j, loads, observed, &fs.pm_up);
+                                f.refresh(self, target, loads, observed, &fs.pm_up);
                             }
                             if fs.vm_degraded[victim] {
                                 // Normal admission elsewhere ends the
@@ -697,7 +797,7 @@ impl<'a> Simulator<'a> {
                             }
                         }
                         None => {
-                            failed_migrations += 1;
+                            *failed_migrations += 1;
                             rec.counter_inc(Counter::FailedMigrations);
                             if R::ENABLED {
                                 rec.record_event(Event::MigrationFailed {
@@ -786,8 +886,8 @@ impl<'a> Simulator<'a> {
                         j,
                         vm,
                         vm_demand,
-                        &loads,
-                        &observed,
+                        loads,
+                        observed,
                         &fs.pm_up,
                     ) {
                         Some(target) => {
@@ -800,8 +900,8 @@ impl<'a> Simulator<'a> {
                             observed[j] -= vm_demand;
                             observed[target] += vm_demand;
                             if let Some(f) = finder.as_mut() {
-                                f.refresh(self, j, &loads, &observed, &fs.pm_up);
-                                f.refresh(self, target, &loads, &observed, &fs.pm_up);
+                                f.refresh(self, j, loads, observed, &fs.pm_up);
+                                f.refresh(self, target, loads, observed, &fs.pm_up);
                             }
                             if fs.vm_degraded[e.vm] {
                                 fs.vm_degraded[e.vm] = false;
@@ -816,7 +916,7 @@ impl<'a> Simulator<'a> {
                                 from_pm: j,
                                 to_pm: target,
                             });
-                            retried_migrations += 1;
+                            *retried_migrations += 1;
                             rec.counter_inc(Counter::Migrations);
                             rec.counter_inc(Counter::RetriedMigrations);
                             rec.counter_inc(Counter::RetryLandedOverload);
@@ -867,17 +967,9 @@ impl<'a> Simulator<'a> {
                     let vms_due: Vec<usize> = due_evac.iter().map(|e| e.vm).collect();
                     // Class mode: the limbo counters have evolved since
                     // these VMs were displaced — refresh their flags.
-                    core.class_sync_displaced(&host);
+                    core.class_sync_displaced(host);
                     let unplaced = self.evacuate_displaced(
-                        step,
-                        &vms_due,
-                        &mut core,
-                        &mut host,
-                        &mut hosted,
-                        &mut loads,
-                        &mut observed,
-                        &mut fs,
-                        rec,
+                        step, &vms_due, core, host, hosted, loads, observed, fs, rec,
                     );
                     rec.counter_add(
                         Counter::RetryLandedEvacuation,
@@ -916,12 +1008,12 @@ impl<'a> Simulator<'a> {
             dual.iter_mut().for_each(|e| e.2 -= 1);
             dual.retain(|e| e.2 > 0);
             let used = loads.iter().filter(|l| !l.is_empty()).count();
-            peak_pms_used = peak_pms_used.max(used);
+            *peak_pms_used = (*peak_pms_used).max(used);
             pms_used_series.push(used as f64);
             for j in 0..m {
                 if !loads[j].is_empty() {
                     let util = observed[j] / self.pms[j].capacity;
-                    energy += self.power.energy(util, self.config.sigma_secs);
+                    *energy += self.power.energy(util, self.config.sigma_secs);
                 }
             }
             if fault_process.is_some() {
@@ -939,12 +1031,34 @@ impl<'a> Simulator<'a> {
                     });
                 }
                 if let Some(every) = rec.cvr_sample_interval() {
-                    if (step + 1) % every == 0 {
-                        rec.sample_cvr(step as u64, &vio_steps, &active_steps);
+                    if (step + 1).is_multiple_of(every) {
+                        rec.sample_cvr(step as u64, vio_steps, active_steps);
                     }
                 }
             }
         }
+        *next_step += 1;
+    }
+
+    /// Closes out a finished run: final CVR sample, residual retry
+    /// counters, end-of-run gauges, and the assembled [`SimOutcome`].
+    fn finish<R: Recorder>(&self, st: RunState, rec: &mut R) -> SimOutcome {
+        let m = self.pms.len();
+        let RunState {
+            loads,
+            mut fs,
+            vio_steps,
+            active_steps,
+            migrations,
+            failed_migrations,
+            retried_migrations,
+            pms_used_series,
+            peak_pms_used,
+            total_violation_steps,
+            vm_violation_steps,
+            energy,
+            ..
+        } = st;
 
         fs.recovery.unrestored_crashes = fs.crash_records.iter().filter(|r| r.pending > 0).count();
 

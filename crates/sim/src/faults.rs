@@ -138,6 +138,49 @@ impl FaultProcess {
         events
     }
 
+    /// The generator's xoshiro256++ word state, for durable snapshots.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Current up/down state per fault domain (not per PM), for durable
+    /// snapshots.
+    pub fn domain_states(&self) -> &[bool] {
+        &self.domain_up
+    }
+
+    /// Rebuilds a mid-run process from snapshot parts. The restored
+    /// process continues the exact event stream: `restore` at step `t`
+    /// followed by `step(t..)` equals an uninterrupted run.
+    ///
+    /// # Errors
+    /// A message when the config is invalid, the domain count disagrees
+    /// with `(config, m)`, or the RNG state is the impossible all-zero
+    /// word vector.
+    pub fn restore(
+        config: FaultConfig,
+        m: usize,
+        rng_state: [u64; 4],
+        domain_up: Vec<bool>,
+    ) -> Result<Self, String> {
+        config.validate().map_err(|e| format!("{e}"))?;
+        let domains = m.div_ceil(config.correlated_group_size);
+        if domain_up.len() != domains {
+            return Err(format!(
+                "snapshot has {} domains, config implies {domains}",
+                domain_up.len()
+            ));
+        }
+        let rng = StdRng::from_state(rng_state)
+            .ok_or_else(|| "all-zero RNG state is not reachable from any seed".to_string())?;
+        Ok(Self {
+            config,
+            rng,
+            domain_up,
+            m,
+        })
+    }
+
     /// The full fault schedule over `steps` periods as a flat event list —
     /// a pure function of the configuration and fleet size, used by the
     /// determinism checks and available for offline analysis.
@@ -203,6 +246,28 @@ mod tests {
             500,
         );
         assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_the_exact_event_stream() {
+        let cfg = FaultConfig {
+            mtbf_steps: 40.0,
+            mttr_steps: 8.0,
+            correlated_group_size: 3,
+            ..Default::default()
+        };
+        let mut a = FaultProcess::new(cfg, 11);
+        for t in 0..250 {
+            a.step(t);
+        }
+        let mut b =
+            FaultProcess::restore(cfg, 11, a.rng_state(), a.domain_states().to_vec()).unwrap();
+        for t in 250..500 {
+            assert_eq!(a.step(t), b.step(t), "divergence at step {t}");
+        }
+        // Wrong domain count and the degenerate RNG state are rejected.
+        assert!(FaultProcess::restore(cfg, 11, a.rng_state(), vec![true; 2]).is_err());
+        assert!(FaultProcess::restore(cfg, 11, [0; 4], a.domain_states().to_vec()).is_err());
     }
 
     #[test]

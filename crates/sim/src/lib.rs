@@ -20,6 +20,7 @@
 //! [`runner`] fans replications out across threads and aggregates
 //! mean/min/max, matching the paper's 10-repetition methodology (Fig. 9).
 
+pub mod checkpoint;
 pub mod config;
 pub mod des;
 pub mod energy;
@@ -35,7 +36,8 @@ pub mod scenario;
 pub mod stabilization;
 mod workload_core;
 
-pub use config::{ConfigError, RngLayout, SimConfig, VictimPolicy};
+pub use checkpoint::{CheckpointError, CheckpointedRun, Checkpointer, RecoveryReport};
+pub use config::{CheckpointConfig, ConfigError, RngLayout, SimConfig, VictimPolicy};
 pub use energy::PowerModel;
 pub use engine::{RecoveryStats, SimOutcome, Simulator};
 pub use events::{EvacuationEvent, FaultEvent, FaultKind, MigrationEvent};

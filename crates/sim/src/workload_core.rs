@@ -125,6 +125,24 @@ enum Mode {
     },
 }
 
+/// Mode-specific evolving state captured for a checkpoint. The
+/// flattened spec vectors, stream keys, and class table are pure
+/// functions of the fleet and seed — [`WorkloadCore::new`] rebuilds
+/// them on restore — so only the state that advances step-to-step
+/// travels. The `on` flags live outside [`Mode`] and are snapshotted
+/// by the caller.
+pub(crate) enum CoreSnapshot {
+    /// The shared `StdRng`'s four xoshiro256++ state words.
+    Shared([u64; 4]),
+    /// Counter-based streams are pure functions of `(key, step)`; the
+    /// partial buffers are per-step scratch, zeroed at every boundary.
+    PerVm,
+    /// Per-location `(class, count, n_on)` triples in cell order
+    /// (locations `0..m` are the PMs, location `m` the limbo pool);
+    /// cell keys are rebuilt from the seed and class hashes.
+    ClassAggregated(Vec<Vec<(u32, u32, u32)>>),
+}
+
 /// The engine's per-step hot path in structure-of-arrays form.
 pub(crate) struct WorkloadCore {
     p_on: Vec<f64>,
@@ -588,6 +606,92 @@ impl WorkloadCore {
             }
         }
     }
+
+    /// Captures the mode-specific evolving state for a checkpoint.
+    pub(crate) fn snapshot_mode(&self) -> CoreSnapshot {
+        match &self.mode {
+            Mode::Shared { rng } => CoreSnapshot::Shared(rng.state()),
+            Mode::PerVm { .. } => CoreSnapshot::PerVm,
+            Mode::ClassAggregated { cells, .. } => CoreSnapshot::ClassAggregated(
+                cells
+                    .iter()
+                    .map(|cs| cs.iter().map(|c| (c.class, c.count, c.n_on)).collect())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Restores the mode-specific state captured by
+    /// [`WorkloadCore::snapshot_mode`] into a freshly built core of the
+    /// same fleet, seed, and layout. Rejects layout mismatches and any
+    /// structurally impossible counter state (unsorted or out-of-range
+    /// cells, `n_on > count`, membership not summing to the fleet) so a
+    /// corrupted snapshot can never become a silently wrong run.
+    pub(crate) fn restore_mode(&mut self, snap: CoreSnapshot) -> Result<(), String> {
+        match (&mut self.mode, snap) {
+            (Mode::Shared { rng }, CoreSnapshot::Shared(words)) => {
+                *rng = StdRng::from_state(words)
+                    .ok_or_else(|| "shared rng state is the all-zero fixed point".to_string())?;
+                Ok(())
+            }
+            (Mode::PerVm { .. }, CoreSnapshot::PerVm) => Ok(()),
+            (
+                Mode::ClassAggregated {
+                    classes,
+                    cells,
+                    seed,
+                    ..
+                },
+                CoreSnapshot::ClassAggregated(locs),
+            ) => {
+                if locs.len() != cells.len() {
+                    return Err(format!(
+                        "class snapshot has {} locations, core expects {}",
+                        locs.len(),
+                        cells.len()
+                    ));
+                }
+                let mut total: u64 = 0;
+                for (loc, cs) in locs.iter().enumerate() {
+                    let mut prev: Option<u32> = None;
+                    for &(class, count, n_on) in cs {
+                        if class as usize >= classes.len() {
+                            return Err(format!("class index {class} out of range"));
+                        }
+                        if count == 0 || n_on > count {
+                            return Err(format!(
+                                "cell ({loc}, {class}) has count {count}, n_on {n_on}"
+                            ));
+                        }
+                        if prev.is_some_and(|p| p >= class) {
+                            return Err(format!("cells of location {loc} not sorted by class"));
+                        }
+                        prev = Some(class);
+                        total += u64::from(count);
+                    }
+                }
+                if total != self.on.len() as u64 {
+                    return Err(format!(
+                        "cell membership sums to {total}, fleet has {} VMs",
+                        self.on.len()
+                    ));
+                }
+                for (loc, (dst, src)) in cells.iter_mut().zip(locs).enumerate() {
+                    *dst = src
+                        .into_iter()
+                        .map(|(class, count, n_on)| Cell {
+                            class,
+                            count,
+                            n_on,
+                            key: class_cell_key(*seed, loc as u64, classes[class as usize].hash),
+                        })
+                        .collect();
+                }
+                Ok(())
+            }
+            _ => Err("snapshot layout does not match the configured rng layout".to_string()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -811,6 +915,89 @@ mod tests {
         core.class_sync_pm(0, &members);
         let on_after: Vec<bool> = members.iter().map(|&i| core.on[i]).collect();
         assert_eq!(on_before, on_after);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_every_layout_bit_for_bit() {
+        let m = 7;
+        let vms = class_fleet(150);
+        let host: Vec<Option<usize>> = (0..vms.len())
+            .map(|i| (i % 13 != 0).then_some(i % m))
+            .collect();
+        for layout in [
+            RngLayout::Shared,
+            RngLayout::PerVm,
+            RngLayout::ClassAggregated,
+        ] {
+            let mut a = WorkloadCore::new(&vms, m, 42, layout, 1);
+            a.class_init(&host);
+            let mut observed = vec![0.0; m];
+            for step in 0..40 {
+                a.step(step, &host, &mut observed);
+            }
+            // Rebuild a fresh core from specs, then restore the evolving
+            // state — exactly what checkpoint load does.
+            let mut b = WorkloadCore::new(&vms, m, 42, layout, 1);
+            b.class_init(&host);
+            b.restore_mode(a.snapshot_mode()).unwrap();
+            b.on.copy_from_slice(&a.on);
+            let (mut oa, mut ob) = (vec![0.0; m], vec![0.0; m]);
+            for step in 40..70 {
+                a.step(step, &host, &mut oa);
+                b.step(step, &host, &mut ob);
+                for (x, y) in oa.iter().zip(&ob) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "layout {layout:?} diverged at step {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_and_corrupt_snapshots() {
+        let vms = class_fleet(30);
+        let host: Vec<Option<usize>> = (0..vms.len()).map(|i| Some(i % 3)).collect();
+        let mut shared = WorkloadCore::new(&vms, 3, 1, RngLayout::Shared, 1);
+        assert!(shared.restore_mode(CoreSnapshot::PerVm).is_err());
+        assert!(shared
+            .restore_mode(CoreSnapshot::Shared([0, 0, 0, 0]))
+            .is_err());
+        let mut class = WorkloadCore::new(&vms, 3, 1, RngLayout::ClassAggregated, 1);
+        class.class_init(&host);
+        let CoreSnapshot::ClassAggregated(good) = class.snapshot_mode() else {
+            panic!("wrong snapshot variant");
+        };
+        // n_on above count.
+        let mut bad = good.clone();
+        bad[0][0].2 = bad[0][0].1 + 1;
+        assert!(class
+            .restore_mode(CoreSnapshot::ClassAggregated(bad))
+            .is_err());
+        // Out-of-range class index.
+        let mut bad = good.clone();
+        bad[0][0].0 = 999;
+        assert!(class
+            .restore_mode(CoreSnapshot::ClassAggregated(bad))
+            .is_err());
+        // Membership no longer sums to the fleet.
+        let mut bad = good.clone();
+        bad[0][0].1 += 1;
+        assert!(class
+            .restore_mode(CoreSnapshot::ClassAggregated(bad))
+            .is_err());
+        // Wrong location count.
+        let mut bad = good.clone();
+        bad.pop();
+        assert!(class
+            .restore_mode(CoreSnapshot::ClassAggregated(bad))
+            .is_err());
+        // The pristine snapshot still restores.
+        assert!(class
+            .restore_mode(CoreSnapshot::ClassAggregated(good))
+            .is_ok());
     }
 
     #[test]

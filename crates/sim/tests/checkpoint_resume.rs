@@ -1,0 +1,253 @@
+//! The crash-safety tentpole's two load-bearing properties
+//! (DESIGN.md §11):
+//!
+//! 1. **Resume identity** — for every RNG layout, thread count, and
+//!    fault setting, a run interrupted at any checkpoint boundary and
+//!    resumed from the durable snapshot finishes `f64::to_bits`-
+//!    identical to a run that never stopped. The checkpoint must carry
+//!    *everything* that evolves: the workload RNG (all three layouts),
+//!    the fault process mid-chain, the retry queue with its backoff
+//!    exponents, the displaced pools, and every accumulated statistic.
+//!
+//! 2. **No injected I/O failure yields corrupt state** — writing
+//!    through a [`FailingStore`] that tears files, fails renames, and
+//!    silently flips bits, a later resume either loads a snapshot that
+//!    verifies end to end (and then reproduces the exact baseline
+//!    outcome) or reports a typed error. There is no third outcome:
+//!    a corrupted file can delay recovery, never skew it.
+
+use bursty_obs::durable::{FailingStore, MemStore};
+use bursty_obs::{MemoryRecorder, NoopRecorder};
+use bursty_placement::{first_fit, Placement, QueueStrategy};
+use bursty_sim::{
+    CheckpointConfig, CheckpointError, FaultConfig, QueuePolicy, RngLayout, SimConfig, SimOutcome,
+    Simulator,
+};
+use bursty_workload::{PmSpec, VmSpec};
+use proptest::prelude::*;
+
+fn fleet(n: usize) -> (Vec<VmSpec>, Vec<PmSpec>) {
+    let vms = (0..n)
+        .map(|i| VmSpec::new(i, 0.01, 0.09, 10.0, 10.0))
+        .collect();
+    let pms = (0..n).map(|j| PmSpec::new(j, 100.0)).collect();
+    (vms, pms)
+}
+
+fn config(steps: usize, seed: u64, faults: bool, layout: RngLayout, threads: usize) -> SimConfig {
+    SimConfig {
+        steps,
+        seed,
+        faults: faults.then_some(FaultConfig {
+            mtbf_steps: 30.0,
+            mttr_steps: 8.0,
+            correlated_group_size: 2,
+            seed: seed ^ 0x5EED,
+        }),
+        rng_layout: layout,
+        threads,
+        ..Default::default()
+    }
+}
+
+/// Checkpoint knobs with an unused directory: every test here passes an
+/// explicit in-memory store.
+fn knobs(every: usize, keep: usize) -> CheckpointConfig {
+    CheckpointConfig {
+        every,
+        keep,
+        dir: std::path::PathBuf::new(),
+    }
+}
+
+/// Field-by-field bit equality — `==` on floats would accept
+/// `-0.0 == 0.0`, masking exactly the drift this suite exists to catch.
+fn assert_bit_identical(a: &SimOutcome, b: &SimOutcome, what: &str) {
+    assert_eq!(a.cvr_per_pm.len(), b.cvr_per_pm.len(), "{what}: cvr len");
+    for (x, y) in a.cvr_per_pm.iter().zip(&b.cvr_per_pm) {
+        assert_eq!(x.0, y.0, "{what}: cvr pm index");
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "{what}: cvr bits pm {}", x.0);
+    }
+    assert_eq!(a.migrations, b.migrations, "{what}: migrations");
+    assert_eq!(a.failed_migrations, b.failed_migrations, "{what}");
+    assert_eq!(a.retried_migrations, b.retried_migrations, "{what}");
+    assert_eq!(a.final_pms_used, b.final_pms_used, "{what}");
+    assert_eq!(a.peak_pms_used, b.peak_pms_used, "{what}");
+    assert_eq!(a.total_violation_steps, b.total_violation_steps, "{what}");
+    assert_eq!(a.vm_violation_steps, b.vm_violation_steps, "{what}");
+    assert_eq!(
+        a.energy_joules.to_bits(),
+        b.energy_joules.to_bits(),
+        "{what}: energy bits"
+    );
+    assert_eq!(a.fault_events, b.fault_events, "{what}: fault events");
+    assert_eq!(a.evacuations, b.evacuations, "{what}: evacuations");
+    assert_eq!(a.recovery, b.recovery, "{what}: recovery stats");
+    assert_eq!(
+        a.pms_used_series.len(),
+        b.pms_used_series.len(),
+        "{what}: series len"
+    );
+    for ((t1, v1), (t2, v2)) in a.pms_used_series.points().zip(b.pms_used_series.points()) {
+        assert_eq!(t1.to_bits(), t2.to_bits(), "{what}: series time bits");
+        assert_eq!(v1.to_bits(), v2.to_bits(), "{what}: series value bits");
+    }
+}
+
+fn queue_setup(vms: &[VmSpec], pms: &[PmSpec]) -> (Placement, QueuePolicy) {
+    let strategy = QueueStrategy::build(16, 0.01, 0.09, 0.01);
+    let placement = first_fit(vms, pms, &strategy).unwrap();
+    (placement, QueuePolicy::new(strategy))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Resume identity across every rng layout × 1/2/8 threads ×
+    /// faults on/off. The checkpointed run itself must also match the
+    /// plain run (the step hook observes, never perturbs).
+    #[test]
+    fn resume_is_bit_identical_to_an_uninterrupted_run(
+        n in 8usize..20,
+        steps in 40usize..120,
+        seed in 0u64..1_000,
+        every in 7usize..23,
+        fault_bit in 0u8..2,
+    ) {
+        let faults = fault_bit == 1;
+        let (vms, pms) = fleet(n);
+        let (placement, policy) = queue_setup(&vms, &pms);
+        for layout in [RngLayout::Shared, RngLayout::PerVm, RngLayout::ClassAggregated] {
+            for threads in [1usize, 2, 8] {
+                if layout == RngLayout::Shared && threads > 1 {
+                    continue; // the shared stream is sequential by contract
+                }
+                let cfg = config(steps, seed, faults, layout, threads);
+                let sim = Simulator::new(&vms, &pms, &policy, cfg);
+                let what = format!("{layout:?}/{threads}t/faults={faults}/every={every}");
+
+                let baseline = sim.run(&placement);
+                let mut store = MemStore::new();
+                let run = sim.run_with_checkpoints(
+                    &placement, &knobs(every, 2), &mut store, &mut NoopRecorder);
+                prop_assert!(run.save_errors.is_empty(), "{what}: save errors");
+                assert_bit_identical(&baseline, &run.outcome, &format!("{what}: hooked run"));
+
+                if steps > every {
+                    // Snapshots exist: resuming re-runs the tail to the
+                    // same bits — possibly at a *different* thread count
+                    // (the fingerprint deliberately ignores threads).
+                    let resume_threads = if layout == RngLayout::Shared { 1 } else { 4 };
+                    let resumed_sim = Simulator::new(
+                        &vms, &pms, &policy,
+                        SimConfig { threads: resume_threads, ..cfg });
+                    let (resumed, report) = resumed_sim
+                        .resume_with_checkpoints(&knobs(every, 2), &mut store, &mut NoopRecorder)
+                        .unwrap();
+                    prop_assert!(report.discarded.is_empty(), "{what}: discards");
+                    prop_assert_eq!(report.step % every, 0, "boundary snapshot");
+                    assert_bit_identical(&baseline, &resumed.outcome, &format!("{what}: resumed"));
+                }
+            }
+        }
+    }
+
+    /// A recorder attached across the interruption reproduces the
+    /// uninterrupted journal exactly: events before the snapshot come
+    /// from the restored journal, events after from the re-run tail —
+    /// none lost, none duplicated.
+    #[test]
+    fn resumed_journal_equals_uninterrupted_journal(
+        n in 8usize..16,
+        steps in 40usize..90,
+        seed in 0u64..500,
+        every in 9usize..17,
+    ) {
+        let (vms, pms) = fleet(n);
+        let (placement, policy) = queue_setup(&vms, &pms);
+        let cfg = config(steps, seed, true, RngLayout::Shared, 1);
+        let sim = Simulator::new(&vms, &pms, &policy, cfg);
+
+        let mut full = MemoryRecorder::new(8192).with_cvr_sampling(5);
+        sim.run_recorded(&placement, &mut full);
+
+        let mut store = MemStore::new();
+        let mut rec = MemoryRecorder::new(8192).with_cvr_sampling(5);
+        sim.run_with_checkpoints(&placement, &knobs(every, 2), &mut store, &mut rec);
+        if steps > every {
+            let mut resumed = MemoryRecorder::new(8192).with_cvr_sampling(5);
+            sim.resume_with_checkpoints(&knobs(every, 2), &mut store, &mut resumed)
+                .unwrap();
+            prop_assert_eq!(full.to_jsonl(), resumed.to_jsonl());
+        }
+    }
+
+    /// The fault-injection property: no torn write, failed rename, or
+    /// silent bit flip can make resume produce anything but (a) the
+    /// exact baseline outcome from an older verifying snapshot or (b) a
+    /// typed error. Sweeps fault probabilities from rare to brutal.
+    #[test]
+    fn injected_store_faults_never_yield_corrupt_state(
+        seed in 0u64..2_000,
+        p_short in 0u8..96,
+        p_rename in 0u8..96,
+        p_flip in 0u8..96,
+    ) {
+        let (vms, pms) = fleet(12);
+        let (placement, policy) = queue_setup(&vms, &pms);
+        let cfg = config(80, seed, true, RngLayout::Shared, 1);
+        let sim = Simulator::new(&vms, &pms, &policy, cfg);
+        let baseline = sim.run(&placement);
+
+        let mut store = FailingStore::new(MemStore::new(), seed, p_short, p_rename, p_flip);
+        let run = sim.run_with_checkpoints(
+            &placement, &knobs(10, 2), &mut store, &mut NoopRecorder);
+        // Whatever the store did, the run itself is never perturbed.
+        assert_bit_identical(&baseline, &run.outcome, "run through failing store");
+
+        match sim.resume_with_checkpoints(&knobs(10, 2), store.inner_mut(), &mut NoopRecorder) {
+            Ok((resumed, report)) => {
+                // Every discard must carry a reason; the loaded snapshot
+                // reproduces the baseline bits exactly.
+                for (name, why) in &report.discarded {
+                    prop_assert!(!why.is_empty(), "{name}: empty discard reason");
+                }
+                assert_bit_identical(&baseline, &resumed.outcome, "resumed after faults");
+            }
+            Err(CheckpointError::NoUsableCheckpoint { discarded }) => {
+                // Legal only when no write survived intact enough to
+                // verify; every leftover file must carry a reason.
+                for (name, why) in &discarded {
+                    prop_assert!(!why.is_empty(), "{name}: empty discard reason");
+                }
+            }
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+        }
+    }
+}
+
+/// Deterministic spot check outside proptest: a specific brutal fault
+/// pattern (every write torn) must leave resume with the typed
+/// no-usable-checkpoint error, never a panic or a bogus outcome.
+#[test]
+fn all_writes_torn_is_a_typed_error() {
+    let (vms, pms) = fleet(10);
+    let (placement, policy) = queue_setup(&vms, &pms);
+    let cfg = config(50, 3, false, RngLayout::Shared, 1);
+    let sim = Simulator::new(&vms, &pms, &policy, cfg);
+
+    let mut store = FailingStore::new(MemStore::new(), 7, 255, 0, 0);
+    let run = sim.run_with_checkpoints(&placement, &knobs(10, 2), &mut store, &mut NoopRecorder);
+    assert_eq!(run.saves, 0, "every save must have failed");
+    assert!(!run.save_errors.is_empty());
+
+    let err = sim
+        .resume_with_checkpoints(&knobs(10, 2), store.inner_mut(), &mut NoopRecorder)
+        .unwrap_err();
+    match err {
+        CheckpointError::NoUsableCheckpoint { discarded } => {
+            assert!(!discarded.is_empty(), "torn files must be listed");
+        }
+        other => panic!("expected NoUsableCheckpoint, got {other}"),
+    }
+}

@@ -148,6 +148,138 @@ fn faulted_tight_pool_reconciles_journal_counters_and_recovery_stats() {
     assert!(t.initial_overload <= c(Counter::FailedMigrations));
 }
 
+/// Journal-side lifecycle replay (the conservation law re-proven from
+/// events alone, without trusting any counter): every retry entry's
+/// history — open, back off, re-enqueue at the due step, then land,
+/// abandon, cancel, or survive to the end of the run — must be fully
+/// reconstructible from the journal, with the exponential-backoff law
+/// `due = step + base·2^min(attempts, max_retries, 16)` holding on
+/// every enqueue and abandonment firing at exactly `max_retries`
+/// attempts.
+#[test]
+fn journal_replays_the_full_retry_lifecycle_per_vm() {
+    use std::collections::HashMap;
+
+    let cfg = SimConfig {
+        steps: 600,
+        seed: 11,
+        faults: Some(FaultConfig {
+            mtbf_steps: 80.0,
+            mttr_steps: 30.0,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let (_, rec) = run_recorded(cfg);
+    let base = cfg.retry_base_steps as u64;
+    let max_retries = cfg.max_retries as u32;
+
+    struct OpenEntry {
+        cause: RetryCause,
+        attempts: u32,
+        due: u64,
+    }
+    let mut open: HashMap<usize, OpenEntry> = HashMap::new();
+    let (mut opens, mut abandons) = (0u64, 0u64);
+    for e in rec.journal().iter() {
+        match *e {
+            Event::RetryEnqueued {
+                step,
+                vm,
+                cause,
+                attempts,
+                due_step,
+            } => {
+                let exp = attempts.min(max_retries).min(16);
+                assert_eq!(
+                    due_step,
+                    step + (base << exp),
+                    "backoff law broken for vm {vm} at step {step}"
+                );
+                match open.remove(&vm) {
+                    None => {
+                        assert_eq!(attempts, 0, "re-enqueue of vm {vm} without an open entry");
+                        opens += 1;
+                    }
+                    Some(prev) => {
+                        assert_eq!(attempts, prev.attempts + 1, "vm {vm} skipped an attempt");
+                        assert_eq!(cause, prev.cause, "vm {vm} switched cause mid-flight");
+                        assert_eq!(step, prev.due, "vm {vm} re-enqueued off its due step");
+                    }
+                }
+                open.insert(
+                    vm,
+                    OpenEntry {
+                        cause,
+                        attempts,
+                        due: due_step,
+                    },
+                );
+            }
+            Event::RetryAbandoned { step, vm, attempts } => {
+                let prev = open
+                    .remove(&vm)
+                    .unwrap_or_else(|| panic!("abandon of vm {vm} without an open entry"));
+                assert_eq!(
+                    prev.cause,
+                    RetryCause::Overload,
+                    "evacuations never abandon"
+                );
+                assert_eq!(attempts, prev.attempts + 1);
+                assert_eq!(attempts, max_retries, "abandoned before exhausting retries");
+                assert_eq!(step, prev.due, "abandoned off the due step");
+                abandons += 1;
+            }
+            Event::RetryCancelled { step, vm } => {
+                let prev = open
+                    .remove(&vm)
+                    .unwrap_or_else(|| panic!("cancel of vm {vm} without an open entry"));
+                assert_eq!(prev.cause, RetryCause::Overload, "evacuations never cancel");
+                // Due-time cancels fire at the due step; crash-time
+                // cancels (the evacuation path taking over) fire early.
+                assert!(step <= prev.due, "cancel after the due step");
+            }
+            Event::Migration {
+                step,
+                vm,
+                retried: true,
+                ..
+            } => {
+                let prev = open
+                    .remove(&vm)
+                    .unwrap_or_else(|| panic!("retried landing of vm {vm} without an entry"));
+                assert_eq!(prev.cause, RetryCause::Overload);
+                assert_eq!(step, prev.due, "retried landing off the due step");
+            }
+            // Closes an evacuation retry only when one is due now;
+            // crash-step placements never have an open entry.
+            Event::Evacuation {
+                step,
+                vm,
+                to: Some(_),
+                ..
+            } if open
+                .get(&vm)
+                .is_some_and(|p| p.cause == RetryCause::Evacuation && p.due == step) =>
+            {
+                open.remove(&vm);
+            }
+            _ => {}
+        }
+    }
+
+    // The fold's terminal states reconcile with the counters: entries
+    // opened, abandoned, and left open at the end of the run.
+    assert!(opens > 0, "scenario generated no retry traffic");
+    assert_eq!(opens, rec.counter(Counter::RetryEnqueued));
+    assert_eq!(abandons, rec.counter(Counter::RetryAbandoned));
+    assert_eq!(
+        open.len() as u64,
+        rec.counter(Counter::RetryResidualOverload) + rec.counter(Counter::RetryResidualEvacuation),
+        "journal-derived residue disagrees with the end-of-run flush"
+    );
+}
+
 #[test]
 fn fault_free_run_keeps_every_retry_counter_at_zero() {
     let cfg = SimConfig {
