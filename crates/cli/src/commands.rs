@@ -1,8 +1,9 @@
-//! The four subcommands.
+//! The subcommands behind the `bursty` binary.
 
 use crate::parse::Args;
 use crate::traces::{list_traces, read_trace};
 use crate::{err, CliError};
+use bursty_core::metrics::Log2Histogram;
 use bursty_core::placement::rounding::{round_with_policy, RoundingPolicy};
 use bursty_core::prelude::*;
 use bursty_core::workload::analysis;
@@ -549,6 +550,226 @@ pub fn trace_report(args: &[String], out: &mut dyn Write) -> Result<(), CliError
     Ok(())
 }
 
+/// A tiny deterministic LCG (Knuth MMIX constants) so the replay driver
+/// needs no RNG dependency; quality only has to be good enough to spread
+/// churn across the fleet.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_mod(&mut self, m: usize) -> usize {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (self.0 >> 33) as usize % m.max(1)
+    }
+}
+
+/// `bursty online-replay --vms N [--pms M] [--ops K] [--batch-every B]
+/// [--batch-size S] [--recal-every R] [--epsilon E] [--pattern ..]
+/// [--d D] [--seed S] [--p-on P] [--p-off P] [--rho R] [--trace-out FILE]`
+///
+/// Warms an [`OnlineCluster`] to an `N`-VM Table-I fleet, then replays a
+/// seeded churn program: alternating single departures and arrivals, a
+/// class-heavy batch arrival every `--batch-every` ops, a recalibration
+/// every `--recal-every` ops. Reports sustained throughput and per-op
+/// p50/p99 latency.
+///
+/// `--trace-out <file>` attaches a [`MemoryRecorder`] and writes the
+/// journal — [`Event::Admission`], [`Event::OnlineDeparture`] and
+/// [`Event::Recalibration`] with the op index as `step` — plus the
+/// per-op latency histograms, as JSONL digestible by `trace-report`.
+pub fn online_replay(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(args)?;
+    let n = args.require_usize("vms")?;
+    if n == 0 {
+        return Err(err("--vms must be at least 1"));
+    }
+    let m = args.get_usize("pms")?.unwrap_or(n);
+    let ops = args.get_usize("ops")?.unwrap_or(1024);
+    let batch_every = args.get_usize("batch-every")?.unwrap_or(64);
+    let batch_size = args.get_usize("batch-size")?.unwrap_or(32);
+    let recal_every = args.get_usize("recal-every")?.unwrap_or(256);
+    let epsilon = args.get_f64("epsilon")?.unwrap_or(0.0);
+    let d = args.get_usize("d")?.unwrap_or(16);
+    if d == 0 {
+        return Err(err("--d must be at least 1"));
+    }
+    let seed = args.get_usize("seed")?.unwrap_or(42) as u64;
+    let (p_on, p_off, rho) = probabilities(&args)?;
+    let pattern = match args.get_str("pattern") {
+        None | Some("equal") => WorkloadPattern::EqualSpike,
+        Some("small") => WorkloadPattern::SmallSpike,
+        Some("large") => WorkloadPattern::LargeSpike,
+        Some(other) => {
+            return Err(err(format!(
+                "unknown --pattern '{other}' (expected 'equal', 'small' or 'large')"
+            )))
+        }
+    };
+    let trace_out = args.get_str("trace-out");
+
+    let mut gen = FleetGenerator::new(seed);
+    let initial = gen.vms_table_i(n, pattern);
+    let pms = gen.pms(m);
+    let rows: Vec<(f64, f64)> = TABLE_I
+        .iter()
+        .filter(|r| r.pattern == pattern)
+        .map(|r| (r.r_b.resource_units(), r.r_e.resource_units()))
+        .collect();
+    let mut cluster =
+        OnlineCluster::new(pms, d, p_on, p_off, rho).with_recalibration_epsilon(epsilon);
+    let mut rec = trace_out.map(|_| MemoryRecorder::new(65_536));
+
+    cluster.arrive_batch(initial).map_err(|e| {
+        err(format!(
+            "initial fleet does not fit (VM {}) — add PMs",
+            e.vm_id
+        ))
+    })?;
+
+    // Seeded churn: membership and specs derive only from the RNG, so a
+    // replay with the same flags reproduces the trace byte for byte.
+    let mut rng = Lcg(seed ^ 0x5851_f42d_4c95_7f2d);
+    let mut live: Vec<usize> = (0..n).collect();
+    let mut next_id = n;
+    let mut admit_hist = Log2Histogram::new(Log2Histogram::MAX_BUCKETS);
+    let mut depart_hist = Log2Histogram::new(Log2Histogram::MAX_BUCKETS);
+    let mut recals = 0usize;
+    let mut rebuilds = 0usize;
+    let mut admissions = 0usize;
+    let mut departures = 0usize;
+    let start = std::time::Instant::now();
+    for step in 0..ops as u64 {
+        let t = step as usize;
+        if recal_every > 0 && t % recal_every == recal_every - 1 {
+            let skipped_before = rec
+                .as_ref()
+                .map_or(0, |r| r.counter(Counter::OnlineRecalibrationsSkipped));
+            let started = std::time::Instant::now();
+            let pair = match rec.as_mut() {
+                Some(r) => cluster.recalibrate_recorded(r),
+                None => cluster.recalibrate(),
+            };
+            let nanos = started.elapsed().as_nanos() as u64;
+            recals += 1;
+            if let (Some((p_on, p_off)), Some(r)) = (pair, rec.as_mut()) {
+                let rebuilt = r.counter(Counter::OnlineRecalibrationsSkipped) == skipped_before;
+                rebuilds += usize::from(rebuilt);
+                r.record_value(HistId::OnlineRecalibrateNanos, nanos);
+                r.record_event(Event::Recalibration {
+                    step,
+                    p_on,
+                    p_off,
+                    rebuilt,
+                });
+            }
+        } else if batch_every > 0 && t % batch_every == batch_every - 1 {
+            let batch: Vec<VmSpec> = (0..batch_size)
+                .map(|_| {
+                    let (r_b, r_e) = rows[rng.next_mod(rows.len())];
+                    let vm = VmSpec::new(next_id, p_on, p_off, r_b, r_e);
+                    next_id += 1;
+                    vm
+                })
+                .collect();
+            live.extend(batch.iter().map(|vm| vm.id));
+            let started = std::time::Instant::now();
+            let placed = match rec.as_mut() {
+                Some(r) => cluster.arrive_batch_recorded(batch, r),
+                None => cluster.arrive_batch(batch),
+            }
+            .map_err(|e| err(format!("batch arrival rejected (VM {})", e.vm_id)))?;
+            let nanos = started.elapsed().as_nanos() / placed.len().max(1) as u128;
+            admissions += placed.len();
+            for &(vm, pm) in &placed {
+                admit_hist.record(nanos as u64);
+                if let Some(r) = rec.as_mut() {
+                    r.record_value(HistId::OnlineAdmitNanos, nanos as u64);
+                    r.record_event(Event::Admission {
+                        step,
+                        vm,
+                        pm,
+                        degraded: false,
+                    });
+                }
+            }
+        } else if t.is_multiple_of(2) && !live.is_empty() {
+            let vm = live.swap_remove(rng.next_mod(live.len()));
+            let started = std::time::Instant::now();
+            let pm = match rec.as_mut() {
+                Some(r) => cluster.depart_recorded(vm, r),
+                None => cluster.depart(vm),
+            }
+            .expect("live VM must be in the cluster");
+            let nanos = started.elapsed().as_nanos() as u64;
+            departures += 1;
+            depart_hist.record(nanos);
+            if let Some(r) = rec.as_mut() {
+                r.record_value(HistId::OnlineDepartNanos, nanos);
+                r.record_event(Event::OnlineDeparture { step, vm, pm });
+            }
+        } else {
+            let (r_b, r_e) = rows[rng.next_mod(rows.len())];
+            let vm = VmSpec::new(next_id, p_on, p_off, r_b, r_e);
+            let vm_id = vm.id;
+            next_id += 1;
+            live.push(vm_id);
+            let started = std::time::Instant::now();
+            let pm = match rec.as_mut() {
+                Some(r) => cluster.arrive_recorded(vm, r),
+                None => cluster.arrive(vm),
+            }
+            .map_err(|e| err(format!("arrival rejected (VM {})", e.vm_id)))?;
+            let nanos = started.elapsed().as_nanos() as u64;
+            admissions += 1;
+            admit_hist.record(nanos);
+            if let Some(r) = rec.as_mut() {
+                r.record_value(HistId::OnlineAdmitNanos, nanos);
+                r.record_event(Event::Admission {
+                    step,
+                    vm: vm_id,
+                    pm,
+                    degraded: false,
+                });
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    cluster
+        .check_consistency()
+        .map_err(|e| err(format!("post-replay consistency check failed: {e}")))?;
+    let total = admissions + departures + recals;
+    writeln!(
+        out,
+        "replayed {total} ops ({admissions} admissions, {departures} departures, \
+         {recals} recalibrations, {rebuilds} rebuilds) in {:.1} ms — {:.0} ops/s",
+        elapsed * 1e3,
+        total as f64 / elapsed,
+    )?;
+    writeln!(
+        out,
+        "population {} VMs on {} of {m} PMs; admit p50/p99 {}/{} ns, depart p50/p99 {}/{} ns",
+        cluster.n_vms(),
+        cluster.pms_used(),
+        admit_hist.quantile(0.5).unwrap_or(0),
+        admit_hist.quantile(0.99).unwrap_or(0),
+        depart_hist.quantile(0.5).unwrap_or(0),
+        depart_hist.quantile(0.99).unwrap_or(0),
+    )?;
+    if let (Some(path), Some(r)) = (trace_out, rec.as_ref()) {
+        std::fs::write(path, r.to_jsonl()).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        writeln!(
+            out,
+            "trace written to {path} ({} journal events, {} dropped)",
+            r.journal().len(),
+            r.journal().dropped(),
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,6 +832,35 @@ mod tests {
                 .to_string()
         };
         assert_eq!(used(&forced), used(&per_vm));
+    }
+
+    #[test]
+    fn online_replay_reports_sustained_churn() {
+        let s = run_cmd(
+            online_replay,
+            &[
+                "--vms",
+                "400",
+                "--ops",
+                "200",
+                "--batch-every",
+                "32",
+                "--recal-every",
+                "64",
+            ],
+        )
+        .unwrap();
+        assert!(s.contains("replayed"), "{s}");
+        assert!(s.contains("recalibrations"), "{s}");
+        assert!(s.contains("admit p50/p99"), "{s}");
+    }
+
+    #[test]
+    fn online_replay_rejects_bad_args() {
+        assert!(run_cmd(online_replay, &[]).is_err());
+        assert!(run_cmd(online_replay, &["--vms", "0"]).is_err());
+        assert!(run_cmd(online_replay, &["--vms", "10", "--d", "0"]).is_err());
+        assert!(run_cmd(online_replay, &["--vms", "10", "--pattern", "wavy"]).is_err());
     }
 
     #[test]

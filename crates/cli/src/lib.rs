@@ -10,6 +10,7 @@
 //! bursty fit     <trace.csv>
 //! bursty plan    --traces <dir> --capacity <C> [--pms N] [--rho ..] [--out plan.csv]
 //! bursty consolidate --vms <N> [--batch | --no-batch]
+//! bursty online-replay --vms <N> [--ops K] [--trace-out FILE]
 //! ```
 
 pub mod commands;
@@ -57,6 +58,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "plan" => commands::plan(rest, out),
         "consolidate" => commands::consolidate(rest, out),
         "simulate" => commands::simulate(rest, out),
+        "online-replay" => commands::online_replay(rest, out),
         "trace-report" => commands::trace_report(rest, out),
         "--help" | "-h" | "help" => {
             writeln!(out, "{USAGE}")?;
@@ -112,6 +114,16 @@ USAGE:
       restarts an interrupted run from the newest verifying snapshot
       and finishes bit-identical to a run that never stopped (the
       printed digest line is the proof)
+  bursty online-replay --vms <N> [--pms M] [--ops K] [--batch-every B]
+                  [--batch-size S] [--recal-every R] [--epsilon E]
+                  [--pattern equal|small|large] [--d D] [--seed S]
+                  [--p-on P] [--p-off P] [--rho R] [--trace-out FILE]
+      warm the fleet-scale online admission engine to an N-VM Table-I
+      fleet, then replay K seeded churn ops (single arrivals and
+      departures, a class-heavy batch every B ops, a recalibration
+      every R ops with epsilon-skip) and report sustained throughput
+      plus p50/p99 per-op latency; --trace-out dumps the admission/
+      departure/recalibration journal and latency histograms as JSONL
   bursty trace-report <trace.jsonl>
       summarize a --trace-out dump: counters, gauges, events by type,
       the per-PM violation leaderboard and CVR-series coverage";

@@ -394,3 +394,43 @@ fn simulate_accepts_availability_budget() {
     ]));
     assert!(out.contains("budget 0.01"), "{out}");
 }
+
+#[test]
+fn online_replay_trace_round_trips_through_trace_report() {
+    let dir = scratch("online-replay");
+    let trace = dir.join("churn.jsonl");
+    let out = run_ok(&args(&[
+        "online-replay",
+        "--vms",
+        "600",
+        "--ops",
+        "400",
+        "--batch-every",
+        "50",
+        "--recal-every",
+        "128",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]));
+    assert!(out.contains("replayed"), "{out}");
+    assert!(out.contains("trace written"), "{out}");
+
+    let body = fs::read_to_string(&trace).unwrap();
+    assert!(
+        body.contains("\"type\":\"admission\""),
+        "missing admissions"
+    );
+    assert!(
+        body.contains("\"type\":\"online_departure\""),
+        "missing departures"
+    );
+    assert!(
+        body.contains("\"type\":\"recalibration\""),
+        "missing recalibrations"
+    );
+    assert!(body.contains("online_admit_nanos"), "missing latency hist");
+
+    let report = run_ok(&args(&["trace-report", trace.to_str().unwrap()]));
+    assert!(report.contains("admission"), "{report}");
+    assert!(report.contains("online_departure"), "{report}");
+}

@@ -71,8 +71,9 @@ pub mod prelude {
         NoopRecorder, Recorder, TraceReport,
     };
     pub use bursty_placement::{
-        first_fit, first_fit_batch, BaseStrategy, MappingTable, PeakStrategy, Placement,
-        PlacementState, PmLoad, QueueStrategy, ReserveStrategy, Strategy,
+        first_fit, first_fit_batch, BaseStrategy, MappingTable, OnlineCluster, PeakStrategy,
+        Placement, PlacementState, PmLoad, QueueStrategy, ReferenceOnlineCluster, ReserveStrategy,
+        Strategy,
     };
     pub use bursty_sim::{
         detect_stabilization, replicate, run_churn, CheckpointConfig, CheckpointError,

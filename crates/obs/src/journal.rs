@@ -102,6 +102,17 @@ pub enum Event {
         pms_used: usize,
         violations: usize,
     },
+    /// A VM left the online cluster (`step` is the driver's op index).
+    OnlineDeparture { step: u64, vm: usize, pm: usize },
+    /// An online recalibration re-rounded the switch probabilities;
+    /// `rebuilt` is false when the pair moved less than ε and the cached
+    /// mapping table was kept.
+    Recalibration {
+        step: u64,
+        p_on: f64,
+        p_off: f64,
+        rebuilt: bool,
+    },
 }
 
 impl Event {
@@ -119,7 +130,9 @@ impl Event {
             | Event::RetryCancelled { step, .. }
             | Event::Admission { step, .. }
             | Event::CvrSample { step, .. }
-            | Event::Step { step, .. } => step,
+            | Event::Step { step, .. }
+            | Event::OnlineDeparture { step, .. }
+            | Event::Recalibration { step, .. } => step,
         }
     }
 
@@ -131,13 +144,15 @@ impl Event {
             | Event::Crash { pm, .. }
             | Event::Recovery { pm, .. }
             | Event::Admission { pm, .. }
-            | Event::CvrSample { pm, .. } => Some(pm),
+            | Event::CvrSample { pm, .. }
+            | Event::OnlineDeparture { pm, .. } => Some(pm),
             Event::Migration { to, .. } => Some(to),
             Event::Evacuation { to, .. } => to,
             Event::RetryEnqueued { .. }
             | Event::RetryAbandoned { .. }
             | Event::RetryCancelled { .. }
-            | Event::Step { .. } => None,
+            | Event::Step { .. }
+            | Event::Recalibration { .. } => None,
         }
     }
 
@@ -156,6 +171,8 @@ impl Event {
             Event::Admission { .. } => "admission",
             Event::CvrSample { .. } => "cvr_sample",
             Event::Step { .. } => "step",
+            Event::OnlineDeparture { .. } => "online_departure",
+            Event::Recalibration { .. } => "recalibration",
         }
     }
 
@@ -262,6 +279,19 @@ impl Event {
             } => format!(
                 "{{\"type\":\"step\",\"step\":{},\"pms_used\":{},\"violations\":{}}}\n",
                 step, pms_used, violations
+            ),
+            Event::OnlineDeparture { step, vm, pm } => format!(
+                "{{\"type\":\"online_departure\",\"step\":{},\"vm\":{},\"pm\":{}}}\n",
+                step, vm, pm
+            ),
+            Event::Recalibration {
+                step,
+                p_on,
+                p_off,
+                rebuilt,
+            } => format!(
+                "{{\"type\":\"recalibration\",\"step\":{},\"p_on\":{},\"p_off\":{},\"rebuilt\":{}}}\n",
+                step, p_on, p_off, rebuilt
             ),
         }
     }
@@ -402,6 +432,24 @@ impl Event {
                 put_usize(buf, pms_used);
                 put_usize(buf, violations);
             }
+            Event::OnlineDeparture { step, vm, pm } => {
+                put_u8(buf, 12);
+                put_u64(buf, step);
+                put_usize(buf, vm);
+                put_usize(buf, pm);
+            }
+            Event::Recalibration {
+                step,
+                p_on,
+                p_off,
+                rebuilt,
+            } => {
+                put_u8(buf, 13);
+                put_u64(buf, step);
+                put_f64(buf, p_on);
+                put_f64(buf, p_off);
+                put_bool(buf, rebuilt);
+            }
         }
     }
 
@@ -482,6 +530,17 @@ impl Event {
                 step: c.u64()?,
                 pms_used: c.usize()?,
                 violations: c.usize()?,
+            },
+            12 => Event::OnlineDeparture {
+                step: c.u64()?,
+                vm: c.usize()?,
+                pm: c.usize()?,
+            },
+            13 => Event::Recalibration {
+                step: c.u64()?,
+                p_on: c.f64()?,
+                p_off: c.f64()?,
+                rebuilt: c.boolean()?,
             },
             t => return Err(FrameError::Decode(format!("unknown event tag {t}"))),
         })

@@ -76,10 +76,19 @@ pub enum Counter {
     OnlineDepartures,
     /// Online recalibration passes.
     OnlineRecalibrations,
+    /// Surviving entries visited while rebuilding a PM's load after a
+    /// departure (bounded by the per-PM co-location cap `d`, never the
+    /// fleet size).
+    DepartRebuildVisits,
+    /// Online batch-arrival calls.
+    OnlineBatches,
+    /// Recalibrations whose rounded pair moved less than ε, so the cached
+    /// mapping table was kept and no index rebuild happened.
+    OnlineRecalibrationsSkipped,
 }
 
 impl Counter {
-    pub const COUNT: usize = 29;
+    pub const COUNT: usize = 32;
 
     /// Stable snake_case name used in the JSONL meta record.
     pub fn name(self) -> &'static str {
@@ -113,6 +122,9 @@ impl Counter {
             Counter::OnlineArrivals => "online_arrivals",
             Counter::OnlineDepartures => "online_departures",
             Counter::OnlineRecalibrations => "online_recalibrations",
+            Counter::DepartRebuildVisits => "depart_rebuild_visits",
+            Counter::OnlineBatches => "online_batches",
+            Counter::OnlineRecalibrationsSkipped => "online_recalibrations_skipped",
         }
     }
 
@@ -148,6 +160,9 @@ impl Counter {
             Counter::OnlineArrivals,
             Counter::OnlineDepartures,
             Counter::OnlineRecalibrations,
+            Counter::DepartRebuildVisits,
+            Counter::OnlineBatches,
+            Counter::OnlineRecalibrationsSkipped,
         ]
     }
 }
@@ -198,16 +213,26 @@ pub enum HistId {
     EvacuationBatchSize,
     /// Violating-PM count per step with at least one violation.
     ViolationsPerStep,
+    /// Per-arrival admission latency in nanoseconds (recorded by the
+    /// churn drivers, not the library — the engines stay clock-free).
+    OnlineAdmitNanos,
+    /// Per-departure latency in nanoseconds.
+    OnlineDepartNanos,
+    /// Per-recalibration latency in nanoseconds.
+    OnlineRecalibrateNanos,
 }
 
 impl HistId {
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 6;
 
     pub fn name(self) -> &'static str {
         match self {
             HistId::RetryBackoffSteps => "retry_backoff_steps",
             HistId::EvacuationBatchSize => "evacuation_batch_size",
             HistId::ViolationsPerStep => "violations_per_step",
+            HistId::OnlineAdmitNanos => "online_admit_nanos",
+            HistId::OnlineDepartNanos => "online_depart_nanos",
+            HistId::OnlineRecalibrateNanos => "online_recalibrate_nanos",
         }
     }
 
@@ -216,6 +241,9 @@ impl HistId {
             HistId::RetryBackoffSteps,
             HistId::EvacuationBatchSize,
             HistId::ViolationsPerStep,
+            HistId::OnlineAdmitNanos,
+            HistId::OnlineDepartNanos,
+            HistId::OnlineRecalibrateNanos,
         ]
     }
 }
@@ -666,7 +694,7 @@ mod tests {
 
     #[test]
     fn noop_is_disabled_and_inert() {
-        assert!(!NoopRecorder::ENABLED);
+        const { assert!(!NoopRecorder::ENABLED) };
         let mut r = NoopRecorder;
         r.counter_inc(Counter::Steps);
         r.gauge_set(Gauge::EnergyJoules, 1.0);

@@ -275,7 +275,7 @@ impl Default for PlacementState {
 /// bracket in two probes instead of `O(log admitted)`. The hint only
 /// steers *where* the monotone predicate is probed — the bracket it
 /// converges to, and hence the placement, is identical for every hint.
-fn admit_run<S: Strategy + ?Sized>(
+pub(crate) fn admit_run<S: Strategy + ?Sized>(
     load: PmLoad,
     vm: &VmSpec,
     capacity: f64,
@@ -368,7 +368,7 @@ fn admit_run<S: Strategy + ?Sized>(
 /// `admit_run(PmLoad::empty(), ..)`. A run over a farm of empty PMs folds
 /// each copy count once into the chain (amortised `O(max copies per PM)`
 /// adds per class) instead of once per PM.
-fn admit_run_empty<S: Strategy + ?Sized>(
+pub(crate) fn admit_run_empty<S: Strategy + ?Sized>(
     chain: &mut Vec<PmLoad>,
     vm: &VmSpec,
     capacity: f64,
@@ -454,20 +454,20 @@ fn admit_run_empty<S: Strategy + ?Sized>(
 /// cache-resident table. Production fleets have tens of instance types; a
 /// fleet with more distinct classes than this gains little from
 /// collapsing anyway.
-const MAX_TRACKED_CLASSES: usize = 96;
+pub(crate) const MAX_TRACKED_CLASSES: usize = 96;
 
 /// A fleet collapsed to its distinct classes: one representative spec per
 /// class (the first occurrence), per-class multiplicities, and the per-VM
 /// class id — everything the fast path needs, gathered in one linear pass.
-struct ClassTable {
-    reps: Vec<VmSpec>,
-    counts: Vec<u32>,
-    kid: Vec<u32>,
+pub(crate) struct ClassTable {
+    pub(crate) reps: Vec<VmSpec>,
+    pub(crate) counts: Vec<u32>,
+    pub(crate) kid: Vec<u32>,
 }
 
 /// Collapses `vms` into a [`ClassTable`], or `None` once more than
 /// [`MAX_TRACKED_CLASSES`] distinct classes appear.
-fn collapse_classes(vms: &[VmSpec]) -> Option<ClassTable> {
+pub(crate) fn collapse_classes(vms: &[VmSpec]) -> Option<ClassTable> {
     // Cached class keys so the per-VM scan compares plain `u64` words
     // instead of re-deriving each tracked class's key every probe.
     let mut keys: Vec<[u64; 4]> = Vec::new();
@@ -500,7 +500,7 @@ fn collapse_classes(vms: &[VmSpec]) -> Option<ClassTable> {
 /// members by original index across class boundaries, which per-class
 /// fill segments cannot express, so the caller falls back to the
 /// strategy's own sort.
-fn class_schedule(keys: &[(u32, f64)]) -> Option<Vec<u32>> {
+pub(crate) fn class_schedule(keys: &[(u32, f64)]) -> Option<Vec<u32>> {
     let mut by_key: Vec<u32> = (0..keys.len() as u32).collect();
     by_key.sort_by(|&a, &b| {
         let (band_a, key_a) = keys[a as usize];
@@ -518,7 +518,7 @@ fn class_schedule(keys: &[(u32, f64)]) -> Option<Vec<u32>> {
 /// The id of the `nth` (0-based) member of class `cid` in original fleet
 /// order — error-path only, so the linear rescan is fine.
 #[cold]
-fn nth_member_id(vms: &[VmSpec], kid: &[u32], cid: u32, nth: usize) -> usize {
+pub(crate) fn nth_member_id(vms: &[VmSpec], kid: &[u32], cid: u32, nth: usize) -> usize {
     let mut seen = 0usize;
     for (i, &k) in kid.iter().enumerate() {
         if k == cid {

@@ -48,6 +48,17 @@ impl PmLoad {
         next
     }
 
+    /// Adds `c` copies of `vm` by the *exact* incremental fold — `c`
+    /// repeated [`PmLoad::add`] calls, bit-identical to placing the copies
+    /// one at a time (unlike the closed-form [`PmLoad::with_copies`],
+    /// which may differ by ulps). The online engines use this to rebuild a
+    /// PM's load from its class-count cells in a canonical order.
+    pub fn add_copies(&mut self, vm: &VmSpec, c: usize) {
+        for _ in 0..c {
+            self.add(vm);
+        }
+    }
+
     /// Closed-form load after adding `c` copies of `vm` in `O(1)` — the
     /// probe the batch packer's binary search uses. The sums are computed
     /// as `Σ + c · x` rather than by `c` repeated additions, so they can

@@ -1,14 +1,36 @@
 //! Online consolidation (paper §IV-E): single arrivals, exits, batch
 //! arrivals, and rounding of heterogeneous switch probabilities.
+//!
+//! Two engines implement the same contract:
+//!
+//! * [`OnlineCluster`] — the fleet-scale engine. Per-PM state is a set of
+//!   *class-count cells* keyed by the cached `[u64; 4]` class bit pattern,
+//!   so a departure is a counter decrement plus a canonical `O(d)` rebuild
+//!   and one `O(log m)` index refresh — never a population scan. Batch
+//!   arrivals route through the class-collapsed closed-form packer of
+//!   [`crate::batch`], and recalibration aggregates per class (`O(k)` in
+//!   distinct classes, independent of the fleet size) with an ε-gate that
+//!   keeps the cached mapping table when the rounded pair barely moves.
+//! * [`ReferenceOnlineCluster`] — the direct per-VM implementation kept as
+//!   the differential oracle. Its only structural concession is a per-PM
+//!   member list so a departure rebuilds from the `≤ d` co-located VMs
+//!   instead of scanning the whole host map.
+//!
+//! Both engines rebuild departed-from PMs through the same canonical
+//! class-ordered exact fold and round probabilities through the same
+//! class-aggregated sum, so their loads, headrooms and placements are
+//! **bit-identical** under arbitrary interleaved churn — pinned by the
+//! differential property test at the bottom of this file.
 
+use crate::batch::{admit_run, admit_run_empty, class_schedule, collapse_classes, ClassTable};
 use crate::clustering::{cluster_order, default_buckets};
 use crate::index::HeadroomIndex;
 use crate::load::PmLoad;
-use crate::pack::{probe_first_fit_recorded, PackError};
+use crate::pack::{probe_first_fit_recorded, PackError, PRUNE_SLACK};
 use crate::strategy::{QueueStrategy, Strategy};
 use bursty_obs::{Counter, NoopRecorder, Recorder};
-use bursty_workload::{PmSpec, VmSpec};
-use std::collections::HashMap;
+use bursty_workload::{PmSpec, VmClass, VmSpec};
+use std::collections::{HashMap, HashSet};
 
 /// Rounds heterogeneous per-VM switch probabilities to the uniform values
 /// the queuing model needs — the paper's prescription when `p_on`/`p_off`
@@ -25,26 +47,67 @@ pub fn round_probabilities(vms: &[VmSpec]) -> Option<(f64, f64)> {
     Some((p_on, p_off))
 }
 
-/// A live consolidated cluster supporting the online operations of §IV-E:
+/// One per-PM class cell: the class's cached bit key, a representative
+/// spec, and the number of hosted copies.
+type ClassCell = ([u64; 4], VmSpec, u32);
+
+/// Canonical exact rebuild of a PM load from class cells: sort by class
+/// bit key, then fold each class with repeated exact adds
+/// ([`PmLoad::add_copies`]). Both engines rebuild departed-from PMs
+/// through this function, so their loads stay bit-identical even though
+/// they store the population differently.
+fn fold_cells(cells: &mut [ClassCell]) -> PmLoad {
+    cells.sort_unstable_by_key(|c| c.0);
+    let mut load = PmLoad::empty();
+    for cell in cells.iter() {
+        load.add_copies(&cell.1, cell.2 as usize);
+    }
+    load
+}
+
+/// Class-aggregated probability rounding: the same arithmetic mean as
+/// [`round_probabilities`], computed as `Σ count·p / n` over class cells
+/// in canonical (bit key) order. `O(k)` in distinct classes — independent
+/// of the fleet size — and deterministic regardless of the order callers
+/// accumulated the cells in.
+fn round_classed(classes: &mut [([u64; 4], f64, f64, u64)]) -> Option<(f64, f64)> {
+    let n: u64 = classes.iter().map(|c| c.3).sum();
+    if n == 0 {
+        return None;
+    }
+    classes.sort_unstable_by_key(|c| c.0);
+    let (mut sum_on, mut sum_off) = (0.0, 0.0);
+    for &(_, p_on, p_off, count) in classes.iter() {
+        sum_on += count as f64 * p_on;
+        sum_off += count as f64 * p_off;
+    }
+    Some((sum_on / n as f64, sum_off / n as f64))
+}
+
+/// The direct per-VM online engine, retained as the differential oracle
+/// for [`OnlineCluster`]. Semantics per §IV-E:
 ///
-/// * **arrival** — place one new VM on the first PM satisfying Eq. 17
-///   (the queue size updates implicitly because feasibility is evaluated
-///   against the new hosted set);
-/// * **departure** — remove a VM and recompute the PM's load;
+/// * **arrival** — place one new VM on the first PM satisfying Eq. 17;
+/// * **departure** — remove a VM and recompute the PM's load (from the
+///   PM's own member list, not a fleet scan);
 /// * **batch arrival** — cluster/sort the batch exactly as Algorithm 2
 ///   does, then First Fit each member;
 /// * **recalibrate** — re-round `p_on`/`p_off` over the current population
-///   and rebuild the mapping table.
+///   and rebuild the mapping table unless the pair moved less than ε.
 #[derive(Debug)]
-pub struct OnlineCluster {
+pub struct ReferenceOnlineCluster {
     pms: Vec<PmSpec>,
     strategy: QueueStrategy,
     rho: f64,
     d: usize,
+    epsilon: f64,
     /// Current VM population, keyed by VM id.
     vms: HashMap<usize, VmSpec>,
     /// Host PM index per VM id.
     hosts: HashMap<usize, usize>,
+    /// Per-PM member lists (VM ids, unordered) so a departure rebuilds
+    /// from the `≤ d` co-located VMs instead of scanning `hosts`.
+    members: Vec<Vec<usize>>,
     /// Cached per-PM loads, kept consistent with `hosts`.
     loads: Vec<PmLoad>,
     /// Segment tree over per-PM headroom under the current strategy; kept
@@ -52,7 +115,7 @@ pub struct OnlineCluster {
     index: HeadroomIndex,
 }
 
-impl OnlineCluster {
+impl ReferenceOnlineCluster {
     /// Creates an empty cluster over `pms` with the queue strategy built
     /// from `(d, p_on, p_off, rho)`.
     pub fn new(pms: Vec<PmSpec>, d: usize, p_on: f64, p_off: f64, rho: f64) -> Self {
@@ -63,16 +126,28 @@ impl OnlineCluster {
             .map(|pm| strategy.headroom(&PmLoad::empty(), pm.capacity))
             .collect();
         let index = HeadroomIndex::new(&headrooms);
+        let members = vec![Vec::new(); pms.len()];
         Self {
             pms,
             strategy,
             rho,
             d,
+            epsilon: 0.0,
             vms: HashMap::new(),
             hosts: HashMap::new(),
+            members,
             loads,
             index,
         }
+    }
+
+    /// Sets the recalibration ε: when a re-rounded `(p_on, p_off)` pair
+    /// moves no more than ε per component, the cached mapping table is
+    /// kept and no index rebuild happens.
+    #[must_use]
+    pub fn with_recalibration_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
     }
 
     /// Repairs the index entry of PM `j` after its load changed.
@@ -81,8 +156,8 @@ impl OnlineCluster {
         self.index.update(j, h);
     }
 
-    /// Rebuilds the whole index — needed when the *strategy* changes, which
-    /// moves every PM's headroom at once.
+    /// Rebuilds the whole index — needed when the *strategy* changes,
+    /// which moves every PM's headroom at once.
     fn refresh_index(&mut self) {
         for j in 0..self.pms.len() {
             self.refresh_pm(j);
@@ -114,9 +189,7 @@ impl OnlineCluster {
         &self.strategy
     }
 
-    /// Places a single newly-arrived VM on the first feasible PM (§IV-E:
-    /// "when a new VM arrives, we place it on the first PM that satisfies
-    /// the constraint in Equation (17)").
+    /// Places a single newly-arrived VM on the first feasible PM.
     ///
     /// # Errors
     /// [`PackError`] if no PM admits the VM.
@@ -158,6 +231,7 @@ impl OnlineCluster {
                 self.loads[j].add(&vm);
                 self.refresh_pm(j);
                 self.hosts.insert(vm.id, j);
+                self.members[j].push(vm.id);
                 self.vms.insert(vm.id, vm);
                 rec.counter_inc(Counter::OnlineArrivals);
                 Ok(j)
@@ -173,17 +247,35 @@ impl OnlineCluster {
     }
 
     /// [`depart`](Self::depart) with instrumentation: one
-    /// [`Counter::OnlineDepartures`] when the VM was present.
+    /// [`Counter::OnlineDepartures`] when the VM was present, plus the
+    /// survivor count under [`Counter::DepartRebuildVisits`] — bounded by
+    /// `d`, never the fleet size.
     pub fn depart_recorded<R: Recorder>(&mut self, vm_id: usize, rec: &mut R) -> Option<usize> {
         let host = self.hosts.remove(&vm_id)?;
         rec.counter_inc(Counter::OnlineDepartures);
         self.vms.remove(&vm_id);
-        self.loads[host] = PmLoad::rebuild(
-            self.hosts
-                .iter()
-                .filter(|&(_, &j)| j == host)
-                .map(|(id, _)| &self.vms[id]),
+        let list = &mut self.members[host];
+        let pos = list
+            .iter()
+            .position(|&id| id == vm_id)
+            .expect("departing VM must be on its host's member list");
+        list.swap_remove(pos);
+        rec.counter_add(
+            Counter::DepartRebuildVisits,
+            self.members[host].len() as u64,
         );
+        // Canonical rebuild: collapse the survivors into class cells and
+        // fold in class-key order, matching the fast engine bit for bit.
+        let mut cells: Vec<ClassCell> = Vec::new();
+        for &id in &self.members[host] {
+            let v = self.vms[&id];
+            let key = VmClass::of(&v).key();
+            match cells.iter_mut().find(|c| c.0 == key) {
+                Some(cell) => cell.2 += 1,
+                None => cells.push((key, v, 1)),
+            }
+        }
+        self.loads[host] = fold_cells(&mut cells);
         self.refresh_pm(host);
         Some(host)
     }
@@ -195,30 +287,40 @@ impl OnlineCluster {
     /// # Errors
     /// [`PackError`] at the first unplaceable VM. VMs placed before the
     /// failure stay placed (the online system cannot un-arrive them).
+    ///
+    /// # Panics
+    /// Panics if any batch member's id is already present, or appears
+    /// twice in the batch.
     pub fn arrive_batch(&mut self, batch: Vec<VmSpec>) -> Result<Vec<(usize, usize)>, PackError> {
         self.arrive_batch_recorded(batch, &mut NoopRecorder)
     }
 
-    /// [`arrive_batch`](Self::arrive_batch) with instrumentation: probe
-    /// counts plus one [`Counter::OnlineArrivals`] per placed member
-    /// (members placed before a mid-batch failure stay counted — they stay
-    /// placed).
+    /// [`arrive_batch`](Self::arrive_batch) with instrumentation: one
+    /// [`Counter::OnlineBatches`], probe counts, plus one
+    /// [`Counter::OnlineArrivals`] per placed member (members placed
+    /// before a mid-batch failure stay counted — they stay placed).
     ///
     /// # Errors
     /// [`PackError`] at the first unplaceable VM. VMs placed before the
     /// failure stay placed (the online system cannot un-arrive them).
+    ///
+    /// # Panics
+    /// Panics if any batch member's id is already present, or appears
+    /// twice in the batch.
     pub fn arrive_batch_recorded<R: Recorder>(
         &mut self,
         batch: Vec<VmSpec>,
         rec: &mut R,
     ) -> Result<Vec<(usize, usize)>, PackError> {
+        let mut seen = HashSet::with_capacity(batch.len());
         for vm in &batch {
             assert!(
-                !self.vms.contains_key(&vm.id),
+                !self.vms.contains_key(&vm.id) && seen.insert(vm.id),
                 "VM id {} already in the cluster",
                 vm.id
             );
         }
+        rec.counter_inc(Counter::OnlineBatches);
         let order = cluster_order(&batch, default_buckets(batch.len()));
         let mut result = Vec::with_capacity(batch.len());
         // Place one by one so partial progress is recorded before an error;
@@ -238,6 +340,7 @@ impl OnlineCluster {
             self.loads[j].add(&vm);
             self.refresh_pm(j);
             self.hosts.insert(vm.id, j);
+            self.members[j].push(vm.id);
             self.vms.insert(vm.id, vm);
             rec.counter_inc(Counter::OnlineArrivals);
             result.push((vm.id, j));
@@ -247,35 +350,55 @@ impl OnlineCluster {
 
     /// Re-rounds `p_on`/`p_off` over the current population and rebuilds
     /// the mapping table (§IV-E: heterogeneous probabilities "require
-    /// periodical recalculation of the rounded values"). Returns the new
-    /// rounded pair, or `None` when the cluster is empty.
+    /// periodical recalculation of the rounded values"), unless the pair
+    /// moved no more than ε per component. Returns the new rounded pair,
+    /// or `None` when the cluster is empty.
     pub fn recalibrate(&mut self) -> Option<(f64, f64)> {
         self.recalibrate_recorded(&mut NoopRecorder)
     }
 
     /// [`recalibrate`](Self::recalibrate) with instrumentation: one
-    /// [`Counter::OnlineRecalibrations`] when a rebuild happened.
+    /// [`Counter::OnlineRecalibrations`] per pass over a non-empty
+    /// cluster, plus [`Counter::OnlineRecalibrationsSkipped`] when the
+    /// ε-gate kept the cached table.
     pub fn recalibrate_recorded<R: Recorder>(&mut self, rec: &mut R) -> Option<(f64, f64)> {
-        let population: Vec<VmSpec> = self.vms.values().copied().collect();
-        let (p_on, p_off) = round_probabilities(&population)?;
+        let mut classes: Vec<([u64; 4], f64, f64, u64)> = Vec::new();
+        for v in self.vms.values() {
+            let key = VmClass::of(v).key();
+            match classes.iter_mut().find(|c| c.0 == key) {
+                Some(c) => c.3 += 1,
+                None => classes.push((key, v.p_on, v.p_off, 1)),
+            }
+        }
+        let (p_on, p_off) = round_classed(&mut classes)?;
+        rec.counter_inc(Counter::OnlineRecalibrations);
+        let current = self.strategy.mapping().probabilities();
+        if (p_on - current.0).abs() <= self.epsilon && (p_off - current.1).abs() <= self.epsilon {
+            rec.counter_inc(Counter::OnlineRecalibrationsSkipped);
+            return Some((p_on, p_off));
+        }
         self.strategy = QueueStrategy::build(self.d, p_on, p_off, self.rho);
         // A new table moves every PM's headroom; rebuild the index.
         self.refresh_index();
-        rec.counter_inc(Counter::OnlineRecalibrations);
         Some((p_on, p_off))
     }
 
     /// Verifies internal consistency: every cached load matches a rebuild
-    /// from the authoritative host map. Intended for tests and debug
-    /// assertions.
+    /// from the authoritative host map, and the member lists agree with
+    /// it. Intended for tests and debug assertions.
+    ///
+    /// # Errors
+    /// A description of the first inconsistency found.
     pub fn check_consistency(&self) -> Result<(), String> {
-        for j in 0..self.pms.len() {
-            let rebuilt = PmLoad::rebuild(
-                self.hosts
-                    .iter()
-                    .filter(|&(_, &h)| h == j)
-                    .map(|(id, _)| &self.vms[id]),
-            );
+        let mut member_total = 0;
+        // Group hosts once so the oracle stays O(n + m); filtering the
+        // whole host map per PM would make fleet-scale checks quadratic.
+        let mut hosted: Vec<Vec<usize>> = vec![Vec::new(); self.pms.len()];
+        for (&id, &h) in &self.hosts {
+            hosted[h].push(id);
+        }
+        for (j, members) in hosted.iter().enumerate() {
+            let rebuilt = PmLoad::rebuild(members.iter().map(|id| &self.vms[id]));
             let cached = &self.loads[j];
             if rebuilt.count != cached.count
                 || (rebuilt.sum_rb - cached.sum_rb).abs() > 1e-9
@@ -291,6 +414,25 @@ impl OnlineCluster {
                     "PM {j}: indexed headroom {indexed} != expected {expected}"
                 ));
             }
+            if self.members[j].len() != cached.count {
+                return Err(format!(
+                    "PM {j}: member list has {} ids, load counts {}",
+                    self.members[j].len(),
+                    cached.count
+                ));
+            }
+            for &id in &self.members[j] {
+                if self.hosts.get(&id) != Some(&j) {
+                    return Err(format!("PM {j}: member {id} not hosted here"));
+                }
+            }
+            member_total += self.members[j].len();
+        }
+        if member_total != self.vms.len() {
+            return Err(format!(
+                "member lists hold {member_total} ids, population is {}",
+                self.vms.len()
+            ));
         }
         Ok(())
     }
@@ -316,9 +458,639 @@ impl OnlineCluster {
     }
 }
 
+/// A VM's place in the fast engine: its host PM and class id.
+#[derive(Debug, Clone, Copy)]
+struct VmEntry {
+    host: usize,
+    class: u32,
+}
+
+/// The fleet-scale online engine (see the module docs). Storage is a
+/// dense structure-of-arrays over *classes* rather than VMs:
+///
+/// * a global class registry (`key → id`, representative spec, live
+///   population count);
+/// * per-PM class-count cells (`≤ d` entries, because the admission rule
+///   caps co-location at `d`);
+/// * a `HashMap` from VM id to its `(host, class)` entry — the only
+///   per-VM state;
+/// * the headroom segment tree, plus an explicit occupied-PM set so
+///   whole-fleet walks (recalibration refresh, [`Self::infeasible_pms`])
+///   touch only PMs that host something.
+///
+/// Per-operation costs at fleet size `n`, `m` PMs, `k` distinct classes:
+/// arrival `O(log m + d)`, departure `O(d + log m)`, batch arrival
+/// amortized `O(k·(log m + log d))` plus the linear scatter, and
+/// recalibration `O(k + occupied · log m)` — nothing scans the
+/// population.
+#[derive(Debug)]
+pub struct OnlineCluster {
+    pms: Vec<PmSpec>,
+    strategy: QueueStrategy,
+    rho: f64,
+    d: usize,
+    epsilon: f64,
+    /// Representative spec per registered class (first arrival wins; only
+    /// the four class-defining fields are ever read from it).
+    class_reps: Vec<VmSpec>,
+    /// Cached class bit key per registered class.
+    class_keys: Vec<[u64; 4]>,
+    /// Live population per registered class.
+    class_pop: Vec<u64>,
+    /// Class bit key → class id.
+    class_lookup: HashMap<[u64; 4], u32>,
+    /// Per-VM entry: host PM and class id.
+    entries: HashMap<usize, VmEntry>,
+    /// Cached per-PM loads.
+    loads: Vec<PmLoad>,
+    /// Per-PM class-count cells `(class id, copies)`; at most `d` entries
+    /// because the admission rule caps co-location.
+    cells: Vec<Vec<(u32, u32)>>,
+    /// Segment tree over per-PM headroom under the current strategy.
+    index: HeadroomIndex,
+    /// Occupied PMs, unordered; `occupied_pos[j]` is `j`'s slot in it
+    /// (or `usize::MAX` when PM `j` is empty).
+    occupied: Vec<usize>,
+    occupied_pos: Vec<usize>,
+    /// Reusable cell buffer for departure rebuilds.
+    scratch: Vec<ClassCell>,
+}
+
+impl OnlineCluster {
+    /// Creates an empty cluster over `pms` with the queue strategy built
+    /// from `(d, p_on, p_off, rho)`.
+    pub fn new(pms: Vec<PmSpec>, d: usize, p_on: f64, p_off: f64, rho: f64) -> Self {
+        let strategy = QueueStrategy::build(d, p_on, p_off, rho);
+        let loads = vec![PmLoad::empty(); pms.len()];
+        let headrooms: Vec<f64> = pms
+            .iter()
+            .map(|pm| strategy.headroom(&PmLoad::empty(), pm.capacity))
+            .collect();
+        let index = HeadroomIndex::new(&headrooms);
+        let cells = vec![Vec::new(); pms.len()];
+        let occupied_pos = vec![usize::MAX; pms.len()];
+        Self {
+            pms,
+            strategy,
+            rho,
+            d,
+            epsilon: 0.0,
+            class_reps: Vec::new(),
+            class_keys: Vec::new(),
+            class_pop: Vec::new(),
+            class_lookup: HashMap::new(),
+            entries: HashMap::new(),
+            loads,
+            cells,
+            index,
+            occupied: Vec::new(),
+            occupied_pos,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Sets the recalibration ε: when a re-rounded `(p_on, p_off)` pair
+    /// moves no more than ε per component, the cached mapping table is
+    /// kept and no index rebuild happens.
+    #[must_use]
+    pub fn with_recalibration_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Repairs the index entry of PM `j` after its load changed.
+    fn refresh_pm(&mut self, j: usize) {
+        let h = self.strategy.headroom(&self.loads[j], self.pms[j].capacity);
+        self.index.update(j, h);
+    }
+
+    /// Number of VMs currently hosted.
+    pub fn n_vms(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of PMs currently in use — `O(1)` from the occupied set.
+    pub fn pms_used(&self) -> usize {
+        self.occupied.len()
+    }
+
+    /// The host of a VM, if present.
+    pub fn host_of(&self, vm_id: usize) -> Option<usize> {
+        self.entries.get(&vm_id).map(|e| e.host)
+    }
+
+    /// The load of PM `j`.
+    pub fn load(&self, j: usize) -> &PmLoad {
+        &self.loads[j]
+    }
+
+    /// The active admission strategy.
+    pub fn strategy(&self) -> &QueueStrategy {
+        &self.strategy
+    }
+
+    /// The class id for `vm`'s class, registering it on first sight.
+    fn class_id_of(&mut self, vm: &VmSpec) -> u32 {
+        let key = VmClass::of(vm).key();
+        if let Some(&cid) = self.class_lookup.get(&key) {
+            return cid;
+        }
+        let cid = u32::try_from(self.class_reps.len()).expect("class registry overflow");
+        self.class_reps.push(*vm);
+        self.class_keys.push(key);
+        self.class_pop.push(0);
+        self.class_lookup.insert(key, cid);
+        cid
+    }
+
+    /// Adds `copies` of class `cid` to PM `j`'s cells (`O(d)` walk).
+    fn cell_add(&mut self, j: usize, cid: u32, copies: u32) {
+        for cell in &mut self.cells[j] {
+            if cell.0 == cid {
+                cell.1 += copies;
+                return;
+            }
+        }
+        self.cells[j].push((cid, copies));
+    }
+
+    /// Removes one copy of class `cid` from PM `j`'s cells.
+    fn cell_remove_one(&mut self, j: usize, cid: u32) {
+        let cells = &mut self.cells[j];
+        let pos = cells
+            .iter()
+            .position(|c| c.0 == cid)
+            .expect("departing VM's class must have a cell on its host");
+        cells[pos].1 -= 1;
+        if cells[pos].1 == 0 {
+            cells.swap_remove(pos);
+        }
+    }
+
+    /// Marks PM `j` occupied (idempotent).
+    fn occupy(&mut self, j: usize) {
+        if self.occupied_pos[j] == usize::MAX {
+            self.occupied_pos[j] = self.occupied.len();
+            self.occupied.push(j);
+        }
+    }
+
+    /// Marks PM `j` empty (idempotent).
+    fn vacate(&mut self, j: usize) {
+        let pos = self.occupied_pos[j];
+        if pos == usize::MAX {
+            return;
+        }
+        self.occupied_pos[j] = usize::MAX;
+        self.occupied.swap_remove(pos);
+        if pos < self.occupied.len() {
+            let moved = self.occupied[pos];
+            self.occupied_pos[moved] = pos;
+        }
+    }
+
+    /// Commits a single VM placement onto PM `j` — the shared tail of
+    /// [`Self::arrive_recorded`] and the fallback batch path.
+    fn place_single<R: Recorder>(&mut self, vm: VmSpec, j: usize, rec: &mut R) {
+        let was_empty = self.loads[j].is_empty();
+        self.loads[j].add(&vm);
+        self.refresh_pm(j);
+        let cid = self.class_id_of(&vm);
+        self.cell_add(j, cid, 1);
+        self.class_pop[cid as usize] += 1;
+        self.entries.insert(
+            vm.id,
+            VmEntry {
+                host: j,
+                class: cid,
+            },
+        );
+        if was_empty {
+            self.occupy(j);
+        }
+        rec.counter_inc(Counter::OnlineArrivals);
+    }
+
+    /// Places a single newly-arrived VM on the first PM satisfying Eq. 17
+    /// (§IV-E: "when a new VM arrives, we place it on the first PM that
+    /// satisfies the constraint in Equation (17)").
+    ///
+    /// # Errors
+    /// [`PackError`] if no PM admits the VM.
+    ///
+    /// # Panics
+    /// Panics if the VM id is already present.
+    pub fn arrive(&mut self, vm: VmSpec) -> Result<usize, PackError> {
+        self.arrive_recorded(vm, &mut NoopRecorder)
+    }
+
+    /// [`arrive`](Self::arrive) with instrumentation: probe counts plus
+    /// one [`Counter::OnlineArrivals`] on success.
+    ///
+    /// # Errors
+    /// [`PackError`] if no PM admits the VM.
+    ///
+    /// # Panics
+    /// Panics if the VM id is already present.
+    pub fn arrive_recorded<R: Recorder>(
+        &mut self,
+        vm: VmSpec,
+        rec: &mut R,
+    ) -> Result<usize, PackError> {
+        assert!(
+            !self.entries.contains_key(&vm.id),
+            "VM id {} already in the cluster",
+            vm.id
+        );
+        let slot = probe_first_fit_recorded(
+            &self.index,
+            &self.loads,
+            &self.pms,
+            &self.strategy,
+            &vm,
+            rec,
+        );
+        match slot {
+            Some(j) => {
+                self.place_single(vm, j, rec);
+                Ok(j)
+            }
+            None => Err(PackError { vm_id: vm.id }),
+        }
+    }
+
+    /// Removes a VM. Cost: one `O(d)` cell decrement, one canonical
+    /// `O(d)` fold over the surviving cells, one `O(log m)` index
+    /// refresh — never a population scan. Returns its former host.
+    pub fn depart(&mut self, vm_id: usize) -> Option<usize> {
+        self.depart_recorded(vm_id, &mut NoopRecorder)
+    }
+
+    /// [`depart`](Self::depart) with instrumentation: one
+    /// [`Counter::OnlineDepartures`] when the VM was present, plus the
+    /// surviving-cell count under [`Counter::DepartRebuildVisits`].
+    pub fn depart_recorded<R: Recorder>(&mut self, vm_id: usize, rec: &mut R) -> Option<usize> {
+        let entry = self.entries.remove(&vm_id)?;
+        rec.counter_inc(Counter::OnlineDepartures);
+        let (host, cid) = (entry.host, entry.class);
+        self.class_pop[cid as usize] -= 1;
+        self.cell_remove_one(host, cid);
+        rec.counter_add(Counter::DepartRebuildVisits, self.cells[host].len() as u64);
+        let load = {
+            let Self {
+                cells,
+                scratch,
+                class_keys,
+                class_reps,
+                ..
+            } = self;
+            scratch.clear();
+            for &(c, copies) in &cells[host] {
+                scratch.push((class_keys[c as usize], class_reps[c as usize], copies));
+            }
+            fold_cells(scratch)
+        };
+        self.loads[host] = load;
+        self.refresh_pm(host);
+        if self.loads[host].is_empty() {
+            self.vacate(host);
+        }
+        Some(host)
+    }
+
+    /// Places a batch of new VMs using the same cluster-and-sort scheme
+    /// as Algorithm 2. On the fast path (all of [`collapse_classes`]'s
+    /// conditions hold) whole classes are placed as closed-form runs via
+    /// [`admit_run`]/[`admit_run_empty`] — amortized ~O(1) probes per VM
+    /// on duplicate-heavy batches — and the per-VM assignments are
+    /// scattered afterwards. Placements, the returned pairs and the error
+    /// VM are identical to the per-VM reference on every input.
+    ///
+    /// # Errors
+    /// [`PackError`] at the first unplaceable VM. VMs placed before the
+    /// failure stay placed (the online system cannot un-arrive them).
+    ///
+    /// # Panics
+    /// Panics if any batch member's id is already present, or appears
+    /// twice in the batch.
+    pub fn arrive_batch(&mut self, batch: Vec<VmSpec>) -> Result<Vec<(usize, usize)>, PackError> {
+        self.arrive_batch_recorded(batch, &mut NoopRecorder)
+    }
+
+    /// [`arrive_batch`](Self::arrive_batch) with instrumentation: one
+    /// [`Counter::OnlineBatches`], probe counts, plus one
+    /// [`Counter::OnlineArrivals`] per placed member.
+    ///
+    /// # Errors
+    /// [`PackError`] at the first unplaceable VM. VMs placed before the
+    /// failure stay placed (the online system cannot un-arrive them).
+    ///
+    /// # Panics
+    /// Panics if any batch member's id is already present, or appears
+    /// twice in the batch.
+    pub fn arrive_batch_recorded<R: Recorder>(
+        &mut self,
+        batch: Vec<VmSpec>,
+        rec: &mut R,
+    ) -> Result<Vec<(usize, usize)>, PackError> {
+        let mut seen = HashSet::with_capacity(batch.len());
+        for vm in &batch {
+            assert!(
+                !self.entries.contains_key(&vm.id) && seen.insert(vm.id),
+                "VM id {} already in the cluster",
+                vm.id
+            );
+        }
+        rec.counter_inc(Counter::OnlineBatches);
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let fast = collapse_classes(&batch).and_then(|table| {
+            let keys = self.strategy.class_order_keys(batch.len(), &table.reps)?;
+            let schedule = class_schedule(&keys)?;
+            Some((table, schedule))
+        });
+        match fast {
+            Some((table, schedule)) => self.batch_collapsed(&batch, &table, &schedule, rec),
+            None => {
+                // Cross-class key ties (or too many classes): the stable
+                // per-VM order is the semantics, so walk it directly.
+                let order = cluster_order(&batch, default_buckets(batch.len()));
+                let mut result = Vec::with_capacity(batch.len());
+                for &i in &order {
+                    let vm = batch[i];
+                    let slot = probe_first_fit_recorded(
+                        &self.index,
+                        &self.loads,
+                        &self.pms,
+                        &self.strategy,
+                        &vm,
+                        rec,
+                    );
+                    let j = slot.ok_or(PackError { vm_id: vm.id })?;
+                    self.place_single(vm, j, rec);
+                    result.push((vm.id, j));
+                }
+                Ok(result)
+            }
+        }
+    }
+
+    /// The fast batch path: one First-Fit cursor pass per class with
+    /// closed-form run admissions, mirroring `crate::batch`'s offline
+    /// packer but against the live cluster (loads only grow during a
+    /// batch, so the cursor's "every passed PM already rejected this
+    /// class" invariant carries over unchanged).
+    fn batch_collapsed<R: Recorder>(
+        &mut self,
+        batch: &[VmSpec],
+        table: &ClassTable,
+        schedule: &[u32],
+        rec: &mut R,
+    ) -> Result<Vec<(usize, usize)>, PackError> {
+        let k = table.reps.len();
+        // Original-order member indices per class: the stable within-class
+        // order that both the scatter and a partial failure must follow.
+        let mut members_of: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for (i, &kidx) in table.kid.iter().enumerate() {
+            members_of[kidx as usize].push(i as u32);
+        }
+        // Exact fold memo for empty-PM admissions, rebuilt per class.
+        let mut chain: Vec<PmLoad> = Vec::new();
+        let mut fills: Vec<(usize, u32)> = Vec::new();
+        let mut result = Vec::with_capacity(batch.len());
+        for &cid in schedule {
+            let template = table.reps[cid as usize];
+            let want_total = table.counts[cid as usize] as usize;
+            let threshold = self.strategy.demand(&template) - PRUNE_SLACK;
+            let gid = self.class_id_of(&template);
+            chain.clear();
+            chain.push(PmLoad::empty());
+            fills.clear();
+            let mut placed = 0usize;
+            let mut hint = 0usize;
+            let mut from = 0usize;
+            let mut failed = false;
+            while placed < want_total {
+                // The PM right at the cursor is the common hit; test it in
+                // O(1) before paying the index descent.
+                let candidate = if from < self.pms.len() && self.index.value(from) >= threshold {
+                    Some(from)
+                } else {
+                    self.index.first_at_least(from, threshold)
+                };
+                rec.counter_inc(Counter::PackProbes);
+                let Some(j) = candidate else {
+                    failed = true;
+                    break;
+                };
+                let seed = self.loads[j];
+                let (new_load, c) = if seed.is_empty() {
+                    admit_run_empty(
+                        &mut chain,
+                        &template,
+                        self.pms[j].capacity,
+                        want_total - placed,
+                        hint,
+                        &self.strategy,
+                    )
+                } else {
+                    admit_run(
+                        seed,
+                        &template,
+                        self.pms[j].capacity,
+                        want_total - placed,
+                        hint,
+                        &self.strategy,
+                    )
+                };
+                if c > 0 {
+                    if seed.is_empty() {
+                        self.occupy(j);
+                    }
+                    self.loads[j] = new_load;
+                    self.refresh_pm(j);
+                    self.cell_add(j, gid, c as u32);
+                    fills.push((j, c as u32));
+                    placed += c;
+                    hint = c;
+                } else {
+                    rec.counter_inc(Counter::PackRejectedProbes);
+                }
+                from = j + 1;
+            }
+            // Scatter this class's placed members (original batch order)
+            // across the fill segments front to back.
+            let members = &members_of[cid as usize];
+            let mut mi = 0usize;
+            for &(pm, copies) in &fills {
+                for _ in 0..copies {
+                    let vm = batch[members[mi] as usize];
+                    self.entries.insert(
+                        vm.id,
+                        VmEntry {
+                            host: pm,
+                            class: gid,
+                        },
+                    );
+                    self.class_pop[gid as usize] += 1;
+                    rec.counter_inc(Counter::OnlineArrivals);
+                    result.push((vm.id, pm));
+                    mi += 1;
+                }
+            }
+            if failed {
+                // The first unplaced member, in the stable order — exactly
+                // the VM the per-VM reference would have failed on.
+                return Err(PackError {
+                    vm_id: batch[members[placed] as usize].id,
+                });
+            }
+        }
+        Ok(result)
+    }
+
+    /// Re-rounds `p_on`/`p_off` over the live class populations (`O(k)`,
+    /// independent of the fleet size) and rebuilds the mapping table
+    /// unless the pair moved no more than ε per component. After a
+    /// rebuild only *occupied* PMs get their index entries refreshed: an
+    /// empty PM's headroom is exactly its capacity under every table
+    /// (`count = 0` zeroes both the blocks term and the base sum), so the
+    /// stored values stay bit-correct without touching them. Returns the
+    /// new rounded pair, or `None` when the cluster is empty.
+    pub fn recalibrate(&mut self) -> Option<(f64, f64)> {
+        self.recalibrate_recorded(&mut NoopRecorder)
+    }
+
+    /// [`recalibrate`](Self::recalibrate) with instrumentation: one
+    /// [`Counter::OnlineRecalibrations`] per pass over a non-empty
+    /// cluster, plus [`Counter::OnlineRecalibrationsSkipped`] when the
+    /// ε-gate kept the cached table.
+    pub fn recalibrate_recorded<R: Recorder>(&mut self, rec: &mut R) -> Option<(f64, f64)> {
+        let mut classes: Vec<([u64; 4], f64, f64, u64)> = Vec::new();
+        for cid in 0..self.class_reps.len() {
+            let pop = self.class_pop[cid];
+            if pop > 0 {
+                let rep = self.class_reps[cid];
+                classes.push((self.class_keys[cid], rep.p_on, rep.p_off, pop));
+            }
+        }
+        let (p_on, p_off) = round_classed(&mut classes)?;
+        rec.counter_inc(Counter::OnlineRecalibrations);
+        let current = self.strategy.mapping().probabilities();
+        if (p_on - current.0).abs() <= self.epsilon && (p_off - current.1).abs() <= self.epsilon {
+            rec.counter_inc(Counter::OnlineRecalibrationsSkipped);
+            return Some((p_on, p_off));
+        }
+        self.strategy = QueueStrategy::build(self.d, p_on, p_off, self.rho);
+        for i in 0..self.occupied.len() {
+            let j = self.occupied[i];
+            self.refresh_pm(j);
+        }
+        Some((p_on, p_off))
+    }
+
+    /// Verifies internal consistency: cells are well-formed, every cached
+    /// load matches its canonical cell fold, the index and the occupied
+    /// set agree with the loads, and per-class populations add up.
+    /// Intended for tests and debug assertions.
+    ///
+    /// # Errors
+    /// A description of the first inconsistency found.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut pop_seen = vec![0u64; self.class_reps.len()];
+        for j in 0..self.pms.len() {
+            let mut ids = HashSet::new();
+            let mut cells: Vec<ClassCell> = Vec::with_capacity(self.cells[j].len());
+            for &(cid, copies) in &self.cells[j] {
+                if copies == 0 {
+                    return Err(format!("PM {j}: zero-count cell for class {cid}"));
+                }
+                if !ids.insert(cid) {
+                    return Err(format!("PM {j}: duplicate cell for class {cid}"));
+                }
+                pop_seen[cid as usize] += u64::from(copies);
+                cells.push((
+                    self.class_keys[cid as usize],
+                    self.class_reps[cid as usize],
+                    copies,
+                ));
+            }
+            let rebuilt = fold_cells(&mut cells);
+            let cached = &self.loads[j];
+            if rebuilt.count != cached.count
+                || (rebuilt.sum_rb - cached.sum_rb).abs() > 1e-9
+                || (rebuilt.max_re - cached.max_re).abs() > 1e-9
+            {
+                return Err(format!("PM {j}: cached {cached:?} != rebuilt {rebuilt:?}"));
+            }
+            let expected = self.strategy.headroom(cached, self.pms[j].capacity);
+            let indexed = self.index.value(j);
+            let matches = indexed == expected || (indexed - expected).abs() < 1e-9;
+            if !matches {
+                return Err(format!(
+                    "PM {j}: indexed headroom {indexed} != expected {expected}"
+                ));
+            }
+            let occupied = self.occupied_pos[j] != usize::MAX;
+            if occupied == cached.is_empty() {
+                return Err(format!(
+                    "PM {j}: occupied flag {occupied} but load count {}",
+                    cached.count
+                ));
+            }
+        }
+        for (pos, &j) in self.occupied.iter().enumerate() {
+            if self.occupied_pos[j] != pos {
+                return Err(format!("occupied slot {pos} (PM {j}) has stale position"));
+            }
+        }
+        if pop_seen != self.class_pop {
+            return Err(format!(
+                "class populations {:?} != cell totals {pop_seen:?}",
+                self.class_pop
+            ));
+        }
+        let total: u64 = pop_seen.iter().sum();
+        if total != self.entries.len() as u64 {
+            return Err(format!(
+                "cells hold {total} VMs, entry map holds {}",
+                self.entries.len()
+            ));
+        }
+        for (&id, entry) in &self.entries {
+            let on_host = self.cells[entry.host].iter().any(|c| c.0 == entry.class);
+            if !on_host {
+                return Err(format!(
+                    "VM {id}: host {} has no cell for its class {}",
+                    entry.host, entry.class
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// PMs whose hosted set violates Eq. 17 under the *current* strategy,
+    /// ascending. Walks only the occupied set — `O(occupied)`, not
+    /// `O(m)` — so a sparse million-PM pool costs what its population
+    /// costs. See [`ReferenceOnlineCluster::infeasible_pms`] for when the
+    /// list is non-empty.
+    pub fn infeasible_pms(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .occupied
+            .iter()
+            .copied()
+            .filter(|&j| !self.strategy.feasible(&self.loads[j], self.pms[j].capacity))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bursty_obs::MemoryRecorder;
 
     fn vm(id: usize, r_b: f64, r_e: f64) -> VmSpec {
         VmSpec::new(id, 0.01, 0.09, r_b, r_e)
@@ -331,6 +1103,15 @@ mod tests {
             .map(|(j, &c)| PmSpec::new(j, c))
             .collect();
         OnlineCluster::new(pms, 16, 0.01, 0.09, 0.01)
+    }
+
+    fn ref_cluster(caps: &[f64]) -> ReferenceOnlineCluster {
+        let pms = caps
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| PmSpec::new(j, c))
+            .collect();
+        ReferenceOnlineCluster::new(pms, 16, 0.01, 0.09, 0.01)
     }
 
     #[test]
@@ -362,6 +1143,8 @@ mod tests {
     fn depart_unknown_vm_is_none() {
         let mut c = cluster(&[10.0]);
         assert_eq!(c.depart(99), None);
+        let mut r = ref_cluster(&[10.0]);
+        assert_eq!(r.depart(99), None);
     }
 
     #[test]
@@ -425,6 +1208,8 @@ mod tests {
     fn recalibrate_empty_cluster_is_none() {
         let mut c = cluster(&[10.0]);
         assert_eq!(c.recalibrate(), None);
+        let mut r = ref_cluster(&[10.0]);
+        assert_eq!(r.recalibrate(), None);
     }
 
     #[test]
@@ -468,14 +1253,14 @@ mod tests {
 
     #[test]
     fn recorded_churn_counts_arrivals_departures_recalibrations() {
-        use bursty_obs::MemoryRecorder;
         let mut c = cluster(&[100.0, 100.0]);
         let mut rec = MemoryRecorder::new(0);
         c.arrive_recorded(vm(0, 10.0, 5.0), &mut rec).unwrap();
         c.arrive_batch_recorded(vec![vm(1, 10.0, 5.0), vm(2, 10.0, 5.0)], &mut rec)
             .unwrap();
         assert_eq!(rec.counter(Counter::OnlineArrivals), 3);
-        assert!(rec.counter(Counter::PackProbes) >= 3);
+        assert_eq!(rec.counter(Counter::OnlineBatches), 1);
+        assert!(rec.counter(Counter::PackProbes) >= 2);
         assert_eq!(c.depart_recorded(1, &mut rec), Some(0));
         assert_eq!(c.depart_recorded(99, &mut rec), None, "unknown VM");
         assert_eq!(rec.counter(Counter::OnlineDepartures), 1);
@@ -486,11 +1271,36 @@ mod tests {
     }
 
     #[test]
+    fn reference_recorded_churn_counts_match_contract() {
+        let mut c = ref_cluster(&[100.0, 100.0]);
+        let mut rec = MemoryRecorder::new(0);
+        c.arrive_recorded(vm(0, 10.0, 5.0), &mut rec).unwrap();
+        c.arrive_batch_recorded(vec![vm(1, 10.0, 5.0), vm(2, 10.0, 5.0)], &mut rec)
+            .unwrap();
+        assert_eq!(rec.counter(Counter::OnlineArrivals), 3);
+        assert_eq!(rec.counter(Counter::OnlineBatches), 1);
+        assert!(rec.counter(Counter::PackProbes) >= 3);
+        assert_eq!(c.depart_recorded(1, &mut rec), Some(0));
+        assert_eq!(c.depart_recorded(99, &mut rec), None, "unknown VM");
+        assert_eq!(rec.counter(Counter::OnlineDepartures), 1);
+        c.recalibrate_recorded(&mut rec).unwrap();
+        assert_eq!(rec.counter(Counter::OnlineRecalibrations), 1);
+        c.check_consistency().unwrap();
+    }
+
+    #[test]
     #[should_panic(expected = "already in the cluster")]
     fn duplicate_arrival_panics() {
         let mut c = cluster(&[100.0]);
         c.arrive(vm(0, 1.0, 1.0)).unwrap();
         let _ = c.arrive(vm(0, 1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the cluster")]
+    fn duplicate_inside_batch_panics() {
+        let mut c = cluster(&[100.0]);
+        let _ = c.arrive_batch(vec![vm(0, 1.0, 1.0), vm(0, 1.0, 1.0)]);
     }
 
     #[test]
@@ -516,6 +1326,312 @@ mod tests {
         assert_eq!(online.pms_used(), offline.pms_used());
         for (i, v) in vms.iter().enumerate() {
             assert_eq!(online.host_of(v.id), offline.assignment[i]);
+        }
+    }
+
+    #[test]
+    fn departure_visit_counts_stay_bounded_as_fleet_grows() {
+        // Satellite 1 regression: a departure must touch only the host
+        // PM's survivors (≤ d), never the fleet — so per-departure visit
+        // counts are identical at 128 and 1024 VMs.
+        for engine_is_fast in [true, false] {
+            let mut per_fleet_max: Vec<u64> = Vec::new();
+            for n in [128usize, 1024] {
+                let caps = vec![100.0; n];
+                let mut fast = cluster(&caps);
+                let mut slow = ref_cluster(&caps);
+                for i in 0..n {
+                    let v = vm(i, 6.0 + (i % 3) as f64, 4.0 + (i % 2) as f64);
+                    fast.arrive(v).unwrap();
+                    slow.arrive(v).unwrap();
+                }
+                let mut max_visits = 0u64;
+                for i in (0..n).step_by(n / 8) {
+                    let mut rec = MemoryRecorder::new(0);
+                    let host = if engine_is_fast {
+                        fast.depart_recorded(i, &mut rec)
+                    } else {
+                        slow.depart_recorded(i, &mut rec)
+                    };
+                    assert!(host.is_some());
+                    let visits = rec.counter(Counter::DepartRebuildVisits);
+                    assert!(visits <= 16, "visits {visits} exceed the d = 16 cap");
+                    max_visits = max_visits.max(visits);
+                }
+                per_fleet_max.push(max_visits);
+            }
+            assert_eq!(
+                per_fleet_max[0], per_fleet_max[1],
+                "per-departure rebuild work must not grow with the fleet"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_pms_on_sparse_million_pm_pool() {
+        // Satellite 2: a sparse huge pool — the scan must agree with the
+        // O(m) oracle while walking only the occupied handful.
+        let m = 1_000_000usize;
+        let pms: Vec<PmSpec> = (0..m).map(|j| PmSpec::new(j, 40.0)).collect();
+        let mut c = OnlineCluster::new(pms.clone(), 16, 0.01, 0.09, 0.01);
+        for i in 0..32 {
+            c.arrive(VmSpec::new(i, 0.01, 0.09, 14.0, 12.0)).unwrap();
+        }
+        assert_eq!(c.pms_used(), 16, "two calm VMs per 40-capacity PM");
+        assert!(c.infeasible_pms().is_empty());
+        c.arrive(VmSpec::new(1000, 0.9, 0.09, 14.0, 12.0)).unwrap();
+        c.recalibrate().unwrap();
+        let listed = c.infeasible_pms();
+        let oracle: Vec<usize> = (0..m)
+            .filter(|&j| {
+                let load = c.load(j);
+                !load.is_empty() && !c.strategy().feasible(load, pms[j].capacity)
+            })
+            .collect();
+        assert_eq!(listed, oracle);
+        assert!(
+            !listed.is_empty(),
+            "the tightened table must flag the calm pairs"
+        );
+        c.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn epsilon_recalibration_skips_rebuild() {
+        // A drifted-but-close population: with ε = 0.05 the pair moves by
+        // 0.004/0.004 and the cached table is kept; with the default
+        // ε = 0 the same population forces a rebuild.
+        let populate = |a: &mut OnlineCluster| {
+            a.arrive(VmSpec::new(0, 0.012, 0.092, 10.0, 5.0)).unwrap();
+            a.arrive(VmSpec::new(1, 0.016, 0.096, 10.0, 5.0)).unwrap();
+        };
+        let mut c = cluster(&[1000.0]).with_recalibration_epsilon(0.05);
+        populate(&mut c);
+        let mut rec = MemoryRecorder::new(0);
+        let pair = c.recalibrate_recorded(&mut rec).unwrap();
+        assert!((pair.0 - 0.014).abs() < 1e-12);
+        assert!((pair.1 - 0.094).abs() < 1e-12);
+        assert_eq!(rec.counter(Counter::OnlineRecalibrations), 1);
+        assert_eq!(rec.counter(Counter::OnlineRecalibrationsSkipped), 1);
+        assert_eq!(
+            c.strategy().mapping().probabilities(),
+            (0.01, 0.09),
+            "ε-gate must keep the built table"
+        );
+        c.check_consistency().unwrap();
+
+        // The reference engine applies the identical gate.
+        let mut r = ref_cluster(&[1000.0]).with_recalibration_epsilon(0.05);
+        r.arrive(VmSpec::new(0, 0.012, 0.092, 10.0, 5.0)).unwrap();
+        r.arrive(VmSpec::new(1, 0.016, 0.096, 10.0, 5.0)).unwrap();
+        let mut rrec = MemoryRecorder::new(0);
+        let rpair = r.recalibrate_recorded(&mut rrec).unwrap();
+        assert_eq!(pair.0.to_bits(), rpair.0.to_bits());
+        assert_eq!(rrec.counter(Counter::OnlineRecalibrationsSkipped), 1);
+        assert_eq!(r.strategy().mapping().probabilities(), (0.01, 0.09));
+
+        // Default ε = 0: the same drift rebuilds.
+        let mut c0 = cluster(&[1000.0]);
+        populate(&mut c0);
+        let pair0 = c0.recalibrate().unwrap();
+        assert_eq!(c0.strategy().mapping().probabilities(), pair0);
+        c0.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn batch_fast_path_matches_reference_on_populated_cluster() {
+        // A duplicate-heavy batch onto a cluster that already carries
+        // load and holes: the class-collapsed path and the per-VM
+        // reference must agree on every host, bit-identical loads and
+        // headrooms included.
+        let caps = vec![60.0; 12];
+        let mut a = cluster(&caps);
+        let mut b = ref_cluster(&caps);
+        for i in 0..10 {
+            let v = vm(i, 6.0, 4.0);
+            a.arrive(v).unwrap();
+            b.arrive(v).unwrap();
+        }
+        for i in (0..10).step_by(3) {
+            assert_eq!(a.depart(i), b.depart(i));
+        }
+        let batch: Vec<VmSpec> = (100..130)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vm(i, 8.0, 3.0)
+                } else {
+                    vm(i, 3.0, 6.0)
+                }
+            })
+            .collect();
+        let ra = a.arrive_batch(batch.clone()).unwrap();
+        let rb = b.arrive_batch(batch).unwrap();
+        assert_eq!(ra, rb);
+        for j in 0..caps.len() {
+            assert_eq!(a.load(j), b.load(j), "PM {j} load");
+            assert_eq!(
+                a.index.value(j).to_bits(),
+                b.index.value(j).to_bits(),
+                "PM {j} headroom"
+            );
+        }
+        a.check_consistency().unwrap();
+        b.check_consistency().unwrap();
+    }
+
+    mod churn {
+        use super::*;
+        use proptest::prelude::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+        use proptest::strategy::Strategy as PropStrategy;
+
+        /// Six heterogeneous templates. Classes 0 and 2 share `(r_b,
+        /// r_e)` with different probabilities, so a batch holding both
+        /// has an exact cross-class key tie — `class_schedule` bails and
+        /// the fallback per-VM path gets exercised alongside the fast
+        /// one. Template 3 is bursty enough that recalibration tightens
+        /// the table and induces infeasible incumbents.
+        const TEMPLATES: [(f64, f64, f64, f64); 6] = [
+            (0.01, 0.09, 4.0, 3.0),
+            (0.01, 0.09, 7.0, 5.0),
+            (0.02, 0.10, 4.0, 3.0),
+            (0.30, 0.20, 10.0, 8.0),
+            (0.05, 0.15, 2.0, 6.0),
+            (0.01, 0.09, 7.0, 2.0),
+        ];
+
+        fn spec(t: u8, id: usize) -> VmSpec {
+            let (p_on, p_off, r_b, r_e) = TEMPLATES[t as usize % TEMPLATES.len()];
+            VmSpec::new(id, p_on, p_off, r_b, r_e)
+        }
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Arrive(u8),
+            Depart(u8),
+            Batch(Vec<u8>),
+            Recalibrate,
+        }
+
+        fn op_gen() -> impl PropStrategy<Value = Op> {
+            (
+                0u8..9,
+                0u8..6,
+                proptest::collection::vec(0u8..6, 1..8),
+                0u8..=255,
+            )
+                .prop_map(|(which, t, ts, sel)| match which {
+                    0..=2 => Op::Arrive(t),
+                    3..=5 => Op::Depart(sel),
+                    6 | 7 => Op::Batch(ts),
+                    _ => Op::Recalibrate,
+                })
+        }
+
+        const CAPS: [f64; 6] = [55.0, 70.0, 40.0, 90.0, 60.0, 80.0];
+
+        fn engines() -> (OnlineCluster, ReferenceOnlineCluster) {
+            let pms: Vec<PmSpec> = CAPS
+                .iter()
+                .enumerate()
+                .map(|(j, &c)| PmSpec::new(j, c))
+                .collect();
+            (
+                OnlineCluster::new(pms.clone(), 5, 0.01, 0.09, 0.01),
+                ReferenceOnlineCluster::new(pms, 5, 0.01, 0.09, 0.01),
+            )
+        }
+
+        /// The full observable state must agree after every op — hosts,
+        /// bit-identical loads and index entries, occupancy, and the
+        /// infeasible list.
+        fn compare(a: &OnlineCluster, b: &ReferenceOnlineCluster, live: &[usize]) {
+            a.check_consistency().unwrap();
+            b.check_consistency().unwrap();
+            assert_eq!(a.n_vms(), b.n_vms());
+            assert_eq!(a.pms_used(), b.pms_used());
+            for &id in live {
+                assert_eq!(a.host_of(id), b.host_of(id), "VM {id} host");
+            }
+            for j in 0..CAPS.len() {
+                assert_eq!(a.load(j), b.load(j), "PM {j} load");
+                assert_eq!(
+                    a.index.value(j).to_bits(),
+                    b.index.value(j).to_bits(),
+                    "PM {j} headroom"
+                );
+            }
+            assert_eq!(a.infeasible_pms(), b.infeasible_pms());
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn interleaved_churn_matches_reference(
+                ops in proptest::collection::vec(op_gen(), 1..50)
+            ) {
+                let (mut a, mut b) = engines();
+                let mut live: Vec<usize> = Vec::new();
+                let mut next_id = 0usize;
+                for op in ops {
+                    match op {
+                        Op::Arrive(t) => {
+                            let v = spec(t, next_id);
+                            next_id += 1;
+                            let ra = a.arrive(v);
+                            let rb = b.arrive(v);
+                            prop_assert_eq!(&ra, &rb);
+                            if ra.is_ok() {
+                                live.push(v.id);
+                            }
+                        }
+                        Op::Depart(sel) => {
+                            if live.is_empty() {
+                                prop_assert_eq!(a.depart(usize::MAX), None);
+                                prop_assert_eq!(b.depart(usize::MAX), None);
+                            } else {
+                                let i = sel as usize % live.len();
+                                let id = live.swap_remove(i);
+                                let ra = a.depart(id);
+                                prop_assert_eq!(ra, b.depart(id));
+                                prop_assert!(ra.is_some());
+                            }
+                        }
+                        Op::Batch(ts) => {
+                            let batch: Vec<VmSpec> = ts
+                                .iter()
+                                .map(|&t| {
+                                    let v = spec(t, next_id);
+                                    next_id += 1;
+                                    v
+                                })
+                                .collect();
+                            let ra = a.arrive_batch(batch.clone());
+                            let rb = b.arrive_batch(batch.clone());
+                            prop_assert_eq!(&ra, &rb);
+                            // On a mid-batch failure both engines keep the
+                            // same partial placements; pick them up.
+                            for v in &batch {
+                                if a.host_of(v.id).is_some() {
+                                    live.push(v.id);
+                                }
+                            }
+                        }
+                        Op::Recalibrate => {
+                            let ra = a.recalibrate();
+                            let rb = b.recalibrate();
+                            match (ra, rb) {
+                                (None, None) => {}
+                                (Some(x), Some(y)) => {
+                                    prop_assert_eq!(x.0.to_bits(), y.0.to_bits());
+                                    prop_assert_eq!(x.1.to_bits(), y.1.to_bits());
+                                }
+                                other => prop_assert!(false, "recalibrate mismatch {:?}", other),
+                            }
+                        }
+                    }
+                    compare(&a, &b, &live);
+                }
+            }
         }
     }
 }
