@@ -24,7 +24,6 @@
 //! engine's sustained churn throughput to beat the reference by at least
 //! `X`× at the largest fleet size.
 
-use bursty_core::metrics::Log2Histogram;
 use bursty_core::placement::PackError;
 use bursty_core::prelude::*;
 use rand::rngs::StdRng;
@@ -236,8 +235,12 @@ fn digest(engine: &Engine, m: usize, final_live: &[usize]) -> StateDigest {
     }
 }
 
+/// Per-op latency record. Keeps every amortized per-op sample (a few tens
+/// of thousands per run — small enough to hold exactly) so the reported
+/// percentiles are true order statistics in nanoseconds, not `Log2Histogram`
+/// bucket upper bounds (511, 8191, …) as earlier revisions printed.
 struct LatencyStats {
-    hist: Log2Histogram,
+    samples: Vec<u64>,
     total_ns: u128,
     count: u64,
 }
@@ -245,7 +248,7 @@ struct LatencyStats {
 impl LatencyStats {
     fn new() -> Self {
         Self {
-            hist: Log2Histogram::new(Log2Histogram::MAX_BUCKETS),
+            samples: Vec::new(),
             total_ns: 0,
             count: 0,
         }
@@ -258,9 +261,8 @@ impl LatencyStats {
             return;
         }
         let per_op = (elapsed_ns / ops as u128) as u64;
-        for _ in 0..ops {
-            self.hist.record(per_op);
-        }
+        self.samples
+            .extend(std::iter::repeat_n(per_op, ops as usize));
         self.total_ns += elapsed_ns;
         self.count += ops;
     }
@@ -272,12 +274,23 @@ impl LatencyStats {
         self.count as f64 / (self.total_ns as f64 / 1e9)
     }
 
+    /// Exact nearest-rank quantile over the recorded samples.
+    fn quantile_ns(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+        sorted[idx]
+    }
+
     fn p50(&self) -> u64 {
-        self.hist.quantile(0.5).unwrap_or(0)
+        self.quantile_ns(0.5)
     }
 
     fn p99(&self) -> u64 {
-        self.hist.quantile(0.99).unwrap_or(0)
+        self.quantile_ns(0.99)
     }
 }
 

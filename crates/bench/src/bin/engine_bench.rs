@@ -25,6 +25,7 @@
 //! or instrumentation leaking out of `if R::ENABLED` guards.
 
 use bursty_core::prelude::*;
+use bursty_core::sim::bench_api::{class_occupancy, ClassCoreBench};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -37,18 +38,24 @@ struct EngineRow {
     secs: f64,
     steps_per_sec: f64,
     vm_steps_per_sec: f64,
+    /// `(occupied cells, cells touched per step, mean VMs per cell)` —
+    /// present on class-heavy rows only, where the kernel's cost scales
+    /// with cells rather than fleet size.
+    occupancy: Option<(usize, f64, f64)>,
 }
 
-#[allow(clippy::type_complexity)]
-fn parse_args() -> (
-    usize,
-    Vec<usize>,
-    Option<Vec<usize>>,
-    usize,
-    usize,
-    String,
-    Option<f64>,
-) {
+struct Args {
+    steps: usize,
+    fleets: Vec<usize>,
+    class_fleets: Option<Vec<usize>>,
+    repeats: usize,
+    mapcal_d: usize,
+    out: String,
+    obs_gate: Option<f64>,
+    class_gate: Option<f64>,
+}
+
+fn parse_args() -> Args {
     let mut steps = 200usize;
     let mut fleets = vec![800usize];
     let mut class_fleets: Option<Vec<usize>> = None;
@@ -56,6 +63,7 @@ fn parse_args() -> (
     let mut mapcal_d = 200usize;
     let mut out = "BENCH_engine.json".to_string();
     let mut obs_gate: Option<f64> = None;
+    let mut class_gate: Option<f64> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -83,6 +91,7 @@ fn parse_args() -> (
             "--mapcal-d" => mapcal_d = value.parse().expect("--mapcal-d"),
             "--out" => out = value.clone(),
             "--obs-gate" => obs_gate = Some(value.parse().expect("--obs-gate")),
+            "--class-gate" => class_gate = Some(value.parse().expect("--class-gate")),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -90,15 +99,16 @@ fn parse_args() -> (
         }
         i += 2;
     }
-    (
+    Args {
         steps,
         fleets,
         class_fleets,
-        repeats.max(1),
+        repeats: repeats.max(1),
         mapcal_d,
         out,
         obs_gate,
-    )
+        class_gate,
+    }
 }
 
 fn best_secs<R>(repeats: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -112,7 +122,16 @@ fn best_secs<R>(repeats: usize, mut f: impl FnMut() -> R) -> f64 {
 }
 
 fn main() {
-    let (steps, fleets, class_fleets, repeats, mapcal_d, out_path, obs_gate) = parse_args();
+    let Args {
+        steps,
+        fleets,
+        class_fleets,
+        repeats,
+        mapcal_d,
+        out: out_path,
+        obs_gate,
+        class_gate,
+    } = parse_args();
     let class_fleets = class_fleets.unwrap_or_else(|| fleets.clone());
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     eprintln!(
@@ -157,6 +176,7 @@ fn main() {
                 secs,
                 steps_per_sec: steps as f64 / secs,
                 vm_steps_per_sec: (steps * n) as f64 / secs,
+                occupancy: None,
             });
         }
     }
@@ -171,6 +191,9 @@ fn main() {
     // the *same* fleet and placement. A separate fleet list because the
     // class path scales to fleet sizes (10^6) the per-VM main rows
     // cannot reach in bench time.
+    let cell_n = class_fleets.iter().copied().max().unwrap_or(10_000);
+    let mut cell_assignment: Vec<Option<usize>> = Vec::new();
+    let mut cell_m = 1usize;
     for &n in &class_fleets {
         let mut gen = FleetGenerator::new(n as u64);
         let vms = gen.vms_table_i(n, WorkloadPattern::EqualSpike);
@@ -180,38 +203,126 @@ fn main() {
         let placement = consolidator
             .place(&vms, &pms)
             .expect("class-heavy placement");
-        let cases: [(&'static str, RngLayout, usize); 2] = [
-            ("shared_classheavy", RngLayout::Shared, 1),
-            ("class_aggregated", RngLayout::ClassAggregated, 1),
+        let (occupied_cells, mean_cell_n) = class_occupancy(&vms, m, &placement.assignment);
+        let occupancy = Some((occupied_cells, occupied_cells as f64, mean_cell_n));
+        if n == cell_n {
+            cell_assignment = placement.assignment.clone();
+            cell_m = m;
+        }
+        eprintln!("  n={n} m={m}: {occupied_cells} occupied cells, {mean_cell_n:.1} VMs/cell");
+        // `class_aggregated` keeps the pmf-recurrence walk so the row
+        // stays comparable across reports; `class_aggregated_cached` is
+        // the memoized-table path (the engine default). Both must agree
+        // bitwise — any outcome divergence is a hard failure.
+        let cases: [(&'static str, RngLayout, ClassSampler); 3] = [
+            ("shared_classheavy", RngLayout::Shared, ClassSampler::Walk),
+            (
+                "class_aggregated",
+                RngLayout::ClassAggregated,
+                ClassSampler::Walk,
+            ),
+            (
+                "class_aggregated_cached",
+                RngLayout::ClassAggregated,
+                ClassSampler::Cached,
+            ),
         ];
-        for (layout, rng_layout, threads) in cases {
+        let mut class_outcomes: Vec<(&'static str, (usize, usize, usize))> = Vec::new();
+        for (layout, rng_layout, class_sampler) in cases {
+            let mut outcome = (0usize, 0usize, 0usize);
             let secs = best_secs(repeats, || {
                 let cfg = SimConfig {
                     steps,
                     seed: 1,
                     migrations_enabled: true,
                     rng_layout,
-                    threads,
+                    class_sampler,
+                    threads: 1,
                     ..Default::default()
                 };
-                consolidator
-                    .simulate(&vms, &pms, &placement, cfg)
-                    .final_pms_used
+                let res = consolidator.simulate(&vms, &pms, &placement, cfg);
+                outcome = (
+                    res.final_pms_used,
+                    res.total_violation_steps,
+                    res.migrations.len(),
+                );
+                outcome.0
             });
             eprintln!(
                 "  n={n} {layout}: {secs:.4}s ({:.0} steps/s)",
                 steps as f64 / secs
             );
+            if rng_layout == RngLayout::ClassAggregated {
+                class_outcomes.push((layout, outcome));
+            }
             rows.push(EngineRow {
                 n,
                 layout,
-                threads,
+                threads: 1,
                 secs,
                 steps_per_sec: steps as f64 / secs,
                 vm_steps_per_sec: (steps * n) as f64 / secs,
+                occupancy,
             });
         }
+        if let [(_, walk), (_, cached)] = class_outcomes[..] {
+            if walk != cached {
+                eprintln!(
+                    "FAIL: cached sampler diverged from the walk at n={n}: \
+                     walk {walk:?} vs cached {cached:?} \
+                     (final_pms_used, violation_steps, migrations)"
+                );
+                std::process::exit(1);
+            }
+        }
     }
+
+    // Raw cell-kernel microbenchmark: the class-aggregated evolution
+    // pass alone — controller, policies and demand bookkeeping stripped
+    // away — stepped over the largest class fleet with the walk sampler
+    // and with the memoized tables, on the same QueuingFFD placement the
+    // class rows ran (so the cell density matches the engine regime).
+    // `cell_steps_per_sec` is the kernel-native unit (cells touched per
+    // second); `vm_steps_per_sec` is the fleet-facing one the headline
+    // targets quote.
+    let cell_vms = {
+        let mut gen = FleetGenerator::new(cell_n as u64);
+        gen.vms_table_i(cell_n, WorkloadPattern::EqualSpike)
+    };
+    if cell_assignment.is_empty() {
+        // No class fleets ran (empty --class-fleets): fall back to a
+        // round-robin spread so the section still reports.
+        cell_m = (cell_n / 200).max(1);
+        cell_assignment = (0..cell_n).map(|i| Some(i % cell_m)).collect();
+    }
+    let mut walk_bench = ClassCoreBench::new(&cell_vms, cell_m, &cell_assignment, 1, 1, false);
+    let cell_walk_secs = best_secs(repeats, || {
+        let mut acc = 0.0;
+        for _ in 0..steps {
+            acc += walk_bench.step();
+        }
+        acc
+    });
+    let mut cached_bench = ClassCoreBench::new(&cell_vms, cell_m, &cell_assignment, 1, 1, true);
+    let cell_cached_secs = best_secs(repeats, || {
+        let mut acc = 0.0;
+        for _ in 0..steps {
+            acc += cached_bench.step();
+        }
+        acc
+    });
+    let cell_occupied = cached_bench.occupied_cells();
+    let (cache_hits, cache_misses, cache_evictions) = cached_bench.cache_stats();
+    let cache_hit_rate = cache_hits as f64 / (cache_hits + cache_misses).max(1) as f64;
+    let cell_walk_vmsps = (steps * cell_n) as f64 / cell_walk_secs;
+    let cell_cached_vmsps = (steps * cell_n) as f64 / cell_cached_secs;
+    eprintln!(
+        "  cell kernel n={cell_n} ({cell_occupied} cells): walk {cell_walk_secs:.4}s \
+         ({cell_walk_vmsps:.3e} vm·steps/s) vs cached {cell_cached_secs:.4}s \
+         ({cell_cached_vmsps:.3e} vm·steps/s, {:.2}x, hit rate {:.4})",
+        cell_walk_secs / cell_cached_secs,
+        cache_hit_rate
+    );
 
     // Hot-loop microbenchmark: the evolution pass alone, the way the
     // pre-SoA engine ran it (per-VM method indirection, an OnOffChain
@@ -342,9 +453,17 @@ fn main() {
         let _ = write!(
             json,
             "    {{\"n\": {}, \"layout\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \
-             \"steps_per_sec\": {:.1}, \"vm_steps_per_sec\": {:.1}}}",
+             \"steps_per_sec\": {:.1}, \"vm_steps_per_sec\": {:.1}",
             r.n, r.layout, r.threads, r.secs, r.steps_per_sec, r.vm_steps_per_sec
         );
+        if let Some((cells, cells_per_step, mean_n)) = r.occupancy {
+            let _ = write!(
+                json,
+                ", \"occupied_cells\": {cells}, \"cells_per_step\": {cells_per_step:.1}, \
+                 \"mean_cell_n\": {mean_n:.2}"
+            );
+        }
+        json.push('}');
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
@@ -373,11 +492,35 @@ fn main() {
                 "\"class_aggregated_over_shared_classheavy\": {:.3}",
                 speedup_of(n, "shared_classheavy", "class_aggregated")
             ));
+            pairs.push(format!(
+                "\"class_cached_over_shared_classheavy\": {:.3}",
+                speedup_of(n, "shared_classheavy", "class_aggregated_cached")
+            ));
+            pairs.push(format!(
+                "\"class_cached_over_walk\": {:.3}",
+                speedup_of(n, "class_aggregated", "class_aggregated_cached")
+            ));
         }
         let _ = write!(json, "    \"n{n}\": {{{}}}", pairs.join(", "));
         json.push_str(if i + 1 < all_ns.len() { ",\n" } else { "\n" });
     }
     json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"cell_kernel\": {{\"n\": {cell_n}, \"m\": {cell_m}, \
+         \"occupied_cells\": {cell_occupied}, \"steps\": {steps}, \
+         \"walk_secs\": {cell_walk_secs:.6}, \"cached_secs\": {cell_cached_secs:.6}, \
+         \"speedup\": {:.3}, \
+         \"walk_vm_steps_per_sec\": {cell_walk_vmsps:.1}, \
+         \"cached_vm_steps_per_sec\": {cell_cached_vmsps:.1}, \
+         \"walk_cell_steps_per_sec\": {:.1}, \
+         \"cached_cell_steps_per_sec\": {:.1}, \
+         \"cache\": {{\"hits\": {cache_hits}, \"misses\": {cache_misses}, \
+         \"evictions\": {cache_evictions}, \"hit_rate\": {cache_hit_rate:.6}}}}},",
+        cell_walk_secs / cell_cached_secs,
+        (steps * cell_occupied) as f64 / cell_walk_secs,
+        (steps * cell_occupied) as f64 / cell_cached_secs
+    );
     let _ = writeln!(
         json,
         "  \"hot_loop\": {{\"n\": {hot_n}, \"legacy_secs\": {hot_legacy:.6}, \
@@ -411,5 +554,24 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("obs gate: NoopRecorder overhead {obs_noop_overhead_pct:+.2}% <= {gate}%");
+    }
+
+    // Throughput regression gate for the memoized-table kernel: the
+    // cached class layout must beat the shared layout on the largest
+    // class fleet by at least the given factor, end to end (controller
+    // included) — catches both a sampler regression and a cache that
+    // stopped hitting.
+    if let Some(gate) = class_gate {
+        let n = class_fleets.iter().copied().max().unwrap_or(0);
+        let speedup = speedup_of(n, "shared_classheavy", "class_aggregated_cached");
+        // NaN (missing rows) must fail the gate, not slip past it.
+        if speedup.is_nan() || speedup < gate {
+            eprintln!(
+                "FAIL: class_aggregated_cached speedup {speedup:.2}x over shared_classheavy \
+                 at n={n} is below the --class-gate {gate}x floor"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("class gate: cached speedup {speedup:.2}x >= {gate}x at n={n}");
     }
 }

@@ -750,13 +750,14 @@ pub fn online_replay(args: &[String], out: &mut dyn Write) -> Result<(), CliErro
     )?;
     writeln!(
         out,
-        "population {} VMs on {} of {m} PMs; admit p50/p99 {}/{} ns, depart p50/p99 {}/{} ns",
+        "population {} VMs on {} of {m} PMs; admit p50/p99 ~{:.0}/~{:.0} ns, \
+         depart p50/p99 ~{:.0}/~{:.0} ns",
         cluster.n_vms(),
         cluster.pms_used(),
-        admit_hist.quantile(0.5).unwrap_or(0),
-        admit_hist.quantile(0.99).unwrap_or(0),
-        depart_hist.quantile(0.5).unwrap_or(0),
-        depart_hist.quantile(0.99).unwrap_or(0),
+        admit_hist.quantile_interpolated(0.5).unwrap_or(0.0),
+        admit_hist.quantile_interpolated(0.99).unwrap_or(0.0),
+        depart_hist.quantile_interpolated(0.5).unwrap_or(0.0),
+        depart_hist.quantile_interpolated(0.99).unwrap_or(0.0),
     )?;
     if let (Some(path), Some(r)) = (trace_out, rec.as_ref()) {
         std::fs::write(path, r.to_jsonl()).map_err(|e| err(format!("cannot write {path}: {e}")))?;

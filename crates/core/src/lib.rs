@@ -77,7 +77,7 @@ pub mod prelude {
     };
     pub use bursty_sim::{
         detect_stabilization, replicate, run_churn, CheckpointConfig, CheckpointError,
-        CheckpointedRun, ChurnConfig, ChurnOutcome, ConfigError, DegradedAdmission,
+        CheckpointedRun, ChurnConfig, ChurnOutcome, ClassSampler, ConfigError, DegradedAdmission,
         EvacuationEvent, FaultConfig, FaultEvent, FaultKind, FaultProcess, MigrationEvent,
         ObservedPolicy, PeakPolicy, QueuePolicy, RecoveryReport, RecoveryStats, RngLayout,
         RuntimePolicy, SimConfig, SimOutcome, Simulator, Stabilization,

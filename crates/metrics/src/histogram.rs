@@ -292,6 +292,39 @@ impl Log2Histogram {
         last_nonempty.map(|b| self.bucket_range(b).1)
     }
 
+    /// Interpolated `q`-quantile estimate: linear within the winning
+    /// bucket's inclusive value range, the log2 analogue of
+    /// [`Histogram::quantile`]. Where [`quantile`](Self::quantile)
+    /// returns the bucket's *upper bound* (511, 8191, …), this spreads
+    /// the bucket's mass uniformly over its range — still a sketch, but
+    /// one that doesn't systematically overshoot by up to 2x. The
+    /// saturated last bucket has no finite width, so its estimate is
+    /// the bucket's lower bound. `None` when empty.
+    pub fn quantile_interpolated(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        let mut last_nonempty = None;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                last_nonempty = Some(b);
+                if target <= (cum + c) as f64 {
+                    let (start, end) = self.bucket_range(b);
+                    if end == u64::MAX || end <= start {
+                        return Some(start as f64);
+                    }
+                    let frac = (target - cum as f64) / c as f64;
+                    return Some(start as f64 + frac * (end - start) as f64);
+                }
+                cum += c;
+            }
+        }
+        last_nonempty.map(|b| self.bucket_range(b).0 as f64)
+    }
+
     /// Adds `other`'s counts bucket-by-bucket.
     ///
     /// # Errors
@@ -400,6 +433,36 @@ mod tests {
         assert_eq!(h.quantile(0.5), Some(1));
         assert_eq!(h.quantile(1.0), Some(127), "100 has bit length 7");
         assert_eq!(Log2Histogram::new(8).quantile(0.5), None);
+    }
+
+    #[test]
+    fn log2_quantile_interpolated_spreads_bucket_mass() {
+        let mut h = Log2Histogram::new(Log2Histogram::MAX_BUCKETS);
+        // 100 values uniformly filling bucket [256, 511] (bit length 9).
+        for _ in 0..100 {
+            h.record(300);
+        }
+        // Plain quantile always says 511; interpolation walks the range.
+        assert_eq!(h.quantile(0.5), Some(511));
+        let p50 = h.quantile_interpolated(0.5).unwrap();
+        assert!(
+            (p50 - 383.5).abs() < 1.0,
+            "midpoint of [256,511], got {p50}"
+        );
+        let p01 = h.quantile_interpolated(0.01).unwrap();
+        assert!(
+            (256.0..270.0).contains(&p01),
+            "near bucket start, got {p01}"
+        );
+        // Bucket 0 holds only the value 0.
+        let mut z = Log2Histogram::new(8);
+        z.record(0);
+        assert_eq!(z.quantile_interpolated(0.5), Some(0.0));
+        // Saturated last bucket has no finite width: report its start.
+        let mut s = Log2Histogram::new(4);
+        s.record(u64::MAX);
+        assert_eq!(s.quantile_interpolated(0.99), Some(4.0));
+        assert_eq!(Log2Histogram::new(8).quantile_interpolated(0.5), None);
     }
 
     #[test]

@@ -85,10 +85,17 @@ pub enum Counter {
     /// Recalibrations whose rounded pair moved less than ε, so the cached
     /// mapping table was kept and no index rebuild happened.
     OnlineRecalibrationsSkipped,
+    /// Class-aggregated binomial draws answered from a memoized CDF
+    /// table (see `sim::rng::binomial_table`).
+    BinomialTableHits,
+    /// Class-aggregated binomial draws that built their table first.
+    BinomialTableMisses,
+    /// Memoized CDF tables dropped by cache generation flushes.
+    BinomialTableEvictions,
 }
 
 impl Counter {
-    pub const COUNT: usize = 32;
+    pub const COUNT: usize = 35;
 
     /// Stable snake_case name used in the JSONL meta record.
     pub fn name(self) -> &'static str {
@@ -125,6 +132,9 @@ impl Counter {
             Counter::DepartRebuildVisits => "depart_rebuild_visits",
             Counter::OnlineBatches => "online_batches",
             Counter::OnlineRecalibrationsSkipped => "online_recalibrations_skipped",
+            Counter::BinomialTableHits => "binomial_table_hits",
+            Counter::BinomialTableMisses => "binomial_table_misses",
+            Counter::BinomialTableEvictions => "binomial_table_evictions",
         }
     }
 
@@ -163,6 +173,9 @@ impl Counter {
             Counter::DepartRebuildVisits,
             Counter::OnlineBatches,
             Counter::OnlineRecalibrationsSkipped,
+            Counter::BinomialTableHits,
+            Counter::BinomialTableMisses,
+            Counter::BinomialTableEvictions,
         ]
     }
 }

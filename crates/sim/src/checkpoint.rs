@@ -160,8 +160,11 @@ pub struct CheckpointedRun {
 /// the power model, and the exact bit patterns of the fleet specs.
 /// `threads` is deliberately excluded — any thread count produces
 /// `to_bits`-identical results (the core's determinism contract), so a
-/// snapshot may be resumed at a different parallelism. The `dyn`
-/// runtime policy cannot participate; see the module docs.
+/// snapshot may be resumed at a different parallelism. `class_sampler`
+/// is excluded for the same reason: the memoized tables and the walk
+/// draw bit-identical values, so a snapshot may be resumed under
+/// either sampler. The `dyn` runtime policy cannot participate; see
+/// the module docs.
 pub(crate) fn fingerprint(sim: &Simulator<'_>) -> u64 {
     let mut h: u64 = 0x4243_4b50; // "BCKP"
     let mut eat = |w: u64| h = mix64(h ^ w);
@@ -511,6 +514,7 @@ pub(crate) fn decode_state(
         sim.config.rng_layout,
         sim.config.threads,
     );
+    core.set_class_sampler(sim.config.class_sampler == crate::config::ClassSampler::Cached);
     core.restore_mode(snap).map_err(bad)?;
     core.on.copy_from_slice(&on);
 

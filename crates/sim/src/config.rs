@@ -57,6 +57,24 @@ pub enum RngLayout {
     ClassAggregated,
 }
 
+/// Which binomial sampler the class-aggregated hot loop inverts its
+/// uniforms through. **Not** part of the scientific configuration: both
+/// samplers produce `to_bits`-identical draws (the memoized tables
+/// store the exact partial sums of the walk — DESIGN.md §8), so this
+/// knob — like [`SimConfig::threads`] — selects throughput, never the
+/// sample path, and is excluded from the checkpoint fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClassSampler {
+    /// Memoized per-`(n, p)` CDF tables with guide-table lookup —
+    /// O(1) expected per draw (the default).
+    #[default]
+    Cached,
+    /// The plain pmf-recurrence inverse-CDF walk — O(E[X] + 1) per
+    /// draw. Kept addressable so the two kernels stay benchable
+    /// against each other.
+    Walk,
+}
+
 /// A structurally invalid [`SimConfig`], [`FaultConfig`], or
 /// [`CheckpointConfig`], detected before the run instead of surfacing
 /// as NaN CVRs, empty outcomes, or a checkpoint directory that turns
@@ -276,6 +294,10 @@ pub struct SimConfig {
     /// [`crate::replicate_seeds`] workers (replication-level parallelism
     /// already owns the cores). Any value yields bit-identical outcomes.
     pub threads: usize,
+    /// Binomial sampler of the [`RngLayout::ClassAggregated`] hot loop.
+    /// Like `threads`, purely a throughput knob: both samplers draw
+    /// bit-identical values.
+    pub class_sampler: ClassSampler,
 }
 
 impl Default for SimConfig {
@@ -295,6 +317,7 @@ impl Default for SimConfig {
             faults: None,
             rng_layout: RngLayout::default(),
             threads: 1,
+            class_sampler: ClassSampler::default(),
         }
     }
 }

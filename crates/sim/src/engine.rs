@@ -462,6 +462,7 @@ impl<'a> Simulator<'a> {
             self.config.rng_layout,
             self.config.threads,
         );
+        core.set_class_sampler(self.config.class_sampler == crate::config::ClassSampler::Cached);
 
         let host: Vec<Option<usize>> = initial
             .assignment
@@ -1007,15 +1008,19 @@ impl<'a> Simulator<'a> {
             // 6. Bookkeeping.
             dual.iter_mut().for_each(|e| e.2 -= 1);
             dual.retain(|e| e.2 > 0);
-            let used = loads.iter().filter(|l| !l.is_empty()).count();
-            *peak_pms_used = (*peak_pms_used).max(used);
-            pms_used_series.push(used as f64);
+            // Used count and energy in one pass over the PMs (both read
+            // post-migration state, so neither can fold into the
+            // violation loop above).
+            let mut used = 0usize;
             for j in 0..m {
                 if !loads[j].is_empty() {
+                    used += 1;
                     let util = observed[j] / self.pms[j].capacity;
                     *energy += self.power.energy(util, self.config.sigma_secs);
                 }
             }
+            *peak_pms_used = (*peak_pms_used).max(used);
+            pms_used_series.push(used as f64);
             if fault_process.is_some() {
                 let stranded = host.iter().filter(|h| h.is_none()).count();
                 fs.recovery.stranded_vm_steps += stranded;
@@ -1045,6 +1050,7 @@ impl<'a> Simulator<'a> {
     fn finish<R: Recorder>(&self, st: RunState, rec: &mut R) -> SimOutcome {
         let m = self.pms.len();
         let RunState {
+            core,
             loads,
             mut fs,
             vio_steps,
@@ -1083,6 +1089,13 @@ impl<'a> Simulator<'a> {
             );
             rec.gauge_set(Gauge::PeakPmsUsed, peak_pms_used as f64);
             rec.gauge_set(Gauge::EnergyJoules, energy);
+            // Class-aggregated sampler-cache counters (zero under the
+            // other layouts, and left unrecorded to keep traces sparse).
+            if let Some(stats) = core.class_cache_stats() {
+                rec.counter_add(Counter::BinomialTableHits, stats.hits);
+                rec.counter_add(Counter::BinomialTableMisses, stats.misses);
+                rec.counter_add(Counter::BinomialTableEvictions, stats.evictions);
+            }
         }
 
         let cvr_per_pm = (0..m)

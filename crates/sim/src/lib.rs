@@ -20,6 +20,8 @@
 //! [`runner`] fans replications out across threads and aggregates
 //! mean/min/max, matching the paper's 10-repetition methodology (Fig. 9).
 
+#[doc(hidden)]
+pub mod bench_api;
 pub mod checkpoint;
 pub mod config;
 pub mod des;
@@ -37,7 +39,7 @@ pub mod stabilization;
 mod workload_core;
 
 pub use checkpoint::{CheckpointError, CheckpointedRun, Checkpointer, RecoveryReport};
-pub use config::{CheckpointConfig, ConfigError, RngLayout, SimConfig, VictimPolicy};
+pub use config::{CheckpointConfig, ClassSampler, ConfigError, RngLayout, SimConfig, VictimPolicy};
 pub use energy::PowerModel;
 pub use engine::{RecoveryStats, SimOutcome, Simulator};
 pub use events::{EvacuationEvent, FaultEvent, FaultKind, MigrationEvent};

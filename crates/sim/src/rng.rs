@@ -18,6 +18,9 @@
 //!
 //! [`RngLayout::PerVm`]: crate::config::RngLayout::PerVm
 
+#[path = "binomial_table.rs"]
+pub mod binomial_table;
+
 /// Weyl increment: 2^64 / φ, the SplitMix64 stream constant.
 const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 /// Second odd constant (from MurmurHash3/SplitMix64 finalizers) keeping
@@ -103,27 +106,22 @@ pub fn keyed_binomial(key: u64, counter: u64, n: u32, p: f64) -> u32 {
     if p >= 1.0 {
         return n;
     }
-    let u = keyed_u01(key, counter);
-    let q = 1.0 - p;
-    let ratio = p / q;
-    let mut pmf = q.powi(n as i32);
+    binomial_from_u01(keyed_u01(key, counter), n, p)
+}
+
+/// The walk's anchor: the first value covered and its pmf. `(0, q^n)`
+/// when `q^n` is representable; otherwise (possible for cells of many
+/// thousands of VMs) the lower 12σ edge of the distribution with the
+/// anchor pmf evaluated in log space — the skipped left tail carries
+/// < 1e-30 probability mass. Shared verbatim between the walk and
+/// [`binomial_table::BinomialTable::build`], which is one half of the
+/// table's bit-identity contract.
+#[inline]
+pub(crate) fn walk_anchor(n: u32, p: f64, q: f64) -> (u32, f64) {
+    let pmf = q.powi(n as i32);
     if pmf > 0.0 {
-        // Ordered inverse-CDF walk from k = 0: O(E[X] + 1) per draw for
-        // the small switch probabilities the ON-OFF chains use.
-        let mut cdf = pmf;
-        let mut k = 0u32;
-        while u >= cdf && k < n {
-            pmf *= (n - k) as f64 / (k + 1) as f64 * ratio;
-            k += 1;
-            cdf += pmf;
-        }
-        return k;
+        return (0, pmf);
     }
-    // q^n underflowed (possible for cells of many thousands of VMs):
-    // anchor the same ordered walk at the lower 12σ edge, with the anchor
-    // pmf evaluated in log space. The skipped left tail carries < 1e-30
-    // probability mass, and the draw stays a pure function of the
-    // coordinates.
     let mean = n as f64 * p;
     let start = (mean - 12.0 * (mean * q).sqrt()).floor().max(0.0) as u32;
     use bursty_markov::binomial::ln_gamma;
@@ -132,7 +130,27 @@ pub fn keyed_binomial(key: u64, counter: u64, n: u32, p: f64) -> u32 {
         - ln_gamma(f64::from(n - start) + 1.0)
         + f64::from(start) * p.ln()
         + f64::from(n - start) * q.ln();
-    let mut pmf = ln_pmf.exp();
+    (start, ln_pmf.exp())
+}
+
+/// The inverse-CDF walk applied to an explicit uniform: the mapping
+/// [`keyed_binomial`] pushes its keyed draw through. Exposed so the
+/// memoized tables in [`binomial_table`] can be differential-tested
+/// against the walk at the `u` level.
+#[inline]
+pub fn binomial_from_u01(u: f64, n: u32, p: f64) -> u32 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let q = 1.0 - p;
+    let ratio = p / q;
+    // Ordered inverse-CDF walk from the anchor: O(E[X] + 1) per draw
+    // for the small switch probabilities the ON-OFF chains use. The
+    // loop is bounded by `n` regardless of roundoff.
+    let (start, mut pmf) = walk_anchor(n, p, q);
     let mut cdf = pmf;
     let mut k = start;
     while u >= cdf && k < n {

@@ -47,6 +47,7 @@
 //! [`RngLayout::PerVm`]: crate::config::RngLayout::PerVm
 
 use crate::config::RngLayout;
+use crate::rng::binomial_table::{CacheStats, TableCache, DEFAULT_ENTRY_BUDGET};
 use crate::rng::{class_cell_key, class_hash, keyed_binomial, keyed_u01, stream_key};
 use bursty_workload::classes::VmClass;
 use bursty_workload::VmSpec;
@@ -85,6 +86,10 @@ struct ClassInfo {
     /// Content hash of the class key, the class axis of every cell's
     /// stream coordinates.
     hash: u64,
+    /// Index of `p_off` in the per-chunk table caches' `p` registry.
+    slot_off: u32,
+    /// Index of `p_on` in the per-chunk table caches' `p` registry.
+    slot_on: u32,
 }
 
 /// One `(location, class)` ON-counter of the class-aggregated layout:
@@ -115,10 +120,27 @@ enum Mode {
         classes: Vec<ClassInfo>,
         /// Canonical class index per VM.
         class_of: Vec<u32>,
-        /// Cells per location: `cells[0..m]` are the PMs, `cells[m]` is
-        /// the limbo pool of displaced VMs (which evolve but contribute
-        /// no demand). Populated by [`WorkloadCore::class_init`].
-        cells: Vec<Vec<Cell>>,
+        /// CSR offsets over `cells`: location `loc`'s cells live at
+        /// `cells[offsets[loc] as usize..offsets[loc + 1] as usize]`.
+        /// Locations `0..m` are the PMs, location `m` the limbo pool of
+        /// displaced VMs (which evolve but contribute no demand), so
+        /// `offsets.len() == m + 2`.
+        offsets: Vec<u32>,
+        /// All locations' cells in one flat array, sorted by class
+        /// within each location. Populated by
+        /// [`WorkloadCore::class_init`]; the hot loop only mutates
+        /// `n_on`, structural edits (moves, crashes) shift the tail.
+        cells: Vec<Cell>,
+        /// One memoized binomial-sampler cache per location chunk. The
+        /// chunk partition is a function of `m` only, and each chunk is
+        /// evolved by exactly one worker per step, so the summed cache
+        /// counters are invariant in the thread count.
+        caches: Vec<TableCache>,
+        /// `true` (the default): draws go through the memoized tables.
+        /// `false`: every draw re-runs the pmf-recurrence walk — the
+        /// PR-6 kernel, kept addressable for benchmarking because both
+        /// samplers are bit-identical by construction.
+        cached: bool,
         /// Resolved worker count (≥ 1). Purely a throughput knob.
         threads: usize,
         seed: u64,
@@ -221,6 +243,8 @@ impl WorkloadCore {
                         demand_off: 0.0,
                         demand_on: 0.0,
                         hash: class_hash(k),
+                        slot_off: 0,
+                        slot_on: 0,
                     })
                     .collect();
                 let class_of: Vec<u32> =
@@ -232,11 +256,34 @@ impl WorkloadCore {
                     info.demand_off = vm.demand(false);
                     info.demand_on = vm.demand(true);
                 }
-                let chunks = m.div_ceil(CLASS_PM_CHUNK).max(1);
+                // Registry of distinct switch probabilities: the axis
+                // the sampler caches index tables by (alongside n), so
+                // the hot loop never hashes.
+                let mut p_values: Vec<f64> =
+                    classes.iter().flat_map(|c| [c.p_off, c.p_on]).collect();
+                p_values.sort_by(f64::total_cmp);
+                p_values.dedup_by(|a, b| a.to_bits() == b.to_bits());
+                let slot_of = |p: f64| {
+                    p_values
+                        .binary_search_by(|v| v.total_cmp(&p))
+                        .expect("registered probability") as u32
+                };
+                for info in &mut classes {
+                    info.slot_off = slot_of(info.p_off);
+                    info.slot_on = slot_of(info.p_on);
+                }
+                // One chunk per CLASS_PM_CHUNK locations (the m PMs plus
+                // the limbo pool, which rides in the last chunk).
+                let chunks = (m + 1).div_ceil(CLASS_PM_CHUNK);
                 Mode::ClassAggregated {
                     classes,
                     class_of,
-                    cells: (0..=m).map(|_| Vec::new()).collect(),
+                    offsets: vec![0; m + 2],
+                    cells: Vec::new(),
+                    caches: (0..chunks)
+                        .map(|_| TableCache::new(&p_values, DEFAULT_ENTRY_BUDGET))
+                        .collect(),
+                    cached: true,
                     threads: resolve_threads(chunks),
                     seed,
                 }
@@ -342,67 +389,117 @@ impl WorkloadCore {
             }
             Mode::ClassAggregated {
                 classes,
+                offsets,
                 cells,
+                caches,
+                cached,
                 threads,
                 ..
             } => {
-                // Two binomial draws per occupied (PM, class) cell: the
-                // ON→OFF departures and OFF→ON arrivals of the cell's
-                // superposed chains. Draw coordinates are pure functions
-                // of (seed, location, class, step) — counters 2·step and
-                // 2·step + 1 of the cell's keyed stream — so any thread
-                // can evolve any PM, and each PM's demand is produced
-                // entirely by its own cells in canonical class order:
-                // thread-count invariance needs no reduction tree here.
+                // Two binomial draws per occupied (location, class)
+                // cell: the ON→OFF departures and OFF→ON arrivals of the
+                // cell's superposed chains. Draw coordinates are pure
+                // functions of (seed, location, class, step) — counters
+                // 2·step and 2·step + 1 of the cell's keyed stream — so
+                // any thread can evolve any location, and each PM's
+                // demand is produced entirely by its own cells in
+                // canonical class order: thread-count invariance needs
+                // no reduction tree here. Locations are cut into fixed
+                // CLASS_PM_CHUNK chunks (a function of m only); the
+                // limbo pool is the last location and rides in the last
+                // chunk — displaced VMs keep evolving (the draw sequence
+                // must not depend on fault decisions) but write no
+                // demand. Each chunk owns one sampler cache, so cache
+                // state and counters are also thread-count invariant.
                 let m = observed.len();
-                let (pm_cells, limbo) = cells.split_at_mut(m);
+                let total_locs = offsets.len() - 1;
                 let classes: &[ClassInfo] = classes;
-                let evolve = |cell_chunk: &mut [Vec<Cell>], obs_chunk: &mut [f64]| {
-                    for (cs, o) in cell_chunk.iter_mut().zip(obs_chunk.iter_mut()) {
+                let offsets: &[u32] = offsets;
+                let cached = *cached;
+                let evolve = |c: usize,
+                              chunk: &mut [Cell],
+                              obs: &mut [f64],
+                              cache: &mut TableCache| {
+                    let lo = c * CLASS_PM_CHUNK;
+                    let hi = (lo + CLASS_PM_CHUNK).min(total_locs);
+                    let base = offsets[lo] as usize;
+                    for loc in lo..hi {
+                        let s = offsets[loc] as usize - base;
+                        let e = offsets[loc + 1] as usize - base;
                         let mut demand = 0.0;
-                        for cell in cs.iter_mut() {
+                        for cell in &mut chunk[s..e] {
                             let info = &classes[cell.class as usize];
                             let off_count = cell.count - cell.n_on;
-                            let out = keyed_binomial(cell.key, 2 * step, cell.n_on, info.p_off);
-                            let inn = keyed_binomial(cell.key, 2 * step + 1, off_count, info.p_on);
+                            let (out, inn) = if cached {
+                                (
+                                    cache.draw(
+                                        info.slot_off as usize,
+                                        cell.key,
+                                        2 * step,
+                                        cell.n_on,
+                                    ),
+                                    cache.draw(
+                                        info.slot_on as usize,
+                                        cell.key,
+                                        2 * step + 1,
+                                        off_count,
+                                    ),
+                                )
+                            } else {
+                                (
+                                    keyed_binomial(cell.key, 2 * step, cell.n_on, info.p_off),
+                                    keyed_binomial(cell.key, 2 * step + 1, off_count, info.p_on),
+                                )
+                            };
                             cell.n_on = cell.n_on - out + inn;
                             demand += f64::from(cell.n_on) * info.demand_on
                                 + f64::from(cell.count - cell.n_on) * info.demand_off;
                         }
-                        *o = demand;
+                        if loc < m {
+                            obs[loc - lo] = demand;
+                        }
                     }
                 };
-                if *threads <= 1 || m <= CLASS_PM_CHUNK {
-                    evolve(pm_cells, observed);
+                // Cut the flat arrays at chunk boundaries; the per-chunk
+                // observed slice stops at m (the limbo location has no
+                // demand entry).
+                let mut units: Vec<(usize, &mut [Cell], &mut [f64], &mut TableCache)> =
+                    Vec::with_capacity(caches.len());
+                let mut cell_rest: &mut [Cell] = cells;
+                let mut obs_rest: &mut [f64] = observed;
+                let mut consumed = 0usize;
+                let mut obs_consumed = 0usize;
+                for (c, cache) in caches.iter_mut().enumerate() {
+                    let hi = ((c + 1) * CLASS_PM_CHUNK).min(total_locs);
+                    let (chunk, rest) = cell_rest.split_at_mut(offsets[hi] as usize - consumed);
+                    consumed = offsets[hi] as usize;
+                    cell_rest = rest;
+                    let (obs, rest) = obs_rest.split_at_mut(hi.min(m) - obs_consumed);
+                    obs_consumed = hi.min(m);
+                    obs_rest = rest;
+                    units.push((c, chunk, obs, cache));
+                }
+                if *threads <= 1 || units.len() <= 1 {
+                    for (c, chunk, obs, cache) in &mut units {
+                        evolve(*c, chunk, obs, cache);
+                    }
                 } else {
-                    let units: Vec<(&mut [Vec<Cell>], &mut [f64])> = pm_cells
-                        .chunks_mut(CLASS_PM_CHUNK)
-                        .zip(observed.chunks_mut(CLASS_PM_CHUNK))
-                        .collect();
                     #[allow(clippy::type_complexity)]
-                    let mut buckets: Vec<Vec<(&mut [Vec<Cell>], &mut [f64])>> =
-                        (0..*threads).map(|_| Vec::new()).collect();
+                    let mut buckets: Vec<
+                        Vec<(usize, &mut [Cell], &mut [f64], &mut TableCache)>,
+                    > = (0..*threads).map(|_| Vec::new()).collect();
                     for (slot, unit) in units.into_iter().enumerate() {
                         buckets[slot % *threads].push(unit);
                     }
                     thread::scope(|scope| {
                         for bucket in &mut buckets {
                             scope.spawn(|| {
-                                for (cell_chunk, obs_chunk) in bucket.iter_mut() {
-                                    evolve(cell_chunk, obs_chunk);
+                                for (c, chunk, obs, cache) in bucket.iter_mut() {
+                                    evolve(*c, chunk, obs, cache);
                                 }
                             });
                         }
                     });
-                }
-                // Displaced VMs keep evolving (the draw sequence must not
-                // depend on fault decisions) but contribute no demand.
-                for cell in limbo[0].iter_mut() {
-                    let info = &classes[cell.class as usize];
-                    let off_count = cell.count - cell.n_on;
-                    let out = keyed_binomial(cell.key, 2 * step, cell.n_on, info.p_off);
-                    let inn = keyed_binomial(cell.key, 2 * step + 1, off_count, info.p_on);
-                    cell.n_on = cell.n_on - out + inn;
                 }
             }
         }
@@ -416,6 +513,7 @@ impl WorkloadCore {
         let Mode::ClassAggregated {
             classes,
             class_of,
+            offsets,
             cells,
             seed,
             ..
@@ -423,14 +521,15 @@ impl WorkloadCore {
         else {
             return;
         };
-        for cs in cells.iter_mut() {
-            cs.clear();
-        }
-        let limbo = cells.len() - 1;
+        let locations = offsets.len() - 1;
+        let limbo = locations - 1;
+        // Bucket per location first (cheap sorted inserts into short
+        // vectors), then flatten into the CSR arrays once.
+        let mut buckets: Vec<Vec<Cell>> = (0..locations).map(|_| Vec::new()).collect();
         for (i, h) in host.iter().enumerate() {
             let loc = h.unwrap_or(limbo);
             let c = class_of[i];
-            let cs = &mut cells[loc];
+            let cs = &mut buckets[loc];
             match cs.binary_search_by_key(&c, |cell| cell.class) {
                 Ok(at) => cs[at].count += 1,
                 Err(at) => cs.insert(
@@ -444,6 +543,18 @@ impl WorkloadCore {
                 ),
             }
         }
+        cells.clear();
+        offsets[0] = 0;
+        for (loc, bucket) in buckets.into_iter().enumerate() {
+            cells.extend(bucket);
+            offsets[loc + 1] = cells.len() as u32;
+        }
+    }
+
+    /// The CSR cell range of one location.
+    #[inline]
+    fn csr_range(offsets: &[u32], loc: usize) -> std::ops::Range<usize> {
+        offsets[loc] as usize..offsets[loc + 1] as usize
     }
 
     /// Refreshes the `on` flags of PM `j`'s hosted VMs from its cell
@@ -455,12 +566,16 @@ impl WorkloadCore {
     pub(crate) fn class_sync_pm(&mut self, j: usize, members: &[usize]) {
         let Self { on, mode, .. } = self;
         let Mode::ClassAggregated {
-            class_of, cells, ..
+            class_of,
+            offsets,
+            cells,
+            ..
         } = mode
         else {
             return;
         };
-        Self::class_assign_flags(on, class_of, &cells[j], members.iter().copied());
+        let range = Self::csr_range(offsets, j);
+        Self::class_assign_flags(on, class_of, &cells[range], members.iter().copied());
     }
 
     /// Refreshes the `on` flags of every displaced VM (`host[i] == None`)
@@ -469,18 +584,22 @@ impl WorkloadCore {
     pub(crate) fn class_sync_displaced(&mut self, host: &[Option<usize>]) {
         let Self { on, mode, .. } = self;
         let Mode::ClassAggregated {
-            class_of, cells, ..
+            class_of,
+            offsets,
+            cells,
+            ..
         } = mode
         else {
             return;
         };
-        let limbo = cells.len() - 1;
+        let limbo = offsets.len() - 2;
         let displaced = host
             .iter()
             .enumerate()
             .filter(|(_, h)| h.is_none())
             .map(|(i, _)| i);
-        Self::class_assign_flags(on, class_of, &cells[limbo], displaced);
+        let range = Self::csr_range(offsets, limbo);
+        Self::class_assign_flags(on, class_of, &cells[range], displaced);
     }
 
     /// Shared flag-assignment pass of the two sync hooks: group `members`
@@ -529,6 +648,7 @@ impl WorkloadCore {
         let Mode::ClassAggregated {
             classes,
             class_of,
+            offsets,
             cells,
             seed,
             ..
@@ -536,37 +656,47 @@ impl WorkloadCore {
         else {
             return;
         };
-        let limbo = cells.len() - 1;
+        let limbo = offsets.len() - 2;
         let c = class_of[i];
         let was_on = on[i];
         let src = from.unwrap_or(limbo);
-        let cs = &mut cells[src];
-        let at = cs
+        let range = Self::csr_range(offsets, src);
+        let at = cells[range.clone()]
             .binary_search_by_key(&c, |cell| cell.class)
             .expect("moving VM has a source cell");
-        cs[at].count -= 1;
+        let idx = range.start + at;
+        cells[idx].count -= 1;
         if was_on {
-            cs[at].n_on -= 1;
+            cells[idx].n_on -= 1;
         }
-        if cs[at].count == 0 {
-            cs.remove(at);
+        if cells[idx].count == 0 {
+            cells.remove(idx);
+            for o in &mut offsets[src + 1..] {
+                *o -= 1;
+            }
         }
         let dst = to.unwrap_or(limbo);
-        let cs = &mut cells[dst];
-        match cs.binary_search_by_key(&c, |cell| cell.class) {
+        let range = Self::csr_range(offsets, dst);
+        match cells[range.clone()].binary_search_by_key(&c, |cell| cell.class) {
             Ok(at) => {
-                cs[at].count += 1;
-                cs[at].n_on += u32::from(was_on);
+                let idx = range.start + at;
+                cells[idx].count += 1;
+                cells[idx].n_on += u32::from(was_on);
             }
-            Err(at) => cs.insert(
-                at,
-                Cell {
-                    class: c,
-                    count: 1,
-                    n_on: u32::from(was_on),
-                    key: class_cell_key(*seed, dst as u64, classes[c as usize].hash),
-                },
-            ),
+            Err(at) => {
+                cells.insert(
+                    range.start + at,
+                    Cell {
+                        class: c,
+                        count: 1,
+                        n_on: u32::from(was_on),
+                        key: class_cell_key(*seed, dst as u64, classes[c as usize].hash),
+                    },
+                );
+                for o in &mut offsets[dst + 1..] {
+                    *o += 1;
+                }
+            }
         }
     }
 
@@ -578,6 +708,7 @@ impl WorkloadCore {
         self.class_sync_pm(j, members);
         let Mode::ClassAggregated {
             classes,
+            offsets,
             cells,
             seed,
             ..
@@ -585,25 +716,78 @@ impl WorkloadCore {
         else {
             return;
         };
-        let limbo = cells.len() - 1;
-        let moved = std::mem::take(&mut cells[j]);
+        let limbo = offsets.len() - 2;
+        let range = Self::csr_range(offsets, j);
+        let moved: Vec<Cell> = cells.drain(range.clone()).collect();
+        let removed = moved.len() as u32;
+        for o in &mut offsets[j + 1..] {
+            *o -= removed;
+        }
         for cell in moved {
-            let pool = &mut cells[limbo];
-            match pool.binary_search_by_key(&cell.class, |c| c.class) {
+            let pool = Self::csr_range(offsets, limbo);
+            match cells[pool.clone()].binary_search_by_key(&cell.class, |c| c.class) {
                 Ok(at) => {
-                    pool[at].count += cell.count;
-                    pool[at].n_on += cell.n_on;
+                    let idx = pool.start + at;
+                    cells[idx].count += cell.count;
+                    cells[idx].n_on += cell.n_on;
                 }
-                Err(at) => pool.insert(
-                    at,
-                    Cell {
-                        class: cell.class,
-                        count: cell.count,
-                        n_on: cell.n_on,
-                        key: class_cell_key(*seed, limbo as u64, classes[cell.class as usize].hash),
-                    },
-                ),
+                Err(at) => {
+                    // The limbo pool is the last location, so only the
+                    // final offset shifts.
+                    cells.insert(
+                        pool.start + at,
+                        Cell {
+                            class: cell.class,
+                            count: cell.count,
+                            n_on: cell.n_on,
+                            key: class_cell_key(
+                                *seed,
+                                limbo as u64,
+                                classes[cell.class as usize].hash,
+                            ),
+                        },
+                    );
+                    offsets[limbo + 1] += 1;
+                }
             }
+        }
+    }
+
+    /// Selects the class-aggregated binomial sampler: the memoized
+    /// tables (`true`, the default) or the plain pmf-recurrence walk.
+    /// Both produce bit-identical draws — this is purely a throughput
+    /// knob, kept so the two kernels stay benchable against each other.
+    /// A no-op for the other layouts.
+    pub(crate) fn set_class_sampler(&mut self, use_tables: bool) {
+        if let Mode::ClassAggregated { cached, .. } = &mut self.mode {
+            *cached = use_tables;
+        }
+    }
+
+    /// Summed sampler-cache counters across the per-chunk caches
+    /// (`None` for the other layouts). The chunk partition is a
+    /// function of `m` only, so the sums are thread-count invariant.
+    pub(crate) fn class_cache_stats(&self) -> Option<CacheStats> {
+        let Mode::ClassAggregated { caches, .. } = &self.mode else {
+            return None;
+        };
+        Some(caches.iter().fold(CacheStats::default(), |acc, c| {
+            let s = c.stats();
+            CacheStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+                evictions: acc.evictions + s.evictions,
+            }
+        }))
+    }
+
+    /// Occupied `(location, class)` cell count under the
+    /// class-aggregated layout (`None` otherwise): the unit the hot
+    /// loop's cost actually scales with.
+    pub(crate) fn class_occupied_cells(&self) -> Option<usize> {
+        match &self.mode {
+            Mode::ClassAggregated { cells, .. } => Some(cells.len()),
+            _ => None,
         }
     }
 
@@ -612,10 +796,15 @@ impl WorkloadCore {
         match &self.mode {
             Mode::Shared { rng } => CoreSnapshot::Shared(rng.state()),
             Mode::PerVm { .. } => CoreSnapshot::PerVm,
-            Mode::ClassAggregated { cells, .. } => CoreSnapshot::ClassAggregated(
-                cells
-                    .iter()
-                    .map(|cs| cs.iter().map(|c| (c.class, c.count, c.n_on)).collect())
+            Mode::ClassAggregated { offsets, cells, .. } => CoreSnapshot::ClassAggregated(
+                offsets
+                    .windows(2)
+                    .map(|w| {
+                        cells[w[0] as usize..w[1] as usize]
+                            .iter()
+                            .map(|c| (c.class, c.count, c.n_on))
+                            .collect()
+                    })
                     .collect(),
             ),
         }
@@ -638,17 +827,18 @@ impl WorkloadCore {
             (
                 Mode::ClassAggregated {
                     classes,
+                    offsets,
                     cells,
                     seed,
                     ..
                 },
                 CoreSnapshot::ClassAggregated(locs),
             ) => {
-                if locs.len() != cells.len() {
+                if locs.len() != offsets.len() - 1 {
                     return Err(format!(
                         "class snapshot has {} locations, core expects {}",
                         locs.len(),
-                        cells.len()
+                        offsets.len() - 1
                     ));
                 }
                 let mut total: u64 = 0;
@@ -676,16 +866,16 @@ impl WorkloadCore {
                         self.on.len()
                     ));
                 }
-                for (loc, (dst, src)) in cells.iter_mut().zip(locs).enumerate() {
-                    *dst = src
-                        .into_iter()
-                        .map(|(class, count, n_on)| Cell {
-                            class,
-                            count,
-                            n_on,
-                            key: class_cell_key(*seed, loc as u64, classes[class as usize].hash),
-                        })
-                        .collect();
+                cells.clear();
+                offsets[0] = 0;
+                for (loc, src) in locs.into_iter().enumerate() {
+                    cells.extend(src.into_iter().map(|(class, count, n_on)| Cell {
+                        class,
+                        count,
+                        n_on,
+                        key: class_cell_key(*seed, loc as u64, classes[class as usize].hash),
+                    }));
+                    offsets[loc + 1] = cells.len() as u32;
                 }
                 Ok(())
             }
@@ -876,6 +1066,106 @@ mod tests {
         let (want_mean, want_var) = (k as f64 * pi, k as f64 * pi * (1.0 - pi));
         assert!((mean - want_mean).abs() < 0.03 * want_mean, "mean {mean}");
         assert!((var - want_var).abs() < 0.25 * want_var, "var {var}");
+    }
+
+    #[test]
+    fn cached_and_walk_samplers_are_bit_identical() {
+        // The memoized tables must reproduce the walk exactly — same
+        // demand trace, same counters, same flags — including across
+        // structural churn (moves and a crash merge) that retargets
+        // cells at fresh n values.
+        let m = 7;
+        let vms = class_fleet(300);
+        let host: Vec<Option<usize>> = (0..vms.len())
+            .map(|i| (i % 19 != 0).then_some(i % m))
+            .collect();
+        let run = |cached: bool| {
+            let mut core = WorkloadCore::new(&vms, m, 13, RngLayout::ClassAggregated, 1);
+            core.set_class_sampler(cached);
+            core.class_init(&host);
+            let mut host = host.clone();
+            let mut observed = vec![0.0; m];
+            let mut trace = Vec::new();
+            for step in 0..60u64 {
+                core.step(step, &host, &mut observed);
+                trace.extend(observed.iter().map(|v| v.to_bits()));
+                if step == 20 {
+                    // Move a few hosted VMs to their neighbouring PM.
+                    for &i in &[1usize, 7, 14] {
+                        let members: Vec<usize> =
+                            (0..vms.len()).filter(|&v| host[v] == host[i]).collect();
+                        core.class_sync_pm(host[i].unwrap(), &members);
+                        let to = host[i].map(|j| (j + 1) % m);
+                        core.class_move(i, host[i], to);
+                        host[i] = to;
+                    }
+                }
+                if step == 40 {
+                    // Crash PM 3: everyone there merges into limbo.
+                    let members: Vec<usize> =
+                        (0..vms.len()).filter(|&v| host[v] == Some(3)).collect();
+                    core.class_crash(3, &members);
+                    for &i in &members {
+                        host[i] = None;
+                    }
+                }
+            }
+            core.class_sync_displaced(&host);
+            (trace, core.on.clone())
+        };
+        let (trace_walk, on_walk) = run(false);
+        let (trace_cached, on_cached) = run(true);
+        assert_eq!(trace_walk, trace_cached, "demand traces diverged");
+        assert_eq!(on_walk, on_cached, "synced flags diverged");
+    }
+
+    #[test]
+    fn cache_counters_are_thread_count_invariant() {
+        // One cache per location chunk, chunks a function of m only —
+        // so the summed hit/miss/evict counters must not depend on the
+        // worker count.
+        let m = 2 * CLASS_PM_CHUNK + 33;
+        let vms = class_fleet(3 * m);
+        let host: Vec<Option<usize>> = (0..vms.len())
+            .map(|i| (i % 23 != 0).then_some(i % m))
+            .collect();
+        let mut reference = None;
+        for threads in [1usize, 3, 8] {
+            let mut core = WorkloadCore::new(&vms, m, 7, RngLayout::ClassAggregated, threads);
+            core.class_init(&host);
+            let mut observed = vec![0.0; m];
+            for step in 0..10u64 {
+                core.step(step, &host, &mut observed);
+            }
+            let stats = core.class_cache_stats().unwrap();
+            assert!(stats.hits > 0, "steady state must hit the cache");
+            assert!(stats.misses > 0, "first draws must build tables");
+            match &reference {
+                None => reference = Some(stats),
+                Some(r) => assert_eq!(r, &stats, "divergence at {threads} threads"),
+            }
+        }
+    }
+
+    #[test]
+    fn walk_sampler_records_no_cache_traffic() {
+        // m coprime to the 3-class cycle, so every PM hosts all 3
+        // classes: 3·m occupied cells.
+        let m = 4;
+        let vms = class_fleet(60);
+        let host: Vec<Option<usize>> = (0..vms.len()).map(|i| Some(i % m)).collect();
+        let mut core = WorkloadCore::new(&vms, m, 5, RngLayout::ClassAggregated, 1);
+        core.set_class_sampler(false);
+        core.class_init(&host);
+        let mut observed = vec![0.0; m];
+        for step in 0..10u64 {
+            core.step(step, &host, &mut observed);
+        }
+        assert_eq!(
+            core.class_cache_stats(),
+            Some(crate::rng::binomial_table::CacheStats::default())
+        );
+        assert_eq!(core.class_occupied_cells(), Some(3 * m));
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Edge-seam certification of the memoized binomial sampler
+//! (`sim::rng::binomial_table`) against the pmf-recurrence walk it
+//! memoizes.
+//!
+//! The bit-identity contract (DESIGN.md §8) says the table path and the
+//! walk path are the *same function* of `(key, counter, n, p)` — not
+//! statistically close, bitwise equal. The seams where that could
+//! silently break are (a) the `q^n`-underflow boundary, where the walk
+//! switches to its `ln_gamma`-anchored log-space start, (b) the
+//! degenerate cells `n = 0` and `p ∈ {0, 1}` that short-circuit before
+//! any table is consulted, and (c) the far right tail, where the table
+//! truncates its stored prefix once every later partial sum is
+//! absorbed. On top of the bit-level checks, a chi-square
+//! re-certification draws through the *cache* (flushes included) and
+//! checks the empirical law against `Binomial(k, π)` — the same
+//! marginal certification `class_equivalence.rs` applies to the
+//! engine's cells.
+
+use bursty_markov::binomial::BinomialPmf;
+use bursty_sim::rng::binomial_table::{BinomialTable, TableCache};
+use bursty_sim::rng::{binomial_from_u01, class_cell_key, class_hash, keyed_binomial};
+use proptest::prelude::*;
+
+/// The smallest `n` whose `q^n` underflows to 0.0: below it the walk
+/// anchors at `k = 0`, at and above it the `ln_gamma` log-space anchor
+/// takes over.
+fn underflow_cutoff(p: f64) -> u32 {
+    let q = 1.0 - p;
+    let mut lo = 1u32;
+    let mut hi = 2u32;
+    while q.powi(hi as i32) > 0.0 {
+        lo = hi;
+        hi *= 2;
+    }
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if q.powi(mid as i32) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+#[test]
+fn underflow_cutoff_finder_is_correct() {
+    for &p in &[0.01, 0.09, 0.3, 0.5] {
+        let n = underflow_cutoff(p);
+        let q = 1.0 - p;
+        assert!(q.powi(n as i32) == 0.0, "p={p}: q^{n} did not underflow");
+        assert!(q.powi(n as i32 - 1) > 0.0, "p={p}: cutoff {n} not minimal");
+    }
+}
+
+#[test]
+fn table_equals_walk_at_the_underflow_anchor_boundary() {
+    // n straddling the cutoff on both sides: the table must follow the
+    // walk into (and out of) the log-space anchored regime bitwise.
+    for &p in &[0.01, 0.09, 0.3, 0.5, 0.77] {
+        let cutoff = underflow_cutoff(p);
+        for n in cutoff.saturating_sub(3)..=cutoff + 3 {
+            let key = class_cell_key(42, u64::from(n), class_hash([1, 2, 3, 4]));
+            let table = BinomialTable::build(n, p);
+            let mut cache = TableCache::new(&[p], 1 << 20);
+            for counter in 0..2_000u64 {
+                let u = bursty_sim::rng::pervm_u01(42, u64::from(n), counter);
+                assert_eq!(
+                    table.sample_u01(u),
+                    binomial_from_u01(u, n, p),
+                    "u-level divergence at n={n} p={p} (cutoff {cutoff})"
+                );
+                assert_eq!(
+                    cache.draw(0, key, counter, n),
+                    keyed_binomial(key, counter, n, p),
+                    "draw-level divergence at n={n} p={p} (cutoff {cutoff})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_cells_short_circuit_identically() {
+    // n = 0 and p ∈ {0, 1} never consult a table; the cache must
+    // reproduce the walk's short-circuits for them exactly — including
+    // p values outside [0, 1], which the walk clamps by branch.
+    let key = class_cell_key(7, 3, class_hash([5, 6, 7, 8]));
+    let mut cache = TableCache::new(&[0.0, 1.0, -0.25, 1.5, 0.3], 1 << 16);
+    for (slot, &p) in [0.0, 1.0, -0.25, 1.5, 0.3].iter().enumerate() {
+        for &n in &[0u32, 1, 17, 400] {
+            for counter in 0..64u64 {
+                assert_eq!(
+                    cache.draw(slot, key, counter, n),
+                    keyed_binomial(key, counter, n, p),
+                    "p={p} n={n} counter={counter}"
+                );
+            }
+        }
+    }
+    // Nothing above may have built a table for the degenerate slots.
+    let stats = cache.stats();
+    assert_eq!(stats.evictions, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Randomized sweep of the bit-identity contract over the whole
+    /// (n, p) plane the engine can reach, both anchor regimes included.
+    #[test]
+    fn cache_draw_equals_walk_everywhere(
+        n in 1u32..20_000,
+        p_mil in 1u32..1_000_000,
+        seed in 0u64..1_000,
+    ) {
+        let p = f64::from(p_mil) / 1e6;
+        let key = class_cell_key(seed, 11, class_hash([9, 9, 9, 9]));
+        let mut cache = TableCache::new(&[p], 1 << 20);
+        for counter in 0..256u64 {
+            prop_assert_eq!(
+                cache.draw(0, key, counter, n),
+                keyed_binomial(key, counter, n, p),
+                "n={} p={} counter={}", n, p, counter
+            );
+        }
+    }
+}
+
+/// Chi-square re-certification of the cached sampler: draws taken
+/// through the cache — with a budget small enough to force generation
+/// flushes mid-stream — must follow `Binomial(k, π)`. Flushes rebuild
+/// tables from the same `(n, p)`, so they must be statistically
+/// invisible.
+#[test]
+fn cached_draws_pass_chi_square_against_the_binomial_law() {
+    let (n, p) = (40u32, 0.35f64);
+    let draws = 200_000u64;
+    // A budget below one table's entries forces a rebuild every draw
+    // in the worst case; alternate n slightly to actually churn it.
+    let mut cache = TableCache::new(&[p], 96);
+    let key = class_cell_key(2024, 5, class_hash([4, 3, 2, 1]));
+    let mut histogram = vec![0u64; n as usize + 1];
+    for counter in 0..draws {
+        // Interleave a second n to exercise eviction pressure.
+        let _ = cache.draw(0, key, u64::MAX - counter, n - 1);
+        let x = cache.draw(0, key, counter, n);
+        histogram[x as usize] += 1;
+    }
+    assert!(
+        cache.stats().evictions > 0,
+        "test premise: flushes must happen mid-stream"
+    );
+    // Pool bins with expected count < 5 into the tails (standard
+    // chi-square validity rule).
+    let law = BinomialPmf::new(u64::from(n), p);
+    let expected: Vec<f64> = (0..=u64::from(n))
+        .map(|k| law.pmf(k) * draws as f64)
+        .collect();
+    let mut chi2 = 0.0;
+    let mut pooled_obs = 0.0;
+    let mut pooled_exp = 0.0;
+    let mut dof: i64 = -1;
+    for k in 0..=n as usize {
+        if expected[k] < 5.0 {
+            pooled_obs += histogram[k] as f64;
+            pooled_exp += expected[k];
+        } else {
+            let d = histogram[k] as f64 - expected[k];
+            chi2 += d * d / expected[k];
+            dof += 1;
+        }
+    }
+    if pooled_exp > 0.0 {
+        let d = pooled_obs - pooled_exp;
+        chi2 += d * d / pooled_exp;
+        dof += 1;
+    }
+    // 99.9th percentile of chi-square at the realized dof (~17 pooled
+    // bins for Binomial(40, 0.35)): comfortably above any healthy run,
+    // far below a broken sampler.
+    let dof = dof.max(1) as f64;
+    let threshold = dof + 3.09 * (2.0 * dof).sqrt() + 2.0 * 3.09 * 3.09 / 3.0;
+    assert!(
+        chi2 < threshold,
+        "chi2 {chi2:.2} over threshold {threshold:.2} at dof {dof}"
+    );
+}
