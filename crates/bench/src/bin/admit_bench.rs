@@ -54,8 +54,6 @@ enum ChurnOp {
 
 struct Program {
     ops: Vec<ChurnOp>,
-    /// Ids live once the whole program has run, sorted ascending.
-    final_live: Vec<usize>,
     admissions: u64,
     departures: u64,
     recalibrations: u64,
@@ -108,10 +106,8 @@ fn build_program(
             ops.push(ChurnOp::Recalibrate);
         }
     }
-    live.sort_unstable();
     Program {
         ops,
-        final_live: live,
         admissions,
         departures,
         recalibrations,
@@ -160,78 +156,20 @@ impl Engine {
         }
     }
 
-    fn host_of(&self, vm_id: usize) -> Option<usize> {
-        match self {
-            Engine::Soa(c) => c.host_of(vm_id),
-            Engine::Reference(c) => c.host_of(vm_id),
-        }
-    }
-
-    fn load(&self, j: usize) -> &PmLoad {
-        match self {
-            Engine::Soa(c) => c.load(j),
-            Engine::Reference(c) => c.load(j),
-        }
-    }
-
-    fn n_vms(&self) -> usize {
-        match self {
-            Engine::Soa(c) => c.n_vms(),
-            Engine::Reference(c) => c.n_vms(),
-        }
-    }
-
-    fn pms_used(&self) -> usize {
-        match self {
-            Engine::Soa(c) => c.pms_used(),
-            Engine::Reference(c) => c.pms_used(),
-        }
-    }
-
     fn check_consistency(&self) -> Result<(), String> {
         match self {
             Engine::Soa(c) => c.check_consistency(),
             Engine::Reference(c) => c.check_consistency(),
         }
     }
-}
 
-/// Order-independent FNV-1a style fold used to compare engine end states
-/// without holding both engines in memory at once.
-#[derive(Debug, PartialEq, Eq)]
-struct StateDigest {
-    n_vms: usize,
-    pms_used: usize,
-    hosts_hash: u64,
-    loads_hash: u64,
-}
-
-fn fnv_step(mut h: u64, v: u64) -> u64 {
-    h ^= v;
-    h.wrapping_mul(0x100_0000_01b3)
-}
-
-fn digest(engine: &Engine, m: usize, final_live: &[usize]) -> StateDigest {
-    let mut hosts_hash = 0xcbf2_9ce4_8422_2325u64;
-    for &id in final_live {
-        let host = engine
-            .host_of(id)
-            .unwrap_or_else(|| panic!("VM {id} expected live but has no host"));
-        hosts_hash = fnv_step(hosts_hash, id as u64);
-        hosts_hash = fnv_step(hosts_hash, host as u64);
-    }
-    let mut loads_hash = 0xcbf2_9ce4_8422_2325u64;
-    for j in 0..m {
-        let load = engine.load(j);
-        loads_hash = fnv_step(loads_hash, load.count as u64);
-        loads_hash = fnv_step(loads_hash, load.sum_rb.to_bits());
-        loads_hash = fnv_step(loads_hash, load.max_re.to_bits());
-    }
-    StateDigest {
-        n_vms: engine.n_vms(),
-        pms_used: engine.pms_used(),
-        hosts_hash,
-        loads_hash,
+    /// The engine's library [`StateDigest`] — lets the bench compare end
+    /// states without holding both engines in memory at once.
+    fn state_digest(&self) -> StateDigest {
+        match self {
+            Engine::Soa(c) => c.state_digest(),
+            Engine::Reference(c) => c.state_digest(),
+        }
     }
 }
 
@@ -369,7 +307,7 @@ fn run_engine(
     engine
         .check_consistency()
         .unwrap_or_else(|e| panic!("{name}: post-churn consistency check failed: {e}"));
-    let digest = digest(&engine, m, &program.final_live);
+    let digest = engine.state_digest();
 
     let ops = program.admissions + program.departures + program.recalibrations;
     let row = ChurnRow {

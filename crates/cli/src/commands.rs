@@ -740,6 +740,7 @@ pub fn online_replay(args: &[String], out: &mut dyn Write) -> Result<(), CliErro
     cluster
         .check_consistency()
         .map_err(|e| err(format!("post-replay consistency check failed: {e}")))?;
+    writeln!(out, "digest: {:016x}", cluster.state_digest().combined())?;
     let total = admissions + departures + recals;
     writeln!(
         out,
@@ -768,6 +769,177 @@ pub fn online_replay(args: &[String], out: &mut dyn Write) -> Result<(), CliErro
             r.journal().dropped(),
         )?;
     }
+    Ok(())
+}
+
+/// Shared fleet-construction flags for `serve` and `serve-replay`: both
+/// sides must build the identical initial fleet for the
+/// transport-equivalence digest comparison to mean anything.
+struct ServeFleet {
+    initial: Vec<VmSpec>,
+    pms: Vec<PmSpec>,
+    d: usize,
+    p_on: f64,
+    p_off: f64,
+    rho: f64,
+    epsilon: f64,
+    seed: u64,
+    n: usize,
+}
+
+fn serve_fleet(args: &Args) -> Result<ServeFleet, CliError> {
+    let n = args.get_usize("vms")?.unwrap_or(0);
+    let m = args.get_usize("pms")?.unwrap_or(n.max(64));
+    let d = args.get_usize("d")?.unwrap_or(16);
+    if d == 0 {
+        return Err(err("--d must be at least 1"));
+    }
+    let epsilon = args.get_f64("epsilon")?.unwrap_or(0.0);
+    let seed = args.get_usize("seed")?.unwrap_or(42) as u64;
+    let (p_on, p_off, rho) = probabilities(args)?;
+    let pattern = match args.get_str("pattern") {
+        None | Some("equal") => WorkloadPattern::EqualSpike,
+        Some("small") => WorkloadPattern::SmallSpike,
+        Some("large") => WorkloadPattern::LargeSpike,
+        Some(other) => {
+            return Err(err(format!(
+                "unknown --pattern '{other}' (expected 'equal', 'small' or 'large')"
+            )))
+        }
+    };
+    let mut gen = FleetGenerator::new(seed);
+    let initial = if n > 0 {
+        gen.vms_table_i(n, pattern)
+    } else {
+        Vec::new()
+    };
+    let pms = gen.pms(m);
+    Ok(ServeFleet {
+        initial,
+        pms,
+        d,
+        p_on,
+        p_off,
+        rho,
+        epsilon,
+        seed,
+        n,
+    })
+}
+
+pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse_with_switches(args, &["restore"])?;
+    let fleet = serve_fleet(&args)?;
+    let addr = args.get_str("addr").unwrap_or("127.0.0.1:0");
+    let workers = args.get_usize("workers")?.unwrap_or(4);
+    let snapshot_keep = args.get_usize("snapshot-keep")?.unwrap_or(4);
+    let state_dir = args.get_str("state-dir");
+    let restore = args.has("restore");
+    if restore && state_dir.is_none() {
+        return Err(err("--restore requires --state-dir"));
+    }
+
+    let mut config =
+        bursty_server::ServerConfig::new(fleet.pms, fleet.d, fleet.p_on, fleet.p_off, fleet.rho);
+    config.addr = addr.to_string();
+    config.epsilon = fleet.epsilon;
+    config.workers = workers.max(1);
+    config.snapshot_keep = snapshot_keep;
+    config.initial = fleet.initial;
+    if let Some(dir) = state_dir {
+        let store = bursty_core::obs::FsStore::open(dir)
+            .map_err(|e| err(format!("cannot open --state-dir {dir}: {e}")))?;
+        config.store = Some(Box::new(store));
+        config.restore = restore;
+    }
+
+    let handle =
+        bursty_server::spawn(config).map_err(|e| err(format!("cannot start daemon: {e}")))?;
+    if let Some(report) = handle.restore_report() {
+        match &report.loaded_from {
+            Some(file) => writeln!(
+                out,
+                "restored {file} ({} applied ops, {} newer snapshots discarded)",
+                report.applied,
+                report.discarded.len()
+            )?,
+            None => writeln!(
+                out,
+                "no usable snapshot ({} discarded) — starting fresh",
+                report.discarded.len()
+            )?,
+        }
+        for (name, reason) in &report.discarded {
+            writeln!(out, "  discarded {name}: {reason:?}")?;
+        }
+    }
+    writeln!(out, "listening on {}", handle.addr())?;
+    // A parent process (the CI smoke job) reads this line through a pipe;
+    // without the flush it sits in the block buffer until exit.
+    out.flush()?;
+    handle.wait();
+    Ok(())
+}
+
+pub fn serve_replay(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse_with_switches(args, &["shutdown"])?;
+    let addr_s = args
+        .get_str("addr")
+        .ok_or_else(|| err("--addr is required (where the daemon listens)"))?;
+    let addr: std::net::SocketAddr = {
+        use std::net::ToSocketAddrs;
+        addr_s
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut a| a.next())
+            .ok_or_else(|| err(format!("cannot resolve --addr {addr_s}")))?
+    };
+    let fleet = serve_fleet(&args)?;
+    let ops = args.get_usize("ops")?.unwrap_or(512);
+    let clients = args.get_usize("clients")?.unwrap_or(2).max(1);
+    let seq_base = args.get_usize("seq-base")?.unwrap_or(0) as u64;
+    let shutdown = args.has("shutdown");
+
+    // The oracle: identical construction and warm-up to what
+    // `bursty serve` did with the same flags, then the same churn
+    // program engine-direct.
+    let mut engine = OnlineCluster::new(fleet.pms, fleet.d, fleet.p_on, fleet.p_off, fleet.rho)
+        .with_recalibration_epsilon(fleet.epsilon);
+    if !fleet.initial.is_empty() {
+        engine.arrive_batch(fleet.initial).map_err(|e| {
+            err(format!(
+                "oracle fleet does not fit (VM {}) — flags must match the daemon's",
+                e.vm_id
+            ))
+        })?;
+    }
+    let program = bursty_server::build_program(fleet.seed, ops, fleet.n);
+    let expected = bursty_server::apply_engine(&mut engine, &program.ops);
+
+    let outcome = bursty_server::drive_http(addr, &program.ops, clients, seq_base)
+        .map_err(|e| err(format!("replay against {addr_s} failed: {e}")))?;
+    writeln!(
+        out,
+        "replayed {} ops over {clients} clients ({} accepted, {} engine-rejected)",
+        program.ops.len(),
+        outcome.ok,
+        outcome.rejected
+    )?;
+    if shutdown {
+        let mut client = bursty_server::Client::connect(addr)
+            .map_err(|e| err(format!("shutdown connect failed: {e}")))?;
+        client
+            .post("/v1/shutdown", &bursty_server::Json::Obj(Vec::new()))
+            .map_err(|e| err(format!("shutdown request failed: {e}")))?;
+    }
+    if outcome.digest != expected {
+        return Err(err(format!(
+            "digest DIVERGENCE: daemon {:016x} vs engine-direct oracle {:016x}",
+            outcome.digest.combined(),
+            expected.combined()
+        )));
+    }
+    writeln!(out, "digest match: {:016x}", expected.combined())?;
     Ok(())
 }
 

@@ -11,6 +11,8 @@
 //! bursty plan    --traces <dir> --capacity <C> [--pms N] [--rho ..] [--out plan.csv]
 //! bursty consolidate --vms <N> [--batch | --no-batch]
 //! bursty online-replay --vms <N> [--ops K] [--trace-out FILE]
+//! bursty serve [--addr A] [--vms N] [--state-dir DIR [--restore]]
+//! bursty serve-replay --addr A [--ops K] [--clients C] [--shutdown]
 //! ```
 
 pub mod commands;
@@ -59,6 +61,8 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "consolidate" => commands::consolidate(rest, out),
         "simulate" => commands::simulate(rest, out),
         "online-replay" => commands::online_replay(rest, out),
+        "serve" => commands::serve(rest, out),
+        "serve-replay" => commands::serve_replay(rest, out),
         "trace-report" => commands::trace_report(rest, out),
         "--help" | "-h" | "help" => {
             writeln!(out, "{USAGE}")?;
@@ -124,6 +128,24 @@ USAGE:
       every R ops with epsilon-skip) and report sustained throughput
       plus p50/p99 per-op latency; --trace-out dumps the admission/
       departure/recalibration journal and latency histograms as JSONL
+  bursty serve [--addr HOST:PORT] [--vms N] [--pms M] [--pattern ...]
+                  [--d D] [--seed S] [--p-on P] [--p-off P] [--rho R]
+                  [--epsilon E] [--workers W]
+                  [--state-dir DIR [--restore] [--snapshot-keep K]]
+      run the placement daemon: warm an N-VM Table-I fleet into the
+      online engine, then serve admit/depart/recalibrate over HTTP
+      (/v1/admit, /v1/admit-batch, /v1/depart, /v1/recalibrate,
+      /v1/digest, /v1/fleet, /v1/snapshot, /metrics, /healthz,
+      /v1/shutdown); prints `listening on ADDR` once ready and blocks
+      until /v1/shutdown; --state-dir enables CRC-framed atomic
+      snapshots, --restore boots from the newest verifying one
+  bursty serve-replay --addr HOST:PORT [--ops K] [--clients C]
+                  [--seq-base B] [--shutdown] [+ the fleet flags above]
+      drive a seeded churn program against a running daemon over C
+      concurrent connections, then compare the daemon's end-state
+      digest with an engine-direct oracle built from the same flags
+      (they must match the daemon's); exits nonzero on divergence;
+      --shutdown stops the daemon afterwards
   bursty trace-report <trace.jsonl>
       summarize a --trace-out dump: counters, gauges, events by type,
       the per-PM violation leaderboard and CVR-series coverage";

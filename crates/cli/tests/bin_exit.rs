@@ -1,0 +1,141 @@
+//! Exit-status contract of the real `bursty` binary.
+//!
+//! The library tests exercise `run()`; these spawn the compiled binary
+//! so the `main()` → `ExitCode` plumbing itself is pinned: failures
+//! print the invariant that broke and exit nonzero, successes exit
+//! zero. Includes an end-to-end daemon round trip: `bursty serve` in a
+//! child process, `bursty serve-replay` against it, digest parity.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+fn bursty() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bursty"))
+}
+
+#[test]
+fn online_replay_success_prints_digest_and_exits_zero() {
+    let out = bursty()
+        .args(["online-replay", "--vms", "64", "--ops", "64"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("digest: "), "no digest line in {stdout}");
+    assert!(stdout.contains("replayed"), "{stdout}");
+}
+
+#[test]
+fn online_replay_failure_exits_nonzero_with_the_broken_invariant() {
+    // A 500-VM fleet cannot fit one PM: the error must reach the exit
+    // status, not just the log.
+    let out = bursty()
+        .args(["online-replay", "--vms", "500", "--pms", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "over-packed replay exited zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("does not fit"),
+        "unhelpful failure: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_usage() {
+    let out = bursty().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+/// Starts `bursty serve` and reads its stdout until the ready line,
+/// returning the child and the bound address.
+fn spawn_daemon(extra: &[&str]) -> (Child, String) {
+    let mut child = bursty()
+        .args(["serve", "--vms", "200", "--pms", "64", "--seed", "7"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("daemon stdout");
+        assert!(n > 0, "daemon exited before printing the ready line");
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+    (child, addr)
+}
+
+#[test]
+fn serve_then_replay_round_trip_exits_zero_on_digest_match() {
+    let (mut child, addr) = spawn_daemon(&[]);
+    let out = bursty()
+        .args([
+            "serve-replay",
+            "--addr",
+            &addr,
+            "--vms",
+            "200",
+            "--pms",
+            "64",
+            "--seed",
+            "7",
+            "--ops",
+            "300",
+            "--clients",
+            "2",
+            "--shutdown",
+        ])
+        .output()
+        .expect("replay runs");
+    if !out.status.success() {
+        let _ = child.kill();
+        panic!("replay failed: {}", String::from_utf8_lossy(&out.stderr));
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("digest match: "), "{stdout}");
+    // --shutdown stopped the daemon; it must exit zero on its own.
+    let status = child.wait().expect("daemon joins");
+    assert!(status.success(), "daemon exited {status}");
+}
+
+#[test]
+fn serve_replay_divergence_exits_nonzero() {
+    let (mut child, addr) = spawn_daemon(&[]);
+    // Oracle built from a different fleet (--vms 240 vs the daemon's
+    // 200): end states cannot match, and that must be a hard failure.
+    let out = bursty()
+        .args([
+            "serve-replay",
+            "--addr",
+            &addr,
+            "--vms",
+            "240",
+            "--pms",
+            "64",
+            "--seed",
+            "7",
+            "--ops",
+            "100",
+            "--shutdown",
+        ])
+        .output()
+        .expect("replay runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "divergent replay exited zero: {stderr}"
+    );
+    assert!(stderr.contains("DIVERGENCE"), "{stderr}");
+    let _ = child.wait();
+}

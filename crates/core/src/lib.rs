@@ -73,7 +73,7 @@ pub mod prelude {
     pub use bursty_placement::{
         first_fit, first_fit_batch, BaseStrategy, MappingTable, OnlineCluster, PeakStrategy,
         Placement, PlacementState, PmLoad, QueueStrategy, ReferenceOnlineCluster, ReserveStrategy,
-        Strategy,
+        StateDigest, Strategy,
     };
     pub use bursty_sim::{
         detect_stabilization, replicate, run_churn, CheckpointConfig, CheckpointError,

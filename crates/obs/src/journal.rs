@@ -113,6 +113,13 @@ pub enum Event {
         p_off: f64,
         rebuilt: bool,
     },
+    /// The placement daemon wrote a fleet snapshot (`step` is the applied
+    /// op count at the checkpoint seam, `bytes` the frame size).
+    Snapshot { step: u64, bytes: usize },
+    /// The placement daemon restored a fleet snapshot at startup
+    /// (`discarded` counts newer snapshot files rejected as corrupt
+    /// before one verified).
+    Restore { step: u64, discarded: usize },
 }
 
 impl Event {
@@ -132,7 +139,9 @@ impl Event {
             | Event::CvrSample { step, .. }
             | Event::Step { step, .. }
             | Event::OnlineDeparture { step, .. }
-            | Event::Recalibration { step, .. } => step,
+            | Event::Recalibration { step, .. }
+            | Event::Snapshot { step, .. }
+            | Event::Restore { step, .. } => step,
         }
     }
 
@@ -152,7 +161,9 @@ impl Event {
             | Event::RetryAbandoned { .. }
             | Event::RetryCancelled { .. }
             | Event::Step { .. }
-            | Event::Recalibration { .. } => None,
+            | Event::Recalibration { .. }
+            | Event::Snapshot { .. }
+            | Event::Restore { .. } => None,
         }
     }
 
@@ -173,6 +184,8 @@ impl Event {
             Event::Step { .. } => "step",
             Event::OnlineDeparture { .. } => "online_departure",
             Event::Recalibration { .. } => "recalibration",
+            Event::Snapshot { .. } => "snapshot",
+            Event::Restore { .. } => "restore",
         }
     }
 
@@ -292,6 +305,14 @@ impl Event {
             } => format!(
                 "{{\"type\":\"recalibration\",\"step\":{},\"p_on\":{},\"p_off\":{},\"rebuilt\":{}}}\n",
                 step, p_on, p_off, rebuilt
+            ),
+            Event::Snapshot { step, bytes } => format!(
+                "{{\"type\":\"snapshot\",\"step\":{},\"bytes\":{}}}\n",
+                step, bytes
+            ),
+            Event::Restore { step, discarded } => format!(
+                "{{\"type\":\"restore\",\"step\":{},\"discarded\":{}}}\n",
+                step, discarded
             ),
         }
     }
@@ -450,6 +471,16 @@ impl Event {
                 put_f64(buf, p_off);
                 put_bool(buf, rebuilt);
             }
+            Event::Snapshot { step, bytes } => {
+                put_u8(buf, 14);
+                put_u64(buf, step);
+                put_usize(buf, bytes);
+            }
+            Event::Restore { step, discarded } => {
+                put_u8(buf, 15);
+                put_u64(buf, step);
+                put_usize(buf, discarded);
+            }
         }
     }
 
@@ -541,6 +572,14 @@ impl Event {
                 p_on: c.f64()?,
                 p_off: c.f64()?,
                 rebuilt: c.boolean()?,
+            },
+            14 => Event::Snapshot {
+                step: c.u64()?,
+                bytes: c.usize()?,
+            },
+            15 => Event::Restore {
+                step: c.u64()?,
+                discarded: c.usize()?,
             },
             t => return Err(FrameError::Decode(format!("unknown event tag {t}"))),
         })

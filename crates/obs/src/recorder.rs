@@ -92,10 +92,20 @@ pub enum Counter {
     BinomialTableMisses,
     /// Memoized CDF tables dropped by cache generation flushes.
     BinomialTableEvictions,
+    /// Requests applied by the placement daemon's serialized apply loop
+    /// (every op kind, reads included).
+    ServeRequests,
+    /// Requests rejected before reaching the apply loop (malformed HTTP,
+    /// bad JSON, invalid parameters, unknown routes).
+    ServeBadRequests,
+    /// Fleet snapshots written by the daemon.
+    ServeSnapshots,
+    /// Fleet restores performed at daemon startup.
+    ServeRestores,
 }
 
 impl Counter {
-    pub const COUNT: usize = 35;
+    pub const COUNT: usize = 39;
 
     /// Stable snake_case name used in the JSONL meta record.
     pub fn name(self) -> &'static str {
@@ -135,6 +145,10 @@ impl Counter {
             Counter::BinomialTableHits => "binomial_table_hits",
             Counter::BinomialTableMisses => "binomial_table_misses",
             Counter::BinomialTableEvictions => "binomial_table_evictions",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeBadRequests => "serve_bad_requests",
+            Counter::ServeSnapshots => "serve_snapshots",
+            Counter::ServeRestores => "serve_restores",
         }
     }
 
@@ -176,6 +190,10 @@ impl Counter {
             Counter::BinomialTableHits,
             Counter::BinomialTableMisses,
             Counter::BinomialTableEvictions,
+            Counter::ServeRequests,
+            Counter::ServeBadRequests,
+            Counter::ServeSnapshots,
+            Counter::ServeRestores,
         ]
     }
 }

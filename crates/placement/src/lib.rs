@@ -47,7 +47,7 @@ pub use evacuate::{evacuate_batch, evacuate_batch_recorded, EvacuationOutcome};
 pub use index::{HeadroomIndex, OrderedHeadroom};
 pub use load::PmLoad;
 pub use mapcal::{mapping_cache_stats, MappingCacheStats, MappingTable};
-pub use online::{round_probabilities, OnlineCluster, ReferenceOnlineCluster};
+pub use online::{round_probabilities, OnlineCluster, ReferenceOnlineCluster, StateDigest};
 pub use pack::{
     best_fit, best_fit_linear, best_fit_recorded, first_fit, first_fit_linear, first_fit_recorded,
     PackError,

@@ -28,9 +28,66 @@ use crate::index::HeadroomIndex;
 use crate::load::PmLoad;
 use crate::pack::{probe_first_fit_recorded, PackError, PRUNE_SLACK};
 use crate::strategy::{QueueStrategy, Strategy};
+use bursty_obs::durable::{put_f64, put_u32, put_usize, Cursor, FrameError};
 use bursty_obs::{Counter, NoopRecorder, Recorder};
 use bursty_workload::{PmSpec, VmClass, VmSpec};
 use std::collections::{HashMap, HashSet};
+
+/// Order-independent FNV-1a style fold over an engine's observable end
+/// state: live VM→host assignments (in ascending VM id order) and every
+/// PM's cached load (count, `sum_rb` bits, `max_re` bits). Two engines —
+/// or one engine driven over two different transports — replaying the
+/// same op sequence must produce equal digests; the churn benches and the
+/// serving layer's transport-equivalence suite compare exactly this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateDigest {
+    pub n_vms: usize,
+    pub pms_used: usize,
+    pub hosts_hash: u64,
+    pub loads_hash: u64,
+}
+
+impl StateDigest {
+    /// The four fields folded into one `u64` for compact printing.
+    pub fn combined(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fnv_step(h, self.n_vms as u64);
+        h = fnv_step(h, self.pms_used as u64);
+        h = fnv_step(h, self.hosts_hash);
+        fnv_step(h, self.loads_hash)
+    }
+}
+
+fn fnv_step(mut h: u64, v: u64) -> u64 {
+    h ^= v;
+    h.wrapping_mul(0x100_0000_01b3)
+}
+
+/// Shared digest fold: `pairs` must arrive in ascending VM id order.
+fn digest_from(
+    n_vms: usize,
+    pms_used: usize,
+    pairs: impl Iterator<Item = (usize, usize)>,
+    loads: &[PmLoad],
+) -> StateDigest {
+    let mut hosts_hash = 0xcbf2_9ce4_8422_2325u64;
+    for (id, host) in pairs {
+        hosts_hash = fnv_step(hosts_hash, id as u64);
+        hosts_hash = fnv_step(hosts_hash, host as u64);
+    }
+    let mut loads_hash = 0xcbf2_9ce4_8422_2325u64;
+    for load in loads {
+        loads_hash = fnv_step(loads_hash, load.count as u64);
+        loads_hash = fnv_step(loads_hash, load.sum_rb.to_bits());
+        loads_hash = fnv_step(loads_hash, load.max_re.to_bits());
+    }
+    StateDigest {
+        n_vms,
+        pms_used,
+        hosts_hash,
+        loads_hash,
+    }
+}
 
 /// Rounds heterogeneous per-VM switch probabilities to the uniform values
 /// the queuing model needs — the paper's prescription when `p_on`/`p_off`
@@ -455,6 +512,18 @@ impl ReferenceOnlineCluster {
             })
             .map(|(j, _)| j)
             .collect()
+    }
+
+    /// The engine's observable end-state digest (see [`StateDigest`]).
+    pub fn state_digest(&self) -> StateDigest {
+        let mut ids: Vec<usize> = self.hosts.keys().copied().collect();
+        ids.sort_unstable();
+        digest_from(
+            self.n_vms(),
+            self.pms_used(),
+            ids.iter().map(|&id| (id, self.hosts[&id])),
+            &self.loads,
+        )
     }
 }
 
@@ -1085,6 +1154,238 @@ impl OnlineCluster {
         out.sort_unstable();
         out
     }
+
+    /// The engine's observable end-state digest (see [`StateDigest`]).
+    pub fn state_digest(&self) -> StateDigest {
+        let mut ids: Vec<usize> = self.entries.keys().copied().collect();
+        ids.sort_unstable();
+        digest_from(
+            self.n_vms(),
+            self.pms_used(),
+            ids.iter().map(|&id| (id, self.entries[&id].host)),
+            &self.loads,
+        )
+    }
+
+    /// Serializes the full engine state as a compact binary image.
+    ///
+    /// Per-PM loads are stored **verbatim** (count plus the exact f64
+    /// bits), never re-derived from the population on restore: `arrive`
+    /// accumulates loads incrementally while `depart` re-folds them
+    /// canonically, so a load's bit pattern depends on the PM's whole
+    /// churn history and a re-fold would diverge from a run that never
+    /// stopped. Only occupied PMs are encoded — an empty PM's load is
+    /// exactly [`PmLoad::empty`] under both paths. The image is
+    /// canonical: equal states produce equal bytes (hash maps are walked
+    /// in sorted order).
+    ///
+    /// [`from_snapshot_bytes`](Self::from_snapshot_bytes) restores an
+    /// engine that continues bit-identically — pinned by the round-trip
+    /// tests below and the serving layer's crash/restore suite.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(256 + 64 * self.occupied.len() + 24 * self.entries.len());
+        put_usize(&mut buf, self.d);
+        put_f64(&mut buf, self.rho);
+        put_f64(&mut buf, self.epsilon);
+        let (p_on, p_off) = self.strategy.mapping().probabilities();
+        put_f64(&mut buf, p_on);
+        put_f64(&mut buf, p_off);
+        put_usize(&mut buf, self.pms.len());
+        for pm in &self.pms {
+            put_usize(&mut buf, pm.id);
+            put_f64(&mut buf, pm.capacity);
+        }
+        put_usize(&mut buf, self.class_reps.len());
+        for (cid, rep) in self.class_reps.iter().enumerate() {
+            put_usize(&mut buf, rep.id);
+            put_f64(&mut buf, rep.p_on);
+            put_f64(&mut buf, rep.p_off);
+            put_f64(&mut buf, rep.r_b);
+            put_f64(&mut buf, rep.r_e);
+            bursty_obs::durable::put_u64(&mut buf, self.class_pop[cid]);
+        }
+        put_usize(&mut buf, self.occupied.len());
+        for &j in &self.occupied {
+            put_usize(&mut buf, j);
+            let load = &self.loads[j];
+            put_usize(&mut buf, load.count);
+            put_f64(&mut buf, load.max_re);
+            put_f64(&mut buf, load.sum_rb);
+            put_f64(&mut buf, load.sum_rp);
+            put_usize(&mut buf, self.cells[j].len());
+            for &(cid, copies) in &self.cells[j] {
+                put_u32(&mut buf, cid);
+                put_u32(&mut buf, copies);
+            }
+        }
+        let mut ids: Vec<usize> = self.entries.keys().copied().collect();
+        ids.sort_unstable();
+        put_usize(&mut buf, ids.len());
+        for id in ids {
+            let entry = self.entries[&id];
+            put_usize(&mut buf, id);
+            put_usize(&mut buf, entry.host);
+            put_u32(&mut buf, entry.class);
+        }
+        buf
+    }
+
+    /// Restores an engine from a [`to_snapshot_bytes`](Self::to_snapshot_bytes)
+    /// image. Every structural invariant a corrupt payload could break is
+    /// checked here (class/host indices in range, probabilities valid, no
+    /// duplicate cells); callers wanting full confidence run
+    /// [`check_consistency`](Self::check_consistency) on the result.
+    ///
+    /// # Errors
+    /// [`FrameError::Decode`] on any truncation, range violation or
+    /// malformed field.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, FrameError> {
+        let bad = |msg: String| FrameError::Decode(msg);
+        let mut c = Cursor::new(bytes);
+        let d = c.usize()?;
+        if d == 0 {
+            return Err(bad("d must be at least 1".into()));
+        }
+        let rho = c.f64()?;
+        let epsilon = c.f64()?;
+        let p_on = c.f64()?;
+        let p_off = c.f64()?;
+        let prob_ok = |p: f64| p > 0.0 && p <= 1.0;
+        if !prob_ok(p_on) || !prob_ok(p_off) {
+            return Err(bad(format!("bad probabilities ({p_on}, {p_off})")));
+        }
+        if !(rho > 0.0 && rho < 1.0) {
+            return Err(bad(format!("bad rho {rho}")));
+        }
+        let m = c.seq_len(16)?;
+        let mut pms = Vec::with_capacity(m);
+        for _ in 0..m {
+            let id = c.usize()?;
+            let capacity = c.f64()?;
+            if capacity.is_nan() || capacity <= 0.0 {
+                return Err(bad(format!("PM {id}: bad capacity {capacity}")));
+            }
+            pms.push(PmSpec { id, capacity });
+        }
+        let k = c.seq_len(48)?;
+        let mut class_reps = Vec::with_capacity(k);
+        let mut class_keys = Vec::with_capacity(k);
+        let mut class_pop = Vec::with_capacity(k);
+        let mut class_lookup = HashMap::with_capacity(k);
+        for cid in 0..k {
+            let id = c.usize()?;
+            let (p_on, p_off) = (c.f64()?, c.f64()?);
+            let (r_b, r_e) = (c.f64()?, c.f64()?);
+            if !prob_ok(p_on)
+                || !prob_ok(p_off)
+                || r_b.is_nan()
+                || r_b <= 0.0
+                || r_e.is_nan()
+                || r_e < 0.0
+            {
+                return Err(bad(format!("class {cid}: invalid representative spec")));
+            }
+            let rep = VmSpec {
+                id,
+                p_on,
+                p_off,
+                r_b,
+                r_e,
+            };
+            let key = VmClass::of(&rep).key();
+            if class_lookup.insert(key, cid as u32).is_some() {
+                return Err(bad(format!("class {cid}: duplicate class key")));
+            }
+            class_reps.push(rep);
+            class_keys.push(key);
+            class_pop.push(c.u64()?);
+        }
+        let n_occupied = c.seq_len(40)?;
+        if n_occupied > m {
+            return Err(bad(format!("{n_occupied} occupied PMs exceed pool {m}")));
+        }
+        let mut loads = vec![PmLoad::empty(); m];
+        let mut cells: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
+        let mut occupied = Vec::with_capacity(n_occupied);
+        let mut occupied_pos = vec![usize::MAX; m];
+        for _ in 0..n_occupied {
+            let j = c.usize()?;
+            if j >= m {
+                return Err(bad(format!("occupied PM {j} out of range")));
+            }
+            if occupied_pos[j] != usize::MAX {
+                return Err(bad(format!("PM {j} occupied twice")));
+            }
+            occupied_pos[j] = occupied.len();
+            occupied.push(j);
+            let count = c.usize()?;
+            let (max_re, sum_rb, sum_rp) = (c.f64()?, c.f64()?, c.f64()?);
+            if count == 0 {
+                return Err(bad(format!("occupied PM {j} has an empty load")));
+            }
+            loads[j] = PmLoad {
+                count,
+                max_re,
+                sum_rb,
+                sum_rp,
+            };
+            let n_cells = c.seq_len(8)?;
+            let mut pm_cells = Vec::with_capacity(n_cells);
+            for _ in 0..n_cells {
+                let cid = c.u32()?;
+                let copies = c.u32()?;
+                if cid as usize >= k {
+                    return Err(bad(format!("PM {j}: cell class {cid} out of range")));
+                }
+                if copies == 0 || pm_cells.iter().any(|&(other, _)| other == cid) {
+                    return Err(bad(format!("PM {j}: malformed cell for class {cid}")));
+                }
+                pm_cells.push((cid, copies));
+            }
+            cells[j] = pm_cells;
+        }
+        let n_entries = c.seq_len(20)?;
+        let mut entries = HashMap::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let id = c.usize()?;
+            let host = c.usize()?;
+            let class = c.u32()?;
+            if host >= m || class as usize >= k {
+                return Err(bad(format!(
+                    "VM {id}: entry ({host}, {class}) out of range"
+                )));
+            }
+            if entries.insert(id, VmEntry { host, class }).is_some() {
+                return Err(bad(format!("VM {id} appears twice")));
+            }
+        }
+        c.expect_done()?;
+        let strategy = QueueStrategy::build(d, p_on, p_off, rho);
+        let headrooms: Vec<f64> = pms
+            .iter()
+            .enumerate()
+            .map(|(j, pm)| strategy.headroom(&loads[j], pm.capacity))
+            .collect();
+        let index = HeadroomIndex::new(&headrooms);
+        Ok(Self {
+            pms,
+            strategy,
+            rho,
+            d,
+            epsilon,
+            class_reps,
+            class_keys,
+            class_pop,
+            class_lookup,
+            entries,
+            loads,
+            cells,
+            index,
+            occupied,
+            occupied_pos,
+            scratch: Vec::new(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -1436,6 +1737,112 @@ mod tests {
         let pair0 = c0.recalibrate().unwrap();
         assert_eq!(c0.strategy().mapping().probabilities(), pair0);
         c0.check_consistency().unwrap();
+    }
+
+    /// Drives both engines through the same mixed churn (arrivals,
+    /// departures, a batch, a recalibration) and returns them.
+    fn churned_pair() -> (OnlineCluster, ReferenceOnlineCluster) {
+        let caps = vec![70.0; 10];
+        let mut a = cluster(&caps);
+        let mut b = ref_cluster(&caps);
+        for i in 0..20 {
+            let v = vm(i, 5.0 + (i % 3) as f64, 3.0 + (i % 4) as f64);
+            a.arrive(v).unwrap();
+            b.arrive(v).unwrap();
+        }
+        for i in (0..20).step_by(3) {
+            assert_eq!(a.depart(i), b.depart(i));
+        }
+        let batch: Vec<VmSpec> = (100..112)
+            .map(|i| VmSpec::new(i, 0.02 + (i % 2) as f64 * 0.01, 0.08, 6.0, 4.0))
+            .collect();
+        assert_eq!(a.arrive_batch(batch.clone()), b.arrive_batch(batch));
+        assert_eq!(a.recalibrate(), b.recalibrate());
+        (a, b)
+    }
+
+    #[test]
+    fn state_digest_agrees_across_engines_and_detects_change() {
+        let (mut a, b) = churned_pair();
+        let da = a.state_digest();
+        assert_eq!(da, b.state_digest(), "bit-identical engines, equal digest");
+        assert_eq!(da.n_vms, a.n_vms());
+        assert_eq!(da.pms_used, a.pms_used());
+        // Any further op must move the digest.
+        a.depart(1).unwrap();
+        assert_ne!(a.state_digest(), da);
+        assert_ne!(a.state_digest().combined(), da.combined());
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical_and_continues_identically() {
+        let (a, _) = churned_pair();
+        let bytes = a.to_snapshot_bytes();
+        let mut restored = OnlineCluster::from_snapshot_bytes(&bytes).expect("decodes");
+        restored.check_consistency().unwrap();
+        assert_eq!(restored.state_digest(), a.state_digest());
+        // Loads must be verbatim, bits included.
+        for j in 0..10 {
+            assert_eq!(
+                a.load(j).sum_rb.to_bits(),
+                restored.load(j).sum_rb.to_bits()
+            );
+            assert_eq!(
+                a.load(j).sum_rp.to_bits(),
+                restored.load(j).sum_rp.to_bits()
+            );
+            assert_eq!(
+                a.load(j).max_re.to_bits(),
+                restored.load(j).max_re.to_bits()
+            );
+            assert_eq!(
+                a.index.value(j).to_bits(),
+                restored.index.value(j).to_bits()
+            );
+        }
+        assert_eq!(
+            a.strategy().mapping().probabilities(),
+            restored.strategy().mapping().probabilities()
+        );
+        // The image is canonical: re-snapshotting reproduces it.
+        assert_eq!(restored.to_snapshot_bytes(), bytes);
+        // Continuation stays bit-identical through every op kind.
+        let mut live = a;
+        for (step, engine) in [&mut live, &mut restored].into_iter().enumerate() {
+            engine.arrive(vm(500, 4.0, 2.0)).unwrap();
+            engine
+                .arrive_batch((600..605).map(|i| vm(i, 3.0, 6.0)).collect())
+                .unwrap();
+            engine.depart(101).unwrap();
+            engine.recalibrate().unwrap();
+            engine.check_consistency().unwrap();
+            let _ = step;
+        }
+        assert_eq!(live.state_digest(), restored.state_digest());
+    }
+
+    #[test]
+    fn snapshot_corruption_fails_cleanly() {
+        let (a, _) = churned_pair();
+        let bytes = a.to_snapshot_bytes();
+        // Every truncation must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(OnlineCluster::from_snapshot_bytes(&bytes[..cut]).is_err());
+        }
+        // An out-of-range class id must be caught structurally.
+        let mut torn = bytes.clone();
+        torn.truncate(8);
+        torn[0] = 0; // d = 0
+        assert!(OnlineCluster::from_snapshot_bytes(&torn).is_err());
+    }
+
+    #[test]
+    fn empty_cluster_snapshot_round_trips() {
+        let a = cluster(&[50.0, 60.0]);
+        let restored = OnlineCluster::from_snapshot_bytes(&a.to_snapshot_bytes()).unwrap();
+        restored.check_consistency().unwrap();
+        assert_eq!(restored.n_vms(), 0);
+        assert_eq!(restored.state_digest(), a.state_digest());
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! A blocking keep-alive HTTP client for the daemon's own endpoints.
+//!
+//! Used by the integration suite, the `serve_bench` driver, and the
+//! `bursty serve-replay` CLI — anything that needs to speak to the
+//! daemon without pulling an HTTP dependency into the tree.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::{Json, JsonError};
+
+/// One keep-alive connection to the daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A decoded response: status plus raw body.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn json(&self) -> Result<Json, JsonError> {
+        Json::parse(&self.body)
+    }
+
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Connects, retrying until the daemon answers `/healthz` or the
+    /// deadline passes — for harnesses that just spawned the process.
+    pub fn connect_ready(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match Self::connect(addr).and_then(|mut c| {
+                let r = c.get("/healthz")?;
+                if r.status == 200 {
+                    Ok(c)
+                } else {
+                    Err(io::Error::other(format!("healthz answered {}", r.status)))
+                }
+            }) {
+                Ok(c) => return Ok(c),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, None)
+    }
+
+    pub fn post(&mut self, path: &str, body: &Json) -> io::Result<Response> {
+        self.request("POST", path, Some(&body.encode()))
+    }
+
+    /// Sends one request and reads the full response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<Response> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: bursty\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Writes raw bytes and reads one response — for the malformed-input
+    /// matrix, which needs to send deliberately broken framing.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<Response> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Like [`Client::send_raw`] but half-closes the write side after
+    /// sending, so the server sees EOF — a truncated body would
+    /// otherwise block it waiting for the declared remainder.
+    pub fn send_raw_eof(&mut self, bytes: &[u8]) -> io::Result<Response> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()?;
+        self.writer.shutdown(std::net::Shutdown::Write)?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(Response { status, body })
+    }
+}

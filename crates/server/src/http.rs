@@ -1,0 +1,353 @@
+//! Minimal HTTP/1.1 framing over blocking streams.
+//!
+//! The vendor tree has no hyper/axum/tokio, and the daemon's needs are
+//! narrow: parse `METHOD /path HTTP/1.1` plus headers, honor
+//! `Content-Length` bodies up to a configured cap, and write fixed
+//! `Content-Length` responses with keep-alive. Anything outside that
+//! subset (chunked encoding, upgrades, multi-line headers) is rejected
+//! with a typed error *before* the request can reach the apply loop.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on a request line or a single header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on the number of headers per request.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request. Header names are lower-cased at parse time.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    pub keep_alive: bool,
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be framed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection cleanly before sending a request.
+    Closed,
+    /// The stream ended mid-request (truncated line or short body).
+    Truncated,
+    /// The request line is not `METHOD SP PATH SP HTTP/1.x`.
+    BadRequestLine,
+    /// A header line has no `:` separator or exceeds the line cap.
+    BadHeader,
+    /// `Content-Length` is missing on a bodied method, repeated, or not
+    /// a decimal integer.
+    BadContentLength,
+    /// The declared body length exceeds the configured cap.
+    BodyTooLarge { declared: usize, limit: usize },
+    /// The transport failed underneath us.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The status code this framing error answers with, if the
+    /// connection is still in a state where a response can be written.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::Closed | HttpError::Io(_) => None,
+            HttpError::Truncated => Some(400),
+            HttpError::BadRequestLine => Some(400),
+            HttpError::BadHeader => Some(400),
+            HttpError::BadContentLength => Some(400),
+            HttpError::BodyTooLarge { .. } => Some(413),
+        }
+    }
+
+    pub fn code(&self) -> &'static str {
+        match self {
+            HttpError::Closed => "closed",
+            HttpError::Truncated => "truncated_request",
+            HttpError::BadRequestLine => "bad_request_line",
+            HttpError::BadHeader => "bad_header",
+            HttpError::BadContentLength => "bad_content_length",
+            HttpError::BodyTooLarge { .. } => "payload_too_large",
+            HttpError::Io(_) => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Truncated => write!(f, "truncated request"),
+            HttpError::BadRequestLine => write!(f, "malformed request line"),
+            HttpError::BadHeader => write!(f, "malformed header"),
+            HttpError::BadContentLength => write!(f, "missing or invalid content-length"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds limit {limit}")
+            }
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, without the terminator.
+fn read_line<R: BufRead>(r: &mut R, first: bool) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if first && buf.is_empty() {
+                    return Err(HttpError::Closed);
+                }
+                return Err(HttpError::Truncated);
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return String::from_utf8(buf).map_err(|_| HttpError::BadHeader);
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE {
+                    return Err(HttpError::BadHeader);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Reads and frames one request from the stream.
+///
+/// `max_body` caps the *declared* body size: an oversized
+/// `Content-Length` is rejected without reading the body, so a hostile
+/// client cannot make the daemon buffer arbitrary bytes.
+pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Request, HttpError> {
+    let line = read_line(r, true)?;
+    let mut parts = line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty()
+        || path.is_empty()
+        || parts.next().is_some()
+        || !(version == "HTTP/1.1" || version == "HTTP/1.0")
+        || !method.bytes().all(|b| b.is_ascii_uppercase())
+        || !path.starts_with('/')
+    {
+        return Err(HttpError::BadRequestLine);
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, false)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        if headers.len() > MAX_HEADERS {
+            return Err(HttpError::BadHeader);
+        }
+    }
+
+    let mut keep_alive = version == "HTTP/1.1";
+    if let Some(c) = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+    {
+        if c == "close" {
+            keep_alive = false;
+        } else if c == "keep-alive" {
+            keep_alive = true;
+        }
+    }
+
+    let lengths: Vec<&str> = headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    let body = match (method.as_str(), lengths.len()) {
+        ("GET", 0) => Vec::new(),
+        (_, 0) if method != "POST" && method != "PUT" => Vec::new(),
+        (_, 1) => {
+            let declared: usize = lengths[0]
+                .parse()
+                .map_err(|_| HttpError::BadContentLength)?;
+            if declared > max_body {
+                return Err(HttpError::BodyTooLarge {
+                    declared,
+                    limit: max_body,
+                });
+            }
+            let mut body = vec![0u8; declared];
+            r.read_exact(&mut body).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    HttpError::Truncated
+                } else {
+                    HttpError::Io(e)
+                }
+            })?;
+            body
+        }
+        (_, 0) => return Err(HttpError::BadContentLength), // bodied method, no length
+        _ => return Err(HttpError::BadContentLength),      // repeated header
+    };
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(bytes), max_body)
+    }
+
+    #[test]
+    fn parses_post_with_body_and_keep_alive() {
+        let req = parse(
+            b"POST /v1/admit HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/admit");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n", 64).unwrap();
+        assert!(!req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_declared_body_without_reading_it() {
+        let e = parse(
+            b"POST /v1/admit HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+            128,
+        )
+        .unwrap_err();
+        match e {
+            HttpError::BodyTooLarge { declared, limit } => {
+                assert_eq!(declared, 999_999);
+                assert_eq!(limit, 128);
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+        assert_eq!(e.status(), Some(413));
+    }
+
+    #[test]
+    fn rejects_truncated_body_and_bad_lengths() {
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", 64),
+            Err(HttpError::Truncated)
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 64),
+            Err(HttpError::BadContentLength)
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\n\r\n", 64),
+            Err(HttpError::BadContentLength)
+        ));
+        assert!(matches!(
+            parse(
+                b"POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\nab",
+                64
+            ),
+            Err(HttpError::BadContentLength)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(bad, 64), Err(HttpError::BadRequestLine)),
+                "accepted {:?}",
+                std::str::from_utf8(bad)
+            );
+        }
+        assert!(matches!(parse(b"", 64), Err(HttpError::Closed)));
+        assert!(matches!(parse(b"GET /x HT", 64), Err(HttpError::Truncated)));
+    }
+
+    #[test]
+    fn response_wire_format_is_exact() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{}"
+        );
+    }
+}

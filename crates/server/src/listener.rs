@@ -1,0 +1,520 @@
+//! The daemon runtime: accept loop, worker pool, serialized apply loop.
+//!
+//! Three kinds of threads, wired with channels:
+//!
+//! ```text
+//! accept loop ──TcpStream──▶ worker pool (N threads, shared Receiver)
+//!                                 │ validated Action + reply channel
+//!                                 ▼
+//!                        apply loop (1 thread, owns ClusterState)
+//! ```
+//!
+//! Workers parse/validate and answer transport-level 4xx on their own;
+//! only validated ops cross into the apply loop, which is the sole
+//! owner of the engine. Given the same op sequence (fixed by client
+//! `seq` numbers when concurrency matters), the daemon's end state is
+//! therefore identical to replaying those ops on a bare `OnlineCluster`.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use bursty_obs::Store;
+use bursty_workload::{PmSpec, VmSpec};
+use crossbeam::channel;
+
+use crate::error::ServeError;
+use crate::http::{read_request, write_response, HttpError};
+use crate::json::Json;
+use crate::routes::{route, Action};
+use crate::state::{restore_newest, ClusterState, Op, RestoreReason, SeqWindow};
+
+/// Everything the daemon needs to start.
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests, benches).
+    pub addr: String,
+    pub pms: Vec<PmSpec>,
+    pub d: usize,
+    pub p_on: f64,
+    pub p_off: f64,
+    pub rho: f64,
+    /// Recalibration ε (see `OnlineCluster::with_recalibration_epsilon`).
+    pub epsilon: f64,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Cap on a declared request body, in bytes.
+    pub max_body: usize,
+    /// Event-journal capacity of the daemon's recorder.
+    pub journal_cap: usize,
+    /// Snapshots kept after pruning.
+    pub snapshot_keep: usize,
+    /// Reorder-window width for client-supplied seq numbers.
+    pub seq_window: u64,
+    /// Durable store for snapshot/restore; `None` disables `/v1/snapshot`.
+    pub store: Option<Box<dyn Store + Send>>,
+    /// Attempt to restore the newest valid snapshot before serving.
+    pub restore: bool,
+    /// VMs admitted engine-direct (one batch) before the listener opens.
+    pub initial: Vec<VmSpec>,
+}
+
+impl ServerConfig {
+    pub fn new(pms: Vec<PmSpec>, d: usize, p_on: f64, p_off: f64, rho: f64) -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            pms,
+            d,
+            p_on,
+            p_off,
+            rho,
+            epsilon: 0.0,
+            workers: 4,
+            max_body: 1 << 20,
+            journal_cap: 4096,
+            snapshot_keep: 4,
+            seq_window: 4096,
+            store: None,
+            restore: false,
+            initial: Vec::new(),
+        }
+    }
+}
+
+/// Transport-side tallies, merged into `/metrics` by the apply loop.
+#[derive(Default)]
+struct TransportStats {
+    bad_requests: AtomicU64,
+}
+
+/// What restore did at startup (only present when `restore` was set).
+pub struct RestoreReport {
+    /// Snapshot file that verified and was loaded, if any.
+    pub loaded_from: Option<String>,
+    /// Applied-op count of the loaded snapshot.
+    pub applied: u64,
+    /// Newer files skipped, each with its typed reason.
+    pub discarded: Vec<(String, RestoreReason)>,
+}
+
+enum ApplyMsg {
+    Mutate {
+        op: Op,
+        seq: Option<u64>,
+        reply: mpsc::Sender<Result<Json, ServeError>>,
+    },
+    Digest {
+        reply: mpsc::Sender<Result<Json, ServeError>>,
+    },
+    Fleet {
+        reply: mpsc::Sender<Result<Json, ServeError>>,
+    },
+    Metrics {
+        transport_bad: u64,
+        reply: mpsc::Sender<Result<String, ServeError>>,
+    },
+}
+
+/// A running daemon; dropping the handle does *not* stop it — call
+/// [`shutdown`](Self::shutdown) or [`wait`](Self::wait).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_join: JoinHandle<()>,
+    worker_joins: Vec<JoinHandle<()>>,
+    apply_join: JoinHandle<()>,
+    restore_report: Option<RestoreReport>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn restore_report(&self) -> Option<&RestoreReport> {
+        self.restore_report.as_ref()
+    }
+
+    /// Requests a stop and joins every thread.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop; the connection is dropped unread.
+        let _ = TcpStream::connect(self.addr);
+        self.join_all();
+    }
+
+    /// Blocks until the daemon stops (e.g. via `POST /v1/shutdown`).
+    pub fn wait(self) {
+        self.join_all();
+    }
+
+    fn join_all(self) {
+        let _ = self.accept_join.join();
+        for w in self.worker_joins {
+            let _ = w.join();
+        }
+        let _ = self.apply_join.join();
+    }
+}
+
+/// Builds the state (restoring if asked), warms the initial fleet,
+/// binds the listener, and spawns the thread trio.
+pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+    let ServerConfig {
+        addr,
+        pms,
+        d,
+        p_on,
+        p_off,
+        rho,
+        epsilon,
+        workers,
+        max_body,
+        journal_cap,
+        snapshot_keep,
+        seq_window,
+        mut store,
+        restore,
+        initial,
+    } = config;
+
+    let mut next_seq = 0u64;
+    let mut restore_report = None;
+    let mut state = None;
+    if restore {
+        let store_ref = store.as_deref().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "restore requires a store")
+        })?;
+        let outcome = restore_newest(store_ref)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        match outcome.state {
+            Some(restored) => {
+                restore_report = Some(RestoreReport {
+                    loaded_from: Some(restored.loaded_from),
+                    applied: restored.state.applied(),
+                    discarded: outcome.discarded,
+                });
+                next_seq = restored.next_seq;
+                state = Some(restored.state);
+            }
+            None => {
+                restore_report = Some(RestoreReport {
+                    loaded_from: None,
+                    applied: 0,
+                    discarded: outcome.discarded,
+                });
+            }
+        }
+    }
+    let mut state = match state {
+        Some(s) => s,
+        None => {
+            let mut s = ClusterState::new(pms, d, p_on, p_off, rho, epsilon, journal_cap);
+            if !initial.is_empty() {
+                s.cluster_mut().arrive_batch(initial).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("initial fleet does not fit: {e}"),
+                    )
+                })?;
+            }
+            s
+        }
+    };
+
+    let listener = TcpListener::bind(&addr)?;
+    let local_addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(TransportStats::default());
+
+    let (conn_tx, conn_rx) = channel::unbounded::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let (apply_tx, apply_rx) = channel::unbounded::<ApplyMsg>();
+
+    // Apply loop: sole owner of the engine, applies ops in seq order.
+    let apply_join = std::thread::Builder::new()
+        .name("bursty-apply".to_string())
+        .spawn(move || {
+            let mut window: SeqWindow<(Op, mpsc::Sender<Result<Json, ServeError>>)> =
+                SeqWindow::new(next_seq, seq_window);
+            for msg in apply_rx.iter() {
+                match msg {
+                    ApplyMsg::Mutate { op, seq, reply } => match seq {
+                        None => {
+                            let out = state.apply(
+                                op,
+                                store.as_mut().map(|b| &mut **b as &mut dyn Store),
+                                snapshot_keep,
+                                window.next_seq(),
+                            );
+                            let _ = reply.send(out);
+                        }
+                        Some(seq) => match window.check(seq) {
+                            Ok(()) => {
+                                let ready = window
+                                    .offer(seq, (op, reply))
+                                    .expect("seq was just checked");
+                                for (op, reply) in ready {
+                                    let out = state.apply(
+                                        op,
+                                        store.as_mut().map(|b| &mut **b as &mut dyn Store),
+                                        snapshot_keep,
+                                        window.next_seq(),
+                                    );
+                                    let _ = reply.send(out);
+                                }
+                            }
+                            Err(e) => {
+                                let _ = reply.send(Err(e.to_serve_error()));
+                            }
+                        },
+                    },
+                    ApplyMsg::Digest { reply } => {
+                        let _ = reply.send(Ok(state.read_counted(|s| s.digest_json())));
+                    }
+                    ApplyMsg::Fleet { reply } => {
+                        let _ = reply.send(Ok(state.read_counted(|s| s.fleet_json())));
+                    }
+                    ApplyMsg::Metrics {
+                        transport_bad,
+                        reply,
+                    } => {
+                        let _ = reply.send(Ok(state.metrics_text(transport_bad)));
+                    }
+                }
+            }
+        })?;
+
+    // Worker pool: frame + validate requests, relay ops, write replies.
+    let mut worker_joins = Vec::with_capacity(workers.max(1));
+    for i in 0..workers.max(1) {
+        let conn_rx = Arc::clone(&conn_rx);
+        let apply_tx = apply_tx.clone();
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
+        let poke_addr = local_addr;
+        worker_joins.push(
+            std::thread::Builder::new()
+                .name(format!("bursty-worker-{i}"))
+                .spawn(move || loop {
+                    let stream = match conn_rx.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => break,
+                    };
+                    match stream {
+                        Ok(s) => {
+                            handle_connection(s, &apply_tx, &shutdown, &stats, poke_addr, max_body)
+                        }
+                        Err(_) => break,
+                    }
+                })?,
+        );
+    }
+    drop(apply_tx);
+
+    // Accept loop: owns the listener and the only conn sender.
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_join = std::thread::Builder::new()
+        .name("bursty-accept".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        // Small request/response pairs: Nagle + delayed
+                        // ACK would add ~40ms per round trip.
+                        let _ = s.set_nodelay(true);
+                        if conn_tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // conn_tx drops here; workers drain and exit, then the apply
+            // loop exits once the last worker's apply sender drops.
+        })?;
+
+    Ok(ServerHandle {
+        addr: local_addr,
+        shutdown,
+        accept_join,
+        worker_joins,
+        apply_join,
+        restore_report,
+    })
+}
+
+/// Serves one connection until close, error, or shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    apply_tx: &channel::Sender<ApplyMsg>,
+    shutdown: &AtomicBool,
+    stats: &TransportStats,
+    poke_addr: SocketAddr,
+    max_body: usize,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader, max_body) {
+            Ok(req) => req,
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Io(_)) => return,
+            Err(e) => {
+                // Framing failure: typed 4xx, then close — the stream
+                // position is unreliable past a malformed request.
+                stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                if let Some(status) = e.status() {
+                    let body = ServeError {
+                        status,
+                        code: e.code(),
+                        message: e.to_string(),
+                    }
+                    .to_json();
+                    let _ = write_response(
+                        &mut writer,
+                        status,
+                        "application/json",
+                        body.as_bytes(),
+                        false,
+                    );
+                }
+                return;
+            }
+        };
+        let keep_alive = req.keep_alive;
+        match route(&req) {
+            Err(e) => {
+                stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut writer,
+                    e.status,
+                    "application/json",
+                    e.to_json().as_bytes(),
+                    keep_alive,
+                );
+                if !keep_alive {
+                    return;
+                }
+            }
+            Ok(Action::Health) => {
+                let _ = write_response(
+                    &mut writer,
+                    200,
+                    "application/json",
+                    b"{\"status\":\"ok\"}",
+                    keep_alive,
+                );
+                if !keep_alive {
+                    return;
+                }
+            }
+            Ok(Action::Shutdown) => {
+                shutdown.store(true, Ordering::SeqCst);
+                let _ = write_response(
+                    &mut writer,
+                    200,
+                    "application/json",
+                    b"{\"status\":\"stopping\"}",
+                    false,
+                );
+                // Unblock the accept loop so it observes the flag.
+                let _ = TcpStream::connect(poke_addr);
+                return;
+            }
+            Ok(Action::Metrics) => {
+                let (tx, rx) = mpsc::channel();
+                let sent = apply_tx
+                    .send(ApplyMsg::Metrics {
+                        transport_bad: stats.bad_requests.load(Ordering::Relaxed),
+                        reply: tx,
+                    })
+                    .is_ok();
+                let out = if sent { rx.recv().ok() } else { None };
+                match out {
+                    Some(Ok(text)) => {
+                        let _ = write_response(
+                            &mut writer,
+                            200,
+                            "text/plain; charset=utf-8",
+                            text.as_bytes(),
+                            keep_alive,
+                        );
+                    }
+                    _ => {
+                        let e = ServeError::internal("apply loop unavailable");
+                        let _ = write_response(
+                            &mut writer,
+                            e.status,
+                            "application/json",
+                            e.to_json().as_bytes(),
+                            false,
+                        );
+                        return;
+                    }
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            Ok(action) => {
+                let (tx, rx) = mpsc::channel();
+                let msg = match action {
+                    Action::Apply { op, seq } => ApplyMsg::Mutate { op, seq, reply: tx },
+                    Action::Digest => ApplyMsg::Digest { reply: tx },
+                    Action::Fleet => ApplyMsg::Fleet { reply: tx },
+                    // Health/Shutdown/Metrics handled above.
+                    _ => unreachable!(),
+                };
+                let out = if apply_tx.send(msg).is_ok() {
+                    rx.recv().ok()
+                } else {
+                    None
+                };
+                match out {
+                    Some(Ok(json)) => {
+                        let _ = write_response(
+                            &mut writer,
+                            200,
+                            "application/json",
+                            json.encode().as_bytes(),
+                            keep_alive,
+                        );
+                    }
+                    Some(Err(e)) => {
+                        let _ = write_response(
+                            &mut writer,
+                            e.status,
+                            "application/json",
+                            e.to_json().as_bytes(),
+                            keep_alive,
+                        );
+                    }
+                    None => {
+                        let e = ServeError::internal("apply loop unavailable");
+                        let _ = write_response(
+                            &mut writer,
+                            e.status,
+                            "application/json",
+                            e.to_json().as_bytes(),
+                            false,
+                        );
+                        return;
+                    }
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,662 @@
+//! The daemon's single source of truth: a live [`OnlineCluster`] plus a
+//! [`MemoryRecorder`], mutated only through [`ClusterState::apply`].
+//!
+//! The transport never touches the engine directly — workers hand
+//! validated [`Op`]s to one apply loop, which calls into this module.
+//! That serialization is what makes the daemon a *deterministic function
+//! of its op sequence*: replaying the same ops through a bare
+//! `OnlineCluster` must land on the same [`StateDigest`], which the
+//! transport-equivalence suite pins.
+//!
+//! Snapshots frame three sections through `obs::durable` (the cluster's
+//! canonical image, the recorder snapshot, and server metadata) and go
+//! through any [`Store`], so the same torn-write fault sweeps that cover
+//! the sim checkpoints cover the daemon.
+
+use std::collections::BTreeMap;
+
+use bursty_obs::durable::{put_u64, Cursor, FrameError, FrameWriter};
+use bursty_obs::{Counter, Event, Gauge, HistId, MemoryRecorder, Recorder, Store};
+use bursty_placement::{OnlineCluster, PackError};
+use bursty_workload::{PmSpec, VmSpec};
+
+use crate::error::ServeError;
+use crate::json::{obj, Json};
+
+/// Section tags inside a `serve-*.ckpt` frame.
+const TAG_CLUSTER: u32 = 1;
+const TAG_RECORDER: u32 = 2;
+const TAG_META: u32 = 3;
+
+/// Snapshot file prefix/suffix; the zero-padded applied-op count in the
+/// middle makes lexicographic order equal numeric order.
+const SNAP_PREFIX: &str = "serve-";
+const SNAP_SUFFIX: &str = ".ckpt";
+
+/// A state mutation, already validated by the routing layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    Admit(VmSpec),
+    AdmitBatch(Vec<VmSpec>),
+    Depart { id: usize },
+    Recalibrate,
+    Snapshot,
+}
+
+/// The engine plus its observability sidecar and the applied-op counter.
+pub struct ClusterState {
+    cluster: OnlineCluster,
+    recorder: MemoryRecorder,
+    /// Ops that reached the engine, in apply order. Engine-level
+    /// rejections (a full cluster, an unknown VM id) still count: they
+    /// are deterministic transitions (possibly the identity) and keep
+    /// `applied` aligned with the seq stream.
+    applied: u64,
+}
+
+impl ClusterState {
+    pub fn new(
+        pms: Vec<PmSpec>,
+        d: usize,
+        p_on: f64,
+        p_off: f64,
+        rho: f64,
+        epsilon: f64,
+        journal_cap: usize,
+    ) -> Self {
+        Self {
+            cluster: OnlineCluster::new(pms, d, p_on, p_off, rho)
+                .with_recalibration_epsilon(epsilon),
+            recorder: MemoryRecorder::new(journal_cap),
+            applied: 0,
+        }
+    }
+
+    pub fn cluster(&self) -> &OnlineCluster {
+        &self.cluster
+    }
+
+    pub fn cluster_mut(&mut self) -> &mut OnlineCluster {
+        &mut self.cluster
+    }
+
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Applies one mutation and renders its JSON response.
+    ///
+    /// Every call increments [`Counter::ServeRequests`] and, on reaching
+    /// the engine, the applied-op counter — including engine-level
+    /// rejections, which map to 404/409 but are still deterministic.
+    pub fn apply(
+        &mut self,
+        op: Op,
+        store: Option<&mut dyn Store>,
+        snapshot_keep: usize,
+        next_seq: u64,
+    ) -> Result<Json, ServeError> {
+        self.recorder.counter_inc(Counter::ServeRequests);
+        match op {
+            Op::Admit(vm) => {
+                if self.cluster.host_of(vm.id).is_some() {
+                    self.applied += 1;
+                    return Err(ServeError::conflict(
+                        "duplicate_id",
+                        format!("vm {} is already placed", vm.id),
+                    ));
+                }
+                self.applied += 1;
+                let id = vm.id;
+                match self.cluster.arrive_recorded(vm, &mut self.recorder) {
+                    Ok(host) => Ok(obj(vec![
+                        ("id", Json::Num(id as f64)),
+                        ("host", Json::Num(host as f64)),
+                        ("applied", Json::Num(self.applied as f64)),
+                    ])),
+                    Err(PackError { vm_id }) => Err(ServeError::conflict(
+                        "no_capacity",
+                        format!("vm {vm_id} fits on no PM"),
+                    )),
+                }
+            }
+            Op::AdmitBatch(vms) => {
+                for vm in &vms {
+                    if self.cluster.host_of(vm.id).is_some() {
+                        self.applied += 1;
+                        return Err(ServeError::conflict(
+                            "duplicate_id",
+                            format!("vm {} is already placed", vm.id),
+                        ));
+                    }
+                }
+                self.applied += 1;
+                match self.cluster.arrive_batch_recorded(vms, &mut self.recorder) {
+                    Ok(placed) => {
+                        let hosts: Vec<Json> = placed
+                            .iter()
+                            .map(|(id, host)| {
+                                obj(vec![
+                                    ("id", Json::Num(*id as f64)),
+                                    ("host", Json::Num(*host as f64)),
+                                ])
+                            })
+                            .collect();
+                        Ok(obj(vec![
+                            ("placed", Json::Arr(hosts)),
+                            ("applied", Json::Num(self.applied as f64)),
+                        ]))
+                    }
+                    Err(PackError { vm_id }) => Err(ServeError::conflict(
+                        "no_capacity",
+                        format!("vm {vm_id} fits on no PM; earlier batch members stay placed"),
+                    )),
+                }
+            }
+            Op::Depart { id } => {
+                self.applied += 1;
+                match self.cluster.depart_recorded(id, &mut self.recorder) {
+                    Some(host) => Ok(obj(vec![
+                        ("id", Json::Num(id as f64)),
+                        ("host", Json::Num(host as f64)),
+                        ("applied", Json::Num(self.applied as f64)),
+                    ])),
+                    None => Err(ServeError::not_found(format!("vm {id} is not placed"))),
+                }
+            }
+            Op::Recalibrate => {
+                self.applied += 1;
+                let skipped_before = self.recorder.counter(Counter::OnlineRecalibrationsSkipped);
+                match self.cluster.recalibrate_recorded(&mut self.recorder) {
+                    Some((p_on, p_off)) => {
+                        let skipped = self.recorder.counter(Counter::OnlineRecalibrationsSkipped)
+                            > skipped_before;
+                        Ok(obj(vec![
+                            ("p_on", Json::Num(p_on)),
+                            ("p_off", Json::Num(p_off)),
+                            ("rebuilt", Json::Bool(!skipped)),
+                            ("applied", Json::Num(self.applied as f64)),
+                        ]))
+                    }
+                    None => Err(ServeError::conflict(
+                        "empty_cluster",
+                        "recalibration needs at least one placed vm",
+                    )),
+                }
+            }
+            Op::Snapshot => {
+                let store = store.ok_or_else(|| {
+                    ServeError::conflict("no_store", "daemon started without --state-dir")
+                })?;
+                self.snapshot_to(store, snapshot_keep, next_seq)
+            }
+        }
+    }
+
+    /// Writes a `serve-{applied}.ckpt` frame and prunes older snapshots
+    /// beyond `keep`.
+    fn snapshot_to(
+        &mut self,
+        store: &mut dyn Store,
+        keep: usize,
+        next_seq: u64,
+    ) -> Result<Json, ServeError> {
+        let name = snapshot_name(self.applied);
+        let mut meta = Vec::new();
+        put_u64(&mut meta, self.applied);
+        put_u64(&mut meta, next_seq);
+        let mut w = FrameWriter::new();
+        w.section(TAG_CLUSTER, &self.cluster.to_snapshot_bytes());
+        w.section(TAG_RECORDER, &self.recorder.to_snapshot_bytes());
+        w.section(TAG_META, &meta);
+        let bytes = w.finish();
+        store
+            .write_atomic(&name, &bytes)
+            .map_err(|e| ServeError::internal(format!("snapshot write failed: {e}")))?;
+        self.recorder.counter_inc(Counter::ServeSnapshots);
+        self.recorder.record_event(Event::Snapshot {
+            step: self.applied,
+            bytes: bytes.len(),
+        });
+        // Best-effort prune: keep the newest `keep` snapshots.
+        if let Ok(names) = store.list() {
+            let mut snaps: Vec<String> = names
+                .into_iter()
+                .filter(|n| n.starts_with(SNAP_PREFIX) && n.ends_with(SNAP_SUFFIX))
+                .collect();
+            snaps.sort();
+            if snaps.len() > keep {
+                let excess = snaps.len() - keep;
+                for old in &snaps[..excess] {
+                    let _ = store.remove(old);
+                }
+            }
+        }
+        Ok(obj(vec![
+            ("file", Json::Str(name)),
+            ("bytes", Json::Num(bytes.len() as f64)),
+            ("applied", Json::Num(self.applied as f64)),
+        ]))
+    }
+
+    /// The end-state digest as a JSON object (hashes as hex strings —
+    /// u64 does not survive a JSON `Number`).
+    pub fn digest_json(&self) -> Json {
+        let d = self.cluster.state_digest();
+        obj(vec![
+            ("n_vms", Json::Num(d.n_vms as f64)),
+            ("pms_used", Json::Num(d.pms_used as f64)),
+            ("hosts_hash", Json::Str(format!("{:016x}", d.hosts_hash))),
+            ("loads_hash", Json::Str(format!("{:016x}", d.loads_hash))),
+            ("digest", Json::Str(format!("{:016x}", d.combined()))),
+            ("applied", Json::Num(self.applied as f64)),
+        ])
+    }
+
+    pub fn fleet_json(&self) -> Json {
+        obj(vec![
+            ("n_vms", Json::Num(self.cluster.n_vms() as f64)),
+            ("pms_used", Json::Num(self.cluster.pms_used() as f64)),
+            ("applied", Json::Num(self.applied as f64)),
+        ])
+    }
+
+    /// The `/metrics` text view: one `name value` line per counter and
+    /// gauge, plus count/p50/p99 per histogram. `transport_bad` is the
+    /// transport-side reject count — those requests never reach the
+    /// apply loop, so the listener tracks them in an atomic and the
+    /// recorder's own `serve_bad_requests` cell stays at zero.
+    pub fn metrics_text(&mut self, transport_bad: u64) -> String {
+        self.recorder.counter_inc(Counter::ServeRequests);
+        let mut out = String::new();
+        for c in Counter::all() {
+            let v = if c == Counter::ServeBadRequests {
+                transport_bad
+            } else {
+                self.recorder.counter(c)
+            };
+            out.push_str(&format!("{} {}\n", c.name(), v));
+        }
+        for g in Gauge::all() {
+            out.push_str(&format!("{} {}\n", g.name(), self.recorder.gauge(g)));
+        }
+        for h in HistId::all() {
+            let hist = self.recorder.histogram(h);
+            out.push_str(&format!(
+                "{}_count {}\n{}_p50 {}\n{}_p99 {}\n",
+                h.name(),
+                hist.total(),
+                h.name(),
+                hist.quantile(0.50).unwrap_or(0),
+                h.name(),
+                hist.quantile(0.99).unwrap_or(0),
+            ));
+        }
+        out.push_str(&format!("serve_applied_ops {}\n", self.applied));
+        out.push_str(&format!("serve_fleet_vms {}\n", self.cluster.n_vms()));
+        out.push_str(&format!(
+            "serve_fleet_pms_used {}\n",
+            self.cluster.pms_used()
+        ));
+        out
+    }
+
+    /// Point-in-time read, counted like any other request.
+    pub fn read_counted(&mut self, f: impl FnOnce(&ClusterState) -> Json) -> Json {
+        self.recorder.counter_inc(Counter::ServeRequests);
+        f(self)
+    }
+}
+
+/// `serve-{applied:020}.ckpt`.
+pub fn snapshot_name(applied: u64) -> String {
+    format!("{SNAP_PREFIX}{applied:020}{SNAP_SUFFIX}")
+}
+
+/// Why one snapshot file was skipped during restore.
+#[derive(Debug)]
+pub enum RestoreReason {
+    /// The store could not produce the bytes.
+    Io(String),
+    /// The frame or a section failed CRC/decode validation.
+    Corrupt(FrameError),
+}
+
+impl std::fmt::Display for RestoreReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreReason::Io(e) => write!(f, "unreadable: {e}"),
+            RestoreReason::Corrupt(e) => write!(f, "corrupt: {e:?}"),
+        }
+    }
+}
+
+/// What restore found: the state it loaded (if any snapshot verified)
+/// and every newer file it had to discard, with a typed reason each.
+pub struct RestoreOutcome {
+    pub state: Option<RestoredState>,
+    pub discarded: Vec<(String, RestoreReason)>,
+}
+
+pub struct RestoredState {
+    pub state: ClusterState,
+    pub next_seq: u64,
+    pub loaded_from: String,
+}
+
+/// Walks snapshots newest-first and returns the first one that fully
+/// verifies (frame CRCs, cluster invariants, recorder layout). Corrupt
+/// or unreadable files are skipped with a per-file reason — a torn
+/// write can cost the newest checkpoint, never yield a skewed state.
+pub fn restore_newest<S: Store + ?Sized>(store: &S) -> Result<RestoreOutcome, ServeError> {
+    let names = store
+        .list()
+        .map_err(|e| ServeError::internal(format!("cannot list state dir: {e}")))?;
+    let mut snaps: Vec<String> = names
+        .into_iter()
+        .filter(|n| n.starts_with(SNAP_PREFIX) && n.ends_with(SNAP_SUFFIX))
+        .collect();
+    snaps.sort();
+    snaps.reverse();
+
+    let mut discarded = Vec::new();
+    for name in snaps {
+        let bytes = match store.read(&name) {
+            Ok(b) => b,
+            Err(e) => {
+                discarded.push((name, RestoreReason::Io(e.to_string())));
+                continue;
+            }
+        };
+        match decode_snapshot(&bytes) {
+            Ok((state, next_seq)) => {
+                let mut state = state;
+                state.recorder.counter_inc(Counter::ServeRestores);
+                state.recorder.record_event(Event::Restore {
+                    step: state.applied,
+                    discarded: discarded.len(),
+                });
+                return Ok(RestoreOutcome {
+                    state: Some(RestoredState {
+                        state,
+                        next_seq,
+                        loaded_from: name,
+                    }),
+                    discarded,
+                });
+            }
+            Err(e) => {
+                discarded.push((name, RestoreReason::Corrupt(e)));
+            }
+        }
+    }
+    Ok(RestoreOutcome {
+        state: None,
+        discarded,
+    })
+}
+
+fn decode_snapshot(bytes: &[u8]) -> Result<(ClusterState, u64), FrameError> {
+    let frames = bursty_obs::parse_frames(bytes)?;
+    let sections: BTreeMap<u32, &[u8]> = frames.iter().map(|(t, p)| (*t, p.as_slice())).collect();
+    let cluster_bytes = sections
+        .get(&TAG_CLUSTER)
+        .ok_or_else(|| FrameError::Decode("missing cluster section".to_string()))?;
+    let recorder_bytes = sections
+        .get(&TAG_RECORDER)
+        .ok_or_else(|| FrameError::Decode("missing recorder section".to_string()))?;
+    let meta_bytes = sections
+        .get(&TAG_META)
+        .ok_or_else(|| FrameError::Decode("missing meta section".to_string()))?;
+    let cluster = OnlineCluster::from_snapshot_bytes(cluster_bytes)?;
+    let recorder = MemoryRecorder::from_snapshot_bytes(recorder_bytes)?;
+    let mut c = Cursor::new(meta_bytes);
+    let applied = c.u64()?;
+    let next_seq = c.u64()?;
+    c.expect_done()?;
+    Ok((
+        ClusterState {
+            cluster,
+            recorder,
+            applied,
+        },
+        next_seq,
+    ))
+}
+
+/// Reorder buffer for client-supplied `seq` numbers.
+///
+/// The apply loop applies seq'd ops in strictly increasing seq order; an
+/// op arriving early waits here. With each client sending its assigned
+/// seqs in ascending order this is deadlock-free: the client holding
+/// the globally smallest unapplied seq has, by construction, already
+/// had all of its earlier seqs applied, so its next send always
+/// releases the buffer.
+pub struct SeqWindow<T> {
+    next: u64,
+    window: u64,
+    pending: BTreeMap<u64, T>,
+}
+
+/// Why an offered seq was rejected (the op is *not* applied).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqError {
+    /// `seq` is below the next expected value — already applied.
+    Replayed { seq: u64, next: u64 },
+    /// `seq` is more than `window` ahead of the next expected value.
+    TooFarAhead { seq: u64, next: u64, window: u64 },
+    /// Another op already waits under this seq.
+    Duplicate { seq: u64 },
+}
+
+impl SeqError {
+    pub fn to_serve_error(&self) -> ServeError {
+        match self {
+            SeqError::Replayed { seq, next } => ServeError::conflict(
+                "seq_replayed",
+                format!("seq {seq} already applied (next is {next})"),
+            ),
+            SeqError::TooFarAhead { seq, next, window } => ServeError::conflict(
+                "seq_too_far_ahead",
+                format!("seq {seq} is beyond the window (next {next}, window {window})"),
+            ),
+            SeqError::Duplicate { seq } => ServeError::conflict(
+                "seq_duplicate",
+                format!("another request already holds seq {seq}"),
+            ),
+        }
+    }
+}
+
+impl<T> SeqWindow<T> {
+    pub fn new(next: u64, window: u64) -> Self {
+        Self {
+            next,
+            window: window.max(1),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether `seq` would be accepted right now — lets a caller
+    /// reject without giving up ownership of the op it would offer.
+    pub fn check(&self, seq: u64) -> Result<(), SeqError> {
+        if seq < self.next {
+            return Err(SeqError::Replayed {
+                seq,
+                next: self.next,
+            });
+        }
+        if seq >= self.next + self.window {
+            return Err(SeqError::TooFarAhead {
+                seq,
+                next: self.next,
+                window: self.window,
+            });
+        }
+        if seq > self.next && self.pending.contains_key(&seq) {
+            return Err(SeqError::Duplicate { seq });
+        }
+        Ok(())
+    }
+
+    /// Offers an op under `seq`; returns the (possibly empty) run of
+    /// ops that are now ready, in seq order.
+    pub fn offer(&mut self, seq: u64, item: T) -> Result<Vec<T>, SeqError> {
+        self.check(seq)?;
+        if seq > self.next {
+            self.pending.insert(seq, item);
+            return Ok(Vec::new());
+        }
+        let mut ready = vec![item];
+        self.next += 1;
+        while let Some(item) = self.pending.remove(&self.next) {
+            ready.push(item);
+            self.next += 1;
+        }
+        Ok(ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bursty_obs::MemStore;
+    use bursty_placement::ReferenceOnlineCluster;
+
+    fn pms(m: usize) -> Vec<PmSpec> {
+        (0..m).map(|j| PmSpec::new(j, 100.0)).collect()
+    }
+
+    fn vm(id: usize, r_b: f64) -> VmSpec {
+        VmSpec::new(id, 0.01, 0.09, r_b, 5.0)
+    }
+
+    fn state() -> ClusterState {
+        ClusterState::new(pms(16), 16, 0.01, 0.09, 0.01, 0.0, 256)
+    }
+
+    #[test]
+    fn apply_matches_reference_replay() {
+        let mut s = state();
+        let mut oracle = ReferenceOnlineCluster::new(pms(16), 16, 0.01, 0.09, 0.01);
+        for id in 0..30 {
+            s.apply(Op::Admit(vm(id, 10.0)), None, 2, 0).unwrap();
+            oracle.arrive(vm(id, 10.0)).unwrap();
+        }
+        for id in (0..30).step_by(3) {
+            s.apply(Op::Depart { id }, None, 2, 0).unwrap();
+            oracle.depart(id).unwrap();
+        }
+        let batch: Vec<VmSpec> = (100..112).map(|id| vm(id, 20.0)).collect();
+        s.apply(Op::AdmitBatch(batch.clone()), None, 2, 0).unwrap();
+        oracle.arrive_batch(batch).unwrap();
+        s.apply(Op::Recalibrate, None, 2, 0).unwrap();
+        oracle.recalibrate().unwrap();
+        assert_eq!(s.cluster().state_digest(), oracle.state_digest());
+        assert_eq!(s.applied(), 30 + 10 + 1 + 1);
+    }
+
+    #[test]
+    fn engine_level_rejections_are_typed() {
+        let mut s = state();
+        s.apply(Op::Admit(vm(1, 10.0)), None, 2, 0).unwrap();
+        let dup = s.apply(Op::Admit(vm(1, 10.0)), None, 2, 0).unwrap_err();
+        assert_eq!((dup.status, dup.code), (409, "duplicate_id"));
+        let gone = s.apply(Op::Depart { id: 99 }, None, 2, 0).unwrap_err();
+        assert_eq!((gone.status, gone.code), (404, "not_found"));
+        let nostore = s.apply(Op::Snapshot, None, 2, 0).unwrap_err();
+        assert_eq!((nostore.status, nostore.code), (409, "no_store"));
+        // Rejections still advance `applied` (deterministic identity ops),
+        // except Snapshot, which never reaches the engine.
+        assert_eq!(s.applied(), 3);
+    }
+
+    #[test]
+    fn snapshot_restores_bit_identically_and_prunes() {
+        let mut store = MemStore::new();
+        let mut s = state();
+        for id in 0..40 {
+            s.apply(Op::Admit(vm(id, 7.0)), None, 2, 0).unwrap();
+            if id % 5 == 4 {
+                s.apply(Op::Snapshot, Some(&mut store), 2, id as u64 + 1)
+                    .unwrap();
+            }
+        }
+        // Pruned to the newest 2 snapshots.
+        let names = store.list().unwrap();
+        assert_eq!(names.len(), 2);
+        let out = restore_newest(&store).unwrap();
+        assert!(out.discarded.is_empty());
+        let restored = out.state.unwrap();
+        assert_eq!(restored.loaded_from, snapshot_name(40));
+        assert_eq!(restored.next_seq, 40);
+        assert_eq!(
+            restored.state.cluster().state_digest(),
+            s.cluster().state_digest()
+        );
+        // The restored engine keeps serving identically.
+        let mut a = s;
+        let mut b = restored.state;
+        a.apply(Op::Admit(vm(500, 9.0)), None, 2, 0).unwrap();
+        b.apply(Op::Admit(vm(500, 9.0)), None, 2, 0).unwrap();
+        assert_eq!(a.cluster().state_digest(), b.cluster().state_digest());
+    }
+
+    #[test]
+    fn restore_skips_corrupt_newest_with_typed_reason() {
+        let mut store = MemStore::new();
+        let mut s = state();
+        for id in 0..10 {
+            s.apply(Op::Admit(vm(id, 7.0)), None, 8, 0).unwrap();
+        }
+        s.apply(Op::Snapshot, Some(&mut store), 8, 10).unwrap();
+        let digest_at_10 = s.cluster().state_digest();
+        for id in 10..20 {
+            s.apply(Op::Admit(vm(id, 7.0)), None, 8, 0).unwrap();
+        }
+        s.apply(Op::Snapshot, Some(&mut store), 8, 20).unwrap();
+        // Corrupt the newest snapshot.
+        let newest = snapshot_name(20);
+        store.file_mut(&newest).unwrap()[40] ^= 0xFF;
+        let out = restore_newest(&store).unwrap();
+        assert_eq!(out.discarded.len(), 1);
+        assert_eq!(out.discarded[0].0, newest);
+        assert!(matches!(out.discarded[0].1, RestoreReason::Corrupt(_)));
+        let restored = out.state.unwrap();
+        assert_eq!(restored.loaded_from, snapshot_name(10));
+        assert_eq!(restored.state.cluster().state_digest(), digest_at_10);
+    }
+
+    #[test]
+    fn seq_window_orders_and_rejects() {
+        let mut w: SeqWindow<&str> = SeqWindow::new(0, 4);
+        assert_eq!(w.offer(2, "c").unwrap(), Vec::<&str>::new());
+        assert_eq!(w.offer(1, "b").unwrap(), Vec::<&str>::new());
+        assert_eq!(w.offer(0, "a").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(w.next_seq(), 3);
+        assert!(matches!(
+            w.offer(1, "x"),
+            Err(SeqError::Replayed { seq: 1, next: 3 })
+        ));
+        assert!(matches!(
+            w.offer(7, "x"),
+            Err(SeqError::TooFarAhead { seq: 7, .. })
+        ));
+        w.offer(5, "f").unwrap();
+        assert!(matches!(
+            w.offer(5, "x"),
+            Err(SeqError::Duplicate { seq: 5 })
+        ));
+        assert_eq!(w.offer(3, "d").unwrap(), vec!["d"]);
+        assert_eq!(w.offer(4, "e").unwrap(), vec!["e", "f"]);
+        assert_eq!(w.pending_len(), 0);
+    }
+}

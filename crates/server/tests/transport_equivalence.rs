@@ -1,0 +1,174 @@
+//! The tentpole contract: the daemon is a transport, not a second
+//! engine. A seeded churn program driven through HTTP — at 1, 2, and 8
+//! concurrent clients — must land on the same end-state digest as the
+//! same program driven directly through `OnlineCluster`, and as the
+//! single-threaded `ReferenceOnlineCluster` replay.
+
+use bursty_placement::{OnlineCluster, ReferenceOnlineCluster};
+use bursty_server::replay::{apply_engine, apply_reference, build_program, drive_http};
+use bursty_server::{spawn, Client, Json, ServerConfig};
+use bursty_workload::PmSpec;
+use proptest::prelude::*;
+
+const D: usize = 16;
+const P_ON: f64 = 0.01;
+const P_OFF: f64 = 0.09;
+const RHO: f64 = 0.01;
+
+fn pms(m: usize) -> Vec<PmSpec> {
+    (0..m).map(|j| PmSpec::new(j, 100.0)).collect()
+}
+
+fn config(m: usize) -> ServerConfig {
+    let mut c = ServerConfig::new(pms(m), D, P_ON, P_OFF, RHO);
+    c.workers = 10; // above the widest client fan-out used here
+    c
+}
+
+#[test]
+fn http_replay_matches_engine_direct_at_1_2_and_8_clients() {
+    let program = build_program(0xB0B, 900, 0);
+
+    let mut engine = OnlineCluster::new(pms(128), D, P_ON, P_OFF, RHO);
+    let engine_digest = apply_engine(&mut engine, &program.ops);
+    let mut reference = ReferenceOnlineCluster::new(pms(128), D, P_ON, P_OFF, RHO);
+    let reference_digest = apply_reference(&mut reference, &program.ops);
+    assert_eq!(engine_digest, reference_digest);
+    assert!(engine_digest.n_vms > 0, "program must leave live VMs");
+
+    for clients in [1usize, 2, 8] {
+        let handle = spawn(config(128)).expect("daemon starts");
+        let outcome =
+            drive_http(handle.addr(), &program.ops, clients, 0).expect("http replay runs");
+        handle.shutdown();
+        assert_eq!(
+            outcome.digest, engine_digest,
+            "digest diverged at {clients} clients"
+        );
+        assert_eq!(outcome.ok + outcome.rejected, program.ops.len());
+    }
+}
+
+#[test]
+fn unseqd_single_client_also_matches() {
+    // Without seq numbers a single connection still serializes through
+    // the apply loop in send order.
+    let program = build_program(0xCAFE, 300, 0);
+    let mut engine = OnlineCluster::new(pms(64), D, P_ON, P_OFF, RHO);
+    let engine_digest = apply_engine(&mut engine, &program.ops);
+
+    let handle = spawn(config(64)).expect("daemon starts");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for op in &program.ops {
+        let (path, body) = bursty_server::op_request(op, 0);
+        // Strip the seq field: send the op body without ordering.
+        let body = match body {
+            Json::Obj(pairs) => Json::Obj(pairs.into_iter().filter(|(k, _)| k != "seq").collect()),
+            other => other,
+        };
+        let resp = client.post(path, &body).unwrap();
+        assert!(
+            resp.status == 200 || resp.status == 404 || resp.status == 409,
+            "unexpected status {} on {path}",
+            resp.status
+        );
+    }
+    let digest = bursty_server::fetch_digest(&mut client).unwrap();
+    drop(client);
+    handle.shutdown();
+    assert_eq!(digest, engine_digest);
+}
+
+#[test]
+fn fleet_and_metrics_views_report_the_served_state() {
+    let program = build_program(0xF00D, 200, 0);
+    let mut engine = OnlineCluster::new(pms(64), D, P_ON, P_OFF, RHO);
+    let engine_digest = apply_engine(&mut engine, &program.ops);
+
+    let handle = spawn(config(64)).expect("daemon starts");
+    let outcome = drive_http(handle.addr(), &program.ops, 2, 0).unwrap();
+    assert_eq!(outcome.digest, engine_digest);
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let fleet = client.get("/v1/fleet").unwrap();
+    assert_eq!(fleet.status, 200);
+    let fleet = fleet.json().unwrap();
+    assert_eq!(
+        fleet.get("n_vms").and_then(Json::as_usize),
+        Some(engine_digest.n_vms)
+    );
+    assert_eq!(
+        fleet.get("pms_used").and_then(Json::as_usize),
+        Some(engine_digest.pms_used)
+    );
+    assert_eq!(
+        fleet.get("applied").and_then(Json::as_usize),
+        Some(program.ops.len())
+    );
+
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    assert!(text.contains("serve_requests "));
+    assert!(text.contains(&format!("serve_fleet_vms {}", engine_digest.n_vms)));
+    assert!(text.contains("online_arrivals "));
+    drop(client);
+    handle.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite 1: an *arbitrary* assignment of the seeded op set to N
+    /// loopback connections — not just round-robin — produces the same
+    /// end-state digest as the single-threaded reference replay. Each
+    /// client sends its share in ascending-seq order; everything else
+    /// (scheduling, interleaving, arrival order at the listener) is up
+    /// to the OS.
+    #[test]
+    fn arbitrary_client_partitions_are_deterministic(
+        seed in 1u64..1000,
+        clients in 2usize..6,
+        assignment in proptest::collection::vec(0usize..6, 240),
+    ) {
+        let program = build_program(seed, assignment.len(), 0);
+        let mut reference = ReferenceOnlineCluster::new(pms(64), D, P_ON, P_OFF, RHO);
+        let expected = apply_reference(&mut reference, &program.ops);
+
+        let handle = spawn(config(64)).expect("daemon starts");
+        // Partition by the proptest-chosen assignment, preserving seq
+        // order inside each share.
+        let mut shares: Vec<Vec<(u64, bursty_server::Op)>> = vec![Vec::new(); clients];
+        for (i, op) in program.ops.iter().enumerate() {
+            shares[assignment[i] % clients].push((i as u64, op.clone()));
+        }
+        let addr = handle.addr();
+        let joins: Vec<_> = shares
+            .into_iter()
+            .map(|share| {
+                std::thread::spawn(move || -> std::io::Result<()> {
+                    let mut client = Client::connect(addr)?;
+                    for (seq, op) in share {
+                        let (path, body) = bursty_server::op_request(&op, seq);
+                        let resp = client.post(path, &body)?;
+                        if !matches!(resp.status, 200 | 404 | 409) {
+                            return Err(std::io::Error::other(format!(
+                                "status {} on {path}",
+                                resp.status
+                            )));
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().expect("client thread").expect("client i/o");
+        }
+        let mut client = Client::connect(addr).unwrap();
+        let digest = bursty_server::fetch_digest(&mut client).unwrap();
+        drop(client);
+        handle.shutdown();
+        prop_assert_eq!(digest, expected);
+    }
+}
