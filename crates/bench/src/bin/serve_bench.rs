@@ -208,7 +208,7 @@ fn main() {
 
         for &clients in &args.clients {
             let mut config = ServerConfig::new(pms.clone(), D, P_ON, P_OFF, RHO);
-            config.workers = args.workers.max(clients);
+            config.workers = args.workers;
             config.initial = initial.clone();
             let warm_start = Instant::now();
             let handle = bursty_server::spawn(config).expect("daemon starts");

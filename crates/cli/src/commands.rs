@@ -833,6 +833,10 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let addr = args.get_str("addr").unwrap_or("127.0.0.1:0");
     let workers = args.get_usize("workers")?.unwrap_or(4);
     let snapshot_keep = args.get_usize("snapshot-keep")?.unwrap_or(4);
+    let pending_ttl_ms = args.get_usize("pending-ttl-ms")?.unwrap_or(30_000);
+    if pending_ttl_ms == 0 {
+        return Err(err("--pending-ttl-ms must be at least 1"));
+    }
     let state_dir = args.get_str("state-dir");
     let restore = args.has("restore");
     if restore && state_dir.is_none() {
@@ -845,6 +849,7 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     config.epsilon = fleet.epsilon;
     config.workers = workers.max(1);
     config.snapshot_keep = snapshot_keep;
+    config.pending_ttl = std::time::Duration::from_millis(pending_ttl_ms as u64);
     config.initial = fleet.initial;
     if let Some(dir) = state_dir {
         let store = bursty_core::obs::FsStore::open(dir)

@@ -130,7 +130,7 @@ USAGE:
       departure/recalibration journal and latency histograms as JSONL
   bursty serve [--addr HOST:PORT] [--vms N] [--pms M] [--pattern ...]
                   [--d D] [--seed S] [--p-on P] [--p-off P] [--rho R]
-                  [--epsilon E] [--workers W]
+                  [--epsilon E] [--workers W] [--pending-ttl-ms T]
                   [--state-dir DIR [--restore] [--snapshot-keep K]]
       run the placement daemon: warm an N-VM Table-I fleet into the
       online engine, then serve admit/depart/recalibrate over HTTP
@@ -138,7 +138,9 @@ USAGE:
       /v1/digest, /v1/fleet, /v1/snapshot, /metrics, /healthz,
       /v1/shutdown); prints `listening on ADDR` once ready and blocks
       until /v1/shutdown; --state-dir enables CRC-framed atomic
-      snapshots, --restore boots from the newest verifying one
+      snapshots, --restore boots from the newest verifying one;
+      --pending-ttl-ms (default 30000) bounds how long a seq'd op may
+      wait for its missing predecessors before a retryable 503
   bursty serve-replay --addr HOST:PORT [--ops K] [--clients C]
                   [--seq-base B] [--shutdown] [+ the fleet flags above]
       drive a seeded churn program against a running daemon over C

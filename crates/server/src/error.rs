@@ -63,6 +63,17 @@ impl ServeError {
         }
     }
 
+    /// 503: the request was *not* applied and may be retried as-is —
+    /// used when a buffered seq'd op is evicted because earlier seqs
+    /// never arrived.
+    pub fn unavailable(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            status: 503,
+            code,
+            message: message.into(),
+        }
+    }
+
     pub fn internal(message: impl Into<String>) -> Self {
         Self {
             status: 500,

@@ -8,11 +8,17 @@
 //! with a typed error *before* the request can reach the apply loop.
 
 use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// Upper bound on a request line or a single header line, in bytes.
 const MAX_LINE: usize = 8 * 1024;
 /// Upper bound on the number of headers per request.
 const MAX_HEADERS: usize = 64;
+/// Once a request's first byte has arrived, the rest of it must land
+/// within this budget or the request is answered 408 — a stalled
+/// mid-request client may not pin a worker forever.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
 
 /// A parsed request. Header names are lower-cased at parse time.
 #[derive(Debug)]
@@ -38,6 +44,15 @@ impl Request {
 pub enum HttpError {
     /// The peer closed the connection cleanly before sending a request.
     Closed,
+    /// The socket's read timeout fired before the request's first byte
+    /// arrived. Not an error: the caller may park or requeue the idle
+    /// connection and serve other work. Only returned when the stream
+    /// has a read timeout set.
+    Idle,
+    /// A request started arriving but did not complete within the
+    /// deadline — the stream position is unreliable, answer 408 and
+    /// close.
+    Timeout,
     /// The stream ended mid-request (truncated line or short body).
     Truncated,
     /// The request line is not `METHOD SP PATH SP HTTP/1.x`.
@@ -58,7 +73,8 @@ impl HttpError {
     /// connection is still in a state where a response can be written.
     pub fn status(&self) -> Option<u16> {
         match self {
-            HttpError::Closed | HttpError::Io(_) => None,
+            HttpError::Closed | HttpError::Idle | HttpError::Io(_) => None,
+            HttpError::Timeout => Some(408),
             HttpError::Truncated => Some(400),
             HttpError::BadRequestLine => Some(400),
             HttpError::BadHeader => Some(400),
@@ -70,6 +86,8 @@ impl HttpError {
     pub fn code(&self) -> &'static str {
         match self {
             HttpError::Closed => "closed",
+            HttpError::Idle => "idle",
+            HttpError::Timeout => "request_timeout",
             HttpError::Truncated => "truncated_request",
             HttpError::BadRequestLine => "bad_request_line",
             HttpError::BadHeader => "bad_header",
@@ -84,6 +102,8 @@ impl std::fmt::Display for HttpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Idle => write!(f, "connection idle"),
+            HttpError::Timeout => write!(f, "request did not complete in time"),
             HttpError::Truncated => write!(f, "truncated request"),
             HttpError::BadRequestLine => write!(f, "malformed request line"),
             HttpError::BadHeader => write!(f, "malformed header"),
@@ -96,8 +116,37 @@ impl std::fmt::Display for HttpError {
     }
 }
 
+/// Decides what a timed-out read means, given how far into the request
+/// we are. The deadline starts at the request's first byte, so a
+/// connection can sit idle indefinitely without tripping it.
+fn on_timeout(
+    started: bool,
+    shutdown: &AtomicBool,
+    deadline: &Option<Instant>,
+) -> Result<(), HttpError> {
+    if shutdown.load(Ordering::SeqCst) {
+        return Err(HttpError::Closed);
+    }
+    if !started {
+        return Err(HttpError::Idle);
+    }
+    match deadline {
+        Some(d) if Instant::now() >= *d => Err(HttpError::Timeout),
+        _ => Ok(()), // retry the read
+    }
+}
+
+fn is_timeout(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
 /// Reads one CRLF- (or bare-LF-) terminated line, without the terminator.
-fn read_line<R: BufRead>(r: &mut R, first: bool) -> Result<String, HttpError> {
+fn read_line<R: BufRead>(
+    r: &mut R,
+    first: bool,
+    shutdown: &AtomicBool,
+    deadline: &mut Option<Instant>,
+) -> Result<String, HttpError> {
     let mut buf = Vec::new();
     loop {
         let mut byte = [0u8; 1];
@@ -109,6 +158,9 @@ fn read_line<R: BufRead>(r: &mut R, first: bool) -> Result<String, HttpError> {
                 return Err(HttpError::Truncated);
             }
             Ok(_) => {
+                if deadline.is_none() {
+                    *deadline = Some(Instant::now() + REQUEST_DEADLINE);
+                }
                 if byte[0] == b'\n' {
                     if buf.last() == Some(&b'\r') {
                         buf.pop();
@@ -121,9 +173,33 @@ fn read_line<R: BufRead>(r: &mut R, first: bool) -> Result<String, HttpError> {
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(e.kind()) => {
+                on_timeout(!(first && buf.is_empty()), shutdown, deadline)?;
+            }
             Err(e) => return Err(HttpError::Io(e)),
         }
     }
+}
+
+/// `read_exact` that retries socket-timeout ticks (checking shutdown and
+/// the request deadline each time) instead of aborting mid-body.
+fn read_full<R: BufRead>(
+    r: &mut R,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    deadline: &Option<Instant>,
+) -> Result<(), HttpError> {
+    let mut pos = 0;
+    while pos < buf.len() {
+        match r.read(&mut buf[pos..]) {
+            Ok(0) => return Err(HttpError::Truncated),
+            Ok(n) => pos += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(e.kind()) => on_timeout(true, shutdown, deadline)?,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok(())
 }
 
 /// Reads and frames one request from the stream.
@@ -131,8 +207,19 @@ fn read_line<R: BufRead>(r: &mut R, first: bool) -> Result<String, HttpError> {
 /// `max_body` caps the *declared* body size: an oversized
 /// `Content-Length` is rejected without reading the body, so a hostile
 /// client cannot make the daemon buffer arbitrary bytes.
-pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Request, HttpError> {
-    let line = read_line(r, true)?;
+///
+/// When the stream has a read timeout set, a timeout before the first
+/// byte returns [`HttpError::Idle`] (requeue the connection), and a
+/// request that stalls after starting returns [`HttpError::Timeout`]
+/// after [`REQUEST_DEADLINE`]. `shutdown` is checked on every timeout
+/// tick so a blocked read never outlives the daemon.
+pub fn read_request<R: BufRead>(
+    r: &mut R,
+    max_body: usize,
+    shutdown: &AtomicBool,
+) -> Result<Request, HttpError> {
+    let mut deadline = None;
+    let line = read_line(r, true, shutdown, &mut deadline)?;
     let mut parts = line.split(' ');
     let method = parts.next().unwrap_or("").to_string();
     let path = parts.next().unwrap_or("").to_string();
@@ -148,7 +235,7 @@ pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Request, H
     }
     let mut headers = Vec::new();
     loop {
-        let line = read_line(r, false)?;
+        let line = read_line(r, false, shutdown, &mut deadline)?;
         if line.is_empty() {
             break;
         }
@@ -194,13 +281,7 @@ pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Request, H
                 });
             }
             let mut body = vec![0u8; declared];
-            r.read_exact(&mut body).map_err(|e| {
-                if e.kind() == io::ErrorKind::UnexpectedEof {
-                    HttpError::Truncated
-                } else {
-                    HttpError::Io(e)
-                }
-            })?;
+            read_full(r, &mut body, shutdown, &deadline)?;
             body
         }
         (_, 0) => return Err(HttpError::BadContentLength), // bodied method, no length
@@ -222,12 +303,31 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
+}
+
+/// Renders a complete fixed-length response as wire bytes — for replies
+/// that are produced in one thread (the apply loop) and written by
+/// another (whichever worker resumes the connection).
+pub fn encode_response(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body);
+    out
 }
 
 /// Writes a complete fixed-length response.
@@ -238,16 +338,7 @@ pub fn write_response<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        status,
-        reason(status),
-        content_type,
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    w.write_all(head.as_bytes())?;
-    w.write_all(body)?;
+    w.write_all(&encode_response(status, content_type, body, keep_alive))?;
     w.flush()
 }
 
@@ -257,7 +348,8 @@ mod tests {
     use std::io::BufReader;
 
     fn parse(bytes: &[u8], max_body: usize) -> Result<Request, HttpError> {
-        read_request(&mut BufReader::new(bytes), max_body)
+        let shutdown = AtomicBool::new(false);
+        read_request(&mut BufReader::new(bytes), max_body, &shutdown)
     }
 
     #[test]

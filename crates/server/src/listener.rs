@@ -3,10 +3,12 @@
 //! Three kinds of threads, wired with channels:
 //!
 //! ```text
-//! accept loop ──TcpStream──▶ worker pool (N threads, shared Receiver)
-//!                                 │ validated Action + reply channel
-//!                                 ▼
-//!                        apply loop (1 thread, owns ClusterState)
+//! accept loop ──Conn──▶ worker pool (N threads, shared channel)
+//!                       │  ▲ idle conns requeue; deferred replies resume
+//!                       │  └───────────────────────────────┐
+//!                       │ validated Action (+ conn for seq'd ops)
+//!                       ▼                                  │
+//!              apply loop (1 thread, owns ClusterState) ───┘
 //! ```
 //!
 //! Workers parse/validate and answer transport-level 4xx on their own;
@@ -14,23 +16,38 @@
 //! owner of the engine. Given the same op sequence (fixed by client
 //! `seq` numbers when concurrency matters), the daemon's end state is
 //! therefore identical to replaying those ops on a bare `OnlineCluster`.
+//!
+//! Workers never block on the apply loop's reorder buffer: a seq'd
+//! mutation hands its *whole connection* to the apply loop, which
+//! renders the response when the op's turn comes and requeues the
+//! connection to the pool. Likewise, a connection with no request in
+//! flight is requeued on a read-timeout tick instead of pinning a
+//! worker. Both rules exist for the same reason — connections may
+//! outnumber workers, and progress of the op stream must never depend
+//! on a specific connection holding a worker thread.
 
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use bursty_obs::Store;
 use bursty_workload::{PmSpec, VmSpec};
 use crossbeam::channel;
 
 use crate::error::ServeError;
-use crate::http::{read_request, write_response, HttpError};
+use crate::http::{encode_response, read_request, write_response, HttpError};
 use crate::json::Json;
 use crate::routes::{route, Action};
 use crate::state::{restore_newest, ClusterState, Op, RestoreReason, SeqWindow};
+
+/// Socket read timeout, worker poll interval, and apply-loop tick: the
+/// granularity at which idle connections requeue and the shutdown flag
+/// and pending-seq TTL are observed.
+const TICK: Duration = Duration::from_millis(25);
 
 /// Everything the daemon needs to start.
 pub struct ServerConfig {
@@ -53,6 +70,10 @@ pub struct ServerConfig {
     pub snapshot_keep: usize,
     /// Reorder-window width for client-supplied seq numbers.
     pub seq_window: u64,
+    /// How long a buffered seq'd op may wait for its missing
+    /// predecessors before it is evicted with a retryable 503 — bounds
+    /// the damage of a client that dies mid-stream.
+    pub pending_ttl: Duration,
     /// Durable store for snapshot/restore; `None` disables `/v1/snapshot`.
     pub store: Option<Box<dyn Store + Send>>,
     /// Attempt to restore the newest valid snapshot before serving.
@@ -76,6 +97,7 @@ impl ServerConfig {
             journal_cap: 4096,
             snapshot_keep: 4,
             seq_window: 4096,
+            pending_ttl: Duration::from_secs(30),
             store: None,
             restore: false,
             initial: Vec::new(),
@@ -99,11 +121,54 @@ pub struct RestoreReport {
     pub discarded: Vec<(String, RestoreReason)>,
 }
 
+/// One live connection: a buffered reader plus a writer clone of the
+/// same socket. Travels whole between workers and the apply loop so
+/// buffered (pipelined) bytes are never lost across a handoff.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> io::Result<Self> {
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+}
+
+/// What flows through the worker-pool channel.
+enum WorkItem {
+    /// A connection ready for its next request (fresh, idle-requeued,
+    /// or resumed after a deferred reply).
+    Serve(Conn),
+    /// A deferred response the apply loop finished: write the
+    /// pre-rendered bytes, then keep serving the connection.
+    Resume {
+        conn: Conn,
+        response: Vec<u8>,
+        keep_alive: bool,
+    },
+}
+
+/// How the apply loop answers a mutation.
+enum Reply {
+    /// Synchronous reply; the worker waits. Only used for ops the
+    /// apply loop answers unconditionally (no seq — never buffered),
+    /// so the wait is bounded by the apply queue, not by other clients.
+    Channel(mpsc::Sender<Result<Json, ServeError>>),
+    /// The whole connection; the apply loop owns it until the op is
+    /// applied (or rejected/evicted), then requeues it via `Resume`.
+    Conn { conn: Conn, keep_alive: bool },
+}
+
 enum ApplyMsg {
     Mutate {
         op: Op,
         seq: Option<u64>,
-        reply: mpsc::Sender<Result<Json, ServeError>>,
+        reply: Reply,
     },
     Digest {
         reply: mpsc::Sender<Result<Json, ServeError>>,
@@ -138,7 +203,9 @@ impl ServerHandle {
         self.restore_report.as_ref()
     }
 
-    /// Requests a stop and joins every thread.
+    /// Requests a stop and joins every thread. Returns promptly even if
+    /// clients still hold idle keep-alive connections: workers observe
+    /// the flag on the next read-timeout tick and drop them.
     pub fn shutdown(self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop; the connection is dropped unread.
@@ -176,6 +243,7 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
         journal_cap,
         snapshot_keep,
         seq_window,
+        pending_ttl,
         mut store,
         restore,
         initial,
@@ -230,19 +298,21 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(TransportStats::default());
 
-    let (conn_tx, conn_rx) = channel::unbounded::<TcpStream>();
-    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let (work_tx, work_rx) = channel::unbounded::<WorkItem>();
     let (apply_tx, apply_rx) = channel::unbounded::<ApplyMsg>();
 
     // Apply loop: sole owner of the engine, applies ops in seq order.
+    // It never blocks on a worker or a socket — deferred replies go
+    // back through the work channel as pre-rendered `Resume` items.
+    let apply_work_tx = work_tx.clone();
     let apply_join = std::thread::Builder::new()
         .name("bursty-apply".to_string())
         .spawn(move || {
-            let mut window: SeqWindow<(Op, mpsc::Sender<Result<Json, ServeError>>)> =
-                SeqWindow::new(next_seq, seq_window);
-            for msg in apply_rx.iter() {
-                match msg {
-                    ApplyMsg::Mutate { op, seq, reply } => match seq {
+            let mut window: SeqWindow<(Op, Reply, Instant)> = SeqWindow::new(next_seq, seq_window);
+            let mut last_evict = Instant::now();
+            loop {
+                match apply_rx.recv_timeout(TICK) {
+                    Ok(ApplyMsg::Mutate { op, seq, reply }) => match seq {
                         None => {
                             let out = state.apply(
                                 op,
@@ -250,72 +320,118 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
                                 snapshot_keep,
                                 window.next_seq(),
                             );
-                            let _ = reply.send(out);
+                            respond(reply, out, &apply_work_tx);
                         }
                         Some(seq) => match window.check(seq) {
                             Ok(()) => {
                                 let ready = window
-                                    .offer(seq, (op, reply))
+                                    .offer(seq, (op, reply, Instant::now()))
                                     .expect("seq was just checked");
-                                for (op, reply) in ready {
+                                for (op_seq, (op, reply, _)) in ready {
+                                    // Each op persists *its own* seq + 1:
+                                    // a snapshot released mid-run must not
+                                    // claim later ops in the run as applied.
                                     let out = state.apply(
                                         op,
                                         store.as_mut().map(|b| &mut **b as &mut dyn Store),
                                         snapshot_keep,
-                                        window.next_seq(),
+                                        op_seq + 1,
                                     );
-                                    let _ = reply.send(out);
+                                    respond(reply, out, &apply_work_tx);
                                 }
                             }
                             Err(e) => {
-                                let _ = reply.send(Err(e.to_serve_error()));
+                                respond(reply, Err(e.to_serve_error()), &apply_work_tx);
                             }
                         },
                     },
-                    ApplyMsg::Digest { reply } => {
+                    Ok(ApplyMsg::Digest { reply }) => {
                         let _ = reply.send(Ok(state.read_counted(|s| s.digest_json())));
                     }
-                    ApplyMsg::Fleet { reply } => {
+                    Ok(ApplyMsg::Fleet { reply }) => {
                         let _ = reply.send(Ok(state.read_counted(|s| s.fleet_json())));
                     }
-                    ApplyMsg::Metrics {
+                    Ok(ApplyMsg::Metrics {
                         transport_bad,
                         reply,
-                    } => {
+                    }) => {
                         let _ = reply.send(Ok(state.metrics_text(transport_bad)));
+                    }
+                    Err(channel::RecvTimeoutError::Timeout) => {}
+                    Err(channel::RecvTimeoutError::Disconnected) => break,
+                }
+                // Evict buffered ops whose missing predecessors never
+                // arrived: their clients get a retryable 503 and their
+                // connections come back to the pool. `next` stays put,
+                // so the stream stays consistent if the gap ever fills.
+                if last_evict.elapsed() >= TICK && window.pending_len() > 0 {
+                    last_evict = Instant::now();
+                    let now = Instant::now();
+                    let stale = window
+                        .evict_where(|(_, _, since)| now.duration_since(*since) >= pending_ttl);
+                    for (seq, (_op, reply, _)) in stale {
+                        let e = ServeError::unavailable(
+                            "seq_gap_timeout",
+                            format!(
+                                "op at seq {seq} was not applied: earlier seqs did not arrive \
+                                 within {}ms — safe to retry",
+                                pending_ttl.as_millis()
+                            ),
+                        );
+                        respond(reply, Err(e), &apply_work_tx);
                     }
                 }
             }
         })?;
 
     // Worker pool: frame + validate requests, relay ops, write replies.
+    // Workers poll the shared channel with a timeout so the shutdown
+    // flag is observed even while connections sit idle.
     let mut worker_joins = Vec::with_capacity(workers.max(1));
     for i in 0..workers.max(1) {
-        let conn_rx = Arc::clone(&conn_rx);
-        let apply_tx = apply_tx.clone();
-        let shutdown = Arc::clone(&shutdown);
-        let stats = Arc::clone(&stats);
-        let poke_addr = local_addr;
+        let ctx = WorkerCtx {
+            apply_tx: apply_tx.clone(),
+            work_tx: work_tx.clone(),
+            shutdown: Arc::clone(&shutdown),
+            stats: Arc::clone(&stats),
+            poke_addr: local_addr,
+            max_body,
+        };
+        let work_rx = work_rx.clone();
         worker_joins.push(
             std::thread::Builder::new()
                 .name(format!("bursty-worker-{i}"))
                 .spawn(move || loop {
-                    let stream = match conn_rx.lock() {
-                        Ok(rx) => rx.recv(),
-                        Err(_) => break,
-                    };
-                    match stream {
-                        Ok(s) => {
-                            handle_connection(s, &apply_tx, &shutdown, &stats, poke_addr, max_body)
+                    match work_rx.recv_timeout(TICK) {
+                        Ok(WorkItem::Serve(conn)) => serve_conn(conn, &ctx),
+                        Ok(WorkItem::Resume {
+                            mut conn,
+                            response,
+                            keep_alive,
+                        }) => {
+                            let written = conn
+                                .writer
+                                .write_all(&response)
+                                .and_then(|_| conn.writer.flush())
+                                .is_ok();
+                            if written && keep_alive {
+                                serve_conn(conn, &ctx);
+                            }
                         }
-                        Err(_) => break,
+                        Err(channel::RecvTimeoutError::Timeout) => {
+                            if ctx.shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                        Err(channel::RecvTimeoutError::Disconnected) => break,
                     }
                 })?,
         );
     }
     drop(apply_tx);
+    drop(work_rx);
 
-    // Accept loop: owns the listener and the only conn sender.
+    // Accept loop: owns the listener and the original work sender.
     let accept_shutdown = Arc::clone(&shutdown);
     let accept_join = std::thread::Builder::new()
         .name("bursty-accept".to_string())
@@ -329,15 +445,25 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
                         // Small request/response pairs: Nagle + delayed
                         // ACK would add ~40ms per round trip.
                         let _ = s.set_nodelay(true);
-                        if conn_tx.send(s).is_err() {
+                        // The read timeout turns blocked reads into
+                        // ticks: idle connections requeue instead of
+                        // pinning a worker, and shutdown is observed.
+                        let _ = s.set_read_timeout(Some(TICK));
+                        let conn = match Conn::new(s) {
+                            Ok(c) => c,
+                            Err(_) => continue,
+                        };
+                        if work_tx.send(WorkItem::Serve(conn)).is_err() {
                             break;
                         }
                     }
                     Err(_) => continue,
                 }
             }
-            // conn_tx drops here; workers drain and exit, then the apply
-            // loop exits once the last worker's apply sender drops.
+            // Shutdown cascade: workers exit on the flag (their channel
+            // stays connected — the apply loop holds a work sender),
+            // which drops the last apply senders, which stops the apply
+            // loop and releases any parked connections.
         })?;
 
     Ok(ServerHandle {
@@ -350,29 +476,58 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     })
 }
 
-/// Serves one connection until close, error, or shutdown.
-fn handle_connection(
-    stream: TcpStream,
-    apply_tx: &channel::Sender<ApplyMsg>,
-    shutdown: &AtomicBool,
-    stats: &TransportStats,
+/// Delivers a mutation outcome: down the worker's channel, or — for a
+/// connection the apply loop owns — rendered to wire bytes and sent
+/// back to the pool as a `Resume` item.
+fn respond(reply: Reply, out: Result<Json, ServeError>, work_tx: &channel::Sender<WorkItem>) {
+    match reply {
+        Reply::Channel(tx) => {
+            let _ = tx.send(out);
+        }
+        Reply::Conn { conn, keep_alive } => {
+            let (status, body) = match &out {
+                Ok(json) => (200, json.encode()),
+                Err(e) => (e.status, e.to_json()),
+            };
+            let response = encode_response(status, "application/json", body.as_bytes(), keep_alive);
+            let _ = work_tx.send(WorkItem::Resume {
+                conn,
+                response,
+                keep_alive,
+            });
+        }
+    }
+}
+
+/// Everything a worker needs to serve connections.
+struct WorkerCtx {
+    apply_tx: channel::Sender<ApplyMsg>,
+    work_tx: channel::Sender<WorkItem>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<TransportStats>,
     poke_addr: SocketAddr,
     max_body: usize,
-) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
+}
+
+/// Serves one connection until it closes, errors, goes idle (requeued),
+/// or hands itself to the apply loop with a seq'd op.
+fn serve_conn(mut conn: Conn, ctx: &WorkerCtx) {
     loop {
-        let req = match read_request(&mut reader, max_body) {
+        let req = match read_request(&mut conn.reader, ctx.max_body, &ctx.shutdown) {
             Ok(req) => req,
-            Err(HttpError::Closed) => return,
-            Err(HttpError::Io(_)) => return,
+            Err(HttpError::Idle) => {
+                // No request in flight: give the connection back so this
+                // worker can serve others (and drop it at shutdown).
+                if !ctx.shutdown.load(Ordering::SeqCst) {
+                    let _ = ctx.work_tx.send(WorkItem::Serve(conn));
+                }
+                return;
+            }
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
             Err(e) => {
                 // Framing failure: typed 4xx, then close — the stream
                 // position is unreliable past a malformed request.
-                stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                ctx.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
                 if let Some(status) = e.status() {
                     let body = ServeError {
                         status,
@@ -381,7 +536,7 @@ fn handle_connection(
                     }
                     .to_json();
                     let _ = write_response(
-                        &mut writer,
+                        &mut conn.writer,
                         status,
                         "application/json",
                         body.as_bytes(),
@@ -394,9 +549,9 @@ fn handle_connection(
         let keep_alive = req.keep_alive;
         match route(&req) {
             Err(e) => {
-                stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                ctx.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
                 let _ = write_response(
-                    &mut writer,
+                    &mut conn.writer,
                     e.status,
                     "application/json",
                     e.to_json().as_bytes(),
@@ -408,7 +563,7 @@ fn handle_connection(
             }
             Ok(Action::Health) => {
                 let _ = write_response(
-                    &mut writer,
+                    &mut conn.writer,
                     200,
                     "application/json",
                     b"{\"status\":\"ok\"}",
@@ -419,23 +574,24 @@ fn handle_connection(
                 }
             }
             Ok(Action::Shutdown) => {
-                shutdown.store(true, Ordering::SeqCst);
+                ctx.shutdown.store(true, Ordering::SeqCst);
                 let _ = write_response(
-                    &mut writer,
+                    &mut conn.writer,
                     200,
                     "application/json",
                     b"{\"status\":\"stopping\"}",
                     false,
                 );
                 // Unblock the accept loop so it observes the flag.
-                let _ = TcpStream::connect(poke_addr);
+                let _ = TcpStream::connect(ctx.poke_addr);
                 return;
             }
             Ok(Action::Metrics) => {
                 let (tx, rx) = mpsc::channel();
-                let sent = apply_tx
+                let sent = ctx
+                    .apply_tx
                     .send(ApplyMsg::Metrics {
-                        transport_bad: stats.bad_requests.load(Ordering::Relaxed),
+                        transport_bad: ctx.stats.bad_requests.load(Ordering::Relaxed),
                         reply: tx,
                     })
                     .is_ok();
@@ -443,7 +599,7 @@ fn handle_connection(
                 match out {
                     Some(Ok(text)) => {
                         let _ = write_response(
-                            &mut writer,
+                            &mut conn.writer,
                             200,
                             "text/plain; charset=utf-8",
                             text.as_bytes(),
@@ -453,7 +609,7 @@ fn handle_connection(
                     _ => {
                         let e = ServeError::internal("apply loop unavailable");
                         let _ = write_response(
-                            &mut writer,
+                            &mut conn.writer,
                             e.status,
                             "application/json",
                             e.to_json().as_bytes(),
@@ -466,16 +622,36 @@ fn handle_connection(
                     return;
                 }
             }
+            Ok(Action::Apply { op, seq: Some(seq) }) => {
+                // Hand the whole connection over: the op may buffer
+                // behind a missing seq, and that seq's connection needs
+                // a free worker to make progress — so this worker must
+                // not wait. The apply loop resumes the connection with
+                // the rendered reply (or a 503 eviction) later.
+                let _ = ctx.apply_tx.send(ApplyMsg::Mutate {
+                    op,
+                    seq: Some(seq),
+                    reply: Reply::Conn { conn, keep_alive },
+                });
+                return;
+            }
             Ok(action) => {
+                // Reads and unseq'd mutations are answered by the apply
+                // loop unconditionally (never buffered), so a bounded
+                // synchronous wait here cannot wedge the pool.
                 let (tx, rx) = mpsc::channel();
                 let msg = match action {
-                    Action::Apply { op, seq } => ApplyMsg::Mutate { op, seq, reply: tx },
+                    Action::Apply { op, seq: None } => ApplyMsg::Mutate {
+                        op,
+                        seq: None,
+                        reply: Reply::Channel(tx),
+                    },
                     Action::Digest => ApplyMsg::Digest { reply: tx },
                     Action::Fleet => ApplyMsg::Fleet { reply: tx },
-                    // Health/Shutdown/Metrics handled above.
+                    // Health/Shutdown/Metrics/seq'd Apply handled above.
                     _ => unreachable!(),
                 };
-                let out = if apply_tx.send(msg).is_ok() {
+                let out = if ctx.apply_tx.send(msg).is_ok() {
                     rx.recv().ok()
                 } else {
                     None
@@ -483,7 +659,7 @@ fn handle_connection(
                 match out {
                     Some(Ok(json)) => {
                         let _ = write_response(
-                            &mut writer,
+                            &mut conn.writer,
                             200,
                             "application/json",
                             json.encode().as_bytes(),
@@ -492,7 +668,7 @@ fn handle_connection(
                     }
                     Some(Err(e)) => {
                         let _ = write_response(
-                            &mut writer,
+                            &mut conn.writer,
                             e.status,
                             "application/json",
                             e.to_json().as_bytes(),
@@ -502,7 +678,7 @@ fn handle_connection(
                     None => {
                         let e = ServeError::internal("apply loop unavailable");
                         let _ = write_response(
-                            &mut writer,
+                            &mut conn.writer,
                             e.status,
                             "application/json",
                             e.to_json().as_bytes(),

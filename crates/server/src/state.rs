@@ -427,11 +427,23 @@ fn decode_snapshot(bytes: &[u8]) -> Result<(ClusterState, u64), FrameError> {
 /// Reorder buffer for client-supplied `seq` numbers.
 ///
 /// The apply loop applies seq'd ops in strictly increasing seq order; an
-/// op arriving early waits here. With each client sending its assigned
-/// seqs in ascending order this is deadlock-free: the client holding
-/// the globally smallest unapplied seq has, by construction, already
-/// had all of its earlier seqs applied, so its next send always
-/// releases the buffer.
+/// op arriving early waits here, *without holding a worker thread* —
+/// the listener parks the whole connection with the buffered op and the
+/// apply loop resumes it when the op's turn comes. Liveness therefore
+/// needs only that each client sends its assigned seqs in ascending
+/// order: the connection carrying the globally smallest unapplied seq
+/// is always free to be picked up by any worker, so its arrival always
+/// releases the buffer. A seq whose predecessor never arrives (a died
+/// client) is evicted after a TTL via [`SeqWindow::evict_where`] and
+/// answered with a retryable 503 — eviction never advances `next`, so
+/// the evicted op can be resent once the gap fills.
+///
+/// A seq is *consumed* the moment it is released in order: engine-level
+/// rejections (duplicate id, no capacity, unknown departure) are
+/// deterministic identity transitions that still advance the window,
+/// so resending a consumed seq answers 409 `seq_replayed` regardless of
+/// the original op's outcome. Only buffered (never-released) seqs — 409
+/// `seq_duplicate` / 503 `seq_gap_timeout` responses — remain open.
 pub struct SeqWindow<T> {
     next: u64,
     window: u64,
@@ -508,20 +520,43 @@ impl<T> SeqWindow<T> {
     }
 
     /// Offers an op under `seq`; returns the (possibly empty) run of
-    /// ops that are now ready, in seq order.
-    pub fn offer(&mut self, seq: u64, item: T) -> Result<Vec<T>, SeqError> {
+    /// ops that are now ready, in seq order, each tagged with its own
+    /// seq. The tag matters: `next` has already advanced past the whole
+    /// run when this returns, but a caller persisting progress mid-run
+    /// (a snapshot op) must record *its* seq + 1, not the run end —
+    /// later ops in the run are not yet in the snapshotted state.
+    pub fn offer(&mut self, seq: u64, item: T) -> Result<Vec<(u64, T)>, SeqError> {
         self.check(seq)?;
         if seq > self.next {
             self.pending.insert(seq, item);
             return Ok(Vec::new());
         }
-        let mut ready = vec![item];
+        let mut ready = vec![(seq, item)];
         self.next += 1;
         while let Some(item) = self.pending.remove(&self.next) {
-            ready.push(item);
+            ready.push((self.next, item));
             self.next += 1;
         }
         Ok(ready)
+    }
+
+    /// Removes buffered entries matching `pred` and returns them with
+    /// their seqs. `next` is untouched: an evicted seq stays claimable,
+    /// and the gap that stranded it still blocks later seqs.
+    pub fn evict_where(&mut self, mut pred: impl FnMut(&T) -> bool) -> Vec<(u64, T)> {
+        let stale: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, item)| pred(item))
+            .map(|(seq, _)| *seq)
+            .collect();
+        stale
+            .into_iter()
+            .map(|seq| {
+                let item = self.pending.remove(&seq).expect("seq was just listed");
+                (seq, item)
+            })
+            .collect()
     }
 }
 
@@ -638,9 +673,10 @@ mod tests {
     #[test]
     fn seq_window_orders_and_rejects() {
         let mut w: SeqWindow<&str> = SeqWindow::new(0, 4);
-        assert_eq!(w.offer(2, "c").unwrap(), Vec::<&str>::new());
-        assert_eq!(w.offer(1, "b").unwrap(), Vec::<&str>::new());
-        assert_eq!(w.offer(0, "a").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(w.offer(2, "c").unwrap(), Vec::<(u64, &str)>::new());
+        assert_eq!(w.offer(1, "b").unwrap(), Vec::<(u64, &str)>::new());
+        // A released run tags each op with its own seq, in order.
+        assert_eq!(w.offer(0, "a").unwrap(), vec![(0, "a"), (1, "b"), (2, "c")]);
         assert_eq!(w.next_seq(), 3);
         assert!(matches!(
             w.offer(1, "x"),
@@ -655,8 +691,27 @@ mod tests {
             w.offer(5, "x"),
             Err(SeqError::Duplicate { seq: 5 })
         ));
-        assert_eq!(w.offer(3, "d").unwrap(), vec!["d"]);
-        assert_eq!(w.offer(4, "e").unwrap(), vec!["e", "f"]);
+        assert_eq!(w.offer(3, "d").unwrap(), vec![(3, "d")]);
+        assert_eq!(w.offer(4, "e").unwrap(), vec![(4, "e"), (5, "f")]);
         assert_eq!(w.pending_len(), 0);
+    }
+
+    #[test]
+    fn seq_window_eviction_keeps_the_gap_open() {
+        let mut w: SeqWindow<&str> = SeqWindow::new(0, 8);
+        w.offer(3, "d").unwrap();
+        w.offer(5, "f").unwrap();
+        // Evict one buffered entry; next stays 0 and the seq reopens.
+        let evicted = w.evict_where(|item| *item == "d");
+        assert_eq!(evicted, vec![(3, "d")]);
+        assert_eq!(w.next_seq(), 0);
+        assert_eq!(w.pending_len(), 1);
+        assert!(w.check(3).is_ok(), "evicted seq must be resendable");
+        // The gap fills: the resent 3 releases with 5 still waiting on 4.
+        w.offer(0, "a").unwrap();
+        w.offer(1, "b").unwrap();
+        w.offer(2, "c").unwrap();
+        assert_eq!(w.offer(3, "d2").unwrap(), vec![(3, "d2")]);
+        assert_eq!(w.offer(4, "e").unwrap(), vec![(4, "e"), (5, "f")]);
     }
 }

@@ -10,8 +10,8 @@ use bursty_obs::{FailingStore, FsStore, MemStore, Store};
 use bursty_placement::OnlineCluster;
 use bursty_server::replay::{apply_engine, build_program, drive_http};
 use bursty_server::state::{restore_newest, ClusterState, Op, RestoreReason};
-use bursty_server::{spawn, Client, Json, ServerConfig};
-use bursty_workload::PmSpec;
+use bursty_server::{op_request, spawn, Client, Json, ServerConfig};
+use bursty_workload::{PmSpec, VmSpec};
 
 const D: usize = 16;
 const P_ON: f64 = 0.01;
@@ -81,6 +81,65 @@ fn kill_and_restore_matches_uninterrupted_run() {
     let end = drive_http(handle.addr(), suffix, 2, prefix.len() as u64).unwrap();
     handle.shutdown();
     assert_eq!(end.digest, expected);
+}
+
+/// Review regression: a seq'd snapshot released early in a reorder run
+/// used to persist the *run end* as `next_seq`, so after a crash and
+/// restore, clients resending the later-in-run ops were answered 409
+/// `seq_replayed` and those ops were silently lost. The snapshot must
+/// persist its own seq + 1.
+#[test]
+fn seqd_snapshot_mid_run_persists_its_own_seq() {
+    let dir = temp_dir("midseq");
+    let admit = |id: usize| {
+        Op::Admit(VmSpec {
+            id,
+            p_on: P_ON,
+            p_off: P_OFF,
+            r_b: 5.0,
+            r_e: 5.0,
+        })
+    };
+    let handle = spawn(config_with_store(16, &dir, false)).unwrap();
+    let addr = handle.addr();
+
+    // Snapshot at seq 1 and an admit at seq 2 arrive first and buffer;
+    // both block until the seq-0 admit below releases the run [0, 1, 2].
+    let post_seqd = |op: Op, seq: u64| {
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let (path, body) = op_request(&op, seq);
+            let resp = client.post(path, &body).unwrap();
+            assert_eq!(resp.status, 200, "seq {seq} body: {}", resp.text());
+        })
+    };
+    let snap_join = post_seqd(Op::Snapshot, 1);
+    let tail_join = post_seqd(admit(200), 2);
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let mut client = Client::connect(addr).unwrap();
+    let (path, body) = op_request(&admit(100), 0);
+    assert_eq!(client.post(path, &body).unwrap().status, 200);
+    snap_join.join().expect("snapshot client");
+    tail_join.join().expect("tail-admit client");
+    drop(client);
+    handle.shutdown(); // crash after the whole run applied
+
+    // The snapshot saw one applied op (the seq-0 admit) and must have
+    // persisted next_seq = 2, not the run end (3).
+    let handle = spawn(config_with_store(16, &dir, true)).unwrap();
+    let report = handle.restore_report().expect("restore ran");
+    assert_eq!(report.applied, 1, "snapshot captured only the seq-0 op");
+
+    // The client never learned its post-snapshot op was lost by the
+    // crash; resending seq 2 must apply (the old bug answered 409).
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let (path, body) = op_request(&admit(200), 2);
+    let resp = client.post(path, &body).unwrap();
+    assert_eq!(resp.status, 200, "resent seq 2 body: {}", resp.text());
+    let digest = bursty_server::fetch_digest(&mut client).unwrap();
+    assert_eq!(digest.n_vms, 2);
+    drop(client);
+    handle.shutdown();
 }
 
 #[test]

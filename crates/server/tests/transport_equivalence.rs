@@ -4,10 +4,12 @@
 //! same program driven directly through `OnlineCluster`, and as the
 //! single-threaded `ReferenceOnlineCluster` replay.
 
+use std::time::Duration;
+
 use bursty_placement::{OnlineCluster, ReferenceOnlineCluster};
 use bursty_server::replay::{apply_engine, apply_reference, build_program, drive_http};
-use bursty_server::{spawn, Client, Json, ServerConfig};
-use bursty_workload::PmSpec;
+use bursty_server::{op_request, spawn, Client, Json, Op, ServerConfig};
+use bursty_workload::{PmSpec, VmSpec};
 use proptest::prelude::*;
 
 const D: usize = 16;
@@ -21,8 +23,28 @@ fn pms(m: usize) -> Vec<PmSpec> {
 
 fn config(m: usize) -> ServerConfig {
     let mut c = ServerConfig::new(pms(m), D, P_ON, P_OFF, RHO);
-    c.workers = 10; // above the widest client fan-out used here
+    // Deliberately below the widest client fan-out used here (8):
+    // connections must never need a dedicated worker to make progress.
+    c.workers = 2;
     c
+}
+
+/// Runs `f` on a helper thread and fails the test if it does not finish
+/// in time — a wedged daemon must fail loudly, not hang the suite.
+fn with_watchdog<T: Send + 'static>(
+    label: &str,
+    secs: u64,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::Builder::new()
+        .name(format!("watchdog-{label}"))
+        .spawn(move || {
+            let _ = tx.send(f());
+        })
+        .expect("watchdog thread spawns");
+    rx.recv_timeout(Duration::from_secs(secs))
+        .unwrap_or_else(|_| panic!("{label}: wedged — watchdog expired after {secs}s"))
 }
 
 #[test]
@@ -47,6 +69,92 @@ fn http_replay_matches_engine_direct_at_1_2_and_8_clients() {
         );
         assert_eq!(outcome.ok + outcome.rejected, program.ops.len());
     }
+}
+
+/// Review regression: seq-stamped connections outnumbering workers used
+/// to wedge the pool permanently — a worker blocked on a buffered op's
+/// reply while the op's missing predecessor sat queued with no free
+/// worker to serve it. Workers now hand the connection to the apply
+/// loop instead of blocking, so a single worker serves any fan-out.
+#[test]
+fn seqd_clients_outnumbering_workers_cannot_deadlock() {
+    let program = build_program(0xD0C, 360, 0);
+    let mut engine = OnlineCluster::new(pms(64), D, P_ON, P_OFF, RHO);
+    let expected = apply_engine(&mut engine, &program.ops);
+
+    let outcome = with_watchdog("one-worker-six-clients", 120, move || {
+        let mut c = ServerConfig::new(pms(64), D, P_ON, P_OFF, RHO);
+        c.workers = 1;
+        let handle = spawn(c).expect("daemon starts");
+        let outcome = drive_http(handle.addr(), &program.ops, 6, 0).expect("http replay runs");
+        handle.shutdown();
+        outcome
+    });
+    assert_eq!(outcome.digest, expected);
+}
+
+/// A buffered seq'd op whose predecessors never arrive (its client
+/// died mid-stream) is evicted after `pending_ttl` with a retryable
+/// 503. The window does not advance: the connection keeps working and
+/// the full stream still applies once the gap is filled.
+#[test]
+fn stale_pending_seq_evicts_with_retryable_503() {
+    let admit = |id: usize| {
+        Op::Admit(VmSpec {
+            id,
+            p_on: P_ON,
+            p_off: P_OFF,
+            r_b: 5.0,
+            r_e: 5.0,
+        })
+    };
+    let mut c = config(16);
+    c.pending_ttl = Duration::from_millis(150);
+    let handle = spawn(c).expect("daemon starts");
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // seq 5 with seqs 0..4 missing: buffered, then evicted on TTL.
+    let (path, body) = op_request(&admit(100), 5);
+    let resp = with_watchdog("evicted-op-answers", 30, {
+        let addr = handle.addr();
+        move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.post(path, &body).unwrap()
+        }
+    });
+    assert_eq!(resp.status, 503, "body: {}", resp.text());
+    let v = resp.json().unwrap();
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("seq_gap_timeout")
+    );
+
+    // Eviction did not consume the seqs: 0..=5 all apply now.
+    for seq in 0..=5u64 {
+        let (path, body) = op_request(&admit(seq as usize), seq);
+        let resp = client.post(path, &body).unwrap();
+        assert_eq!(resp.status, 200, "seq {seq} body: {}", resp.text());
+    }
+    let digest = bursty_server::fetch_digest(&mut client).unwrap();
+    assert_eq!(digest.n_vms, 6);
+    drop(client);
+    handle.shutdown();
+}
+
+/// Review regression: shutdown used to wait for every client to hang
+/// up — a worker blocked reading an idle keep-alive connection never
+/// saw the flag. Reads now tick on a socket timeout.
+#[test]
+fn shutdown_returns_while_clients_hold_idle_connections() {
+    let handle = spawn(config(16)).expect("daemon starts");
+    let mut active = Client::connect(handle.addr()).unwrap();
+    assert_eq!(active.get("/healthz").unwrap().status, 200);
+    let silent = Client::connect(handle.addr()).unwrap(); // never sends
+    with_watchdog("shutdown-with-idle-conns", 30, move || handle.shutdown());
+    drop(active);
+    drop(silent);
 }
 
 #[test]

@@ -1,21 +1,37 @@
-//! Offline stand-in for the `crossbeam` crate: the `channel` module only,
-//! backed by `std::sync::mpsc`. The build environment has no network
-//! access, and this workspace only uses multi-producer/single-consumer
-//! fan-in, which mpsc covers exactly.
+//! Offline stand-in for the `crossbeam` crate: the `channel` module only.
+//! The build environment has no network access, so this is a small
+//! Mutex + Condvar queue with the `crossbeam::channel` surface the
+//! workspace uses: unbounded MPMC with cloneable senders *and*
+//! receivers, blocking and timed receives, and draining iterators.
+//! The server's worker pool shares one `Receiver` across threads and
+//! polls it with [`Receiver::recv_timeout`] to observe shutdown.
 
 pub mod channel {
-    //! MPSC channel with the `crossbeam::channel` surface this workspace
-    //! uses: [`unbounded`], cloneable [`Sender`], iterable [`Receiver`].
+    //! Unbounded MPMC channel: [`unbounded`], cloneable [`Sender`] and
+    //! [`Receiver`], [`Receiver::recv_timeout`], draining iterators.
 
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
 
     /// Sending half; clone freely across worker threads.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T>(Arc<Shared<T>>);
 
-    /// Receiving half; iterate to drain until all senders drop.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    /// Receiving half; clone to share one queue across consumers.
+    pub struct Receiver<T>(Arc<Shared<T>>);
 
-    /// Error returned when the receiving side has disconnected.
+    /// Error returned when every receiver has disconnected.
     #[derive(Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
@@ -35,58 +51,139 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
-    /// Creates an unbounded MPSC channel.
+    /// Why a timed receive returned without a value.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the timeout; senders still exist.
+        Timeout,
+        /// The channel is drained and every sender has dropped.
+        Disconnected,
+    }
+
+    /// Creates an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.inner.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.senders -= 1;
+            let last = inner.senders == 0;
+            drop(inner);
+            if last {
+                // Wake every blocked receiver so it can observe the
+                // disconnect.
+                self.0.ready.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
-        /// Sends a value; fails only if the receiver is gone.
+        /// Sends a value; fails only if every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0
-                .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+            let mut inner = self.0.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.inner.lock().unwrap().receivers -= 1;
         }
     }
 
     impl<T> Receiver<T> {
-        /// Blocks for the next value; fails when all senders are gone and
-        /// the queue is drained.
+        /// Blocks for the next value; fails when all senders are gone
+        /// and the queue is drained.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let mut inner = self.0.inner.lock().unwrap();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.0.ready.wait(inner).unwrap();
+            }
+        }
+
+        /// Blocks up to `timeout` for the next value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.0.inner.lock().unwrap();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                // Spurious wakeups and early notifies re-enter the loop;
+                // the deadline check above bounds the total wait.
+                (inner, _) = self.0.ready.wait_timeout(inner, deadline - now).unwrap();
+            }
         }
 
         /// Draining iterator (blocks between values, ends at disconnect).
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.iter()
+            std::iter::from_fn(move || self.recv().ok())
         }
 
         /// Non-blocking drain of everything currently queued.
         pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.try_iter()
+            std::iter::from_fn(move || self.0.inner.lock().unwrap().queue.pop_front())
+        }
+    }
+
+    /// Owning draining iterator, ends at disconnect.
+    pub struct IntoIter<T>(Receiver<T>);
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
         }
     }
 
     impl<T> IntoIterator for Receiver<T> {
         type Item = T;
-        type IntoIter = mpsc::IntoIter<T>;
+        type IntoIter = IntoIter<T>;
         fn into_iter(self) -> Self::IntoIter {
-            self.0.into_iter()
-        }
-    }
-
-    impl<'a, T> IntoIterator for &'a Receiver<T> {
-        type Item = T;
-        type IntoIter = mpsc::Iter<'a, T>;
-        fn into_iter(self) -> Self::IntoIter {
-            self.0.iter()
+            IntoIter(self)
         }
     }
 }
@@ -95,6 +192,7 @@ pub mod channel {
 mod tests {
     use super::channel;
     use std::thread;
+    use std::time::Duration;
 
     #[test]
     fn fan_in_from_multiple_threads() {
@@ -114,6 +212,40 @@ mod tests {
             assert_eq!(got.len(), 40);
             assert_eq!(got, (0..40).collect::<Vec<_>>());
         });
+    }
+
+    #[test]
+    fn fan_out_to_multiple_consumers() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: usize = consumers.into_iter().map(|j| j.join().unwrap()).sum();
+        assert_eq!(total, 100, "every value consumed exactly once");
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
